@@ -1,0 +1,212 @@
+// Fig. 10 reproduction: anomaly detection by message-count distribution.
+//
+// Pipeline, as in §VII: a target node connected to a (simulated) Mainnet
+// collects normal traffic to train the statistical profile — thresholds
+// τ_c (outbound reconnection rate), τ_n (message rate) and τ_Λ (minimum
+// correlation). Then three cases are measured:
+//   * normal       — the trained profile matches (no alarm);
+//   * under BM-DoS — PING flood; the count distribution collapses onto PING
+//                    (paper: PING = 94.16% of messages, ρ = 0.05);
+//   * under Defamation — the attacker keeps banning the target's outbound
+//                    peers; VERSION/VERACK counts jump and the reconnection
+//                    rate c exceeds τ_c (paper: ρ = 0.88, c = 5.3).
+//
+// The paper trains on ~35 hours of Mainnet traffic; we train on 2 simulated
+// hours of the calibrated synthetic Mainnet (the profile converges long
+// before that — the thresholds are printed for comparison with the paper's
+// τ_c=[0,2.1], τ_n=[252,390], τ_Λ=0.993).
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "attack/bmdos.hpp"
+#include "attack/defamation.hpp"
+#include "attack/traffic.hpp"
+#include "bench_util.hpp"
+#include "core/node.hpp"
+#include "detect/engine.hpp"
+#include "detect/monitor.hpp"
+
+namespace {
+
+using namespace bsdetect;  // NOLINT
+using bsattack::AttackerNode;
+using bsattack::MainnetTrafficGenerator;
+using bsnet::Node;
+using bsnet::NodeConfig;
+
+constexpr std::uint32_t kTargetIp = 0x0a000001;
+constexpr int kWindowMinutes = 10;  // the paper's 10-minute window
+
+struct Lab {
+  Lab() {
+    net = std::make_unique<bsim::Network>(sched);
+    NodeConfig config;
+    config.target_outbound = 8;
+    target = std::make_unique<Node>(sched, *net, kTargetIp, config);
+    for (int i = 0; i < 40; ++i) {
+      NodeConfig pc;
+      pc.target_outbound = 0;
+      auto peer = std::make_unique<Node>(sched, *net, 0x0a000100 + i, pc);
+      peer->Start();
+      target->AddKnownAddress({peer->Ip(), 8333});
+      peers.push_back(peer.get());
+      peer_storage.push_back(std::move(peer));
+    }
+    target->Start();
+    sched.RunUntil(10 * bsim::kSecond);
+    monitor = std::make_unique<Monitor>(*target);
+    traffic = std::make_unique<MainnetTrafficGenerator>(sched, peers, *target,
+                                                        bsattack::TrafficConfig{});
+    traffic->Start();
+  }
+
+  void RunMinutes(int minutes) {
+    sched.RunUntil(sched.Now() + minutes * bsim::kMinute);
+  }
+
+  bsim::Scheduler sched;
+  std::unique_ptr<bsim::Network> net;
+  std::unique_ptr<Node> target;
+  std::vector<std::unique_ptr<Node>> peer_storage;
+  std::vector<Node*> peers;
+  std::unique_ptr<Monitor> monitor;
+  std::unique_ptr<MainnetTrafficGenerator> traffic;
+};
+
+void PrintDistributions(const FeatureWindow& normal, const FeatureWindow& bmdos,
+                        const FeatureWindow& defamation) {
+  std::set<std::string> commands;
+  double tn = 0, tb = 0, td = 0;
+  for (const auto& [cmd, v] : normal.counts) { commands.insert(cmd); tn += v; }
+  for (const auto& [cmd, v] : bmdos.counts) { commands.insert(cmd); tb += v; }
+  for (const auto& [cmd, v] : defamation.counts) { commands.insert(cmd); td += v; }
+  auto share = [](const FeatureWindow& w, const std::string& cmd, double total) {
+    const auto it = w.counts.find(cmd);
+    return (it == w.counts.end() || total <= 0) ? 0.0 : it->second / total;
+  };
+  std::printf("%-12s | %10s | %12s | %12s\n", "message", "normal", "under-BM-DoS",
+              "under-Defam");
+  bsbench::PrintRule('-', 56);
+  for (const auto& cmd : commands) {
+    std::printf("%-12s | %10.5f | %12.5f | %12.5f\n", cmd.c_str(),
+                share(normal, cmd, tn), share(bmdos, cmd, tb),
+                share(defamation, cmd, td));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bsbench::PrintTitle("bench_fig10_detection — Fig. 10: anomaly detection by "
+                      "message-count distribution");
+  Lab lab;
+
+  // ---- Training ----
+  std::printf("training on 120 simulated minutes of synthetic Mainnet traffic...\n");
+  lab.RunMinutes(120);
+  StatEngine engine;
+  if (!engine.Train(lab.monitor->AllWindows(kWindowMinutes))) {
+    std::printf("training failed: not enough windows\n");
+    return 1;
+  }
+  const Profile& profile = engine.GetProfile();
+  bsbench::PrintSection("trained thresholds (paper values in parentheses)");
+  std::printf("tau_c = [%.2f, %.2f] reconnections/min   (paper: [0, 2.1])\n",
+              profile.tau_c_low, profile.tau_c_high);
+  std::printf("tau_n = [%.0f, %.0f] messages/min        (paper: [252, 390])\n",
+              profile.tau_n_low, profile.tau_n_high);
+  std::printf("tau_lambda = %.4f correlation            (paper: 0.993)\n",
+              profile.tau_lambda);
+
+  // ---- Window-size sensitivity (DESIGN.md ablation), trained on the same
+  // clean recording before any attack traffic exists ----
+  bsbench::PrintSection("detection-window sensitivity (thresholds retrained per size)");
+  std::printf("%-10s | %10s | %10s | %10s | %s\n", "window", "tau_n low", "tau_n high",
+              "tau_c high", "tau_lambda");
+  bsbench::PrintRule('-', 64);
+  for (int w : {2, 5, 10, 20}) {
+    StatEngine sweep_engine;
+    if (!sweep_engine.Train(lab.monitor->AllWindows(w))) continue;
+    const Profile& sp = sweep_engine.GetProfile();
+    std::printf("%4d min   | %10.0f | %10.0f | %10.2f | %.4f\n", w, sp.tau_n_low,
+                sp.tau_n_high, sp.tau_c_high, sp.tau_lambda);
+  }
+  std::printf("(shorter windows are noisier -> wider envelopes and faster alerts;\n"
+              " the paper's 10-minute window balances the two)\n");
+
+  // ---- Case 1: normal ----
+  lab.RunMinutes(kWindowMinutes + 1);
+  const FeatureWindow normal_window = lab.monitor->Window(lab.sched.Now(), kWindowMinutes);
+  const DetectionResult normal_result = engine.Detect(normal_window);
+
+  // ---- Case 2: under BM-DoS (PING flood at ~15000 msgs/min) ----
+  AttackerNode attacker(lab.sched, *lab.net, 0x0a000002,
+                        lab.target->Config().chain.magic);
+  bsattack::Crafter crafter(lab.target->Config().chain);
+  bsattack::BmDosConfig bm;
+  bm.payload = bsattack::BmDosConfig::Payload::kPing;
+  bm.rate_msgs_per_sec = 250;  // 15000/min, the paper's observed flood rate
+  bsattack::BmDosAttack flood(attacker, {kTargetIp, 8333}, crafter, bm);
+  flood.Start();
+  lab.RunMinutes(kWindowMinutes + 1);
+  const FeatureWindow bmdos_window = lab.monitor->Window(lab.sched.Now(), kWindowMinutes);
+  const DetectionResult bmdos_result = engine.Detect(bmdos_window);
+  flood.Stop();
+  lab.RunMinutes(kWindowMinutes);  // drain
+
+  // ---- Case 3: under Defamation (keep banning outbound peers) ----
+  std::vector<std::unique_ptr<bsattack::PostConnectionDefamation>> defamations;
+  const bsim::SimTime defamation_start = lab.sched.Now();
+  while (lab.sched.Now() < defamation_start + kWindowMinutes * bsim::kMinute) {
+    for (const bsnet::Peer* p : lab.target->Peers()) {
+      if (!p->inbound && p->HandshakeComplete() &&
+          !lab.target->Bans().IsBanned(p->remote, lab.sched.Now())) {
+        auto defamation = std::make_unique<bsattack::PostConnectionDefamation>(
+            attacker, p->conn->Local(), p->remote);
+        defamation->Arm({bsproto::EncodeMessage(lab.target->Config().chain.magic,
+                                                crafter.SegwitInvalidTx())});
+        defamations.push_back(std::move(defamation));
+        break;
+      }
+    }
+    lab.sched.RunUntil(lab.sched.Now() + 10 * bsim::kSecond);
+  }
+  const FeatureWindow defam_window = lab.monitor->Window(lab.sched.Now(), kWindowMinutes);
+  const DetectionResult defam_result = engine.Detect(defam_window);
+
+  // ---- Report ----
+  bsbench::PrintSection("normalized message-count distribution (Fig. 10)");
+  PrintDistributions(normal_window, bmdos_window, defam_window);
+
+  bsbench::PrintSection("detection summary (b = wire bytes/min, an extension feature)");
+  std::printf("%-16s | %10s | %8s | %10s | %8s | %9s | %s\n", "case", "n (msg/min)",
+              "c (/min)", "b (B/min)", "rho", "anomalous", "attribution");
+  bsbench::PrintRule();
+  auto row = [](const char* name, const DetectionResult& r) {
+    std::printf("%-16s | %10.1f | %8.2f | %10.3g | %8.4f | %9s | %s%s\n", name, r.n,
+                r.c, r.b, r.rho, r.anomalous ? "YES" : "no",
+                r.bmdos_suspected ? "bm-dos " : "",
+                r.defamation_suspected ? "defamation" : "");
+  };
+  row("normal", normal_result);
+  row("under BM-DoS", bmdos_result);
+  row("under Defamation", defam_result);
+
+  bsbench::PrintSection("paper comparison");
+  const double ping_share =
+      bmdos_window.counts.count("ping")
+          ? bmdos_window.counts.at("ping") /
+                std::max(1.0, bmdos_result.n * kWindowMinutes)
+          : 0.0;
+  std::printf("PING share under BM-DoS: %.2f%% (paper: 94.16%%)\n", ping_share * 100.0);
+  std::printf("rho under BM-DoS:        %.4f  (paper: 0.05)\n", bmdos_result.rho);
+  std::printf("rho under Defamation:    %.4f  (paper: 0.88)\n", defam_result.rho);
+  std::printf("c under Defamation:      %.2f  (paper: 5.3/min)\n", defam_result.c);
+  std::printf("detection accuracy on the three cases: %s\n",
+              (!normal_result.anomalous && bmdos_result.anomalous &&
+               defam_result.anomalous)
+                  ? "3/3 (paper: 100%)"
+                  : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,244 @@
+// Fig. 11 reproduction: training and testing latency of our statistical
+// detection engine vs the seven ML baselines from the literature (LR, GB,
+// RF, SVM, DNN, OC-SVM, AE).
+//
+// All approaches consume the same dataset: per-minute feature vectors
+// (message rate, reconnection rate, per-type distribution shares) covering
+// the paper's 35-hour training horizon (2100 minutes), with labeled attack
+// minutes appended for the supervised models. The paper's claim: the
+// statistical engine is at least FOUR orders of magnitude faster than the
+// ML approaches in both training and testing. google-benchmark runs for the
+// statistical engine follow the table.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "detect/engine.hpp"
+#include "mlbase/autoencoder.hpp"
+#include "mlbase/boosting.hpp"
+#include "mlbase/dnn.hpp"
+#include "mlbase/forest.hpp"
+#include "mlbase/logistic.hpp"
+#include "mlbase/ocsvm.hpp"
+#include "mlbase/kernel_svm.hpp"
+#include "mlbase/svm.hpp"
+
+namespace {
+
+using bsdetect::FeatureWindow;
+using bsdetect::StatEngine;
+using bsml::Detector;
+using bsml::LabeledData;
+
+constexpr std::size_t kTrainingMinutes = 2100;  // the paper's ~35 hours
+constexpr std::size_t kAttackMinutes = 400;
+constexpr std::size_t kFeatureDims = 28;  // rate, reconnects, 26 type shares
+constexpr std::size_t kTestSamples = 500;
+
+/// The same data rendered two ways: FeatureWindows for the statistical
+/// engine, a labeled matrix for the ML baselines.
+struct Corpus {
+  std::vector<FeatureWindow> windows;
+  LabeledData labeled;
+  bsml::Mat test_X;
+  std::vector<int> test_y;
+};
+
+Corpus MakeCorpus() {
+  Corpus corpus;
+  const LabeledData train = bsml::MakeSyntheticTrafficData(
+      kTrainingMinutes, kAttackMinutes, kFeatureDims, /*seed=*/271);
+  corpus.labeled = train;
+  const LabeledData test =
+      bsml::MakeSyntheticTrafficData(kTestSamples, kTestSamples, kFeatureDims, 272);
+  corpus.test_X = test.X;
+  corpus.test_y = test.y;
+
+  // Render the normal rows as feature windows for the statistical engine.
+  for (std::size_t i = 0; i < train.X.size(); ++i) {
+    if (train.y[i] != 0) continue;
+    FeatureWindow w;
+    w.window_minutes = 1;
+    w.n = train.X[i][0];
+    w.c = train.X[i][1];
+    for (std::size_t d = 2; d < kFeatureDims; ++d) {
+      w.counts["type" + std::to_string(d)] = std::max(0.0, train.X[i][d]);
+    }
+    corpus.windows.push_back(std::move(w));
+  }
+  return corpus;
+}
+
+FeatureWindow RowToWindow(const bsml::Vec& row) {
+  FeatureWindow w;
+  w.window_minutes = 1;
+  w.n = row[0];
+  w.c = row[1];
+  for (std::size_t d = 2; d < row.size(); ++d) {
+    w.counts["type" + std::to_string(d)] = std::max(0.0, row[d]);
+  }
+  return w;
+}
+
+struct LatencyRow {
+  const char* name;
+  double train_sec;
+  double test_sec;  // over kTestSamples*2 samples
+  double accuracy;
+};
+
+LatencyRow MeasureMl(const char* name, Detector& model, const Corpus& corpus) {
+  LatencyRow row;
+  row.name = name;
+  row.train_sec =
+      bsbench::TimeSeconds([&]() { model.Fit(corpus.labeled.X, corpus.labeled.y); });
+  int correct = 0;
+  row.test_sec = bsbench::TimeSeconds([&]() {
+    for (std::size_t i = 0; i < corpus.test_X.size(); ++i) {
+      correct += model.Predict(corpus.test_X[i]) == corpus.test_y[i] ? 1 : 0;
+    }
+  });
+  row.accuracy = static_cast<double>(correct) / static_cast<double>(corpus.test_X.size());
+  return row;
+}
+
+const Corpus& SharedCorpus() {
+  static const Corpus corpus = MakeCorpus();
+  return corpus;
+}
+
+void BM_StatEngineTrain(benchmark::State& state) {
+  const Corpus& corpus = SharedCorpus();
+  for (auto _ : state) {
+    StatEngine engine;
+    engine.Train(corpus.windows);
+    benchmark::DoNotOptimize(engine.GetProfile());
+  }
+}
+BENCHMARK(BM_StatEngineTrain);
+
+void BM_StatEngineDetect(benchmark::State& state) {
+  const Corpus& corpus = SharedCorpus();
+  StatEngine engine;
+  engine.Train(corpus.windows);
+  const FeatureWindow probe = RowToWindow(corpus.test_X[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Detect(probe));
+  }
+}
+BENCHMARK(BM_StatEngineDetect);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bsbench::PrintTitle("bench_fig11_latency — Fig. 11: detection training/testing "
+                      "latency, ours vs ML baselines");
+  const Corpus& corpus = SharedCorpus();
+  std::printf("dataset: %zu normal minutes (paper: 35 h), %zu attack minutes, "
+              "%zu features, %zu test samples\n",
+              corpus.windows.size(), kAttackMinutes, kFeatureDims,
+              corpus.test_X.size());
+
+  std::vector<LatencyRow> rows;
+
+  // Ours: statistical threshold training + window tests.
+  {
+    LatencyRow row;
+    row.name = "Ours (stat)";
+    StatEngine engine;
+    row.train_sec = bsbench::TimeSeconds([&]() { engine.Train(corpus.windows); });
+    int correct = 0;
+    // Pre-render windows so the measurement covers detection, not parsing.
+    std::vector<FeatureWindow> probes;
+    probes.reserve(corpus.test_X.size());
+    for (const auto& x : corpus.test_X) probes.push_back(RowToWindow(x));
+    row.test_sec = bsbench::TimeSeconds([&]() {
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        correct += engine.Detect(probes[i]).anomalous == (corpus.test_y[i] == 1) ? 1 : 0;
+      }
+    });
+    row.accuracy = static_cast<double>(correct) / static_cast<double>(probes.size());
+    rows.push_back(row);
+  }
+
+  {
+    // Baselines are configured at the sizes the cited works use (hundreds of
+    // boosting rounds / trees / epochs), not at quick-test defaults.
+    bsml::LogisticRegression::Config c;
+    c.epochs = 1000;
+    bsml::LogisticRegression m(c);
+    rows.push_back(MeasureMl("LR", m, corpus));
+  }
+  {
+    bsml::GradientBoosting::Config c;
+    c.rounds = 300;
+    c.max_depth = 4;
+    bsml::GradientBoosting m(c);
+    rows.push_back(MeasureMl("GB", m, corpus));
+  }
+  {
+    bsml::RandomForest::Config c;
+    c.num_trees = 150;
+    c.max_depth = 10;
+    bsml::RandomForest m(c);
+    rows.push_back(MeasureMl("RF", m, corpus));
+  }
+  {
+    // The literature baselines are sklearn SVC / OneClassSVM — kernel
+    // methods; the linear variants exist in bsml but are not what Fig. 11
+    // compares against.
+    bsml::KernelSvm::Config c;
+    c.iterations = 40'000;
+    bsml::KernelSvm m(c);
+    rows.push_back(MeasureMl("SVM", m, corpus));
+  }
+  {
+    bsml::Dnn::Config c;
+    c.epochs = 300;
+    bsml::Dnn m(c);
+    rows.push_back(MeasureMl("DNN", m, corpus));
+  }
+  {
+    bsml::KernelOneClass m;
+    rows.push_back(MeasureMl("OC-SVM", m, corpus));
+  }
+  {
+    bsml::AutoEncoder::Config c;
+    c.epochs = 300;
+    bsml::AutoEncoder m(c);
+    rows.push_back(MeasureMl("AE", m, corpus));
+  }
+
+  bsbench::PrintSection("training / testing latency (Fig. 11 series)");
+  std::printf("%-12s | %14s | %14s | %9s | %16s\n", "approach", "train (s)",
+              "test (s)", "accuracy", "train vs ours");
+  bsbench::PrintRule();
+  const double ours_train = rows[0].train_sec;
+  for (const auto& row : rows) {
+    std::printf("%-12s | %14.6g | %14.6g | %9.3f | %15.0fx\n", row.name, row.train_sec,
+                row.test_sec, row.accuracy, row.train_sec / ours_train);
+  }
+
+  bsbench::PrintSection("shape check");
+  double min_ml_train = 1e300, max_ml_train = 0.0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    min_ml_train = std::min(min_ml_train, rows[i].train_sec);
+    max_ml_train = std::max(max_ml_train, rows[i].train_sec);
+  }
+  std::printf("training speedup of ours vs ML baselines: %.0fx .. %.0fx\n",
+              min_ml_train / ours_train, max_ml_train / ours_train);
+  std::printf("statistical engine is fastest across the board: %s\n",
+              min_ml_train > ours_train ? "yes (the paper's ordering)" : "NO");
+  std::printf(
+      "note: the paper reports >=4 orders of magnitude against sklearn/Python\n"
+      "baselines; ours are native C++ reimplementations, so the gap here is the\n"
+      "algorithmic one (1.5-3.5 orders) without the interpreter overhead.\n"
+      "See EXPERIMENTS.md for the discussion.\n");
+
+  bsbench::PrintSection("google-benchmark runs for the statistical engine");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

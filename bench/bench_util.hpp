@@ -1,0 +1,56 @@
+// Shared helpers for the benchmark harnesses: fixed-width table printing and
+// simple wall-clock timing.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bsbench {
+
+inline void PrintRule(char c = '-', int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void PrintTitle(const std::string& title) {
+  PrintRule('=');
+  std::printf("%s\n", title.c_str());
+  PrintRule('=');
+}
+
+inline void PrintSection(const std::string& title) {
+  std::printf("\n");
+  PrintRule('-');
+  std::printf("%s\n", title.c_str());
+  PrintRule('-');
+}
+
+/// Wall time of `fn` in seconds.
+inline double TimeSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Median-of-repeats nanoseconds per call of `fn`, amortized over
+/// `inner_iterations` calls per repeat.
+inline double TimeNsPerCall(const std::function<void()>& fn, int inner_iterations = 100,
+                            int repeats = 5) {
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    const double sec = TimeSeconds([&]() {
+      for (int i = 0; i < inner_iterations; ++i) fn();
+    });
+    samples.push_back(sec * 1e9 / inner_iterations);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace bsbench

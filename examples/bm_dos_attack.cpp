@@ -1,0 +1,79 @@
+// BM-DoS walkthrough (§III of the paper): flood a mining node with bogus
+// BLOCK frames that fail the message checksum — maximum victim CPU cost,
+// zero ban-score consequence — and watch the mining rate collapse while the
+// attacker's connection stays "clean".
+//
+//   run: ./build/examples/bm_dos_attack
+#include <cstdio>
+
+#include "attack/bmdos.hpp"
+#include "core/node.hpp"
+
+using namespace bsnet;  // NOLINT
+
+int main() {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  bsim::CpuModel cpu;  // the victim's shared CPU (miner + networking)
+
+  NodeConfig config;
+  Node victim(sched, net, bsproto::Endpoint::ParseIp("10.0.0.1"), config, &cpu);
+  victim.Start();
+  cpu.SetActiveConnections(10);  // background Mainnet peers
+
+  bsattack::AttackerNode attacker(sched, net, bsproto::Endpoint::ParseIp("10.0.0.66"),
+                                  config.chain.magic);
+  bsattack::Crafter crafter(config.chain);
+
+  auto sample_mining = [&](const char* label) {
+    cpu.BeginWindow(sched.Now());
+    sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+    const auto sample = cpu.EndWindow(sched.Now());
+    std::printf("%-28s mining %8.3g h/s  (CPU busy %4.1f%%)\n", label,
+                sample.mining_rate_hps, 100 * sample.busy_fraction);
+    return sample.mining_rate_hps;
+  };
+
+  std::printf("== baseline ==\n");
+  const double baseline = sample_mining("no attack:");
+
+  std::printf("\n== bogus BLOCK flood, 1 Sybil connection ==\n");
+  bsattack::BmDosConfig bm;
+  bm.payload = bsattack::BmDosConfig::Payload::kBogusBlock;
+  bm.sybil_connections = 1;
+  bsattack::BmDosAttack flood(attacker, {victim.Ip(), 8333}, crafter, bm);
+  flood.Start();
+  cpu.SetActiveConnections(11);
+  sched.RunUntil(sched.Now() + 2 * bsim::kSecond);  // warm up
+  const double under_attack = sample_mining("bogus BLOCK flood:");
+
+  std::printf("\nattack effect: mining dropped %.0f%% "
+              "(paper: 9.5e5 -> 3.5e5 h/s, a 63%% drop)\n",
+              100.0 * (1.0 - under_attack / baseline));
+  std::printf("frames the victim burned CPU on and dropped: %llu\n",
+              static_cast<unsigned long long>(victim.FramesDroppedBadChecksum()));
+  int attacker_score = 0;
+  for (const Peer* peer : victim.Peers()) {
+    if (peer->remote.ip == attacker.Ip()) {
+      attacker_score = std::max(attacker_score, victim.Tracker().Score(peer->id));
+    }
+  }
+  std::printf("attacker's ban score at the victim: %d "
+              "(the tracker never saw a single misbehavior)\n",
+              attacker_score);
+  std::printf("peers banned by the victim: %llu  <- the ban score was useless\n",
+              static_cast<unsigned long long>(victim.PeersBanned()));
+
+  std::printf("\n== widen to 10 Sybil connections ==\n");
+  flood.Stop();
+  bm.sybil_connections = 10;
+  bsattack::BmDosAttack flood10(attacker, {victim.Ip(), 8333}, crafter, bm);
+  flood10.Start();
+  cpu.SetActiveConnections(20);
+  sched.RunUntil(sched.Now() + 2 * bsim::kSecond);
+  sample_mining("bogus BLOCK flood x10:");
+  std::printf("(paper: 2.8e5 h/s at 10 connections — the attacker process's\n"
+              " ~1e3 msg/s pipeline is shared, so extra Sybils add connection\n"
+              " overhead rather than message volume)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Defamation walkthrough (§IV of the paper): get an innocent peer banned by
+// the target node, both before it ever connects (pre-connection, via a fully
+// spoofed TCP session) and while it holds a live session (post-connection,
+// via Algorithm 1's sniff-and-inject).
+//
+//   run: ./build/examples/defamation_attack
+#include <cstdio>
+
+#include "attack/crafter.hpp"
+#include "attack/defamation.hpp"
+#include "core/node.hpp"
+
+using namespace bsnet;  // NOLINT
+
+int main() {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);  // a shared LAN segment: sniffing is possible
+
+  NodeConfig target_config;
+  target_config.target_outbound = 1;
+  Node target(sched, net, bsproto::Endpoint::ParseIp("10.0.0.1"), target_config);
+
+  NodeConfig peer_config;
+  peer_config.target_outbound = 0;
+  Node innocent(sched, net, bsproto::Endpoint::ParseIp("10.0.0.2"), peer_config);
+  Node spare(sched, net, bsproto::Endpoint::ParseIp("10.0.0.3"), peer_config);
+  innocent.Start();
+  spare.Start();
+  target.AddKnownAddress({innocent.Ip(), 8333});
+  target.AddKnownAddress({spare.Ip(), 8333});
+
+  bsattack::AttackerNode attacker(sched, net, bsproto::Endpoint::ParseIp("10.0.0.66"),
+                                  target_config.chain.magic);
+  bsattack::Crafter crafter(target_config.chain);
+
+  target.on_peer_banned = [&](const Peer& peer) {
+    std::printf("  target: BANNED %s\n", peer.remote.ToString().c_str());
+  };
+  target.on_outbound_reconnect = [&](const Endpoint& ep) {
+    std::printf("  target: reconnecting outbound slot -> %s "
+                "(the detection feature c ticks here)\n",
+                ep.ToString().c_str());
+  };
+
+  target.Start();
+  sched.RunUntil(5 * bsim::kSecond);
+
+  // --- Pre-connection Defamation --------------------------------------------
+  std::printf("== pre-connection Defamation ==\n");
+  std::printf("the attacker spoofs identifier 10.0.0.2:55555 before the innocent\n"
+              "host ever uses it: spoofed SYN, sniffed SYN-ACK, spoofed ACK, then\n"
+              "VERSION/VERACK and one SegWit-invalid TX (+100)\n");
+  const Endpoint innocent_id{innocent.Ip(), 55555};
+  bsattack::PreConnectionDefamation pre(
+      attacker, {target.Ip(), 8333}, innocent_id,
+      bsattack::PreConnectionDefamation::InstantBanFrames(target_config.chain.magic));
+  pre.Run();
+  sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+  std::printf("identifier %s banned at target: %s — and the innocent host never\n"
+              "sent a byte\n\n",
+              innocent_id.ToString().c_str(),
+              target.Bans().IsBanned(innocent_id, sched.Now()) ? "YES" : "no");
+
+  // --- Post-connection Defamation (Algorithm 1) ------------------------------
+  std::printf("== post-connection Defamation (Algorithm 1) ==\n");
+  sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+  const Peer* outbound = nullptr;
+  for (const Peer* p : target.Peers()) {
+    if (!p->inbound) outbound = p;
+  }
+  if (outbound == nullptr) {
+    std::printf("no outbound session formed; aborting\n");
+    return 1;
+  }
+  std::printf("target holds an outbound session to %s\n",
+              outbound->remote.ToString().c_str());
+  std::printf("the attacker eavesdrops the live TCP state (seq/ack) and injects a\n"
+              "misbehaving TX with the innocent peer's source endpoint...\n");
+
+  bsattack::PostConnectionDefamation post(attacker, outbound->conn->Local(),
+                                          outbound->remote);
+  post.Arm({bsproto::EncodeMessage(target_config.chain.magic,
+                                   crafter.SegwitInvalidTx())});
+  // Any traffic on the connection reveals the sequence numbers.
+  const std::uint32_t victim_ip = outbound->remote.ip;
+  if (victim_ip == innocent.Ip()) {
+    innocent.SendToRemoteIp(target.Ip(), bsproto::PingMsg{1});
+  } else {
+    spare.SendToRemoteIp(target.Ip(), bsproto::PingMsg{1});
+  }
+  sched.RunUntil(sched.Now() + 10 * bsim::kSecond);
+
+  std::printf("sequence learned: %s, injected: %s\n",
+              post.SequenceKnown() ? "yes" : "no", post.Injected() ? "yes" : "no");
+  std::printf("innocent outbound identifier banned: %s\n",
+              target.Bans().IsBanned(Endpoint{victim_ip, 8333}, sched.Now()) ? "YES"
+                                                                             : "no");
+  std::printf("target's outbound slots after the reconnect: %zu "
+              "(peer-table diversity shrank by one identifier)\n",
+              target.OutboundCount());
+  return 0;
+}

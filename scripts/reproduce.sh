@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# One-shot reproduction: configure, build, run the full test suite, then
+# regenerate every paper table/figure. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt
+
+echo
+echo "done: see test_output.txt and bench_output.txt"

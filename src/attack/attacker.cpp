@@ -1,0 +1,123 @@
+#include "attack/attacker.hpp"
+
+namespace bsattack {
+
+AttackerNode::AttackerNode(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
+                           std::uint32_t magic)
+    : bsim::Host(sched, net, ip), magic_(magic) {}
+
+AttackSession* AttackerNode::OpenSession(const Endpoint& target, bool auto_handshake,
+                                         std::uint16_t local_port) {
+  auto session = std::make_unique<AttackSession>();
+  AttackSession* raw = session.get();
+  raw->id = next_session_id_++;
+  raw->target = target;
+  raw->auto_handshake = auto_handshake;
+  raw->opened_at = Sched().Now();
+  sessions_.push_back(std::move(session));
+  ++sessions_opened_;
+
+  if (local_port == 0) local_port = AllocEphemeralPort();
+  raw->local = Endpoint{Ip(), local_port};
+
+  bsim::TcpConnection* conn = ConnectFrom(local_port, target, nullptr);
+  if (conn == nullptr) {
+    raw->closed = true;
+    return raw;
+  }
+  raw->conn = conn;
+
+  conn->on_connected = [this, raw, auto_handshake](bool ok) {
+    if (!ok) {
+      raw->closed = true;
+      raw->closed_at = Sched().Now();
+      if (raw->on_closed) raw->on_closed(*raw);
+      return;
+    }
+    raw->tcp_established = true;
+    if (raw->on_tcp_established) raw->on_tcp_established(*raw);
+    if (auto_handshake) Send(*raw, bsproto::VersionMsg{});
+  };
+  conn->on_data = [this, raw](bsutil::ByteSpan data) { HandleSessionData(*raw, data); };
+  conn->on_closed = [this, raw]() {
+    if (raw->closed) return;
+    raw->closed = true;
+    raw->conn = nullptr;
+    raw->closed_at = Sched().Now();
+    ++sessions_closed_;
+    if (raw->on_closed) raw->on_closed(*raw);
+  };
+  return raw;
+}
+
+void AttackerNode::HandleSessionData(AttackSession& session, bsutil::ByteSpan data) {
+  session.rx_buffer.insert(session.rx_buffer.end(), data.begin(), data.end());
+  std::size_t offset = 0;
+  while (true) {
+    const bsutil::ByteSpan rest(session.rx_buffer.data() + offset,
+                                session.rx_buffer.size() - offset);
+    const bsproto::DecodeResult frame = bsproto::DecodeMessage(magic_, rest);
+    if (frame.consumed == 0) break;
+    offset += frame.consumed;
+    if (frame.status != bsproto::DecodeStatus::kOk) continue;
+
+    if (session.on_message) session.on_message(session, frame.message);
+    const bool was_ready = session.SessionReady();
+    switch (bsproto::MsgTypeOf(frame.message)) {
+      case bsproto::MsgType::kVersion:
+        session.got_version = true;
+        // Complete the version handshake from our side — but only in auto
+        // mode; raw sessions control every byte themselves.
+        if (session.auto_handshake) Send(session, bsproto::VerackMsg{});
+        break;
+      case bsproto::MsgType::kVerack:
+        session.got_verack = true;
+        break;
+      case bsproto::MsgType::kPing:
+        // Stay alive: answer keepalives so long-running floods are not
+        // timed out by the target.
+        Send(session, bsproto::PongMsg{std::get<bsproto::PingMsg>(frame.message).nonce});
+        break;
+      default:
+        break;  // the attacker ignores everything else
+    }
+    if (!was_ready && session.SessionReady() && session.on_ready) {
+      session.on_ready(session);
+    }
+    if (session.closed) break;
+  }
+  session.rx_buffer.erase(session.rx_buffer.begin(),
+                          session.rx_buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+void AttackerNode::Send(AttackSession& session, const bsproto::Message& msg) {
+  SendRawFrame(session, bsproto::EncodeMessage(magic_, msg));
+}
+
+void AttackerNode::SendRawFrame(AttackSession& session, bsutil::ByteSpan frame) {
+  if (session.closed || session.conn == nullptr || !session.conn->IsEstablished()) return;
+  session.conn->Send(frame);
+  ++session.messages_sent;
+  session.bytes_sent += frame.size();
+  ++total_sent_;
+}
+
+void AttackerNode::CloseSession(AttackSession& session) {
+  if (session.closed || session.conn == nullptr) return;
+  session.closed = true;
+  session.closed_at = Sched().Now();
+  bsim::TcpConnection* conn = session.conn;
+  session.conn = nullptr;
+  conn->on_closed = nullptr;
+  conn->Reset();
+}
+
+std::vector<AttackSession*> AttackerNode::LiveSessions() {
+  std::vector<AttackSession*> out;
+  for (const auto& s : sessions_) {
+    if (!s->closed) out.push_back(s.get());
+  }
+  return out;
+}
+
+}  // namespace bsattack

@@ -1,0 +1,86 @@
+#include "attack/bmdos.hpp"
+
+#include <algorithm>
+
+namespace bsattack {
+
+BmDosAttack::BmDosAttack(AttackerNode& attacker, Endpoint target, Crafter& crafter,
+                         BmDosConfig config)
+    : attacker_(attacker), target_(target), crafter_(crafter), config_(config) {
+  effective_rate_ =
+      std::min(config_.rate_msgs_per_sec, bsnet::kBmDosPipelineCapMsgsPerSec);
+  send_interval_ = bsim::FromSeconds(1.0 / effective_rate_);
+  // Bogus frames are crafted once and replayed — that is why Table II's
+  // attacker cost for BLOCK is tiny (23 clocks: a buffer copy).
+  cached_bogus_frame_ =
+      crafter_.BogusBlockFrame(attacker_.Magic(), config_.bogus_payload_bytes);
+  cached_unknown_frame_ = crafter_.UnknownCommandFrame(attacker_.Magic(), 32);
+}
+
+void BmDosAttack::Start() {
+  running_ = true;
+  OpenSessions();
+  attacker_.Sched().After(send_interval_, [this]() { FloodTick(); });
+}
+
+void BmDosAttack::Stop() { running_ = false; }
+
+void BmDosAttack::OpenSessions() {
+  for (int i = 0; i < config_.sybil_connections; ++i) {
+    AttackSession* session = attacker_.OpenSession(target_, /*auto_handshake=*/true);
+    sessions_.push_back(session);
+  }
+}
+
+int BmDosAttack::ReadySessions() const {
+  int n = 0;
+  for (const AttackSession* s : sessions_) {
+    if (!s->closed && s->SessionReady()) ++n;
+  }
+  return n;
+}
+
+void BmDosAttack::FloodTick() {
+  if (!running_) return;
+  // Round-robin one message per tick across usable sessions: the shared
+  // pipeline budget of a single attacker process.
+  for (std::size_t probe = 0; probe < sessions_.size(); ++probe) {
+    AttackSession& session = *sessions_[next_session_];
+    next_session_ = (next_session_ + 1) % sessions_.size();
+    const bool usable =
+        !session.closed &&
+        (session.SessionReady() ||
+         config_.payload == BmDosConfig::Payload::kBogusBlock ||
+         config_.payload == BmDosConfig::Payload::kUnknownCommand);
+    if (usable) {
+      SendOne(session);
+      break;
+    }
+  }
+  attacker_.Sched().After(send_interval_, [this]() { FloodTick(); });
+}
+
+void BmDosAttack::SendOne(AttackSession& session) {
+  switch (config_.payload) {
+    case BmDosConfig::Payload::kPing:
+      attacker_.Send(session, bsproto::PingMsg{ping_nonce_++});
+      bytes_sent_ += 8 + bsproto::kHeaderSize;
+      break;
+    case BmDosConfig::Payload::kBogusBlock:
+      attacker_.SendRawFrame(session, cached_bogus_frame_);
+      bytes_sent_ += cached_bogus_frame_.size();
+      break;
+    case BmDosConfig::Payload::kUnknownCommand:
+      attacker_.SendRawFrame(session, cached_unknown_frame_);
+      bytes_sent_ += cached_unknown_frame_.size();
+      break;
+    case BmDosConfig::Payload::kInvalidPowBlock: {
+      const auto msg = crafter_.InvalidPowBlock(crafter_.Params().GenesisBlock().Hash());
+      attacker_.Send(session, msg);
+      break;
+    }
+  }
+  ++messages_sent_;
+}
+
+}  // namespace bsattack

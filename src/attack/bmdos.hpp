@@ -1,0 +1,70 @@
+// Bitcoin-Message-based DoS (BM-DoS) flooder — §III of the paper.
+//
+// Supported payloads map to the three ineffectiveness vectors:
+//   kPing          — a message type with no ban-score rule (vector 1);
+//   kUnknownCommand— a command outside the 26-type catalogue (vector 1);
+//   kBogusBlock    — a "block" frame with garbage payload and a wrong
+//                    checksum: maximum victim cost, zero ban risk (vector 2);
+//   kInvalidPowBlock — a parseable block failing PoW: punished with 100, so
+//                    it only works together with Sybil reconnection (vector 3).
+//
+// The flood rate is clamped to the attacker process's pipeline ceiling
+// (kBmDosPipelineCapMsgsPerSec): the paper found one python process cannot
+// exceed ~1e3 msg/s no matter how many Sybil sockets it runs, so Sybil
+// threads share the budget round-robin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/attacker.hpp"
+#include "attack/crafter.hpp"
+#include "core/costmodel.hpp"
+
+namespace bsattack {
+
+struct BmDosConfig {
+  enum class Payload { kPing, kBogusBlock, kUnknownCommand, kInvalidPowBlock };
+  Payload payload = Payload::kPing;
+  double rate_msgs_per_sec = bsnet::kBmDosPipelineCapMsgsPerSec;  // "no delay"
+  int sybil_connections = 1;
+  std::size_t bogus_payload_bytes = 60'000;
+};
+
+class BmDosAttack {
+ public:
+  BmDosAttack(AttackerNode& attacker, Endpoint target, Crafter& crafter,
+              BmDosConfig config);
+
+  /// Open the Sybil sessions and start flooding as each becomes usable.
+  void Start();
+  void Stop();
+
+  /// Rate after the pipeline clamp.
+  double EffectiveRate() const { return effective_rate_; }
+  std::uint64_t MessagesSent() const { return messages_sent_; }
+  std::uint64_t BytesSent() const { return bytes_sent_; }
+  int ReadySessions() const;
+
+ private:
+  void OpenSessions();
+  void FloodTick();
+  void SendOne(AttackSession& session);
+
+  AttackerNode& attacker_;
+  Endpoint target_;
+  Crafter& crafter_;
+  BmDosConfig config_;
+  double effective_rate_;
+  bsim::SimTime send_interval_;
+  bool running_ = false;
+  std::vector<AttackSession*> sessions_;
+  std::size_t next_session_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  bsutil::ByteVec cached_bogus_frame_;
+  bsutil::ByteVec cached_unknown_frame_;
+  std::uint64_t ping_nonce_ = 1;
+};
+
+}  // namespace bsattack

@@ -1,0 +1,193 @@
+#include "attack/crafter.hpp"
+
+namespace bsattack {
+
+using bsproto::Endpoint;
+
+bschain::Block Crafter::MineOn(const bscrypto::Hash256& prev) {
+  bschain::Block tmpl = bschain::BuildBlockTemplate(
+      prev, 1'600'000'100, {}, params_, extra_nonce_++);
+  auto mined = bschain::MineBlock(std::move(tmpl), params_, 10'000'000);
+  // Regtest difficulty: success is all but guaranteed within the budget.
+  return *mined;
+}
+
+bsproto::BlockMsg Crafter::ValidBlock(const bscrypto::Hash256& prev) {
+  return bsproto::BlockMsg{MineOn(prev)};
+}
+
+bsproto::BlockMsg Crafter::MutatedBlock(const bscrypto::Hash256& prev) {
+  bschain::Block block = MineOn(prev);
+  // Swap in a transaction the merkle root does not commit to, then re-grind
+  // the PoW so only the mutation check can reject it.
+  bschain::Transaction extra;
+  extra.inputs.push_back({});
+  extra.inputs[0].prevout.txid = bscrypto::Hash256::FromHex(
+      "00000000000000000000000000000000000000000000000000000000000000aa");
+  extra.inputs[0].prevout.index = 0;
+  extra.inputs[0].script_sig = bsutil::ToBytes("mutation");
+  extra.outputs.push_back({1000, bsutil::ToBytes("out")});
+  block.txs.push_back(extra);
+  // Keep header.merkle_root stale (mismatch == mutated) but fix the PoW.
+  block.header.nonce = 0;
+  while (!bschain::CheckProofOfWork(block.Hash(), block.header.bits, params_)) {
+    ++block.header.nonce;
+  }
+  return bsproto::BlockMsg{block};
+}
+
+bsproto::BlockMsg Crafter::PrevMissingBlock() {
+  bscrypto::Hash256 unknown_parent;
+  // A parent hash nobody has: random bytes with the top byte zeroed so it
+  // could plausibly be a PoW hash.
+  for (int i = 0; i < 31; ++i) unknown_parent.Data()[i] = static_cast<std::uint8_t>(rng_.Next());
+  unknown_parent.Data()[31] = 0;
+  return bsproto::BlockMsg{MineOn(unknown_parent)};
+}
+
+bsproto::BlockMsg Crafter::ChildOf(const bscrypto::Hash256& prev) {
+  return bsproto::BlockMsg{MineOn(prev)};
+}
+
+bsproto::BlockMsg Crafter::InvalidPowBlock(const bscrypto::Hash256& prev) {
+  bschain::Block tmpl = bschain::BuildBlockTemplate(
+      prev, 1'600'000'100, {}, params_, extra_nonce_++);
+  // Demand an absurdly small target: no nonce can satisfy it, and any hash
+  // fails CheckProofOfWork immediately.
+  tmpl.header.bits = 0x03000001;
+  return bsproto::BlockMsg{tmpl};
+}
+
+bsproto::TxMsg Crafter::SegwitInvalidTx() {
+  bschain::Transaction tx;
+  tx.inputs.push_back({});
+  tx.inputs[0].prevout.txid = bscrypto::Hash256::FromHex(
+      "00000000000000000000000000000000000000000000000000000000000000bb");
+  tx.inputs[0].prevout.index = static_cast<std::uint32_t>(rng_.Below(1000));
+  tx.inputs[0].script_sig = bsutil::ToBytes("sig");
+  tx.outputs.push_back({5000, bsutil::ToBytes("out")});
+  tx.witness.push_back({0x00});  // the failing witness-program marker
+  return bsproto::TxMsg{tx};
+}
+
+bsproto::TxMsg Crafter::ValidTx() {
+  bschain::Transaction tx;
+  tx.inputs.push_back({});
+  bscrypto::Hash256 prev;
+  for (int i = 0; i < 32; ++i) prev.Data()[i] = static_cast<std::uint8_t>(rng_.Next());
+  tx.inputs[0].prevout.txid = prev;
+  tx.inputs[0].prevout.index = 0;
+  tx.inputs[0].script_sig = bsutil::ToBytes("sig");
+  tx.outputs.push_back({static_cast<std::int64_t>(rng_.Range(1000, 100000)),
+                        bsutil::ToBytes("out")});
+  return bsproto::TxMsg{tx};
+}
+
+bsproto::AddrMsg Crafter::OversizeAddr() {
+  bsproto::AddrMsg msg;
+  msg.addresses.resize(bsproto::kMaxAddrToSend + 1);
+  for (std::size_t i = 0; i < msg.addresses.size(); ++i) {
+    msg.addresses[i].time = 1'600'000'000;
+    msg.addresses[i].addr.endpoint =
+        Endpoint{static_cast<std::uint32_t>(0x0a000000 + i), 8333};
+  }
+  return msg;
+}
+
+bsproto::InvMsg Crafter::OversizeInv() {
+  bsproto::InvMsg msg;
+  msg.inventory.resize(bsproto::kMaxInvEntries + 1);
+  for (auto& item : msg.inventory) item.type = bsproto::InvType::kTx;
+  return msg;
+}
+
+bsproto::GetDataMsg Crafter::OversizeGetData() {
+  bsproto::GetDataMsg msg;
+  msg.inventory.resize(bsproto::kMaxInvEntries + 1);
+  for (auto& item : msg.inventory) item.type = bsproto::InvType::kTx;
+  return msg;
+}
+
+bsproto::HeadersMsg Crafter::OversizeHeaders() {
+  bsproto::HeadersMsg msg;
+  msg.headers.resize(bsproto::kMaxHeadersResults + 1);
+  return msg;
+}
+
+bsproto::FilterLoadMsg Crafter::OversizeFilterLoad() {
+  bsproto::FilterLoadMsg msg;
+  msg.filter.assign(bsproto::kMaxBloomFilterSize + 1, 0xff);
+  msg.n_hash_funcs = 10;
+  return msg;
+}
+
+bsproto::FilterAddMsg Crafter::OversizeFilterAdd() {
+  bsproto::FilterAddMsg msg;
+  msg.data.assign(bsproto::kMaxScriptElementSize + 1, 0xab);
+  return msg;
+}
+
+bsproto::HeadersMsg Crafter::NonContinuousHeaders() {
+  bsproto::HeadersMsg msg;
+  bschain::BlockHeader a;
+  a.prev = params_.GenesisBlock().Hash();
+  a.bits = params_.target_bits;
+  a.time = 1'600'000'200;
+  bschain::BlockHeader b;
+  // b deliberately does NOT chain onto a.
+  b.prev = bscrypto::Hash256::FromHex(
+      "00000000000000000000000000000000000000000000000000000000000000cc");
+  b.bits = params_.target_bits;
+  b.time = 1'600'000'201;
+  msg.headers = {a, b};
+  return msg;
+}
+
+bsproto::HeadersMsg Crafter::NonConnectingHeaders() {
+  bsproto::HeadersMsg msg;
+  bschain::BlockHeader h;
+  bscrypto::Hash256 unknown;
+  for (int i = 0; i < 31; ++i) unknown.Data()[i] = static_cast<std::uint8_t>(rng_.Next());
+  h.prev = unknown;
+  h.bits = params_.target_bits;
+  h.time = 1'600'000'300;
+  // Keep the header's own PoW valid so only the connectivity check fires.
+  while (!bschain::CheckProofOfWork(h.Hash(), h.bits, params_)) ++h.nonce;
+  msg.headers = {h};
+  return msg;
+}
+
+bsproto::CmpctBlockMsg Crafter::InvalidCompactBlock(const bscrypto::Hash256& prev) {
+  bschain::Block block = MineOn(prev);
+  bsproto::CmpctBlockMsg msg = bsproto::BuildCompactBlock(block, rng_.Next());
+  // Duplicate short ids make the block unfillable: "invalid compact block
+  // data". Add two identical ids so the structural check trips.
+  msg.short_ids.push_back(0x123456);
+  msg.short_ids.push_back(0x123456);
+  return msg;
+}
+
+bsproto::GetBlockTxnMsg Crafter::OutOfBoundsGetBlockTxn(
+    const bscrypto::Hash256& block_hash, std::size_t tx_count) {
+  bsproto::GetBlockTxnMsg msg;
+  msg.block_hash = block_hash;
+  msg.indexes.push_back(tx_count + 100);  // beyond the block's transactions
+  return msg;
+}
+
+bsutil::ByteVec Crafter::BogusBlockFrame(std::uint32_t magic, std::size_t payload_size) {
+  bsutil::ByteVec payload(payload_size);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.Next());
+  // Force a checksum that cannot match the payload.
+  std::array<std::uint8_t, 4> wrong = bsproto::PayloadChecksum(payload);
+  wrong[0] ^= 0xff;
+  return bsproto::EncodeRaw(magic, "block", payload, &wrong);
+}
+
+bsutil::ByteVec Crafter::UnknownCommandFrame(std::uint32_t magic, std::size_t payload_size) {
+  bsutil::ByteVec payload(payload_size);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.Next());
+  return bsproto::EncodeRaw(magic, "bogus", payload);
+}
+
+}  // namespace bsattack

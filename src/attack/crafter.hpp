@@ -1,0 +1,86 @@
+// Misbehaving-message factory: one constructor per Table I rule, plus the
+// bogus-frame primitives of §III-B (bad checksum, unknown command). Used by
+// the attack scenarios, the rule-matrix tests, and bench_table1_rules (which
+// triggers every rule against a live node).
+#pragma once
+
+#include <cstdint>
+
+#include "chain/miner.hpp"
+#include "chain/pow.hpp"
+#include "proto/codec.hpp"
+#include "proto/compact.hpp"
+#include "proto/messages.hpp"
+#include "util/rng.hpp"
+
+namespace bsattack {
+
+/// Crafts messages that trigger specific misbehavior rules on a node running
+/// with the given chain parameters.
+class Crafter {
+ public:
+  explicit Crafter(const bschain::ChainParams& params, std::uint64_t seed = 7)
+      : params_(params), rng_(seed) {}
+
+  // ---- BLOCK rules ----
+  /// "Block data was mutated": valid PoW but merkle root != header root.
+  bsproto::BlockMsg MutatedBlock(const bscrypto::Hash256& prev);
+  /// "Previous block is missing": valid block on an unknown parent.
+  bsproto::BlockMsg PrevMissingBlock();
+  /// "Previous block is invalid": valid block whose parent is `invalid_prev`
+  /// (caller must have made the target cache that parent as invalid).
+  bsproto::BlockMsg ChildOf(const bscrypto::Hash256& prev);
+  /// A fully valid block on `prev` (for good-score feeding and relay tests).
+  bsproto::BlockMsg ValidBlock(const bscrypto::Hash256& prev);
+  /// A block that parses but fails PoW (bits demand an impossible target).
+  bsproto::BlockMsg InvalidPowBlock(const bscrypto::Hash256& prev);
+
+  // ---- TX rule ----
+  /// "Invalid by consensus rules of SegWit": witness item is the failing
+  /// 0x00 marker.
+  bsproto::TxMsg SegwitInvalidTx();
+  /// A valid transaction (mempool filler).
+  bsproto::TxMsg ValidTx();
+
+  // ---- Oversize rules ----
+  bsproto::AddrMsg OversizeAddr();           // > 1000 addresses
+  bsproto::InvMsg OversizeInv();             // > 50000 entries
+  bsproto::GetDataMsg OversizeGetData();     // > 50000 entries
+  bsproto::HeadersMsg OversizeHeaders();     // > 2000 headers
+  bsproto::FilterLoadMsg OversizeFilterLoad();  // > 36000 bytes
+  bsproto::FilterAddMsg OversizeFilterAdd();    // > 520 bytes
+
+  // ---- HEADERS disorder rules ----
+  /// "Non-continuous headers sequence": two headers that do not chain.
+  bsproto::HeadersMsg NonContinuousHeaders();
+  /// One non-connecting header (send kMaxUnconnectingHeaders times to fire
+  /// the "10 non-connecting headers" rule).
+  bsproto::HeadersMsg NonConnectingHeaders();
+
+  // ---- Compact-block rules ----
+  /// "Invalid compact block data": duplicate short ids under a valid header.
+  bsproto::CmpctBlockMsg InvalidCompactBlock(const bscrypto::Hash256& prev);
+  /// "Out-of-bounds transaction indices" for a block with `tx_count` txs.
+  bsproto::GetBlockTxnMsg OutOfBoundsGetBlockTxn(const bscrypto::Hash256& block_hash,
+                                                 std::size_t tx_count);
+
+  // ---- Bogus frames (§III-B vector 2: forgoing ban score) ----
+  /// A frame under the "block" command whose payload is `payload_size` bytes
+  /// of garbage and whose checksum is WRONG: the victim burns cycles hashing
+  /// it, then drops it before misbehavior tracking.
+  bsutil::ByteVec BogusBlockFrame(std::uint32_t magic, std::size_t payload_size);
+  /// A frame with an unknown command ("bogus"): parsed header, ignored body,
+  /// no rule can fire (§III-B vector 1 for non-catalogued commands).
+  bsutil::ByteVec UnknownCommandFrame(std::uint32_t magic, std::size_t payload_size);
+
+  const bschain::ChainParams& Params() const { return params_; }
+
+ private:
+  bschain::Block MineOn(const bscrypto::Hash256& prev);
+
+  bschain::ChainParams params_;
+  bsutil::Rng rng_;
+  std::uint64_t extra_nonce_ = 1000;
+};
+
+}  // namespace bsattack

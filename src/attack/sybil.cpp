@@ -1,0 +1,71 @@
+#include "attack/sybil.hpp"
+
+namespace bsattack {
+
+SerialSybilAttack::SerialSybilAttack(AttackerNode& attacker, Endpoint target,
+                                     SerialSybilConfig config)
+    : attacker_(attacker), target_(target), config_(config) {
+  const bsim::SimTime pipeline =
+      bsim::FromSeconds(1.0 / bsnet::kBmDosPipelineCapMsgsPerSec);
+  message_interval_ = pipeline + config_.extra_message_delay;
+}
+
+void SerialSybilAttack::Start() {
+  running_ = true;
+  NextIdentifier();
+}
+
+void SerialSybilAttack::Stop() { running_ = false; }
+
+void SerialSybilAttack::NextIdentifier() {
+  if (!running_) return;
+  if (static_cast<int>(records_.size()) >= config_.max_identifiers) {
+    finished_ = true;
+    running_ = false;
+    return;
+  }
+
+  AttackSession* session = attacker_.OpenSession(target_, /*auto_handshake=*/false);
+  const std::size_t record_index = records_.size();
+  records_.push_back(SybilIdentifierRecord{session->local, 0, 0, 0});
+
+  session->on_tcp_established = [this, session, record_index](AttackSession&) {
+    records_[record_index].flood_started = attacker_.Sched().Now();
+    SendTick(session, record_index);
+  };
+  session->on_closed = [this, record_index](AttackSession& s) {
+    // The target reset us: the identifier is banned. Set up the next socket
+    // after the observed per-socket setup latency.
+    records_[record_index].banned_at = attacker_.Sched().Now();
+    records_[record_index].messages_sent = s.messages_sent;
+    attacker_.Sched().After(config_.socket_setup_latency, [this]() { NextIdentifier(); });
+  };
+}
+
+void SerialSybilAttack::SendTick(AttackSession* session, std::size_t record_index) {
+  if (!running_ || session->closed) return;
+  attacker_.Send(*session, config_.payload);
+  records_[record_index].messages_sent = session->messages_sent;
+  attacker_.Sched().After(message_interval_,
+                          [this, session, record_index]() { SendTick(session, record_index); });
+}
+
+double SerialSybilAttack::MeanTimeToBan() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& rec : records_) {
+    if (rec.banned_at != 0) {
+      sum += rec.TimeToBanSeconds();
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+int SerialSybilAttack::IdentifiersBanned() const {
+  int n = 0;
+  for (const auto& rec : records_) n += rec.banned_at != 0 ? 1 : 0;
+  return n;
+}
+
+}  // namespace bsattack

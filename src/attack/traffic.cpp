@@ -1,0 +1,181 @@
+#include "attack/traffic.hpp"
+
+namespace bsattack {
+
+std::vector<TrafficMixEntry> DefaultTrafficMix() {
+  using Kind = TrafficMixEntry::Kind;
+  // Per-minute rates; the sum of direct sends ≈306, plus block-relay and
+  // churn side traffic, lands the target's arrival rate around 320/min.
+  return {
+      {Kind::kTx, 145.0},      {Kind::kInv, 78.0},        {Kind::kGetData, 25.0},
+      {Kind::kAddr, 15.0},     {Kind::kHeaders, 12.0},    {Kind::kGetHeaders, 10.0},
+      {Kind::kPing, 8.0},      {Kind::kPong, 8.0},        {Kind::kFeeFilter, 1.0},
+      {Kind::kSendHeaders, 1.0}, {Kind::kSendCmpct, 1.0}, {Kind::kNotFound, 1.0},
+      {Kind::kGetAddr, 1.0},   {Kind::kMineBlock, 1.2},   {Kind::kChurn, 0.5},
+  };
+}
+
+MainnetTrafficGenerator::MainnetTrafficGenerator(bsim::Scheduler& sched,
+                                                 std::vector<bsnet::Node*> peers,
+                                                 bsnet::Node& target, TrafficConfig config)
+    : sched_(sched),
+      peers_(std::move(peers)),
+      target_(target),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      crafter_(target.Config().chain, config_.seed ^ 0xabcd) {}
+
+void MainnetTrafficGenerator::Start() {
+  running_ = true;
+  for (std::size_t i = 0; i < config_.mix.size(); ++i) ScheduleEntry(i);
+}
+
+void MainnetTrafficGenerator::ScheduleEntry(std::size_t index) {
+  if (!running_) return;
+  const TrafficMixEntry& entry = config_.mix[index];
+  const double rate = entry.per_minute * config_.scale;
+  if (rate <= 0.0) return;
+  const double mean_gap_sec = 60.0 / rate;
+  sched_.After(bsim::FromSeconds(rng_.Exponential(mean_gap_sec)), [this, index]() {
+    if (!running_) return;
+    FireEntry(config_.mix[index]);
+    ++events_;
+    ScheduleEntry(index);
+  });
+}
+
+bsnet::Node* MainnetTrafficGenerator::RandomPeer() {
+  if (peers_.empty()) return nullptr;
+  return peers_[rng_.Below(peers_.size())];
+}
+
+bsnet::Node* MainnetTrafficGenerator::RandomConnectedPeer() {
+  const std::uint32_t target_ip = target_.Ip();
+  for (std::size_t attempt = 0; attempt < 4 * peers_.size() + 1; ++attempt) {
+    bsnet::Node* peer = RandomPeer();
+    if (peer == nullptr) return nullptr;
+    for (const bsnet::Peer* p : peer->Peers()) {
+      if (p->remote.ip == target_ip && p->HandshakeComplete()) return peer;
+    }
+  }
+  return nullptr;
+}
+
+void MainnetTrafficGenerator::FireEntry(const TrafficMixEntry& entry) {
+  using Kind = TrafficMixEntry::Kind;
+  bsnet::Node* peer = RandomConnectedPeer();
+  if (peer == nullptr) return;
+  const std::uint32_t target_ip = target_.Ip();
+
+  switch (entry.kind) {
+    case Kind::kTx: {
+      const bsproto::TxMsg tx = crafter_.ValidTx();
+      // The rest of the simulated Mainnet already knows this transaction:
+      // seed every peer's mempool so the target's own INV relay does not
+      // trigger a fetch cascade back at itself (on the real network peers
+      // hear transactions from many sources).
+      for (bsnet::Node* other : peers_) other->Pool().AcceptTransaction(tx.tx);
+      recent_txids_.push_back(tx.tx.Txid());
+      if (recent_txids_.size() > 1000) {
+        recent_txids_.erase(recent_txids_.begin(), recent_txids_.begin() + 500);
+      }
+      peer->SendToRemoteIp(target_ip, tx);
+      break;
+    }
+    case Kind::kInv: {
+      // Duplicate announcement of a transaction the target already has —
+      // the dominant INV pattern a well-connected node sees.
+      if (recent_txids_.empty()) break;
+      bsproto::InvMsg inv;
+      inv.inventory.push_back(
+          {bsproto::InvType::kTx, recent_txids_[rng_.Below(recent_txids_.size())]});
+      peer->SendToRemoteIp(target_ip, inv);
+      break;
+    }
+    case Kind::kGetData: {
+      bsproto::GetDataMsg gd;
+      gd.inventory.push_back({bsproto::InvType::kBlock, peer->Chain().TipHash()});
+      peer->SendToRemoteIp(target_ip, gd);
+      break;
+    }
+    case Kind::kAddr: {
+      bsproto::AddrMsg addr;
+      // Gossip real pool members so the target's address table stays usable.
+      const std::size_t count = 1 + rng_.Below(3);
+      for (std::size_t i = 0; i < count; ++i) {
+        bsnet::Node* other = RandomPeer();
+        bsproto::TimedNetAddr rec;
+        rec.time = static_cast<std::uint32_t>(sched_.Now() / bsim::kSecond);
+        rec.addr.services = bsproto::kNodeNetwork;
+        rec.addr.endpoint =
+            bsproto::Endpoint{other->Ip(), other->Config().listen_port};
+        addr.addresses.push_back(rec);
+      }
+      peer->SendToRemoteIp(target_ip, addr);
+      break;
+    }
+    case Kind::kHeaders: {
+      bsproto::HeadersMsg headers;
+      headers.headers = peer->Chain().HeadersAfter(bscrypto::Hash256{}, 8);
+      if (!headers.headers.empty()) peer->SendToRemoteIp(target_ip, headers);
+      break;
+    }
+    case Kind::kGetHeaders: {
+      bsproto::GetHeadersMsg gh;
+      gh.locator.push_back(peer->Chain().TipHash());
+      peer->SendToRemoteIp(target_ip, gh);
+      break;
+    }
+    case Kind::kPing:
+      peer->SendToRemoteIp(target_ip, bsproto::PingMsg{nonce_++});
+      break;
+    case Kind::kPong:
+      peer->SendToRemoteIp(target_ip, bsproto::PongMsg{nonce_++});
+      break;
+    case Kind::kFeeFilter:
+      peer->SendToRemoteIp(target_ip, bsproto::FeeFilterMsg{1000});
+      break;
+    case Kind::kSendHeaders:
+      peer->SendToRemoteIp(target_ip, bsproto::SendHeadersMsg{});
+      break;
+    case Kind::kSendCmpct:
+      peer->SendToRemoteIp(target_ip, bsproto::SendCmpctMsg{false, 1});
+      break;
+    case Kind::kNotFound: {
+      bsproto::NotFoundMsg nf;
+      bscrypto::Hash256 h;
+      for (int i = 0; i < 32; ++i) h.Data()[i] = static_cast<std::uint8_t>(rng_.Next());
+      nf.inventory.push_back({bsproto::InvType::kTx, h});
+      peer->SendToRemoteIp(target_ip, nf);
+      break;
+    }
+    case Kind::kGetAddr:
+      peer->SendToRemoteIp(target_ip, bsproto::GetAddrMsg{});
+      break;
+    case Kind::kMineBlock: {
+      const auto block = peer->MineAndRelay();
+      // The wider Mainnet learns the block out-of-band; pre-seeding the
+      // other peers prevents fetch cascades through the target.
+      if (block) {
+        for (bsnet::Node* other : peers_) {
+          if (other != peer) other->Chain().AcceptBlock(*block);
+        }
+      }
+      break;
+    }
+    case Kind::kChurn: {
+      // A remote peer drops its session with the target; if it was one of
+      // the target's outbound slots, the target reconnects (feature-c
+      // baseline churn).
+      for (const bsnet::Peer* p : peer->Peers()) {
+        if (p->remote.ip == target_ip) {
+          peer->DisconnectPeer(p->id);
+          break;
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace bsattack

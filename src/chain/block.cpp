@@ -1,0 +1,63 @@
+#include "chain/block.hpp"
+
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+
+namespace bschain {
+
+void BlockHeader::Serialize(bsutil::Writer& w) const {
+  w.WriteI32(version);
+  prev.Serialize(w);
+  merkle_root.Serialize(w);
+  w.WriteU32(time);
+  w.WriteU32(bits);
+  w.WriteU32(nonce);
+}
+
+BlockHeader BlockHeader::Deserialize(bsutil::Reader& r) {
+  BlockHeader h;
+  h.version = r.ReadI32();
+  h.prev = bscrypto::Hash256::Deserialize(r);
+  h.merkle_root = bscrypto::Hash256::Deserialize(r);
+  h.time = r.ReadU32();
+  h.bits = r.ReadU32();
+  h.nonce = r.ReadU32();
+  return h;
+}
+
+bscrypto::Hash256 BlockHeader::Hash() const {
+  bsutil::Writer w;
+  Serialize(w);
+  return bscrypto::Hash256{bscrypto::Sha256::HashD(w.Data())};
+}
+
+bscrypto::Hash256 Block::ComputeMerkleRoot(bool* mutated) const {
+  std::vector<bscrypto::Hash256> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& tx : txs) leaves.push_back(tx.Txid());
+  return bscrypto::MerkleRoot(leaves, mutated);
+}
+
+void Block::Serialize(bsutil::Writer& w) const {
+  header.Serialize(w);
+  w.WriteCompactSize(txs.size());
+  for (const auto& tx : txs) tx.Serialize(w);
+}
+
+Block Block::Deserialize(bsutil::Reader& r) {
+  Block b;
+  b.header = BlockHeader::Deserialize(r);
+  const std::uint64_t n = r.ReadCompactSize();
+  if (n > 1'000'000) throw bsutil::DeserializeError("too many block txs");
+  b.txs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) b.txs.push_back(Transaction::Deserialize(r));
+  return b;
+}
+
+bsutil::ByteVec Block::ToBytes() const {
+  bsutil::Writer w;
+  Serialize(w);
+  return w.TakeData();
+}
+
+}  // namespace bschain

@@ -1,0 +1,50 @@
+// Block header and block primitives with double-SHA256 block hashing and
+// merkle-root computation over txids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "crypto/hash256.hpp"
+#include "util/serialize.hpp"
+
+namespace bschain {
+
+/// The 80-byte block header. Its double-SHA256 is the block hash / PoW value.
+struct BlockHeader {
+  std::int32_t version = 1;
+  bscrypto::Hash256 prev;
+  bscrypto::Hash256 merkle_root;
+  std::uint32_t time = 0;
+  std::uint32_t bits = 0;
+  std::uint32_t nonce = 0;
+
+  bool operator==(const BlockHeader&) const = default;
+
+  bscrypto::Hash256 Hash() const;
+
+  void Serialize(bsutil::Writer& w) const;
+  static BlockHeader Deserialize(bsutil::Reader& r);
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> txs;
+
+  bool operator==(const Block&) const = default;
+
+  bscrypto::Hash256 Hash() const { return header.Hash(); }
+
+  /// Merkle root over txids; `mutated` reports the CVE-2012-2459 duplicate
+  /// pattern (see crypto/merkle.hpp).
+  bscrypto::Hash256 ComputeMerkleRoot(bool* mutated = nullptr) const;
+
+  void Serialize(bsutil::Writer& w) const;
+  static Block Deserialize(bsutil::Reader& r);
+
+  bsutil::ByteVec ToBytes() const;
+  std::size_t SerializedSize() const { return ToBytes().size(); }
+};
+
+}  // namespace bschain

@@ -1,0 +1,181 @@
+#include "chain/chainstate.hpp"
+
+namespace bschain {
+
+ChainState::ChainState(const ChainParams& params) : params_(params) {
+  const Block genesis = params_.GenesisBlock();
+  const bscrypto::Hash256 hash = genesis.Hash();
+  BlockIndexEntry entry;
+  entry.header = genesis.header;
+  entry.height = 0;
+  entry.valid = true;
+  entry.have_data = true;
+  index_.emplace(hash, entry);
+  blocks_.emplace(hash, genesis);
+  tip_ = hash;
+  genesis_ = hash;
+  tip_height_ = 0;
+}
+
+BlockResult ChainState::AcceptBlock(const Block& block) {
+  const bscrypto::Hash256 hash = block.Hash();
+
+  if (auto it = index_.find(hash); it != index_.end()) {
+    if (!it->second.valid) return BlockResult::kCachedInvalid;
+    if (it->second.have_data) return BlockResult::kDuplicate;
+  }
+
+  const BlockResult check = CheckBlock(block, params_);
+  if (check != BlockResult::kOk) {
+    // Cache the rejection keyed by block hash; note a PoW-invalid block
+    // cannot be usefully cached (its hash is trivially regenerated), which
+    // is precisely the bogus-BLOCK BM-DoS observation in the paper.
+    BlockIndexEntry entry;
+    entry.header = block.header;
+    entry.valid = false;
+    index_[hash] = entry;
+    return check;
+  }
+
+  const auto prev_it = index_.find(block.header.prev);
+  if (prev_it == index_.end()) return BlockResult::kPrevMissing;
+  if (!prev_it->second.valid) {
+    BlockIndexEntry entry;
+    entry.header = block.header;
+    entry.valid = false;
+    index_[hash] = entry;
+    return BlockResult::kPrevInvalid;
+  }
+
+  BlockIndexEntry entry;
+  entry.header = block.header;
+  entry.height = prev_it->second.height + 1;
+  entry.valid = true;
+  entry.have_data = true;
+  index_[hash] = entry;
+  blocks_[hash] = block;
+
+  if (entry.height > tip_height_) {
+    tip_ = hash;
+    tip_height_ = entry.height;
+  }
+  return BlockResult::kOk;
+}
+
+BlockResult ChainState::AcceptHeader(const BlockHeader& header) {
+  const bscrypto::Hash256 hash = header.Hash();
+  if (auto it = index_.find(hash); it != index_.end()) {
+    return it->second.valid ? BlockResult::kDuplicate : BlockResult::kCachedInvalid;
+  }
+  if (!CheckProofOfWork(hash, header.bits, params_)) return BlockResult::kInvalidPow;
+
+  const auto prev_it = index_.find(header.prev);
+  if (prev_it == index_.end()) return BlockResult::kPrevMissing;
+  if (!prev_it->second.valid) return BlockResult::kPrevInvalid;
+
+  BlockIndexEntry entry;
+  entry.header = header;
+  entry.height = prev_it->second.height + 1;
+  entry.valid = true;
+  entry.have_data = false;
+  index_[hash] = entry;
+  return BlockResult::kOk;
+}
+
+bool ChainState::HaveBlock(const bscrypto::Hash256& hash) const {
+  const auto it = index_.find(hash);
+  return it != index_.end() && it->second.have_data && it->second.valid;
+}
+
+bool ChainState::HaveHeader(const bscrypto::Hash256& hash) const {
+  const auto it = index_.find(hash);
+  return it != index_.end() && it->second.valid;
+}
+
+bool ChainState::IsKnownInvalid(const bscrypto::Hash256& hash) const {
+  const auto it = index_.find(hash);
+  return it != index_.end() && !it->second.valid;
+}
+
+std::optional<Block> ChainState::GetBlock(const bscrypto::Hash256& hash) const {
+  const auto it = blocks_.find(hash);
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<BlockIndexEntry> ChainState::GetEntry(const bscrypto::Hash256& hash) const {
+  const auto it = index_.find(hash);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ChainState::IsOnActiveChain(const bscrypto::Hash256& hash) const {
+  const auto target = index_.find(hash);
+  if (target == index_.end() || !target->second.valid) return false;
+  // Walk back from the tip to the target's height.
+  bscrypto::Hash256 cursor = tip_;
+  while (true) {
+    const auto it = index_.find(cursor);
+    if (it == index_.end()) return false;
+    if (it->second.height < target->second.height) return false;
+    if (cursor == hash) return true;
+    if (it->second.height == 0) return false;
+    cursor = it->second.header.prev;
+  }
+}
+
+std::vector<bscrypto::Hash256> ChainState::GetLocator() const {
+  // Active chain, tip first.
+  std::vector<bscrypto::Hash256> chain;
+  bscrypto::Hash256 cursor = tip_;
+  while (true) {
+    const auto it = index_.find(cursor);
+    if (it == index_.end()) break;
+    chain.push_back(cursor);
+    if (it->second.height == 0) break;
+    cursor = it->second.header.prev;
+  }
+  // Dense for the first 10, exponential afterwards, genesis always last.
+  std::vector<bscrypto::Hash256> locator;
+  std::size_t index = 0;
+  std::size_t step = 1;
+  while (index < chain.size()) {
+    locator.push_back(chain[index]);
+    if (locator.size() >= 10) step *= 2;
+    index += step;
+  }
+  if (locator.empty() || locator.back() != chain.back()) locator.push_back(chain.back());
+  return locator;
+}
+
+std::vector<BlockHeader> ChainState::HeadersAfterLocator(
+    const std::vector<bscrypto::Hash256>& locator, std::size_t max_count) const {
+  for (const bscrypto::Hash256& hash : locator) {
+    if (IsOnActiveChain(hash)) return HeadersAfter(hash, max_count);
+  }
+  // No common point known: serve everything above genesis (every peer is
+  // assumed to share it).
+  return HeadersAfter(genesis_, max_count);
+}
+
+std::vector<BlockHeader> ChainState::HeadersAfter(const bscrypto::Hash256& after,
+                                                  std::size_t max_count) const {
+  // Walk back from the tip collecting the active chain, then emit everything
+  // above `after` (or the whole chain when `after` is unknown/zero).
+  std::vector<BlockHeader> chain;
+  bscrypto::Hash256 cursor = tip_;
+  while (true) {
+    const auto it = index_.find(cursor);
+    if (it == index_.end()) break;
+    if (cursor == after) break;
+    chain.push_back(it->second.header);
+    if (it->second.height == 0) break;
+    cursor = it->second.header.prev;
+  }
+  // chain is tip..bottom; reverse and truncate.
+  std::vector<BlockHeader> out(chain.rbegin(), chain.rend());
+  if (out.size() > max_count) out.resize(max_count);
+  return out;
+}
+
+}  // namespace bschain

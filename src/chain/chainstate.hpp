@@ -1,0 +1,86 @@
+// Header tree + block index with the contextual acceptance logic that feeds
+// the ban-score rules: prev-missing, prev-invalid, and cached-invalid.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/validation.hpp"
+#include "crypto/hash256.hpp"
+
+namespace bschain {
+
+/// Per-block bookkeeping in the index.
+struct BlockIndexEntry {
+  BlockHeader header;
+  int height = 0;
+  bool valid = true;   // false once the block or an ancestor was rejected
+  bool have_data = false;  // full block vs header-only
+};
+
+/// Simplified chainstate: a block index keyed by hash, a best tip chosen by
+/// height, and header acceptance for HEADERS processing. There is no UTXO
+/// set — the experiments exercise the networking/validation plane, not
+/// script evaluation.
+class ChainState {
+ public:
+  explicit ChainState(const ChainParams& params);
+
+  const ChainParams& Params() const { return params_; }
+
+  /// Full contextual block acceptance. On success the block joins the index
+  /// (and possibly becomes the tip). Invalid blocks are cached as invalid so
+  /// a repeat offer returns kCachedInvalid, matching Bitcoin Core.
+  BlockResult AcceptBlock(const Block& block);
+
+  /// Header-only acceptance (for HEADERS messages): checks PoW and that the
+  /// header connects to a known header. Returns kPrevMissing when it does
+  /// not connect.
+  BlockResult AcceptHeader(const BlockHeader& header);
+
+  bool HaveBlock(const bscrypto::Hash256& hash) const;
+  bool HaveHeader(const bscrypto::Hash256& hash) const;
+  /// True if `hash` is in the index and marked invalid.
+  bool IsKnownInvalid(const bscrypto::Hash256& hash) const;
+
+  std::optional<Block> GetBlock(const bscrypto::Hash256& hash) const;
+  std::optional<BlockIndexEntry> GetEntry(const bscrypto::Hash256& hash) const;
+
+  const bscrypto::Hash256& TipHash() const { return tip_; }
+  int TipHeight() const { return tip_height_; }
+  const bscrypto::Hash256& GenesisHash() const { return genesis_; }
+
+  /// Headers from the active chain starting after `after` (used to answer
+  /// GETHEADERS); at most `max_count` entries.
+  std::vector<BlockHeader> HeadersAfter(const bscrypto::Hash256& after,
+                                        std::size_t max_count) const;
+
+  /// Headers after the first locator entry found on our active chain (the
+  /// full GETHEADERS semantics: locators list hashes newest-first with
+  /// exponential spacing; an unknown fork falls through to the next entry,
+  /// and an empty/no-match locator serves from genesis).
+  std::vector<BlockHeader> HeadersAfterLocator(
+      const std::vector<bscrypto::Hash256>& locator, std::size_t max_count) const;
+
+  /// Block locator for our tip: the last 10 chain hashes, then exponentially
+  /// spaced ancestors, ending at genesis (Bitcoin's CBlockLocator shape).
+  std::vector<bscrypto::Hash256> GetLocator() const;
+
+  /// True if `hash` lies on the current active chain.
+  bool IsOnActiveChain(const bscrypto::Hash256& hash) const;
+
+  std::size_t IndexSize() const { return index_.size(); }
+
+ private:
+  ChainParams params_;
+  std::unordered_map<bscrypto::Hash256, BlockIndexEntry, bscrypto::Hash256Hasher> index_;
+  std::unordered_map<bscrypto::Hash256, Block, bscrypto::Hash256Hasher> blocks_;
+  bscrypto::Hash256 tip_;
+  bscrypto::Hash256 genesis_;
+  int tip_height_ = 0;
+};
+
+}  // namespace bschain

@@ -1,0 +1,34 @@
+#include "chain/mempool.hpp"
+
+namespace bschain {
+
+TxResult Mempool::AcceptTransaction(const Transaction& tx) {
+  const TxResult result = CheckTransaction(tx, /*allow_coinbase=*/false);
+  if (result != TxResult::kOk) return result;
+  txs_.emplace(tx.Txid(), tx);
+  return TxResult::kOk;
+}
+
+bool Mempool::Contains(const bscrypto::Hash256& txid) const {
+  return txs_.contains(txid);
+}
+
+std::optional<Transaction> Mempool::Get(const bscrypto::Hash256& txid) const {
+  const auto it = txs_.find(txid);
+  if (it == txs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Transaction> Mempool::CollectForBlock(std::size_t max_count) const {
+  std::vector<Transaction> out;
+  out.reserve(std::min(max_count, txs_.size()));
+  for (const auto& [txid, tx] : txs_) {
+    if (out.size() >= max_count) break;
+    out.push_back(tx);
+  }
+  return out;
+}
+
+void Mempool::Remove(const bscrypto::Hash256& txid) { txs_.erase(txid); }
+
+}  // namespace bschain

@@ -1,0 +1,34 @@
+// Transaction memory pool with consensus admission checks.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "chain/validation.hpp"
+
+namespace bschain {
+
+class Mempool {
+ public:
+  /// Validate and admit a transaction. Duplicates are accepted idempotently
+  /// (returns kOk without re-adding).
+  TxResult AcceptTransaction(const Transaction& tx);
+
+  bool Contains(const bscrypto::Hash256& txid) const;
+  std::optional<Transaction> Get(const bscrypto::Hash256& txid) const;
+  std::size_t Size() const { return txs_.size(); }
+
+  /// Drain up to `max_count` transactions for block assembly (insertion order
+  /// is not preserved; ordering does not matter for our experiments).
+  std::vector<Transaction> CollectForBlock(std::size_t max_count) const;
+
+  void Remove(const bscrypto::Hash256& txid);
+  void Clear() { txs_.clear(); }
+
+ private:
+  std::unordered_map<bscrypto::Hash256, Transaction, bscrypto::Hash256Hasher> txs_;
+};
+
+}  // namespace bschain

@@ -1,0 +1,44 @@
+#include "chain/pow.hpp"
+
+namespace bschain {
+
+bool CheckProofOfWork(const bscrypto::Hash256& hash, std::uint32_t bits,
+                      const ChainParams& params) {
+  bool negative = false;
+  bool overflow = false;
+  const bscrypto::Hash256 target = bscrypto::Hash256::FromCompact(bits, &negative, &overflow);
+  if (negative || overflow || target.IsZero()) return false;
+  const bscrypto::Hash256 limit = bscrypto::Hash256::FromCompact(params.pow_limit_bits);
+  if (target > limit) return false;
+  return hash <= target;
+}
+
+Block ChainParams::GenesisBlock() const {
+  Block genesis;
+  Transaction coinbase;
+  coinbase.version = 1;
+  TxIn in;
+  in.prevout = OutPoint{};  // null outpoint marks a coinbase
+  in.script_sig = bsutil::ToBytes("banscore-repro genesis 2026");
+  coinbase.inputs.push_back(in);
+  TxOut out;
+  out.value = 50LL * 100'000'000LL;
+  out.script_pubkey = bsutil::ToBytes("genesis-output");
+  coinbase.outputs.push_back(out);
+  genesis.txs.push_back(coinbase);
+
+  genesis.header.version = 1;
+  genesis.header.prev = bscrypto::Hash256{};
+  genesis.header.merkle_root = genesis.ComputeMerkleRoot();
+  genesis.header.time = 1'600'000'000;
+  genesis.header.bits = target_bits;
+  genesis.header.nonce = 0;
+  // Grind the nonce so even the genesis block carries valid PoW. At regtest
+  // difficulty this terminates almost immediately.
+  while (!CheckProofOfWork(genesis.header.Hash(), genesis.header.bits, *this)) {
+    ++genesis.header.nonce;
+  }
+  return genesis;
+}
+
+}  // namespace bschain

@@ -1,0 +1,34 @@
+// Proof-of-work checking and consensus parameters for the simulated chain.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/block.hpp"
+#include "crypto/hash256.hpp"
+
+namespace bschain {
+
+/// Consensus parameters. The default is a "regtest-like" easy difficulty so
+/// blocks can be mined in-process during simulations and tests.
+struct ChainParams {
+  /// Highest (easiest) permissible target, compact-encoded.
+  std::uint32_t pow_limit_bits = 0x207fffff;  // regtest pow limit
+  /// Compact target every block must satisfy (no retargeting in our chain).
+  std::uint32_t target_bits = 0x207fffff;
+  /// Maximum serialized block size in bytes (the pre-SegWit 1 MB rule; a
+  /// sufficient model for the oversize checks our experiments exercise).
+  std::size_t max_block_size = 1'000'000;
+  /// Network magic for the wire protocol.
+  std::uint32_t magic = 0xfabfb5da;  // regtest magic
+
+  /// Deterministic genesis block for this parameter set.
+  Block GenesisBlock() const;
+};
+
+/// True iff `hash` (as a 256-bit LE integer) meets the compact target `bits`
+/// and `bits` is within `params.pow_limit_bits`. Mirrors Bitcoin Core's
+/// CheckProofOfWork, including the negative/overflow compact rejections.
+bool CheckProofOfWork(const bscrypto::Hash256& hash, std::uint32_t bits,
+                      const ChainParams& params);
+
+}  // namespace bschain

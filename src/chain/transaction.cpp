@@ -1,0 +1,121 @@
+#include "chain/transaction.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace bschain {
+
+void OutPoint::Serialize(bsutil::Writer& w) const {
+  txid.Serialize(w);
+  w.WriteU32(index);
+}
+
+OutPoint OutPoint::Deserialize(bsutil::Reader& r) {
+  OutPoint o;
+  o.txid = bscrypto::Hash256::Deserialize(r);
+  o.index = r.ReadU32();
+  return o;
+}
+
+void TxIn::Serialize(bsutil::Writer& w) const {
+  prevout.Serialize(w);
+  w.WriteVarBytes(script_sig);
+  w.WriteU32(sequence);
+}
+
+TxIn TxIn::Deserialize(bsutil::Reader& r) {
+  TxIn in;
+  in.prevout = OutPoint::Deserialize(r);
+  in.script_sig = r.ReadVarBytes(10'000);
+  in.sequence = r.ReadU32();
+  return in;
+}
+
+void TxOut::Serialize(bsutil::Writer& w) const {
+  w.WriteI64(value);
+  w.WriteVarBytes(script_pubkey);
+}
+
+TxOut TxOut::Deserialize(bsutil::Reader& r) {
+  TxOut out;
+  out.value = r.ReadI64();
+  out.script_pubkey = r.ReadVarBytes(10'000);
+  return out;
+}
+
+bool Transaction::HasWitness() const {
+  for (const auto& wit : witness) {
+    if (!wit.empty()) return true;
+  }
+  return false;
+}
+
+void Transaction::Serialize(bsutil::Writer& w, bool with_witness) const {
+  const bool use_witness = with_witness && HasWitness();
+  w.WriteI32(version);
+  if (use_witness) {
+    // BIP-144 marker (0x00) + flag (0x01).
+    w.WriteU8(0x00);
+    w.WriteU8(0x01);
+  }
+  w.WriteCompactSize(inputs.size());
+  for (const auto& in : inputs) in.Serialize(w);
+  w.WriteCompactSize(outputs.size());
+  for (const auto& out : outputs) out.Serialize(w);
+  if (use_witness) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      w.WriteVarBytes(i < witness.size() ? bsutil::ByteSpan(witness[i])
+                                         : bsutil::ByteSpan{});
+    }
+  }
+  w.WriteU32(lock_time);
+}
+
+Transaction Transaction::Deserialize(bsutil::Reader& r) {
+  Transaction tx;
+  tx.version = r.ReadI32();
+  std::uint64_t n_inputs = r.ReadCompactSize();
+  bool has_witness = false;
+  if (n_inputs == 0) {
+    // Either an empty-input transaction or the BIP-144 marker byte. Peek at
+    // the flag: 0x01 means witness framing follows.
+    const std::uint8_t flag = r.ReadU8();
+    if (flag != 0x01) throw bsutil::DeserializeError("bad witness flag");
+    has_witness = true;
+    n_inputs = r.ReadCompactSize();
+  }
+  if (n_inputs > 100'000) throw bsutil::DeserializeError("too many tx inputs");
+  tx.inputs.reserve(n_inputs);
+  for (std::uint64_t i = 0; i < n_inputs; ++i) tx.inputs.push_back(TxIn::Deserialize(r));
+  const std::uint64_t n_outputs = r.ReadCompactSize();
+  if (n_outputs > 100'000) throw bsutil::DeserializeError("too many tx outputs");
+  tx.outputs.reserve(n_outputs);
+  for (std::uint64_t i = 0; i < n_outputs; ++i) tx.outputs.push_back(TxOut::Deserialize(r));
+  if (has_witness) {
+    tx.witness.reserve(tx.inputs.size());
+    for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
+      tx.witness.push_back(r.ReadVarBytes(1'000'000));
+    }
+  }
+  tx.lock_time = r.ReadU32();
+  return tx;
+}
+
+bsutil::ByteVec Transaction::ToBytes(bool with_witness) const {
+  bsutil::Writer w;
+  Serialize(w, with_witness);
+  return w.TakeData();
+}
+
+std::size_t Transaction::SerializedSize(bool with_witness) const {
+  return ToBytes(with_witness).size();
+}
+
+bscrypto::Hash256 Transaction::Txid() const {
+  return bscrypto::Hash256{bscrypto::Sha256::HashD(ToBytes(/*with_witness=*/false))};
+}
+
+bscrypto::Hash256 Transaction::Wtxid() const {
+  return bscrypto::Hash256{bscrypto::Sha256::HashD(ToBytes(/*with_witness=*/true))};
+}
+
+}  // namespace bschain

@@ -1,0 +1,84 @@
+// Bitcoin transaction primitives: outpoints, inputs, outputs, and the
+// transaction itself with txid computation (double-SHA256 of the serialized
+// form) and an optional witness section for the SegWit consensus rule used
+// by the TX ban-score rule ("invalid by consensus rules of SegWit").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash256.hpp"
+#include "util/bytes.hpp"
+#include "util/serialize.hpp"
+
+namespace bschain {
+
+/// Maximum money supply in satoshis (21M BTC), the consensus value-range bound.
+constexpr std::int64_t kMaxMoney = 21'000'000LL * 100'000'000LL;
+
+/// Reference to a previous transaction output.
+struct OutPoint {
+  bscrypto::Hash256 txid;
+  std::uint32_t index = 0xffffffff;
+
+  bool IsNull() const { return txid.IsZero() && index == 0xffffffff; }
+  bool operator==(const OutPoint&) const = default;
+
+  void Serialize(bsutil::Writer& w) const;
+  static OutPoint Deserialize(bsutil::Reader& r);
+};
+
+struct TxIn {
+  OutPoint prevout;
+  bsutil::ByteVec script_sig;
+  std::uint32_t sequence = 0xffffffff;
+
+  bool operator==(const TxIn&) const = default;
+
+  void Serialize(bsutil::Writer& w) const;
+  static TxIn Deserialize(bsutil::Reader& r);
+};
+
+struct TxOut {
+  std::int64_t value = 0;  // satoshis
+  bsutil::ByteVec script_pubkey;
+
+  bool operator==(const TxOut&) const = default;
+
+  void Serialize(bsutil::Writer& w) const;
+  static TxOut Deserialize(bsutil::Reader& r);
+};
+
+/// A transaction. The witness is modelled as one byte vector per input
+/// (simplified from Bitcoin's script-witness stacks); a transaction with any
+/// non-empty witness serializes with the BIP-144 marker+flag framing.
+struct Transaction {
+  std::int32_t version = 2;
+  std::vector<TxIn> inputs;
+  std::vector<TxOut> outputs;
+  std::vector<bsutil::ByteVec> witness;  // parallel to inputs; may be empty
+  std::uint32_t lock_time = 0;
+
+  bool operator==(const Transaction&) const = default;
+
+  bool HasWitness() const;
+  bool IsCoinbase() const {
+    return inputs.size() == 1 && inputs[0].prevout.IsNull();
+  }
+
+  /// Txid: double-SHA256 of the serialization *without* witness data
+  /// (matching Bitcoin's txid/wtxid split).
+  bscrypto::Hash256 Txid() const;
+  /// Wtxid: double-SHA256 including witness framing.
+  bscrypto::Hash256 Wtxid() const;
+
+  /// Serialize; witness framing included only when `with_witness` and the
+  /// transaction has any witness data.
+  void Serialize(bsutil::Writer& w, bool with_witness = true) const;
+  static Transaction Deserialize(bsutil::Reader& r);
+
+  bsutil::ByteVec ToBytes(bool with_witness = true) const;
+  std::size_t SerializedSize(bool with_witness = true) const;
+};
+
+}  // namespace bschain

@@ -1,0 +1,105 @@
+#include "chain/validation.hpp"
+
+#include <set>
+
+namespace bschain {
+
+const char* ToString(TxResult r) {
+  switch (r) {
+    case TxResult::kOk: return "ok";
+    case TxResult::kNoInputs: return "no-inputs";
+    case TxResult::kNoOutputs: return "no-outputs";
+    case TxResult::kOversize: return "oversize";
+    case TxResult::kValueOutOfRange: return "value-out-of-range";
+    case TxResult::kDuplicateInputs: return "duplicate-inputs";
+    case TxResult::kNullPrevout: return "null-prevout";
+    case TxResult::kBadCoinbaseScript: return "bad-coinbase-script";
+    case TxResult::kSegwitInvalid: return "segwit-invalid";
+  }
+  return "?";
+}
+
+const char* ToString(BlockResult r) {
+  switch (r) {
+    case BlockResult::kOk: return "ok";
+    case BlockResult::kDuplicate: return "duplicate";
+    case BlockResult::kOversize: return "oversize";
+    case BlockResult::kInvalidPow: return "invalid-pow";
+    case BlockResult::kMutated: return "mutated";
+    case BlockResult::kBadCoinbase: return "bad-coinbase";
+    case BlockResult::kConsensusInvalid: return "consensus-invalid";
+    case BlockResult::kPrevMissing: return "prev-missing";
+    case BlockResult::kPrevInvalid: return "prev-invalid";
+    case BlockResult::kCachedInvalid: return "cached-invalid";
+  }
+  return "?";
+}
+
+TxResult CheckTransaction(const Transaction& tx, bool allow_coinbase) {
+  if (tx.inputs.empty()) return TxResult::kNoInputs;
+  if (tx.outputs.empty()) return TxResult::kNoOutputs;
+  if (tx.SerializedSize() > kMaxTxSize) return TxResult::kOversize;
+
+  std::int64_t total = 0;
+  for (const auto& out : tx.outputs) {
+    if (out.value < 0 || out.value > kMaxMoney) return TxResult::kValueOutOfRange;
+    total += out.value;
+    if (total > kMaxMoney) return TxResult::kValueOutOfRange;
+  }
+
+  std::set<std::pair<std::string, std::uint32_t>> seen;
+  for (const auto& in : tx.inputs) {
+    if (!seen.insert({in.prevout.txid.ToHex(), in.prevout.index}).second) {
+      return TxResult::kDuplicateInputs;
+    }
+  }
+
+  if (tx.IsCoinbase()) {
+    if (!allow_coinbase) return TxResult::kNullPrevout;
+    const std::size_t len = tx.inputs[0].script_sig.size();
+    if (len < 2 || len > 100) return TxResult::kBadCoinbaseScript;
+    if (tx.HasWitness()) return TxResult::kSegwitInvalid;
+  } else {
+    for (const auto& in : tx.inputs) {
+      if (in.prevout.IsNull()) return TxResult::kNullPrevout;
+    }
+  }
+
+  if (tx.HasWitness()) {
+    if (tx.witness.size() != tx.inputs.size()) return TxResult::kSegwitInvalid;
+    for (const auto& item : tx.witness) {
+      if (item.empty()) return TxResult::kSegwitInvalid;
+      if (item.size() > kMaxWitnessItemSize) return TxResult::kSegwitInvalid;
+      if (item.size() == 1 && item[0] == 0x00) return TxResult::kSegwitInvalid;
+    }
+  }
+
+  return TxResult::kOk;
+}
+
+BlockResult CheckBlock(const Block& block, const ChainParams& params) {
+  if (block.txs.empty()) return BlockResult::kBadCoinbase;
+  if (block.SerializedSize() > params.max_block_size) return BlockResult::kOversize;
+  if (!CheckProofOfWork(block.Hash(), block.header.bits, params)) {
+    return BlockResult::kInvalidPow;
+  }
+
+  bool mutated = false;
+  const bscrypto::Hash256 root = block.ComputeMerkleRoot(&mutated);
+  if (mutated || root != block.header.merkle_root) return BlockResult::kMutated;
+
+  if (!block.txs[0].IsCoinbase()) return BlockResult::kBadCoinbase;
+  for (std::size_t i = 1; i < block.txs.size(); ++i) {
+    if (block.txs[i].IsCoinbase()) return BlockResult::kBadCoinbase;
+  }
+
+  for (std::size_t i = 0; i < block.txs.size(); ++i) {
+    if (CheckTransaction(block.txs[i], /*allow_coinbase=*/i == 0) != TxResult::kOk) {
+      return BlockResult::kConsensusInvalid;
+    }
+  }
+
+  return BlockResult::kOk;
+}
+
+}  // namespace bschain

@@ -1,0 +1,62 @@
+// Context-free block and transaction validation with result codes that map
+// one-to-one onto the Table I ban-score rules (mutated / prev-invalid /
+// prev-missing / cached-invalid / SegWit-consensus-invalid / oversize).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chain/block.hpp"
+#include "chain/pow.hpp"
+#include "chain/transaction.hpp"
+
+namespace bschain {
+
+/// Transaction validation outcomes.
+enum class TxResult {
+  kOk,
+  kNoInputs,
+  kNoOutputs,
+  kOversize,
+  kValueOutOfRange,
+  kDuplicateInputs,
+  kNullPrevout,        // non-coinbase input referencing the null outpoint
+  kBadCoinbaseScript,  // coinbase scriptSig length out of [2, 100]
+  kSegwitInvalid,      // violates our modelled SegWit consensus rules
+};
+
+/// Block validation outcomes.
+enum class BlockResult {
+  kOk,
+  kDuplicate,       // already have this block, and it is valid
+  kOversize,
+  kInvalidPow,
+  kMutated,         // merkle mismatch or CVE-2012-2459 duplicate pattern
+  kBadCoinbase,     // missing/misplaced coinbase
+  kConsensusInvalid,  // some transaction fails consensus checks
+  kPrevMissing,     // previous block unknown (ban score 10 in Table I)
+  kPrevInvalid,     // previous block known-invalid (ban score 100)
+  kCachedInvalid,   // this exact block was already rejected (100, outbound)
+};
+
+const char* ToString(TxResult r);
+const char* ToString(BlockResult r);
+
+/// Consensus checks on a lone transaction.
+///
+/// The SegWit rule is modelled (see DESIGN.md): the witness vector, when
+/// present, must have exactly one entry per input, each entry must be
+/// non-empty, at most `kMaxWitnessItemSize` bytes, and must not be the
+/// single byte 0x00 (our stand-in for a failing witness program). Coinbase
+/// transactions must not carry witness data here.
+TxResult CheckTransaction(const Transaction& tx, bool allow_coinbase = false);
+
+constexpr std::size_t kMaxWitnessItemSize = 11'000;
+constexpr std::size_t kMaxTxSize = 400'000;
+
+/// Context-free block checks: size, PoW, coinbase placement, merkle/mutation,
+/// per-transaction consensus. Contextual checks (prev-missing/invalid,
+/// cached-invalid) live in ChainState::AcceptBlock.
+BlockResult CheckBlock(const Block& block, const ChainParams& params);
+
+}  // namespace bschain

@@ -1,0 +1,23 @@
+#include "core/addrman.hpp"
+
+namespace bsnet {
+
+void AddrMan::Add(const Endpoint& addr) {
+  if (order_.size() >= kMaxSize) return;
+  if (set_.insert(addr).second) order_.push_back(addr);
+}
+
+void AddrMan::AddMany(const std::vector<Endpoint>& addrs) {
+  for (const Endpoint& a : addrs) Add(a);
+}
+
+std::vector<Endpoint> AddrMan::Sample(std::size_t count) {
+  std::vector<Endpoint> out;
+  if (order_.empty()) return out;
+  count = std::min(count, order_.size());
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(order_[rng_.Below(order_.size())]);
+  return out;
+}
+
+}  // namespace bsnet

@@ -1,0 +1,58 @@
+// Peer address table (simplified addrman). The node draws outbound
+// connection candidates from here; Defamation shrinks the usable pool, which
+// is the "peer-table diversity" impact §VI-D measures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/netaddr.hpp"
+#include "util/rng.hpp"
+
+namespace bsnet {
+
+using bsproto::Endpoint;
+
+class AddrMan {
+ public:
+  explicit AddrMan(std::uint64_t seed = 1) : rng_(seed) {}
+
+  /// Add a candidate address; duplicates are ignored. Capped at `kMaxSize`.
+  void Add(const Endpoint& addr);
+  void AddMany(const std::vector<Endpoint>& addrs);
+
+  bool Contains(const Endpoint& addr) const { return set_.contains(addr); }
+  std::size_t Size() const { return order_.size(); }
+
+  /// Uniformly random candidate not in `exclude` and not rejected by
+  /// `is_usable` (the node passes a ban-and-connected filter). Returns
+  /// nullopt when the table has no usable entry — the diversity-exhaustion
+  /// outcome of a full-IP Defamation.
+  template <typename Pred>
+  std::optional<Endpoint> Select(Pred is_usable) {
+    if (order_.empty()) return std::nullopt;
+    // Bounded random probing, then a linear fallback scan for determinism.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const Endpoint& cand = order_[rng_.Below(order_.size())];
+      if (is_usable(cand)) return cand;
+    }
+    for (const Endpoint& cand : order_) {
+      if (is_usable(cand)) return cand;
+    }
+    return std::nullopt;
+  }
+
+  /// Random sample of up to `count` addresses (GETADDR responses).
+  std::vector<Endpoint> Sample(std::size_t count);
+
+  static constexpr std::size_t kMaxSize = 16'384;
+
+ private:
+  bsutil::Rng rng_;
+  std::unordered_set<Endpoint, bsproto::EndpointHasher> set_;
+  std::vector<Endpoint> order_;
+};
+
+}  // namespace bsnet

@@ -1,0 +1,106 @@
+#include "core/banman.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/serialize.hpp"
+
+namespace bsnet {
+
+namespace {
+// Format tag so stale/foreign files are rejected cleanly.
+constexpr std::uint32_t kBanListMagic = 0x42414e31;  // "BAN1"
+}  // namespace
+
+void BanMan::Ban(const Endpoint& who, bsim::SimTime until) {
+  auto [it, inserted] = bans_.emplace(who, until);
+  if (!inserted) it->second = std::max(it->second, until);
+}
+
+bool BanMan::IsBanned(const Endpoint& who, bsim::SimTime now) const {
+  const auto it = bans_.find(who);
+  return it != bans_.end() && it->second > now;
+}
+
+bsim::SimTime BanMan::BanExpiry(const Endpoint& who) const {
+  const auto it = bans_.find(who);
+  return it == bans_.end() ? 0 : it->second;
+}
+
+void BanMan::SweepExpired(bsim::SimTime now) {
+  std::erase_if(bans_, [now](const auto& kv) { return kv.second <= now; });
+}
+
+std::size_t BanMan::BannedPortsOf(std::uint32_t ip, bsim::SimTime now) const {
+  std::size_t count = 0;
+  for (const auto& [ep, until] : bans_) {
+    if (ep.ip == ip && until > now) ++count;
+  }
+  return count;
+}
+
+std::vector<Endpoint> BanMan::Snapshot() const {
+  std::vector<Endpoint> out;
+  out.reserve(bans_.size());
+  for (const auto& [ep, until] : bans_) out.push_back(ep);
+  return out;
+}
+
+bsutil::ByteVec BanMan::Serialize() const {
+  bsutil::Writer w;
+  w.WriteU32(kBanListMagic);
+  w.WriteCompactSize(bans_.size());
+  for (const auto& [ep, until] : bans_) {
+    w.WriteU32(ep.ip);
+    w.WriteU16(ep.port);
+    w.WriteI64(until);
+  }
+  return w.TakeData();
+}
+
+bool BanMan::Deserialize(bsutil::ByteSpan data, bsim::SimTime now) {
+  try {
+    bsutil::Reader r(data);
+    if (r.ReadU32() != kBanListMagic) return false;
+    const std::uint64_t count = r.ReadCompactSize();
+    if (count > 10'000'000) return false;  // allocation guard
+    std::unordered_map<Endpoint, bsim::SimTime, bsproto::EndpointHasher> loaded;
+    loaded.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Endpoint ep;
+      ep.ip = r.ReadU32();
+      ep.port = r.ReadU16();
+      const bsim::SimTime until = r.ReadI64();
+      if (until > now) loaded.emplace(ep, until);
+    }
+    if (!r.AtEnd()) return false;
+    bans_ = std::move(loaded);
+    return true;
+  } catch (const bsutil::DeserializeError&) {
+    return false;
+  }
+}
+
+bool BanMan::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bsutil::ByteVec data = Serialize();
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool BanMan::LoadFromFile(const std::string& path, bsim::SimTime now) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  bsutil::ByteVec data;
+  std::uint8_t buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + got);
+  }
+  std::fclose(f);
+  return Deserialize(data, now);
+}
+
+}  // namespace bsnet

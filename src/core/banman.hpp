@@ -1,0 +1,67 @@
+// Ban manager: the banning filter of Fig. 2. Bans are keyed by the peer
+// connection identifier [IP:Port] (the paper's definition) and expire after
+// the configured banning period (24 h by default).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/netaddr.hpp"
+#include "sim/time.hpp"
+#include "util/bytes.hpp"
+
+namespace bsnet {
+
+using bsproto::Endpoint;
+
+class BanMan {
+ public:
+  /// Ban `who` until `until` (absolute sim time). Re-banning extends.
+  void Ban(const Endpoint& who, bsim::SimTime until);
+  /// Lift a ban early.
+  void Unban(const Endpoint& who) { bans_.erase(who); }
+
+  bool IsBanned(const Endpoint& who, bsim::SimTime now) const;
+
+  /// Expiry time for `who`, or 0 when not banned.
+  bsim::SimTime BanExpiry(const Endpoint& who) const;
+
+  /// Remove expired entries (the node sweeps periodically).
+  void SweepExpired(bsim::SimTime now);
+
+  std::size_t Size() const { return bans_.size(); }
+  /// Count of banned identifiers with the given IP (any port).
+  std::size_t BannedPortsOf(std::uint32_t ip, bsim::SimTime now) const;
+  std::vector<Endpoint> Snapshot() const;
+
+  // ---- Discouragement (Bitcoin Core 0.21+ semantics) ----
+  // After the paper's disclosure, Core replaced automatic banning with
+  // "discouragement": misbehaving peers are marked by IP (not [IP:Port]),
+  // the mark does not expire until restart, and discouraged inbound
+  // connections are refused. Exposed as an optional node mode so the
+  // version-semantics ablation can compare the two regimes.
+  void Discourage(std::uint32_t ip) { discouraged_ips_.insert(ip); }
+  bool IsDiscouraged(std::uint32_t ip) const { return discouraged_ips_.contains(ip); }
+  std::size_t DiscouragedCount() const { return discouraged_ips_.size(); }
+  void ClearDiscouraged() { discouraged_ips_.clear(); }
+
+  // ---- Persistence (the banlist.dat analogue) ----
+  /// Serialize all entries (including expired ones; Load sweeps them).
+  bsutil::ByteVec Serialize() const;
+  /// Replace the current contents with a serialized ban list. Entries
+  /// already expired at `now` are dropped. Returns false on malformed input
+  /// (contents are then unchanged).
+  bool Deserialize(bsutil::ByteSpan data, bsim::SimTime now);
+  /// Convenience file round-trip; returns false on I/O or format errors.
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path, bsim::SimTime now);
+
+ private:
+  std::unordered_map<Endpoint, bsim::SimTime, bsproto::EndpointHasher> bans_;
+  std::unordered_set<std::uint32_t> discouraged_ips_;  // not persisted, as in Core
+};
+
+}  // namespace bsnet

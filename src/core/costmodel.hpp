@@ -1,0 +1,69 @@
+// Calibrated processing-cost model.
+//
+// Two kinds of numbers live here:
+//
+//  1. The paper's Table II per-message clock-cycle measurements (attacker
+//     craft cost and victim application-layer processing cost, Bitcoin Core
+//     0.20.0 on a 4 GHz i7). The simulator charges these against the shared
+//     CPU so the scenario benches reproduce the paper's mining-rate figures.
+//     The *real* costs of our own implementation are measured separately by
+//     bench_table2_impact_cost; this table is the testbed-faithful model.
+//
+//  2. Attacker-side resource curves fitted to Table III (python BM-DoS tool
+//     and hping ICMP flooder CPU%/memory vs flood rate).
+//
+// Both are substitutions documented in DESIGN.md: we cannot rerun the
+// authors' testbed, so we encode its measured behaviour as the cost ground
+// truth and reproduce the derived experiments on top.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/constants.hpp"
+
+namespace bsnet {
+
+/// Double-SHA256 checksum cost per payload byte (cycles). Charged for every
+/// arriving frame — including bogus ones — because the checksum is computed
+/// before anything else; this is what makes large bogus BLOCKs expensive for
+/// the victim even though they never reach validation.
+constexpr double kChecksumCyclesPerByte = 15.0;
+
+/// Table II: mean clock cycles for the attacker to craft one message of this
+/// type (python-bitcoinlib attacker).
+double AttackerCraftCycles(bsproto::MsgType type);
+
+/// Table II: mean clock cycles for the victim's application layer to process
+/// one valid message of this type (excludes the checksum and stack overhead,
+/// which the CpuModel adds separately).
+double VictimProcessCycles(bsproto::MsgType type);
+
+/// Impact-cost ratio as defined in §VI-A.
+double ImpactCostRatio(bsproto::MsgType type);
+
+// ---------------------------------------------------------------------------
+// Attacker-side resource curves (Table III fits).
+
+/// CPU% of the python BM-DoS attacker at `msgs_per_sec` (GIL-bound,
+/// saturates ≈6.6%): fitted through Table III's (1e2, 1.3%) and (1e3, 4.7%).
+double PythonAttackerCpuPercent(double msgs_per_sec);
+
+/// Resident memory of the python attacker (constant, Table III).
+constexpr double kPythonAttackerMemMb = 14.34;
+
+/// CPU% of the hping ICMP flooder at `pkts_per_sec` (saturating timer loop):
+/// fitted through Table III's ICMP column.
+double HpingAttackerCpuPercent(double pkts_per_sec);
+
+/// Resident memory of hping (constant, Table III).
+constexpr double kHpingAttackerMemMb = 2.048;
+
+/// The paper's observed BM-DoS pipeline ceiling: one attacker process cannot
+/// push more than this many Bitcoin messages per second before the socket
+/// pipeline breaks (§VI-C). Sybil threads within one process share it.
+constexpr double kBmDosPipelineCapMsgsPerSec = 1'000.0;
+
+/// Network-layer flooders reach this rate (hping, §VI-C).
+constexpr double kIcmpFloodCapPktsPerSec = 1'000'000.0;
+
+}  // namespace bsnet

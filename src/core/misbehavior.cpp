@@ -1,0 +1,69 @@
+#include "core/misbehavior.hpp"
+
+namespace bsnet {
+
+const char* ToString(BanPolicy p) {
+  switch (p) {
+    case BanPolicy::kBanScore: return "ban-score";
+    case BanPolicy::kThresholdInfinity: return "threshold-infinity";
+    case BanPolicy::kDisabled: return "disabled";
+    case BanPolicy::kGoodScore: return "good-score";
+  }
+  return "?";
+}
+
+MisbehaviorOutcome MisbehaviorTracker::Misbehaving(std::uint64_t peer_id, bool inbound,
+                                                   Misbehavior what) {
+  MisbehaviorOutcome outcome;
+
+  // "Disabling the checking": the entire function body is gone.
+  if (policy_ == BanPolicy::kDisabled) return outcome;
+
+  const auto rule = GetRule(version_, what);
+  if (!rule) return outcome;  // rule absent in this Core version
+
+  // Scope gating (Table I "Object of Ban").
+  if (rule->scope == PeerScope::kInbound && !inbound) return outcome;
+  if (rule->scope == PeerScope::kOutbound && inbound) return outcome;
+
+  PeerScore& score = scores_[peer_id];
+  score.misbehavior += rule->score;
+
+  outcome.rule_applied = true;
+  outcome.score_delta = rule->score;
+  outcome.total_score = score.misbehavior;
+
+  if (score.misbehavior < threshold_) return outcome;
+
+  switch (policy_) {
+    case BanPolicy::kBanScore:
+      outcome.should_ban = true;
+      break;
+    case BanPolicy::kThresholdInfinity:
+      // Threshold check commented out: score grows forever, no ban.
+      break;
+    case BanPolicy::kGoodScore:
+      // Credit-bearing peers are exempt; everyone else is banned as usual.
+      outcome.should_ban = score.good_score < good_score_exemption_;
+      break;
+    case BanPolicy::kDisabled:
+      break;  // unreachable; handled above
+  }
+  return outcome;
+}
+
+void MisbehaviorTracker::AddGoodScore(std::uint64_t peer_id, int delta) {
+  scores_[peer_id].good_score += delta;
+}
+
+int MisbehaviorTracker::Score(std::uint64_t peer_id) const {
+  const auto it = scores_.find(peer_id);
+  return it == scores_.end() ? 0 : it->second.misbehavior;
+}
+
+int MisbehaviorTracker::GoodScore(std::uint64_t peer_id) const {
+  const auto it = scores_.find(peer_id);
+  return it == scores_.end() ? 0 : it->second.good_score;
+}
+
+}  // namespace bsnet

@@ -1,0 +1,78 @@
+// Misbehavior tracking — our reimplementation of PeerManager::Misbehaving
+// plus the countermeasure policies the paper proposes in §VIII:
+//
+//   kBanScore          — stock behaviour: accumulate, ban at threshold.
+//   kThresholdInfinity — "ban score threshold to ∞": keep tracking, never
+//                        ban (the lines-1059-1062-commented-out variant).
+//   kDisabled          — "disabling the checking": Misbehaving is a no-op
+//                        (the whole-function-commented-out variant).
+//   kGoodScore         — the good-score mechanism: peers that have delivered
+//                        valid blocks accrue credit; a peer whose good score
+//                        meets the exemption threshold is never banned.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "core/rules.hpp"
+
+namespace bsnet {
+
+enum class BanPolicy { kBanScore, kThresholdInfinity, kDisabled, kGoodScore };
+
+const char* ToString(BanPolicy p);
+
+/// Per-peer score state.
+struct PeerScore {
+  int misbehavior = 0;
+  int good_score = 0;
+};
+
+/// What Misbehaving() decided.
+struct MisbehaviorOutcome {
+  bool rule_applied = false;  // a rule existed in this version and scope matched
+  int score_delta = 0;
+  int total_score = 0;
+  bool should_ban = false;  // threshold crossed and policy allows banning
+};
+
+/// Tracks scores per peer id. The node owns one tracker; peer ids are the
+/// node's internal peer identifiers (score state dies with the connection,
+/// as in Core — the *ban* outlives it via BanMan).
+class MisbehaviorTracker {
+ public:
+  MisbehaviorTracker(CoreVersion version, BanPolicy policy, int threshold,
+                     int good_score_exemption = 1)
+      : version_(version),
+        policy_(policy),
+        threshold_(threshold),
+        good_score_exemption_(good_score_exemption) {}
+
+  CoreVersion Version() const { return version_; }
+  BanPolicy Policy() const { return policy_; }
+  int Threshold() const { return threshold_; }
+
+  /// Attribute `what` to peer `peer_id` (whose direction is `inbound`).
+  /// Applies version/scope gating, the active policy, and threshold logic.
+  MisbehaviorOutcome Misbehaving(std::uint64_t peer_id, bool inbound, Misbehavior what);
+
+  /// Good-score credit (valid BLOCK delivered), per §VIII.
+  void AddGoodScore(std::uint64_t peer_id, int delta = 1);
+
+  int Score(std::uint64_t peer_id) const;
+  int GoodScore(std::uint64_t peer_id) const;
+
+  /// Drop a disconnected peer's state.
+  void Forget(std::uint64_t peer_id) { scores_.erase(peer_id); }
+
+ private:
+  CoreVersion version_;
+  BanPolicy policy_;
+  int threshold_;
+  int good_score_exemption_;
+  std::unordered_map<std::uint64_t, PeerScore> scores_;
+};
+
+}  // namespace bsnet

@@ -1,0 +1,825 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+
+#include "crypto/partial_merkle.hpp"
+#include "util/log.hpp"
+
+namespace bsnet {
+
+using bsproto::Message;
+using bsproto::MsgType;
+
+Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
+           NodeConfig config, bsim::CpuModel* cpu)
+    : bsim::Host(sched, net, ip),
+      config_(std::move(config)),
+      cpu_(cpu),
+      rng_(config_.rng_seed ^ ip),
+      chain_(config_.chain),
+      tracker_(config_.core_version, config_.ban_policy, config_.ban_threshold,
+               config_.good_score_exemption) {}
+
+Node::~Node() = default;
+
+void Node::Start() {
+  Listen(config_.listen_port, [this](bsim::TcpConnection& conn) { AcceptInbound(conn); });
+  maintenance_running_ = true;
+  MaintainOutbound();
+}
+
+// ---------------------------------------------------------------------------
+// Connection management
+
+void Node::AcceptInbound(bsim::TcpConnection& conn) {
+  // The banning filter: a banned identifier cannot reconnect (Fig. 2).
+  // Discouraged IPs (0.21+ mode) are refused wholesale.
+  if (banman_.IsBanned(conn.Remote(), Sched().Now()) ||
+      banman_.IsDiscouraged(conn.Remote().ip)) {
+    conn.Reset();
+    return;
+  }
+  if (InboundCount() >= static_cast<std::size_t>(config_.max_inbound)) {
+    conn.Reset();
+    return;
+  }
+  RegisterPeer(conn, /*inbound=*/true);
+}
+
+bool Node::ConnectTo(const Endpoint& remote) {
+  if (banman_.IsBanned(remote, Sched().Now())) return false;
+  if (banman_.IsDiscouraged(remote.ip)) return false;
+  if (outbound_targets_.contains(remote)) return false;
+  if (remote.ip == Ip()) return false;
+
+  outbound_targets_.insert(remote);
+  ++pending_outbound_;
+  bsim::TcpConnection* conn = Connect(remote, nullptr);
+  if (conn == nullptr) {
+    --pending_outbound_;
+    outbound_targets_.erase(remote);
+    return false;
+  }
+  // Handshake completion is event-driven; the SYN cannot be answered before
+  // we return, so wiring the callback after Connect() is race-free.
+  conn->on_connected = [this, conn, remote](bool ok) {
+    --pending_outbound_;
+    if (!ok) {
+      outbound_targets_.erase(remote);
+      return;
+    }
+    Peer& peer = RegisterPeer(*conn, /*inbound=*/false);
+    // Outbound side opens the version handshake.
+    peer.sent_version = true;
+    SendTo(peer, MakeVersionMsg(peer));
+  };
+  return true;
+}
+
+Peer& Node::RegisterPeer(bsim::TcpConnection& conn, bool inbound) {
+  auto peer = std::make_unique<Peer>();
+  const std::uint64_t id = next_peer_id_++;
+  peer->id = id;
+  peer->remote = conn.Remote();
+  peer->inbound = inbound;
+  peer->conn = &conn;
+  Peer* raw = peer.get();
+  peers_.emplace(id, std::move(peer));
+
+  conn.on_data = [this, id](bsutil::ByteSpan data) { OnData(id, data); };
+  conn.on_closed = [this, id, inbound]() { RemovePeer(id, /*was_outbound=*/!inbound); };
+  return *raw;
+}
+
+void Node::RemovePeer(std::uint64_t id, bool was_outbound) {
+  const auto it = peers_.find(id);
+  if (it == peers_.end()) return;
+  if (was_outbound) outbound_targets_.erase(it->second->remote);
+  pending_compact_.erase(id);
+  tracker_.Forget(id);
+  peers_.erase(it);
+}
+
+void Node::DisconnectPeer(std::uint64_t id) {
+  const auto it = peers_.find(id);
+  if (it == peers_.end()) return;
+  bsim::TcpConnection* conn = it->second->conn;
+  const bool was_outbound = !it->second->inbound;
+  // Detach callbacks before resetting so the close event does not re-enter.
+  conn->on_data = nullptr;
+  conn->on_closed = nullptr;
+  RemovePeer(id, was_outbound);
+  conn->Reset();
+}
+
+void Node::DropAndRebuildConnections() {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(peers_.size());
+  for (const auto& [id, peer] : peers_) ids.push_back(id);
+  for (std::uint64_t id : ids) DisconnectPeer(id);
+  // MaintainOutbound refills on its next tick.
+}
+
+void Node::MaintainOutbound() {
+  if (!maintenance_running_) return;
+  const bsim::SimTime now = Sched().Now();
+  banman_.SweepExpired(now);
+
+  // Keepalive and inactivity handling (both opt-in via config).
+  if (config_.ping_interval > 0 || config_.inactivity_timeout > 0) {
+    std::vector<std::uint64_t> to_disconnect;
+    for (auto& [id, peer] : peers_) {
+      if (!peer->HandshakeComplete()) continue;
+      if (config_.inactivity_timeout > 0 && peer->last_recv_time > 0 &&
+          now - peer->last_recv_time >= config_.inactivity_timeout) {
+        to_disconnect.push_back(id);
+        continue;
+      }
+      if (config_.ping_interval > 0 &&
+          now - peer->last_ping_sent >= config_.ping_interval) {
+        peer->outstanding_ping_nonce = rng_.Next() | 1;  // never 0
+        peer->last_ping_sent = now;
+        SendTo(*peer, bsproto::PingMsg{peer->outstanding_ping_nonce});
+      }
+    }
+    for (std::uint64_t id : to_disconnect) DisconnectPeer(id);
+  }
+
+  while (OutboundCount() + static_cast<std::size_t>(pending_outbound_) <
+         static_cast<std::size_t>(config_.target_outbound)) {
+    const auto candidate = addrman_.Select([this](const Endpoint& ep) {
+      return !banman_.IsBanned(ep, Sched().Now()) && !outbound_targets_.contains(ep) &&
+             ep.ip != Ip();
+    });
+    if (!candidate) break;  // peer-table diversity exhausted
+    const bool counts_as_reconnect = initial_outbound_fill_done_;
+    if (!ConnectTo(*candidate)) break;
+    if (counts_as_reconnect) {
+      ++outbound_reconnects_;
+      if (on_outbound_reconnect) on_outbound_reconnect(*candidate);
+    }
+  }
+  if (OutboundCount() >= static_cast<std::size_t>(config_.target_outbound)) {
+    initial_outbound_fill_done_ = true;
+  }
+  Sched().After(config_.maintenance_interval, [this]() { MaintainOutbound(); });
+}
+
+std::size_t Node::InboundCount() const {
+  std::size_t n = 0;
+  for (const auto& [id, peer] : peers_) n += peer->inbound ? 1 : 0;
+  return n;
+}
+
+std::size_t Node::OutboundCount() const {
+  std::size_t n = 0;
+  for (const auto& [id, peer] : peers_) n += peer->inbound ? 0 : 1;
+  return n;
+}
+
+std::vector<const Peer*> Node::Peers() const {
+  std::vector<const Peer*> out;
+  out.reserve(peers_.size());
+  for (const auto& [id, peer] : peers_) out.push_back(peer.get());
+  return out;
+}
+
+Peer* Node::FindPeerByRemote(const Endpoint& remote) {
+  for (auto& [id, peer] : peers_) {
+    if (peer->remote == remote) return peer.get();
+  }
+  return nullptr;
+}
+
+const Peer* Node::FindPeerById(std::uint64_t id) const {
+  const auto it = peers_.find(id);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// Receive pipeline
+
+void Node::OnData(std::uint64_t peer_id, bsutil::ByteSpan data) {
+  auto it = peers_.find(peer_id);
+  if (it == peers_.end()) return;
+  Peer& peer = *it->second;
+  peer.rx_buffer.insert(peer.rx_buffer.end(), data.begin(), data.end());
+  peer.bytes_received += data.size();
+
+  std::size_t offset = 0;
+  while (true) {
+    // The peer may be banned (destroyed) by frame processing; re-validate.
+    auto it2 = peers_.find(peer_id);
+    if (it2 == peers_.end()) return;
+    Peer& live = *it2->second;
+
+    const bsutil::ByteSpan rest(live.rx_buffer.data() + offset,
+                                live.rx_buffer.size() - offset);
+    const bsproto::DecodeResult frame =
+        bsproto::DecodeMessage(config_.chain.magic, rest);
+    if (frame.consumed == 0) break;  // incomplete frame
+    offset += frame.consumed;
+    ProcessFrame(live, frame);
+  }
+
+  auto it3 = peers_.find(peer_id);
+  if (it3 == peers_.end()) return;
+  bsutil::ByteVec& buf = it3->second->rx_buffer;
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame) {
+  using bsproto::DecodeStatus;
+
+  // Checksum verification cost is paid for every complete frame, valid or
+  // not: the victim hashes the payload before it can tell.
+  const double checksum_cycles =
+      static_cast<double>(frame.header.length) * kChecksumCyclesPerByte;
+
+  if (on_frame) on_frame(bsproto::kHeaderSize + frame.header.length, frame.status);
+
+  switch (frame.status) {
+    case DecodeStatus::kOk:
+      break;
+    case DecodeStatus::kBadChecksum:
+      ++peer.frames_bad_checksum;
+      ++frames_bad_checksum_;
+      if (cpu_) cpu_->ConsumeMessage(checksum_cycles);
+      // The bogus-message loophole: dropped with no ban-score consequence —
+      // unless the ablation flips the order and punishes it.
+      if (!config_.checksum_before_misbehavior) {
+        ApplyMisbehavior(peer, Misbehavior::kBadChecksumFrame);
+      }
+      return;
+    case DecodeStatus::kUnknownCommand:
+      ++peer.frames_unknown_command;
+      ++frames_unknown_;
+      if (cpu_) cpu_->ConsumeMessage(checksum_cycles);
+      return;  // ignored, never punished
+    case DecodeStatus::kMalformed:
+    case DecodeStatus::kOversize:
+    case DecodeStatus::kBadMagic:
+      ++peer.frames_malformed;
+      if (cpu_) cpu_->ConsumeMessage(checksum_cycles);
+      return;  // dropped silently (no Table I rule)
+    case DecodeStatus::kNeedMoreData:
+      return;
+  }
+
+  const MsgType type = bsproto::MsgTypeOf(frame.message);
+  if (cpu_) cpu_->ConsumeMessage(checksum_cycles + VictimProcessCycles(type));
+
+  ++peer.messages_received;
+  ++total_messages_;
+  ++message_counts_[type];
+  peer.last_recv_time = Sched().Now();
+  if (on_message) on_message(peer, type, frame.header.length);
+
+  ProcessMessage(peer, frame.message);
+}
+
+bool Node::ApplyMisbehavior(Peer& peer, Misbehavior what) {
+  const MisbehaviorOutcome outcome = tracker_.Misbehaving(peer.id, peer.inbound, what);
+  if (outcome.rule_applied && on_misbehavior) on_misbehavior(peer, what, outcome);
+  if (!outcome.should_ban) return false;
+
+  ++peers_banned_;
+  if (config_.use_discouragement) {
+    banman_.Discourage(peer.remote.ip);
+  } else {
+    banman_.Ban(peer.remote, Sched().Now() + config_.ban_duration);
+  }
+  if (on_peer_banned) on_peer_banned(peer);
+  DisconnectPeer(peer.id);  // destroys `peer`
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+
+void Node::ProcessMessage(Peer& peer, const Message& msg) {
+  const MsgType type = bsproto::MsgTypeOf(msg);
+
+  // ---- Handshake-state rules (Table I VERSION/VERACK rows) ----
+  if (!peer.got_version) {
+    if (type != MsgType::kVersion) {
+      // "Message before VERSION": +1 (inbound, ≤0.21); message ignored.
+      ApplyMisbehavior(peer, Misbehavior::kMessageBeforeVersion);
+      return;
+    }
+    HandleVersion(peer, std::get<bsproto::VersionMsg>(msg));
+    return;
+  }
+  if (type == MsgType::kVersion) {
+    // "Duplicate VERSION": +1 (inbound, ≤0.21); message ignored.
+    ApplyMisbehavior(peer, Misbehavior::kVersionDuplicate);
+    return;
+  }
+  if (!peer.got_verack) {
+    if (type == MsgType::kVerack) {
+      HandleVerack(peer);
+      return;
+    }
+    // "Message (other than VERSION) before VERACK": +1 (inbound, 0.20 only).
+    ApplyMisbehavior(peer, Misbehavior::kMessageBeforeVerack);
+    return;
+  }
+
+  // ---- Established message handlers ----
+  switch (type) {
+    case MsgType::kVerack:
+      return;  // redundant verack, ignored
+    case MsgType::kPing:
+      SendTo(peer, bsproto::PongMsg{std::get<bsproto::PingMsg>(msg).nonce});
+      return;
+    case MsgType::kPong: {
+      const auto& pong = std::get<bsproto::PongMsg>(msg);
+      if (peer.outstanding_ping_nonce != 0 &&
+          pong.nonce == peer.outstanding_ping_nonce) {
+        peer.last_pong_rtt = Sched().Now() - peer.last_ping_sent;
+        peer.outstanding_ping_nonce = 0;
+      }
+      return;
+    }
+    case MsgType::kAddr:
+      HandleAddr(peer, std::get<bsproto::AddrMsg>(msg));
+      return;
+    case MsgType::kInv:
+      HandleInv(peer, std::get<bsproto::InvMsg>(msg));
+      return;
+    case MsgType::kGetData:
+      HandleGetData(peer, std::get<bsproto::GetDataMsg>(msg));
+      return;
+    case MsgType::kGetHeaders:
+      HandleGetHeaders(peer, std::get<bsproto::GetHeadersMsg>(msg));
+      return;
+    case MsgType::kGetBlocks:
+      HandleGetBlocks(peer, std::get<bsproto::GetBlocksMsg>(msg));
+      return;
+    case MsgType::kHeaders:
+      HandleHeaders(peer, std::get<bsproto::HeadersMsg>(msg));
+      return;
+    case MsgType::kTx:
+      HandleTx(peer, std::get<bsproto::TxMsg>(msg));
+      return;
+    case MsgType::kBlock:
+      HandleBlock(peer, std::get<bsproto::BlockMsg>(msg));
+      return;
+    case MsgType::kCmpctBlock:
+      HandleCmpctBlock(peer, std::get<bsproto::CmpctBlockMsg>(msg));
+      return;
+    case MsgType::kGetBlockTxn:
+      HandleGetBlockTxn(peer, std::get<bsproto::GetBlockTxnMsg>(msg));
+      return;
+    case MsgType::kBlockTxn:
+      HandleBlockTxn(peer, std::get<bsproto::BlockTxnMsg>(msg));
+      return;
+    case MsgType::kFilterLoad:
+      HandleFilterLoad(peer, std::get<bsproto::FilterLoadMsg>(msg));
+      return;
+    case MsgType::kFilterAdd:
+      HandleFilterAdd(peer, std::get<bsproto::FilterAddMsg>(msg));
+      return;
+    case MsgType::kFilterClear:
+      peer.filter_loaded = false;
+      peer.filter.reset();
+      return;
+    case MsgType::kGetAddr:
+      HandleGetAddr(peer);
+      return;
+    case MsgType::kMempool:
+      HandleMempool(peer);
+      return;
+    // No ban-score rules and no state to update: accepted silently. These
+    // (with PING/PONG above) are the "messages never getting banned" of
+    // §III-B.
+    case MsgType::kNotFound:
+    case MsgType::kSendHeaders:
+    case MsgType::kFeeFilter:
+    case MsgType::kSendCmpct:
+    case MsgType::kMerkleBlock:
+    case MsgType::kReject:
+      return;
+    case MsgType::kVersion:
+      return;  // handled above
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+
+bsproto::VersionMsg Node::MakeVersionMsg(const Peer& peer) {
+  bsproto::VersionMsg msg;
+  msg.version = config_.protocol_version;
+  msg.services = config_.services;
+  msg.timestamp = static_cast<std::int64_t>(Sched().Now() / bsim::kSecond);
+  msg.addr_recv.endpoint = peer.remote;
+  msg.addr_from.endpoint = Endpoint{Ip(), config_.listen_port};
+  msg.nonce = rng_.Next();
+  msg.start_height = chain_.TipHeight();
+  return msg;
+}
+
+void Node::HandleVersion(Peer& peer, const bsproto::VersionMsg& msg) {
+  peer.got_version = true;
+  peer.peer_protocol_version = msg.version;
+  if (peer.inbound && !peer.sent_version) {
+    peer.sent_version = true;
+    SendTo(peer, MakeVersionMsg(peer));
+  }
+  SendTo(peer, bsproto::VerackMsg{});
+}
+
+void Node::HandleVerack(Peer& peer) {
+  peer.got_verack = true;
+  // Outbound peers open header sync once the session is up.
+  if (!peer.inbound) {
+    bsproto::GetHeadersMsg gh;
+    gh.locator = chain_.GetLocator();
+    SendTo(peer, gh);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gossip / inventory
+
+void Node::HandleAddr(Peer& peer, const bsproto::AddrMsg& msg) {
+  if (msg.addresses.size() > bsproto::kMaxAddrToSend) {
+    ApplyMisbehavior(peer, Misbehavior::kAddrOversize);
+    return;
+  }
+  for (const auto& rec : msg.addresses) addrman_.Add(rec.addr.endpoint);
+}
+
+void Node::HandleInv(Peer& peer, const bsproto::InvMsg& msg) {
+  if (msg.inventory.size() > bsproto::kMaxInvEntries) {
+    ApplyMisbehavior(peer, Misbehavior::kInvOversize);
+    return;
+  }
+  bsproto::GetDataMsg request;
+  for (const auto& item : msg.inventory) {
+    switch (item.type) {
+      case bsproto::InvType::kBlock:
+      case bsproto::InvType::kWitnessBlock:
+        if (!chain_.HaveBlock(item.hash) && !chain_.IsKnownInvalid(item.hash)) {
+          request.inventory.push_back(item);
+        }
+        break;
+      case bsproto::InvType::kTx:
+      case bsproto::InvType::kWitnessTx:
+        if (!mempool_.Contains(item.hash)) request.inventory.push_back(item);
+        break;
+      default:
+        break;
+    }
+  }
+  if (!request.inventory.empty()) SendTo(peer, request);
+}
+
+void Node::HandleGetData(Peer& peer, const bsproto::GetDataMsg& msg) {
+  if (msg.inventory.size() > bsproto::kMaxInvEntries) {
+    ApplyMisbehavior(peer, Misbehavior::kGetDataOversize);
+    return;
+  }
+  bsproto::NotFoundMsg misses;
+  for (const auto& item : msg.inventory) {
+    switch (item.type) {
+      case bsproto::InvType::kBlock:
+      case bsproto::InvType::kWitnessBlock: {
+        if (const auto block = chain_.GetBlock(item.hash)) {
+          SendTo(peer, bsproto::BlockMsg{*block});
+        } else {
+          misses.inventory.push_back(item);
+        }
+        break;
+      }
+      case bsproto::InvType::kCmpctBlock: {
+        if (const auto block = chain_.GetBlock(item.hash)) {
+          SendTo(peer, bsproto::BuildCompactBlock(*block, rng_.Next()));
+        } else {
+          misses.inventory.push_back(item);
+        }
+        break;
+      }
+      case bsproto::InvType::kFilteredBlock: {
+        // BIP-37: a filtered block is a MERKLEBLOCK proof over the peer's
+        // loaded bloom filter, followed by the matched transactions.
+        const auto block = chain_.GetBlock(item.hash);
+        if (!block || !peer.filter) {
+          misses.inventory.push_back(item);
+          break;
+        }
+        std::vector<bscrypto::Hash256> txids;
+        std::vector<bool> matches;
+        std::vector<const bschain::Transaction*> matched_txs;
+        txids.reserve(block->txs.size());
+        for (const auto& tx : block->txs) {
+          txids.push_back(tx.Txid());
+          const bool match = peer.filter->MatchesTx(tx);
+          matches.push_back(match);
+          if (match) matched_txs.push_back(&tx);
+        }
+        const bscrypto::PartialMerkleTree proof(txids, matches);
+        bsproto::MerkleBlockMsg mb;
+        mb.header = block->header;
+        mb.total_txs = static_cast<std::uint32_t>(block->txs.size());
+        mb.hashes = proof.Hashes();
+        mb.flags = proof.FlagBytes();
+        SendTo(peer, mb);
+        for (const bschain::Transaction* tx : matched_txs) {
+          SendTo(peer, bsproto::TxMsg{*tx});
+        }
+        break;
+      }
+      case bsproto::InvType::kTx:
+      case bsproto::InvType::kWitnessTx: {
+        if (const auto tx = mempool_.Get(item.hash)) {
+          SendTo(peer, bsproto::TxMsg{*tx});
+        } else {
+          misses.inventory.push_back(item);
+        }
+        break;
+      }
+      default:
+        misses.inventory.push_back(item);
+        break;
+    }
+  }
+  if (!misses.inventory.empty()) SendTo(peer, misses);
+}
+
+void Node::HandleGetHeaders(Peer& peer, const bsproto::GetHeadersMsg& msg) {
+  bsproto::HeadersMsg reply;
+  reply.headers = chain_.HeadersAfterLocator(msg.locator, bsproto::kMaxHeadersResults);
+  SendTo(peer, reply);
+}
+
+void Node::HandleGetBlocks(Peer& peer, const bsproto::GetBlocksMsg& msg) {
+  const auto headers = chain_.HeadersAfterLocator(msg.locator, 500);
+  bsproto::InvMsg inv;
+  for (const auto& h : headers) {
+    inv.inventory.push_back({bsproto::InvType::kBlock, h.Hash()});
+  }
+  if (!inv.inventory.empty()) SendTo(peer, inv);
+}
+
+void Node::HandleHeaders(Peer& peer, const bsproto::HeadersMsg& msg) {
+  if (msg.headers.size() > bsproto::kMaxHeadersResults) {
+    ApplyMisbehavior(peer, Misbehavior::kHeadersOversize);
+    return;
+  }
+  if (msg.headers.empty()) return;
+
+  // Non-continuous sequence: each header must chain onto the previous one.
+  for (std::size_t i = 1; i < msg.headers.size(); ++i) {
+    if (msg.headers[i].prev != msg.headers[i - 1].Hash()) {
+      ApplyMisbehavior(peer, Misbehavior::kHeadersNonContinuous);
+      return;
+    }
+  }
+
+  // Non-connecting: the first header must attach to our header tree. Core
+  // tolerates kMaxUnconnectingHeaders of these, then misbehaves the peer.
+  const bschain::BlockResult first = chain_.AcceptHeader(msg.headers[0]);
+  if (first == bschain::BlockResult::kPrevMissing) {
+    ++peer.unconnecting_headers;
+    if (peer.unconnecting_headers % bsproto::kMaxUnconnectingHeaders == 0) {
+      ApplyMisbehavior(peer, Misbehavior::kHeadersNonConnecting);
+    }
+    return;
+  }
+  if (first == bschain::BlockResult::kInvalidPow) {
+    ApplyMisbehavior(peer, Misbehavior::kHeaderInvalidPow);
+    return;
+  }
+  peer.unconnecting_headers = 0;
+
+  for (std::size_t i = 1; i < msg.headers.size(); ++i) {
+    const bschain::BlockResult r = chain_.AcceptHeader(msg.headers[i]);
+    if (r == bschain::BlockResult::kInvalidPow) {
+      ApplyMisbehavior(peer, Misbehavior::kHeaderInvalidPow);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transactions and blocks
+
+void Node::HandleTx(Peer& peer, const bsproto::TxMsg& msg) {
+  const bschain::TxResult result = mempool_.AcceptTransaction(msg.tx);
+  switch (result) {
+    case bschain::TxResult::kOk:
+      if (config_.relay) RelayTxInv(msg.tx.Txid(), peer.id);
+      return;
+    case bschain::TxResult::kSegwitInvalid:
+      ApplyMisbehavior(peer, Misbehavior::kTxSegwitInvalid);
+      return;
+    default:
+      ApplyMisbehavior(peer, Misbehavior::kTxOtherConsensusInvalid);
+      return;
+  }
+}
+
+void Node::AcceptBlockFrom(Peer& peer, const bschain::Block& block) {
+  const bschain::BlockResult result = chain_.AcceptBlock(block);
+  switch (result) {
+    case bschain::BlockResult::kOk:
+      // Good-score credit: the peer delivered a valid block (§VIII).
+      tracker_.AddGoodScore(peer.id);
+      if (on_block_accepted) on_block_accepted(block);
+      if (config_.relay) RelayBlockInv(block.Hash(), peer.id);
+      return;
+    case bschain::BlockResult::kDuplicate:
+      return;
+    case bschain::BlockResult::kMutated:
+      ApplyMisbehavior(peer, Misbehavior::kBlockMutated);
+      return;
+    case bschain::BlockResult::kCachedInvalid:
+      ApplyMisbehavior(peer, Misbehavior::kBlockCachedInvalid);
+      return;
+    case bschain::BlockResult::kPrevInvalid:
+      ApplyMisbehavior(peer, Misbehavior::kBlockPrevInvalid);
+      return;
+    case bschain::BlockResult::kPrevMissing:
+      ApplyMisbehavior(peer, Misbehavior::kBlockPrevMissing);
+      return;
+    case bschain::BlockResult::kInvalidPow:
+    case bschain::BlockResult::kOversize:
+    case bschain::BlockResult::kBadCoinbase:
+    case bschain::BlockResult::kConsensusInvalid:
+      ApplyMisbehavior(peer, Misbehavior::kBlockOtherInvalid);
+      return;
+  }
+}
+
+void Node::HandleBlock(Peer& peer, const bsproto::BlockMsg& msg) {
+  AcceptBlockFrom(peer, msg.block);
+}
+
+void Node::HandleCmpctBlock(Peer& peer, const bsproto::CmpctBlockMsg& msg) {
+  if (!bschain::CheckProofOfWork(msg.header.Hash(), msg.header.bits, config_.chain) ||
+      bsproto::CheckCompactBlock(msg) != bsproto::CompactBlockError::kOk) {
+    ApplyMisbehavior(peer, Misbehavior::kCmpctBlockInvalid);
+    return;
+  }
+  std::vector<std::uint64_t> missing;
+  const auto block =
+      bsproto::ReconstructBlock(msg, mempool_.CollectForBlock(mempool_.Size()), &missing);
+  if (block) {
+    AcceptBlockFrom(peer, *block);
+    return;
+  }
+  pending_compact_[peer.id] = msg;
+  bsproto::GetBlockTxnMsg request;
+  request.block_hash = msg.header.Hash();
+  request.indexes = std::move(missing);
+  SendTo(peer, request);
+}
+
+void Node::HandleGetBlockTxn(Peer& peer, const bsproto::GetBlockTxnMsg& msg) {
+  const auto block = chain_.GetBlock(msg.block_hash);
+  if (!block) return;  // unknown block: ignored, as in Core
+  bsproto::BlockTxnMsg reply;
+  reply.block_hash = msg.block_hash;
+  for (std::uint64_t idx : msg.indexes) {
+    if (idx >= block->txs.size()) {
+      ApplyMisbehavior(peer, Misbehavior::kGetBlockTxnOutOfBounds);
+      return;
+    }
+    reply.txs.push_back(block->txs[static_cast<std::size_t>(idx)]);
+  }
+  SendTo(peer, reply);
+}
+
+void Node::HandleBlockTxn(Peer& peer, const bsproto::BlockTxnMsg& msg) {
+  const auto it = pending_compact_.find(peer.id);
+  if (it == pending_compact_.end()) return;
+  const bsproto::CmpctBlockMsg pending = it->second;
+  if (pending.header.Hash() != msg.block_hash) return;
+  pending_compact_.erase(it);
+
+  // Retry reconstruction with mempool plus the delivered transactions.
+  std::vector<bschain::Transaction> candidates = mempool_.CollectForBlock(mempool_.Size());
+  candidates.insert(candidates.end(), msg.txs.begin(), msg.txs.end());
+  const auto block = bsproto::ReconstructBlock(pending, candidates, nullptr);
+  if (!block) {
+    // Peer answered our request with transactions that do not fill the
+    // block: invalid compact block data.
+    ApplyMisbehavior(peer, Misbehavior::kCmpctBlockInvalid);
+    return;
+  }
+  AcceptBlockFrom(peer, *block);
+}
+
+// ---------------------------------------------------------------------------
+// BIP-37 filters and address queries
+
+void Node::HandleFilterLoad(Peer& peer, const bsproto::FilterLoadMsg& msg) {
+  if (msg.filter.size() > bsproto::kMaxBloomFilterSize) {
+    ApplyMisbehavior(peer, Misbehavior::kFilterLoadOversize);
+    return;
+  }
+  peer.filter = bsproto::BloomFilter::FromMessage(msg);
+  peer.filter_loaded = peer.filter.has_value();
+}
+
+void Node::HandleFilterAdd(Peer& peer, const bsproto::FilterAddMsg& msg) {
+  if (msg.data.size() > bsproto::kMaxScriptElementSize) {
+    ApplyMisbehavior(peer, Misbehavior::kFilterAddOversize);
+    return;
+  }
+  if (peer.peer_protocol_version >= bsproto::kNoBloomVersion) {
+    // Table I (0.20.0 only): FILTERADD from a protocol >= 70011 peer.
+    ApplyMisbehavior(peer, Misbehavior::kFilterAddVersionGate);
+    return;
+  }
+  if (peer.filter) peer.filter->Insert(msg.data);
+}
+
+void Node::HandleGetAddr(Peer& peer) {
+  bsproto::AddrMsg reply;
+  for (const Endpoint& ep : addrman_.Sample(bsproto::kMaxAddrToSend)) {
+    bsproto::TimedNetAddr rec;
+    rec.time = static_cast<std::uint32_t>(Sched().Now() / bsim::kSecond);
+    rec.addr.services = bsproto::kNodeNetwork;
+    rec.addr.endpoint = ep;
+    reply.addresses.push_back(rec);
+  }
+  SendTo(peer, reply);
+}
+
+void Node::HandleMempool(Peer& peer) {
+  bsproto::InvMsg inv;
+  for (const auto& tx : mempool_.CollectForBlock(bsproto::kMaxInvEntries)) {
+    inv.inventory.push_back({bsproto::InvType::kTx, tx.Txid()});
+  }
+  SendTo(peer, inv);
+}
+
+// ---------------------------------------------------------------------------
+// Sending / relay / mining
+
+void Node::SendTo(Peer& peer, const Message& msg) {
+  if (peer.conn == nullptr || !peer.conn->IsEstablished()) return;
+  peer.conn->Send(bsproto::EncodeMessage(config_.chain.magic, msg));
+}
+
+bool Node::SendToRemoteIp(std::uint32_t ip, const Message& msg) {
+  for (auto& [id, peer] : peers_) {
+    if (peer->remote.ip == ip && peer->HandshakeComplete()) {
+      SendTo(*peer, msg);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Node::RelayBlockInv(const bscrypto::Hash256& hash, std::uint64_t except_peer) {
+  bsproto::InvMsg inv;
+  inv.inventory.push_back({bsproto::InvType::kBlock, hash});
+  for (auto& [id, peer] : peers_) {
+    if (id == except_peer || !peer->HandshakeComplete()) continue;
+    SendTo(*peer, inv);
+  }
+}
+
+void Node::RelayTxInv(const bscrypto::Hash256& txid, std::uint64_t except_peer) {
+  bsproto::InvMsg inv;
+  inv.inventory.push_back({bsproto::InvType::kTx, txid});
+  for (auto& [id, peer] : peers_) {
+    if (id == except_peer || !peer->HandshakeComplete()) continue;
+    // BIP-37: SPV peers only hear about transactions their filter matches.
+    if (peer->filter) {
+      const auto tx = mempool_.Get(txid);
+      if (!tx || !peer->filter->MatchesTx(*tx)) continue;
+    }
+    SendTo(*peer, inv);
+  }
+}
+
+std::optional<bschain::Block> Node::MineAndRelay() {
+  bschain::Block tmpl = bschain::BuildBlockTemplate(
+      chain_.TipHash(), static_cast<std::uint32_t>(Sched().Now() / bsim::kSecond),
+      mempool_.CollectForBlock(1000), config_.chain, mining_extra_nonce_++);
+  auto block = bschain::MineBlock(std::move(tmpl), config_.chain);
+  if (!block) return std::nullopt;
+  if (chain_.AcceptBlock(*block) != bschain::BlockResult::kOk) return std::nullopt;
+  if (on_block_accepted) on_block_accepted(*block);
+  RelayBlockInv(block->Hash(), /*except_peer=*/0);
+  return block;
+}
+
+void Node::OnIcmp(const bsim::IcmpPacket& pkt) {
+  (void)pkt;
+  ++icmp_packets_;
+  if (cpu_) cpu_->ConsumeIcmpPacket();
+}
+
+void Node::OnIcmpBatch(const bsim::IcmpPacket& pkt, std::uint64_t count) {
+  (void)pkt;
+  icmp_packets_ += count;
+  if (cpu_) cpu_->ConsumeIcmpPackets(count);
+}
+
+}  // namespace bsnet

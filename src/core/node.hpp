@@ -1,0 +1,258 @@
+// The Bitcoin P2P node: version handshake, full message-processing pipeline,
+// the ban-score mechanism wired in exactly as Fig. 2 describes, outbound
+// connection maintenance, and observation hooks for the anomaly-detection
+// Monitor.
+//
+// Processing pipeline per arriving frame (the ordering is load-bearing for
+// the paper's attack vectors):
+//
+//   TCP checksum (sim layer) → Bitcoin message checksum → command lookup →
+//   payload deserialization → handshake-state rules → type handler →
+//   misbehavior tracking → threshold/ban
+//
+// A frame failing the message checksum is dropped before the misbehavior
+// tracker ever sees it — the "forgoing ban score" BM-DoS vector. Unknown
+// commands are ignored without punishment — the "messages never getting
+// banned" vector (together with typed messages like PING that simply have no
+// rule).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/chainstate.hpp"
+#include "chain/mempool.hpp"
+#include "chain/miner.hpp"
+#include "core/addrman.hpp"
+#include "core/banman.hpp"
+#include "core/costmodel.hpp"
+#include "core/misbehavior.hpp"
+#include "core/rules.hpp"
+#include "proto/bloom.hpp"
+#include "proto/codec.hpp"
+#include "proto/compact.hpp"
+#include "proto/messages.hpp"
+#include "sim/cpu.hpp"
+#include "sim/tcp.hpp"
+#include "util/rng.hpp"
+
+namespace bsnet {
+
+struct NodeConfig {
+  CoreVersion core_version = CoreVersion::kV0_20;
+  BanPolicy ban_policy = BanPolicy::kBanScore;
+  int ban_threshold = 100;
+  bsim::SimTime ban_duration = 24 * bsim::kHour;
+  int good_score_exemption = 1;  // kGoodScore policy: credit exempting a peer
+  /// Core 0.21+ semantics: on threshold, discourage the peer's IP (no
+  /// expiry, whole IP) instead of banning the [IP:Port] identifier for 24 h.
+  /// Off by default — the paper's experiments ran the 0.20.0 banning regime.
+  bool use_discouragement = false;
+
+  std::uint16_t listen_port = 8333;
+  int max_inbound = 117;    // Core's 117-of-128 inbound slots
+  int target_outbound = 8;  // outbound connections the node maintains
+  bsim::SimTime reconnect_delay = 500 * bsim::kMillisecond;
+  bsim::SimTime maintenance_interval = 1 * bsim::kSecond;
+  /// Keepalive: PING handshake-complete peers this often (0 = disabled,
+  /// the default — scenario benches drive their own traffic).
+  bsim::SimTime ping_interval = 0;
+  /// Disconnect peers silent for this long (0 = disabled).
+  bsim::SimTime inactivity_timeout = 0;
+
+  bschain::ChainParams chain;
+  std::uint64_t services = bsproto::kNodeNetwork | bsproto::kNodeWitness;
+  std::int32_t protocol_version = bsproto::kProtocolVersion;
+  bool relay = true;  // announce accepted blocks/txs to peers
+
+  /// Ablation flag: when false, the misbehavior check runs before the
+  /// checksum verification, closing the bogus-payload loophole (used by
+  /// bench_ablation_countermeasures to show why the vector exists).
+  bool checksum_before_misbehavior = true;
+
+  std::uint64_t rng_seed = 42;
+};
+
+/// Connection-level peer state.
+struct Peer {
+  std::uint64_t id = 0;
+  Endpoint remote;
+  bool inbound = false;
+  bsim::TcpConnection* conn = nullptr;
+
+  // Handshake state machine.
+  bool got_version = false;
+  bool got_verack = false;
+  bool sent_version = false;
+  std::int32_t peer_protocol_version = 0;
+
+  // HEADERS disorder bookkeeping (Core's nUnconnectingHeaders).
+  int unconnecting_headers = 0;
+
+  // BIP-37 SPV filtering: when loaded, tx relay and filtered-block serving
+  // go through the filter.
+  bool filter_loaded = false;
+  std::optional<bsproto::BloomFilter> filter;
+
+  // Stats.
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t frames_bad_checksum = 0;
+  std::uint64_t frames_unknown_command = 0;
+  std::uint64_t frames_malformed = 0;
+
+  // Liveness bookkeeping (keepalive / inactivity handling).
+  bsim::SimTime last_recv_time = 0;
+  bsim::SimTime last_ping_sent = 0;
+  std::uint64_t outstanding_ping_nonce = 0;  // 0 == none outstanding
+  bsim::SimTime last_pong_rtt = -1;          // -1 == never measured
+
+  bsutil::ByteVec rx_buffer;  // wire-stream reassembly
+
+  bool HandshakeComplete() const { return got_version && got_verack; }
+};
+
+class Node : public bsim::Host {
+ public:
+  Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip, NodeConfig config,
+       bsim::CpuModel* cpu = nullptr);
+  ~Node() override;
+
+  /// Begin listening and start the outbound-maintenance loop.
+  void Start();
+
+  const NodeConfig& Config() const { return config_; }
+
+  // ---- Chain / pool / tracking state ----
+  bschain::ChainState& Chain() { return chain_; }
+  bschain::Mempool& Pool() { return mempool_; }
+  BanMan& Bans() { return banman_; }
+  MisbehaviorTracker& Tracker() { return tracker_; }
+  AddrMan& Addrs() { return addrman_; }
+
+  // ---- Connections ----
+  /// Seed the address table (the config-file peers of the paper's testbed).
+  void AddKnownAddress(const Endpoint& addr) { addrman_.Add(addr); }
+  /// Open an outbound connection now (returns false if banned/at capacity).
+  bool ConnectTo(const Endpoint& remote);
+
+  std::size_t InboundCount() const;
+  std::size_t OutboundCount() const;
+  std::vector<const Peer*> Peers() const;
+  Peer* FindPeerByRemote(const Endpoint& remote);
+  const Peer* FindPeerById(std::uint64_t id) const;
+  /// Disconnect (RST) a peer; does not ban.
+  void DisconnectPeer(std::uint64_t id);
+  /// Detection response: drop every connection and rebuild outbound slots.
+  void DropAndRebuildConnections();
+
+  // ---- Sending ----
+  void SendTo(Peer& peer, const bsproto::Message& msg);
+  /// Send to the first handshake-complete peer whose remote IP is `ip`
+  /// (workload generators address counterpart nodes this way). Returns false
+  /// when no such session exists.
+  bool SendToRemoteIp(std::uint32_t ip, const bsproto::Message& msg);
+  /// Mine one block on the current tip and relay it (regtest-grade PoW).
+  std::optional<bschain::Block> MineAndRelay();
+
+  // ---- Observation hooks (detection engine, experiments) ----
+  std::function<void(const Peer&, bsproto::MsgType, std::size_t)> on_message;
+  /// Every complete wire frame, including ones dropped before processing
+  /// (bad checksum, unknown command, malformed). The byte-level detection
+  /// feature needs this: a bogus-BLOCK flood never registers as a *message*
+  /// but its frames and bytes are visible here.
+  std::function<void(std::size_t frame_bytes, bsproto::DecodeStatus)> on_frame;
+  std::function<void(const Peer&, Misbehavior, const MisbehaviorOutcome&)> on_misbehavior;
+  std::function<void(const Peer&)> on_peer_banned;
+  std::function<void(const Endpoint&)> on_outbound_reconnect;
+  std::function<void(const bschain::Block&)> on_block_accepted;
+
+  // ---- Aggregate stats ----
+  std::uint64_t TotalMessagesReceived() const { return total_messages_; }
+  const std::map<bsproto::MsgType, std::uint64_t>& MessageCounts() const {
+    return message_counts_;
+  }
+  std::uint64_t OutboundReconnects() const { return outbound_reconnects_; }
+  std::uint64_t FramesDroppedBadChecksum() const { return frames_bad_checksum_; }
+  std::uint64_t FramesIgnoredUnknownCommand() const { return frames_unknown_; }
+  std::uint64_t PeersBanned() const { return peers_banned_; }
+  std::uint64_t IcmpPacketsReceived() const { return icmp_packets_; }
+
+  void OnIcmp(const bsim::IcmpPacket& pkt) override;
+  void OnIcmpBatch(const bsim::IcmpPacket& pkt, std::uint64_t count) override;
+
+ private:
+  void AcceptInbound(bsim::TcpConnection& conn);
+  Peer& RegisterPeer(bsim::TcpConnection& conn, bool inbound);
+  void RemovePeer(std::uint64_t id, bool was_outbound);
+  void MaintainOutbound();
+
+  void OnData(std::uint64_t peer_id, bsutil::ByteSpan data);
+  void ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame);
+  void ProcessMessage(Peer& peer, const bsproto::Message& msg);
+
+  /// Apply a misbehavior; bans and disconnects on threshold per policy.
+  /// Returns true when the peer was banned (and destroyed).
+  bool ApplyMisbehavior(Peer& peer, Misbehavior what);
+
+  // Per-type handlers.
+  void HandleVersion(Peer& peer, const bsproto::VersionMsg& msg);
+  void HandleVerack(Peer& peer);
+  void HandleAddr(Peer& peer, const bsproto::AddrMsg& msg);
+  void HandleInv(Peer& peer, const bsproto::InvMsg& msg);
+  void HandleGetData(Peer& peer, const bsproto::GetDataMsg& msg);
+  void HandleGetHeaders(Peer& peer, const bsproto::GetHeadersMsg& msg);
+  void HandleHeaders(Peer& peer, const bsproto::HeadersMsg& msg);
+  void HandleTx(Peer& peer, const bsproto::TxMsg& msg);
+  void HandleBlock(Peer& peer, const bsproto::BlockMsg& msg);
+  void HandleCmpctBlock(Peer& peer, const bsproto::CmpctBlockMsg& msg);
+  void HandleGetBlockTxn(Peer& peer, const bsproto::GetBlockTxnMsg& msg);
+  void HandleBlockTxn(Peer& peer, const bsproto::BlockTxnMsg& msg);
+  void HandleFilterLoad(Peer& peer, const bsproto::FilterLoadMsg& msg);
+  void HandleFilterAdd(Peer& peer, const bsproto::FilterAddMsg& msg);
+  void HandleGetAddr(Peer& peer);
+  void HandleMempool(Peer& peer);
+  void HandleGetBlocks(Peer& peer, const bsproto::GetBlocksMsg& msg);
+
+  void AcceptBlockFrom(Peer& peer, const bschain::Block& block);
+  void RelayBlockInv(const bscrypto::Hash256& hash, std::uint64_t except_peer);
+  void RelayTxInv(const bscrypto::Hash256& txid, std::uint64_t except_peer);
+  bsproto::VersionMsg MakeVersionMsg(const Peer& peer);
+
+  NodeConfig config_;
+  bsim::CpuModel* cpu_;  // optional; shared with the experiment harness
+  bsutil::Rng rng_;
+
+  bschain::ChainState chain_;
+  bschain::Mempool mempool_;
+  BanMan banman_;
+  MisbehaviorTracker tracker_;
+  AddrMan addrman_;
+
+  std::uint64_t next_peer_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Peer>> peers_;
+  std::unordered_map<std::uint64_t, bsproto::CmpctBlockMsg> pending_compact_;
+  /// Endpoints with an outbound connection open or being opened (prevents
+  /// duplicate dials while a handshake is in flight).
+  std::unordered_set<Endpoint, bsproto::EndpointHasher> outbound_targets_;
+  int pending_outbound_ = 0;
+  std::uint64_t mining_extra_nonce_ = 0;
+  bool initial_outbound_fill_done_ = false;
+  bool maintenance_running_ = false;
+
+  std::uint64_t total_messages_ = 0;
+  std::map<bsproto::MsgType, std::uint64_t> message_counts_;
+  std::uint64_t outbound_reconnects_ = 0;
+  std::uint64_t frames_bad_checksum_ = 0;
+  std::uint64_t frames_unknown_ = 0;
+  std::uint64_t peers_banned_ = 0;
+  std::uint64_t icmp_packets_ = 0;
+};
+
+}  // namespace bsnet

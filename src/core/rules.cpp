@@ -1,0 +1,179 @@
+#include "core/rules.hpp"
+
+#include <array>
+
+namespace bsnet {
+
+const char* ToString(CoreVersion v) {
+  switch (v) {
+    case CoreVersion::kV0_20: return "0.20.0";
+    case CoreVersion::kV0_21: return "0.21.0";
+    case CoreVersion::kV0_22: return "0.22.0";
+  }
+  return "?";
+}
+
+const char* ToString(PeerScope s) {
+  switch (s) {
+    case PeerScope::kAny: return "Any peer";
+    case PeerScope::kInbound: return "Inbound peer";
+    case PeerScope::kOutbound: return "Outbound peer";
+  }
+  return "?";
+}
+
+const char* ToString(MisbehaviorClass c) {
+  switch (c) {
+    case MisbehaviorClass::kInvalid: return "Invalid";
+    case MisbehaviorClass::kOversize: return "Oversize";
+    case MisbehaviorClass::kDisorder: return "Disorder";
+    case MisbehaviorClass::kRepeat: return "Repeat";
+  }
+  return "?";
+}
+
+const char* ToString(Misbehavior m) {
+  switch (m) {
+    case Misbehavior::kBlockMutated: return "block-mutated";
+    case Misbehavior::kBlockCachedInvalid: return "block-cached-invalid";
+    case Misbehavior::kBlockPrevInvalid: return "block-prev-invalid";
+    case Misbehavior::kBlockPrevMissing: return "block-prev-missing";
+    case Misbehavior::kBlockOtherInvalid: return "block-other-invalid";
+    case Misbehavior::kTxSegwitInvalid: return "tx-segwit-invalid";
+    case Misbehavior::kTxOtherConsensusInvalid: return "tx-other-consensus-invalid";
+    case Misbehavior::kGetBlockTxnOutOfBounds: return "getblocktxn-out-of-bounds";
+    case Misbehavior::kHeadersNonConnecting: return "headers-non-connecting";
+    case Misbehavior::kHeadersNonContinuous: return "headers-non-continuous";
+    case Misbehavior::kHeadersOversize: return "headers-oversize";
+    case Misbehavior::kHeaderInvalidPow: return "header-invalid-pow";
+    case Misbehavior::kAddrOversize: return "addr-oversize";
+    case Misbehavior::kInvOversize: return "inv-oversize";
+    case Misbehavior::kGetDataOversize: return "getdata-oversize";
+    case Misbehavior::kCmpctBlockInvalid: return "cmpctblock-invalid";
+    case Misbehavior::kFilterLoadOversize: return "filterload-oversize";
+    case Misbehavior::kFilterAddOversize: return "filteradd-oversize";
+    case Misbehavior::kFilterAddVersionGate: return "filteradd-version-gate";
+    case Misbehavior::kVersionDuplicate: return "version-duplicate";
+    case Misbehavior::kMessageBeforeVersion: return "message-before-version";
+    case Misbehavior::kMessageBeforeVerack: return "message-before-verack";
+    case Misbehavior::kBadChecksumFrame: return "bad-checksum-frame";
+  }
+  return "?";
+}
+
+namespace {
+
+// One master row: scores per Core version (-1 = rule absent in that version),
+// matching the paper's Table I three score columns.
+struct MasterRule {
+  Misbehavior what;
+  int score_v20;
+  int score_v21;
+  int score_v22;
+  PeerScope scope;
+  MisbehaviorClass cls;
+  const char* message_type;
+  const char* description;
+  bool in_paper_table;
+};
+
+// Order follows the paper's Table I, with the non-table (Core-faithful)
+// extras appended.
+constexpr std::array<MasterRule, 23> kMasterRules = {{
+    {Misbehavior::kBlockMutated, 100, 100, 100, PeerScope::kAny,
+     MisbehaviorClass::kInvalid, "BLOCK", "Block data was mutated", true},
+    {Misbehavior::kBlockCachedInvalid, 100, 100, 100, PeerScope::kOutbound,
+     MisbehaviorClass::kInvalid, "BLOCK", "Block was cached as invalid", true},
+    {Misbehavior::kBlockPrevInvalid, 100, 100, 100, PeerScope::kAny,
+     MisbehaviorClass::kInvalid, "BLOCK", "Previous block is invalid", true},
+    {Misbehavior::kBlockPrevMissing, 10, 10, 10, PeerScope::kAny,
+     MisbehaviorClass::kInvalid, "BLOCK", "Previous block is missing", true},
+    {Misbehavior::kTxSegwitInvalid, 100, 100, 100, PeerScope::kAny,
+     MisbehaviorClass::kInvalid, "TX", "Invalid by consensus rules of SegWit", true},
+    {Misbehavior::kGetBlockTxnOutOfBounds, 100, 100, 100, PeerScope::kAny,
+     MisbehaviorClass::kOversize, "GETBLOCKTXN", "Out-of-bounds transaction indices",
+     true},
+    {Misbehavior::kHeadersNonConnecting, 20, 20, 20, PeerScope::kAny,
+     MisbehaviorClass::kDisorder, "HEADERS", "10 non-connecting headers", true},
+    {Misbehavior::kHeadersNonContinuous, 20, 20, 20, PeerScope::kAny,
+     MisbehaviorClass::kDisorder, "HEADERS", "Non-continuous headers sequence", true},
+    {Misbehavior::kHeadersOversize, 20, 20, 20, PeerScope::kAny,
+     MisbehaviorClass::kOversize, "HEADERS", "More than 2000 headers", true},
+    {Misbehavior::kAddrOversize, 20, 20, 20, PeerScope::kAny,
+     MisbehaviorClass::kOversize, "ADDR", "More than 1000 addresses", true},
+    {Misbehavior::kInvOversize, 20, 20, 20, PeerScope::kAny,
+     MisbehaviorClass::kOversize, "INV", "More than 50000 inventory entries", true},
+    {Misbehavior::kGetDataOversize, 20, 20, 20, PeerScope::kAny,
+     MisbehaviorClass::kOversize, "GETDATA", "More than 50000 inventory entries", true},
+    {Misbehavior::kCmpctBlockInvalid, 100, 100, 100, PeerScope::kAny,
+     MisbehaviorClass::kInvalid, "CMPCTBLOCK", "Invalid compact block data", true},
+    {Misbehavior::kFilterLoadOversize, 100, 100, 100, PeerScope::kAny,
+     MisbehaviorClass::kOversize, "FILTERLOAD", "Bloom filter size > 36000 bytes",
+     true},
+    {Misbehavior::kFilterAddOversize, 100, 100, 100, PeerScope::kAny,
+     MisbehaviorClass::kOversize, "FILTERADD", "Data item > 520 bytes", true},
+    {Misbehavior::kFilterAddVersionGate, 100, -1, -1, PeerScope::kAny,
+     MisbehaviorClass::kInvalid, "FILTERADD", "Protocol version number >= 70011",
+     true},
+    {Misbehavior::kVersionDuplicate, 1, 1, -1, PeerScope::kInbound,
+     MisbehaviorClass::kRepeat, "VERSION", "Duplicate VERSION", true},
+    {Misbehavior::kMessageBeforeVersion, 1, 1, -1, PeerScope::kInbound,
+     MisbehaviorClass::kDisorder, "VERSION", "Message before VERSION", true},
+    {Misbehavior::kMessageBeforeVerack, 1, -1, -1, PeerScope::kInbound,
+     MisbehaviorClass::kDisorder, "VERACK",
+     "Message (other than VERSION) before VERACK", true},
+    // Core-faithful extras the paper's summary table does not enumerate.
+    {Misbehavior::kBlockOtherInvalid, 100, 100, 100, PeerScope::kAny,
+     MisbehaviorClass::kInvalid, "BLOCK", "Block fails PoW/consensus checks", false},
+    {Misbehavior::kTxOtherConsensusInvalid, 100, 100, 100, PeerScope::kAny,
+     MisbehaviorClass::kInvalid, "TX", "Other consensus-invalid transaction", false},
+    {Misbehavior::kHeaderInvalidPow, 100, 100, 100, PeerScope::kAny,
+     MisbehaviorClass::kInvalid, "HEADERS", "Header fails proof-of-work", false},
+    {Misbehavior::kBadChecksumFrame, 10, 10, 10, PeerScope::kAny,
+     MisbehaviorClass::kInvalid, "(any)",
+     "Frame checksum mismatch (ablation-only rule)", false},
+}};
+
+int ScoreFor(const MasterRule& rule, CoreVersion v) {
+  switch (v) {
+    case CoreVersion::kV0_20: return rule.score_v20;
+    case CoreVersion::kV0_21: return rule.score_v21;
+    case CoreVersion::kV0_22: return rule.score_v22;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::optional<RuleInfo> GetRule(CoreVersion version, Misbehavior what) {
+  for (const MasterRule& rule : kMasterRules) {
+    if (rule.what != what) continue;
+    const int score = ScoreFor(rule, version);
+    if (score < 0) return std::nullopt;
+    return RuleInfo{rule.what, score,           rule.scope, rule.cls,
+                    rule.message_type, rule.description, rule.in_paper_table};
+  }
+  return std::nullopt;
+}
+
+std::vector<RuleInfo> RulesFor(CoreVersion version) {
+  std::vector<RuleInfo> out;
+  for (const MasterRule& rule : kMasterRules) {
+    const int score = ScoreFor(rule, version);
+    if (score < 0) continue;
+    out.push_back(RuleInfo{rule.what, score, rule.scope, rule.cls, rule.message_type,
+                           rule.description, rule.in_paper_table});
+  }
+  return out;
+}
+
+const std::vector<Misbehavior>& AllMisbehaviors() {
+  static const std::vector<Misbehavior> kAll = [] {
+    std::vector<Misbehavior> v;
+    for (const MasterRule& rule : kMasterRules) v.push_back(rule.what);
+    return v;
+  }();
+  return kAll;
+}
+
+}  // namespace bsnet

@@ -1,0 +1,94 @@
+// The ban-score rule sets of Bitcoin Core 0.20.0, 0.21.0 and 0.22.0 —
+// a faithful encoding of the paper's Table I, including the per-version
+// deprecations (FILTERADD version gate gone after 0.20; VERACK disorder rule
+// gone after 0.20; VERSION rules gone in 0.22).
+//
+// A small number of misbehaviors Bitcoin Core punishes but the paper's
+// Table I does not enumerate (e.g. a full block failing PoW after passing
+// the checksum) are included with `in_paper_table = false` so the node
+// behaves like the real implementation while the Table I reproduction bench
+// can print exactly the paper's rows.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bsnet {
+
+enum class CoreVersion { kV0_20 = 0, kV0_21 = 1, kV0_22 = 2 };
+
+const char* ToString(CoreVersion v);
+
+/// Which peers a rule applies to (Table I "Object of Ban").
+enum class PeerScope { kAny, kInbound, kOutbound };
+
+const char* ToString(PeerScope s);
+
+/// Table I "Misbehavior Type".
+enum class MisbehaviorClass { kInvalid, kOversize, kDisorder, kRepeat };
+
+const char* ToString(MisbehaviorClass c);
+
+/// Every misbehavior the node can attribute to a peer.
+enum class Misbehavior {
+  // BLOCK
+  kBlockMutated,           // block data was mutated
+  kBlockCachedInvalid,     // block was cached as invalid
+  kBlockPrevInvalid,       // previous block is invalid
+  kBlockPrevMissing,       // previous block is missing
+  kBlockOtherInvalid,      // PoW/coinbase/size/tx failure (not a Table I row)
+  // TX
+  kTxSegwitInvalid,        // invalid by consensus rules of SegWit
+  kTxOtherConsensusInvalid,  // other consensus failure (not a Table I row)
+  // GETBLOCKTXN
+  kGetBlockTxnOutOfBounds,  // out-of-bounds transaction indices
+  // HEADERS
+  kHeadersNonConnecting,   // 10 non-connecting headers
+  kHeadersNonContinuous,   // non-continuous headers sequence
+  kHeadersOversize,        // more than 2000 headers
+  kHeaderInvalidPow,       // header fails PoW (not a Table I row)
+  // ADDR / INV / GETDATA
+  kAddrOversize,           // more than 1000 addresses
+  kInvOversize,            // more than 50000 inventory entries
+  kGetDataOversize,        // more than 50000 inventory entries
+  // CMPCTBLOCK
+  kCmpctBlockInvalid,      // invalid compact block data
+  // FILTERLOAD / FILTERADD
+  kFilterLoadOversize,     // bloom filter size > 36000 bytes
+  kFilterAddOversize,      // data item > 520 bytes
+  kFilterAddVersionGate,   // protocol version number >= 70011
+  // Handshake
+  kVersionDuplicate,       // duplicate VERSION
+  kMessageBeforeVersion,   // message before VERSION
+  kMessageBeforeVerack,    // message (other than VERSION) before VERACK
+  // Ablation-only rule (never active in stock configurations): punish frames
+  // whose message checksum fails, closing the bogus-payload loophole.
+  kBadChecksumFrame,
+};
+
+const char* ToString(Misbehavior m);
+
+/// One rule in one Core version's rule set.
+struct RuleInfo {
+  Misbehavior what;
+  int score;                 // ban-score increment
+  PeerScope scope;
+  MisbehaviorClass cls;
+  const char* message_type;  // wire command the rule is attached to
+  const char* description;   // Table I "Message Misbehavior" text
+  bool in_paper_table;       // row appears in the paper's Table I
+};
+
+/// Look up the rule for `what` under `version`. Returns nullopt when the
+/// rule does not exist in that version (deprecated / not yet present) —
+/// the mechanism then takes no action, exactly like Core.
+std::optional<RuleInfo> GetRule(CoreVersion version, Misbehavior what);
+
+/// All rules present in `version`, in Table I order.
+std::vector<RuleInfo> RulesFor(CoreVersion version);
+
+/// All misbehavior kinds (for parameterized tests).
+const std::vector<Misbehavior>& AllMisbehaviors();
+
+}  // namespace bsnet

@@ -1,0 +1,68 @@
+// 256-bit hash value with the arithmetic needed for proof-of-work:
+// little-endian 256-bit integer comparison against a target expanded from
+// Bitcoin's "compact bits" encoding.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/serialize.hpp"
+
+namespace bscrypto {
+
+/// A 256-bit value stored little-endian (byte 0 is least significant), the
+/// Bitcoin-internal representation of txids, block hashes, and PoW targets.
+class Hash256 {
+ public:
+  static constexpr std::size_t kSize = 32;
+
+  Hash256() { bytes_.fill(0); }
+  explicit Hash256(const std::array<std::uint8_t, kSize>& bytes) : bytes_(bytes) {}
+
+  /// Parse from the conventional big-endian display hex (as in block
+  /// explorers); returns a zero hash on malformed input.
+  static Hash256 FromHex(const std::string& hex_be);
+
+  const std::array<std::uint8_t, kSize>& Bytes() const { return bytes_; }
+  std::uint8_t* Data() { return bytes_.data(); }
+  const std::uint8_t* Data() const { return bytes_.data(); }
+
+  bool IsZero() const;
+
+  /// Numeric comparison as little-endian 256-bit unsigned integers.
+  std::strong_ordering operator<=>(const Hash256& other) const;
+  bool operator==(const Hash256& other) const = default;
+
+  /// Big-endian display hex (the "explorer" orientation).
+  std::string ToHex() const;
+
+  void Serialize(bsutil::Writer& w) const { w.WriteBytes(bytes_); }
+  static Hash256 Deserialize(bsutil::Reader& r);
+
+  /// Expand Bitcoin compact-bits ("nBits") into a 256-bit target.
+  /// `negative`/`overflow`, when non-null, report the corresponding compact
+  /// flags exactly as Bitcoin Core's arith_uint256::SetCompact does.
+  static Hash256 FromCompact(std::uint32_t bits, bool* negative = nullptr,
+                             bool* overflow = nullptr);
+
+  /// Compress this value back into compact-bits form (lossy, like GetCompact).
+  std::uint32_t ToCompact() const;
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_;
+};
+
+/// Hasher functor so Hash256 can key unordered containers.
+struct Hash256Hasher {
+  std::size_t operator()(const Hash256& h) const {
+    // The value is itself a cryptographic hash; take the first 8 bytes.
+    std::size_t out = 0;
+    for (int i = 0; i < 8; ++i) out |= static_cast<std::size_t>(h.Bytes()[i]) << (8 * i);
+    return out;
+  }
+};
+
+}  // namespace bscrypto

@@ -1,0 +1,36 @@
+#include "crypto/merkle.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace bscrypto {
+
+Hash256 MerkleRoot(const std::vector<Hash256>& leaves, bool* mutated) {
+  if (mutated) *mutated = false;
+  if (leaves.empty()) return Hash256{};
+
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) {
+    // Detect identical consecutive pairs before odd-padding: a duplicate the
+    // block itself contains signals mutation (CVE-2012-2459), whereas the
+    // duplicate introduced below by padding the odd tail is legitimate.
+    if (mutated) {
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+        if (level[i] == level[i + 1]) *mutated = true;
+      }
+    }
+    if (level.size() % 2 != 0) level.push_back(level.back());
+    std::vector<Hash256> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      std::uint8_t concat[64];
+      std::copy(level[i].Bytes().begin(), level[i].Bytes().end(), concat);
+      std::copy(level[i + 1].Bytes().begin(), level[i + 1].Bytes().end(), concat + 32);
+      const auto digest = Sha256::HashD(bsutil::ByteSpan(concat, 64));
+      next.push_back(Hash256{digest});
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+}  // namespace bscrypto

@@ -1,0 +1,19 @@
+// Bitcoin merkle tree: double-SHA256 pairwise combining, duplicating the last
+// element of odd levels. Also exposes the classic CVE-2012-2459 mutation
+// check (duplicate-pair levels make distinct blocks hash identically), which
+// is what "block data was mutated" in the ban-score rules refers to.
+#pragma once
+
+#include <vector>
+
+#include "crypto/hash256.hpp"
+
+namespace bscrypto {
+
+/// Compute the merkle root over leaf hashes (txids). Empty input yields the
+/// zero hash. `mutated`, when non-null, is set if any level contains two
+/// identical consecutive hashes (the malleability pattern Bitcoin Core
+/// rejects as "mutated" block data).
+Hash256 MerkleRoot(const std::vector<Hash256>& leaves, bool* mutated = nullptr);
+
+}  // namespace bscrypto

@@ -1,0 +1,59 @@
+#include "crypto/murmur3.hpp"
+
+namespace bscrypto {
+
+namespace {
+inline std::uint32_t Rotl32(std::uint32_t x, int r) {
+  return (x << r) | (x >> (32 - r));
+}
+}  // namespace
+
+std::uint32_t MurmurHash3(std::uint32_t seed, bsutil::ByteSpan data) {
+  constexpr std::uint32_t c1 = 0xcc9e2d51;
+  constexpr std::uint32_t c2 = 0x1b873593;
+
+  std::uint32_t h1 = seed;
+  const std::size_t nblocks = data.size() / 4;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint32_t k1 = static_cast<std::uint32_t>(data[4 * i]) |
+                       static_cast<std::uint32_t>(data[4 * i + 1]) << 8 |
+                       static_cast<std::uint32_t>(data[4 * i + 2]) << 16 |
+                       static_cast<std::uint32_t>(data[4 * i + 3]) << 24;
+    k1 *= c1;
+    k1 = Rotl32(k1, 15);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = Rotl32(h1, 13);
+    h1 = h1 * 5 + 0xe6546b64;
+  }
+
+  // Tail.
+  std::uint32_t k1 = 0;
+  const std::size_t tail = nblocks * 4;
+  switch (data.size() & 3) {
+    case 3:
+      k1 ^= static_cast<std::uint32_t>(data[tail + 2]) << 16;
+      [[fallthrough]];
+    case 2:
+      k1 ^= static_cast<std::uint32_t>(data[tail + 1]) << 8;
+      [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<std::uint32_t>(data[tail]);
+      k1 *= c1;
+      k1 = Rotl32(k1, 15);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  // Finalization mix.
+  h1 ^= static_cast<std::uint32_t>(data.size());
+  h1 ^= h1 >> 16;
+  h1 *= 0x85ebca6b;
+  h1 ^= h1 >> 13;
+  h1 *= 0xc2b2ae35;
+  h1 ^= h1 >> 16;
+  return h1;
+}
+
+}  // namespace bscrypto

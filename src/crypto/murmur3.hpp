@@ -1,0 +1,14 @@
+// MurmurHash3 (x86, 32-bit variant) — the hash family BIP-37 bloom filters
+// are specified over.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace bscrypto {
+
+/// MurmurHash3_x86_32 of `data` with the given seed.
+std::uint32_t MurmurHash3(std::uint32_t seed, bsutil::ByteSpan data);
+
+}  // namespace bscrypto

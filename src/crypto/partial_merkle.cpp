@@ -1,0 +1,131 @@
+#include "crypto/partial_merkle.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+
+namespace bscrypto {
+
+namespace {
+Hash256 CombinePair(const Hash256& left, const Hash256& right) {
+  std::uint8_t concat[64];
+  std::copy(left.Bytes().begin(), left.Bytes().end(), concat);
+  std::copy(right.Bytes().begin(), right.Bytes().end(), concat + 32);
+  return Hash256{Sha256::HashD(bsutil::ByteSpan(concat, 64))};
+}
+}  // namespace
+
+int PartialMerkleTree::TreeHeight() const {
+  int height = 0;
+  while (WidthAt(height) > 1) ++height;
+  return height;
+}
+
+Hash256 PartialMerkleTree::SubtreeHash(int height, std::uint32_t pos,
+                                       const std::vector<Hash256>& txids) const {
+  if (height == 0) return txids[pos];
+  const Hash256 left = SubtreeHash(height - 1, pos * 2, txids);
+  // Odd tails duplicate the last child, exactly like the full merkle tree.
+  const Hash256 right = (pos * 2 + 1 < WidthAt(height - 1))
+                            ? SubtreeHash(height - 1, pos * 2 + 1, txids)
+                            : left;
+  return CombinePair(left, right);
+}
+
+void PartialMerkleTree::Build(int height, std::uint32_t pos,
+                              const std::vector<Hash256>& txids,
+                              const std::vector<bool>& matches) {
+  // Does this subtree contain any matched transaction?
+  bool parent_of_match = false;
+  for (std::uint32_t i = pos << height;
+       i < ((pos + 1u) << height) && i < total_txs_; ++i) {
+    parent_of_match |= matches[i];
+  }
+  bits_.push_back(parent_of_match);
+  if (height == 0 || !parent_of_match) {
+    hashes_.push_back(SubtreeHash(height, pos, txids));
+    return;
+  }
+  Build(height - 1, pos * 2, txids, matches);
+  if (pos * 2 + 1 < WidthAt(height - 1)) Build(height - 1, pos * 2 + 1, txids, matches);
+}
+
+PartialMerkleTree::PartialMerkleTree(const std::vector<Hash256>& txids,
+                                     const std::vector<bool>& matches)
+    : total_txs_(static_cast<std::uint32_t>(txids.size())) {
+  if (txids.empty()) return;
+  Build(TreeHeight(), 0, txids, matches);
+}
+
+PartialMerkleTree::PartialMerkleTree(std::uint32_t total_txs, std::vector<Hash256> hashes,
+                                     const bsutil::ByteVec& flag_bytes)
+    : total_txs_(total_txs), hashes_(std::move(hashes)) {
+  bits_.reserve(flag_bytes.size() * 8);
+  for (std::uint8_t byte : flag_bytes) {
+    for (int bit = 0; bit < 8; ++bit) bits_.push_back((byte >> bit) & 1);
+  }
+}
+
+bsutil::ByteVec PartialMerkleTree::FlagBytes() const {
+  bsutil::ByteVec out((bits_.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) out[i / 8] |= static_cast<std::uint8_t>(1 << (i % 8));
+  }
+  return out;
+}
+
+Hash256 PartialMerkleTree::Extract(int height, std::uint32_t pos,
+                                   std::size_t& bit_cursor, std::size_t& hash_cursor,
+                                   std::vector<Hash256>* matched,
+                                   std::vector<std::uint32_t>* positions,
+                                   bool& bad) const {
+  if (bit_cursor >= bits_.size()) {
+    bad = true;
+    return Hash256{};
+  }
+  const bool parent_of_match = bits_[bit_cursor++];
+  if (height == 0 || !parent_of_match) {
+    if (hash_cursor >= hashes_.size()) {
+      bad = true;
+      return Hash256{};
+    }
+    const Hash256 hash = hashes_[hash_cursor++];
+    if (height == 0 && parent_of_match) {
+      if (matched) matched->push_back(hash);
+      if (positions) positions->push_back(pos);
+    }
+    return hash;
+  }
+  const Hash256 left = Extract(height - 1, pos * 2, bit_cursor, hash_cursor, matched,
+                               positions, bad);
+  Hash256 right = left;
+  if (pos * 2 + 1 < WidthAt(height - 1)) {
+    right = Extract(height - 1, pos * 2 + 1, bit_cursor, hash_cursor, matched,
+                    positions, bad);
+    if (right == left) bad = true;  // the CVE-2012-2459 duplication check
+  }
+  return CombinePair(left, right);
+}
+
+std::optional<Hash256> PartialMerkleTree::ExtractMatches(
+    std::vector<Hash256>* matched_txids, std::vector<std::uint32_t>* positions) const {
+  if (matched_txids) matched_txids->clear();
+  if (positions) positions->clear();
+  if (total_txs_ == 0 || bits_.empty() || hashes_.empty()) return std::nullopt;
+  if (hashes_.size() > total_txs_) return std::nullopt;
+
+  bool bad = false;
+  std::size_t bit_cursor = 0, hash_cursor = 0;
+  const Hash256 root = Extract(TreeHeight(), 0, bit_cursor, hash_cursor, matched_txids,
+                               positions, bad);
+  if (bad) return std::nullopt;
+  // All hashes must be consumed; unused flag bits may only be byte padding.
+  if (hash_cursor != hashes_.size()) return std::nullopt;
+  if ((bit_cursor + 7) / 8 != (bits_.size() + 7) / 8) return std::nullopt;
+  for (std::size_t i = bit_cursor; i < bits_.size(); ++i) {
+    if (bits_[i]) return std::nullopt;  // set bit in the padding
+  }
+  return root;
+}
+
+}  // namespace bscrypto

@@ -1,0 +1,54 @@
+// BIP-37 partial merkle tree: the compact inclusion proof carried by
+// MERKLEBLOCK messages. A sender builds it from the block's txids and a
+// per-transaction match bitmap; a receiver extracts the matched txids and
+// the implied merkle root (which must equal the header's).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/hash256.hpp"
+#include "util/bytes.hpp"
+
+namespace bscrypto {
+
+class PartialMerkleTree {
+ public:
+  /// Build the proof for `txids` with `matches[i]` marking relevant txs.
+  PartialMerkleTree(const std::vector<Hash256>& txids, const std::vector<bool>& matches);
+
+  /// Reassemble from wire fields (MERKLEBLOCK's total/hashes/flags).
+  PartialMerkleTree(std::uint32_t total_txs, std::vector<Hash256> hashes,
+                    const bsutil::ByteVec& flag_bytes);
+
+  /// Verify the proof and collect matched txids (with their positions).
+  /// Returns the computed merkle root, or nullopt when the encoding is
+  /// inconsistent (bad flag/hash counts, overflow, unreached data).
+  std::optional<Hash256> ExtractMatches(std::vector<Hash256>* matched_txids,
+                                        std::vector<std::uint32_t>* positions = nullptr) const;
+
+  std::uint32_t TotalTxs() const { return total_txs_; }
+  const std::vector<Hash256>& Hashes() const { return hashes_; }
+  /// Flag bits packed LSB-first into bytes, as serialized on the wire.
+  bsutil::ByteVec FlagBytes() const;
+
+ private:
+  int TreeHeight() const;
+  std::uint32_t WidthAt(int height) const {
+    return (total_txs_ + (1u << height) - 1) >> height;
+  }
+  Hash256 SubtreeHash(int height, std::uint32_t pos,
+                      const std::vector<Hash256>& txids) const;
+  void Build(int height, std::uint32_t pos, const std::vector<Hash256>& txids,
+             const std::vector<bool>& matches);
+  Hash256 Extract(int height, std::uint32_t pos, std::size_t& bit_cursor,
+                  std::size_t& hash_cursor, std::vector<Hash256>* matched,
+                  std::vector<std::uint32_t>* positions, bool& bad) const;
+
+  std::uint32_t total_txs_ = 0;
+  std::vector<bool> bits_;
+  std::vector<Hash256> hashes_;
+};
+
+}  // namespace bscrypto

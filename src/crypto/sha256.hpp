@@ -1,0 +1,39 @@
+// From-scratch SHA-256 (FIPS 180-4). Used for message checksums, block/tx
+// ids (double-SHA256), proof-of-work, and merkle trees.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace bscrypto {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+
+  Sha256() { Reset(); }
+
+  void Reset();
+  Sha256& Update(bsutil::ByteSpan data);
+  /// Finalize into `out`; the hasher must be Reset() before reuse.
+  void Finalize(std::array<std::uint8_t, kDigestSize>& out);
+
+  /// One-shot convenience.
+  static std::array<std::uint8_t, kDigestSize> Hash(bsutil::ByteSpan data);
+  /// Bitcoin double-SHA256: SHA256(SHA256(data)).
+  static std::array<std::uint8_t, kDigestSize> HashD(bsutil::ByteSpan data);
+
+ private:
+  void Transform(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace bscrypto

@@ -1,0 +1,28 @@
+// Detection features (§VII-A-1):
+//   c — outbound peer reconnection rate (reconnections per minute), the
+//       novel Defamation-specific feature;
+//   n — overall message rate (messages per minute), the BM-DoS feature;
+//   Λ — relative message-count distribution over command names, compared
+//       against the trained reference profile by Pearson correlation.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace bsdetect {
+
+/// Features extracted from one observation window.
+struct FeatureWindow {
+  double window_minutes = 0.0;
+  double n = 0.0;  // messages per minute
+  double c = 0.0;  // outbound reconnections per minute
+  /// Extension beyond the paper's three features: wire bytes per minute over
+  /// ALL frames, including ones the codec drops before they ever count as
+  /// messages. The paper's n is blind to the bogus-BLOCK BM-DoS (its frames
+  /// fail the checksum and are never "messages"); b sees the flood.
+  double b = 0.0;
+  /// Raw counts per wire command over the window (normalized on demand).
+  std::map<std::string, double> counts;
+};
+
+}  // namespace bsdetect

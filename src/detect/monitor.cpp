@@ -1,0 +1,114 @@
+#include "detect/monitor.hpp"
+
+#include <cstdio>
+#include <set>
+
+namespace bsdetect {
+
+Monitor::Monitor(bsnet::Node& node) : node_(node) {
+  auto prev_on_message = node.on_message;
+  node.on_message = [this, prev_on_message](const bsnet::Peer& peer, bsproto::MsgType type,
+                                            std::size_t bytes) {
+    MinuteBucket& bucket = BucketFor(node_.Sched().Now());
+    ++bucket.counts[bsproto::CommandName(type)];
+    ++bucket.total;
+    ++total_messages_;
+    if (prev_on_message) prev_on_message(peer, type, bytes);
+  };
+
+  auto prev_on_frame = node.on_frame;
+  node.on_frame = [this, prev_on_frame](std::size_t frame_bytes,
+                                        bsproto::DecodeStatus status) {
+    BucketFor(node_.Sched().Now()).frame_bytes += frame_bytes;
+    if (prev_on_frame) prev_on_frame(frame_bytes, status);
+  };
+
+  auto prev_on_reconnect = node.on_outbound_reconnect;
+  node.on_outbound_reconnect = [this, prev_on_reconnect](const bsnet::Endpoint& ep) {
+    MinuteBucket& bucket = BucketFor(node_.Sched().Now());
+    ++bucket.reconnects;
+    ++total_reconnects_;
+    if (prev_on_reconnect) prev_on_reconnect(ep);
+  };
+}
+
+Monitor::MinuteBucket& Monitor::BucketFor(bsim::SimTime now) {
+  const std::int64_t minute = now / bsim::kMinute;
+  if (first_minute_ < 0) first_minute_ = minute;
+  const std::int64_t index = minute - first_minute_;
+  while (static_cast<std::int64_t>(buckets_.size()) <= index) buckets_.emplace_back();
+  return buckets_[static_cast<std::size_t>(index)];
+}
+
+FeatureWindow Monitor::Aggregate(std::size_t first_bucket, std::size_t count) const {
+  FeatureWindow window;
+  window.window_minutes = static_cast<double>(count);
+  if (count == 0) return window;
+  std::uint64_t total = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t frame_bytes = 0;
+  for (std::size_t i = first_bucket; i < first_bucket + count && i < buckets_.size(); ++i) {
+    const MinuteBucket& bucket = buckets_[i];
+    total += bucket.total;
+    reconnects += bucket.reconnects;
+    frame_bytes += bucket.frame_bytes;
+    for (const auto& [cmd, n] : bucket.counts) window.counts[cmd] += static_cast<double>(n);
+  }
+  window.n = static_cast<double>(total) / static_cast<double>(count);
+  window.c = static_cast<double>(reconnects) / static_cast<double>(count);
+  window.b = static_cast<double>(frame_bytes) / static_cast<double>(count);
+  return window;
+}
+
+FeatureWindow Monitor::Window(bsim::SimTime now, int window_minutes) const {
+  const std::int64_t minute = now / bsim::kMinute;
+  if (first_minute_ < 0 || window_minutes <= 0) return FeatureWindow{};
+  const std::int64_t end_index = minute - first_minute_;  // current (partial) minute
+  const std::int64_t begin = std::max<std::int64_t>(0, end_index - window_minutes);
+  const std::int64_t count = std::min<std::int64_t>(window_minutes, end_index - begin);
+  if (count <= 0) return FeatureWindow{};
+  return Aggregate(static_cast<std::size_t>(begin), static_cast<std::size_t>(count));
+}
+
+bool Monitor::ExportCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  std::set<std::string> commands;
+  for (const MinuteBucket& bucket : buckets_) {
+    for (const auto& [cmd, n] : bucket.counts) commands.insert(cmd);
+  }
+
+  std::fprintf(f, "minute,total,frame_bytes,reconnects");
+  for (const auto& cmd : commands) std::fprintf(f, ",%s", cmd.c_str());
+  std::fprintf(f, "\n");
+
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const MinuteBucket& bucket = buckets_[i];
+    std::fprintf(f, "%lld,%llu,%llu,%u",
+                 static_cast<long long>(first_minute_ + static_cast<std::int64_t>(i)),
+                 static_cast<unsigned long long>(bucket.total),
+                 static_cast<unsigned long long>(bucket.frame_bytes), bucket.reconnects);
+    for (const auto& cmd : commands) {
+      const auto it = bucket.counts.find(cmd);
+      std::fprintf(f, ",%llu",
+                   static_cast<unsigned long long>(it == bucket.counts.end() ? 0
+                                                                             : it->second));
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return true;
+}
+
+std::vector<FeatureWindow> Monitor::AllWindows(int window_minutes) const {
+  std::vector<FeatureWindow> out;
+  if (window_minutes <= 0) return out;
+  const std::size_t w = static_cast<std::size_t>(window_minutes);
+  for (std::size_t start = 0; start + w <= buckets_.size(); start += w) {
+    out.push_back(Aggregate(start, w));
+  }
+  return out;
+}
+
+}  // namespace bsdetect

@@ -1,0 +1,61 @@
+// The Monitor component of Fig. 9: a functional module attached to the
+// node's message plane that collects arriving Bitcoin messages and outbound
+// reconnection events into per-minute buckets (the Dataset component), from
+// which observation windows are extracted for the Analysis Engine.
+//
+// The monitor is identifier-oblivious by construction: it records message
+// *types and counts*, never peer identifiers — the property §VII-A argues is
+// required under Sybil/spoofing adversaries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "core/node.hpp"
+#include "detect/features.hpp"
+
+namespace bsdetect {
+
+class Monitor {
+ public:
+  /// Attaches to `node`'s observation hooks. Pre-existing hooks are chained,
+  /// not replaced.
+  explicit Monitor(bsnet::Node& node);
+
+  /// Extract the feature window covering the last `window_minutes` complete
+  /// minutes before `now`.
+  FeatureWindow Window(bsim::SimTime now, int window_minutes) const;
+
+  /// Extract consecutive non-overlapping windows over the whole recording
+  /// (for training).
+  std::vector<FeatureWindow> AllWindows(int window_minutes) const;
+
+  std::uint64_t TotalMessages() const { return total_messages_; }
+  std::uint64_t TotalReconnects() const { return total_reconnects_; }
+
+  /// Export the per-minute dataset as CSV (minute, total, bytes, reconnects,
+  /// then one column per command seen anywhere in the recording) — the
+  /// storable "Dataset" component of Fig. 9. Returns false on I/O failure.
+  bool ExportCsv(const std::string& path) const;
+
+ private:
+  struct MinuteBucket {
+    std::map<std::string, std::uint64_t> counts;
+    std::uint64_t total = 0;
+    std::uint64_t frame_bytes = 0;  // all frames, dropped ones included
+    std::uint32_t reconnects = 0;
+  };
+
+  MinuteBucket& BucketFor(bsim::SimTime now);
+  FeatureWindow Aggregate(std::size_t first_bucket, std::size_t count) const;
+
+  bsnet::Node& node_;
+  std::int64_t first_minute_ = -1;
+  std::deque<MinuteBucket> buckets_;  // index 0 == first_minute_
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_reconnects_ = 0;
+};
+
+}  // namespace bsdetect

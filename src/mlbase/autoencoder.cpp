@@ -1,0 +1,146 @@
+#include "mlbase/autoencoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bsml {
+
+namespace {
+void InitLayer(AutoEncoder::Config, Mat& weights, Vec& bias, std::size_t out,
+               std::size_t in, bsutil::Rng& rng) {
+  const double scale = std::sqrt(2.0 / static_cast<double>(in));
+  weights.assign(out, Vec(in));
+  bias.assign(out, 0.0);
+  for (auto& row : weights) {
+    for (double& w : row) w = rng.Normal(0.0, scale);
+  }
+}
+}  // namespace
+
+Vec AutoEncoder::Forward(const Layer& layer, const Vec& input, bool relu) const {
+  Vec out(layer.bias);
+  for (std::size_t o = 0; o < layer.weights.size(); ++o) {
+    double sum = out[o];
+    const Vec& row = layer.weights[o];
+    for (std::size_t i = 0; i < row.size() && i < input.size(); ++i) sum += row[i] * input[i];
+    out[o] = relu ? std::max(0.0, sum) : sum;
+  }
+  return out;
+}
+
+Vec AutoEncoder::Reconstruct(const Vec& z) const {
+  const Vec h1 = Forward(enc1_, z, true);
+  const Vec code = Forward(enc2_, h1, true);
+  const Vec h2 = Forward(dec1_, code, true);
+  return Forward(dec2_, h2, false);
+}
+
+void AutoEncoder::Fit(const Mat& X, const std::vector<int>& y) {
+  Mat normals;
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    if (y[i] == 0) normals.push_back(X[i]);
+  }
+  if (normals.empty()) return;
+  scaler_.Fit(normals);
+  const Mat Z = scaler_.Transform(normals);
+  const std::size_t dims = Z[0].size();
+  bsutil::Rng rng(config_.seed);
+  InitLayer(config_, enc1_.weights, enc1_.bias, config_.hidden, dims, rng);
+  InitLayer(config_, enc2_.weights, enc2_.bias, config_.bottleneck, config_.hidden, rng);
+  InitLayer(config_, dec1_.weights, dec1_.bias, config_.hidden, config_.bottleneck, rng);
+  InitLayer(config_, dec2_.weights, dec2_.bias, dims, config_.hidden, rng);
+
+  const double lr = config_.learning_rate;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const Vec& x : Z) {
+      // Forward with cached activations.
+      const Vec h1 = Forward(enc1_, x, true);
+      const Vec code = Forward(enc2_, h1, true);
+      const Vec h2 = Forward(dec1_, code, true);
+      const Vec out = Forward(dec2_, h2, false);
+
+      // Backprop of squared error.
+      Vec delta_out(dims);
+      for (std::size_t d = 0; d < dims; ++d) delta_out[d] = out[d] - x[d];
+
+      Vec delta_h2(config_.hidden, 0.0);
+      for (std::size_t j = 0; j < config_.hidden; ++j) {
+        double sum = 0.0;
+        for (std::size_t d = 0; d < dims; ++d) sum += delta_out[d] * dec2_.weights[d][j];
+        delta_h2[j] = sum * (h2[j] > 0.0 ? 1.0 : 0.0);
+      }
+      Vec delta_code(config_.bottleneck, 0.0);
+      for (std::size_t j = 0; j < config_.bottleneck; ++j) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < config_.hidden; ++k) {
+          sum += delta_h2[k] * dec1_.weights[k][j];
+        }
+        delta_code[j] = sum * (code[j] > 0.0 ? 1.0 : 0.0);
+      }
+      Vec delta_h1(config_.hidden, 0.0);
+      for (std::size_t j = 0; j < config_.hidden; ++j) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < config_.bottleneck; ++k) {
+          sum += delta_code[k] * enc2_.weights[k][j];
+        }
+        delta_h1[j] = sum * (h1[j] > 0.0 ? 1.0 : 0.0);
+      }
+
+      for (std::size_t d = 0; d < dims; ++d) {
+        for (std::size_t j = 0; j < config_.hidden; ++j) {
+          dec2_.weights[d][j] -= lr * delta_out[d] * h2[j];
+        }
+        dec2_.bias[d] -= lr * delta_out[d];
+      }
+      for (std::size_t k = 0; k < config_.hidden; ++k) {
+        for (std::size_t j = 0; j < config_.bottleneck; ++j) {
+          dec1_.weights[k][j] -= lr * delta_h2[k] * code[j];
+        }
+        dec1_.bias[k] -= lr * delta_h2[k];
+      }
+      for (std::size_t k = 0; k < config_.bottleneck; ++k) {
+        for (std::size_t j = 0; j < config_.hidden; ++j) {
+          enc2_.weights[k][j] -= lr * delta_code[k] * h1[j];
+        }
+        enc2_.bias[k] -= lr * delta_code[k];
+      }
+      for (std::size_t k = 0; k < config_.hidden; ++k) {
+        for (std::size_t d = 0; d < dims; ++d) {
+          enc1_.weights[k][d] -= lr * delta_h1[k] * x[d];
+        }
+        enc1_.bias[k] -= lr * delta_h1[k];
+      }
+    }
+  }
+
+  // Threshold: high quantile of training reconstruction errors.
+  Vec errors;
+  errors.reserve(Z.size());
+  for (const Vec& x : Z) {
+    const Vec out = Reconstruct(x);
+    double err = 0.0;
+    for (std::size_t d = 0; d < dims; ++d) err += (out[d] - x[d]) * (out[d] - x[d]);
+    errors.push_back(err);
+  }
+  std::sort(errors.begin(), errors.end());
+  const std::size_t idx = std::min(
+      errors.size() - 1,
+      static_cast<std::size_t>(config_.threshold_quantile *
+                               static_cast<double>(errors.size())));
+  threshold_ = errors[idx] * 1.5;  // slack above the observed quantile
+}
+
+double AutoEncoder::ReconstructionError(const Vec& x) const {
+  if (enc1_.weights.empty()) return 0.0;
+  const Vec z = scaler_.Transform(x);
+  const Vec out = Reconstruct(z);
+  double err = 0.0;
+  for (std::size_t d = 0; d < z.size(); ++d) err += (out[d] - z[d]) * (out[d] - z[d]);
+  return err;
+}
+
+int AutoEncoder::Predict(const Vec& x) const {
+  return ReconstructionError(x) > threshold_ ? 1 : 0;
+}
+
+}  // namespace bsml

@@ -1,0 +1,46 @@
+// Autoencoder anomaly detector: a bottleneck MLP trained to reconstruct
+// normal feature vectors; anomalies reconstruct badly. The alert threshold
+// is a high quantile of the training reconstruction errors (the approach of
+// the paper's [22] baseline).
+#pragma once
+
+#include "mlbase/dataset.hpp"
+
+namespace bsml {
+
+class AutoEncoder : public Detector {
+ public:
+  struct Config {
+    std::size_t hidden = 16;
+    std::size_t bottleneck = 4;
+    int epochs = 80;
+    double learning_rate = 0.01;
+    double threshold_quantile = 0.99;
+    std::uint64_t seed = 53;
+  };
+
+  AutoEncoder() : AutoEncoder(Config{}) {}
+  explicit AutoEncoder(Config config) : config_(config) {}
+
+  const char* Name() const override { return "AE"; }
+  /// Fits on rows with y == 0 only.
+  void Fit(const Mat& X, const std::vector<int>& y) override;
+  int Predict(const Vec& x) const override;
+  double ReconstructionError(const Vec& x) const;
+  double Threshold() const { return threshold_; }
+
+ private:
+  struct Layer {
+    Mat weights;
+    Vec bias;
+  };
+  Vec Forward(const Layer& layer, const Vec& input, bool relu) const;
+  Vec Reconstruct(const Vec& z) const;
+
+  Config config_;
+  Standardizer scaler_;
+  Layer enc1_, enc2_, dec1_, dec2_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace bsml

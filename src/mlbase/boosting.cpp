@@ -1,0 +1,49 @@
+#include "mlbase/boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bsml {
+
+void GradientBoosting::Fit(const Mat& X, const std::vector<int>& y) {
+  trees_.clear();
+  if (X.empty()) return;
+  bsutil::Rng rng(config_.seed);
+
+  // Base score: log-odds of the positive class.
+  double pos = 0.0;
+  for (int label : y) pos += label;
+  const double p = std::clamp(pos / static_cast<double>(y.size()), 1e-6, 1.0 - 1e-6);
+  base_score_ = std::log(p / (1.0 - p));
+
+  Vec scores(X.size(), base_score_);
+  std::vector<std::size_t> all(X.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  for (int round = 0; round < config_.rounds; ++round) {
+    // Negative gradient of logistic loss: residual y - sigmoid(score).
+    Vec residuals(X.size());
+    for (std::size_t i = 0; i < X.size(); ++i) {
+      const double prob = 1.0 / (1.0 + std::exp(-scores[i]));
+      residuals[i] = static_cast<double>(y[i]) - prob;
+    }
+    RegressionTree::Config tree_config;
+    tree_config.max_depth = config_.max_depth;
+    RegressionTree tree(tree_config);
+    tree.Fit(X, residuals, all, rng);
+    for (std::size_t i = 0; i < X.size(); ++i) {
+      scores[i] += config_.learning_rate * tree.Predict(X[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoosting::Score(const Vec& x) const {
+  double score = base_score_;
+  for (const auto& tree : trees_) score += config_.learning_rate * tree.Predict(x);
+  return score;
+}
+
+int GradientBoosting::Predict(const Vec& x) const { return Score(x) >= 0.0 ? 1 : 0; }
+
+}  // namespace bsml

@@ -1,0 +1,33 @@
+// Gradient boosting with shallow regression trees on logistic loss.
+#pragma once
+
+#include <vector>
+
+#include "mlbase/tree.hpp"
+
+namespace bsml {
+
+class GradientBoosting : public Detector {
+ public:
+  struct Config {
+    int rounds = 60;
+    int max_depth = 3;
+    double learning_rate = 0.2;
+    std::uint64_t seed = 23;
+  };
+
+  GradientBoosting() : GradientBoosting(Config{}) {}
+  explicit GradientBoosting(Config config) : config_(config) {}
+
+  const char* Name() const override { return "GB"; }
+  void Fit(const Mat& X, const std::vector<int>& y) override;
+  int Predict(const Vec& x) const override;
+  double Score(const Vec& x) const;  // raw additive score (log-odds)
+
+ private:
+  Config config_;
+  double base_score_ = 0.0;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace bsml

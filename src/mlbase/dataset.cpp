@@ -1,0 +1,86 @@
+#include "mlbase/dataset.hpp"
+
+#include <cmath>
+
+namespace bsml {
+
+double Accuracy(const Detector& model, const Mat& X, const std::vector<int>& y) {
+  if (X.empty() || X.size() != y.size()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    if (model.Predict(X[i]) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(X.size());
+}
+
+void Standardizer::Fit(const Mat& X) {
+  if (X.empty()) return;
+  const std::size_t dims = X[0].size();
+  mean_.assign(dims, 0.0);
+  stddev_.assign(dims, 0.0);
+  for (const Vec& row : X) {
+    for (std::size_t d = 0; d < dims; ++d) mean_[d] += row[d];
+  }
+  for (double& m : mean_) m /= static_cast<double>(X.size());
+  for (const Vec& row : X) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double diff = row[d] - mean_[d];
+      stddev_[d] += diff * diff;
+    }
+  }
+  for (double& s : stddev_) {
+    s = std::sqrt(s / static_cast<double>(X.size()));
+    if (s < 1e-12) s = 1.0;  // constant feature: leave it centered
+  }
+}
+
+Vec Standardizer::Transform(const Vec& x) const {
+  Vec out(x.size());
+  for (std::size_t d = 0; d < x.size() && d < mean_.size(); ++d) {
+    out[d] = (x[d] - mean_[d]) / stddev_[d];
+  }
+  return out;
+}
+
+Mat Standardizer::Transform(const Mat& X) const {
+  Mat out;
+  out.reserve(X.size());
+  for (const Vec& row : X) out.push_back(Transform(row));
+  return out;
+}
+
+LabeledData MakeSyntheticTrafficData(std::size_t normals, std::size_t anomalies,
+                                     std::size_t dims, std::uint64_t seed) {
+  bsutil::Rng rng(seed);
+  LabeledData data;
+  data.X.reserve(normals + anomalies);
+  data.y.reserve(normals + anomalies);
+  // Normal rows: rate features near 320/min and 1/min, distribution shares
+  // around a fixed profile with sampling noise.
+  for (std::size_t i = 0; i < normals; ++i) {
+    Vec row(dims);
+    row[0] = rng.Normal(320.0, 25.0);  // message rate
+    if (dims > 1) row[1] = std::max(0.0, rng.Normal(0.8, 0.5));  // reconnect rate
+    for (std::size_t d = 2; d < dims; ++d) {
+      row[d] = std::max(0.0, rng.Normal(1.0 / static_cast<double>(dims), 0.01));
+    }
+    data.X.push_back(std::move(row));
+    data.y.push_back(0);
+  }
+  // Anomalous rows: flooded rate or elevated churn, skewed distribution.
+  for (std::size_t i = 0; i < anomalies; ++i) {
+    Vec row(dims);
+    const bool flood = rng.Chance(0.5);
+    row[0] = flood ? rng.Normal(15000.0, 2000.0) : rng.Normal(330.0, 25.0);
+    if (dims > 1) row[1] = flood ? rng.Normal(0.8, 0.5) : rng.Normal(5.3, 1.0);
+    for (std::size_t d = 2; d < dims; ++d) {
+      const double base = (d == 2 && flood) ? 0.9 : 0.1 / static_cast<double>(dims);
+      row[d] = std::max(0.0, rng.Normal(base, 0.01));
+    }
+    data.X.push_back(std::move(row));
+    data.y.push_back(1);
+  }
+  return data;
+}
+
+}  // namespace bsml

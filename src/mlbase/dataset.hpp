@@ -1,0 +1,59 @@
+// Common interfaces for the Fig. 11 ML baselines.
+//
+// The paper compares its statistical engine's training/testing latency
+// against seven literature approaches: Logistic Regression, Gradient
+// Boosting, Random Forest, SVM, DNN, One-Class SVM, and AutoEncoder. These
+// are from-scratch implementations sized like the cited works use them —
+// the experiment measures latency orders of magnitude, not leaderboard
+// accuracy (though every baseline must actually learn; the tests check it).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bsml {
+
+using Vec = std::vector<double>;
+using Mat = std::vector<Vec>;
+
+/// Binary anomaly detector: label 0 = normal, 1 = anomalous.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  virtual const char* Name() const = 0;
+  /// Train. Unsupervised detectors (OC-SVM, AutoEncoder) fit on the normal
+  /// rows only and ignore the anomalous ones.
+  virtual void Fit(const Mat& X, const std::vector<int>& y) = 0;
+  virtual int Predict(const Vec& x) const = 0;
+};
+
+/// Fraction of correct predictions.
+double Accuracy(const Detector& model, const Mat& X, const std::vector<int>& y);
+
+/// Per-feature z-score standardization fitted on training data.
+class Standardizer {
+ public:
+  void Fit(const Mat& X);
+  Vec Transform(const Vec& x) const;
+  Mat Transform(const Mat& X) const;
+
+ private:
+  Vec mean_;
+  Vec stddev_;
+};
+
+/// Deterministic synthetic dataset resembling the detection feature space:
+/// normal rows cluster around a traffic profile, anomalous rows shift the
+/// rate/distribution coordinates. Used by tests and the Fig. 11 bench when a
+/// simulated capture is not supplied.
+struct LabeledData {
+  Mat X;
+  std::vector<int> y;
+};
+LabeledData MakeSyntheticTrafficData(std::size_t normals, std::size_t anomalies,
+                                     std::size_t dims, std::uint64_t seed);
+
+}  // namespace bsml

@@ -1,0 +1,100 @@
+#include "mlbase/dnn.hpp"
+
+#include <cmath>
+
+namespace bsml {
+
+namespace {
+
+void InitLayer(Mat& weights, Vec& bias, std::size_t out, std::size_t in,
+               bsutil::Rng& rng) {
+  const double scale = std::sqrt(2.0 / static_cast<double>(in));
+  weights.assign(out, Vec(in));
+  bias.assign(out, 0.0);
+  for (auto& row : weights) {
+    for (double& w : row) w = rng.Normal(0.0, scale);
+  }
+}
+
+}  // namespace
+
+Vec Dnn::Forward(const Layer& layer, const Vec& input, bool relu) const {
+  Vec out(layer.bias);
+  for (std::size_t o = 0; o < layer.weights.size(); ++o) {
+    const Vec& row = layer.weights[o];
+    double sum = out[o];
+    for (std::size_t i = 0; i < row.size() && i < input.size(); ++i) sum += row[i] * input[i];
+    out[o] = relu ? std::max(0.0, sum) : sum;
+  }
+  return out;
+}
+
+void Dnn::Fit(const Mat& X, const std::vector<int>& y) {
+  if (X.empty()) return;
+  scaler_.Fit(X);
+  const Mat Z = scaler_.Transform(X);
+  const std::size_t dims = Z[0].size();
+  bsutil::Rng rng(config_.seed);
+  InitLayer(l1_.weights, l1_.bias, config_.hidden1, dims, rng);
+  InitLayer(l2_.weights, l2_.bias, config_.hidden2, config_.hidden1, rng);
+  InitLayer(l3_.weights, l3_.bias, 1, config_.hidden2, rng);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t start = 0; start < Z.size(); start += config_.batch_size) {
+      const std::size_t end = std::min(Z.size(), start + config_.batch_size);
+      for (std::size_t i = start; i < end; ++i) {
+        // Forward pass, keeping activations.
+        const Vec h1 = Forward(l1_, Z[i], /*relu=*/true);
+        const Vec h2 = Forward(l2_, h1, /*relu=*/true);
+        const double logit = Forward(l3_, h2, /*relu=*/false)[0];
+        const double prob = 1.0 / (1.0 + std::exp(-logit));
+        const double delta_out = prob - static_cast<double>(y[i]);  // dL/dlogit
+
+        // Backward pass.
+        Vec delta_h2(config_.hidden2, 0.0);
+        for (std::size_t j = 0; j < config_.hidden2; ++j) {
+          delta_h2[j] = delta_out * l3_.weights[0][j] * (h2[j] > 0.0 ? 1.0 : 0.0);
+        }
+        Vec delta_h1(config_.hidden1, 0.0);
+        for (std::size_t j = 0; j < config_.hidden1; ++j) {
+          double sum = 0.0;
+          for (std::size_t k = 0; k < config_.hidden2; ++k) {
+            sum += delta_h2[k] * l2_.weights[k][j];
+          }
+          delta_h1[j] = sum * (h1[j] > 0.0 ? 1.0 : 0.0);
+        }
+
+        const double lr = config_.learning_rate;
+        for (std::size_t j = 0; j < config_.hidden2; ++j) {
+          l3_.weights[0][j] -= lr * delta_out * h2[j];
+        }
+        l3_.bias[0] -= lr * delta_out;
+        for (std::size_t k = 0; k < config_.hidden2; ++k) {
+          for (std::size_t j = 0; j < config_.hidden1; ++j) {
+            l2_.weights[k][j] -= lr * delta_h2[k] * h1[j];
+          }
+          l2_.bias[k] -= lr * delta_h2[k];
+        }
+        for (std::size_t j = 0; j < config_.hidden1; ++j) {
+          for (std::size_t d = 0; d < dims; ++d) {
+            l1_.weights[j][d] -= lr * delta_h1[j] * Z[i][d];
+          }
+          l1_.bias[j] -= lr * delta_h1[j];
+        }
+      }
+    }
+  }
+}
+
+double Dnn::PredictProba(const Vec& x) const {
+  if (l1_.weights.empty()) return 0.0;
+  const Vec z = scaler_.Transform(x);
+  const Vec h1 = Forward(l1_, z, true);
+  const Vec h2 = Forward(l2_, h1, true);
+  const double logit = Forward(l3_, h2, false)[0];
+  return 1.0 / (1.0 + std::exp(-logit));
+}
+
+int Dnn::Predict(const Vec& x) const { return PredictProba(x) >= 0.5 ? 1 : 0; }
+
+}  // namespace bsml

@@ -1,0 +1,41 @@
+// Small multi-layer perceptron (two ReLU hidden layers, sigmoid output)
+// trained with mini-batch SGD and backpropagation.
+#pragma once
+
+#include "mlbase/dataset.hpp"
+
+namespace bsml {
+
+class Dnn : public Detector {
+ public:
+  struct Config {
+    std::size_t hidden1 = 32;
+    std::size_t hidden2 = 16;
+    int epochs = 60;
+    std::size_t batch_size = 32;
+    double learning_rate = 0.01;
+    std::uint64_t seed = 41;
+  };
+
+  Dnn() : Dnn(Config{}) {}
+  explicit Dnn(Config config) : config_(config) {}
+
+  const char* Name() const override { return "DNN"; }
+  void Fit(const Mat& X, const std::vector<int>& y) override;
+  int Predict(const Vec& x) const override;
+  double PredictProba(const Vec& x) const;
+
+ private:
+  struct Layer {
+    Mat weights;  // [out][in]
+    Vec bias;
+  };
+
+  Vec Forward(const Layer& layer, const Vec& input, bool relu) const;
+
+  Config config_;
+  Standardizer scaler_;
+  Layer l1_, l2_, l3_;
+};
+
+}  // namespace bsml

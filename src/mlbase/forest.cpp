@@ -1,0 +1,137 @@
+#include "mlbase/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bsml {
+
+// ---------------------------------------------------------------------------
+// RegressionTree
+
+void RegressionTree::Fit(const Mat& X, const Vec& targets,
+                         const std::vector<std::size_t>& indices, bsutil::Rng& rng) {
+  std::vector<std::size_t> working = indices;
+  root_ = Build(X, targets, working, 0, rng);
+}
+
+std::unique_ptr<RegressionTree::Node> RegressionTree::Build(
+    const Mat& X, const Vec& targets, std::vector<std::size_t>& indices, int depth,
+    bsutil::Rng& rng) {
+  auto node = std::make_unique<Node>();
+  double mean = 0.0;
+  for (std::size_t i : indices) mean += targets[i];
+  mean /= indices.empty() ? 1.0 : static_cast<double>(indices.size());
+  node->value = mean;
+
+  if (depth >= config_.max_depth || indices.size() < config_.min_samples_split) {
+    return node;
+  }
+
+  const std::size_t dims = X.empty() ? 0 : X[0].size();
+  std::size_t features_to_try = config_.feature_subsample == 0
+                                    ? dims
+                                    : std::min(config_.feature_subsample, dims);
+
+  double best_gain = 1e-12;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  // Baseline SSE.
+  double sse = 0.0;
+  for (std::size_t i : indices) sse += (targets[i] - mean) * (targets[i] - mean);
+
+  for (std::size_t t = 0; t < features_to_try; ++t) {
+    const std::size_t f =
+        config_.feature_subsample == 0 ? t : static_cast<std::size_t>(rng.Below(dims));
+    // Candidate thresholds: a handful of sampled split points.
+    for (int c = 0; c < 8; ++c) {
+      const std::size_t pivot = indices[rng.Below(indices.size())];
+      const double threshold = X[pivot][f];
+      double left_sum = 0, right_sum = 0;
+      std::size_t left_n = 0, right_n = 0;
+      for (std::size_t i : indices) {
+        if (X[i][f] <= threshold) {
+          left_sum += targets[i];
+          ++left_n;
+        } else {
+          right_sum += targets[i];
+          ++right_n;
+        }
+      }
+      if (left_n == 0 || right_n == 0) continue;
+      const double lm = left_sum / static_cast<double>(left_n);
+      const double rm = right_sum / static_cast<double>(right_n);
+      double split_sse = 0.0;
+      for (std::size_t i : indices) {
+        const double m = X[i][f] <= threshold ? lm : rm;
+        split_sse += (targets[i] - m) * (targets[i] - m);
+      }
+      const double gain = sse - split_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_gain <= 1e-12) return node;
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : indices) {
+    (X[i][best_feature] <= best_threshold ? left_idx : right_idx).push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node;
+
+  node->leaf = false;
+  node->feature = best_feature;
+  node->threshold = best_threshold;
+  node->left = Build(X, targets, left_idx, depth + 1, rng);
+  node->right = Build(X, targets, right_idx, depth + 1, rng);
+  return node;
+}
+
+double RegressionTree::Predict(const Vec& x) const {
+  const Node* node = root_.get();
+  if (node == nullptr) return 0.0;
+  while (!node->leaf) {
+    node = (x[node->feature] <= node->threshold) ? node->left.get() : node->right.get();
+  }
+  return node->value;
+}
+
+// ---------------------------------------------------------------------------
+// RandomForest
+
+void RandomForest::Fit(const Mat& X, const std::vector<int>& y) {
+  trees_.clear();
+  if (X.empty()) return;
+  bsutil::Rng rng(config_.seed);
+  Vec targets(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) targets[i] = static_cast<double>(y[i]);
+  const std::size_t dims = X[0].size();
+
+  for (int t = 0; t < config_.num_trees; ++t) {
+    RegressionTree::Config tree_config;
+    tree_config.max_depth = config_.max_depth;
+    tree_config.feature_subsample =
+        std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(dims)));
+    RegressionTree tree(tree_config);
+    // Bootstrap sample.
+    std::vector<std::size_t> indices(X.size());
+    for (auto& idx : indices) idx = static_cast<std::size_t>(rng.Below(X.size()));
+    tree.Fit(X, targets, indices, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::Score(const Vec& x) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.Predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+int RandomForest::Predict(const Vec& x) const { return Score(x) >= 0.5 ? 1 : 0; }
+
+}  // namespace bsml

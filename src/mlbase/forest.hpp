@@ -1,0 +1,32 @@
+// Random forest: bagged regression trees with feature subsampling, majority
+// (mean-score) vote.
+#pragma once
+
+#include <vector>
+
+#include "mlbase/tree.hpp"
+
+namespace bsml {
+
+class RandomForest : public Detector {
+ public:
+  struct Config {
+    int num_trees = 50;
+    int max_depth = 6;
+    std::uint64_t seed = 17;
+  };
+
+  RandomForest() : RandomForest(Config{}) {}
+  explicit RandomForest(Config config) : config_(config) {}
+
+  const char* Name() const override { return "RF"; }
+  void Fit(const Mat& X, const std::vector<int>& y) override;
+  int Predict(const Vec& x) const override;
+  double Score(const Vec& x) const;
+
+ private:
+  Config config_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace bsml

@@ -1,0 +1,105 @@
+#include "mlbase/kernel_svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bsml {
+
+// ---------------------------------------------------------------------------
+// KernelSvm
+
+double KernelSvm::Kernel(const Vec& a, const Vec& b) const {
+  double dist2 = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t d = 0; d < n; ++d) {
+    const double diff = a[d] - b[d];
+    dist2 += diff * diff;
+  }
+  return std::exp(-config_.gamma * dist2);
+}
+
+void KernelSvm::Fit(const Mat& X, const std::vector<int>& y) {
+  if (X.empty()) return;
+  scaler_.Fit(X);
+  support_ = scaler_.Transform(X);
+  alpha_.assign(X.size(), 0.0);
+
+  bsutil::Rng rng(config_.seed);
+  // Kernelized Pegasos (Shalev-Shwartz et al.): on a margin violation the
+  // sampled point's coefficient is incremented; the decision function is
+  // (1/(lambda*t)) * sum_j alpha_j y_j K(x_j, x).
+  for (int t = 1; t <= config_.iterations; ++t) {
+    const std::size_t i = static_cast<std::size_t>(rng.Below(support_.size()));
+    const double label = y[i] == 1 ? 1.0 : -1.0;
+    double sum = 0.0;
+    for (std::size_t j = 0; j < support_.size(); ++j) {
+      if (alpha_[j] != 0.0) sum += alpha_[j] * Kernel(support_[j], support_[i]);
+    }
+    const double margin = label * sum / (config_.lambda * static_cast<double>(t));
+    if (margin < 1.0) alpha_[i] += label;
+  }
+  scale_ = 1.0 / (config_.lambda * static_cast<double>(config_.iterations));
+}
+
+double KernelSvm::Margin(const Vec& x) const {
+  if (support_.empty()) return 0.0;
+  const Vec z = scaler_.Transform(x);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < support_.size(); ++j) {
+    if (alpha_[j] != 0.0) sum += alpha_[j] * Kernel(support_[j], z);
+  }
+  return sum * scale_;
+}
+
+int KernelSvm::Predict(const Vec& x) const { return Margin(x) >= 0.0 ? 1 : 0; }
+
+// ---------------------------------------------------------------------------
+// KernelOneClass
+
+double KernelOneClass::Kernel(const Vec& a, const Vec& b) const {
+  double dist2 = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t d = 0; d < n; ++d) {
+    const double diff = a[d] - b[d];
+    dist2 += diff * diff;
+  }
+  return std::exp(-config_.gamma * dist2);
+}
+
+void KernelOneClass::Fit(const Mat& X, const std::vector<int>& y) {
+  Mat normals;
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    if (y[i] == 0) normals.push_back(X[i]);
+  }
+  if (normals.empty()) return;
+  scaler_.Fit(normals);
+  support_ = scaler_.Transform(normals);
+
+  // Self-scores: mean kernel similarity of each training point to the rest.
+  Vec self_scores;
+  self_scores.reserve(support_.size());
+  for (const Vec& z : support_) {
+    double sum = 0.0;
+    for (const Vec& other : support_) sum += Kernel(z, other);
+    self_scores.push_back(sum / static_cast<double>(support_.size()));
+  }
+  std::sort(self_scores.begin(), self_scores.end());
+  const std::size_t idx = std::min(
+      self_scores.size() - 1,
+      static_cast<std::size_t>(config_.nu * static_cast<double>(self_scores.size())));
+  threshold_ = self_scores[idx] * 0.8;  // slack below the nu quantile
+}
+
+double KernelOneClass::Score(const Vec& x) const {
+  if (support_.empty()) return 0.0;
+  const Vec z = scaler_.Transform(x);
+  double sum = 0.0;
+  for (const Vec& other : support_) sum += Kernel(z, other);
+  return sum / static_cast<double>(support_.size());
+}
+
+int KernelOneClass::Predict(const Vec& x) const {
+  return Score(x) < threshold_ ? 1 : 0;
+}
+
+}  // namespace bsml

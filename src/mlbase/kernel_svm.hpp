@@ -1,0 +1,67 @@
+// RBF-kernel SVM trained with kernelized Pegasos — the baseline matching the
+// literature's sklearn SVC usage (kernel methods, not linear models). Each
+// update evaluates the kernel against every support coefficient, so training
+// is O(iterations * n * d), the cost profile Fig. 11 compares against.
+#pragma once
+
+#include "mlbase/dataset.hpp"
+
+namespace bsml {
+
+class KernelSvm : public Detector {
+ public:
+  struct Config {
+    int iterations = 20'000;
+    double lambda = 1e-4;
+    double gamma = 0.05;  // RBF width
+    std::uint64_t seed = 37;
+  };
+
+  KernelSvm() : KernelSvm(Config{}) {}
+  explicit KernelSvm(Config config) : config_(config) {}
+
+  const char* Name() const override { return "SVM(RBF)"; }
+  void Fit(const Mat& X, const std::vector<int>& y) override;
+  int Predict(const Vec& x) const override;
+  double Margin(const Vec& x) const;
+
+ private:
+  double Kernel(const Vec& a, const Vec& b) const;
+
+  Config config_;
+  Standardizer scaler_;
+  Mat support_;             // standardized training points
+  Vec alpha_;               // per-point coefficients (signed by label)
+  double scale_ = 1.0;      // Pegasos 1/(lambda*T) factor
+};
+
+/// Kernel-density one-class detector (the RBF OC-SVM stand-in): scores a
+/// point by its mean RBF similarity to the training set; the alert threshold
+/// is the ν quantile of the training self-scores. Training computes the full
+/// pairwise kernel matrix diagonal pass — O(n^2 d), like a kernel OC-SVM.
+class KernelOneClass : public Detector {
+ public:
+  struct Config {
+    double nu = 0.02;
+    double gamma = 0.05;
+    std::uint64_t seed = 59;
+  };
+
+  KernelOneClass() : KernelOneClass(Config{}) {}
+  explicit KernelOneClass(Config config) : config_(config) {}
+
+  const char* Name() const override { return "OC-SVM(RBF)"; }
+  void Fit(const Mat& X, const std::vector<int>& y) override;
+  int Predict(const Vec& x) const override;
+  double Score(const Vec& x) const;
+
+ private:
+  double Kernel(const Vec& a, const Vec& b) const;
+
+  Config config_;
+  Standardizer scaler_;
+  Mat support_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace bsml

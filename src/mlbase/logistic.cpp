@@ -1,0 +1,49 @@
+#include "mlbase/logistic.hpp"
+
+#include <cmath>
+
+namespace bsml {
+
+namespace {
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+void LogisticRegression::Fit(const Mat& X, const std::vector<int>& y) {
+  if (X.empty()) return;
+  scaler_.Fit(X);
+  const Mat Z = scaler_.Transform(X);
+  const std::size_t dims = Z[0].size();
+  const double n = static_cast<double>(Z.size());
+  weights_.assign(dims, 0.0);
+  bias_ = 0.0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Vec grad(dims, 0.0);
+    double grad_bias = 0.0;
+    for (std::size_t i = 0; i < Z.size(); ++i) {
+      double z = bias_;
+      for (std::size_t d = 0; d < dims; ++d) z += weights_[d] * Z[i][d];
+      const double err = Sigmoid(z) - static_cast<double>(y[i]);
+      for (std::size_t d = 0; d < dims; ++d) grad[d] += err * Z[i][d];
+      grad_bias += err;
+    }
+    for (std::size_t d = 0; d < dims; ++d) {
+      weights_[d] -= config_.learning_rate * (grad[d] / n + config_.l2 * weights_[d]);
+    }
+    bias_ -= config_.learning_rate * grad_bias / n;
+  }
+}
+
+double LogisticRegression::PredictProba(const Vec& x) const {
+  if (weights_.empty()) return 0.0;  // untrained: everything is normal
+  const Vec z = scaler_.Transform(x);
+  double s = bias_;
+  for (std::size_t d = 0; d < z.size() && d < weights_.size(); ++d) s += weights_[d] * z[d];
+  return Sigmoid(s);
+}
+
+int LogisticRegression::Predict(const Vec& x) const {
+  return PredictProba(x) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace bsml

@@ -1,0 +1,32 @@
+// Logistic regression trained by full-batch gradient descent.
+#pragma once
+
+#include "mlbase/dataset.hpp"
+
+namespace bsml {
+
+class LogisticRegression : public Detector {
+ public:
+  struct Config {
+    int epochs = 300;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+  };
+
+  LogisticRegression() : LogisticRegression(Config{}) {}
+  explicit LogisticRegression(Config config) : config_(config) {}
+
+  const char* Name() const override { return "LR"; }
+  void Fit(const Mat& X, const std::vector<int>& y) override;
+  int Predict(const Vec& x) const override;
+  /// P(anomalous | x).
+  double PredictProba(const Vec& x) const;
+
+ private:
+  Config config_;
+  Standardizer scaler_;
+  Vec weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace bsml

@@ -1,0 +1,53 @@
+#include "mlbase/ocsvm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bsml {
+
+void OneClassSvm::Fit(const Mat& X, const std::vector<int>& y) {
+  Mat normals;
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    if (y[i] == 0) normals.push_back(X[i]);
+  }
+  if (normals.empty()) return;
+  scaler_.Fit(normals);
+  const Mat Z = scaler_.Transform(normals);
+  const std::size_t dims = Z[0].size();
+
+  center_.assign(dims, 0.0);
+  for (const Vec& z : Z) {
+    for (std::size_t d = 0; d < dims; ++d) center_[d] += z[d];
+  }
+  for (double& c : center_) c /= static_cast<double>(Z.size());
+
+  // Soft radius: the (1-ν) quantile of training distances, with slack, so a
+  // ν fraction of training normals may sit outside the sphere.
+  Vec distances;
+  distances.reserve(Z.size());
+  for (const Vec& z : Z) distances.push_back(DistanceToCenter(z));
+  std::sort(distances.begin(), distances.end());
+  const std::size_t idx = std::min(
+      distances.size() - 1,
+      static_cast<std::size_t>((1.0 - config_.nu) *
+                               static_cast<double>(distances.size())));
+  radius_ = distances[idx] * config_.radius_slack;
+}
+
+double OneClassSvm::DistanceToCenter(const Vec& z) const {
+  double sum = 0.0;
+  for (std::size_t d = 0; d < z.size() && d < center_.size(); ++d) {
+    const double diff = z[d] - center_[d];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+double OneClassSvm::Decision(const Vec& x) const {
+  if (center_.empty()) return 0.0;
+  return radius_ - DistanceToCenter(scaler_.Transform(x));
+}
+
+int OneClassSvm::Predict(const Vec& x) const { return Decision(x) < 0.0 ? 1 : 0; }
+
+}  // namespace bsml

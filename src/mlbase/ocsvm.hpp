@@ -1,0 +1,39 @@
+// One-class SVM baseline, in the SVDD (support vector data description)
+// formulation — the sphere-boundary model equivalent to an RBF one-class SVM
+// for our feature space. Fits a center on the normal class and a soft radius
+// at the (1-ν) quantile of training distances; points outside the sphere are
+// anomalous.
+#pragma once
+
+#include "mlbase/dataset.hpp"
+
+namespace bsml {
+
+class OneClassSvm : public Detector {
+ public:
+  struct Config {
+    double nu = 0.02;  // tolerated training outlier fraction
+    double radius_slack = 1.25;
+    std::uint64_t seed = 47;
+  };
+
+  OneClassSvm() : OneClassSvm(Config{}) {}
+  explicit OneClassSvm(Config config) : config_(config) {}
+
+  const char* Name() const override { return "OC-SVM"; }
+  /// Fits on rows with y == 0 (normal); anomalous rows are ignored.
+  void Fit(const Mat& X, const std::vector<int>& y) override;
+  int Predict(const Vec& x) const override;
+  /// Decision value: negative means anomalous (outside the sphere).
+  double Decision(const Vec& x) const;
+
+ private:
+  double DistanceToCenter(const Vec& z) const;
+
+  Config config_;
+  Standardizer scaler_;
+  Vec center_;
+  double radius_ = 0.0;
+};
+
+}  // namespace bsml

@@ -1,0 +1,42 @@
+#include "mlbase/svm.hpp"
+
+#include <cmath>
+
+namespace bsml {
+
+void LinearSvm::Fit(const Mat& X, const std::vector<int>& y) {
+  if (X.empty()) return;
+  scaler_.Fit(X);
+  const Mat Z = scaler_.Transform(X);
+  const std::size_t dims = Z[0].size();
+  weights_.assign(dims, 0.0);
+  bias_ = 0.0;
+  bsutil::Rng rng(config_.seed);
+
+  for (int t = 1; t <= config_.iterations; ++t) {
+    const std::size_t i = static_cast<std::size_t>(rng.Below(Z.size()));
+    const double label = y[i] == 1 ? 1.0 : -1.0;
+    const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
+
+    double margin = bias_;
+    for (std::size_t d = 0; d < dims; ++d) margin += weights_[d] * Z[i][d];
+    margin *= label;
+
+    for (std::size_t d = 0; d < dims; ++d) {
+      weights_[d] *= (1.0 - eta * config_.lambda);
+      if (margin < 1.0) weights_[d] += eta * label * Z[i][d];
+    }
+    if (margin < 1.0) bias_ += eta * label;
+  }
+}
+
+double LinearSvm::Margin(const Vec& x) const {
+  const Vec z = scaler_.Transform(x);
+  double s = bias_;
+  for (std::size_t d = 0; d < z.size() && d < weights_.size(); ++d) s += weights_[d] * z[d];
+  return s;
+}
+
+int LinearSvm::Predict(const Vec& x) const { return Margin(x) >= 0.0 ? 1 : 0; }
+
+}  // namespace bsml

@@ -1,0 +1,31 @@
+// Linear SVM trained with the Pegasos stochastic sub-gradient solver.
+#pragma once
+
+#include "mlbase/dataset.hpp"
+
+namespace bsml {
+
+class LinearSvm : public Detector {
+ public:
+  struct Config {
+    int iterations = 20'000;
+    double lambda = 1e-4;
+    std::uint64_t seed = 31;
+  };
+
+  LinearSvm() : LinearSvm(Config{}) {}
+  explicit LinearSvm(Config config) : config_(config) {}
+
+  const char* Name() const override { return "SVM"; }
+  void Fit(const Mat& X, const std::vector<int>& y) override;
+  int Predict(const Vec& x) const override;
+  double Margin(const Vec& x) const;
+
+ private:
+  Config config_;
+  Standardizer scaler_;
+  Vec weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace bsml

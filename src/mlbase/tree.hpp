@@ -1,0 +1,49 @@
+// Shared CART-style decision tree used by random forest and (as stumps)
+// gradient boosting. Regression trees on squared error; classification via
+// thresholding the regressed score.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mlbase/dataset.hpp"
+
+namespace bsml {
+
+class RegressionTree {
+ public:
+  struct Config {
+    int max_depth = 4;
+    std::size_t min_samples_split = 4;
+    /// Number of candidate features per split (0 = all), for forests.
+    std::size_t feature_subsample = 0;
+  };
+
+  RegressionTree() : RegressionTree(Config{}) {}
+  explicit RegressionTree(Config config) : config_(config) {}
+
+  /// Fit to (X, targets). `indices` selects the rows used (bootstrap).
+  void Fit(const Mat& X, const Vec& targets, const std::vector<std::size_t>& indices,
+           bsutil::Rng& rng);
+
+  double Predict(const Vec& x) const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    double value = 0.0;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  std::unique_ptr<Node> Build(const Mat& X, const Vec& targets,
+                              std::vector<std::size_t>& indices, int depth,
+                              bsutil::Rng& rng);
+
+  Config config_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace bsml

@@ -1,0 +1,92 @@
+#include "proto/bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/murmur3.hpp"
+#include "proto/constants.hpp"
+#include "util/serialize.hpp"
+
+namespace bsproto {
+
+namespace {
+constexpr std::uint32_t kMaxHashFuncs = 50;
+constexpr double kLn2Squared = 0.4804530139182014;  // ln(2)^2
+constexpr double kLn2 = 0.6931471805599453;
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t elements, double fp_rate, std::uint32_t tweak,
+                         std::uint8_t flags)
+    : tweak_(tweak), flags_(flags) {
+  // Optimal sizing per BIP-37, clamped to the protocol maxima.
+  const double n = static_cast<double>(std::max<std::size_t>(1, elements));
+  const std::size_t size_bytes = static_cast<std::size_t>(
+      std::min(-1.0 / kLn2Squared * n * std::log(fp_rate) / 8.0,
+               static_cast<double>(kMaxBloomFilterSize)));
+  bits_.assign(std::max<std::size_t>(1, size_bytes), 0);
+  n_hash_funcs_ = static_cast<std::uint32_t>(
+      std::min(static_cast<double>(bits_.size()) * 8.0 / n * kLn2,
+               static_cast<double>(kMaxHashFuncs)));
+  n_hash_funcs_ = std::max<std::uint32_t>(1, n_hash_funcs_);
+}
+
+std::optional<BloomFilter> BloomFilter::FromMessage(const FilterLoadMsg& msg) {
+  if (msg.filter.empty() || msg.filter.size() > kMaxBloomFilterSize) return std::nullopt;
+  if (msg.n_hash_funcs == 0 || msg.n_hash_funcs > kMaxHashFuncs) return std::nullopt;
+  BloomFilter filter(1, 0.01, msg.n_tweak, msg.n_flags);
+  filter.bits_ = msg.filter;
+  filter.n_hash_funcs_ = msg.n_hash_funcs;
+  return filter;
+}
+
+FilterLoadMsg BloomFilter::ToMessage() const {
+  FilterLoadMsg msg;
+  msg.filter = bits_;
+  msg.n_hash_funcs = n_hash_funcs_;
+  msg.n_tweak = tweak_;
+  msg.n_flags = flags_;
+  return msg;
+}
+
+std::uint32_t BloomFilter::HashTo(std::uint32_t n, bsutil::ByteSpan data) const {
+  // BIP-37: seed_i = i * 0xFBA4C795 + nTweak.
+  const std::uint32_t seed = n * 0xFBA4C795u + tweak_;
+  return bscrypto::MurmurHash3(seed, data) % (static_cast<std::uint32_t>(bits_.size()) * 8);
+}
+
+void BloomFilter::Insert(bsutil::ByteSpan data) {
+  for (std::uint32_t i = 0; i < n_hash_funcs_; ++i) {
+    const std::uint32_t bit = HashTo(i, data);
+    bits_[bit >> 3] |= static_cast<std::uint8_t>(1 << (bit & 7));
+  }
+}
+
+bool BloomFilter::Contains(bsutil::ByteSpan data) const {
+  for (std::uint32_t i = 0; i < n_hash_funcs_; ++i) {
+    const std::uint32_t bit = HashTo(i, data);
+    if ((bits_[bit >> 3] & (1 << (bit & 7))) == 0) return false;
+  }
+  return true;
+}
+
+bool BloomFilter::IsEmpty() const {
+  return std::all_of(bits_.begin(), bits_.end(), [](std::uint8_t b) { return b == 0; });
+}
+
+bool BloomFilter::MatchesTx(const bschain::Transaction& tx) const {
+  if (Contains(tx.Txid())) return true;
+  // Output script data elements (our scripts are opaque blobs: match whole).
+  for (const auto& out : tx.outputs) {
+    if (!out.script_pubkey.empty() && Contains(out.script_pubkey)) return true;
+  }
+  // Spent outpoints, serialized txid||index as on the wire.
+  for (const auto& in : tx.inputs) {
+    bsutil::Writer w;
+    in.prevout.Serialize(w);
+    if (Contains(w.Data())) return true;
+    if (!in.script_sig.empty() && Contains(in.script_sig)) return true;
+  }
+  return false;
+}
+
+}  // namespace bsproto

@@ -1,0 +1,54 @@
+// BIP-37 bloom filter — the object FILTERLOAD/FILTERADD configure, and the
+// reason their ban-score rules bound the filter to 36000 bytes and data
+// items to 520 bytes. Bit layout and hash derivation follow Bitcoin Core's
+// CBloomFilter: hash i uses MurmurHash3 seeded with i*0xFBA4C795 + nTweak.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "chain/transaction.hpp"
+#include "proto/messages.hpp"
+#include "util/bytes.hpp"
+
+namespace bsproto {
+
+class BloomFilter {
+ public:
+  /// Dimension a filter for `elements` insertions at the given
+  /// false-positive rate (clamped to the protocol's 36000-byte /
+  /// 50-hash-function maxima, as Core does).
+  BloomFilter(std::size_t elements, double fp_rate, std::uint32_t tweak,
+              std::uint8_t flags = 0);
+
+  /// Adopt a wire filter. Returns nullopt when it violates the protocol
+  /// bounds (the caller punishes per Table I before ever calling this).
+  static std::optional<BloomFilter> FromMessage(const FilterLoadMsg& msg);
+  FilterLoadMsg ToMessage() const;
+
+  void Insert(bsutil::ByteSpan data);
+  void Insert(const bscrypto::Hash256& hash) { Insert(bsutil::ByteSpan(hash.Bytes())); }
+  bool Contains(bsutil::ByteSpan data) const;
+  bool Contains(const bscrypto::Hash256& hash) const {
+    return Contains(bsutil::ByteSpan(hash.Bytes()));
+  }
+
+  /// SPV relevance test: matches the txid, any output script data element,
+  /// or any spent outpoint (serialized as in Core's IsRelevantAndUpdate,
+  /// without the update-on-match side effects).
+  bool MatchesTx(const bschain::Transaction& tx) const;
+
+  std::size_t SizeBytes() const { return bits_.size(); }
+  std::uint32_t HashFunctions() const { return n_hash_funcs_; }
+  bool IsEmpty() const;
+
+ private:
+  std::uint32_t HashTo(std::uint32_t n, bsutil::ByteSpan data) const;
+
+  bsutil::ByteVec bits_;
+  std::uint32_t n_hash_funcs_ = 0;
+  std::uint32_t tweak_ = 0;
+  std::uint8_t flags_ = 0;
+};
+
+}  // namespace bsproto

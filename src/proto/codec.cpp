@@ -1,0 +1,129 @@
+#include "proto/codec.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/serialize.hpp"
+
+namespace bsproto {
+
+std::array<std::uint8_t, 4> PayloadChecksum(bsutil::ByteSpan payload) {
+  const auto digest = bscrypto::Sha256::HashD(payload);
+  return {digest[0], digest[1], digest[2], digest[3]};
+}
+
+bsutil::ByteVec MessageHeader::Serialize() const {
+  bsutil::Writer w;
+  w.WriteU32(magic);
+  char cmd[kCommandSize] = {};
+  for (std::size_t i = 0; i < command.size() && i < kCommandSize; ++i) cmd[i] = command[i];
+  w.WriteBytes(bsutil::ByteSpan(reinterpret_cast<const std::uint8_t*>(cmd), kCommandSize));
+  w.WriteU32(length);
+  w.WriteBytes(checksum);
+  return w.TakeData();
+}
+
+MessageHeader MessageHeader::Deserialize(bsutil::ByteSpan data) {
+  bsutil::Reader r(data);
+  MessageHeader h;
+  h.magic = r.ReadU32();
+  const auto cmd = r.ReadBytes(kCommandSize);
+  std::size_t len = 0;
+  while (len < kCommandSize && cmd[len] != 0) ++len;
+  for (std::size_t i = len; i < kCommandSize; ++i) {
+    if (cmd[i] != 0) throw bsutil::DeserializeError("command has bytes after NUL padding");
+  }
+  h.command.assign(cmd.begin(), cmd.begin() + static_cast<std::ptrdiff_t>(len));
+  h.length = r.ReadU32();
+  const auto ck = r.ReadBytes(4);
+  std::copy(ck.begin(), ck.end(), h.checksum.begin());
+  return h;
+}
+
+bsutil::ByteVec EncodeMessage(std::uint32_t magic, const Message& msg) {
+  const bsutil::ByteVec payload = SerializePayload(msg);
+  MessageHeader header;
+  header.magic = magic;
+  header.command = CommandName(MsgTypeOf(msg));
+  header.length = static_cast<std::uint32_t>(payload.size());
+  header.checksum = PayloadChecksum(payload);
+  bsutil::ByteVec out = header.Serialize();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bsutil::ByteVec EncodeRaw(std::uint32_t magic, const std::string& command,
+                          bsutil::ByteSpan payload,
+                          const std::array<std::uint8_t, 4>* forced_checksum) {
+  MessageHeader header;
+  header.magic = magic;
+  header.command = command;
+  header.length = static_cast<std::uint32_t>(payload.size());
+  header.checksum = forced_checksum ? *forced_checksum : PayloadChecksum(payload);
+  bsutil::ByteVec out = header.Serialize();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+const char* ToString(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMoreData: return "need-more-data";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kOversize: return "oversize";
+    case DecodeStatus::kBadChecksum: return "bad-checksum";
+    case DecodeStatus::kUnknownCommand: return "unknown-command";
+    case DecodeStatus::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+DecodeResult DecodeMessage(std::uint32_t magic, bsutil::ByteSpan stream) {
+  DecodeResult result;
+  if (stream.size() < kHeaderSize) return result;  // kNeedMoreData, consumed 0
+
+  try {
+    result.header = MessageHeader::Deserialize(stream.subspan(0, kHeaderSize));
+  } catch (const bsutil::DeserializeError&) {
+    result.status = DecodeStatus::kMalformed;
+    result.consumed = kHeaderSize;
+    return result;
+  }
+
+  if (result.header.magic != magic) {
+    result.status = DecodeStatus::kBadMagic;
+    result.consumed = kHeaderSize;  // cannot trust length from a foreign frame
+    return result;
+  }
+  if (result.header.length > kMaxProtocolMessageLength) {
+    result.status = DecodeStatus::kOversize;
+    result.consumed = kHeaderSize;
+    return result;
+  }
+  if (stream.size() < kHeaderSize + result.header.length) return result;
+
+  const bsutil::ByteSpan payload = stream.subspan(kHeaderSize, result.header.length);
+  result.consumed = kHeaderSize + result.header.length;
+
+  // Checksum gate: runs before anything looks at the payload, so a failed
+  // checksum never reaches the misbehavior tracker (the bogus-message vector).
+  if (PayloadChecksum(payload) != result.header.checksum) {
+    result.status = DecodeStatus::kBadChecksum;
+    return result;
+  }
+
+  const auto type = MsgTypeFromCommand(result.header.command);
+  if (!type) {
+    result.status = DecodeStatus::kUnknownCommand;
+    return result;
+  }
+
+  try {
+    result.message = DeserializePayload(*type, payload);
+  } catch (const bsutil::DeserializeError&) {
+    result.status = DecodeStatus::kMalformed;
+    return result;
+  }
+  result.status = DecodeStatus::kOk;
+  return result;
+}
+
+}  // namespace bsproto

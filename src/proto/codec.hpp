@@ -1,0 +1,73 @@
+// Wire framing: the 24-byte message header (magic / command / length /
+// checksum) and encode/decode with checksum verification.
+//
+// The checksum check runs BEFORE any payload parsing or misbehavior
+// tracking — exactly the ordering the paper's "forgoing ban score by
+// constructing bogus messages" vector exploits: a message whose checksum does
+// not match its payload is dropped with no ban-score consequence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "proto/messages.hpp"
+#include "util/bytes.hpp"
+
+namespace bsproto {
+
+constexpr std::size_t kHeaderSize = 24;
+constexpr std::size_t kCommandSize = 12;
+
+/// First 4 bytes of double-SHA256 over the payload.
+std::array<std::uint8_t, 4> PayloadChecksum(bsutil::ByteSpan payload);
+
+struct MessageHeader {
+  std::uint32_t magic = 0;
+  std::string command;  // up to 12 bytes, NUL padded on the wire
+  std::uint32_t length = 0;
+  std::array<std::uint8_t, 4> checksum = {};
+
+  bsutil::ByteVec Serialize() const;
+  /// Parses exactly kHeaderSize bytes; throws DeserializeError when shorter
+  /// or when the command field contains bytes after a NUL terminator.
+  static MessageHeader Deserialize(bsutil::ByteSpan data);
+};
+
+/// Encode a well-formed message: header with correct length and checksum,
+/// then payload.
+bsutil::ByteVec EncodeMessage(std::uint32_t magic, const Message& msg);
+
+/// Encode raw bytes under an arbitrary command with an arbitrary checksum —
+/// the attacker-side primitive for crafting bogus messages (wrong checksum,
+/// unknown command, malformed payload).
+bsutil::ByteVec EncodeRaw(std::uint32_t magic, const std::string& command,
+                          bsutil::ByteSpan payload,
+                          const std::array<std::uint8_t, 4>* forced_checksum = nullptr);
+
+/// Decode outcome. The enum order reflects the processing pipeline: each
+/// failure short-circuits everything after it.
+enum class DecodeStatus {
+  kOk,
+  kNeedMoreData,     // incomplete header or payload
+  kBadMagic,         // wrong network
+  kOversize,         // declared length exceeds kMaxProtocolMessageLength
+  kBadChecksum,      // dropped before any payload processing
+  kUnknownCommand,   // parsed but not one of the 26 types (ignored, no ban)
+  kMalformed,        // payload failed deserialization
+};
+
+const char* ToString(DecodeStatus s);
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMoreData;
+  MessageHeader header;
+  Message message;          // valid only when status == kOk
+  std::size_t consumed = 0;  // bytes to drop from the stream
+};
+
+/// Decode one message from the front of `stream`. Consumes the full frame on
+/// any header-complete outcome so the stream can resynchronize.
+DecodeResult DecodeMessage(std::uint32_t magic, bsutil::ByteSpan stream);
+
+}  // namespace bsproto

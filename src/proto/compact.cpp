@@ -1,0 +1,92 @@
+#include "proto/compact.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/sha256.hpp"
+#include "util/serialize.hpp"
+
+namespace bsproto {
+
+std::uint64_t ShortTxId(const bscrypto::Hash256& txid, std::uint64_t nonce) {
+  bsutil::Writer w;
+  txid.Serialize(w);
+  w.WriteU64(nonce);
+  const auto digest = bscrypto::Sha256::Hash(w.Data());
+  std::uint64_t id = 0;
+  for (int i = 0; i < 6; ++i) id |= static_cast<std::uint64_t>(digest[i]) << (8 * i);
+  return id;
+}
+
+CmpctBlockMsg BuildCompactBlock(const bschain::Block& block, std::uint64_t nonce) {
+  CmpctBlockMsg msg;
+  msg.header = block.header;
+  msg.nonce = nonce;
+  if (!block.txs.empty()) {
+    PrefilledTx coinbase;
+    coinbase.index = 0;
+    coinbase.tx = block.txs[0];
+    msg.prefilled.push_back(std::move(coinbase));
+    for (std::size_t i = 1; i < block.txs.size(); ++i) {
+      msg.short_ids.push_back(ShortTxId(block.txs[i].Txid(), nonce));
+    }
+  }
+  return msg;
+}
+
+CompactBlockError CheckCompactBlock(const CmpctBlockMsg& msg) {
+  const std::size_t total = msg.short_ids.size() + msg.prefilled.size();
+  if (total == 0) return CompactBlockError::kEmpty;
+
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t id : msg.short_ids) {
+    if (!seen.insert(id).second) return CompactBlockError::kDuplicateShortIds;
+  }
+  for (const auto& p : msg.prefilled) {
+    if (p.index >= total) return CompactBlockError::kPrefilledOutOfBounds;
+  }
+  return CompactBlockError::kOk;
+}
+
+std::optional<bschain::Block> ReconstructBlock(
+    const CmpctBlockMsg& msg, const std::vector<bschain::Transaction>& mempool_txs,
+    std::vector<std::uint64_t>* missing_indexes) {
+  if (missing_indexes) missing_indexes->clear();
+  const std::size_t total = msg.short_ids.size() + msg.prefilled.size();
+
+  std::vector<std::optional<bschain::Transaction>> slots(total);
+  std::unordered_set<std::size_t> prefilled_slots;
+  for (const auto& p : msg.prefilled) {
+    if (p.index >= total) return std::nullopt;
+    slots[p.index] = p.tx;
+    prefilled_slots.insert(static_cast<std::size_t>(p.index));
+  }
+
+  std::unordered_map<std::uint64_t, bschain::Transaction> by_short_id;
+  for (const auto& tx : mempool_txs) {
+    by_short_id.emplace(ShortTxId(tx.Txid(), msg.nonce), tx);
+  }
+
+  std::size_t next_short = 0;
+  bool complete = true;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (prefilled_slots.contains(i)) continue;
+    const std::uint64_t id = msg.short_ids[next_short++];
+    const auto it = by_short_id.find(id);
+    if (it != by_short_id.end()) {
+      slots[i] = it->second;
+    } else {
+      complete = false;
+      if (missing_indexes) missing_indexes->push_back(i);
+    }
+  }
+  if (!complete) return std::nullopt;
+
+  bschain::Block block;
+  block.header = msg.header;
+  block.txs.reserve(total);
+  for (auto& slot : slots) block.txs.push_back(std::move(*slot));
+  return block;
+}
+
+}  // namespace bsproto

@@ -1,0 +1,48 @@
+// BIP-152 compact-block helpers: short-id computation, building a compact
+// block from a full block, and reconstruction/validation on the receiver
+// side. Validation failures map to the CMPCTBLOCK "invalid compact block
+// data" ban-score rule; GETBLOCKTXN index validation maps to its
+// "out-of-bounds transaction indices" rule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "proto/messages.hpp"
+
+namespace bsproto {
+
+/// 48-bit short transaction id. Bitcoin Core derives it with SipHash keyed by
+/// (header, nonce); we substitute the low 48 bits of SHA256(txid || nonce),
+/// which preserves the property that ids are unforgeable without the nonce
+/// and collide with negligible probability at our block sizes.
+std::uint64_t ShortTxId(const bscrypto::Hash256& txid, std::uint64_t nonce);
+
+/// Build a compact block: the coinbase is prefilled (index 0), everything
+/// else is sent as short ids, as Core does by default.
+CmpctBlockMsg BuildCompactBlock(const bschain::Block& block, std::uint64_t nonce);
+
+/// Why a compact block failed structural validation.
+enum class CompactBlockError {
+  kOk,
+  kDuplicateShortIds,       // two identical short ids (unfillable)
+  kPrefilledOutOfBounds,    // prefilled index beyond the implied tx count
+  kEmpty,                   // neither short ids nor prefilled txs
+};
+
+/// Structural validation, independent of the mempool. This is the check whose
+/// failure Bitcoin Core punishes with ban score 100 ("invalid compact block").
+CompactBlockError CheckCompactBlock(const CmpctBlockMsg& msg);
+
+/// Attempt reconstruction from a mempool-lookup function mapping short id to
+/// a transaction (nullopt when unknown). Returns the full block when every
+/// slot fills, otherwise nullopt with `missing_indexes` populated so the
+/// caller can issue GETBLOCKTXN.
+std::optional<bschain::Block> ReconstructBlock(
+    const CmpctBlockMsg& msg,
+    const std::vector<bschain::Transaction>& mempool_txs,
+    std::vector<std::uint64_t>* missing_indexes);
+
+}  // namespace bsproto

@@ -1,0 +1,65 @@
+#include "proto/constants.hpp"
+
+#include <unordered_map>
+
+namespace bsproto {
+
+const std::array<MsgType, kNumMsgTypes>& AllMsgTypes() {
+  static const std::array<MsgType, kNumMsgTypes> kAll = {
+      MsgType::kVersion,    MsgType::kVerack,     MsgType::kAddr,
+      MsgType::kInv,        MsgType::kGetData,    MsgType::kNotFound,
+      MsgType::kGetBlocks,  MsgType::kGetHeaders, MsgType::kHeaders,
+      MsgType::kTx,         MsgType::kBlock,      MsgType::kPing,
+      MsgType::kPong,       MsgType::kGetAddr,    MsgType::kMempool,
+      MsgType::kSendHeaders, MsgType::kFeeFilter, MsgType::kSendCmpct,
+      MsgType::kCmpctBlock, MsgType::kGetBlockTxn, MsgType::kBlockTxn,
+      MsgType::kFilterLoad, MsgType::kFilterAdd,  MsgType::kFilterClear,
+      MsgType::kMerkleBlock, MsgType::kReject,
+  };
+  return kAll;
+}
+
+const char* CommandName(MsgType type) {
+  switch (type) {
+    case MsgType::kVersion: return "version";
+    case MsgType::kVerack: return "verack";
+    case MsgType::kAddr: return "addr";
+    case MsgType::kInv: return "inv";
+    case MsgType::kGetData: return "getdata";
+    case MsgType::kNotFound: return "notfound";
+    case MsgType::kGetBlocks: return "getblocks";
+    case MsgType::kGetHeaders: return "getheaders";
+    case MsgType::kHeaders: return "headers";
+    case MsgType::kTx: return "tx";
+    case MsgType::kBlock: return "block";
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kGetAddr: return "getaddr";
+    case MsgType::kMempool: return "mempool";
+    case MsgType::kSendHeaders: return "sendheaders";
+    case MsgType::kFeeFilter: return "feefilter";
+    case MsgType::kSendCmpct: return "sendcmpct";
+    case MsgType::kCmpctBlock: return "cmpctblock";
+    case MsgType::kGetBlockTxn: return "getblocktxn";
+    case MsgType::kBlockTxn: return "blocktxn";
+    case MsgType::kFilterLoad: return "filterload";
+    case MsgType::kFilterAdd: return "filteradd";
+    case MsgType::kFilterClear: return "filterclear";
+    case MsgType::kMerkleBlock: return "merkleblock";
+    case MsgType::kReject: return "reject";
+  }
+  return "?";
+}
+
+std::optional<MsgType> MsgTypeFromCommand(const std::string& command) {
+  static const std::unordered_map<std::string, MsgType> kMap = [] {
+    std::unordered_map<std::string, MsgType> m;
+    for (MsgType t : AllMsgTypes()) m.emplace(CommandName(t), t);
+    return m;
+  }();
+  const auto it = kMap.find(command);
+  if (it == kMap.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bsproto

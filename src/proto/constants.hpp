@@ -1,0 +1,82 @@
+// Protocol constants and the catalogue of the 26 Bitcoin P2P message types
+// (per the developer reference the paper cites). The oversize limits here are
+// exactly the bounds the Table I ban-score rules fire on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace bsproto {
+
+/// Protocol version spoken by our nodes (the paper's testbed: Satoshi 0.20.0,
+/// protocol 70015).
+constexpr std::int32_t kProtocolVersion = 70015;
+
+/// The BIP-37 version gate for FILTERADD/FILTERLOAD deprecation (Table I:
+/// "protocol version number >= 70011").
+constexpr std::int32_t kNoBloomVersion = 70011;
+
+constexpr const char* kUserAgent = "/banscore-repro:1.0.0/";
+
+/// Service flags.
+constexpr std::uint64_t kNodeNetwork = 1;
+constexpr std::uint64_t kNodeWitness = 1 << 3;
+
+/// Hard cap on any message payload (Bitcoin's MAX_PROTOCOL_MESSAGE_LENGTH).
+constexpr std::size_t kMaxProtocolMessageLength = 4'000'000;
+
+/// Oversize bounds with ban-score rules attached (Table I).
+constexpr std::size_t kMaxAddrToSend = 1'000;        // ADDR
+constexpr std::size_t kMaxInvEntries = 50'000;       // INV / GETDATA
+constexpr std::size_t kMaxHeadersResults = 2'000;    // HEADERS
+constexpr std::size_t kMaxBloomFilterSize = 36'000;  // FILTERLOAD, bytes
+constexpr std::size_t kMaxScriptElementSize = 520;   // FILTERADD, bytes
+
+/// Non-connecting HEADERS tolerated before the +20 misbehavior fires
+/// (Bitcoin Core's MAX_UNCONNECTING_HEADERS).
+constexpr int kMaxUnconnectingHeaders = 10;
+
+/// The full set of 26 P2P message types from the developer reference.
+enum class MsgType : std::uint8_t {
+  kVersion = 0,
+  kVerack,
+  kAddr,
+  kInv,
+  kGetData,
+  kNotFound,
+  kGetBlocks,
+  kGetHeaders,
+  kHeaders,
+  kTx,
+  kBlock,
+  kPing,
+  kPong,
+  kGetAddr,
+  kMempool,
+  kSendHeaders,
+  kFeeFilter,
+  kSendCmpct,
+  kCmpctBlock,
+  kGetBlockTxn,
+  kBlockTxn,
+  kFilterLoad,
+  kFilterAdd,
+  kFilterClear,
+  kMerkleBlock,
+  kReject,
+};
+
+constexpr std::size_t kNumMsgTypes = 26;
+
+/// All message types, in enum order (for parameterized sweeps).
+const std::array<MsgType, kNumMsgTypes>& AllMsgTypes();
+
+/// Wire command string ("version", "verack", ...).
+const char* CommandName(MsgType type);
+
+/// Reverse lookup; nullopt for unknown commands.
+std::optional<MsgType> MsgTypeFromCommand(const std::string& command);
+
+}  // namespace bsproto

@@ -1,0 +1,241 @@
+// Structs for all 26 P2P message types plus a variant holding any of them,
+// and the payload (de)serialization entry points.
+//
+// Deserialization throws bsutil::DeserializeError on malformed payloads; the
+// codec maps that to a decode failure. Collection-size limits with ban-score
+// consequences (ADDR > 1000, INV/GETDATA > 50000, HEADERS > 2000, ...) are
+// deliberately NOT enforced here: Bitcoin Core parses them successfully and
+// then punishes via the misbehavior tracker, and our node layer does the
+// same. Only hard structural bounds (payload length, CompactSize canonicity)
+// abort the parse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/transaction.hpp"
+#include "crypto/hash256.hpp"
+#include "proto/constants.hpp"
+#include "proto/netaddr.hpp"
+
+namespace bsproto {
+
+/// Inventory item types (the subset our experiments exercise).
+enum class InvType : std::uint32_t {
+  kError = 0,
+  kTx = 1,
+  kBlock = 2,
+  kFilteredBlock = 3,
+  kCmpctBlock = 4,
+  kWitnessTx = 0x40000001,
+  kWitnessBlock = 0x40000002,
+};
+
+struct InvVect {
+  InvType type = InvType::kError;
+  bscrypto::Hash256 hash;
+
+  bool operator==(const InvVect&) const = default;
+};
+
+// ---- Handshake ------------------------------------------------------------
+
+struct VersionMsg {
+  std::int32_t version = kProtocolVersion;
+  std::uint64_t services = kNodeNetwork | kNodeWitness;
+  std::int64_t timestamp = 0;
+  NetAddr addr_recv;
+  NetAddr addr_from;
+  std::uint64_t nonce = 0;
+  std::string user_agent = kUserAgent;
+  std::int32_t start_height = 0;
+  bool relay = true;
+
+  bool operator==(const VersionMsg&) const = default;
+};
+
+struct VerackMsg {
+  bool operator==(const VerackMsg&) const = default;
+};
+
+// ---- Address gossip --------------------------------------------------------
+
+struct AddrMsg {
+  std::vector<TimedNetAddr> addresses;
+  bool operator==(const AddrMsg&) const = default;
+};
+
+struct GetAddrMsg {
+  bool operator==(const GetAddrMsg&) const = default;
+};
+
+// ---- Inventory -------------------------------------------------------------
+
+struct InvMsg {
+  std::vector<InvVect> inventory;
+  bool operator==(const InvMsg&) const = default;
+};
+
+struct GetDataMsg {
+  std::vector<InvVect> inventory;
+  bool operator==(const GetDataMsg&) const = default;
+};
+
+struct NotFoundMsg {
+  std::vector<InvVect> inventory;
+  bool operator==(const NotFoundMsg&) const = default;
+};
+
+// ---- Block/header sync -----------------------------------------------------
+
+struct GetBlocksMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::vector<bscrypto::Hash256> locator;
+  bscrypto::Hash256 stop;
+  bool operator==(const GetBlocksMsg&) const = default;
+};
+
+struct GetHeadersMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::vector<bscrypto::Hash256> locator;
+  bscrypto::Hash256 stop;
+  bool operator==(const GetHeadersMsg&) const = default;
+};
+
+struct HeadersMsg {
+  std::vector<bschain::BlockHeader> headers;
+  bool operator==(const HeadersMsg&) const = default;
+};
+
+// ---- Data ------------------------------------------------------------------
+
+struct TxMsg {
+  bschain::Transaction tx;
+  bool operator==(const TxMsg&) const = default;
+};
+
+struct BlockMsg {
+  bschain::Block block;
+  bool operator==(const BlockMsg&) const = default;
+};
+
+// ---- Keepalive & feature negotiation ----------------------------------------
+
+struct PingMsg {
+  std::uint64_t nonce = 0;
+  bool operator==(const PingMsg&) const = default;
+};
+
+struct PongMsg {
+  std::uint64_t nonce = 0;
+  bool operator==(const PongMsg&) const = default;
+};
+
+struct MempoolMsg {
+  bool operator==(const MempoolMsg&) const = default;
+};
+
+struct SendHeadersMsg {
+  bool operator==(const SendHeadersMsg&) const = default;
+};
+
+struct FeeFilterMsg {
+  std::int64_t feerate = 0;  // sat/kB
+  bool operator==(const FeeFilterMsg&) const = default;
+};
+
+struct SendCmpctMsg {
+  bool announce = false;
+  std::uint64_t version = 1;
+  bool operator==(const SendCmpctMsg&) const = default;
+};
+
+// ---- Compact blocks (BIP-152) -----------------------------------------------
+
+struct PrefilledTx {
+  std::uint64_t index = 0;  // differentially encoded on the wire
+  bschain::Transaction tx;
+  bool operator==(const PrefilledTx&) const = default;
+};
+
+struct CmpctBlockMsg {
+  bschain::BlockHeader header;
+  std::uint64_t nonce = 0;
+  std::vector<std::uint64_t> short_ids;  // 6-byte ids, stored in low 48 bits
+  std::vector<PrefilledTx> prefilled;
+  bool operator==(const CmpctBlockMsg&) const = default;
+};
+
+struct GetBlockTxnMsg {
+  bscrypto::Hash256 block_hash;
+  std::vector<std::uint64_t> indexes;  // absolute indexes (differential on wire)
+  bool operator==(const GetBlockTxnMsg&) const = default;
+};
+
+struct BlockTxnMsg {
+  bscrypto::Hash256 block_hash;
+  std::vector<bschain::Transaction> txs;
+  bool operator==(const BlockTxnMsg&) const = default;
+};
+
+// ---- BIP-37 bloom filtering --------------------------------------------------
+
+struct FilterLoadMsg {
+  bsutil::ByteVec filter;
+  std::uint32_t n_hash_funcs = 0;
+  std::uint32_t n_tweak = 0;
+  std::uint8_t n_flags = 0;
+  bool operator==(const FilterLoadMsg&) const = default;
+};
+
+struct FilterAddMsg {
+  bsutil::ByteVec data;
+  bool operator==(const FilterAddMsg&) const = default;
+};
+
+struct FilterClearMsg {
+  bool operator==(const FilterClearMsg&) const = default;
+};
+
+struct MerkleBlockMsg {
+  bschain::BlockHeader header;
+  std::uint32_t total_txs = 0;
+  std::vector<bscrypto::Hash256> hashes;
+  bsutil::ByteVec flags;
+  bool operator==(const MerkleBlockMsg&) const = default;
+};
+
+// ---- Reject (deprecated in Core but in the 26-type catalogue) -----------------
+
+struct RejectMsg {
+  std::string message;  // command being rejected
+  std::uint8_t code = 0x01;
+  std::string reason;
+  bsutil::ByteVec data;  // optional hash of the rejected object
+  bool operator==(const RejectMsg&) const = default;
+};
+
+/// Any protocol message. The variant order matches MsgType's enum order so
+/// `Message::index() == static_cast<size_t>(MsgTypeOf(msg))`.
+using Message =
+    std::variant<VersionMsg, VerackMsg, AddrMsg, InvMsg, GetDataMsg, NotFoundMsg,
+                 GetBlocksMsg, GetHeadersMsg, HeadersMsg, TxMsg, BlockMsg, PingMsg,
+                 PongMsg, GetAddrMsg, MempoolMsg, SendHeadersMsg, FeeFilterMsg,
+                 SendCmpctMsg, CmpctBlockMsg, GetBlockTxnMsg, BlockTxnMsg,
+                 FilterLoadMsg, FilterAddMsg, FilterClearMsg, MerkleBlockMsg,
+                 RejectMsg>;
+
+/// Message type tag of a variant value.
+MsgType MsgTypeOf(const Message& msg);
+
+/// Serialize the payload body (no header) of any message.
+bsutil::ByteVec SerializePayload(const Message& msg);
+
+/// Parse a payload body for the given type. Throws DeserializeError on
+/// malformed input; also throws if trailing bytes remain after the message.
+Message DeserializePayload(MsgType type, bsutil::ByteSpan payload);
+
+}  // namespace bsproto

@@ -1,0 +1,65 @@
+#include "proto/netaddr.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace bsproto {
+
+std::string Endpoint::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff, port);
+  return buf;
+}
+
+std::uint32_t Endpoint::ParseIp(const std::string& dotted) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (std::sscanf(dotted.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4) return 0;
+  if (a > 255 || b > 255 || c > 255 || d > 255) return 0;
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+void NetAddr::Serialize(bsutil::Writer& w) const {
+  w.WriteU64(services);
+  // 16-byte IPv4-mapped IPv6 address: 10 zero bytes, 0xff 0xff, then the
+  // IPv4 address big-endian.
+  std::array<std::uint8_t, 16> ip16 = {};
+  ip16[10] = 0xff;
+  ip16[11] = 0xff;
+  ip16[12] = static_cast<std::uint8_t>(endpoint.ip >> 24);
+  ip16[13] = static_cast<std::uint8_t>(endpoint.ip >> 16);
+  ip16[14] = static_cast<std::uint8_t>(endpoint.ip >> 8);
+  ip16[15] = static_cast<std::uint8_t>(endpoint.ip);
+  w.WriteBytes(ip16);
+  // Port is the protocol's lone big-endian field.
+  w.WriteU8(static_cast<std::uint8_t>(endpoint.port >> 8));
+  w.WriteU8(static_cast<std::uint8_t>(endpoint.port));
+}
+
+NetAddr NetAddr::Deserialize(bsutil::Reader& r) {
+  NetAddr a;
+  a.services = r.ReadU64();
+  const auto ip16 = r.ReadBytes(16);
+  a.endpoint.ip = static_cast<std::uint32_t>(ip16[12]) << 24 |
+                  static_cast<std::uint32_t>(ip16[13]) << 16 |
+                  static_cast<std::uint32_t>(ip16[14]) << 8 |
+                  static_cast<std::uint32_t>(ip16[15]);
+  const std::uint8_t hi = r.ReadU8();
+  const std::uint8_t lo = r.ReadU8();
+  a.endpoint.port = static_cast<std::uint16_t>(hi << 8 | lo);
+  return a;
+}
+
+void TimedNetAddr::Serialize(bsutil::Writer& w) const {
+  w.WriteU32(time);
+  addr.Serialize(w);
+}
+
+TimedNetAddr TimedNetAddr::Deserialize(bsutil::Reader& r) {
+  TimedNetAddr t;
+  t.time = r.ReadU32();
+  t.addr = NetAddr::Deserialize(r);
+  return t;
+}
+
+}  // namespace bsproto

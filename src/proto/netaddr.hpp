@@ -1,0 +1,58 @@
+// Network endpoints and the protocol's network-address records.
+//
+// An Endpoint is the connection identifier the ban-score mechanism bans: the
+// paper's `[IP:Port]` pair. We model IPv4 addresses as 32-bit integers; on
+// the wire they serialize in the protocol's 16-byte IPv4-mapped form.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/serialize.hpp"
+
+namespace bsproto {
+
+/// An [IP:Port] pair — the peer connection identifier.
+struct Endpoint {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+
+  bool operator==(const Endpoint&) const = default;
+  auto operator<=>(const Endpoint&) const = default;
+
+  std::string ToString() const;
+  /// Parse dotted-quad "a.b.c.d" into the ip field (port unchanged);
+  /// returns 0.0.0.0 on malformed input.
+  static std::uint32_t ParseIp(const std::string& dotted);
+};
+
+struct EndpointHasher {
+  std::size_t operator()(const Endpoint& e) const {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(e.ip) << 16) | e.port);
+  }
+};
+
+/// Protocol network address: services + IP + port (no timestamp).
+struct NetAddr {
+  std::uint64_t services = 0;
+  Endpoint endpoint;
+
+  bool operator==(const NetAddr&) const = default;
+
+  void Serialize(bsutil::Writer& w) const;
+  static NetAddr Deserialize(bsutil::Reader& r);
+};
+
+/// Address record with the last-seen timestamp, as carried in ADDR messages.
+struct TimedNetAddr {
+  std::uint32_t time = 0;
+  NetAddr addr;
+
+  bool operator==(const TimedNetAddr&) const = default;
+
+  void Serialize(bsutil::Writer& w) const;
+  static TimedNetAddr Deserialize(bsutil::Reader& r);
+};
+
+}  // namespace bsproto

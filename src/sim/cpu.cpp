@@ -1,0 +1,45 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bsim {
+
+void CpuModel::BeginWindow(SimTime now) {
+  window_start_ = now;
+  window_net_cycles_ = 0.0;
+  window_icmp_packets_ = 0.0;
+}
+
+MiningSample CpuModel::EndWindow(SimTime now) {
+  MiningSample sample;
+  const double dt = ToSeconds(now - window_start_);
+  if (dt <= 0.0) return sample;
+
+  const double capacity = config_.capacity_cps * dt;
+  const double net_cap = config_.net_capacity_fraction * capacity;
+
+  // Application-layer demand: recorded message cycles plus idle
+  // per-connection overhead, saturated at the net thread's scheduler share.
+  const double conn_overhead =
+      static_cast<double>(active_connections_) * config_.per_connection_overhead_cps * dt;
+  sample.net_busy_cycles = std::min(window_net_cycles_ + conn_overhead, net_cap);
+
+  // Kernel-layer ICMP demand with NAPI coalescing: logarithmic in rate.
+  const double icmp_rate = window_icmp_packets_ / dt;
+  sample.icmp_busy_cycles =
+      config_.icmp_napi_scale_cycles * std::log(1.0 + icmp_rate / config_.icmp_napi_rate0) * dt;
+  sample.icmp_busy_cycles = std::min(sample.icmp_busy_cycles, net_cap);
+
+  const double busy =
+      std::min(sample.net_busy_cycles + sample.icmp_busy_cycles, net_cap);
+  sample.busy_fraction = busy / capacity;
+  sample.mining_rate_hps = (capacity - busy) / config_.cycles_per_hash / dt;
+  if (config_.measurement_jitter > 0.0) {
+    sample.mining_rate_hps *=
+        std::max(0.0, jitter_rng_.Normal(1.0, config_.measurement_jitter));
+  }
+  return sample;
+}
+
+}  // namespace bsim

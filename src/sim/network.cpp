@@ -1,0 +1,86 @@
+#include "sim/network.hpp"
+
+#include "sim/tcp.hpp"
+
+namespace bsim {
+
+Network::Network(Scheduler& sched, NetworkConfig config)
+    : sched_(sched), config_(config) {}
+
+void Network::Attach(Host* host) { hosts_[host->Ip()] = host; }
+
+void Network::Detach(Host* host) {
+  const auto it = hosts_.find(host->Ip());
+  if (it != hosts_.end() && it->second == host) hosts_.erase(it);
+}
+
+SimTime Network::ReserveEgress(std::uint32_t sender_ip, std::size_t frame_bytes) {
+  SimTime& free_at = egress_free_at_[sender_ip];
+  const SimTime start = std::max(free_at, sched_.Now());
+  const SimTime tx_time =
+      FromSeconds(static_cast<double>(frame_bytes) / config_.bandwidth_bytes_per_sec);
+  free_at = start + tx_time;
+  return free_at;
+}
+
+void Network::SendSegment(Host& from, TcpSegment seg) {
+  if (config_.block_spoofed_egress && seg.src.ip != from.Ip()) {
+    ++dropped_spoofed_;
+    return;
+  }
+  ++segments_sent_;
+  const std::size_t frame = seg.payload.size() + kTcpFrameOverhead;
+  const SimTime leaves_nic = ReserveEgress(from.Ip(), frame);
+  const SimTime arrival = leaves_nic + config_.latency;
+
+  for (const auto& sniffer : sniffers_) sniffer(seg, sched_.Now());
+
+  sched_.At(arrival, [this, seg = std::move(seg), frame]() {
+    bytes_to_[seg.dst.ip] += frame;
+    const auto it = hosts_.find(seg.dst.ip);
+    if (it != hosts_.end()) it->second->DeliverSegment(seg);
+  });
+}
+
+void Network::SendIcmp(Host& from, IcmpPacket pkt) {
+  if (config_.block_spoofed_egress && pkt.src_ip != from.Ip()) {
+    ++dropped_spoofed_;
+    return;
+  }
+  const std::size_t frame = pkt.size + kIcmpFrameOverhead;
+  const SimTime leaves_nic = ReserveEgress(from.Ip(), frame);
+  const SimTime arrival = leaves_nic + config_.latency;
+  sched_.At(arrival, [this, pkt, frame]() {
+    bytes_to_[pkt.dst_ip] += frame;
+    const auto it = hosts_.find(pkt.dst_ip);
+    if (it != hosts_.end()) it->second->OnIcmp(pkt);
+  });
+}
+
+void Network::SendIcmpBatch(Host& from, IcmpPacket pkt, std::uint64_t count) {
+  if (count == 0) return;
+  if (config_.block_spoofed_egress && pkt.src_ip != from.Ip()) {
+    dropped_spoofed_ += count;
+    return;
+  }
+  const std::size_t frame = pkt.size + kIcmpFrameOverhead;
+  const std::uint64_t total_bytes = static_cast<std::uint64_t>(frame) * count;
+  // Reserve the egress for the whole burst at once.
+  SimTime& free_at = egress_free_at_[from.Ip()];
+  const SimTime start = std::max(free_at, sched_.Now());
+  free_at = start + FromSeconds(static_cast<double>(total_bytes) /
+                                config_.bandwidth_bytes_per_sec);
+  const SimTime arrival = free_at + config_.latency;
+  sched_.At(arrival, [this, pkt, count, total_bytes]() {
+    bytes_to_[pkt.dst_ip] += total_bytes;
+    const auto it = hosts_.find(pkt.dst_ip);
+    if (it != hosts_.end()) it->second->OnIcmpBatch(pkt, count);
+  });
+}
+
+std::uint64_t Network::BytesDeliveredTo(std::uint32_t ip) const {
+  const auto it = bytes_to_.find(ip);
+  return it == bytes_to_.end() ? 0 : it->second;
+}
+
+}  // namespace bsim

@@ -1,0 +1,128 @@
+// Simulated LAN segment (broadcast domain) carrying TCP-like segments and
+// ICMP packets between hosts.
+//
+// The fabric provides exactly the primitives the paper's threat models need:
+//   * promiscuous sniffing — any attached tap observes every segment on the
+//     wire, including seq/ack numbers (the post-connection Defamation
+//     prerequisite, §IV-A);
+//   * spoofed injection — a host may emit segments whose source endpoint is
+//     not its own (IP spoofing); the `block_spoofed_egress` switch models the
+//     ISP/AS ingress-filtering countermeasure discussed in the paper;
+//   * shared egress bandwidth — all of a host's connections serialize
+//     through one NIC, which is what bandwidth-limits multi-Sybil bogus-BLOCK
+//     flooding in Fig. 6;
+//   * per-destination byte accounting for the "Bandwidth DoSed" column of
+//     Table III.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/netaddr.hpp"
+#include "sim/scheduler.hpp"
+#include "util/bytes.hpp"
+
+namespace bsim {
+
+using bsproto::Endpoint;
+
+/// TCP flag bits.
+enum TcpFlags : std::uint8_t {
+  kFlagSyn = 1,
+  kFlagAck = 2,
+  kFlagFin = 4,
+  kFlagRst = 8,
+  kFlagPsh = 16,
+};
+
+struct TcpSegment {
+  Endpoint src;
+  Endpoint dst;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  /// Transport-layer checksum modelled as a validity bit; segments with a
+  /// bad checksum are dropped by the receiving TCP before any payload
+  /// processing (one of the BM-DoS "forgoing ban score" paths).
+  bool checksum_ok = true;
+  bsutil::ByteVec payload;
+
+  bool Has(TcpFlags f) const { return (flags & f) != 0; }
+};
+
+struct IcmpPacket {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::size_t size = 64;  // ICMP payload bytes
+};
+
+/// Link-layer framing overheads used for bandwidth accounting.
+constexpr std::size_t kTcpFrameOverhead = 54;   // Ethernet+IP+TCP headers
+constexpr std::size_t kIcmpFrameOverhead = 42;  // Ethernet+IP+ICMP headers
+
+struct NetworkConfig {
+  SimTime latency = 200 * kMicrosecond;        // one-way propagation
+  double bandwidth_bytes_per_sec = 125.0e6;    // 1 Gbps per-host egress
+  /// Model ISP/AS ingress filtering: when true, segments whose source IP is
+  /// not the sender's are silently dropped (defeats spoofing attacks).
+  bool block_spoofed_egress = false;
+};
+
+class Host;
+
+class Network {
+ public:
+  Network(Scheduler& sched, NetworkConfig config = {});
+
+  Scheduler& Sched() { return sched_; }
+  const NetworkConfig& Config() const { return config_; }
+
+  /// Register a host; its IP must be unique on this segment.
+  void Attach(Host* host);
+  void Detach(Host* host);
+
+  /// Transmit a segment from `from`. The segment's source endpoint may be
+  /// spoofed (unless the network blocks spoofed egress). Transmission
+  /// occupies the sender's egress link for the frame duration, then arrives
+  /// at the destination host after the propagation latency. Sniffers see the
+  /// segment at transmission time.
+  void SendSegment(Host& from, TcpSegment seg);
+
+  void SendIcmp(Host& from, IcmpPacket pkt);
+
+  /// Aggregated ICMP delivery: one event carrying `count` identical packets.
+  /// Used by high-rate flooders (1e4..1e6 pkt/s) where per-packet events
+  /// would dominate simulation cost; semantically equivalent for our
+  /// rate-based kernel cost model.
+  void SendIcmpBatch(Host& from, IcmpPacket pkt, std::uint64_t count);
+
+  /// Promiscuous tap: sees every segment put on the wire.
+  using Sniffer = std::function<void(const TcpSegment&, SimTime)>;
+  void AddSniffer(Sniffer sniffer) { sniffers_.push_back(std::move(sniffer)); }
+
+  /// Bytes (including frame overhead) delivered to `ip` since the last
+  /// ResetByteCounters() call.
+  std::uint64_t BytesDeliveredTo(std::uint32_t ip) const;
+  void ResetByteCounters() { bytes_to_.clear(); }
+
+  std::uint64_t SegmentsSent() const { return segments_sent_; }
+  std::uint64_t SegmentsDroppedSpoofed() const { return dropped_spoofed_; }
+
+ private:
+  /// Reserve the sender's egress link for `frame_bytes`; returns when the
+  /// last bit leaves the NIC.
+  SimTime ReserveEgress(std::uint32_t sender_ip, std::size_t frame_bytes);
+
+  Scheduler& sched_;
+  NetworkConfig config_;
+  std::unordered_map<std::uint32_t, Host*> hosts_;
+  std::unordered_map<std::uint32_t, SimTime> egress_free_at_;
+  std::unordered_map<std::uint32_t, std::uint64_t> bytes_to_;
+  std::vector<Sniffer> sniffers_;
+  std::uint64_t segments_sent_ = 0;
+  std::uint64_t dropped_spoofed_ = 0;
+};
+
+}  // namespace bsim

@@ -1,0 +1,32 @@
+#include "sim/scheduler.hpp"
+
+namespace bsim {
+
+void Scheduler::At(SimTime t, Callback fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Scheduler::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the event must be copied/moved out
+  // before pop. Move via const_cast is safe here because we pop immediately.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Scheduler::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) Step();
+  if (now_ < t) now_ = t;
+}
+
+void Scheduler::RunAll() {
+  while (Step()) {
+  }
+}
+
+}  // namespace bsim

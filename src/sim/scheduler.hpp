@@ -1,0 +1,56 @@
+// Deterministic discrete-event scheduler. Events at equal timestamps run in
+// scheduling order (a monotonic sequence number breaks ties), so runs are
+// fully reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bsim {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (clamped to now when in the past).
+  void At(SimTime t, Callback fn);
+  /// Schedule `fn` `dt` after the current time.
+  void After(SimTime dt, Callback fn) { At(now_ + dt, std::move(fn)); }
+
+  /// Run the earliest event. Returns false when the queue is empty.
+  bool Step();
+  /// Run events until the queue is drained or `t` is reached; the clock ends
+  /// at exactly `t` if the queue drained earlier.
+  void RunUntil(SimTime t);
+  /// Drain the queue completely.
+  void RunAll();
+
+  std::size_t PendingEvents() const { return queue_.size(); }
+  std::uint64_t ExecutedEvents() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace bsim

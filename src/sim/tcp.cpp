@@ -1,0 +1,250 @@
+#include "sim/tcp.hpp"
+
+#include "util/log.hpp"
+
+namespace bsim {
+
+// ---------------------------------------------------------------------------
+// TcpConnection
+
+TcpConnection::TcpConnection(Host& host, Endpoint local, Endpoint remote, bool inbound)
+    : host_(host),
+      local_(local),
+      remote_(remote),
+      inbound_(inbound),
+      state_(inbound ? State::kSynReceived : State::kSynSent) {
+  // Deterministic ISN derived from the 4-tuple; real randomness is not
+  // security-relevant here because the sniffing attacker reads sequence
+  // numbers off the wire anyway.
+  snd_next_ = (local_.ip ^ (local_.port * 2654435761u) ^ (remote_.ip >> 3)) | 1u;
+}
+
+void TcpConnection::StartHandshake() {
+  TcpSegment syn;
+  syn.src = local_;
+  syn.dst = remote_;
+  syn.seq = snd_next_;
+  syn.flags = kFlagSyn;
+  ++snd_next_;  // SYN consumes one sequence number
+  host_.Transmit(std::move(syn));
+}
+
+void TcpConnection::EmitSegment(std::uint8_t flags, bsutil::ByteSpan payload) {
+  TcpSegment seg;
+  seg.src = local_;
+  seg.dst = remote_;
+  seg.seq = snd_next_;
+  seg.ack = rcv_next_;
+  seg.flags = flags;
+  seg.payload.assign(payload.begin(), payload.end());
+  snd_next_ += static_cast<std::uint32_t>(payload.size());
+  if (flags & kFlagFin) ++snd_next_;
+  bytes_sent_ += payload.size();
+  host_.Transmit(std::move(seg));
+}
+
+void TcpConnection::Send(bsutil::ByteSpan data) {
+  if (state_ != State::kEstablished) return;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t chunk = std::min(kMss, data.size() - offset);
+    EmitSegment(kFlagPsh | kFlagAck, data.subspan(offset, chunk));
+    offset += chunk;
+  }
+}
+
+void TcpConnection::Close() {
+  if (state_ == State::kClosed) return;
+  EmitSegment(kFlagFin | kFlagAck, {});
+  BecomeClosed();
+}
+
+void TcpConnection::Reset() {
+  if (state_ == State::kClosed) return;
+  TcpSegment rst;
+  rst.src = local_;
+  rst.dst = remote_;
+  rst.seq = snd_next_;
+  rst.flags = kFlagRst;
+  host_.Transmit(std::move(rst));
+  BecomeClosed();
+}
+
+void TcpConnection::BecomeClosed() {
+  if (state_ == State::kClosed) return;
+  const State prior = state_;
+  state_ = State::kClosed;
+  if (prior != State::kEstablished && on_connected) on_connected(false);
+  if (on_closed) on_closed();
+  host_.ReleaseConnection(this);  // self-destructs; no member access after this
+}
+
+void TcpConnection::HandleSegment(const TcpSegment& seg) {
+  if (state_ == State::kClosed) return;
+
+  // Transport checksum gate: invalid segments vanish before any state or
+  // payload processing.
+  if (!seg.checksum_ok) {
+    ++dropped_checksum_;
+    return;
+  }
+
+  if (seg.Has(kFlagRst)) {
+    BecomeClosed();
+    return;
+  }
+
+  switch (state_) {
+    case State::kSynSent:
+      if (seg.Has(kFlagSyn) && seg.Has(kFlagAck) && seg.ack == snd_next_) {
+        rcv_next_ = seg.seq + 1;
+        state_ = State::kEstablished;
+        EmitSegment(kFlagAck, {});  // completes the three-way handshake
+        if (on_connected) on_connected(true);
+      }
+      return;
+
+    case State::kSynReceived:
+      if (seg.Has(kFlagAck) && seg.ack == snd_next_ && !seg.Has(kFlagSyn)) {
+        state_ = State::kEstablished;
+        if (on_connected) on_connected(true);
+        // Piggybacked data on the handshake-completing ACK falls through to
+        // normal delivery below.
+        if (!seg.payload.empty() && seg.seq == rcv_next_) {
+          rcv_next_ += static_cast<std::uint32_t>(seg.payload.size());
+          bytes_received_ += seg.payload.size();
+          if (on_data) on_data(seg.payload);
+        }
+      }
+      return;
+
+    case State::kEstablished: {
+      if (seg.Has(kFlagFin)) {
+        BecomeClosed();
+        return;
+      }
+      if (seg.payload.empty()) return;  // bare ACK
+      if (seg.seq != rcv_next_) {
+        // In-order-only receiver: anything off the expected sequence is
+        // dropped. A spoofed injection that matches rcv_next_ is accepted
+        // here exactly as if the real peer had sent it — and desynchronizes
+        // the real peer's subsequent segments, which then land in this
+        // branch.
+        ++dropped_out_of_order_;
+        return;
+      }
+      rcv_next_ += static_cast<std::uint32_t>(seg.payload.size());
+      bytes_received_ += seg.payload.size();
+      if (on_data) on_data(seg.payload);
+      return;
+    }
+
+    case State::kClosed:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Host
+
+Host::Host(Scheduler& sched, Network& net, std::uint32_t ip)
+    : sched_(sched), net_(net), ip_(ip) {
+  net_.Attach(this);
+}
+
+Host::~Host() { net_.Detach(this); }
+
+void Host::Listen(std::uint16_t port, AcceptCallback on_accept) {
+  listeners_[port] = std::move(on_accept);
+}
+
+std::uint16_t Host::AllocEphemeralPort() {
+  // 49152..65535, the dynamic range the paper's full-IP Defamation estimate
+  // is computed over.
+  const std::uint16_t port = next_ephemeral_;
+  next_ephemeral_ = (next_ephemeral_ == 65535) ? 49152 : next_ephemeral_ + 1;
+  return port;
+}
+
+TcpConnection* Host::Connect(Endpoint remote, std::function<void(bool)> on_connected) {
+  return ConnectFrom(AllocEphemeralPort(), remote, std::move(on_connected));
+}
+
+TcpConnection* Host::ConnectFrom(std::uint16_t local_port, Endpoint remote,
+                                 std::function<void(bool)> on_connected) {
+  const Endpoint local{ip_, local_port};
+  const ConnKey key{local, remote};
+  if (connections_.contains(key)) return nullptr;  // identifier in use
+  auto conn = std::make_unique<TcpConnection>(*this, local, remote, /*inbound=*/false);
+  TcpConnection* raw = conn.get();
+  raw->on_connected = std::move(on_connected);
+  connections_.emplace(key, std::move(conn));
+  raw->StartHandshake();
+  // SYN timeout: a dial toward a dead or silently-dropping address must not
+  // hang forever (outbound maintenance depends on the failure callback).
+  sched_.After(kSynTimeout, [this, key]() {
+    TcpConnection* pending = FindConnection(key.first, key.second);
+    if (pending != nullptr && !pending->IsEstablished()) pending->Reset();
+  });
+  return raw;
+}
+
+TcpConnection* Host::FindConnection(const Endpoint& local, const Endpoint& remote) {
+  const auto it = connections_.find(ConnKey{local, remote});
+  return it == connections_.end() ? nullptr : it->second.get();
+}
+
+void Host::ReleaseConnection(TcpConnection* conn) {
+  // Deferred so the connection can finish its current callback stack.
+  const ConnKey key{conn->Local(), conn->Remote()};
+  sched_.After(0, [this, key]() { connections_.erase(key); });
+}
+
+void Host::Transmit(TcpSegment seg) { net_.SendSegment(*this, std::move(seg)); }
+
+void Host::DeliverSegment(const TcpSegment& seg) {
+  if (raw_segment_filter && raw_segment_filter(seg)) return;
+
+  // Demultiplex: our local endpoint is the segment's destination.
+  if (TcpConnection* conn = FindConnection(seg.dst, seg.src)) {
+    conn->HandleSegment(seg);
+    return;
+  }
+
+  // New inbound connection?
+  if (seg.Has(kFlagSyn) && !seg.Has(kFlagAck)) {
+    const auto it = listeners_.find(seg.dst.port);
+    if (it != listeners_.end()) {
+      auto conn = std::make_unique<TcpConnection>(*this, seg.dst, seg.src, /*inbound=*/true);
+      TcpConnection* raw = conn.get();
+      raw->rcv_next_ = seg.seq + 1;
+      raw->on_connected = [raw, cb = it->second](bool ok) {
+        if (ok) cb(*raw);
+      };
+      connections_.emplace(ConnKey{seg.dst, seg.src}, std::move(conn));
+      // SYN|ACK reply.
+      TcpSegment synack;
+      synack.src = seg.dst;
+      synack.dst = seg.src;
+      synack.seq = raw->snd_next_;
+      synack.ack = raw->rcv_next_;
+      synack.flags = kFlagSyn | kFlagAck;
+      ++raw->snd_next_;
+      Transmit(std::move(synack));
+      return;
+    }
+  }
+
+  // No matching socket: perimeter firewalls drop silently; otherwise answer
+  // RST (the stack behaviour that would break pre-connection Defamation).
+  if (!drop_unsolicited && !seg.Has(kFlagRst)) {
+    TcpSegment rst;
+    rst.src = seg.dst;
+    rst.dst = seg.src;
+    rst.seq = seg.ack;
+    rst.flags = kFlagRst;
+    Transmit(std::move(rst));
+  }
+}
+
+}  // namespace bsim

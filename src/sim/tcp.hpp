@@ -1,0 +1,166 @@
+// Hosts and TCP-like connections.
+//
+// The connection model keeps real per-direction sequence/acknowledgement
+// state, a three-way handshake, checksum validation, and in-order-only
+// delivery. It is deliberately minimal everywhere else (no retransmission —
+// the simulated wire is lossless and ordered; no flow control) because the
+// attacks only require: 4-tuple demultiplexing, live seq/ack state that a
+// sniffer can learn, and the ability of a forged in-window segment to be
+// accepted as if it came from the real peer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/network.hpp"
+
+namespace bsim {
+
+class Host;
+
+/// Maximum payload bytes per segment.
+constexpr std::size_t kMss = 1460;
+
+/// Outbound handshakes that see no SYN-ACK abort after this long.
+constexpr SimTime kSynTimeout = 5 * kSecond;
+
+class TcpConnection {
+ public:
+  enum class State { kSynSent, kSynReceived, kEstablished, kClosed };
+
+  TcpConnection(Host& host, Endpoint local, Endpoint remote, bool inbound);
+
+  Endpoint Local() const { return local_; }
+  Endpoint Remote() const { return remote_; }
+  bool IsInbound() const { return inbound_; }
+  State GetState() const { return state_; }
+  bool IsEstablished() const { return state_ == State::kEstablished; }
+
+  /// Application data sink; set before data can arrive.
+  std::function<void(bsutil::ByteSpan)> on_data;
+  /// Invoked once when the connection reaches kEstablished.
+  std::function<void(bool ok)> on_connected;
+  /// Invoked when the connection closes (FIN or RST from either side).
+  std::function<void()> on_closed;
+
+  /// Send application bytes; split into MSS-sized PSH|ACK segments.
+  void Send(bsutil::ByteSpan data);
+  /// Graceful close (FIN).
+  void Close();
+  /// Abortive close (RST).
+  void Reset();
+
+  /// TCP input processing for a segment already demultiplexed to this
+  /// connection.
+  void HandleSegment(const TcpSegment& seg);
+
+  // Sequence state (exposed for tests and for the attacker's sniffer-side
+  // bookkeeping — a real attacker reconstructs these from observed segments).
+  std::uint32_t SndNext() const { return snd_next_; }
+  std::uint32_t RcvNext() const { return rcv_next_; }
+
+  std::uint64_t BytesSent() const { return bytes_sent_; }
+  std::uint64_t BytesReceived() const { return bytes_received_; }
+  std::uint64_t SegmentsDroppedChecksum() const { return dropped_checksum_; }
+  std::uint64_t SegmentsDroppedOutOfOrder() const { return dropped_out_of_order_; }
+
+ private:
+  friend class Host;
+
+  void StartHandshake();  // client side: send SYN
+  void EmitSegment(std::uint8_t flags, bsutil::ByteSpan payload);
+  void BecomeClosed();
+
+  Host& host_;
+  Endpoint local_;
+  Endpoint remote_;
+  bool inbound_;
+  State state_;
+  std::uint32_t snd_next_ = 0;
+  std::uint32_t rcv_next_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t dropped_checksum_ = 0;
+  std::uint64_t dropped_out_of_order_ = 0;
+};
+
+/// A machine on the network with a TCP stack.
+class Host {
+ public:
+  Host(Scheduler& sched, Network& net, std::uint32_t ip);
+  virtual ~Host();
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  std::uint32_t Ip() const { return ip_; }
+  Scheduler& Sched() { return sched_; }
+  Network& Net() { return net_; }
+
+  using AcceptCallback = std::function<void(TcpConnection&)>;
+
+  /// Accept inbound connections on `port`. The callback fires when the
+  /// handshake completes.
+  void Listen(std::uint16_t port, AcceptCallback on_accept);
+  void StopListening(std::uint16_t port) { listeners_.erase(port); }
+
+  /// Open a connection from an ephemeral local port. `on_connected` fires
+  /// with ok=true at establishment, ok=false if reset during handshake.
+  TcpConnection* Connect(Endpoint remote, std::function<void(bool ok)> on_connected);
+  /// Open a connection from a caller-chosen local port (Sybil identifiers
+  /// pick their own ports).
+  TcpConnection* ConnectFrom(std::uint16_t local_port, Endpoint remote,
+                             std::function<void(bool ok)> on_connected);
+
+  /// Entry point from the Network on segment arrival.
+  void DeliverSegment(const TcpSegment& seg);
+  virtual void OnIcmp(const IcmpPacket& pkt) { (void)pkt; }
+  /// Aggregated delivery of `count` identical ICMP packets; the default
+  /// fans out to OnIcmp.
+  virtual void OnIcmpBatch(const IcmpPacket& pkt, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) OnIcmp(pkt);
+  }
+
+  /// When set, every arriving segment is offered to this filter first; a
+  /// true return consumes it (attacker hosts implement their own spoofed
+  /// handshakes this way).
+  std::function<bool(const TcpSegment&)> raw_segment_filter;
+
+  /// Perimeter-firewall behaviour: silently drop segments that match no
+  /// socket instead of answering RST (the default per the paper's §III-A
+  /// deployment assumption; pre-connection Defamation relies on the spoofed
+  /// victim not RST-ing the handshake).
+  bool drop_unsolicited = true;
+
+  TcpConnection* FindConnection(const Endpoint& local, const Endpoint& remote);
+  /// Remove a closed connection's state.
+  void ReleaseConnection(TcpConnection* conn);
+
+  std::size_t ConnectionCount() const { return connections_.size(); }
+  /// Allocate the next ephemeral port (49152..65535, wrapping).
+  std::uint16_t AllocEphemeralPort();
+
+  // Internal: used by TcpConnection to transmit.
+  void Transmit(TcpSegment seg);
+
+ private:
+  using ConnKey = std::pair<Endpoint, Endpoint>;  // (local, remote)
+  struct ConnKeyHasher {
+    std::size_t operator()(const ConnKey& k) const {
+      bsproto::EndpointHasher h;
+      return h(k.first) * 1000003 ^ h(k.second);
+    }
+  };
+
+  Scheduler& sched_;
+  Network& net_;
+  std::uint32_t ip_;
+  std::uint16_t next_ephemeral_ = 49152;
+  std::unordered_map<ConnKey, std::unique_ptr<TcpConnection>, ConnKeyHasher> connections_;
+  std::unordered_map<std::uint16_t, AcceptCallback> listeners_;
+};
+
+}  // namespace bsim

@@ -1,0 +1,21 @@
+// Simulated-time units. All simulator timestamps are nanoseconds since the
+// start of the run, held in a signed 64-bit integer (good for ~292 years).
+#pragma once
+
+#include <cstdint>
+
+namespace bsim {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1'000;
+constexpr SimTime kMillisecond = 1'000'000;
+constexpr SimTime kSecond = 1'000'000'000;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+constexpr SimTime FromSeconds(double s) { return static_cast<SimTime>(s * kSecond); }
+
+}  // namespace bsim

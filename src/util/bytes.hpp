@@ -1,0 +1,23 @@
+// Basic byte-container aliases and span helpers shared across all libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bsutil {
+
+/// Owning byte buffer used for wire payloads and hashes.
+using ByteVec = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view of bytes.
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Convert an ASCII string to its byte representation (no encoding change).
+inline ByteVec ToBytes(const std::string& s) {
+  return ByteVec(s.begin(), s.end());
+}
+
+}  // namespace bsutil

@@ -1,0 +1,18 @@
+// Hex encoding/decoding helpers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace bsutil {
+
+/// Encode bytes as lowercase hex.
+std::string HexEncode(ByteSpan data);
+
+/// Decode a hex string; returns std::nullopt on any malformed input
+/// (odd length or non-hex character).
+std::optional<ByteVec> HexDecode(const std::string& hex);
+
+}  // namespace bsutil

@@ -1,0 +1,34 @@
+// Minimal leveled logger. Quiet by default so benchmarks and tests are not
+// swamped; scenario examples raise the level to narrate what the node does.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bsutil {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Set/get the global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emit one log line (category and message) if `level` passes the threshold.
+void LogLine(LogLevel level, const std::string& category, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string Concat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void Log(LogLevel level, const std::string& category, Args&&... args) {
+  if (level < GetLogLevel()) return;
+  LogLine(level, category, detail::Concat(std::forward<Args>(args)...));
+}
+
+}  // namespace bsutil

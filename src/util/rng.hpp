@@ -1,0 +1,79 @@
+// Deterministic PRNG (xoshiro256**) used everywhere randomness is needed so
+// simulations and tests are reproducible from a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace bsutil {
+
+/// xoshiro256** by Blackman & Vigna; seeded via splitmix64 so that any
+/// 64-bit seed yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (for Poisson
+  /// inter-arrival times in the traffic generator).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+    return -mean * std::log(u);
+  }
+
+  /// Normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = NextDouble();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace bsutil

@@ -1,0 +1,99 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace bsutil {
+
+Summary Summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  double sum = 0.0;
+  s.min = xs.front();
+  s.max = xs.front();
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  if (xs.size() > 1) {
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+    // 95% CI half-width via normal approximation: 1.96 * sem.
+    s.ci95_half_width = 1.96 * s.stddev / std::sqrt(static_cast<double>(xs.size()));
+  }
+  return s;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty()) return 0.0;
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double num = 0, dx = 0, dy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double a = xs[i] - mx, b = ys[i] - my;
+    num += a * b;
+    dx += a * a;
+    dy += b * b;
+  }
+  if (dx == 0.0 || dy == 0.0) return 0.0;
+  return num / std::sqrt(dx * dy);
+}
+
+std::vector<double> NormalizeDistribution(const std::vector<double>& counts) {
+  double total = 0.0;
+  for (double c : counts) total += c;
+  std::vector<double> out(counts.size(), 0.0);
+  if (total <= 0.0) return out;
+  for (std::size_t i = 0; i < counts.size(); ++i) out[i] = counts[i] / total;
+  return out;
+}
+
+void Accumulator::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::Variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::StdDev() const { return std::sqrt(Variance()); }
+
+std::pair<std::vector<double>, std::vector<double>> AlignedDistributions(
+    const std::map<std::string, double>& a, const std::map<std::string, double>& b) {
+  std::set<std::string> keys;
+  for (const auto& [k, v] : a) keys.insert(k);
+  for (const auto& [k, v] : b) keys.insert(k);
+  std::vector<double> va, vb;
+  va.reserve(keys.size());
+  vb.reserve(keys.size());
+  for (const auto& k : keys) {
+    auto ia = a.find(k);
+    auto ib = b.find(k);
+    va.push_back(ia == a.end() ? 0.0 : ia->second);
+    vb.push_back(ib == b.end() ? 0.0 : ib->second);
+  }
+  return {NormalizeDistribution(va), NormalizeDistribution(vb)};
+}
+
+}  // namespace bsutil

@@ -1,0 +1,60 @@
+// Descriptive statistics used by the measurement harnesses and by the
+// statistical anomaly-detection engine (mean/stddev/CI, Pearson correlation,
+// normalized count distributions).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bsutil {
+
+/// Summary of a sample: count, mean, standard deviation, min/max, and a 95%
+/// confidence half-width (normal approximation, as used for the paper's
+/// "95% confidence level" error bars in Fig. 6).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double ci95_half_width = 0.0;
+};
+
+/// Compute a Summary over the sample; returns a zero Summary for empty input.
+Summary Summarize(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient of two equal-length vectors.
+/// Returns 0 when either vector has zero variance or lengths differ.
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Normalize counts so they sum to 1. Returns all-zero for an all-zero input.
+std::vector<double> NormalizeDistribution(const std::vector<double>& counts);
+
+/// Incremental accumulator for streaming means/variances (Welford).
+class Accumulator {
+ public:
+  void Add(double x);
+  std::size_t Count() const { return n_; }
+  double Mean() const { return mean_; }
+  double Variance() const;
+  double StdDev() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Aligns two keyed count maps onto a shared key order and returns the two
+/// normalized count vectors (used for the message-count-distribution feature
+/// lambda, where keys are message command names).
+std::pair<std::vector<double>, std::vector<double>> AlignedDistributions(
+    const std::map<std::string, double>& a, const std::map<std::string, double>& b);
+
+}  // namespace bsutil

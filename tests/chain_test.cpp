@@ -1,0 +1,564 @@
+// Tests for bschain: transaction/block validation (each failure mode),
+// chainstate contextual acceptance (prev-missing / prev-invalid /
+// cached-invalid), mempool admission, PoW, and mining.
+#include <gtest/gtest.h>
+
+#include "chain/chainstate.hpp"
+#include "chain/mempool.hpp"
+#include "chain/miner.hpp"
+#include "chain/pow.hpp"
+#include "chain/validation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bschain;  // NOLINT
+using bscrypto::Hash256;
+
+ChainParams Params() { return ChainParams{}; }
+
+Transaction SimpleTx(int salt = 0) {
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid.Data()[0] = static_cast<std::uint8_t>(1 + salt);
+  in.prevout.index = 0;
+  in.script_sig = bsutil::ToBytes("sig");
+  tx.inputs.push_back(in);
+  tx.outputs.push_back({1000 + salt, bsutil::ToBytes("out")});
+  return tx;
+}
+
+Block MineChild(const Hash256& prev, const ChainParams& params, std::uint64_t nonce) {
+  auto block = MineBlock(BuildBlockTemplate(prev, 1'600'000'500, {}, params, nonce),
+                         params);
+  EXPECT_TRUE(block.has_value());
+  return *block;
+}
+
+// ---------------------------------------------------------------------------
+// Transaction validation
+
+TEST(TxValidation, ValidTransactionPasses) {
+  EXPECT_EQ(CheckTransaction(SimpleTx()), TxResult::kOk);
+}
+
+TEST(TxValidation, NoInputsRejected) {
+  Transaction tx = SimpleTx();
+  tx.inputs.clear();
+  EXPECT_EQ(CheckTransaction(tx), TxResult::kNoInputs);
+}
+
+TEST(TxValidation, NoOutputsRejected) {
+  Transaction tx = SimpleTx();
+  tx.outputs.clear();
+  EXPECT_EQ(CheckTransaction(tx), TxResult::kNoOutputs);
+}
+
+TEST(TxValidation, NegativeValueRejected) {
+  Transaction tx = SimpleTx();
+  tx.outputs[0].value = -1;
+  EXPECT_EQ(CheckTransaction(tx), TxResult::kValueOutOfRange);
+}
+
+TEST(TxValidation, ValueAboveMaxMoneyRejected) {
+  Transaction tx = SimpleTx();
+  tx.outputs[0].value = kMaxMoney + 1;
+  EXPECT_EQ(CheckTransaction(tx), TxResult::kValueOutOfRange);
+}
+
+TEST(TxValidation, SummedOverflowRejected) {
+  Transaction tx = SimpleTx();
+  tx.outputs[0].value = kMaxMoney;
+  tx.outputs.push_back({kMaxMoney, bsutil::ToBytes("x")});
+  EXPECT_EQ(CheckTransaction(tx), TxResult::kValueOutOfRange);
+}
+
+TEST(TxValidation, DuplicateInputsRejected) {
+  Transaction tx = SimpleTx();
+  tx.inputs.push_back(tx.inputs[0]);
+  EXPECT_EQ(CheckTransaction(tx), TxResult::kDuplicateInputs);
+}
+
+TEST(TxValidation, NullPrevoutOutsideCoinbaseRejected) {
+  Transaction tx = SimpleTx();
+  tx.inputs[0].prevout = OutPoint{};
+  // A lone-null-input tx is a coinbase shape, rejected when not allowed.
+  EXPECT_EQ(CheckTransaction(tx, /*allow_coinbase=*/false), TxResult::kNullPrevout);
+}
+
+TEST(TxValidation, CoinbaseAllowedWhenPermitted) {
+  Transaction tx = SimpleTx();
+  tx.inputs[0].prevout = OutPoint{};
+  tx.inputs[0].script_sig = bsutil::ToBytes("coinbase!");
+  EXPECT_EQ(CheckTransaction(tx, /*allow_coinbase=*/true), TxResult::kOk);
+}
+
+TEST(TxValidation, CoinbaseScriptTooShortRejected) {
+  Transaction tx = SimpleTx();
+  tx.inputs[0].prevout = OutPoint{};
+  tx.inputs[0].script_sig = {0x01};
+  EXPECT_EQ(CheckTransaction(tx, true), TxResult::kBadCoinbaseScript);
+}
+
+TEST(TxValidation, SegwitFailingWitnessMarkerRejected) {
+  Transaction tx = SimpleTx();
+  tx.witness.push_back({0x00});
+  EXPECT_EQ(CheckTransaction(tx), TxResult::kSegwitInvalid);
+}
+
+TEST(TxValidation, SegwitEmptyWitnessItemRejected) {
+  Transaction tx = SimpleTx();
+  tx.witness.push_back({0x01});
+  tx.inputs.push_back(SimpleTx(5).inputs[0]);
+  tx.witness.push_back({});  // second input's witness empty
+  EXPECT_EQ(CheckTransaction(tx), TxResult::kSegwitInvalid);
+}
+
+TEST(TxValidation, SegwitOversizeItemRejected) {
+  Transaction tx = SimpleTx();
+  tx.witness.push_back(bsutil::ByteVec(kMaxWitnessItemSize + 1, 0x01));
+  EXPECT_EQ(CheckTransaction(tx), TxResult::kSegwitInvalid);
+}
+
+TEST(TxValidation, SegwitCountMismatchRejected) {
+  Transaction tx = SimpleTx();
+  tx.witness.push_back({0x01});
+  tx.witness.push_back({0x02});  // two witnesses, one input
+  EXPECT_EQ(CheckTransaction(tx), TxResult::kSegwitInvalid);
+}
+
+TEST(TxValidation, ValidWitnessPasses) {
+  Transaction tx = SimpleTx();
+  tx.witness.push_back({0x01, 0x02, 0x03});
+  EXPECT_EQ(CheckTransaction(tx), TxResult::kOk);
+}
+
+TEST(Transaction, TxidIgnoresWitness) {
+  Transaction base = SimpleTx();
+  Transaction with_witness = base;
+  with_witness.witness.push_back({0x01});
+  EXPECT_EQ(base.Txid(), with_witness.Txid());
+  EXPECT_NE(with_witness.Txid(), with_witness.Wtxid());
+}
+
+TEST(Transaction, WitnessSerializationRoundTrip) {
+  Transaction tx = SimpleTx();
+  tx.witness.push_back({0xaa, 0xbb});
+  bsutil::Writer w;
+  tx.Serialize(w);
+  bsutil::Reader r(w.Data());
+  const Transaction parsed = Transaction::Deserialize(r);
+  EXPECT_EQ(parsed, tx);
+  EXPECT_TRUE(parsed.HasWitness());
+}
+
+// ---------------------------------------------------------------------------
+// PoW
+
+TEST(Pow, GenesisSatisfiesOwnTarget) {
+  const ChainParams params = Params();
+  const Block genesis = params.GenesisBlock();
+  EXPECT_TRUE(CheckProofOfWork(genesis.Hash(), genesis.header.bits, params));
+}
+
+TEST(Pow, ImpossibleTargetFails) {
+  const ChainParams params = Params();
+  const Block genesis = params.GenesisBlock();
+  EXPECT_FALSE(CheckProofOfWork(genesis.Hash(), 0x03000001, params));
+}
+
+TEST(Pow, TargetAboveLimitRejected) {
+  ChainParams params = Params();
+  params.pow_limit_bits = 0x1d00ffff;  // mainnet-strength limit
+  // 0x207fffff is far easier than the limit: must be rejected as too easy.
+  EXPECT_FALSE(CheckProofOfWork(Hash256{}, 0x207fffff, params));
+}
+
+TEST(Pow, ZeroBitsRejected) {
+  const ChainParams params = Params();
+  EXPECT_FALSE(CheckProofOfWork(Hash256{}, 0, params));
+}
+
+TEST(Pow, GenesisIsDeterministic) {
+  const ChainParams params = Params();
+  EXPECT_EQ(params.GenesisBlock().Hash(), params.GenesisBlock().Hash());
+}
+
+// ---------------------------------------------------------------------------
+// Block validation
+
+TEST(BlockValidation, MinedBlockPasses) {
+  const ChainParams params = Params();
+  const Block block = MineChild(params.GenesisBlock().Hash(), params, 1);
+  EXPECT_EQ(CheckBlock(block, params), BlockResult::kOk);
+}
+
+TEST(BlockValidation, EmptyBlockRejected) {
+  const ChainParams params = Params();
+  Block block;
+  EXPECT_EQ(CheckBlock(block, params), BlockResult::kBadCoinbase);
+}
+
+TEST(BlockValidation, MerkleMismatchIsMutated) {
+  const ChainParams params = Params();
+  Block block = MineChild(params.GenesisBlock().Hash(), params, 2);
+  block.txs.push_back(SimpleTx());  // header merkle root now stale
+  while (!CheckProofOfWork(block.Hash(), block.header.bits, params)) {
+    ++block.header.nonce;
+  }
+  EXPECT_EQ(CheckBlock(block, params), BlockResult::kMutated);
+}
+
+TEST(BlockValidation, DuplicateTxPairIsMutated) {
+  const ChainParams params = Params();
+  Block block = MineChild(params.GenesisBlock().Hash(), params, 3);
+  // Four transactions so the identical pair lands on a pair boundary
+  // (positions 2 and 3) — the CVE-2012-2459 duplicate pattern.
+  block.txs.push_back(SimpleTx(7));
+  block.txs.push_back(SimpleTx(1));
+  block.txs.push_back(SimpleTx(1));  // identical consecutive txids
+  block.header.merkle_root = block.ComputeMerkleRoot();
+  while (!CheckProofOfWork(block.Hash(), block.header.bits, params)) {
+    ++block.header.nonce;
+  }
+  EXPECT_EQ(CheckBlock(block, params), BlockResult::kMutated);
+}
+
+TEST(BlockValidation, MissingCoinbaseRejected) {
+  const ChainParams params = Params();
+  Block block = MineChild(params.GenesisBlock().Hash(), params, 4);
+  block.txs[0] = SimpleTx();  // not a coinbase
+  block.header.merkle_root = block.ComputeMerkleRoot();
+  while (!CheckProofOfWork(block.Hash(), block.header.bits, params)) {
+    ++block.header.nonce;
+  }
+  EXPECT_EQ(CheckBlock(block, params), BlockResult::kBadCoinbase);
+}
+
+TEST(BlockValidation, SecondCoinbaseRejected) {
+  const ChainParams params = Params();
+  Block block = MineChild(params.GenesisBlock().Hash(), params, 5);
+  Transaction cb2;
+  TxIn in;
+  in.prevout = OutPoint{};
+  in.script_sig = bsutil::ToBytes("cb2");
+  cb2.inputs.push_back(in);
+  cb2.outputs.push_back({1, bsutil::ToBytes("x")});
+  block.txs.push_back(cb2);
+  block.header.merkle_root = block.ComputeMerkleRoot();
+  while (!CheckProofOfWork(block.Hash(), block.header.bits, params)) {
+    ++block.header.nonce;
+  }
+  EXPECT_EQ(CheckBlock(block, params), BlockResult::kBadCoinbase);
+}
+
+TEST(BlockValidation, ConsensusInvalidTxRejected) {
+  const ChainParams params = Params();
+  Block block = MineChild(params.GenesisBlock().Hash(), params, 6);
+  Transaction bad = SimpleTx();
+  bad.witness.push_back({0x00});
+  block.txs.push_back(bad);
+  block.header.merkle_root = block.ComputeMerkleRoot();
+  while (!CheckProofOfWork(block.Hash(), block.header.bits, params)) {
+    ++block.header.nonce;
+  }
+  EXPECT_EQ(CheckBlock(block, params), BlockResult::kConsensusInvalid);
+}
+
+TEST(BlockValidation, InvalidPowRejected) {
+  const ChainParams params = Params();
+  Block block = MineChild(params.GenesisBlock().Hash(), params, 7);
+  block.header.bits = 0x03000001;
+  EXPECT_EQ(CheckBlock(block, params), BlockResult::kInvalidPow);
+}
+
+// ---------------------------------------------------------------------------
+// ChainState
+
+TEST(ChainStateTest, StartsAtGenesis) {
+  const ChainParams params = Params();
+  ChainState chain(params);
+  EXPECT_EQ(chain.TipHeight(), 0);
+  EXPECT_EQ(chain.TipHash(), params.GenesisBlock().Hash());
+  EXPECT_TRUE(chain.HaveBlock(params.GenesisBlock().Hash()));
+}
+
+TEST(ChainStateTest, AcceptsChildAndAdvancesTip) {
+  const ChainParams params = Params();
+  ChainState chain(params);
+  const Block child = MineChild(chain.TipHash(), params, 10);
+  EXPECT_EQ(chain.AcceptBlock(child), BlockResult::kOk);
+  EXPECT_EQ(chain.TipHeight(), 1);
+  EXPECT_EQ(chain.TipHash(), child.Hash());
+}
+
+TEST(ChainStateTest, DuplicateAcceptIsIdempotent) {
+  const ChainParams params = Params();
+  ChainState chain(params);
+  const Block child = MineChild(chain.TipHash(), params, 11);
+  EXPECT_EQ(chain.AcceptBlock(child), BlockResult::kOk);
+  EXPECT_EQ(chain.AcceptBlock(child), BlockResult::kDuplicate);
+  EXPECT_EQ(chain.TipHeight(), 1);
+}
+
+TEST(ChainStateTest, PrevMissingDetected) {
+  const ChainParams params = Params();
+  ChainState chain(params);
+  Hash256 unknown;
+  unknown.Data()[5] = 0x44;
+  const Block orphan = MineChild(unknown, params, 12);
+  EXPECT_EQ(chain.AcceptBlock(orphan), BlockResult::kPrevMissing);
+  EXPECT_EQ(chain.TipHeight(), 0);
+}
+
+TEST(ChainStateTest, InvalidBlockIsCachedInvalidOnRepeat) {
+  const ChainParams params = Params();
+  ChainState chain(params);
+  Block bad = MineChild(chain.TipHash(), params, 13);
+  bad.txs.push_back(SimpleTx());  // mutate
+  while (!CheckProofOfWork(bad.Hash(), bad.header.bits, params)) ++bad.header.nonce;
+  EXPECT_EQ(chain.AcceptBlock(bad), BlockResult::kMutated);
+  // The rejection is cached by hash — the repeat offer hits the cache.
+  EXPECT_EQ(chain.AcceptBlock(bad), BlockResult::kCachedInvalid);
+  EXPECT_TRUE(chain.IsKnownInvalid(bad.Hash()));
+}
+
+TEST(ChainStateTest, ChildOfInvalidBlockIsPrevInvalid) {
+  const ChainParams params = Params();
+  ChainState chain(params);
+  Block bad = MineChild(chain.TipHash(), params, 14);
+  bad.txs.push_back(SimpleTx());
+  while (!CheckProofOfWork(bad.Hash(), bad.header.bits, params)) ++bad.header.nonce;
+  ASSERT_EQ(chain.AcceptBlock(bad), BlockResult::kMutated);
+
+  const Block child = MineChild(bad.Hash(), params, 15);
+  EXPECT_EQ(chain.AcceptBlock(child), BlockResult::kPrevInvalid);
+}
+
+TEST(ChainStateTest, ForkDoesNotRegressTip) {
+  const ChainParams params = Params();
+  ChainState chain(params);
+  const Block a = MineChild(chain.TipHash(), params, 16);
+  const Block b = MineChild(chain.TipHash(), params, 17);  // sibling fork
+  ASSERT_EQ(chain.AcceptBlock(a), BlockResult::kOk);
+  const Hash256 tip = chain.TipHash();
+  ASSERT_EQ(chain.AcceptBlock(b), BlockResult::kOk);
+  EXPECT_EQ(chain.TipHash(), tip);  // same height does not displace the tip
+  EXPECT_EQ(chain.TipHeight(), 1);
+}
+
+TEST(ChainStateTest, HeaderAcceptance) {
+  const ChainParams params = Params();
+  ChainState chain(params);
+  const Block child = MineChild(chain.TipHash(), params, 18);
+  EXPECT_EQ(chain.AcceptHeader(child.header), BlockResult::kOk);
+  EXPECT_TRUE(chain.HaveHeader(child.Hash()));
+  EXPECT_FALSE(chain.HaveBlock(child.Hash()));  // header-only
+}
+
+TEST(ChainStateTest, HeaderPrevMissing) {
+  const ChainParams params = Params();
+  ChainState chain(params);
+  BlockHeader header;
+  header.prev.Data()[3] = 0x99;
+  header.bits = params.target_bits;
+  while (!CheckProofOfWork(header.Hash(), header.bits, params)) ++header.nonce;
+  EXPECT_EQ(chain.AcceptHeader(header), BlockResult::kPrevMissing);
+}
+
+TEST(ChainStateTest, HeadersAfterWalksActiveChain) {
+  const ChainParams params = Params();
+  ChainState chain(params);
+  std::vector<Hash256> hashes = {chain.TipHash()};
+  for (int i = 0; i < 5; ++i) {
+    const Block child = MineChild(chain.TipHash(), params, 20 + i);
+    ASSERT_EQ(chain.AcceptBlock(child), BlockResult::kOk);
+    hashes.push_back(child.Hash());
+  }
+  // Everything above genesis:
+  const auto headers = chain.HeadersAfter(hashes[0], 2000);
+  ASSERT_EQ(headers.size(), 5u);
+  EXPECT_EQ(headers[0].Hash(), hashes[1]);
+  EXPECT_EQ(headers[4].Hash(), hashes[5]);
+  // Truncation:
+  EXPECT_EQ(chain.HeadersAfter(hashes[0], 2).size(), 2u);
+  // From mid-chain:
+  EXPECT_EQ(chain.HeadersAfter(hashes[3], 2000).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Mempool
+
+TEST(MempoolTest, AcceptAndLookup) {
+  Mempool pool;
+  const Transaction tx = SimpleTx();
+  EXPECT_EQ(pool.AcceptTransaction(tx), TxResult::kOk);
+  EXPECT_TRUE(pool.Contains(tx.Txid()));
+  EXPECT_EQ(pool.Size(), 1u);
+  const auto got = pool.Get(tx.Txid());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, tx);
+}
+
+TEST(MempoolTest, RejectsInvalid) {
+  Mempool pool;
+  Transaction bad = SimpleTx();
+  bad.witness.push_back({0x00});
+  EXPECT_EQ(pool.AcceptTransaction(bad), TxResult::kSegwitInvalid);
+  EXPECT_EQ(pool.Size(), 0u);
+}
+
+TEST(MempoolTest, DuplicateAcceptIdempotent) {
+  Mempool pool;
+  const Transaction tx = SimpleTx();
+  EXPECT_EQ(pool.AcceptTransaction(tx), TxResult::kOk);
+  EXPECT_EQ(pool.AcceptTransaction(tx), TxResult::kOk);
+  EXPECT_EQ(pool.Size(), 1u);
+}
+
+TEST(MempoolTest, RemoveAndClear) {
+  Mempool pool;
+  const Transaction a = SimpleTx(1), b = SimpleTx(2);
+  pool.AcceptTransaction(a);
+  pool.AcceptTransaction(b);
+  pool.Remove(a.Txid());
+  EXPECT_FALSE(pool.Contains(a.Txid()));
+  EXPECT_EQ(pool.Size(), 1u);
+  pool.Clear();
+  EXPECT_EQ(pool.Size(), 0u);
+}
+
+TEST(MempoolTest, CollectForBlockHonorsCap) {
+  Mempool pool;
+  for (int i = 0; i < 10; ++i) pool.AcceptTransaction(SimpleTx(i));
+  EXPECT_EQ(pool.CollectForBlock(4).size(), 4u);
+  EXPECT_EQ(pool.CollectForBlock(100).size(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Miner
+
+TEST(Miner, TemplateExtendsTip) {
+  const ChainParams params = Params();
+  const Hash256 prev = params.GenesisBlock().Hash();
+  const Block tmpl = BuildBlockTemplate(prev, 1'600'000'600, {SimpleTx()}, params, 1);
+  EXPECT_EQ(tmpl.header.prev, prev);
+  ASSERT_EQ(tmpl.txs.size(), 2u);
+  EXPECT_TRUE(tmpl.txs[0].IsCoinbase());
+  EXPECT_EQ(tmpl.header.merkle_root, tmpl.ComputeMerkleRoot());
+}
+
+TEST(Miner, DistinctExtraNoncesYieldDistinctBlocks) {
+  const ChainParams params = Params();
+  const Hash256 prev = params.GenesisBlock().Hash();
+  const Block a = MineChild(prev, params, 100);
+  const Block b = MineChild(prev, params, 101);
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(Miner, ExhaustionReturnsNullopt) {
+  ChainParams params = Params();
+  Block tmpl = BuildBlockTemplate(params.GenesisBlock().Hash(), 1'600'000'700, {},
+                                  params, 1);
+  tmpl.header.bits = 0x03000001;  // unminable target
+  EXPECT_FALSE(MineBlock(tmpl, params, /*max_iterations=*/1000).has_value());
+}
+
+TEST(Miner, HashRateMeterMeasuresRealHashing) {
+  HashRateMeter meter;
+  const double rate = meter.Measure(20'000);
+  EXPECT_GT(rate, 1'000.0);  // any real machine exceeds 1 kh/s
+}
+
+TEST(Miner, InterferenceReducesHashRate) {
+  HashRateMeter meter;
+  const double clean = meter.Measure(30'000);
+  volatile double sink = 0.0;
+  const double loaded = meter.Measure(30'000, [&sink]() {
+    for (int i = 0; i < 20'000; ++i) sink = sink + i;
+  }, /*interference_stride=*/256);
+  EXPECT_LT(loaded, clean);
+}
+
+}  // namespace
+
+// NOTE: appended tests for block locators (GETHEADERS semantics).
+namespace {
+
+using bschain::Block;
+using bschain::ChainParams;
+using bschain::ChainState;
+
+TEST(Locator, GenesisOnlyChain) {
+  const ChainParams params;
+  ChainState chain(params);
+  const auto locator = chain.GetLocator();
+  ASSERT_EQ(locator.size(), 1u);
+  EXPECT_EQ(locator[0], params.GenesisBlock().Hash());
+}
+
+TEST(Locator, DenseThenExponentialShape) {
+  const ChainParams params;
+  ChainState chain(params);
+  for (int i = 0; i < 40; ++i) {
+    const Block child = MineChild(chain.TipHash(), params, 300 + i);
+    ASSERT_EQ(chain.AcceptBlock(child), bschain::BlockResult::kOk);
+  }
+  const auto locator = chain.GetLocator();
+  // Dense prefix: the first 10 entries step back one block each.
+  ASSERT_GE(locator.size(), 11u);
+  EXPECT_EQ(locator[0], chain.TipHash());
+  // Sparse tail and genesis last.
+  EXPECT_LT(locator.size(), 41u);
+  EXPECT_EQ(locator.back(), params.GenesisBlock().Hash());
+  // All entries are on the active chain.
+  for (const auto& hash : locator) EXPECT_TRUE(chain.IsOnActiveChain(hash));
+}
+
+TEST(Locator, HeadersAfterLocatorSkipsUnknownForkPoints) {
+  const ChainParams params;
+  ChainState chain(params);
+  std::vector<bscrypto::Hash256> hashes = {chain.TipHash()};
+  for (int i = 0; i < 6; ++i) {
+    const Block child = MineChild(chain.TipHash(), params, 400 + i);
+    ASSERT_EQ(chain.AcceptBlock(child), bschain::BlockResult::kOk);
+    hashes.push_back(child.Hash());
+  }
+  // Locator: [unknown fork hash, height-3 hash]: the responder must resume
+  // from the first entry it recognizes.
+  bscrypto::Hash256 unknown;
+  unknown.Data()[7] = 0xab;
+  const auto headers = chain.HeadersAfterLocator({unknown, hashes[3]}, 2000);
+  ASSERT_EQ(headers.size(), 3u);
+  EXPECT_EQ(headers[0].Hash(), hashes[4]);
+  EXPECT_EQ(headers[2].Hash(), hashes[6]);
+}
+
+TEST(Locator, NoCommonPointServesFromGenesis) {
+  const ChainParams params;
+  ChainState chain(params);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(chain.AcceptBlock(MineChild(chain.TipHash(), params, 500 + i)),
+              bschain::BlockResult::kOk);
+  }
+  bscrypto::Hash256 unknown;
+  unknown.Data()[9] = 0xcd;
+  EXPECT_EQ(chain.HeadersAfterLocator({unknown}, 2000).size(), 3u);
+  EXPECT_EQ(chain.HeadersAfterLocator({}, 2000).size(), 3u);
+}
+
+TEST(Locator, IsOnActiveChainRejectsForkBlocks) {
+  const ChainParams params;
+  ChainState chain(params);
+  const Block main1 = MineChild(chain.TipHash(), params, 600);
+  const Block fork1 = MineChild(chain.TipHash(), params, 601);
+  ASSERT_EQ(chain.AcceptBlock(main1), bschain::BlockResult::kOk);
+  ASSERT_EQ(chain.AcceptBlock(fork1), bschain::BlockResult::kOk);
+  const Block main2 = MineChild(main1.Hash(), params, 602);
+  ASSERT_EQ(chain.AcceptBlock(main2), bschain::BlockResult::kOk);
+  EXPECT_TRUE(chain.IsOnActiveChain(main1.Hash()));
+  EXPECT_TRUE(chain.IsOnActiveChain(main2.Hash()));
+  EXPECT_FALSE(chain.IsOnActiveChain(fork1.Hash()));  // stale sibling
+}
+
+}  // namespace

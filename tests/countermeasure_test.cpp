@@ -1,0 +1,332 @@
+// Live-node tests of the §VIII countermeasures: forgoing ban score
+// (threshold→∞ and disabled-checking), the good-score mechanism, and the
+// checksum-ordering ablation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/attacker.hpp"
+#include "attack/crafter.hpp"
+#include "attack/defamation.hpp"
+#include "core/node.hpp"
+
+namespace {
+
+using namespace bsnet;  // NOLINT
+using bsattack::AttackerNode;
+using bsattack::AttackSession;
+using bsattack::Crafter;
+
+constexpr std::uint32_t kTargetIp = 0x0a000001;
+constexpr std::uint32_t kAttackerIp = 0x0a000002;
+constexpr std::uint32_t kInnocentIp = 0x0a000003;
+
+struct PolicyFixture {
+  explicit PolicyFixture(BanPolicy policy, int good_exemption = 1)
+      : net(sched), crafter(bschain::ChainParams{}) {
+    NodeConfig config;
+    config.ban_policy = policy;
+    config.good_score_exemption = good_exemption;
+    node = std::make_unique<Node>(sched, net, kTargetIp, config);
+    node->Start();
+    attacker = std::make_unique<AttackerNode>(sched, net, kAttackerIp,
+                                              config.chain.magic);
+  }
+
+  AttackSession* ReadySession() {
+    AttackSession* session = attacker->OpenSession({kTargetIp, 8333});
+    sched.RunUntil(sched.Now() + bsim::kSecond);
+    return session;
+  }
+
+  void Settle() { sched.RunUntil(sched.Now() + bsim::kSecond); }
+
+  bsim::Scheduler sched;
+  bsim::Network net;
+  Crafter crafter;
+  std::unique_ptr<Node> node;
+  std::unique_ptr<AttackerNode> attacker;
+};
+
+TEST(Countermeasures, ThresholdInfinityNeverBansButKeepsScore) {
+  PolicyFixture fx(BanPolicy::kThresholdInfinity);
+  AttackSession* session = fx.ReadySession();
+  for (int i = 0; i < 5; ++i) {
+    fx.attacker->Send(*session, fx.crafter.SegwitInvalidTx());
+  }
+  fx.Settle();
+  EXPECT_FALSE(session->closed);
+  EXPECT_EQ(fx.node->PeersBanned(), 0u);
+  // The misbehavior tracking still works (peer-health ranking use case)...
+  Peer* peer = fx.node->FindPeerByRemote(session->local);
+  ASSERT_NE(peer, nullptr);
+  EXPECT_EQ(fx.node->Tracker().Score(peer->id), 500);
+}
+
+TEST(Countermeasures, DisabledPolicyTracksNothing) {
+  PolicyFixture fx(BanPolicy::kDisabled);
+  AttackSession* session = fx.ReadySession();
+  for (int i = 0; i < 5; ++i) {
+    fx.attacker->Send(*session, fx.crafter.SegwitInvalidTx());
+  }
+  fx.Settle();
+  EXPECT_FALSE(session->closed);
+  Peer* peer = fx.node->FindPeerByRemote(session->local);
+  ASSERT_NE(peer, nullptr);
+  EXPECT_EQ(fx.node->Tracker().Score(peer->id), 0);
+}
+
+TEST(Countermeasures, DisablingBanScoreDoesNotAffectNormalOperation) {
+  // §VIII: "Disabling the ban score does not affect any of the other Bitcoin
+  // operations" — blocks still validate and relay.
+  PolicyFixture fx(BanPolicy::kDisabled);
+  AttackSession* session = fx.ReadySession();
+  const auto valid = fx.crafter.ValidBlock(fx.node->Chain().TipHash());
+  fx.attacker->Send(*session, valid);
+  fx.Settle();
+  EXPECT_TRUE(fx.node->Chain().HaveBlock(valid.block.Hash()));
+}
+
+TEST(Countermeasures, GoodScoreProtectsBlockProvidingPeerFromDefamation) {
+  PolicyFixture fx(BanPolicy::kGoodScore);
+  AttackSession* innocent_like = fx.ReadySession();
+  // The "innocent" session first delivers a valid block (earning credit)...
+  fx.attacker->Send(*innocent_like, fx.crafter.ValidBlock(fx.node->Chain().TipHash()));
+  fx.Settle();
+  // ...then "its" identifier emits a 100-point misbehavior (as a Defamation
+  // attacker would inject). The credit exempts it from the ban.
+  fx.attacker->Send(*innocent_like, fx.crafter.SegwitInvalidTx());
+  fx.Settle();
+  EXPECT_FALSE(innocent_like->closed);
+  EXPECT_EQ(fx.node->PeersBanned(), 0u);
+}
+
+TEST(Countermeasures, GoodScoreStillBansCreditlessAttacker) {
+  PolicyFixture fx(BanPolicy::kGoodScore);
+  AttackSession* attacker_session = fx.ReadySession();
+  fx.attacker->Send(*attacker_session, fx.crafter.SegwitInvalidTx());
+  fx.Settle();
+  EXPECT_TRUE(attacker_session->closed);
+  EXPECT_EQ(fx.node->PeersBanned(), 1u);
+}
+
+TEST(Countermeasures, ChecksumOrderingAblationClosesBogusLoophole) {
+  // Stock ordering: bogus frames are free. Flipped ordering (the ablation):
+  // each bad-checksum frame costs the sender ban score.
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.checksum_before_misbehavior = false;
+  Node node(sched, net, kTargetIp, config);
+  node.Start();
+  AttackerNode attacker(sched, net, kAttackerIp, config.chain.magic);
+  Crafter crafter(config.chain);
+
+  AttackSession* session = attacker.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(bsim::kSecond);
+  const auto frame = crafter.BogusBlockFrame(config.chain.magic, 1000);
+  for (int i = 0; i < 20; ++i) attacker.SendRawFrame(*session, frame);
+  sched.RunUntil(sched.Now() + bsim::kSecond);
+  // 10 points per bad frame → banned after the 10th.
+  EXPECT_TRUE(session->closed);
+  EXPECT_GE(node.PeersBanned(), 1u);
+}
+
+TEST(Countermeasures, BanDurationConfigurable) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.ban_duration = bsim::kMinute;
+  Node node(sched, net, kTargetIp, config);
+  node.Start();
+  AttackerNode attacker(sched, net, kAttackerIp, config.chain.magic);
+  Crafter crafter(config.chain);
+  AttackSession* session = attacker.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(bsim::kSecond);
+  attacker.Send(*session, crafter.SegwitInvalidTx());
+  sched.RunUntil(sched.Now() + bsim::kSecond);
+  const Endpoint banned = session->local;
+  EXPECT_TRUE(node.Bans().IsBanned(banned, sched.Now()));
+  sched.RunUntil(sched.Now() + 2 * bsim::kMinute);
+  EXPECT_FALSE(node.Bans().IsBanned(banned, sched.Now()));
+
+  // After expiry the identifier can connect again.
+  AttackSession* retry =
+      attacker.OpenSession({kTargetIp, 8333}, /*auto_handshake=*/true, banned.port);
+  sched.RunUntil(sched.Now() + bsim::kSecond);
+  EXPECT_TRUE(retry->SessionReady());
+}
+
+TEST(Countermeasures, LowerBanThresholdBansFaster) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.ban_threshold = 20;
+  Node node(sched, net, kTargetIp, config);
+  node.Start();
+  AttackerNode attacker(sched, net, kAttackerIp, config.chain.magic);
+  Crafter crafter(config.chain);
+  AttackSession* session = attacker.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(bsim::kSecond);
+  attacker.Send(*session, crafter.OversizeAddr());  // 20 points == threshold
+  sched.RunUntil(sched.Now() + bsim::kSecond);
+  EXPECT_TRUE(session->closed);
+}
+
+TEST(Countermeasures, GoodScoreDefamationEndToEnd) {
+  // Full §VIII story on the wire: under kGoodScore, a post-connection
+  // Defamation injection against an outbound peer that has relayed blocks
+  // fails to get it banned.
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig target_config;
+  target_config.ban_policy = BanPolicy::kGoodScore;
+  target_config.target_outbound = 1;
+  Node target(sched, net, kTargetIp, target_config);
+
+  NodeConfig peer_config;
+  peer_config.target_outbound = 0;
+  Node innocent(sched, net, kInnocentIp, peer_config);
+  innocent.Start();
+  target.AddKnownAddress({kInnocentIp, 8333});
+  target.Start();
+  sched.RunUntil(5 * bsim::kSecond);
+  ASSERT_EQ(target.OutboundCount(), 1u);
+
+  // The innocent peer mines a block; the target fetches it (good score +1).
+  innocent.MineAndRelay();
+  sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+  const bsnet::Peer* outbound = nullptr;
+  for (const bsnet::Peer* p : target.Peers()) {
+    if (!p->inbound) outbound = p;
+  }
+  ASSERT_NE(outbound, nullptr);
+  ASSERT_GE(target.Tracker().GoodScore(outbound->id), 1);
+
+  // Defame it.
+  AttackerNode attacker(sched, net, kAttackerIp, target_config.chain.magic);
+  bsattack::PostConnectionDefamation defamation(attacker, outbound->conn->Local(),
+                                                outbound->remote);
+  Crafter crafter(target_config.chain);
+  defamation.Arm({bsproto::EncodeMessage(target_config.chain.magic,
+                                         crafter.SegwitInvalidTx())});
+  innocent.SendToRemoteIp(kTargetIp, bsproto::PingMsg{5});
+  sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+
+  EXPECT_TRUE(defamation.Injected());
+  EXPECT_FALSE(target.Bans().IsBanned(Endpoint{kInnocentIp, 8333}, sched.Now()));
+  EXPECT_EQ(target.PeersBanned(), 0u);
+  EXPECT_EQ(target.OutboundCount(), 1u);  // the peer connection survived
+}
+
+}  // namespace
+
+// NOTE: appended tests for the Core 0.21+ discouragement mode (per-IP,
+// non-expiring) vs the 0.20.0 banning regime the paper studies.
+namespace {
+
+TEST(Discouragement, MisbehaviorDiscouragesWholeIpInsteadOfBanning) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.use_discouragement = true;
+  Node node(sched, net, kTargetIp, config);
+  node.Start();
+  AttackerNode attacker(sched, net, kAttackerIp, config.chain.magic);
+  Crafter crafter(config.chain);
+
+  AttackSession* session = attacker.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(bsim::kSecond);
+  attacker.Send(*session, crafter.SegwitInvalidTx());
+  sched.RunUntil(sched.Now() + bsim::kSecond);
+
+  EXPECT_TRUE(session->closed);
+  // No timed [IP:Port] ban — the whole IP is discouraged instead.
+  EXPECT_EQ(node.Bans().Size(), 0u);
+  EXPECT_TRUE(node.Bans().IsDiscouraged(kAttackerIp));
+
+  // The Sybil fresh-port loophole is closed in this regime: ANY new port
+  // from the discouraged IP is refused.
+  AttackSession* sybil = attacker.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(sched.Now() + bsim::kSecond);
+  EXPECT_TRUE(sybil->closed);
+  EXPECT_FALSE(sybil->SessionReady());
+}
+
+TEST(Discouragement, DoesNotExpireWithTime) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.use_discouragement = true;
+  Node node(sched, net, kTargetIp, config);
+  node.Start();
+  AttackerNode attacker(sched, net, kAttackerIp, config.chain.magic);
+  Crafter crafter(config.chain);
+  AttackSession* session = attacker.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(bsim::kSecond);
+  attacker.Send(*session, crafter.SegwitInvalidTx());
+  sched.RunUntil(sched.Now() + 48 * bsim::kHour);  // well past the 24h ban window
+  EXPECT_TRUE(node.Bans().IsDiscouraged(kAttackerIp));
+  AttackSession* retry = attacker.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(sched.Now() + bsim::kSecond);
+  EXPECT_TRUE(retry->closed);
+}
+
+TEST(Discouragement, OutboundDialsAvoidDiscouragedIps) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.use_discouragement = true;
+  config.target_outbound = 1;
+  Node node(sched, net, kTargetIp, config);
+  node.Bans().Discourage(kInnocentIp);
+  NodeConfig pc;
+  pc.target_outbound = 0;
+  Node discouraged_peer(sched, net, kInnocentIp, pc);
+  discouraged_peer.Start();
+  node.AddKnownAddress({kInnocentIp, 8333});
+  node.Start();
+  sched.RunUntil(10 * bsim::kSecond);
+  EXPECT_EQ(node.OutboundCount(), 0u);  // the only candidate is discouraged
+}
+
+TEST(Discouragement, DefamationBlacklistsTheWholeInnocentIp) {
+  // The flip side the paper's Table I comparison hints at: with per-IP
+  // discouragement, ONE successful Defamation injection denies the target
+  // every identifier of the innocent IP — the full-IP attack needs one
+  // identifier instead of 16384.
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig target_config;
+  target_config.use_discouragement = true;
+  target_config.target_outbound = 1;
+  Node target(sched, net, kTargetIp, target_config);
+  NodeConfig pc;
+  pc.target_outbound = 0;
+  Node innocent(sched, net, kInnocentIp, pc);
+  innocent.Start();
+  target.AddKnownAddress({kInnocentIp, 8333});
+  target.Start();
+  sched.RunUntil(5 * bsim::kSecond);
+  const Peer* outbound = nullptr;
+  for (const Peer* p : target.Peers()) {
+    if (!p->inbound) outbound = p;
+  }
+  ASSERT_NE(outbound, nullptr);
+
+  AttackerNode attacker(sched, net, kAttackerIp, target_config.chain.magic);
+  Crafter crafter(target_config.chain);
+  bsattack::PostConnectionDefamation defamation(attacker, outbound->conn->Local(),
+                                                outbound->remote);
+  defamation.Arm({bsproto::EncodeMessage(target_config.chain.magic,
+                                         crafter.SegwitInvalidTx())});
+  innocent.SendToRemoteIp(kTargetIp, bsproto::PingMsg{1});
+  sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+
+  EXPECT_TRUE(target.Bans().IsDiscouraged(kInnocentIp));
+  // The target will never redial any port of the innocent IP.
+  sched.RunUntil(sched.Now() + 30 * bsim::kSecond);
+  EXPECT_EQ(target.OutboundCount(), 0u);
+}
+
+}  // namespace

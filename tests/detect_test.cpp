@@ -1,0 +1,367 @@
+// Tests for the detection engine: monitor bucketing, feature extraction,
+// threshold training, and end-to-end detection of both attacks on the
+// simulator (the §VII experiment at reduced scale).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "attack/bmdos.hpp"
+#include "attack/crafter.hpp"
+#include "attack/defamation.hpp"
+#include "attack/traffic.hpp"
+#include "core/node.hpp"
+#include "detect/engine.hpp"
+#include "detect/monitor.hpp"
+
+namespace {
+
+using namespace bsdetect;  // NOLINT
+using bsattack::AttackerNode;
+using bsattack::MainnetTrafficGenerator;
+using bsattack::TrafficConfig;
+using bsnet::Node;
+using bsnet::NodeConfig;
+
+constexpr std::uint32_t kTargetIp = 0x0a000001;
+
+FeatureWindow MakeWindow(double n, double c, std::map<std::string, double> counts) {
+  FeatureWindow w;
+  w.window_minutes = 10;
+  w.n = n;
+  w.c = c;
+  w.counts = std::move(counts);
+  return w;
+}
+
+std::map<std::string, double> NormalMix(double scale = 1.0) {
+  return {{"tx", 145 * scale},   {"inv", 78 * scale},  {"getdata", 25 * scale},
+          {"addr", 15 * scale},  {"headers", 12 * scale}, {"getheaders", 10 * scale},
+          {"ping", 8 * scale},   {"pong", 8 * scale},  {"version", 0.12 * scale},
+          {"verack", 0.12 * scale}};
+}
+
+std::vector<FeatureWindow> TrainingWindows() {
+  std::vector<FeatureWindow> windows;
+  bsutil::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const double jitter = 0.9 + 0.2 * rng.NextDouble();
+    windows.push_back(MakeWindow(300 * jitter, rng.NextDouble() * 1.5,
+                                 NormalMix(jitter)));
+  }
+  return windows;
+}
+
+// ---------------------------------------------------------------------------
+// Engine on synthetic windows
+
+TEST(Engine, RequiresAtLeastTwoWindows) {
+  StatEngine engine;
+  EXPECT_FALSE(engine.Train({MakeWindow(300, 1, NormalMix())}));
+  EXPECT_FALSE(engine.Trained());
+}
+
+TEST(Engine, TrainsThresholdEnvelope) {
+  StatEngine engine;
+  ASSERT_TRUE(engine.Train(TrainingWindows()));
+  const Profile& p = engine.GetProfile();
+  EXPECT_GT(p.tau_n_high, 300.0);
+  EXPECT_LT(p.tau_n_low, 300.0);
+  EXPECT_GT(p.tau_c_high, 0.0);
+  EXPECT_EQ(p.tau_c_low, 0.0);
+  EXPECT_GT(p.tau_lambda, 0.9);
+  EXPECT_LT(p.tau_lambda, 1.0);
+}
+
+TEST(Engine, NormalWindowPassesAfterTraining) {
+  StatEngine engine;
+  ASSERT_TRUE(engine.Train(TrainingWindows()));
+  const auto result = engine.Detect(MakeWindow(310, 1.0, NormalMix(1.05)));
+  EXPECT_FALSE(result.anomalous);
+  EXPECT_GT(result.rho, engine.GetProfile().tau_lambda);
+}
+
+TEST(Engine, PingFloodWindowDetectedAsBmDos) {
+  StatEngine engine;
+  ASSERT_TRUE(engine.Train(TrainingWindows()));
+  auto counts = NormalMix();
+  counts["ping"] += 15'000 * 10;  // the paper's ~15000/min flood
+  const auto result = engine.Detect(MakeWindow(15'300, 1.0, std::move(counts)));
+  EXPECT_TRUE(result.anomalous);
+  EXPECT_TRUE(result.bmdos_suspected);
+  EXPECT_FALSE(result.defamation_suspected);
+  // The distribution collapses onto PING: correlation ≈ 0 (paper: 0.05).
+  EXPECT_LT(result.rho, 0.2);
+}
+
+TEST(Engine, DefamationWindowDetectedViaReconnectRate) {
+  StatEngine engine;
+  ASSERT_TRUE(engine.Train(TrainingWindows()));
+  auto counts = NormalMix();
+  counts["version"] += 5.3 * 10;  // elevated handshake traffic
+  counts["verack"] += 5.3 * 10;
+  const auto result = engine.Detect(MakeWindow(310, /*c=*/5.3, std::move(counts)));
+  EXPECT_TRUE(result.anomalous);
+  EXPECT_TRUE(result.defamation_suspected);
+  // Distribution stays far closer to normal than under BM-DoS (paper: 0.88
+  // vs 0.05).
+  EXPECT_GT(result.rho, 0.5);
+}
+
+TEST(Engine, RateDropBelowEnvelopeAlsoFlags) {
+  StatEngine engine;
+  ASSERT_TRUE(engine.Train(TrainingWindows()));
+  const auto result = engine.Detect(MakeWindow(5, 0.0, NormalMix(0.02)));
+  EXPECT_TRUE(result.anomalous);
+}
+
+TEST(Engine, AlertCallbackFires) {
+  StatEngine engine;
+  ASSERT_TRUE(engine.Train(TrainingWindows()));
+  int alerts = 0;
+  engine.on_alert = [&](const DetectionResult&) { ++alerts; };
+  auto counts = NormalMix();
+  counts["ping"] += 100'000;
+  engine.DetectAndAlert(MakeWindow(12'000, 0.5, counts));
+  engine.DetectAndAlert(MakeWindow(305, 0.5, NormalMix()));
+  EXPECT_EQ(alerts, 1);
+}
+
+TEST(Engine, UntrainedDetectIsInert) {
+  StatEngine engine;
+  const auto result = engine.Detect(MakeWindow(1e6, 100, NormalMix()));
+  EXPECT_FALSE(result.anomalous);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor on a live node
+
+struct MonitorFixture : ::testing::Test {
+  MonitorFixture() : net(sched), node(sched, net, kTargetIp, NodeConfig{}) {
+    node.Start();
+  }
+  bsim::Scheduler sched;
+  bsim::Network net;
+  Node node;
+};
+
+TEST_F(MonitorFixture, CountsMessagesPerMinute) {
+  Monitor monitor(node);
+  AttackerNode attacker(sched, net, 0x0a000002, node.Config().chain.magic);
+  auto* session = attacker.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(bsim::kSecond);
+  ASSERT_TRUE(session->SessionReady());
+  for (int i = 0; i < 30; ++i) attacker.Send(*session, bsproto::PingMsg{static_cast<std::uint64_t>(i)});
+  sched.RunUntil(2 * bsim::kMinute);
+
+  // Handshake (version+verack) plus 30 pings.
+  EXPECT_EQ(monitor.TotalMessages(), 32u);
+  const FeatureWindow window = monitor.Window(sched.Now(), 2);
+  EXPECT_NEAR(window.n, 16.0, 1.0);
+  EXPECT_EQ(window.counts.at("ping"), 30.0);
+}
+
+TEST_F(MonitorFixture, ChainsPreexistingHooks) {
+  int external_count = 0;
+  node.on_message = [&](const bsnet::Peer&, bsproto::MsgType, std::size_t) {
+    ++external_count;
+  };
+  Monitor monitor(node);
+  AttackerNode attacker(sched, net, 0x0a000002, node.Config().chain.magic);
+  auto* session = attacker.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(bsim::kSecond);
+  attacker.Send(*session, bsproto::PingMsg{1});
+  sched.RunUntil(2 * bsim::kSecond);
+  EXPECT_GE(external_count, 3);  // version + verack + ping
+  EXPECT_EQ(monitor.TotalMessages(), static_cast<std::uint64_t>(external_count));
+}
+
+TEST_F(MonitorFixture, AllWindowsSplitsRecording) {
+  Monitor monitor(node);
+  AttackerNode attacker(sched, net, 0x0a000002, node.Config().chain.magic);
+  auto* session = attacker.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(bsim::kSecond);
+  // One ping per minute for 9 minutes.
+  for (int minute = 0; minute < 9; ++minute) {
+    attacker.Send(*session, bsproto::PingMsg{static_cast<std::uint64_t>(minute)});
+    sched.RunUntil(sched.Now() + bsim::kMinute);
+  }
+  const auto windows = monitor.AllWindows(3);
+  EXPECT_EQ(windows.size(), 3u);
+  for (const auto& w : windows) EXPECT_GT(w.n, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: train on simulated Mainnet, detect live attacks (§VII scaled
+// down — minutes instead of 35 hours)
+
+struct EndToEndDetection : ::testing::Test {
+  void SetUp() override {
+    net = std::make_unique<bsim::Network>(sched);
+    NodeConfig config;
+    config.target_outbound = 8;
+    target = std::make_unique<Node>(sched, *net, kTargetIp, config);
+    for (int i = 0; i < 30; ++i) {
+      NodeConfig pc;
+      pc.target_outbound = 0;
+      auto peer = std::make_unique<Node>(sched, *net, 0x0a000100 + i, pc);
+      peer->Start();
+      target->AddKnownAddress({peer->Ip(), 8333});
+      peers.push_back(peer.get());
+      peer_storage.push_back(std::move(peer));
+    }
+    target->Start();
+    sched.RunUntil(10 * bsim::kSecond);
+    ASSERT_EQ(target->OutboundCount(), 8u);
+
+    monitor = std::make_unique<Monitor>(*target);
+    traffic = std::make_unique<MainnetTrafficGenerator>(sched, peers, *target,
+                                                        TrafficConfig{});
+    traffic->Start();
+    // Train on 40 minutes of normal traffic, 4-minute windows.
+    sched.RunUntil(sched.Now() + 40 * bsim::kMinute);
+    ASSERT_TRUE(engine.Train(monitor->AllWindows(4)));
+  }
+
+  bsim::Scheduler sched;
+  std::unique_ptr<bsim::Network> net;
+  std::unique_ptr<Node> target;
+  std::vector<std::unique_ptr<Node>> peer_storage;
+  std::vector<Node*> peers;
+  std::unique_ptr<Monitor> monitor;
+  std::unique_ptr<MainnetTrafficGenerator> traffic;
+  StatEngine engine;
+};
+
+TEST_F(EndToEndDetection, NormalTrafficStaysQuiet) {
+  sched.RunUntil(sched.Now() + 8 * bsim::kMinute);
+  const auto result = engine.Detect(monitor->Window(sched.Now(), 4));
+  EXPECT_FALSE(result.anomalous);
+}
+
+TEST_F(EndToEndDetection, LivePingFloodDetected) {
+  AttackerNode attacker(sched, *net, 0x0a000002, target->Config().chain.magic);
+  bsattack::Crafter crafter(target->Config().chain);
+  bsattack::BmDosConfig config;
+  config.payload = bsattack::BmDosConfig::Payload::kPing;
+  config.rate_msgs_per_sec = 250;  // the paper's ~15000 msgs/min flood
+  bsattack::BmDosAttack attack(attacker, {kTargetIp, 8333}, crafter, config);
+  attack.Start();
+  sched.RunUntil(sched.Now() + 6 * bsim::kMinute);
+  attack.Stop();
+
+  const auto result = engine.Detect(monitor->Window(sched.Now(), 4));
+  EXPECT_TRUE(result.anomalous);
+  EXPECT_TRUE(result.bmdos_suspected);
+  EXPECT_GT(result.n, engine.GetProfile().tau_n_high);
+  EXPECT_LT(result.rho, engine.GetProfile().tau_lambda);
+}
+
+TEST_F(EndToEndDetection, LiveDefamationDetectedViaReconnectRate) {
+  // Repeatedly defame the target's outbound peers: ban each current outbound
+  // identifier so the target keeps reconnecting. We drive the bans directly
+  // through the misbehavior path (injected segwit-invalid TX per Algorithm 1
+  // is exercised in attack_test; here the focus is the detection signal).
+  bsattack::AttackerNode attacker(sched, *net, 0x0a000050,
+                                  target->Config().chain.magic);
+  bsattack::Crafter crafter(target->Config().chain);
+  std::vector<std::unique_ptr<bsattack::PostConnectionDefamation>> defamations;
+  for (int round = 0; round < 40; ++round) {
+    const bsnet::Peer* outbound = nullptr;
+    for (const bsnet::Peer* p : target->Peers()) {
+      if (!p->inbound && p->HandshakeComplete() &&
+          !target->Bans().IsBanned(p->remote, sched.Now())) {
+        outbound = p;
+        break;
+      }
+    }
+    if (outbound != nullptr) {
+      auto defamation = std::make_unique<bsattack::PostConnectionDefamation>(
+          attacker, outbound->conn->Local(), outbound->remote);
+      defamation->Arm({bsproto::EncodeMessage(target->Config().chain.magic,
+                                              crafter.SegwitInvalidTx())});
+      defamations.push_back(std::move(defamation));
+    }
+    sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+  }
+
+  const auto result = engine.Detect(monitor->Window(sched.Now(), 4));
+  EXPECT_TRUE(result.anomalous);
+  EXPECT_TRUE(result.defamation_suspected);
+  EXPECT_GT(result.c, engine.GetProfile().tau_c_high);
+}
+
+}  // namespace
+
+// NOTE: appended tests for the byte-rate extension feature (b): the paper's
+// n feature counts only decoded messages, so a bogus-BLOCK flood (dropped at
+// the checksum gate) is invisible to it; b sees every wire frame.
+namespace {
+
+TEST_F(EndToEndDetection, BogusBlockFloodInvisibleToNButCaughtByB) {
+  AttackerNode attacker(sched, *net, 0x0a000002, target->Config().chain.magic);
+  bsattack::Crafter crafter(target->Config().chain);
+  bsattack::BmDosConfig config;
+  config.payload = bsattack::BmDosConfig::Payload::kBogusBlock;
+  config.rate_msgs_per_sec = 250;
+  bsattack::BmDosAttack attack(attacker, {kTargetIp, 8333}, crafter, config);
+  attack.Start();
+  sched.RunUntil(sched.Now() + 6 * bsim::kMinute);
+  attack.Stop();
+
+  const auto window = monitor->Window(sched.Now(), 4);
+  const auto result = engine.Detect(window);
+
+  // The flood frames never became messages...
+  EXPECT_GT(target->FramesDroppedBadChecksum(), 10'000u);
+  EXPECT_LE(result.n, engine.GetProfile().tau_n_high * 1.1)
+      << "bogus frames unexpectedly counted as messages";
+  // ...but the byte rate exploded (60 kB * 250/s vs a few kB/s of normal
+  // traffic), so the extension feature raises the alarm.
+  EXPECT_GT(result.b, engine.GetProfile().tau_b_high * 10);
+  EXPECT_TRUE(result.anomalous);
+  EXPECT_TRUE(result.bmdos_suspected);
+}
+
+TEST_F(EndToEndDetection, ByteEnvelopeTrainedFromNormalTraffic) {
+  const auto& profile = engine.GetProfile();
+  EXPECT_GT(profile.tau_b_high, profile.tau_b_low);
+  EXPECT_GT(profile.tau_b_low, 0.0);
+  // Normal traffic stays inside the byte envelope.
+  sched.RunUntil(sched.Now() + 6 * bsim::kMinute);
+  const auto result = engine.Detect(monitor->Window(sched.Now(), 4));
+  EXPECT_FALSE(result.anomalous);
+  EXPECT_GE(result.b, profile.tau_b_low);
+  EXPECT_LE(result.b, profile.tau_b_high);
+}
+
+}  // namespace
+
+// NOTE: appended test for the Fig. 9 Dataset export.
+namespace {
+
+TEST_F(MonitorFixture, ExportsCsvDataset) {
+  Monitor monitor(node);
+  AttackerNode attacker(sched, net, 0x0a000002, node.Config().chain.magic);
+  auto* session = attacker.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(bsim::kSecond);
+  for (int i = 0; i < 5; ++i) {
+    attacker.Send(*session, bsproto::PingMsg{static_cast<std::uint64_t>(i)});
+  }
+  sched.RunUntil(2 * bsim::kMinute);
+
+  const std::string path = ::testing::TempDir() + "/monitor_dataset.csv";
+  ASSERT_TRUE(monitor.ExportCsv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[256] = {};
+  ASSERT_NE(std::fgets(header, sizeof(header), f), nullptr);
+  std::fclose(f);
+  const std::string head(header);
+  EXPECT_NE(head.find("minute,total,frame_bytes,reconnects"), std::string::npos);
+  EXPECT_NE(head.find("ping"), std::string::npos);
+  EXPECT_NE(head.find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Tests for the Fig. 11 ML baselines: every detector must actually learn the
+// synthetic traffic-anomaly dataset (the latency comparison is meaningless
+// against broken models), plus unit checks for the shared pieces.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mlbase/autoencoder.hpp"
+#include "mlbase/boosting.hpp"
+#include "mlbase/dataset.hpp"
+#include "mlbase/dnn.hpp"
+#include "mlbase/forest.hpp"
+#include "mlbase/kernel_svm.hpp"
+#include "mlbase/logistic.hpp"
+#include "mlbase/ocsvm.hpp"
+#include "mlbase/svm.hpp"
+
+namespace {
+
+using namespace bsml;  // NOLINT
+
+// ---------------------------------------------------------------------------
+// Shared pieces
+
+TEST(Standardizer, CentersAndScales) {
+  Standardizer scaler;
+  scaler.Fit({{0.0, 10.0}, {2.0, 10.0}, {4.0, 10.0}});
+  const Vec z = scaler.Transform(Vec{2.0, 10.0});
+  EXPECT_NEAR(z[0], 0.0, 1e-9);
+  EXPECT_NEAR(z[1], 0.0, 1e-9);  // constant feature centered, not exploded
+  const Vec hi = scaler.Transform(Vec{4.0, 10.0});
+  EXPECT_GT(hi[0], 0.9);
+}
+
+TEST(SyntheticData, ShapesAndLabels) {
+  const LabeledData data = MakeSyntheticTrafficData(100, 40, 12, 3);
+  ASSERT_EQ(data.X.size(), 140u);
+  ASSERT_EQ(data.y.size(), 140u);
+  EXPECT_EQ(data.X[0].size(), 12u);
+  int positives = 0;
+  for (int label : data.y) positives += label;
+  EXPECT_EQ(positives, 40);
+}
+
+TEST(SyntheticData, DeterministicPerSeed) {
+  const LabeledData a = MakeSyntheticTrafficData(10, 5, 6, 42);
+  const LabeledData b = MakeSyntheticTrafficData(10, 5, 6, 42);
+  EXPECT_EQ(a.X, b.X);
+}
+
+// ---------------------------------------------------------------------------
+// Every detector learns the detection problem
+
+struct DetectorFactory {
+  const char* name;
+  std::unique_ptr<Detector> (*make)();
+};
+
+class DetectorLearning : public ::testing::TestWithParam<DetectorFactory> {};
+
+TEST_P(DetectorLearning, SeparatesFloodAndChurnAnomalies) {
+  const LabeledData train = MakeSyntheticTrafficData(400, 200, 10, 1);
+  const LabeledData test = MakeSyntheticTrafficData(200, 100, 10, 2);
+  auto model = GetParam().make();
+  model->Fit(train.X, train.y);
+  const double accuracy = Accuracy(*model, test.X, test.y);
+  EXPECT_GT(accuracy, 0.9) << GetParam().name << " accuracy " << accuracy;
+}
+
+TEST_P(DetectorLearning, PredictIsDeterministic) {
+  const LabeledData train = MakeSyntheticTrafficData(200, 100, 8, 4);
+  auto model = GetParam().make();
+  model->Fit(train.X, train.y);
+  const Vec probe = train.X[17];
+  EXPECT_EQ(model->Predict(probe), model->Predict(probe));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, DetectorLearning,
+    ::testing::Values(
+        DetectorFactory{"LR",
+                        []() -> std::unique_ptr<Detector> {
+                          return std::make_unique<LogisticRegression>();
+                        }},
+        DetectorFactory{"GB",
+                        []() -> std::unique_ptr<Detector> {
+                          return std::make_unique<GradientBoosting>();
+                        }},
+        DetectorFactory{"RF",
+                        []() -> std::unique_ptr<Detector> {
+                          return std::make_unique<RandomForest>();
+                        }},
+        DetectorFactory{"SVM",
+                        []() -> std::unique_ptr<Detector> {
+                          return std::make_unique<LinearSvm>();
+                        }},
+        DetectorFactory{"DNN",
+                        []() -> std::unique_ptr<Detector> {
+                          return std::make_unique<Dnn>();
+                        }},
+        DetectorFactory{"OCSVM",
+                        []() -> std::unique_ptr<Detector> {
+                          return std::make_unique<OneClassSvm>();
+                        }},
+        DetectorFactory{"AE",
+                        []() -> std::unique_ptr<Detector> {
+                          return std::make_unique<AutoEncoder>();
+                        }},
+        DetectorFactory{"KernelSVM",
+                        []() -> std::unique_ptr<Detector> {
+                          return std::make_unique<KernelSvm>();
+                        }},
+        DetectorFactory{"KernelOCSVM",
+                        []() -> std::unique_ptr<Detector> {
+                          return std::make_unique<KernelOneClass>();
+                        }}),
+    [](const ::testing::TestParamInfo<DetectorFactory>& info) {
+      return std::string(info.param.name);
+    });
+
+// ---------------------------------------------------------------------------
+// Targeted behaviours
+
+TEST(LogisticRegressionTest, ProbabilitiesOrdered) {
+  const LabeledData train = MakeSyntheticTrafficData(300, 150, 6, 9);
+  LogisticRegression model;
+  model.Fit(train.X, train.y);
+  // A blatant flood row should get a higher probability than a normal row.
+  Vec normal = train.X[0];
+  Vec flood = normal;
+  flood[0] = 20'000.0;
+  flood[2] = 0.95;
+  EXPECT_GT(model.PredictProba(flood), model.PredictProba(normal));
+}
+
+TEST(AutoEncoderTest, ReconstructionErrorHigherForAnomalies) {
+  const LabeledData train = MakeSyntheticTrafficData(400, 0, 8, 21);
+  AutoEncoder model;
+  model.Fit(train.X, train.y);
+  const LabeledData probe = MakeSyntheticTrafficData(50, 50, 8, 22);
+  double normal_err = 0.0, anomaly_err = 0.0;
+  for (std::size_t i = 0; i < probe.X.size(); ++i) {
+    (probe.y[i] == 0 ? normal_err : anomaly_err) += model.ReconstructionError(probe.X[i]);
+  }
+  EXPECT_GT(anomaly_err / 50.0, normal_err / 50.0);
+}
+
+TEST(OneClassSvmTest, TrainsWithoutAnomalyLabels) {
+  const LabeledData train = MakeSyntheticTrafficData(400, 0, 8, 31);
+  OneClassSvm model;
+  model.Fit(train.X, train.y);
+  const LabeledData probe = MakeSyntheticTrafficData(100, 100, 8, 32);
+  int caught = 0;
+  for (std::size_t i = 0; i < probe.X.size(); ++i) {
+    if (probe.y[i] == 1 && model.Predict(probe.X[i]) == 1) ++caught;
+  }
+  EXPECT_GT(caught, 60);  // catches most anomalies unseen in training
+}
+
+TEST(RandomForestTest, ScoreIsBetweenZeroAndOne) {
+  const LabeledData train = MakeSyntheticTrafficData(200, 100, 6, 41);
+  RandomForest model;
+  model.Fit(train.X, train.y);
+  for (const auto& row : train.X) {
+    const double score = model.Score(row);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(Detectors, EmptyFitIsSafe) {
+  LogisticRegression lr;
+  lr.Fit({}, {});
+  RandomForest rf;
+  rf.Fit({}, {});
+  Dnn dnn;
+  dnn.Fit({}, {});
+  EXPECT_EQ(lr.Predict(Vec{1, 2, 3}), 0);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Tests for ban-list persistence (the banlist.dat analogue) and the node's
+// opt-in keepalive / inactivity handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "attack/attacker.hpp"
+#include "attack/crafter.hpp"
+#include "core/banman.hpp"
+#include "core/node.hpp"
+
+namespace {
+
+using namespace bsnet;  // NOLINT
+
+// ---------------------------------------------------------------------------
+// BanMan persistence
+
+TEST(BanPersistence, SerializeRoundTrip) {
+  BanMan bans;
+  bans.Ban({0x0a000001, 8333}, 100 * bsim::kHour);
+  bans.Ban({0x0a000002, 49152}, 5 * bsim::kHour);
+  const auto data = bans.Serialize();
+
+  BanMan restored;
+  ASSERT_TRUE(restored.Deserialize(data, /*now=*/0));
+  EXPECT_EQ(restored.Size(), 2u);
+  EXPECT_TRUE(restored.IsBanned({0x0a000001, 8333}, 0));
+  EXPECT_EQ(restored.BanExpiry({0x0a000002, 49152}), 5 * bsim::kHour);
+}
+
+TEST(BanPersistence, ExpiredEntriesDroppedOnLoad) {
+  BanMan bans;
+  bans.Ban({1, 1}, 100);
+  bans.Ban({2, 2}, 10'000);
+  const auto data = bans.Serialize();
+  BanMan restored;
+  ASSERT_TRUE(restored.Deserialize(data, /*now=*/5000));
+  EXPECT_EQ(restored.Size(), 1u);
+  EXPECT_TRUE(restored.IsBanned({2, 2}, 5000));
+}
+
+TEST(BanPersistence, RejectsForeignMagic) {
+  BanMan bans;
+  auto data = bans.Serialize();
+  data[0] ^= 0xff;
+  BanMan restored;
+  restored.Ban({9, 9}, 1000);
+  EXPECT_FALSE(restored.Deserialize(data, 0));
+  EXPECT_EQ(restored.Size(), 1u);  // contents untouched on failure
+}
+
+TEST(BanPersistence, RejectsTruncatedData) {
+  BanMan bans;
+  bans.Ban({1, 1}, 100);
+  auto data = bans.Serialize();
+  data.pop_back();
+  BanMan restored;
+  EXPECT_FALSE(restored.Deserialize(data, 0));
+}
+
+TEST(BanPersistence, RejectsTrailingGarbage) {
+  BanMan bans;
+  bans.Ban({1, 1}, 100);
+  auto data = bans.Serialize();
+  data.push_back(0x00);
+  BanMan restored;
+  EXPECT_FALSE(restored.Deserialize(data, 0));
+}
+
+TEST(BanPersistence, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/banlist_test.dat";
+  BanMan bans;
+  for (std::uint16_t port = 49152; port < 49252; ++port) {
+    bans.Ban({0x0a000042, port}, 24 * bsim::kHour);
+  }
+  ASSERT_TRUE(bans.SaveToFile(path));
+  BanMan restored;
+  ASSERT_TRUE(restored.LoadFromFile(path, 0));
+  EXPECT_EQ(restored.Size(), 100u);
+  EXPECT_EQ(restored.BannedPortsOf(0x0a000042, 0), 100u);
+  std::remove(path.c_str());
+}
+
+TEST(BanPersistence, LoadFromMissingFileFails) {
+  BanMan bans;
+  EXPECT_FALSE(bans.LoadFromFile("/nonexistent/banlist.dat", 0));
+}
+
+TEST(BanPersistence, SurvivesNodeRestartScenario) {
+  // Ban an identifier on node A, persist, load into a fresh node's BanMan:
+  // the identifier stays refused after the "restart".
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  const std::string path = ::testing::TempDir() + "/banlist_restart.dat";
+  {
+    Node node(sched, net, 0x0a000001, config);
+    node.Start();
+    bsattack::AttackerNode attacker(sched, net, 0x0a000002, config.chain.magic);
+    bsattack::Crafter crafter(config.chain);
+    auto* session = attacker.OpenSession({0x0a000001, 8333});
+    sched.RunUntil(bsim::kSecond);
+    attacker.Send(*session, crafter.SegwitInvalidTx());
+    sched.RunUntil(sched.Now() + bsim::kSecond);
+    ASSERT_EQ(node.Bans().Size(), 1u);
+    ASSERT_TRUE(node.Bans().SaveToFile(path));
+  }
+  {
+    Node reborn(sched, net, 0x0a000003, config);
+    ASSERT_TRUE(reborn.Bans().LoadFromFile(path, sched.Now()));
+    EXPECT_EQ(reborn.Bans().Size(), 1u);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Keepalive / inactivity
+
+TEST(Keepalive, NodesExchangePingsAndMeasureRtt) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.target_outbound = 1;
+  config.ping_interval = 5 * bsim::kSecond;
+  Node a(sched, net, 0x0a000001, config);
+  NodeConfig bc;
+  bc.target_outbound = 0;
+  Node b(sched, net, 0x0a000002, bc);
+  b.Start();
+  a.AddKnownAddress({b.Ip(), 8333});
+  a.Start();
+  sched.RunUntil(30 * bsim::kSecond);
+
+  ASSERT_EQ(a.OutboundCount(), 1u);
+  const Peer* peer = a.Peers()[0];
+  EXPECT_GE(peer->last_ping_sent, 0);
+  EXPECT_GE(peer->last_pong_rtt, 0) << "no PONG round trip measured";
+  // RTT on the LAN model: two propagation delays plus queueing.
+  EXPECT_LT(peer->last_pong_rtt, 10 * bsim::kMillisecond);
+  EXPECT_GE(b.MessageCounts().at(bsproto::MsgType::kPing), 2u);
+}
+
+TEST(Keepalive, SilentPeerDisconnectedAfterTimeout) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.inactivity_timeout = 20 * bsim::kSecond;
+  Node node(sched, net, 0x0a000001, config);
+  node.Start();
+
+  bsattack::AttackerNode attacker(sched, net, 0x0a000002, config.chain.magic);
+  auto* session = attacker.OpenSession({0x0a000001, 8333});
+  sched.RunUntil(bsim::kSecond);
+  ASSERT_TRUE(session->SessionReady());
+  ASSERT_EQ(node.InboundCount(), 1u);
+
+  // Say nothing for longer than the timeout.
+  sched.RunUntil(sched.Now() + 30 * bsim::kSecond);
+  EXPECT_EQ(node.InboundCount(), 0u);
+  EXPECT_TRUE(session->closed);
+  // Inactivity is not misbehavior: no ban.
+  EXPECT_EQ(node.Bans().Size(), 0u);
+}
+
+TEST(Keepalive, ActivePeerStaysConnected) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.inactivity_timeout = 20 * bsim::kSecond;
+  Node node(sched, net, 0x0a000001, config);
+  node.Start();
+
+  bsattack::AttackerNode attacker(sched, net, 0x0a000002, config.chain.magic);
+  auto* session = attacker.OpenSession({0x0a000001, 8333});
+  sched.RunUntil(bsim::kSecond);
+  for (int i = 0; i < 10; ++i) {
+    attacker.Send(*session, bsproto::PingMsg{static_cast<std::uint64_t>(i)});
+    sched.RunUntil(sched.Now() + 10 * bsim::kSecond);
+  }
+  EXPECT_FALSE(session->closed);
+  EXPECT_EQ(node.InboundCount(), 1u);
+}
+
+TEST(Keepalive, DisabledByDefault) {
+  NodeConfig config;
+  EXPECT_EQ(config.ping_interval, 0);
+  EXPECT_EQ(config.inactivity_timeout, 0);
+}
+
+}  // namespace

@@ -1,0 +1,304 @@
+// Property-style tests: randomized sweeps over invariants that must hold for
+// any input, seeded per-case for reproducibility.
+//
+//  * Misbehavior accounting: the score equals the sum of applied rule
+//    increments, and banning happens exactly at the threshold crossing.
+//  * Wire codec: any chunking of a frame stream decodes to the same message
+//    sequence (stream resynchronization), and any payload corruption is
+//    caught by the checksum before parsing — the invariant behind the
+//    bogus-message vector.
+//  * Chainstate: block acceptance is order-independent (with orphan retry).
+//  * Bloom filters: never a false negative, for any geometry.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "attack/crafter.hpp"
+#include "chain/chainstate.hpp"
+#include "core/misbehavior.hpp"
+#include "proto/bloom.hpp"
+#include "proto/codec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bsnet;  // NOLINT
+using bsutil::ByteVec;
+
+// ---------------------------------------------------------------------------
+// Tracker invariants
+
+class TrackerInvariants
+    : public ::testing::TestWithParam<std::tuple<CoreVersion, int>> {};
+
+TEST_P(TrackerInvariants, ScoreEqualsSumOfAppliedIncrementsAndBanIsExactlyAtThreshold) {
+  const auto [version, seed] = GetParam();
+  bsutil::Rng rng(static_cast<std::uint64_t>(seed));
+  MisbehaviorTracker tracker(version, BanPolicy::kBanScore, 100);
+
+  const auto& all = AllMisbehaviors();
+  for (int peer = 1; peer <= 20; ++peer) {
+    const bool inbound = rng.Chance(0.5);
+    int expected_score = 0;
+    bool banned = false;
+    for (int step = 0; step < 50 && !banned; ++step) {
+      const Misbehavior what = all[rng.Below(all.size())];
+      const MisbehaviorOutcome outcome =
+          tracker.Misbehaving(static_cast<std::uint64_t>(peer), inbound, what);
+
+      // Recompute what should have happened from the rule table.
+      const auto rule = GetRule(version, what);
+      const bool applies =
+          rule.has_value() &&
+          (rule->scope == PeerScope::kAny ||
+           (rule->scope == PeerScope::kInbound && inbound) ||
+           (rule->scope == PeerScope::kOutbound && !inbound));
+      ASSERT_EQ(outcome.rule_applied, applies);
+      if (applies) {
+        expected_score += rule->score;
+        ASSERT_EQ(outcome.score_delta, rule->score);
+      }
+      ASSERT_EQ(tracker.Score(static_cast<std::uint64_t>(peer)), expected_score);
+      ASSERT_EQ(outcome.should_ban, expected_score >= 100);
+      banned = outcome.should_ban;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, TrackerInvariants,
+    ::testing::Combine(::testing::Values(CoreVersion::kV0_20, CoreVersion::kV0_21,
+                                         CoreVersion::kV0_22),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(TrackerInvariants, NonBanningPoliciesNeverRequestBans) {
+  for (BanPolicy policy : {BanPolicy::kThresholdInfinity, BanPolicy::kDisabled}) {
+    bsutil::Rng rng(77);
+    MisbehaviorTracker tracker(CoreVersion::kV0_20, policy, 100);
+    const auto& all = AllMisbehaviors();
+    for (int step = 0; step < 500; ++step) {
+      const auto outcome = tracker.Misbehaving(1, true, all[rng.Below(all.size())]);
+      ASSERT_FALSE(outcome.should_ban) << ToString(policy);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Codec stream properties
+
+class CodecStreamProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecStreamProperty, AnyChunkingDecodesTheSameMessageSequence) {
+  constexpr std::uint32_t kMagic = 0xfabfb5da;
+  bsutil::Rng rng(static_cast<std::uint64_t>(GetParam()));
+
+  // A stream of assorted valid frames.
+  std::vector<bsproto::MsgType> expected;
+  ByteVec stream;
+  for (int i = 0; i < 30; ++i) {
+    bsproto::Message msg;
+    switch (rng.Below(4)) {
+      case 0: msg = bsproto::PingMsg{rng.Next()}; break;
+      case 1: msg = bsproto::PongMsg{rng.Next()}; break;
+      case 2: msg = bsproto::SendHeadersMsg{}; break;
+      default: msg = bsproto::FeeFilterMsg{static_cast<std::int64_t>(rng.Below(10000))};
+    }
+    expected.push_back(bsproto::MsgTypeOf(msg));
+    const ByteVec frame = bsproto::EncodeMessage(kMagic, msg);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+
+  // Feed the stream in random-sized chunks through a reassembly buffer, as
+  // the node's OnData does.
+  std::vector<bsproto::MsgType> decoded;
+  ByteVec buffer;
+  std::size_t fed = 0;
+  while (fed < stream.size() || !buffer.empty()) {
+    if (fed < stream.size()) {
+      const std::size_t chunk = std::min<std::size_t>(
+          1 + rng.Below(40), stream.size() - fed);
+      buffer.insert(buffer.end(), stream.begin() + static_cast<std::ptrdiff_t>(fed),
+                    stream.begin() + static_cast<std::ptrdiff_t>(fed + chunk));
+      fed += chunk;
+    }
+    while (true) {
+      const auto result = bsproto::DecodeMessage(kMagic, buffer);
+      if (result.consumed == 0) break;
+      ASSERT_EQ(result.status, bsproto::DecodeStatus::kOk);
+      decoded.push_back(bsproto::MsgTypeOf(result.message));
+      buffer.erase(buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(result.consumed));
+    }
+    if (fed >= stream.size() && bsproto::DecodeMessage(kMagic, buffer).consumed == 0) {
+      break;
+    }
+  }
+  EXPECT_EQ(decoded, expected);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST_P(CodecStreamProperty, AnySingleByteCorruptionNeverYieldsAWrongMessage) {
+  constexpr std::uint32_t kMagic = 0xfabfb5da;
+  bsutil::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31);
+  const bsproto::Message original = bsproto::PingMsg{0x1122334455667788ULL};
+  const ByteVec frame = bsproto::EncodeMessage(kMagic, original);
+
+  for (int round = 0; round < 200; ++round) {
+    ByteVec corrupted = frame;
+    const std::size_t pos = rng.Below(corrupted.size());
+    corrupted[pos] ^= static_cast<std::uint8_t>(1 + rng.Below(255));
+    const auto result = bsproto::DecodeMessage(kMagic, corrupted);
+    // Either the corruption is detected (magic/checksum/command/length), or
+    // — never — a different message is silently accepted. Corrupting the
+    // length field may leave the frame incomplete (kNeedMoreData).
+    if (result.status == bsproto::DecodeStatus::kOk) {
+      ADD_FAILURE() << "corruption at byte " << pos << " went unnoticed";
+    }
+  }
+}
+
+TEST_P(CodecStreamProperty, PayloadCorruptionIsAlwaysAChecksumDrop) {
+  // The paper's bogus-message vector in property form: ANY payload byte
+  // change is caught by the checksum gate, before parsing, with no
+  // misbehavior attributable.
+  constexpr std::uint32_t kMagic = 0xfabfb5da;
+  bsutil::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  bsattack::Crafter crafter(bschain::ChainParams{});
+  const ByteVec frame =
+      bsproto::EncodeMessage(kMagic, crafter.ValidBlock(bscrypto::Hash256{}));
+
+  for (int round = 0; round < 50; ++round) {
+    ByteVec corrupted = frame;
+    const std::size_t pos =
+        bsproto::kHeaderSize + rng.Below(corrupted.size() - bsproto::kHeaderSize);
+    corrupted[pos] ^= 0x01;
+    const auto result = bsproto::DecodeMessage(kMagic, corrupted);
+    ASSERT_EQ(result.status, bsproto::DecodeStatus::kBadChecksum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecStreamProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Chainstate order-independence
+
+class ChainOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainOrderProperty, AcceptanceOrderDoesNotChangeTheFinalChain) {
+  const bschain::ChainParams params;
+  bsutil::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009);
+
+  // Build a random block tree on a reference chainstate.
+  bschain::ChainState reference(params);
+  std::vector<bschain::Block> blocks;
+  std::vector<bscrypto::Hash256> frontier = {reference.TipHash()};
+  for (int i = 0; i < 12; ++i) {
+    const bscrypto::Hash256 parent = frontier[rng.Below(frontier.size())];
+    auto block = bschain::MineBlock(
+        bschain::BuildBlockTemplate(parent, 1'600'001'000 + i, {}, params,
+                                    static_cast<std::uint64_t>(i) + 5000),
+        params);
+    ASSERT_TRUE(block.has_value());
+    ASSERT_EQ(reference.AcceptBlock(*block), bschain::BlockResult::kOk);
+    blocks.push_back(*block);
+    frontier.push_back(block->Hash());
+  }
+
+  // Accept in a random order with orphan retry (prev-missing blocks are
+  // retried after the rest, as a node's orphan handling effectively does).
+  bschain::ChainState shuffled(params);
+  std::deque<bschain::Block> queue;
+  {
+    std::vector<bschain::Block> shuffled_blocks = blocks;
+    for (std::size_t i = shuffled_blocks.size(); i > 1; --i) {
+      std::swap(shuffled_blocks[i - 1], shuffled_blocks[rng.Below(i)]);
+    }
+    queue.assign(shuffled_blocks.begin(), shuffled_blocks.end());
+  }
+  int stall_guard = 0;
+  while (!queue.empty() && stall_guard < 10'000) {
+    const bschain::Block block = queue.front();
+    queue.pop_front();
+    const auto result = shuffled.AcceptBlock(block);
+    if (result == bschain::BlockResult::kPrevMissing) {
+      queue.push_back(block);  // retry later
+      ++stall_guard;
+    } else {
+      ASSERT_TRUE(result == bschain::BlockResult::kOk ||
+                  result == bschain::BlockResult::kDuplicate)
+          << ToString(result);
+    }
+  }
+  ASSERT_TRUE(queue.empty());
+
+  EXPECT_EQ(shuffled.TipHeight(), reference.TipHeight());
+  EXPECT_EQ(shuffled.IndexSize(), reference.IndexSize());
+  for (const auto& block : blocks) {
+    EXPECT_TRUE(shuffled.HaveBlock(block.Hash()));
+    const auto a = shuffled.GetEntry(block.Hash());
+    const auto b = reference.GetEntry(block.Hash());
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->height, b->height);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainOrderProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------------------
+// Bloom filter: never a false negative
+
+struct BloomGeometry {
+  std::size_t elements;
+  double fp_rate;
+  std::uint32_t tweak;
+};
+
+class BloomNoFalseNegatives : public ::testing::TestWithParam<BloomGeometry> {};
+
+TEST_P(BloomNoFalseNegatives, EveryInsertedItemMatches) {
+  const auto [elements, fp_rate, tweak] = GetParam();
+  bsproto::BloomFilter filter(elements, fp_rate, tweak);
+  bsutil::Rng rng(tweak + 99);
+  std::vector<ByteVec> inserted;
+  for (std::size_t i = 0; i < elements; ++i) {
+    ByteVec item(1 + rng.Below(64));
+    for (auto& b : item) b = static_cast<std::uint8_t>(rng.Next());
+    filter.Insert(item);
+    inserted.push_back(std::move(item));
+  }
+  for (const auto& item : inserted) {
+    ASSERT_TRUE(filter.Contains(item));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BloomNoFalseNegatives,
+    ::testing::Values(BloomGeometry{1, 0.5, 0}, BloomGeometry{10, 0.1, 1},
+                      BloomGeometry{100, 0.01, 2}, BloomGeometry{1000, 0.001, 3},
+                      BloomGeometry{5000, 0.0001, 0xdeadbeef}));
+
+// ---------------------------------------------------------------------------
+// Serialization: double round-trip stability
+
+TEST(SerializationProperty, ReencodingADecodedMessageIsByteIdentical) {
+  constexpr std::uint32_t kMagic = 0xfabfb5da;
+  bsattack::Crafter crafter(bschain::ChainParams{});
+  const std::vector<bsproto::Message> messages = {
+      bsproto::PingMsg{42},
+      crafter.ValidTx(),
+      crafter.ValidBlock(bschain::ChainParams{}.GenesisBlock().Hash()),
+      crafter.NonContinuousHeaders(),
+      bsproto::FeeFilterMsg{12345},
+  };
+  for (const auto& msg : messages) {
+    const ByteVec once = bsproto::EncodeMessage(kMagic, msg);
+    const auto decoded = bsproto::DecodeMessage(kMagic, once);
+    ASSERT_EQ(decoded.status, bsproto::DecodeStatus::kOk);
+    const ByteVec twice = bsproto::EncodeMessage(kMagic, decoded.message);
+    EXPECT_EQ(once, twice);
+  }
+}
+
+}  // namespace

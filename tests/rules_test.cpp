@@ -1,0 +1,298 @@
+// Tests for the Table I rule sets and the misbehavior tracker: per-version
+// scores, scope gating, deprecations, thresholds, and countermeasure
+// policies. The rule matrix is checked row-by-row against the paper's table.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/banman.hpp"
+#include "core/misbehavior.hpp"
+#include "core/rules.hpp"
+
+namespace {
+
+using namespace bsnet;  // NOLINT
+
+struct TableRow {
+  Misbehavior what;
+  int v20;  // -1 == rule absent
+  int v21;
+  int v22;
+  PeerScope scope;
+};
+
+// The paper's Table I, verbatim.
+const std::vector<TableRow> kPaperTable = {
+    {Misbehavior::kBlockMutated, 100, 100, 100, PeerScope::kAny},
+    {Misbehavior::kBlockCachedInvalid, 100, 100, 100, PeerScope::kOutbound},
+    {Misbehavior::kBlockPrevInvalid, 100, 100, 100, PeerScope::kAny},
+    {Misbehavior::kBlockPrevMissing, 10, 10, 10, PeerScope::kAny},
+    {Misbehavior::kTxSegwitInvalid, 100, 100, 100, PeerScope::kAny},
+    {Misbehavior::kGetBlockTxnOutOfBounds, 100, 100, 100, PeerScope::kAny},
+    {Misbehavior::kHeadersNonConnecting, 20, 20, 20, PeerScope::kAny},
+    {Misbehavior::kHeadersNonContinuous, 20, 20, 20, PeerScope::kAny},
+    {Misbehavior::kHeadersOversize, 20, 20, 20, PeerScope::kAny},
+    {Misbehavior::kAddrOversize, 20, 20, 20, PeerScope::kAny},
+    {Misbehavior::kInvOversize, 20, 20, 20, PeerScope::kAny},
+    {Misbehavior::kGetDataOversize, 20, 20, 20, PeerScope::kAny},
+    {Misbehavior::kCmpctBlockInvalid, 100, 100, 100, PeerScope::kAny},
+    {Misbehavior::kFilterLoadOversize, 100, 100, 100, PeerScope::kAny},
+    {Misbehavior::kFilterAddOversize, 100, 100, 100, PeerScope::kAny},
+    {Misbehavior::kFilterAddVersionGate, 100, -1, -1, PeerScope::kAny},
+    {Misbehavior::kVersionDuplicate, 1, 1, -1, PeerScope::kInbound},
+    {Misbehavior::kMessageBeforeVersion, 1, 1, -1, PeerScope::kInbound},
+    {Misbehavior::kMessageBeforeVerack, 1, -1, -1, PeerScope::kInbound},
+};
+
+class TableOneMatrix : public ::testing::TestWithParam<TableRow> {};
+
+TEST_P(TableOneMatrix, ScoresMatchPaperAcrossVersions) {
+  const TableRow& row = GetParam();
+  const struct {
+    CoreVersion version;
+    int expected;
+  } checks[] = {{CoreVersion::kV0_20, row.v20},
+                {CoreVersion::kV0_21, row.v21},
+                {CoreVersion::kV0_22, row.v22}};
+  for (const auto& [version, expected] : checks) {
+    const auto rule = GetRule(version, row.what);
+    if (expected < 0) {
+      EXPECT_FALSE(rule.has_value())
+          << ToString(row.what) << " should be absent in " << ToString(version);
+    } else {
+      ASSERT_TRUE(rule.has_value())
+          << ToString(row.what) << " missing in " << ToString(version);
+      EXPECT_EQ(rule->score, expected) << ToString(row.what);
+      EXPECT_EQ(rule->scope, row.scope) << ToString(row.what);
+      EXPECT_TRUE(rule->in_paper_table);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, TableOneMatrix, ::testing::ValuesIn(kPaperTable),
+                         [](const ::testing::TestParamInfo<TableRow>& info) {
+                           std::string name = ToString(info.param.what);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Rules, PaperRowCountsPerVersion) {
+  auto paper_rows = [](CoreVersion v) {
+    std::size_t n = 0;
+    for (const auto& rule : RulesFor(v)) n += rule.in_paper_table ? 1 : 0;
+    return n;
+  };
+  // 0.20.0 has all 19 enumerated rows; 0.21.0 drops the FILTERADD version
+  // gate and the VERACK rule (17); 0.22.0 additionally drops both VERSION
+  // rules (15).
+  EXPECT_EQ(paper_rows(CoreVersion::kV0_20), 19u);
+  EXPECT_EQ(paper_rows(CoreVersion::kV0_21), 17u);
+  EXPECT_EQ(paper_rows(CoreVersion::kV0_22), 15u);
+}
+
+TEST(Rules, MessageTypeCoverageIsTwelveOfTwentySix) {
+  // §III-B: "only 12 out of 26 message types possess corresponding ban-score
+  // rules in Bitcoin Core 0.20.0".
+  std::set<std::string> types;
+  for (const auto& rule : RulesFor(CoreVersion::kV0_20)) {
+    if (rule.in_paper_table) types.insert(rule.message_type);
+  }
+  // Table I names: BLOCK TX GETBLOCKTXN HEADERS ADDR INV GETDATA CMPCTBLOCK
+  // FILTERLOAD FILTERADD VERSION VERACK == 12.
+  EXPECT_EQ(types.size(), 12u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracker mechanics
+
+TEST(Tracker, AccumulatesUntilThreshold) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  for (int i = 0; i < 99; ++i) {
+    const auto outcome = tracker.Misbehaving(1, /*inbound=*/true,
+                                             Misbehavior::kVersionDuplicate);
+    EXPECT_TRUE(outcome.rule_applied);
+    EXPECT_FALSE(outcome.should_ban) << "at " << i;
+  }
+  const auto final = tracker.Misbehaving(1, true, Misbehavior::kVersionDuplicate);
+  EXPECT_TRUE(final.should_ban);
+  EXPECT_EQ(final.total_score, 100);
+}
+
+TEST(Tracker, HundredPointRuleBansImmediately) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  const auto outcome = tracker.Misbehaving(1, true, Misbehavior::kTxSegwitInvalid);
+  EXPECT_TRUE(outcome.should_ban);
+}
+
+TEST(Tracker, MixedScoresAccumulate) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  // 20 * 4 = 80, then +10 = 90, then +10 = 100 → ban.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(tracker.Misbehaving(1, true, Misbehavior::kAddrOversize).should_ban);
+  }
+  EXPECT_FALSE(tracker.Misbehaving(1, true, Misbehavior::kBlockPrevMissing).should_ban);
+  EXPECT_TRUE(tracker.Misbehaving(1, true, Misbehavior::kBlockPrevMissing).should_ban);
+}
+
+TEST(Tracker, ScoresAreTrackedPerPeer) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  tracker.Misbehaving(1, true, Misbehavior::kAddrOversize);
+  tracker.Misbehaving(2, true, Misbehavior::kBlockPrevMissing);
+  EXPECT_EQ(tracker.Score(1), 20);
+  EXPECT_EQ(tracker.Score(2), 10);
+  EXPECT_EQ(tracker.Score(3), 0);
+}
+
+TEST(Tracker, InboundScopedRuleIgnoresOutboundPeer) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  const auto outcome = tracker.Misbehaving(1, /*inbound=*/false,
+                                           Misbehavior::kVersionDuplicate);
+  EXPECT_FALSE(outcome.rule_applied);
+  EXPECT_EQ(tracker.Score(1), 0);
+}
+
+TEST(Tracker, OutboundScopedRuleIgnoresInboundPeer) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  EXPECT_FALSE(
+      tracker.Misbehaving(1, /*inbound=*/true, Misbehavior::kBlockCachedInvalid)
+          .rule_applied);
+  EXPECT_TRUE(
+      tracker.Misbehaving(2, /*inbound=*/false, Misbehavior::kBlockCachedInvalid)
+          .rule_applied);
+}
+
+TEST(Tracker, DeprecatedRuleIsNoOpInNewerVersion) {
+  MisbehaviorTracker v22(CoreVersion::kV0_22, BanPolicy::kBanScore, 100);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(v22.Misbehaving(1, true, Misbehavior::kVersionDuplicate).rule_applied);
+  }
+  EXPECT_EQ(v22.Score(1), 0);  // the Fig. 8 vector dies in 0.22.0
+}
+
+TEST(Tracker, VerackRuleOnlyInV20) {
+  MisbehaviorTracker v20(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  MisbehaviorTracker v21(CoreVersion::kV0_21, BanPolicy::kBanScore, 100);
+  EXPECT_TRUE(v20.Misbehaving(1, true, Misbehavior::kMessageBeforeVerack).rule_applied);
+  EXPECT_FALSE(v21.Misbehaving(1, true, Misbehavior::kMessageBeforeVerack).rule_applied);
+}
+
+TEST(Tracker, ForgetResetsPeerState) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  tracker.Misbehaving(1, true, Misbehavior::kAddrOversize);
+  tracker.Forget(1);
+  EXPECT_EQ(tracker.Score(1), 0);
+}
+
+TEST(Tracker, CustomThresholdRespected) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kBanScore, 40);
+  EXPECT_FALSE(tracker.Misbehaving(1, true, Misbehavior::kAddrOversize).should_ban);
+  EXPECT_TRUE(tracker.Misbehaving(1, true, Misbehavior::kAddrOversize).should_ban);
+}
+
+// ---------------------------------------------------------------------------
+// Countermeasure policies (§VIII)
+
+TEST(Policies, ThresholdInfinityTracksButNeverBans) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kThresholdInfinity, 100);
+  MisbehaviorOutcome last;
+  for (int i = 0; i < 10; ++i) {
+    last = tracker.Misbehaving(1, true, Misbehavior::kTxSegwitInvalid);
+    EXPECT_FALSE(last.should_ban);
+  }
+  EXPECT_EQ(tracker.Score(1), 1000);  // the score keeps its peer-health value
+}
+
+TEST(Policies, DisabledTracksNothing) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kDisabled, 100);
+  const auto outcome = tracker.Misbehaving(1, true, Misbehavior::kTxSegwitInvalid);
+  EXPECT_FALSE(outcome.rule_applied);
+  EXPECT_EQ(tracker.Score(1), 0);
+}
+
+TEST(Policies, GoodScoreExemptsCreditedPeer) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kGoodScore, 100, 1);
+  tracker.AddGoodScore(1);  // delivered one valid block
+  const auto outcome = tracker.Misbehaving(1, true, Misbehavior::kTxSegwitInvalid);
+  EXPECT_TRUE(outcome.rule_applied);
+  EXPECT_FALSE(outcome.should_ban);
+  EXPECT_EQ(tracker.GoodScore(1), 1);
+}
+
+TEST(Policies, GoodScoreStillBansZeroCreditPeer) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kGoodScore, 100, 1);
+  const auto outcome = tracker.Misbehaving(2, true, Misbehavior::kTxSegwitInvalid);
+  EXPECT_TRUE(outcome.should_ban);
+}
+
+TEST(Policies, GoodScoreExemptionThresholdRespected) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kGoodScore, 100, 3);
+  tracker.AddGoodScore(1, 2);  // below the exemption threshold of 3
+  EXPECT_TRUE(tracker.Misbehaving(1, true, Misbehavior::kTxSegwitInvalid).should_ban);
+  tracker.AddGoodScore(4, 3);
+  EXPECT_FALSE(tracker.Misbehaving(4, true, Misbehavior::kTxSegwitInvalid).should_ban);
+}
+
+// ---------------------------------------------------------------------------
+// BanMan
+
+TEST(BanManTest, BanExpiresAfterDuration) {
+  BanMan bans;
+  const Endpoint peer{0x0a000001, 8333};
+  bans.Ban(peer, 24 * bsim::kHour);
+  EXPECT_TRUE(bans.IsBanned(peer, 0));
+  EXPECT_TRUE(bans.IsBanned(peer, 24 * bsim::kHour - 1));
+  EXPECT_FALSE(bans.IsBanned(peer, 24 * bsim::kHour));
+}
+
+TEST(BanManTest, BansArePerIdentifierNotPerIp) {
+  BanMan bans;
+  bans.Ban({0x0a000001, 50000}, bsim::kHour);
+  EXPECT_TRUE(bans.IsBanned({0x0a000001, 50000}, 0));
+  // Same IP, different port: a fresh Sybil identifier, not banned — the
+  // §III-B vector-3 observation.
+  EXPECT_FALSE(bans.IsBanned({0x0a000001, 50001}, 0));
+}
+
+TEST(BanManTest, RebanExtends) {
+  BanMan bans;
+  const Endpoint peer{0x0a000001, 8333};
+  bans.Ban(peer, 100);
+  bans.Ban(peer, 200);
+  EXPECT_EQ(bans.BanExpiry(peer), 200);
+  bans.Ban(peer, 150);  // shorter re-ban does not shrink
+  EXPECT_EQ(bans.BanExpiry(peer), 200);
+}
+
+TEST(BanManTest, SweepRemovesExpired) {
+  BanMan bans;
+  bans.Ban({1, 1}, 100);
+  bans.Ban({2, 2}, 300);
+  bans.SweepExpired(200);
+  EXPECT_EQ(bans.Size(), 1u);
+  EXPECT_TRUE(bans.IsBanned({2, 2}, 200));
+}
+
+TEST(BanManTest, BannedPortsOfCountsIdentifiers) {
+  BanMan bans;
+  for (std::uint16_t port = 49152; port < 49252; ++port) {
+    bans.Ban({0x0a000009, port}, bsim::kHour);
+  }
+  bans.Ban({0x0a000008, 8333}, bsim::kHour);
+  EXPECT_EQ(bans.BannedPortsOf(0x0a000009, 0), 100u);
+  EXPECT_EQ(bans.BannedPortsOf(0x0a000008, 0), 1u);
+  EXPECT_EQ(bans.BannedPortsOf(0x0a000007, 0), 0u);
+}
+
+TEST(BanManTest, UnbanLifts) {
+  BanMan bans;
+  const Endpoint peer{7, 7};
+  bans.Ban(peer, 1000);
+  bans.Unban(peer);
+  EXPECT_FALSE(bans.IsBanned(peer, 0));
+}
+
+}  // namespace

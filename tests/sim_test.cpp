@@ -1,0 +1,430 @@
+// Tests for bsim: scheduler determinism, CPU contention model calibration,
+// TCP handshake/data/injection semantics, sniffing, spoofing, bandwidth.
+#include <gtest/gtest.h>
+
+#include "sim/cpu.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/tcp.hpp"
+
+namespace {
+
+using namespace bsim;  // NOLINT
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.At(30, [&]() { order.push_back(3); });
+  sched.At(10, [&]() { order.push_back(1); });
+  sched.At(20, [&]() { order.push_back(2); });
+  sched.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.Now(), 30);
+}
+
+TEST(Scheduler, TiesBreakInSchedulingOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.At(5, [&]() { order.push_back(1); });
+  sched.At(5, [&]() { order.push_back(2); });
+  sched.At(5, [&]() { order.push_back(3); });
+  sched.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, PastEventsClampToNow) {
+  Scheduler sched;
+  sched.At(100, []() {});
+  sched.RunAll();
+  bool ran = false;
+  sched.At(50, [&]() { ran = true; });  // in the past
+  sched.RunAll();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sched.Now(), 100);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  int count = 0;
+  sched.At(10, [&]() { ++count; });
+  sched.At(20, [&]() { ++count; });
+  sched.At(30, [&]() { ++count; });
+  sched.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sched.Now(), 20);
+  EXPECT_EQ(sched.PendingEvents(), 1u);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) sched.After(10, recurse);
+  };
+  sched.After(0, recurse);
+  sched.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sched.Now(), 40);
+}
+
+// ---------------------------------------------------------------------------
+// CPU model — calibration against the paper's operating points
+
+TEST(CpuModel, BaselineWithTenConnectionsMinesNearPaperRate) {
+  CpuModel cpu;
+  cpu.SetActiveConnections(10);  // the paper's node held ~10 Mainnet peers
+  cpu.BeginWindow(0);
+  const MiningSample sample = cpu.EndWindow(kSecond);
+  // Paper Fig. 6 baseline: 9.5e5 h/s.
+  EXPECT_NEAR(sample.mining_rate_hps, 9.5e5, 0.05e5);
+}
+
+TEST(CpuModel, PingFloodOperatingPoint) {
+  CpuModel cpu;
+  cpu.SetActiveConnections(11);  // 10 normal + 1 attacker socket
+  cpu.BeginWindow(0);
+  for (int i = 0; i < 1000; ++i) cpu.ConsumeMessage(95.6);  // 1e3 PING/s
+  const MiningSample sample = cpu.EndWindow(kSecond);
+  // Paper Fig. 6: ~5.5e5 h/s under single-connection PING BM-DoS.
+  EXPECT_NEAR(sample.mining_rate_hps, 5.5e5, 0.5e5);
+}
+
+TEST(CpuModel, NetThreadSaturationClampsBusy) {
+  CpuModel cpu;
+  cpu.BeginWindow(0);
+  for (int i = 0; i < 100'000; ++i) cpu.ConsumeMessage(1e6);
+  const MiningSample sample = cpu.EndWindow(kSecond);
+  // The miner keeps at least (1 - net_capacity_fraction) of the CPU.
+  const auto& config = cpu.Config();
+  const double floor_rate =
+      config.capacity_cps * (1.0 - config.net_capacity_fraction) / config.cycles_per_hash;
+  EXPECT_GE(sample.mining_rate_hps, floor_rate * 0.99);
+  EXPECT_LE(sample.busy_fraction, config.net_capacity_fraction + 1e-9);
+}
+
+TEST(CpuModel, MoreConnectionsMeanSlowerMining) {
+  auto rate_with_conns = [](int conns) {
+    CpuModel cpu;
+    cpu.SetActiveConnections(conns);
+    cpu.BeginWindow(0);
+    for (int i = 0; i < 1000; ++i) cpu.ConsumeMessage(95.6);
+    return cpu.EndWindow(kSecond).mining_rate_hps;
+  };
+  const double r1 = rate_with_conns(11);
+  const double r10 = rate_with_conns(20);
+  const double r20 = rate_with_conns(30);
+  EXPECT_GT(r1, r10);
+  EXPECT_GT(r10, r20);
+}
+
+TEST(CpuModel, IcmpCurveMatchesTableThree) {
+  auto mining_at_rate = [](double rate) {
+    CpuModel cpu;
+    cpu.SetActiveConnections(10);
+    cpu.BeginWindow(0);
+    cpu.ConsumeIcmpPackets(static_cast<std::uint64_t>(rate));
+    return cpu.EndWindow(kSecond).mining_rate_hps;
+  };
+  // Paper Table III ICMP column: 1e2→9.2e5, 1e4→6.4e5, 1e6→3.6e5 (±15%).
+  EXPECT_NEAR(mining_at_rate(1e2), 9.2e5, 1.4e5);
+  EXPECT_NEAR(mining_at_rate(1e4), 6.4e5, 1.0e5);
+  EXPECT_NEAR(mining_at_rate(1e6), 3.6e5, 0.6e5);
+  // Monotone decreasing in rate.
+  EXPECT_GT(mining_at_rate(1e3), mining_at_rate(1e5));
+}
+
+TEST(CpuModel, WindowsAreIndependent) {
+  CpuModel cpu;
+  cpu.BeginWindow(0);
+  for (int i = 0; i < 1000; ++i) cpu.ConsumeMessage(1e6);
+  const MiningSample loaded = cpu.EndWindow(kSecond);
+  cpu.BeginWindow(kSecond);
+  const MiningSample idle = cpu.EndWindow(2 * kSecond);
+  EXPECT_GT(idle.mining_rate_hps, loaded.mining_rate_hps);
+}
+
+TEST(CpuModel, ZeroLengthWindowIsSafe) {
+  CpuModel cpu;
+  cpu.BeginWindow(5);
+  const MiningSample sample = cpu.EndWindow(5);
+  EXPECT_EQ(sample.mining_rate_hps, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+
+struct TcpFixture : ::testing::Test {
+  Scheduler sched;
+  Network net{sched};
+  Host alice{sched, net, 0x0a000001};
+  Host bob{sched, net, 0x0a000002};
+};
+
+TEST_F(TcpFixture, HandshakeEstablishesBothSides) {
+  bool accepted = false;
+  bool connected = false;
+  TcpConnection* server_conn = nullptr;
+  bob.Listen(8333, [&](TcpConnection& conn) {
+    accepted = true;
+    server_conn = &conn;
+  });
+  TcpConnection* client = alice.Connect({0x0a000002, 8333},
+                                        [&](bool ok) { connected = ok; });
+  ASSERT_NE(client, nullptr);
+  sched.RunUntil(kSecond);
+  EXPECT_TRUE(accepted);
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(client->IsEstablished());
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_TRUE(server_conn->IsEstablished());
+  EXPECT_EQ(server_conn->Remote(), client->Local());
+}
+
+TEST_F(TcpFixture, DataFlowsInOrder) {
+  bsutil::ByteVec received;
+  bob.Listen(8333, [&](TcpConnection& conn) {
+    conn.on_data = [&](bsutil::ByteSpan data) {
+      received.insert(received.end(), data.begin(), data.end());
+    };
+  });
+  TcpConnection* client = alice.Connect({0x0a000002, 8333}, nullptr);
+  sched.RunUntil(kSecond);
+  const bsutil::ByteVec big(5000, 0x5a);  // spans multiple MSS segments
+  client->Send(big);
+  sched.RunUntil(2 * kSecond);
+  EXPECT_EQ(received, big);
+}
+
+TEST_F(TcpFixture, BadChecksumSegmentsDroppedSilently) {
+  TcpConnection* server_conn = nullptr;
+  bsutil::ByteVec received;
+  bob.Listen(8333, [&](TcpConnection& conn) {
+    server_conn = &conn;
+    conn.on_data = [&](bsutil::ByteSpan data) {
+      received.insert(received.end(), data.begin(), data.end());
+    };
+  });
+  TcpConnection* client = alice.Connect({0x0a000002, 8333}, nullptr);
+  sched.RunUntil(kSecond);
+
+  // Inject a corrupted segment carrying the expected next seq.
+  TcpSegment bad;
+  bad.src = client->Local();
+  bad.dst = client->Remote();
+  bad.seq = client->SndNext();
+  bad.flags = kFlagPsh | kFlagAck;
+  bad.checksum_ok = false;
+  bad.payload = {1, 2, 3};
+  net.SendSegment(alice, bad);
+  sched.RunUntil(2 * kSecond);
+  EXPECT_TRUE(received.empty());
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(server_conn->SegmentsDroppedChecksum(), 1u);
+  EXPECT_TRUE(server_conn->IsEstablished());  // connection unharmed
+}
+
+TEST_F(TcpFixture, OutOfOrderSegmentsDropped) {
+  TcpConnection* server_conn = nullptr;
+  bsutil::ByteVec received;
+  bob.Listen(8333, [&](TcpConnection& conn) {
+    server_conn = &conn;
+    conn.on_data = [&](bsutil::ByteSpan data) {
+      received.insert(received.end(), data.begin(), data.end());
+    };
+  });
+  TcpConnection* client = alice.Connect({0x0a000002, 8333}, nullptr);
+  sched.RunUntil(kSecond);
+
+  TcpSegment stray;
+  stray.src = client->Local();
+  stray.dst = client->Remote();
+  stray.seq = client->SndNext() + 9999;  // not the expected sequence
+  stray.flags = kFlagPsh | kFlagAck;
+  stray.payload = {9};
+  net.SendSegment(alice, stray);
+  sched.RunUntil(2 * kSecond);
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(server_conn->SegmentsDroppedOutOfOrder(), 1u);
+}
+
+TEST_F(TcpFixture, SpoofedInWindowInjectionIsAcceptedAndDesynchronizesRealPeer) {
+  // The Defamation primitive: a third host forges an in-window segment.
+  Host mallory(sched, net, 0x0a000003);
+  TcpConnection* server_conn = nullptr;
+  bsutil::ByteVec received;
+  bob.Listen(8333, [&](TcpConnection& conn) {
+    server_conn = &conn;
+    conn.on_data = [&](bsutil::ByteSpan data) {
+      received.insert(received.end(), data.begin(), data.end());
+    };
+  });
+  TcpConnection* client = alice.Connect({0x0a000002, 8333}, nullptr);
+  sched.RunUntil(kSecond);
+
+  TcpSegment forged;
+  forged.src = client->Local();  // spoofed: Alice's identifier
+  forged.dst = client->Remote();
+  forged.seq = client->SndNext();  // sniffed in-window sequence
+  forged.flags = kFlagPsh | kFlagAck;
+  forged.payload = {0xee, 0xee};
+  net.SendSegment(mallory, forged);
+  sched.RunUntil(2 * kSecond);
+  EXPECT_EQ(received, (bsutil::ByteVec{0xee, 0xee}));
+
+  // Alice's genuine next segment now lands out-of-window.
+  client->Send(bsutil::ByteVec{0x11});
+  sched.RunUntil(3 * kSecond);
+  EXPECT_EQ(received, (bsutil::ByteVec{0xee, 0xee}));
+  EXPECT_EQ(server_conn->SegmentsDroppedOutOfOrder(), 1u);
+}
+
+TEST_F(TcpFixture, SpoofedEgressBlockedWhenConfigured) {
+  Scheduler sched2;
+  NetworkConfig config;
+  config.block_spoofed_egress = true;
+  Network filtered(sched2, config);
+  Host attacker(sched2, filtered, 0x0a000003);
+  Host victim(sched2, filtered, 0x0a000002);
+  bool got = false;
+  victim.raw_segment_filter = [&](const TcpSegment&) {
+    got = true;
+    return true;
+  };
+  TcpSegment spoofed;
+  spoofed.src = {0x0a000099, 1234};  // not the attacker's IP
+  spoofed.dst = {0x0a000002, 8333};
+  filtered.SendSegment(attacker, spoofed);
+  sched2.RunAll();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(filtered.SegmentsDroppedSpoofed(), 1u);
+}
+
+TEST_F(TcpFixture, SnifferSeesAllSegments) {
+  int sniffed = 0;
+  net.AddSniffer([&](const TcpSegment&, SimTime) { ++sniffed; });
+  bob.Listen(8333, [](TcpConnection&) {});
+  alice.Connect({0x0a000002, 8333}, nullptr);
+  sched.RunUntil(kSecond);
+  EXPECT_EQ(sniffed, 3);  // SYN, SYN-ACK, ACK
+}
+
+TEST_F(TcpFixture, RstClosesConnection) {
+  TcpConnection* server_conn = nullptr;
+  bool client_closed = false;
+  bob.Listen(8333, [&](TcpConnection& conn) { server_conn = &conn; });
+  TcpConnection* client = alice.Connect({0x0a000002, 8333}, nullptr);
+  TcpConnection::State state_at_close = TcpConnection::State::kSynSent;
+  client->on_closed = [&]() {
+    client_closed = true;
+    state_at_close = client->GetState();  // still valid inside the callback
+  };
+  sched.RunUntil(kSecond);
+  ASSERT_NE(server_conn, nullptr);
+  server_conn->Reset();
+  sched.RunUntil(2 * kSecond);
+  EXPECT_TRUE(client_closed);
+  EXPECT_EQ(state_at_close, TcpConnection::State::kClosed);
+}
+
+TEST_F(TcpFixture, SynToDeadHostTimesOut) {
+  bool result = true;
+  bool fired = false;
+  alice.Connect({0x0a0000ee, 8333}, [&](bool ok) {
+    result = ok;
+    fired = true;
+  });
+  sched.RunUntil(kSynTimeout + kSecond);
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(result);
+}
+
+TEST_F(TcpFixture, UnsolicitedSegmentRstWhenFirewallOff) {
+  bob.drop_unsolicited = false;
+  int rsts = 0;
+  net.AddSniffer([&](const TcpSegment& seg, SimTime) {
+    if (seg.Has(kFlagRst)) ++rsts;
+  });
+  TcpSegment stray;
+  stray.src = {0x0a000001, 5555};
+  stray.dst = {0x0a000002, 7777};  // nobody listening
+  stray.flags = kFlagPsh | kFlagAck;
+  stray.payload = {1};
+  net.SendSegment(alice, stray);
+  sched.RunAll();
+  EXPECT_EQ(rsts, 1);
+}
+
+TEST_F(TcpFixture, UnsolicitedSegmentDroppedWhenFirewallOn) {
+  // drop_unsolicited defaults to true (the paper's deployment assumption).
+  int rsts = 0;
+  net.AddSniffer([&](const TcpSegment& seg, SimTime) {
+    if (seg.Has(kFlagRst)) ++rsts;
+  });
+  TcpSegment stray;
+  stray.src = {0x0a000001, 5555};
+  stray.dst = {0x0a000002, 7777};
+  stray.flags = kFlagPsh | kFlagAck;
+  stray.payload = {1};
+  net.SendSegment(alice, stray);
+  sched.RunAll();
+  EXPECT_EQ(rsts, 0);
+}
+
+TEST_F(TcpFixture, EphemeralPortsStayInDynamicRange) {
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint16_t port = alice.AllocEphemeralPort();
+    ASSERT_GE(port, 49152);
+  }
+}
+
+TEST_F(TcpFixture, BandwidthAccountingTracksDeliveredBytes) {
+  bob.Listen(8333, [](TcpConnection&) {});
+  TcpConnection* client = alice.Connect({0x0a000002, 8333}, nullptr);
+  sched.RunUntil(kSecond);
+  net.ResetByteCounters();
+  client->Send(bsutil::ByteVec(1000, 1));
+  sched.RunUntil(2 * kSecond);
+  // 1000 payload bytes + one frame overhead.
+  EXPECT_EQ(net.BytesDeliveredTo(0x0a000002), 1000 + kTcpFrameOverhead);
+}
+
+TEST_F(TcpFixture, EgressBandwidthDelaysLargeTransfers) {
+  // At 125 MB/s, 12.5 MB takes ~100 ms of serialization delay.
+  bsutil::ByteVec received_marker;
+  bob.Listen(8333, [&](TcpConnection& conn) {
+    conn.on_data = [&](bsutil::ByteSpan data) {
+      received_marker.insert(received_marker.end(), data.begin(), data.end());
+    };
+  });
+  TcpConnection* client = alice.Connect({0x0a000002, 8333}, nullptr);
+  sched.RunUntil(kSecond);
+  const SimTime start = sched.Now();
+  client->Send(bsutil::ByteVec(12'500'000, 2));
+  // Drain everything and check the last byte arrived >= ~100 ms after start.
+  sched.RunAll();
+  EXPECT_EQ(received_marker.size(), 12'500'000u);
+  EXPECT_GE(sched.Now() - start, 95 * kMillisecond);
+}
+
+TEST_F(TcpFixture, IcmpDelivery) {
+  struct Sink : Host {
+    using Host::Host;
+    int packets = 0;
+    std::uint64_t batch_packets = 0;
+    void OnIcmp(const IcmpPacket&) override { ++packets; }
+  };
+  Sink sink(sched, net, 0x0a000042);
+  IcmpPacket pkt;
+  pkt.src_ip = alice.Ip();
+  pkt.dst_ip = sink.Ip();
+  net.SendIcmp(alice, pkt);
+  net.SendIcmpBatch(alice, pkt, 100);
+  sched.RunAll();
+  EXPECT_EQ(sink.packets, 101);  // batch fans out to OnIcmp by default
+  EXPECT_GT(net.BytesDeliveredTo(sink.Ip()), 100 * 64ull);
+}
+
+}  // namespace

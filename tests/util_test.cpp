@@ -1,0 +1,291 @@
+// Unit tests for bsutil: hex, serialization, RNG, statistics.
+#include <gtest/gtest.h>
+
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using bsutil::ByteVec;
+using bsutil::Reader;
+using bsutil::Writer;
+
+// ---------------------------------------------------------------------------
+// Hex
+
+TEST(Hex, EncodesKnownBytes) {
+  const ByteVec data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(bsutil::HexEncode(data), "0001abff");
+}
+
+TEST(Hex, EncodesEmpty) { EXPECT_EQ(bsutil::HexEncode(ByteVec{}), ""); }
+
+TEST(Hex, DecodesLowerAndUpperCase) {
+  const auto lower = bsutil::HexDecode("deadbeef");
+  const auto upper = bsutil::HexDecode("DEADBEEF");
+  ASSERT_TRUE(lower.has_value());
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(*lower, *upper);
+  EXPECT_EQ((*lower)[0], 0xde);
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_FALSE(bsutil::HexDecode("abc").has_value()); }
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_FALSE(bsutil::HexDecode("zz").has_value());
+  EXPECT_FALSE(bsutil::HexDecode("0g").has_value());
+}
+
+TEST(Hex, RoundTripsRandomData) {
+  bsutil::Rng rng(7);
+  ByteVec data(257);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.Next());
+  const auto decoded = bsutil::HexDecode(bsutil::HexEncode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+TEST(Serialize, LittleEndianIntegers) {
+  Writer w;
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0102030405060708ULL);
+  const ByteVec& bytes = w.Data();
+  EXPECT_EQ(bytes[0], 0x34);
+  EXPECT_EQ(bytes[1], 0x12);
+  EXPECT_EQ(bytes[2], 0xef);
+  EXPECT_EQ(bytes[5], 0xde);
+
+  Reader r(bytes);
+  EXPECT_EQ(r.ReadU16(), 0x1234);
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 0x0102030405060708ULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serialize, SignedRoundTrip) {
+  Writer w;
+  w.WriteI32(-42);
+  w.WriteI64(-1234567890123LL);
+  Reader r(w.Data());
+  EXPECT_EQ(r.ReadI32(), -42);
+  EXPECT_EQ(r.ReadI64(), -1234567890123LL);
+}
+
+TEST(Serialize, TruncatedReadThrows) {
+  Writer w;
+  w.WriteU16(7);
+  Reader r(w.Data());
+  EXPECT_THROW(r.ReadU32(), bsutil::DeserializeError);
+}
+
+struct CompactSizeCase {
+  std::uint64_t value;
+  std::size_t encoded_size;
+};
+
+class CompactSizeTest : public ::testing::TestWithParam<CompactSizeCase> {};
+
+TEST_P(CompactSizeTest, RoundTripsWithExpectedWidth) {
+  const auto [value, encoded_size] = GetParam();
+  Writer w;
+  w.WriteCompactSize(value);
+  EXPECT_EQ(w.Size(), encoded_size);
+  Reader r(w.Data());
+  EXPECT_EQ(r.ReadCompactSize(), value);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, CompactSizeTest,
+    ::testing::Values(CompactSizeCase{0, 1}, CompactSizeCase{1, 1},
+                      CompactSizeCase{0xfc, 1}, CompactSizeCase{0xfd, 3},
+                      CompactSizeCase{0xffff, 3}, CompactSizeCase{0x10000, 5},
+                      CompactSizeCase{0xffffffff, 5}, CompactSizeCase{0x100000000ULL, 9},
+                      CompactSizeCase{0xffffffffffffffffULL, 9}));
+
+TEST(Serialize, NonCanonicalCompactSizeRejected) {
+  // 0xfd prefix encoding a value < 0xfd must be rejected.
+  const ByteVec bad = {0xfd, 0x10, 0x00};
+  Reader r(bad);
+  EXPECT_THROW(r.ReadCompactSize(), bsutil::DeserializeError);
+
+  const ByteVec bad32 = {0xfe, 0xff, 0xff, 0x00, 0x00};  // fits in 16 bits
+  Reader r32(bad32);
+  EXPECT_THROW(r32.ReadCompactSize(), bsutil::DeserializeError);
+
+  const ByteVec bad64 = {0xff, 0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00};
+  Reader r64(bad64);
+  EXPECT_THROW(r64.ReadCompactSize(), bsutil::DeserializeError);
+}
+
+TEST(Serialize, VarBytesRoundTrip) {
+  Writer w;
+  const ByteVec payload = {1, 2, 3, 4, 5};
+  w.WriteVarBytes(payload);
+  Reader r(w.Data());
+  EXPECT_EQ(r.ReadVarBytes(), payload);
+}
+
+TEST(Serialize, VarBytesLengthLimitEnforced) {
+  Writer w;
+  w.WriteVarBytes(ByteVec(100, 0xaa));
+  Reader r(w.Data());
+  EXPECT_THROW(r.ReadVarBytes(/*max_len=*/50), bsutil::DeserializeError);
+}
+
+TEST(Serialize, VarStringRoundTrip) {
+  Writer w;
+  w.WriteVarString("/banscore:1.0/");
+  Reader r(w.Data());
+  EXPECT_EQ(r.ReadVarString(), "/banscore:1.0/");
+}
+
+TEST(Serialize, BoolRoundTrip) {
+  Writer w;
+  w.WriteBool(true);
+  w.WriteBool(false);
+  Reader r(w.Data());
+  EXPECT_TRUE(r.ReadBool());
+  EXPECT_FALSE(r.ReadBool());
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+
+TEST(Rng, DeterministicFromSeed) {
+  bsutil::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  bsutil::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next()) ? 1 : 0;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  bsutil::Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  bsutil::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  bsutil::Rng rng(11);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  bsutil::Rng rng(13);
+  bsutil::Accumulator acc;
+  for (int i = 0; i < 50'000; ++i) acc.Add(rng.Normal(10.0, 3.0));
+  EXPECT_NEAR(acc.Mean(), 10.0, 0.1);
+  EXPECT_NEAR(acc.StdDev(), 3.0, 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+
+TEST(Stats, SummaryOfKnownSample) {
+  const auto s = bsutil::Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+  EXPECT_GT(s.ci95_half_width, 0.0);
+}
+
+TEST(Stats, SummaryOfEmptySample) {
+  const auto s = bsutil::Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PearsonPerfectPositive) {
+  EXPECT_NEAR(bsutil::PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative) {
+  EXPECT_NEAR(bsutil::PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVarianceIsZero) {
+  EXPECT_EQ(bsutil::PearsonCorrelation({1, 1, 1}, {2, 4, 6}), 0.0);
+}
+
+TEST(Stats, PearsonMismatchedLengthsIsZero) {
+  EXPECT_EQ(bsutil::PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(Stats, NormalizeDistributionSumsToOne) {
+  const auto d = bsutil::NormalizeDistribution({1, 3, 6});
+  EXPECT_NEAR(d[0] + d[1] + d[2], 1.0, 1e-12);
+  EXPECT_NEAR(d[2], 0.6, 1e-12);
+}
+
+TEST(Stats, NormalizeAllZeroStaysZero) {
+  const auto d = bsutil::NormalizeDistribution({0, 0});
+  EXPECT_EQ(d[0], 0.0);
+  EXPECT_EQ(d[1], 0.0);
+}
+
+TEST(Stats, AccumulatorMatchesBatchSummary) {
+  bsutil::Rng rng(3);
+  std::vector<double> xs;
+  bsutil::Accumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble() * 10;
+    xs.push_back(v);
+    acc.Add(v);
+  }
+  const auto s = bsutil::Summarize(xs);
+  EXPECT_NEAR(acc.Mean(), s.mean, 1e-9);
+  EXPECT_NEAR(acc.StdDev(), s.stddev, 1e-9);
+  EXPECT_EQ(acc.Min(), s.min);
+  EXPECT_EQ(acc.Max(), s.max);
+}
+
+TEST(Stats, AlignedDistributionsHandleDisjointKeys) {
+  const std::map<std::string, double> a = {{"tx", 9.0}, {"ping", 1.0}};
+  const std::map<std::string, double> b = {{"tx", 1.0}, {"version", 1.0}};
+  const auto [va, vb] = bsutil::AlignedDistributions(a, b);
+  ASSERT_EQ(va.size(), 3u);  // keys: ping, tx, version
+  ASSERT_EQ(vb.size(), 3u);
+  EXPECT_NEAR(va[0] + va[1] + va[2], 1.0, 1e-12);
+  EXPECT_NEAR(vb[0] + vb[1] + vb[2], 1.0, 1e-12);
+}
+
+TEST(Stats, AlignedIdenticalDistributionsCorrelateToOne) {
+  const std::map<std::string, double> a = {{"tx", 10.0}, {"inv", 5.0}, {"ping", 1.0}};
+  const auto [va, vb] = bsutil::AlignedDistributions(a, a);
+  EXPECT_NEAR(bsutil::PearsonCorrelation(va, vb), 1.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,341 @@
+// banscore-lab — command-line laboratory for the ban-score attack/defense
+// scenarios. Every experiment from the paper can be run with tunable
+// parameters without writing code.
+//
+//   banscore-lab rules   [--version 0.20|0.21|0.22]
+//   banscore-lab bmdos   [--payload ping|bogus-block|unknown|invalid-pow]
+//                        [--connections N] [--rate R] [--seconds S]
+//                        [--policy banscore|infinity|disabled|goodscore]
+//   banscore-lab sybil   [--identifiers N] [--delay-ms D]
+//                        [--version 0.20|0.21|0.22] [--threshold T]
+//   banscore-lab defame  [--mode pre|post] [--policy ...]
+//   banscore-lab detect  [--train-minutes M] [--attack bmdos|defame]
+//                        [--window W]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/bmdos.hpp"
+#include "attack/defamation.hpp"
+#include "attack/sybil.hpp"
+#include "attack/traffic.hpp"
+#include "core/node.hpp"
+#include "detect/engine.hpp"
+#include "detect/monitor.hpp"
+
+using namespace bsnet;  // NOLINT
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tiny flag parser: --key value pairs after the scenario name.
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetNum(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+CoreVersion ParseVersion(const std::string& s) {
+  if (s == "0.21") return CoreVersion::kV0_21;
+  if (s == "0.22") return CoreVersion::kV0_22;
+  return CoreVersion::kV0_20;
+}
+
+BanPolicy ParsePolicy(const std::string& s) {
+  if (s == "infinity") return BanPolicy::kThresholdInfinity;
+  if (s == "disabled") return BanPolicy::kDisabled;
+  if (s == "goodscore") return BanPolicy::kGoodScore;
+  return BanPolicy::kBanScore;
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+
+int RunRules(const Flags& flags) {
+  const CoreVersion version = ParseVersion(flags.Get("version", "0.20"));
+  std::printf("ban-score rules of Bitcoin Core %s\n\n", ToString(version));
+  std::printf("%-12s | %-44s | %5s | %-13s | %s\n", "Message", "Misbehavior", "score",
+              "Object of ban", "Type");
+  for (const RuleInfo& rule : RulesFor(version)) {
+    if (!rule.in_paper_table) continue;
+    std::printf("%-12s | %-44s | %5d | %-13s | %s\n", rule.message_type,
+                rule.description, rule.score, ToString(rule.scope), ToString(rule.cls));
+  }
+  return 0;
+}
+
+int RunBmDos(const Flags& flags) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  bsim::CpuModel cpu;
+  NodeConfig config;
+  config.ban_policy = ParsePolicy(flags.Get("policy", "banscore"));
+  Node victim(sched, net, 0x0a000001, config, &cpu);
+  victim.Start();
+  bsattack::AttackerNode attacker(sched, net, 0x0a000002, config.chain.magic);
+  bsattack::Crafter crafter(config.chain);
+
+  bsattack::BmDosConfig bm;
+  const std::string payload = flags.Get("payload", "bogus-block");
+  if (payload == "ping") bm.payload = bsattack::BmDosConfig::Payload::kPing;
+  else if (payload == "unknown") bm.payload = bsattack::BmDosConfig::Payload::kUnknownCommand;
+  else if (payload == "invalid-pow") bm.payload = bsattack::BmDosConfig::Payload::kInvalidPowBlock;
+  else bm.payload = bsattack::BmDosConfig::Payload::kBogusBlock;
+  bm.sybil_connections = static_cast<int>(flags.GetNum("connections", 1));
+  bm.rate_msgs_per_sec = flags.GetNum("rate", 1000);
+  const double seconds = flags.GetNum("seconds", 10);
+
+  cpu.SetActiveConnections(10 + bm.sybil_connections);
+  cpu.BeginWindow(sched.Now());
+  sched.RunUntil(bsim::kSecond);
+  const double baseline = cpu.EndWindow(sched.Now()).mining_rate_hps;
+
+  bsattack::BmDosAttack attack(attacker, {victim.Ip(), 8333}, crafter, bm);
+  attack.Start();
+  sched.RunUntil(sched.Now() + 2 * bsim::kSecond);
+  cpu.BeginWindow(sched.Now());
+  sched.RunUntil(sched.Now() + bsim::FromSeconds(seconds));
+  const auto sample = cpu.EndWindow(sched.Now());
+  attack.Stop();
+
+  std::printf("BM-DoS: payload=%s connections=%d rate=%.0f/s policy=%s\n",
+              payload.c_str(), bm.sybil_connections, attack.EffectiveRate(),
+              ToString(config.ban_policy));
+  std::printf("  messages sent:        %llu\n",
+              static_cast<unsigned long long>(attack.MessagesSent()));
+  std::printf("  mining: %.3g -> %.3g h/s (%.0f%% drop), CPU busy %.1f%%\n", baseline,
+              sample.mining_rate_hps,
+              100.0 * (1.0 - sample.mining_rate_hps / baseline),
+              100.0 * sample.busy_fraction);
+  std::printf("  bad-checksum frames dropped: %llu, peers banned: %llu\n",
+              static_cast<unsigned long long>(victim.FramesDroppedBadChecksum()),
+              static_cast<unsigned long long>(victim.PeersBanned()));
+  return 0;
+}
+
+int RunSybil(const Flags& flags) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.core_version = ParseVersion(flags.Get("version", "0.20"));
+  config.ban_threshold = static_cast<int>(flags.GetNum("threshold", 100));
+  Node target(sched, net, 0x0a000001, config);
+  target.Start();
+  bsattack::AttackerNode attacker(sched, net, 0x0a000002, config.chain.magic);
+
+  bsattack::SerialSybilConfig sc;
+  sc.max_identifiers = static_cast<int>(flags.GetNum("identifiers", 10));
+  sc.extra_message_delay =
+      static_cast<bsim::SimTime>(flags.GetNum("delay-ms", 0) * bsim::kMillisecond);
+  bsattack::SerialSybilAttack attack(attacker, {target.Ip(), 8333}, sc);
+  attack.Start();
+  sched.RunUntil(bsim::FromSeconds(sc.max_identifiers * 3.0 + 10));
+
+  std::printf("serial Sybil (duplicate VERSION) vs Core %s, threshold %d\n",
+              ToString(config.core_version), config.ban_threshold);
+  std::printf("  identifiers banned: %d/%d\n", attack.IdentifiersBanned(),
+              sc.max_identifiers);
+  if (attack.IdentifiersBanned() > 0) {
+    std::printf("  mean time-to-ban:   %.4f s\n", attack.MeanTimeToBan());
+    const double per_id = attack.MeanTimeToBan() + 0.2;
+    std::printf("  full-IP projection: %.2f min for 16384 ports\n",
+                16384.0 * per_id / 60.0);
+  } else {
+    std::printf("  the VERSION rules are absent in this rule set: the vector is dead\n");
+  }
+  return 0;
+}
+
+int RunDefame(const Flags& flags) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig target_config;
+  target_config.ban_policy = ParsePolicy(flags.Get("policy", "banscore"));
+  target_config.target_outbound = 1;
+  Node target(sched, net, 0x0a000001, target_config);
+  NodeConfig pc;
+  pc.target_outbound = 0;
+  Node innocent(sched, net, 0x0a000002, pc);
+  innocent.Start();
+  target.AddKnownAddress({innocent.Ip(), 8333});
+  target.Start();
+  sched.RunUntil(5 * bsim::kSecond);
+
+  bsattack::AttackerNode attacker(sched, net, 0x0a000066, target_config.chain.magic);
+  bsattack::Crafter crafter(target_config.chain);
+  const std::string mode = flags.Get("mode", "post");
+
+  if (mode == "pre") {
+    const bsproto::Endpoint victim_id{innocent.Ip(), 55555};
+    bsattack::PreConnectionDefamation pre(
+        attacker, {target.Ip(), 8333}, victim_id,
+        bsattack::PreConnectionDefamation::InstantBanFrames(target_config.chain.magic));
+    pre.Run();
+    sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+    std::printf("pre-connection Defamation of %s under %s: banned=%s\n",
+                victim_id.ToString().c_str(), ToString(target_config.ban_policy),
+                target.Bans().IsBanned(victim_id, sched.Now()) ? "YES" : "no");
+    return 0;
+  }
+
+  // Post-connection: earn the innocent peer a good score first, so the
+  // goodscore policy has something to exempt.
+  innocent.MineAndRelay();
+  sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+  const Peer* outbound = nullptr;
+  for (const Peer* p : target.Peers()) {
+    if (!p->inbound) outbound = p;
+  }
+  if (outbound == nullptr) {
+    std::printf("setup failed: no outbound session\n");
+    return 1;
+  }
+  bsattack::PostConnectionDefamation post(attacker, outbound->conn->Local(),
+                                          outbound->remote);
+  post.Arm({bsproto::EncodeMessage(target_config.chain.magic,
+                                   crafter.SegwitInvalidTx())});
+  innocent.SendToRemoteIp(target.Ip(), bsproto::PingMsg{1});
+  sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+  std::printf("post-connection Defamation of %s under %s: injected=%s banned=%s\n",
+              outbound->remote.ToString().c_str(), ToString(target_config.ban_policy),
+              post.Injected() ? "yes" : "no",
+              target.Bans().IsBanned({innocent.Ip(), 8333}, sched.Now()) ? "YES" : "no");
+  return 0;
+}
+
+int RunDetect(const Flags& flags) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.target_outbound = 8;
+  Node target(sched, net, 0x0a000001, config);
+  std::vector<std::unique_ptr<Node>> storage;
+  std::vector<Node*> peers;
+  for (int i = 0; i < 20; ++i) {
+    NodeConfig pc;
+    pc.target_outbound = 0;
+    auto peer = std::make_unique<Node>(sched, net, 0x0a000100 + i, pc);
+    peer->Start();
+    target.AddKnownAddress({peer->Ip(), 8333});
+    peers.push_back(peer.get());
+    storage.push_back(std::move(peer));
+  }
+  target.Start();
+  sched.RunUntil(10 * bsim::kSecond);
+
+  bsdetect::Monitor monitor(target);
+  bsattack::MainnetTrafficGenerator traffic(sched, peers, target,
+                                            bsattack::TrafficConfig{});
+  traffic.Start();
+
+  const int train_minutes = static_cast<int>(flags.GetNum("train-minutes", 60));
+  const int window = static_cast<int>(flags.GetNum("window", 10));
+  std::printf("training on %d simulated minutes (window %d min)...\n", train_minutes,
+              window);
+  sched.RunUntil(sched.Now() + train_minutes * bsim::kMinute);
+  bsdetect::StatEngine engine;
+  if (!engine.Train(monitor.AllWindows(window))) {
+    std::printf("not enough windows to train\n");
+    return 1;
+  }
+  const auto& p = engine.GetProfile();
+  std::printf("tau_n=[%.0f, %.0f]  tau_c=[0, %.2f]  tau_lambda=%.4f\n", p.tau_n_low,
+              p.tau_n_high, p.tau_c_high, p.tau_lambda);
+
+  const std::string attack = flags.Get("attack", "bmdos");
+  bsattack::AttackerNode attacker(sched, net, 0x0a000066, config.chain.magic);
+  bsattack::Crafter crafter(config.chain);
+  std::unique_ptr<bsattack::BmDosAttack> flood;
+  std::vector<std::unique_ptr<bsattack::PostConnectionDefamation>> defamations;
+  if (attack == "bmdos") {
+    bsattack::BmDosConfig bm;
+    bm.payload = bsattack::BmDosConfig::Payload::kPing;
+    bm.rate_msgs_per_sec = 250;
+    flood = std::make_unique<bsattack::BmDosAttack>(attacker,
+                                                    bsproto::Endpoint{target.Ip(), 8333},
+                                                    crafter, bm);
+    flood->Start();
+    sched.RunUntil(sched.Now() + (window + 1) * bsim::kMinute);
+  } else {
+    const bsim::SimTime until = sched.Now() + window * bsim::kMinute;
+    while (sched.Now() < until) {
+      for (const Peer* peer : target.Peers()) {
+        if (!peer->inbound && peer->HandshakeComplete() &&
+            !target.Bans().IsBanned(peer->remote, sched.Now())) {
+          auto d = std::make_unique<bsattack::PostConnectionDefamation>(
+              attacker, peer->conn->Local(), peer->remote);
+          d->Arm({bsproto::EncodeMessage(config.chain.magic,
+                                         crafter.SegwitInvalidTx())});
+          defamations.push_back(std::move(d));
+          break;
+        }
+      }
+      sched.RunUntil(sched.Now() + 10 * bsim::kSecond);
+    }
+  }
+
+  const auto result = engine.Detect(monitor.Window(sched.Now(), window));
+  std::printf("under %s: n=%.0f c=%.2f rho=%.4f -> %s%s%s\n", attack.c_str(), result.n,
+              result.c, result.rho, result.anomalous ? "ANOMALOUS (" : "normal",
+              result.anomalous
+                  ? (result.bmdos_suspected ? "bm-dos " : "")
+                  : "",
+              result.anomalous
+                  ? (result.defamation_suspected ? "defamation)" : ")")
+                  : "");
+  return result.anomalous ? 0 : 1;
+}
+
+void Usage() {
+  std::printf(
+      "banscore-lab <scenario> [--flag value ...]\n"
+      "scenarios:\n"
+      "  rules   --version 0.20|0.21|0.22\n"
+      "  bmdos   --payload ping|bogus-block|unknown|invalid-pow --connections N\n"
+      "          --rate R --seconds S --policy banscore|infinity|disabled|goodscore\n"
+      "  sybil   --identifiers N --delay-ms D --version V --threshold T\n"
+      "  defame  --mode pre|post --policy P\n"
+      "  detect  --train-minutes M --window W --attack bmdos|defame\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string scenario = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (scenario == "rules") return RunRules(flags);
+  if (scenario == "bmdos") return RunBmDos(flags);
+  if (scenario == "sybil") return RunSybil(flags);
+  if (scenario == "defame") return RunDefame(flags);
+  if (scenario == "detect") return RunDetect(flags);
+  Usage();
+  return 2;
+}
