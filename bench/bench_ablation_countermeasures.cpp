@@ -95,7 +95,7 @@ PolicyOutcome RunPolicyScenario(BanPolicy policy) {
   return outcome;
 }
 
-void PolicyAblation() {
+void PolicyAblation(bsbench::JsonReport& report) {
   bsbench::PrintSection("1. ban-policy ablation (§VIII countermeasures)");
   std::printf("%-20s | %16s | %15s | %s\n", "policy", "innocent banned?",
               "attacker banned?", "blocks still relay?");
@@ -107,12 +107,16 @@ void PolicyAblation() {
                 outcome.innocent_banned ? "YES (defamed)" : "no",
                 outcome.attacker_banned ? "yes" : "no",
                 outcome.block_still_relayed ? "yes" : "NO");
+    report.Add(std::string("policy_") + ToString(policy) + "_innocent_banned",
+               outcome.innocent_banned ? 1 : 0);
+    report.Add(std::string("policy_") + ToString(policy) + "_attacker_banned",
+               outcome.attacker_banned ? 1 : 0);
   }
   std::printf("\n(stock ban score defames the innocent peer; forgoing the ban score or\n"
               " using good-score protects it; normal relay is unaffected throughout)\n");
 }
 
-void VersionAblation() {
+void VersionAblation(bsbench::JsonReport& report) {
   bsbench::PrintSection("2. rule-set version ablation (Fig. 8 vector across versions)");
   std::printf("%-10s | %18s | %s\n", "version", "identifiers banned",
               "VERSION-flood Sybil loop viable?");
@@ -133,10 +137,12 @@ void VersionAblation() {
     sched.RunUntil(20 * bsim::kSecond);
     std::printf("%-10s | %18d | %s\n", ToString(version), attack.IdentifiersBanned(),
                 attack.IdentifiersBanned() > 0 ? "yes" : "no (VERSION rules removed)");
+    report.Add(std::string("sybil_bans_") + ToString(version),
+               attack.IdentifiersBanned());
   }
 }
 
-void ThresholdSweep() {
+void ThresholdSweep(bsbench::JsonReport& report) {
   bsbench::PrintSection("3. ban-threshold sweep (duplicate-VERSION attack)");
   std::printf("%-10s | %18s | %16s\n", "threshold", "mean time-to-ban(s)",
               "msgs/identifier");
@@ -161,12 +167,14 @@ void ThresholdSweep() {
     mean_msgs /= std::max<std::size_t>(1, attack.Records().size());
     std::printf("%-10d | %18.4f | %16.1f\n", threshold, attack.MeanTimeToBan(),
                 mean_msgs);
+    report.Add("time_to_ban_threshold_" + std::to_string(threshold),
+               attack.MeanTimeToBan());
   }
   std::printf("\n(the threshold trades attacker-eviction speed against Defamation cost:\n"
               " lower thresholds also let a Defamation attacker ban innocents faster)\n");
 }
 
-void ChecksumOrderingAblation() {
+void ChecksumOrderingAblation(bsbench::JsonReport& report) {
   bsbench::PrintSection("4. checksum-before-misbehavior ordering (the §III-B loophole)");
   std::printf("%-28s | %18s | %s\n", "pipeline order", "bogus frames sent",
               "attacker banned?");
@@ -191,10 +199,13 @@ void ChecksumOrderingAblation() {
     std::printf("%-28s | %18d | %s\n",
                 stock ? "checksum first (Core)" : "misbehavior first (ablation)", sent,
                 session->closed ? "yes" : "no  <- the loophole");
+    report.Add(stock ? "checksum_first_attacker_banned"
+                     : "misbehavior_first_attacker_banned",
+               session->closed ? 1 : 0);
   }
 }
 
-void BanRegimeAblation() {
+void BanRegimeAblation(bsbench::JsonReport& report) {
   bsbench::PrintSection(
       "5. banning regime: 0.20.0 per-[IP:Port] 24h bans vs 0.21+ per-IP "
       "discouragement");
@@ -236,6 +247,9 @@ void BanRegimeAblation() {
 
   const auto ban = run(false);
   const auto disc = run(true);
+  report.Add("ban_regime_fresh_port_reconnects", ban.fresh_port_reconnects ? 1 : 0);
+  report.Add("discouragement_fresh_port_reconnects",
+             disc.fresh_port_reconnects ? 1 : 0);
   std::printf("%-30s | %-22s | %s\n", "fresh Sybil port reconnects?",
               ban.fresh_port_reconnects ? "yes (the Fig. 8 loop)" : "no",
               disc.fresh_port_reconnects ? "yes" : "no (whole IP marked)");
@@ -249,12 +263,15 @@ void BanRegimeAblation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bsbench::TakeJsonFlag(argc, argv);
   bsbench::PrintTitle("bench_ablation_countermeasures — design-choice ablations");
-  PolicyAblation();
-  VersionAblation();
-  ThresholdSweep();
-  ChecksumOrderingAblation();
-  BanRegimeAblation();
+  bsbench::JsonReport report("bench_ablation_countermeasures");
+  PolicyAblation(report);
+  VersionAblation(report);
+  ThresholdSweep(report);
+  ChecksumOrderingAblation(report);
+  BanRegimeAblation(report);
+  report.WriteTo(json_path);
   return 0;
 }

@@ -38,11 +38,17 @@ using bsnet::NodeConfig;
 constexpr std::uint32_t kTargetIp = 0x0a000001;
 constexpr int kWindowMinutes = 10;  // the paper's 10-minute window
 
+// Shared registry: the target node, scheduler and detection engine all feed
+// it, so the --json report covers the full detection pipeline.
+bsobs::MetricsRegistry g_metrics;
+
 struct Lab {
   Lab() {
     net = std::make_unique<bsim::Network>(sched);
+    sched.AttachMetrics(g_metrics);
     NodeConfig config;
     config.target_outbound = 8;
+    config.metrics = &g_metrics;
     target = std::make_unique<Node>(sched, *net, kTargetIp, config);
     for (int i = 0; i < 40; ++i) {
       NodeConfig pc;
@@ -97,7 +103,8 @@ void PrintDistributions(const FeatureWindow& normal, const FeatureWindow& bmdos,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bsbench::TakeJsonFlag(argc, argv);
   bsbench::PrintTitle("bench_fig10_detection — Fig. 10: anomaly detection by "
                       "message-count distribution");
   Lab lab;
@@ -106,6 +113,7 @@ int main() {
   std::printf("training on 120 simulated minutes of synthetic Mainnet traffic...\n");
   lab.RunMinutes(120);
   StatEngine engine;
+  engine.AttachMetrics(g_metrics);
   if (!engine.Train(lab.monitor->AllWindows(kWindowMinutes))) {
     std::printf("training failed: not enough windows\n");
     return 1;
@@ -208,5 +216,18 @@ int main() {
                defam_result.anomalous)
                   ? "3/3 (paper: 100%)"
                   : "MISMATCH");
+
+  bsbench::JsonReport report("bench_fig10_detection");
+  report.Add("tau_lambda", profile.tau_lambda);
+  report.Add("tau_c_high", profile.tau_c_high);
+  report.Add("ping_share_under_bmdos", ping_share);
+  report.Add("rho_under_bmdos", bmdos_result.rho);
+  report.Add("rho_under_defamation", defam_result.rho);
+  report.Add("c_under_defamation", defam_result.c);
+  report.Add("cases_detected",
+             (normal_result.anomalous ? 0 : 1) + (bmdos_result.anomalous ? 1 : 0) +
+                 (defam_result.anomalous ? 1 : 0));
+  report.AttachRegistry(g_metrics);
+  report.WriteTo(json_path);
   return 0;
 }

@@ -133,6 +133,7 @@ BENCHMARK(BM_StatEngineDetect);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bsbench::TakeJsonFlag(argc, argv);
   bsbench::PrintTitle("bench_fig11_latency — Fig. 11: detection training/testing "
                       "latency, ours vs ML baselines");
   const Corpus& corpus = SharedCorpus();
@@ -143,11 +144,14 @@ int main(int argc, char** argv) {
 
   std::vector<LatencyRow> rows;
 
-  // Ours: statistical threshold training + window tests.
+  // Ours: statistical threshold training + window tests. The engine's own
+  // bsobs instrumentation (detection-latency histogram) lands in the report.
+  bsobs::MetricsRegistry metrics;
   {
     LatencyRow row;
     row.name = "Ours (stat)";
     StatEngine engine;
+    engine.AttachMetrics(metrics);
     row.train_sec = bsbench::TimeSeconds([&]() { engine.Train(corpus.windows); });
     int correct = 0;
     // Pre-render windows so the measurement covers detection, not parsing.
@@ -240,5 +244,16 @@ int main(int argc, char** argv) {
   bsbench::PrintSection("google-benchmark runs for the statistical engine");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  bsbench::JsonReport report("bench_fig11_latency");
+  for (const auto& row : rows) {
+    report.Add(std::string("train_sec_") + row.name, row.train_sec);
+    report.Add(std::string("test_sec_") + row.name, row.test_sec);
+    report.Add(std::string("accuracy_") + row.name, row.accuracy);
+  }
+  report.Add("ml_train_speedup_min", min_ml_train / ours_train);
+  report.Add("ml_train_speedup_max", max_ml_train / ours_train);
+  report.AttachRegistry(metrics);
+  report.WriteTo(json_path);
   return 0;
 }

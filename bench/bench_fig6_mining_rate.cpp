@@ -33,6 +33,10 @@ constexpr std::uint32_t kAttackerIp = 0x0a000002;
 constexpr int kSamples = 100;  // the paper's 100 mining samples
 constexpr int kNormalConnections = 10;  // Mainnet peers of the victim
 
+// One registry shared by every scenario's victim node and scheduler: the
+// --json report carries the cumulative bsobs view of the whole run.
+bsobs::MetricsRegistry g_metrics;
+
 struct SeriesPoint {
   std::string label;
   double paper_hps;
@@ -48,7 +52,9 @@ bsutil::Summary RunScenario(std::optional<BmDosConfig::Payload> payload,
   cpu_config.measurement_jitter = 0.015;
   cpu_config.jitter_seed = 42 + static_cast<std::uint64_t>(sybil_connections);
   bsim::CpuModel cpu(cpu_config);
+  sched.AttachMetrics(g_metrics);
   NodeConfig config;
+  config.metrics = &g_metrics;
   Node victim(sched, net, kTargetIp, config, &cpu);
   victim.Start();
   AttackerNode attacker(sched, net, kAttackerIp, config.chain.magic);
@@ -80,7 +86,8 @@ bsutil::Summary RunScenario(std::optional<BmDosConfig::Payload> payload,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bsbench::TakeJsonFlag(argc, argv);
   bsbench::PrintTitle("bench_fig6_mining_rate — Fig. 6: BM-DoS impacts mining rate");
   std::printf("victim: %d Mainnet connections, flood with no inter-message delay,\n"
               "%d samples of 1 simulated second each (mean with 95%% CI)\n",
@@ -124,5 +131,13 @@ int main() {
                   : "NO");
   std::printf("baseline is the fastest:                      %s\n",
               (hps(0) > hps(4)) ? "yes" : "NO");
+
+  bsbench::JsonReport report("bench_fig6_mining_rate");
+  for (const auto& p : points) {
+    report.Add("hps_" + p.label, p.measured.mean);
+    report.Add("hps_ci95_" + p.label, p.measured.ci95_half_width);
+  }
+  report.AttachRegistry(g_metrics);
+  report.WriteTo(json_path);
   return 0;
 }

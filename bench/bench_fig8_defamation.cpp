@@ -32,6 +32,10 @@ using bsnet::NodeConfig;
 constexpr std::uint32_t kTargetIp = 0x0a000001;
 constexpr std::uint32_t kAttackerIp = 0x0a000002;
 
+// Shared registry across all defamation runs for the --json report (the
+// bs_ban_* series shows the score/ban plane under attack).
+bsobs::MetricsRegistry g_metrics;
+
 struct RunResult {
   double mean_time_to_ban_sec;
   int identifiers_banned;
@@ -40,8 +44,10 @@ struct RunResult {
 
 RunResult RunSybilLoop(bsim::SimTime extra_delay, int identifiers) {
   bsim::Scheduler sched;
+  sched.AttachMetrics(g_metrics);
   bsim::Network net(sched);
   NodeConfig config;
+  config.metrics = &g_metrics;
   Node target(sched, net, kTargetIp, config);
   target.Start();
   AttackerNode attacker(sched, net, kAttackerIp, config.chain.magic);
@@ -99,7 +105,8 @@ void PrintScoreTrajectory() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bsbench::TakeJsonFlag(argc, argv);
   bsbench::PrintTitle("bench_fig8_defamation — Fig. 8: Defamation via VERSION message");
 
   const RunResult no_delay = RunSybilLoop(0, 20);
@@ -171,5 +178,14 @@ int main() {
   std::printf("16384 ephemeral ports x %.3f s / 60 = %.2f min (paper: 81.92 min)\n",
               per_id, 16384.0 * per_id / 60.0);
   std::printf("-> the whole IP is unable to connect to the target for 24 h\n");
+
+  bsbench::JsonReport report("bench_fig8_defamation");
+  report.Add("no_delay_identifiers_banned", no_delay.identifiers_banned);
+  report.Add("no_delay_mean_time_to_ban_sec", no_delay.mean_time_to_ban_sec);
+  report.Add("one_ms_identifiers_banned", one_ms.identifiers_banned);
+  report.Add("one_ms_mean_time_to_ban_sec", one_ms.mean_time_to_ban_sec);
+  report.Add("full_ip_projection_min", 16384.0 * per_id / 60.0);
+  report.AttachRegistry(g_metrics);
+  report.WriteTo(json_path);
   return 0;
 }

@@ -74,7 +74,7 @@ struct LiveVerifier {
   Crafter crafter;
 };
 
-void PrintLiveVerification() {
+void PrintLiveVerification(bsbench::JsonReport& report) {
   bsbench::PrintSection(
       "Live verification on Core 0.20.0 rule set (crafted message -> observed score)");
   std::printf("%-44s | %8s | %8s | %s\n", "Rule", "expected", "observed", "verdict");
@@ -225,9 +225,11 @@ void PrintLiveVerification() {
 
   bsbench::PrintRule();
   std::printf("live verification: %d/%d rules match Table I\n", passed, total);
+  report.Add("live_rules_passed", passed);
+  report.Add("live_rules_total", total);
 }
 
-void PrintCoverage() {
+void PrintCoverage(bsbench::JsonReport& report) {
   bsbench::PrintSection("Message-type coverage (the basis of BM-DoS vector 1)");
   std::vector<std::string> with_rules;
   for (const RuleInfo& rule : RulesFor(CoreVersion::kV0_20)) {
@@ -240,15 +242,20 @@ void PrintCoverage() {
   std::printf("message types with ban-score rules in 0.20.0: %zu of %zu\n",
               with_rules.size(), bsproto::kNumMsgTypes);
   std::printf("(paper: \"only 12 out of 26 message types possess ban-score rules\")\n");
+  report.Add("types_with_rules", static_cast<std::uint64_t>(with_rules.size()));
+  report.Add("types_total", static_cast<std::uint64_t>(bsproto::kNumMsgTypes));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bsbench::TakeJsonFlag(argc, argv);
   bsbench::PrintTitle(
       "bench_table1_rules — Table I: the ban-score rules of Bitcoin Core");
+  bsbench::JsonReport report("bench_table1_rules");
   PrintStaticTable();
-  PrintLiveVerification();
-  PrintCoverage();
+  PrintLiveVerification(report);
+  PrintCoverage(report);
+  report.WriteTo(json_path);
   return 0;
 }

@@ -33,6 +33,10 @@ constexpr std::uint32_t kAttackerIp = 0x0a000002;
 constexpr int kNormalConnections = 10;
 constexpr double kMeasureSeconds = 20.0;
 
+// Shared registry: every flood run's victim feeds the same bsobs series so
+// the --json report shows the cumulative pipeline picture.
+bsobs::MetricsRegistry g_metrics;
+
 struct Result {
   double attacker_cpu_percent;
   double attacker_mem_mb;
@@ -44,7 +48,9 @@ Result RunFlood(bool bitcoin_ping, double rate) {
   bsim::Scheduler sched;
   bsim::Network net(sched);
   bsim::CpuModel cpu;
+  sched.AttachMetrics(g_metrics);
   NodeConfig config;
+  config.metrics = &g_metrics;
   Node victim(sched, net, kTargetIp, config, &cpu);
   victim.Start();
   AttackerNode attacker(sched, net, kAttackerIp, config.chain.magic);
@@ -99,7 +105,8 @@ void PrintRow(const char* layer, double rate, const Result& r, double paper_hps)
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bsbench::TakeJsonFlag(argc, argv);
   bsbench::PrintTitle(
       "bench_table3_flood_compare — Table III / Fig. 7: BM-DoS vs network-layer flood");
   std::printf("%-14s | %8s | %8s | %9s | %12s | %12s | %10s\n", "layer", "rate/s",
@@ -127,5 +134,12 @@ int main() {
   std::printf("ICMP consumes more bandwidth at 1e6/s than BM-DoS at its cap:  %s\n",
               RunFlood(false, 1e6).bandwidth_kbits > ping_1e3.bandwidth_kbits ? "yes"
                                                                               : "NO");
+
+  bsbench::JsonReport report("bench_table3_flood_compare");
+  report.Add("ping_1e3_mining_hps", ping_1e3.mining_rate_hps);
+  report.Add("icmp_1e3_mining_hps", icmp_1e3.mining_rate_hps);
+  report.Add("ping_1e3_bandwidth_kbits", ping_1e3.bandwidth_kbits);
+  report.AttachRegistry(g_metrics);
+  report.WriteTo(json_path);
   return 0;
 }

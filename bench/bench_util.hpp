@@ -1,13 +1,21 @@
-// Shared helpers for the benchmark harnesses: fixed-width table printing and
-// simple wall-clock timing.
+// Shared helpers for the benchmark harnesses: fixed-width table printing,
+// simple wall-clock timing, and the `--json <path>` machine-readable report
+// every bench binary supports (bsobs metrics snapshot + bench-specific
+// results).
 #pragma once
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
 
 namespace bsbench {
 
@@ -37,10 +45,18 @@ inline double TimeSeconds(const std::function<void()>& fn) {
   return std::chrono::duration<double>(end - start).count();
 }
 
-/// Median-of-repeats nanoseconds per call of `fn`, amortized over
-/// `inner_iterations` calls per repeat.
-inline double TimeNsPerCall(const std::function<void()>& fn, int inner_iterations = 100,
-                            int repeats = 5) {
+/// Per-call timing distribution over the repeat samples.
+struct CallTiming {
+  double min_ns = 0.0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+};
+
+/// Nanoseconds per call of `fn`, amortized over `inner_iterations` calls per
+/// repeat; min/p50/p90 taken across the repeats (min and the spread together
+/// expose scheduler noise that a lone median hides).
+inline CallTiming TimeNsPerCallStats(const std::function<void()>& fn,
+                                     int inner_iterations = 100, int repeats = 5) {
   std::vector<double> samples;
   samples.reserve(repeats);
   for (int r = 0; r < repeats; ++r) {
@@ -50,7 +66,117 @@ inline double TimeNsPerCall(const std::function<void()>& fn, int inner_iteration
     samples.push_back(sec * 1e9 / inner_iterations);
   }
   std::sort(samples.begin(), samples.end());
-  return samples[samples.size() / 2];
+  CallTiming t;
+  t.min_ns = bsutil::Summarize(samples).min;
+  t.p50_ns = samples[samples.size() / 2];
+  t.p90_ns = samples[(samples.size() * 9) / 10];
+  return t;
 }
+
+/// Median-of-repeats nanoseconds per call (historical scalar API).
+inline double TimeNsPerCall(const std::function<void()>& fn, int inner_iterations = 100,
+                            int repeats = 5) {
+  return TimeNsPerCallStats(fn, inner_iterations, repeats).p50_ns;
+}
+
+// ---------------------------------------------------------------------------
+// --json reporting
+
+/// Strip a `--json <path>` flag from argv (so google-benchmark's own flag
+/// parsing never sees it) and return the path, or "" when absent.
+inline std::string TakeJsonFlag(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    const std::string arg = argv[r];
+    if (arg == "--json" && r + 1 < argc) {
+      path = argv[++r];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  return path;
+}
+
+/// Accumulates bench results as JSON fields and writes one object per file:
+///   {"bench":"<name>","results":{...},"metrics":{...}}
+/// `metrics` is the bsobs registry snapshot (counters/gauges/histograms).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + bsutil::JsonEscape(value) + "\"");
+  }
+  /// `raw` must already be valid JSON (object/array/number).
+  void AddRaw(const std::string& key, const std::string& raw) {
+    fields_.emplace_back(key, raw);
+  }
+  void Add(const std::string& key, const CallTiming& t) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "{\"min_ns\":%.10g,\"p50_ns\":%.10g,\"p90_ns\":%.10g}",
+                  t.min_ns, t.p50_ns, t.p90_ns);
+    fields_.emplace_back(key, buf);
+  }
+
+  void AttachRegistry(const bsobs::MetricsRegistry& registry) { registry_ = &registry; }
+
+  /// Render the full report object.
+  std::string Render() const {
+    std::string out = "{\"bench\":\"" + bsutil::JsonEscape(bench_name_) + "\"";
+    out += ",\"results\":{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + bsutil::JsonEscape(fields_[i].first) + "\":" + fields_[i].second;
+    }
+    out += "}";
+    if (registry_ != nullptr) out += ",\"metrics\":" + registry_->RenderJson();
+    out += "}\n";
+    return out;
+  }
+
+  /// Write the report to `path` ("" = no-op success; "-" = stdout). Returns
+  /// false (with a logged reason) on I/O failure.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    const std::string body = Render();
+    if (path == "-") {
+      std::fwrite(body.data(), 1, body.size(), stdout);
+      return true;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      bsutil::Log(bsutil::LogLevel::kError, "bench",
+                  "cannot open json report '", path, "'");
+      return false;
+    }
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    std::printf("\njson report written to %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  const bsobs::MetricsRegistry* registry_ = nullptr;
+};
 
 }  // namespace bsbench

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Pre-merge gate: the tier-1 verify (configure + build + full ctest run)
+# followed by an ASan/UBSan build of the test suite. Run from anywhere;
+# builds land in build/ (tier-1) and build-asan/ (sanitizers).
+#
+#   scripts/check.sh            # both stages
+#   scripts/check.sh --no-asan  # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_asan=1
+[ "${1:-}" = "--no-asan" ] && run_asan=0
+
+echo "==> tier-1: configure + build + ctest"
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [ "$run_asan" = 1 ]; then
+  echo "==> sanitizers: ASan/UBSan build + ctest"
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build build-asan -j
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+fi
+
+echo "==> all checks passed"

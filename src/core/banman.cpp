@@ -12,9 +12,28 @@ namespace {
 constexpr std::uint32_t kBanListMagic = 0x42414e31;  // "BAN1"
 }  // namespace
 
+void BanMan::AttachMetrics(bsobs::MetricsRegistry& registry) {
+  m_bans_total_ = registry.GetCounter("bs_ban_bans_total", "Identifiers banned");
+  m_unbans_total_ = registry.GetCounter("bs_ban_unbans_total", "Bans lifted early");
+  m_discouragements_total_ =
+      registry.GetCounter("bs_ban_discouragements_total", "IPs discouraged (0.21+)");
+  m_active_bans_ = registry.GetGauge("bs_ban_active", "Currently banned identifiers");
+  m_discouraged_ips_gauge_ =
+      registry.GetGauge("bs_ban_discouraged_ips", "Currently discouraged IPs");
+  UpdateGauges();
+}
+
+void BanMan::UpdateGauges() {
+  if (m_active_bans_ == nullptr) return;
+  m_active_bans_->Set(static_cast<double>(bans_.size()));
+  m_discouraged_ips_gauge_->Set(static_cast<double>(discouraged_ips_.size()));
+}
+
 void BanMan::Ban(const Endpoint& who, bsim::SimTime until) {
   auto [it, inserted] = bans_.emplace(who, until);
   if (!inserted) it->second = std::max(it->second, until);
+  if (inserted && m_bans_total_ != nullptr) m_bans_total_->Inc();
+  UpdateGauges();
 }
 
 bool BanMan::IsBanned(const Endpoint& who, bsim::SimTime now) const {
@@ -29,6 +48,7 @@ bsim::SimTime BanMan::BanExpiry(const Endpoint& who) const {
 
 void BanMan::SweepExpired(bsim::SimTime now) {
   std::erase_if(bans_, [now](const auto& kv) { return kv.second <= now; });
+  UpdateGauges();
 }
 
 std::size_t BanMan::BannedPortsOf(std::uint32_t ip, bsim::SimTime now) const {
@@ -75,6 +95,7 @@ bool BanMan::Deserialize(bsutil::ByteSpan data, bsim::SimTime now) {
     }
     if (!r.AtEnd()) return false;
     bans_ = std::move(loaded);
+    UpdateGauges();
     return true;
   } catch (const bsutil::DeserializeError&) {
     return false;

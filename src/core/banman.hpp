@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "proto/netaddr.hpp"
 #include "sim/time.hpp"
 #include "util/bytes.hpp"
@@ -19,10 +20,18 @@ using bsproto::Endpoint;
 
 class BanMan {
  public:
+  /// Publish ban-plane metrics into `registry` (bs_ban_* series). The node
+  /// attaches its own registry at construction; standalone BanMan instances
+  /// work unattached.
+  void AttachMetrics(bsobs::MetricsRegistry& registry);
+
   /// Ban `who` until `until` (absolute sim time). Re-banning extends.
   void Ban(const Endpoint& who, bsim::SimTime until);
   /// Lift a ban early.
-  void Unban(const Endpoint& who) { bans_.erase(who); }
+  void Unban(const Endpoint& who) {
+    if (bans_.erase(who) > 0 && m_unbans_total_ != nullptr) m_unbans_total_->Inc();
+    UpdateGauges();
+  }
 
   bool IsBanned(const Endpoint& who, bsim::SimTime now) const;
 
@@ -43,10 +52,18 @@ class BanMan {
   // the mark does not expire until restart, and discouraged inbound
   // connections are refused. Exposed as an optional node mode so the
   // version-semantics ablation can compare the two regimes.
-  void Discourage(std::uint32_t ip) { discouraged_ips_.insert(ip); }
+  void Discourage(std::uint32_t ip) {
+    if (discouraged_ips_.insert(ip).second && m_discouragements_total_ != nullptr) {
+      m_discouragements_total_->Inc();
+    }
+    UpdateGauges();
+  }
   bool IsDiscouraged(std::uint32_t ip) const { return discouraged_ips_.contains(ip); }
   std::size_t DiscouragedCount() const { return discouraged_ips_.size(); }
-  void ClearDiscouraged() { discouraged_ips_.clear(); }
+  void ClearDiscouraged() {
+    discouraged_ips_.clear();
+    UpdateGauges();
+  }
 
   // ---- Persistence (the banlist.dat analogue) ----
   /// Serialize all entries (including expired ones; Load sweeps them).
@@ -60,8 +77,17 @@ class BanMan {
   bool LoadFromFile(const std::string& path, bsim::SimTime now);
 
  private:
+  void UpdateGauges();
+
   std::unordered_map<Endpoint, bsim::SimTime, bsproto::EndpointHasher> bans_;
   std::unordered_set<std::uint32_t> discouraged_ips_;  // not persisted, as in Core
+
+  // Observability handles (null until AttachMetrics).
+  bsobs::Counter* m_bans_total_ = nullptr;
+  bsobs::Counter* m_unbans_total_ = nullptr;
+  bsobs::Counter* m_discouragements_total_ = nullptr;
+  bsobs::Gauge* m_active_bans_ = nullptr;
+  bsobs::Gauge* m_discouraged_ips_gauge_ = nullptr;
 };
 
 }  // namespace bsnet

@@ -2,6 +2,17 @@
 
 namespace bsnet {
 
+void MisbehaviorTracker::AttachMetrics(bsobs::MetricsRegistry& registry) {
+  m_score_events_total_ = registry.GetCounter("bs_ban_score_events_total",
+                                              "Misbehavior rules applied");
+  m_score_points_total_ = registry.GetCounter("bs_ban_score_points_total",
+                                              "Ban-score points accumulated");
+  m_threshold_crossings_total_ = registry.GetCounter(
+      "bs_ban_threshold_crossings_total", "Scores that crossed the ban threshold");
+  m_good_score_points_total_ = registry.GetCounter(
+      "bs_ban_good_score_points_total", "Good-score credit granted");
+}
+
 const char* ToString(BanPolicy p) {
   switch (p) {
     case BanPolicy::kBanScore: return "ban-score";
@@ -33,6 +44,13 @@ MisbehaviorOutcome MisbehaviorTracker::Misbehaving(std::uint64_t peer_id, bool i
   outcome.score_delta = rule->score;
   outcome.total_score = score.misbehavior;
 
+  if (m_score_events_total_ != nullptr) {
+    m_score_events_total_->Inc();
+    if (rule->score > 0) {
+      m_score_points_total_->Inc(static_cast<std::uint64_t>(rule->score));
+    }
+  }
+
   if (score.misbehavior < threshold_) return outcome;
 
   switch (policy_) {
@@ -49,11 +67,17 @@ MisbehaviorOutcome MisbehaviorTracker::Misbehaving(std::uint64_t peer_id, bool i
     case BanPolicy::kDisabled:
       break;  // unreachable; handled above
   }
+  if (outcome.should_ban && m_threshold_crossings_total_ != nullptr) {
+    m_threshold_crossings_total_->Inc();
+  }
   return outcome;
 }
 
 void MisbehaviorTracker::AddGoodScore(std::uint64_t peer_id, int delta) {
   scores_[peer_id].good_score += delta;
+  if (m_good_score_points_total_ != nullptr && delta > 0) {
+    m_good_score_points_total_->Inc(static_cast<std::uint64_t>(delta));
+  }
 }
 
 int MisbehaviorTracker::Score(std::uint64_t peer_id) const {

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "core/rules.hpp"
+#include "obs/metrics.hpp"
 
 namespace bsnet {
 
@@ -54,6 +55,9 @@ class MisbehaviorTracker {
   BanPolicy Policy() const { return policy_; }
   int Threshold() const { return threshold_; }
 
+  /// Publish score-plane metrics into `registry` (bs_ban_score_* series).
+  void AttachMetrics(bsobs::MetricsRegistry& registry);
+
   /// Attribute `what` to peer `peer_id` (whose direction is `inbound`).
   /// Applies version/scope gating, the active policy, and threshold logic.
   MisbehaviorOutcome Misbehaving(std::uint64_t peer_id, bool inbound, Misbehavior what);
@@ -73,6 +77,12 @@ class MisbehaviorTracker {
   int threshold_;
   int good_score_exemption_;
   std::unordered_map<std::uint64_t, PeerScore> scores_;
+
+  // Observability handles (null until AttachMetrics).
+  bsobs::Counter* m_score_events_total_ = nullptr;
+  bsobs::Counter* m_score_points_total_ = nullptr;
+  bsobs::Counter* m_threshold_crossings_total_ = nullptr;
+  bsobs::Counter* m_good_score_points_total_ = nullptr;
 };
 
 }  // namespace bsnet

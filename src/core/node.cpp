@@ -18,7 +18,45 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
       rng_(config_.rng_seed ^ ip),
       chain_(config_.chain),
       tracker_(config_.core_version, config_.ban_policy, config_.ban_threshold,
-               config_.good_score_exemption) {}
+               config_.good_score_exemption),
+      trace_(config_.trace_capacity) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<bsobs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  bsobs::MetricsRegistry& reg = *metrics_;
+  m_messages_total_ =
+      reg.GetCounter("bs_node_messages_total", "Typed messages accepted");
+  m_rx_bytes_total_ =
+      reg.GetCounter("bs_node_rx_bytes_total", "Bytes received from peers");
+  m_frames_bad_checksum_ = reg.GetCounter("bs_node_frames_bad_checksum_total",
+                                          "Frames dropped: checksum mismatch");
+  m_frames_unknown_ = reg.GetCounter("bs_node_frames_unknown_total",
+                                     "Frames ignored: unknown command");
+  m_frames_malformed_ = reg.GetCounter("bs_node_frames_malformed_total",
+                                       "Frames dropped: malformed/oversize/bad magic");
+  m_peers_banned_ =
+      reg.GetCounter("bs_node_peers_banned_total", "Peers banned or discouraged");
+  m_reconnects_ = reg.GetCounter("bs_node_outbound_reconnects_total",
+                                 "Outbound slots refilled after initial fill");
+  m_icmp_packets_ =
+      reg.GetCounter("bs_node_icmp_packets_total", "ICMP packets received");
+  for (const MsgType type : bsproto::AllMsgTypes()) {
+    m_msg_type_[static_cast<std::size_t>(type)] = reg.GetCounter(
+        std::string("bs_node_messages_") + bsproto::CommandName(type) + "_total",
+        "Typed messages of one wire command");
+  }
+  m_frame_process_seconds_ =
+      reg.GetHistogram("bs_node_frame_process_seconds", bsobs::LatencyBucketsSeconds(),
+                       "Wall time to process one complete frame");
+  m_frame_bytes_ = reg.GetHistogram("bs_node_frame_bytes", bsobs::SizeBucketsBytes(),
+                                    "Complete wire-frame sizes");
+  m_peers_gauge_ = reg.GetGauge("bs_node_peers", "Connected peers");
+  banman_.AttachMetrics(reg);
+  tracker_.AttachMetrics(reg);
+}
 
 Node::~Node() = default;
 
@@ -85,6 +123,9 @@ Peer& Node::RegisterPeer(bsim::TcpConnection& conn, bool inbound) {
   peer->conn = &conn;
   Peer* raw = peer.get();
   peers_.emplace(id, std::move(peer));
+  m_peers_gauge_->Set(static_cast<double>(peers_.size()));
+  trace_.Record(Sched().Now(), bsobs::EventType::kPeerConnected, id,
+                static_cast<std::int64_t>(raw->remote.ip), inbound ? 1 : 0);
 
   conn.on_data = [this, id](bsutil::ByteSpan data) { OnData(id, data); };
   conn.on_closed = [this, id, inbound]() { RemovePeer(id, /*was_outbound=*/!inbound); };
@@ -97,7 +138,11 @@ void Node::RemovePeer(std::uint64_t id, bool was_outbound) {
   if (was_outbound) outbound_targets_.erase(it->second->remote);
   pending_compact_.erase(id);
   tracker_.Forget(id);
+  const std::int64_t remote_ip = static_cast<std::int64_t>(it->second->remote.ip);
   peers_.erase(it);
+  m_peers_gauge_->Set(static_cast<double>(peers_.size()));
+  trace_.Record(Sched().Now(), bsobs::EventType::kPeerDisconnected, id, remote_ip,
+                was_outbound ? 0 : 1);
 }
 
 void Node::DisconnectPeer(std::uint64_t id) {
@@ -155,7 +200,9 @@ void Node::MaintainOutbound() {
     const bool counts_as_reconnect = initial_outbound_fill_done_;
     if (!ConnectTo(*candidate)) break;
     if (counts_as_reconnect) {
-      ++outbound_reconnects_;
+      m_reconnects_->Inc();
+      trace_.Record(Sched().Now(), bsobs::EventType::kOutboundReconnect, 0,
+                    static_cast<std::int64_t>(candidate->ip), candidate->port);
       if (on_outbound_reconnect) on_outbound_reconnect(*candidate);
     }
   }
@@ -205,6 +252,7 @@ void Node::OnData(std::uint64_t peer_id, bsutil::ByteSpan data) {
   Peer& peer = *it->second;
   peer.rx_buffer.insert(peer.rx_buffer.end(), data.begin(), data.end());
   peer.bytes_received += data.size();
+  m_rx_bytes_total_->Inc(data.size());
 
   std::size_t offset = 0;
   while (true) {
@@ -236,14 +284,22 @@ void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame) {
   const double checksum_cycles =
       static_cast<double>(frame.header.length) * kChecksumCyclesPerByte;
 
-  if (on_frame) on_frame(bsproto::kHeaderSize + frame.header.length, frame.status);
+  const std::size_t frame_bytes = bsproto::kHeaderSize + frame.header.length;
+  if (on_frame) on_frame(frame_bytes, frame.status);
+  bsobs::ScopedTimer frame_timer(m_frame_process_seconds_);
+  if (frame.status != DecodeStatus::kNeedMoreData) {
+    m_frame_bytes_->Observe(static_cast<double>(frame_bytes));
+  }
 
   switch (frame.status) {
     case DecodeStatus::kOk:
       break;
     case DecodeStatus::kBadChecksum:
       ++peer.frames_bad_checksum;
-      ++frames_bad_checksum_;
+      m_frames_bad_checksum_->Inc();
+      trace_.Record(Sched().Now(), bsobs::EventType::kFrameDropped, peer.id,
+                    static_cast<std::int64_t>(frame.status),
+                    static_cast<std::int64_t>(frame_bytes));
       if (cpu_) cpu_->ConsumeMessage(checksum_cycles);
       // The bogus-message loophole: dropped with no ban-score consequence —
       // unless the ablation flips the order and punishes it.
@@ -253,13 +309,20 @@ void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame) {
       return;
     case DecodeStatus::kUnknownCommand:
       ++peer.frames_unknown_command;
-      ++frames_unknown_;
+      m_frames_unknown_->Inc();
+      trace_.Record(Sched().Now(), bsobs::EventType::kFrameDropped, peer.id,
+                    static_cast<std::int64_t>(frame.status),
+                    static_cast<std::int64_t>(frame_bytes));
       if (cpu_) cpu_->ConsumeMessage(checksum_cycles);
       return;  // ignored, never punished
     case DecodeStatus::kMalformed:
     case DecodeStatus::kOversize:
     case DecodeStatus::kBadMagic:
       ++peer.frames_malformed;
+      m_frames_malformed_->Inc();
+      trace_.Record(Sched().Now(), bsobs::EventType::kFrameDropped, peer.id,
+                    static_cast<std::int64_t>(frame.status),
+                    static_cast<std::int64_t>(frame_bytes));
       if (cpu_) cpu_->ConsumeMessage(checksum_cycles);
       return;  // dropped silently (no Table I rule)
     case DecodeStatus::kNeedMoreData:
@@ -270,9 +333,13 @@ void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame) {
   if (cpu_) cpu_->ConsumeMessage(checksum_cycles + VictimProcessCycles(type));
 
   ++peer.messages_received;
-  ++total_messages_;
+  m_messages_total_->Inc();
+  m_msg_type_[static_cast<std::size_t>(type)]->Inc();
   ++message_counts_[type];
   peer.last_recv_time = Sched().Now();
+  trace_.Record(Sched().Now(), bsobs::EventType::kFrameDecoded, peer.id,
+                static_cast<std::int64_t>(type),
+                static_cast<std::int64_t>(frame_bytes));
   if (on_message) on_message(peer, type, frame.header.length);
 
   ProcessMessage(peer, frame.message);
@@ -280,14 +347,22 @@ void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame) {
 
 bool Node::ApplyMisbehavior(Peer& peer, Misbehavior what) {
   const MisbehaviorOutcome outcome = tracker_.Misbehaving(peer.id, peer.inbound, what);
-  if (outcome.rule_applied && on_misbehavior) on_misbehavior(peer, what, outcome);
+  if (outcome.rule_applied) {
+    trace_.Record(Sched().Now(), bsobs::EventType::kMisbehavior, peer.id,
+                  outcome.score_delta, outcome.total_score);
+    if (on_misbehavior) on_misbehavior(peer, what, outcome);
+  }
   if (!outcome.should_ban) return false;
 
-  ++peers_banned_;
+  m_peers_banned_->Inc();
   if (config_.use_discouragement) {
     banman_.Discourage(peer.remote.ip);
+    trace_.Record(Sched().Now(), bsobs::EventType::kPeerDiscouraged, peer.id,
+                  static_cast<std::int64_t>(peer.remote.ip), outcome.total_score);
   } else {
     banman_.Ban(peer.remote, Sched().Now() + config_.ban_duration);
+    trace_.Record(Sched().Now(), bsobs::EventType::kPeerBanned, peer.id,
+                  static_cast<std::int64_t>(peer.remote.ip), outcome.total_score);
   }
   if (on_peer_banned) on_peer_banned(peer);
   DisconnectPeer(peer.id);  // destroys `peer`
@@ -812,13 +887,13 @@ std::optional<bschain::Block> Node::MineAndRelay() {
 
 void Node::OnIcmp(const bsim::IcmpPacket& pkt) {
   (void)pkt;
-  ++icmp_packets_;
+  m_icmp_packets_->Inc();
   if (cpu_) cpu_->ConsumeIcmpPacket();
 }
 
 void Node::OnIcmpBatch(const bsim::IcmpPacket& pkt, std::uint64_t count) {
   (void)pkt;
-  icmp_packets_ += count;
+  m_icmp_packets_->Inc(count);
   if (cpu_) cpu_->ConsumeIcmpPackets(count);
 }
 

@@ -17,6 +17,7 @@
 // rule).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -34,6 +35,8 @@
 #include "core/costmodel.hpp"
 #include "core/misbehavior.hpp"
 #include "core/rules.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/bloom.hpp"
 #include "proto/codec.hpp"
 #include "proto/compact.hpp"
@@ -77,6 +80,13 @@ struct NodeConfig {
   bool checksum_before_misbehavior = true;
 
   std::uint64_t rng_seed = 42;
+
+  /// Observability. By default each node owns a private MetricsRegistry so
+  /// per-node stats stay independent; experiments that want one scrapeable
+  /// registry inject a shared one here (the node does not take ownership).
+  bsobs::MetricsRegistry* metrics = nullptr;
+  /// Event-trace ring capacity (0 disables tracing).
+  std::size_t trace_capacity = 1024;
 };
 
 /// Connection-level peer state.
@@ -136,6 +146,15 @@ class Node : public bsim::Host {
   MisbehaviorTracker& Tracker() { return tracker_; }
   AddrMan& Addrs() { return addrman_; }
 
+  // ---- Observability ----
+  /// The metrics registry backing this node's counters (owned unless
+  /// NodeConfig.metrics injected a shared one).
+  bsobs::MetricsRegistry& Metrics() { return *metrics_; }
+  const bsobs::MetricsRegistry& Metrics() const { return *metrics_; }
+  /// Bounded ring of typed node events (frames, misbehavior, bans, ...).
+  bsobs::EventTrace& Trace() { return trace_; }
+  const bsobs::EventTrace& Trace() const { return trace_; }
+
   // ---- Connections ----
   /// Seed the address table (the config-file peers of the paper's testbed).
   void AddKnownAddress(const Endpoint& addr) { addrman_.Add(addr); }
@@ -174,15 +193,21 @@ class Node : public bsim::Host {
   std::function<void(const bschain::Block&)> on_block_accepted;
 
   // ---- Aggregate stats ----
-  std::uint64_t TotalMessagesReceived() const { return total_messages_; }
+  // Thin wrappers over the registry-backed metrics: the historical getter API
+  // survives while the registry becomes the single source of truth.
+  std::uint64_t TotalMessagesReceived() const { return m_messages_total_->Value(); }
   const std::map<bsproto::MsgType, std::uint64_t>& MessageCounts() const {
     return message_counts_;
   }
-  std::uint64_t OutboundReconnects() const { return outbound_reconnects_; }
-  std::uint64_t FramesDroppedBadChecksum() const { return frames_bad_checksum_; }
-  std::uint64_t FramesIgnoredUnknownCommand() const { return frames_unknown_; }
-  std::uint64_t PeersBanned() const { return peers_banned_; }
-  std::uint64_t IcmpPacketsReceived() const { return icmp_packets_; }
+  std::uint64_t OutboundReconnects() const { return m_reconnects_->Value(); }
+  std::uint64_t FramesDroppedBadChecksum() const {
+    return m_frames_bad_checksum_->Value();
+  }
+  std::uint64_t FramesIgnoredUnknownCommand() const {
+    return m_frames_unknown_->Value();
+  }
+  std::uint64_t PeersBanned() const { return m_peers_banned_->Value(); }
+  std::uint64_t IcmpPacketsReceived() const { return m_icmp_packets_->Value(); }
 
   void OnIcmp(const bsim::IcmpPacket& pkt) override;
   void OnIcmpBatch(const bsim::IcmpPacket& pkt, std::uint64_t count) override;
@@ -246,13 +271,26 @@ class Node : public bsim::Host {
   bool initial_outbound_fill_done_ = false;
   bool maintenance_running_ = false;
 
-  std::uint64_t total_messages_ = 0;
   std::map<bsproto::MsgType, std::uint64_t> message_counts_;
-  std::uint64_t outbound_reconnects_ = 0;
-  std::uint64_t frames_bad_checksum_ = 0;
-  std::uint64_t frames_unknown_ = 0;
-  std::uint64_t peers_banned_ = 0;
-  std::uint64_t icmp_packets_ = 0;
+
+  // ---- Observability state ----
+  std::unique_ptr<bsobs::MetricsRegistry> owned_metrics_;  // null when injected
+  bsobs::MetricsRegistry* metrics_ = nullptr;              // never null after ctor
+  bsobs::EventTrace trace_;
+
+  // Pre-resolved handles: the hot path is a single relaxed atomic op.
+  bsobs::Counter* m_messages_total_ = nullptr;
+  bsobs::Counter* m_rx_bytes_total_ = nullptr;
+  bsobs::Counter* m_frames_bad_checksum_ = nullptr;
+  bsobs::Counter* m_frames_unknown_ = nullptr;
+  bsobs::Counter* m_frames_malformed_ = nullptr;
+  bsobs::Counter* m_peers_banned_ = nullptr;
+  bsobs::Counter* m_reconnects_ = nullptr;
+  bsobs::Counter* m_icmp_packets_ = nullptr;
+  std::array<bsobs::Counter*, bsproto::kNumMsgTypes> m_msg_type_{};
+  bsobs::Histogram* m_frame_process_seconds_ = nullptr;
+  bsobs::Histogram* m_frame_bytes_ = nullptr;
+  bsobs::Gauge* m_peers_gauge_ = nullptr;
 };
 
 }  // namespace bsnet

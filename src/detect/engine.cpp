@@ -4,7 +4,29 @@
 
 namespace bsdetect {
 
+void StatEngine::AttachMetrics(bsobs::MetricsRegistry& registry) {
+  m_detections_total_ =
+      registry.GetCounter("bs_detect_detections_total", "Windows tested");
+  m_anomalies_total_ =
+      registry.GetCounter("bs_detect_anomalies_total", "Windows flagged anomalous");
+  m_trainings_total_ =
+      registry.GetCounter("bs_detect_trainings_total", "Profile (re)trainings");
+  m_detect_seconds_ =
+      registry.GetHistogram("bs_detect_detect_seconds", bsobs::LatencyBucketsSeconds(),
+                            "Per-window detection latency");
+  m_train_seconds_ =
+      registry.GetHistogram("bs_detect_train_seconds", bsobs::LatencyBucketsSeconds(),
+                            "Profile training latency");
+}
+
+void StatEngine::AttachTrace(bsobs::EventTrace& trace,
+                             std::function<bsim::SimTime()> clock) {
+  trace_ = &trace;
+  trace_clock_ = std::move(clock);
+}
+
 bool StatEngine::Train(const std::vector<FeatureWindow>& windows) {
+  bsobs::ScopedTimer timer(m_train_seconds_);
   if (windows.size() < 2) return false;
 
   Profile p;
@@ -81,6 +103,7 @@ bool StatEngine::Train(const std::vector<FeatureWindow>& windows) {
   // when the normal profile itself is weakly self-correlated (flat
   // distributions), the threshold legitimately goes negative.
   profile_.tau_lambda = std::max(-1.0, tau_lambda - 0.5 * (1.0 - tau_lambda));
+  if (m_trainings_total_ != nullptr) m_trainings_total_->Inc();
   return true;
 }
 
@@ -91,6 +114,8 @@ double StatEngine::Correlation(const FeatureWindow& window) const {
 }
 
 DetectionResult StatEngine::Detect(const FeatureWindow& window) const {
+  bsobs::ScopedTimer timer(m_detect_seconds_);
+  if (m_detections_total_ != nullptr) m_detections_total_->Inc();
   DetectionResult result;
   result.n = window.n;
   result.c = window.c;
@@ -108,11 +133,21 @@ DetectionResult StatEngine::Detect(const FeatureWindow& window) const {
   result.bmdos_suspected = n_violation || b_violation || lambda_violation;
   result.defamation_suspected = c_violation;
   result.anomalous = result.bmdos_suspected || result.defamation_suspected;
+  if (result.anomalous && m_anomalies_total_ != nullptr) m_anomalies_total_->Inc();
   return result;
 }
 
 DetectionResult StatEngine::DetectAndAlert(const FeatureWindow& window) {
   const DetectionResult result = Detect(window);
+  if (trace_ != nullptr) {
+    // a: verdict bitmask (1 = BM-DoS suspected, 2 = Defamation suspected);
+    // b: message rate of the tested window (rounded).
+    const std::int64_t verdict = (result.bmdos_suspected ? 1 : 0) |
+                                 (result.defamation_suspected ? 2 : 0);
+    trace_->Record(trace_clock_ ? trace_clock_() : 0,
+                   bsobs::EventType::kDetectionVerdict, 0, verdict,
+                   static_cast<std::int64_t>(result.n));
+  }
   if (result.anomalous && on_alert) on_alert(result);
   return result;
 }

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "detect/features.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace bsdetect {
@@ -65,9 +67,25 @@ class StatEngine {
   std::function<void(const DetectionResult&)> on_alert;
   DetectionResult DetectAndAlert(const FeatureWindow& window);
 
+  /// Publish engine metrics into `registry` (bs_detect_* series), including
+  /// the per-call detection-latency histogram.
+  void AttachMetrics(bsobs::MetricsRegistry& registry);
+  /// Record kDetectionVerdict events into `trace`; `clock` supplies the sim
+  /// time stamped on each event (the engine itself is clock-agnostic).
+  void AttachTrace(bsobs::EventTrace& trace, std::function<bsim::SimTime()> clock);
+
  private:
   bool trained_ = false;
   Profile profile_;
+
+  // Observability (null / empty until attached).
+  bsobs::Counter* m_detections_total_ = nullptr;
+  bsobs::Counter* m_anomalies_total_ = nullptr;
+  bsobs::Counter* m_trainings_total_ = nullptr;
+  bsobs::Histogram* m_detect_seconds_ = nullptr;
+  bsobs::Histogram* m_train_seconds_ = nullptr;
+  bsobs::EventTrace* trace_ = nullptr;
+  std::function<bsim::SimTime()> trace_clock_;
 };
 
 }  // namespace bsdetect

@@ -1,11 +1,20 @@
 #include "detect/monitor.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <set>
+
+#include "util/log.hpp"
 
 namespace bsdetect {
 
 Monitor::Monitor(bsnet::Node& node) : node_(node) {
+  m_observed_messages_ = node.Metrics().GetCounter(
+      "bs_detect_observed_messages_total", "Messages the monitor recorded");
+  m_window_extractions_ = node.Metrics().GetCounter(
+      "bs_detect_window_extractions_total", "Feature windows extracted");
+
   auto prev_on_message = node.on_message;
   node.on_message = [this, prev_on_message](const bsnet::Peer& peer, bsproto::MsgType type,
                                             std::size_t bytes) {
@@ -13,6 +22,7 @@ Monitor::Monitor(bsnet::Node& node) : node_(node) {
     ++bucket.counts[bsproto::CommandName(type)];
     ++bucket.total;
     ++total_messages_;
+    m_observed_messages_->Inc();
     if (prev_on_message) prev_on_message(peer, type, bytes);
   };
 
@@ -67,12 +77,19 @@ FeatureWindow Monitor::Window(bsim::SimTime now, int window_minutes) const {
   const std::int64_t begin = std::max<std::int64_t>(0, end_index - window_minutes);
   const std::int64_t count = std::min<std::int64_t>(window_minutes, end_index - begin);
   if (count <= 0) return FeatureWindow{};
+  m_window_extractions_->Inc();
   return Aggregate(static_cast<std::size_t>(begin), static_cast<std::size_t>(count));
 }
 
 bool Monitor::ExportCsv(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    const int err = errno;
+    bsutil::Log(bsutil::LogLevel::kError, "detect",
+                "ExportCsv: cannot open '", path, "': ", std::strerror(err),
+                " (errno ", err, ")");
+    return false;
+  }
 
   std::set<std::string> commands;
   for (const MinuteBucket& bucket : buckets_) {
@@ -106,6 +123,7 @@ std::vector<FeatureWindow> Monitor::AllWindows(int window_minutes) const {
   if (window_minutes <= 0) return out;
   const std::size_t w = static_cast<std::size_t>(window_minutes);
   for (std::size_t start = 0; start + w <= buckets_.size(); start += w) {
+    m_window_extractions_->Inc();
     out.push_back(Aggregate(start, w));
   }
   return out;

@@ -56,6 +56,10 @@ class Monitor {
   std::deque<MinuteBucket> buckets_;  // index 0 == first_minute_
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_reconnects_ = 0;
+
+  // Observability handles, registered into the node's registry at attach.
+  bsobs::Counter* m_observed_messages_ = nullptr;
+  bsobs::Counter* m_window_extractions_ = nullptr;
 };
 
 }  // namespace bsdetect

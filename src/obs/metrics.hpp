@@ -1,0 +1,165 @@
+// bsobs — the observability plane: a metrics registry cheap enough for the
+// node's per-frame hot path.
+//
+// Design rules:
+//   * Handles are pre-resolved: callers ask the registry ONCE for a
+//     Counter*/Gauge*/Histogram* and then touch only that cell — no map
+//     lookup, no string hashing, no lock on the increment path.
+//   * All cells are plain atomics with relaxed ordering: an increment is a
+//     single fetch_add (~1-5 ns), safe to call from any thread.
+//   * Metric names follow the scheme `bs_<layer>_<name>` (layer ∈ node, ban,
+//     detect, sim, ...) with the Prometheus `_total` suffix on counters.
+//   * Exporters render the whole registry as Prometheus text exposition or
+//     as a JSON snapshot (the `--json` bench trajectories in BENCH_*.json).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bsobs {
+
+namespace detail {
+/// Portable atomic double accumulation (CAS loop; contention here is rare —
+/// histogram sums and gauges, not counters).
+inline void AtomicAdd(std::atomic<double>& cell, double delta) {
+  double current = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(current, current + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonic event count. The hot-path increment is one relaxed fetch_add.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous value (peer count, sim time, queue depth).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) { detail::AtomicAdd(value_, d); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (latency / size distributions). Buckets are upper
+/// bounds in ascending order with an implicit +Inf bucket at the end;
+/// Observe() is a binary search over a handful of doubles plus three relaxed
+/// atomic adds. `le` is inclusive, as in Prometheus.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& UpperBounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) count; index bounds_.size() is +Inf.
+  std::uint64_t BucketCount(std::size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  std::size_t NumBuckets() const { return bounds_.size() + 1; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket ladders: sub-microsecond to one second for latencies,
+/// 64 B to 4 MiB for wire frame sizes.
+const std::vector<double>& LatencyBucketsSeconds();
+const std::vector<double>& SizeBucketsBytes();
+
+/// Named-metric registry. Registration takes a lock and is expected at
+/// setup time; re-registering a name returns the existing handle (so several
+/// components can share one series), or nullptr when the existing metric is
+/// of a different kind.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// `upper_bounds` is only consulted on first registration.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> upper_bounds,
+                          const std::string& help = "");
+
+  /// Look up an existing metric without creating it (nullptr when absent or
+  /// of a different kind).
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  std::size_t Size() const;
+
+  /// Prometheus text exposition (HELP/TYPE comments + samples), metrics in
+  /// registration order.
+  std::string RenderPrometheus() const;
+  /// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string RenderJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* Find(const std::string& name);
+  const Entry* Find(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+};
+
+/// RAII wall-clock timer feeding a histogram in seconds. A null histogram
+/// makes the timer a no-op, so call sites need no branching.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist),
+        start_(hist ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{}) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { Stop(); }
+
+  /// Observe now instead of at destruction; returns elapsed seconds.
+  double Stop() {
+    if (hist_ == nullptr) return 0.0;
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    hist_->Observe(sec);
+    hist_ = nullptr;
+    return sec;
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bsobs

@@ -1,0 +1,96 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bsobs {
+
+const char* ToString(EventType type) {
+  switch (type) {
+    case EventType::kFrameDecoded: return "frame-decoded";
+    case EventType::kFrameDropped: return "frame-dropped";
+    case EventType::kMisbehavior: return "misbehavior";
+    case EventType::kPeerConnected: return "peer-connected";
+    case EventType::kPeerDisconnected: return "peer-disconnected";
+    case EventType::kPeerBanned: return "peer-banned";
+    case EventType::kPeerDiscouraged: return "peer-discouraged";
+    case EventType::kOutboundReconnect: return "outbound-reconnect";
+    case EventType::kDetectionVerdict: return "detection-verdict";
+  }
+  return "?";
+}
+
+EventTrace::EventTrace(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void EventTrace::Record(bsim::SimTime now, EventType type, std::uint64_t peer_id,
+                        std::int64_t a, std::int64_t b) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const TraceEvent ev{now, type, peer_id, a, b};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[next_] = ev;  // overwrite the oldest
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+std::size_t EventTrace::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t EventTrace::Recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t EventTrace::Dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> EventTrace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void EventTrace::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::string EventTrace::Render(std::size_t max_events) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  const std::size_t first =
+      events.size() > max_events ? events.size() - max_events : 0;
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "event trace: %zu/%zu retained, %" PRIu64 " recorded, %" PRIu64
+                " dropped\n",
+                events.size(), capacity_, Recorded(), Dropped());
+  out += line;
+  for (std::size_t i = first; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    std::snprintf(line, sizeof(line),
+                  "  t=%.6fs %-18s peer=%" PRIu64 " a=%" PRId64 " b=%" PRId64 "\n",
+                  bsim::ToSeconds(ev.time), ToString(ev.type), ev.peer_id, ev.a,
+                  ev.b);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bsobs

@@ -1,0 +1,75 @@
+// bsobs — sim-time-aware event tracing: a bounded ring of typed events
+// (frames, misbehavior points, bans, reconnects, detection verdicts) with
+// wraparound drop counting, so a flooded node keeps a recent-history window
+// at fixed memory cost instead of an unbounded log.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bsobs {
+
+enum class EventType : std::uint8_t {
+  kFrameDecoded = 0,   // a = frame bytes
+  kFrameDropped,       // a = frame bytes, b = decode status
+  kMisbehavior,        // a = score delta, b = total score
+  kPeerConnected,      // a = 1 when inbound
+  kPeerDisconnected,   // a = 1 when it was outbound
+  kPeerBanned,         // a = total score at ban time
+  kPeerDiscouraged,    // a = discouraged IP
+  kOutboundReconnect,  // a = target IP
+  kDetectionVerdict,   // a = anomalous, b = bmdos<<1 | defamation
+};
+
+const char* ToString(EventType type);
+
+/// One fixed-size trace record. `peer_id` is 0 for node-global events; the
+/// meaning of `a`/`b` is per-type (see EventType comments).
+struct TraceEvent {
+  bsim::SimTime time = 0;
+  EventType type = EventType::kFrameDecoded;
+  std::uint64_t peer_id = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+/// Bounded ring buffer of TraceEvents. When full, the oldest event is
+/// overwritten and counted as dropped — memory stays at capacity() records
+/// no matter how hard the node is flooded. Thread-safe (mutex; tracing is
+/// not the per-increment hot path the metrics counters are).
+class EventTrace {
+ public:
+  explicit EventTrace(std::size_t capacity = 1024);
+
+  void Record(bsim::SimTime now, EventType type, std::uint64_t peer_id = 0,
+              std::int64_t a = 0, std::int64_t b = 0);
+
+  std::size_t Capacity() const { return capacity_; }
+  /// Events currently held (≤ capacity).
+  std::size_t Size() const;
+  /// Events ever recorded.
+  std::uint64_t Recorded() const;
+  /// Events overwritten by wraparound.
+  std::uint64_t Dropped() const;
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+  void Clear();
+
+  /// Human-readable dump of the retained events (one line each), newest
+  /// `max_events` when the ring holds more.
+  std::string Render(std::size_t max_events = 32) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;        // write cursor once the ring is full
+  std::uint64_t recorded_ = 0;  // total ever
+};
+
+}  // namespace bsobs

@@ -3,11 +3,13 @@
 // fully reproducible.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace bsim {
@@ -17,6 +19,11 @@ class Scheduler {
   using Callback = std::function<void()>;
 
   SimTime Now() const { return now_; }
+
+  /// Publish scheduler health into `registry`: events executed, pending
+  /// queue depth, the sim clock, and wall-clock seconds since attach (the
+  /// sim-vs-wall gauge pair gives the simulation speedup factor).
+  void AttachMetrics(bsobs::MetricsRegistry& registry);
 
   /// Schedule `fn` at absolute time `t` (clamped to now when in the past).
   void At(SimTime t, Callback fn);
@@ -51,6 +58,14 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  // Observability handles (null until AttachMetrics; Step() stays one branch
+  // when unattached).
+  bsobs::Counter* m_events_total_ = nullptr;
+  bsobs::Gauge* m_sim_time_seconds_ = nullptr;
+  bsobs::Gauge* m_wall_seconds_ = nullptr;
+  bsobs::Gauge* m_pending_events_ = nullptr;
+  std::chrono::steady_clock::time_point wall_start_;
 };
 
 }  // namespace bsim

@@ -11,6 +11,7 @@
 //   banscore-lab defame  [--mode pre|post] [--policy ...]
 //   banscore-lab detect  [--train-minutes M] [--attack bmdos|defame]
 //                        [--window W]
+//   banscore-lab dump-metrics [--seconds S] [--payload ...] [--format prom|json]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -310,6 +311,41 @@ int RunDetect(const Flags& flags) {
   return result.anomalous ? 0 : 1;
 }
 
+int RunDumpMetrics(const Flags& flags) {
+  // Drive a short instrumented BM-DoS run against a victim node sharing one
+  // registry with the scheduler, then print the scrape-ready snapshot.
+  bsobs::MetricsRegistry registry;
+  bsim::Scheduler sched;
+  sched.AttachMetrics(registry);
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.metrics = &registry;
+  config.ban_policy = ParsePolicy(flags.Get("policy", "banscore"));
+  Node victim(sched, net, 0x0a000001, config);
+  victim.Start();
+  bsattack::AttackerNode attacker(sched, net, 0x0a000002, config.chain.magic);
+  bsattack::Crafter crafter(config.chain);
+
+  bsattack::BmDosConfig bm;
+  const std::string payload = flags.Get("payload", "bogus-block");
+  if (payload == "ping") bm.payload = bsattack::BmDosConfig::Payload::kPing;
+  else if (payload == "unknown") bm.payload = bsattack::BmDosConfig::Payload::kUnknownCommand;
+  else if (payload == "invalid-pow") bm.payload = bsattack::BmDosConfig::Payload::kInvalidPowBlock;
+  else bm.payload = bsattack::BmDosConfig::Payload::kBogusBlock;
+  bsattack::BmDosAttack attack(attacker, {victim.Ip(), 8333}, crafter, bm);
+  attack.Start();
+  sched.RunUntil(bsim::FromSeconds(flags.GetNum("seconds", 5)));
+  attack.Stop();
+
+  const std::string format = flags.Get("format", "prom");
+  if (format == "json") {
+    std::printf("%s\n", registry.RenderJson().c_str());
+  } else {
+    std::printf("%s", registry.RenderPrometheus().c_str());
+  }
+  return 0;
+}
+
 void Usage() {
   std::printf(
       "banscore-lab <scenario> [--flag value ...]\n"
@@ -319,7 +355,9 @@ void Usage() {
       "          --rate R --seconds S --policy banscore|infinity|disabled|goodscore\n"
       "  sybil   --identifiers N --delay-ms D --version V --threshold T\n"
       "  defame  --mode pre|post --policy P\n"
-      "  detect  --train-minutes M --window W --attack bmdos|defame\n");
+      "  detect  --train-minutes M --window W --attack bmdos|defame\n"
+      "  dump-metrics --seconds S --payload P --format prom|json\n"
+      "          (run a short instrumented flood, print the bsobs snapshot)\n");
 }
 
 }  // namespace
@@ -336,6 +374,7 @@ int main(int argc, char** argv) {
   if (scenario == "sybil") return RunSybil(flags);
   if (scenario == "defame") return RunDefame(flags);
   if (scenario == "detect") return RunDetect(flags);
+  if (scenario == "dump-metrics") return RunDumpMetrics(flags);
   Usage();
   return 2;
 }
