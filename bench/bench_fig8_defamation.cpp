@@ -46,6 +46,7 @@ RunResult RunSybilLoop(bsim::SimTime extra_delay, int identifiers) {
   bsim::Scheduler sched;
   sched.AttachMetrics(g_metrics);
   bsim::Network net(sched);
+  net.AttachMetrics(g_metrics);  // wire counters (bs_sim_segments_*) in the report
   NodeConfig config;
   config.metrics = &g_metrics;
   Node target(sched, net, kTargetIp, config);

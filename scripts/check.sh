@@ -1,20 +1,29 @@
 #!/usr/bin/env bash
-# Pre-merge gate: the tier-1 verify (configure + build + full ctest run)
-# followed by an ASan/UBSan build of the test suite. Run from anywhere;
-# builds land in build/ (tier-1) and build-asan/ (sanitizers).
+# Pre-merge gate: the tier-1 verify (configure + build + full ctest run),
+# an ASan/UBSan build of the test suite, a TSan build of the chaos/sim
+# tests, and a fixed-seed chaos smoke sweep through banscore-lab. Run from
+# anywhere; builds land in build/ (tier-1), build-asan/, and build-tsan/.
 #
-#   scripts/check.sh            # both stages
-#   scripts/check.sh --no-asan  # tier-1 only
+#   scripts/check.sh            # all stages
+#   scripts/check.sh --no-asan  # tier-1 + chaos smoke only (skips ASan+TSan)
+#   scripts/check.sh --no-tsan  # skip only the TSan stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_asan=1
-[ "${1:-}" = "--no-asan" ] && run_asan=0
+run_tsan=1
+for arg in "$@"; do
+  [ "$arg" = "--no-asan" ] && { run_asan=0; run_tsan=0; }
+  [ "$arg" = "--no-tsan" ] && run_tsan=0
+done
 
 echo "==> tier-1: configure + build + ctest"
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "==> chaos smoke: 20 fixed seeds of randomized fault injection"
+./build/tools/banscore-lab chaos --seeds 20 --seed-base 1 --seconds 60
 
 if [ "$run_asan" = 1 ]; then
   echo "==> sanitizers: ASan/UBSan build + ctest"
@@ -24,6 +33,20 @@ if [ "$run_asan" = 1 ]; then
   cmake --build build-asan -j
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+fi
+
+if [ "$run_tsan" = 1 ]; then
+  # The simulator is single-threaded, but the bsobs metrics/trace planes are
+  # shared with scrape threads in obs_test; TSan covers those and the chaos
+  # harness (which stresses the trace ring hardest).
+  echo "==> sanitizers: TSan build + chaos/sim/obs ctest slice"
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake --build build-tsan -j
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+    -R 'Chaos|Fault|EventTrace|Metrics'
 fi
 
 echo "==> all checks passed"

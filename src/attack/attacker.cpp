@@ -38,7 +38,7 @@ AttackSession* AttackerNode::OpenSession(const Endpoint& target, bool auto_hands
     if (raw->on_tcp_established) raw->on_tcp_established(*raw);
     if (auto_handshake) Send(*raw, bsproto::VersionMsg{});
   };
-  conn->on_data = [this, raw](bsutil::ByteSpan data) { HandleSessionData(*raw, data); };
+  conn->SetDataSink([this, raw](bsutil::ByteSpan data) { HandleSessionData(*raw, data); });
   conn->on_closed = [this, raw]() {
     if (raw->closed) return;
     raw->closed = true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/log.hpp"
 #include "util/serialize.hpp"
 
 namespace bsnet {
@@ -113,7 +114,11 @@ bool BanMan::SaveToFile(const std::string& path) const {
 
 bool BanMan::LoadFromFile(const std::string& path, bsim::SimTime now) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    bsutil::Log(bsutil::LogLevel::kError, "banman",
+                "cannot open banlist file: ", path);
+    return false;
+  }
   bsutil::ByteVec data;
   std::uint8_t buf[4096];
   std::size_t got;
@@ -121,7 +126,18 @@ bool BanMan::LoadFromFile(const std::string& path, bsim::SimTime now) {
     data.insert(data.end(), buf, buf + got);
   }
   std::fclose(f);
-  return Deserialize(data, now);
+  if (!Deserialize(data, now)) {
+    // A truncated/corrupt banlist must not poison the node: log it and come
+    // up with an empty list (Core does the same — losing bans is safe,
+    // trusting garbage is not). Deserialize leaves `bans_` untouched on
+    // failure, so clear explicitly.
+    bsutil::Log(bsutil::LogLevel::kError, "banman",
+                "corrupt banlist file, starting with empty ban list: ", path);
+    bans_.clear();
+    UpdateGauges();
+    return false;
+  }
+  return true;
 }
 
 }  // namespace bsnet

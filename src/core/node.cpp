@@ -43,6 +43,14 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
                                  "Outbound slots refilled after initial fill");
   m_icmp_packets_ =
       reg.GetCounter("bs_node_icmp_packets_total", "ICMP packets received");
+  m_rx_shed_bytes_ = reg.GetCounter("bs_node_rx_shed_bytes_total",
+                                    "Receive-buffer bytes shed at the per-peer cap");
+  m_handshake_timeouts_ = reg.GetCounter("bs_node_handshake_timeouts_total",
+                                         "Peers dropped: stalled version handshake");
+  m_dead_peer_disconnects_ = reg.GetCounter("bs_node_dead_peer_disconnects_total",
+                                            "Peers dropped: unanswered PING");
+  m_dial_failures_ = reg.GetCounter("bs_node_outbound_dial_failures_total",
+                                    "Outbound sessions that failed or were lost");
   for (const MsgType type : bsproto::AllMsgTypes()) {
     m_msg_type_[static_cast<std::size_t>(type)] = reg.GetCounter(
         std::string("bs_node_messages_") + bsproto::CommandName(type) + "_total",
@@ -64,6 +72,29 @@ void Node::Start() {
   Listen(config_.listen_port, [this](bsim::TcpConnection& conn) { AcceptInbound(conn); });
   maintenance_running_ = true;
   MaintainOutbound();
+}
+
+void Node::Stop() {
+  maintenance_running_ = false;
+  StopListening(config_.listen_port);
+  // Detach connection callbacks before AbandonConnections destroys the
+  // TcpConnection objects peers_ points into; a crash emits nothing on the
+  // wire and fires no close events.
+  for (auto& [id, peer] : peers_) {
+    if (peer->conn != nullptr) {
+      peer->conn->on_data = nullptr;
+      peer->conn->on_closed = nullptr;
+      peer->conn->on_connected = nullptr;
+    }
+  }
+  peers_.clear();
+  pending_compact_.clear();
+  outbound_targets_.clear();
+  dial_backoff_.clear();
+  pending_outbound_ = 0;
+  m_peers_gauge_->Set(0.0);
+  AbandonConnections();
+  Net().Detach(this);
 }
 
 // ---------------------------------------------------------------------------
@@ -104,6 +135,7 @@ bool Node::ConnectTo(const Endpoint& remote) {
     --pending_outbound_;
     if (!ok) {
       outbound_targets_.erase(remote);
+      NoteOutboundFailure(remote);
       return;
     }
     Peer& peer = RegisterPeer(*conn, /*inbound=*/false);
@@ -127,15 +159,29 @@ Peer& Node::RegisterPeer(bsim::TcpConnection& conn, bool inbound) {
   trace_.Record(Sched().Now(), bsobs::EventType::kPeerConnected, id,
                 static_cast<std::int64_t>(raw->remote.ip), inbound ? 1 : 0);
 
-  conn.on_data = [this, id](bsutil::ByteSpan data) { OnData(id, data); };
+  conn.SetDataSink([this, id](bsutil::ByteSpan data) { OnData(id, data); });
   conn.on_closed = [this, id, inbound]() { RemovePeer(id, /*was_outbound=*/!inbound); };
+
+  // Stalled-handshake watchdog: peer ids are never reused, so a timer whose
+  // peer has already departed (or completed the handshake) is a no-op.
+  if (config_.handshake_timeout > 0) {
+    Sched().After(config_.handshake_timeout, [this, id]() {
+      const auto it = peers_.find(id);
+      if (it == peers_.end() || it->second->HandshakeComplete()) return;
+      m_handshake_timeouts_->Inc();
+      DisconnectPeer(id);
+    });
+  }
   return *raw;
 }
 
 void Node::RemovePeer(std::uint64_t id, bool was_outbound) {
   const auto it = peers_.find(id);
   if (it == peers_.end()) return;
-  if (was_outbound) outbound_targets_.erase(it->second->remote);
+  if (was_outbound) {
+    outbound_targets_.erase(it->second->remote);
+    NoteOutboundFailure(it->second->remote);
+  }
   pending_compact_.erase(id);
   tracker_.Forget(id);
   const std::int64_t remote_ip = static_cast<std::int64_t>(it->second->remote.ip);
@@ -170,13 +216,23 @@ void Node::MaintainOutbound() {
   const bsim::SimTime now = Sched().Now();
   banman_.SweepExpired(now);
 
-  // Keepalive and inactivity handling (both opt-in via config).
-  if (config_.ping_interval > 0 || config_.inactivity_timeout > 0) {
+  // Keepalive and inactivity handling (all opt-in via config).
+  if (config_.ping_interval > 0 || config_.inactivity_timeout > 0 ||
+      config_.ping_timeout > 0) {
     std::vector<std::uint64_t> to_disconnect;
     for (auto& [id, peer] : peers_) {
       if (!peer->HandshakeComplete()) continue;
       if (config_.inactivity_timeout > 0 && peer->last_recv_time > 0 &&
           now - peer->last_recv_time >= config_.inactivity_timeout) {
+        to_disconnect.push_back(id);
+        continue;
+      }
+      // Dead-peer detection: an outstanding PING unanswered past the
+      // timeout means the far side is gone (crashed, partitioned) even if
+      // other traffic kept inactivity_timeout from firing.
+      if (config_.ping_timeout > 0 && peer->outstanding_ping_nonce != 0 &&
+          now - peer->last_ping_sent >= config_.ping_timeout) {
+        m_dead_peer_disconnects_->Inc();
         to_disconnect.push_back(id);
         continue;
       }
@@ -192,9 +248,9 @@ void Node::MaintainOutbound() {
 
   while (OutboundCount() + static_cast<std::size_t>(pending_outbound_) <
          static_cast<std::size_t>(config_.target_outbound)) {
-    const auto candidate = addrman_.Select([this](const Endpoint& ep) {
+    const auto candidate = addrman_.Select([this, now](const Endpoint& ep) {
       return !banman_.IsBanned(ep, Sched().Now()) && !outbound_targets_.contains(ep) &&
-             ep.ip != Ip();
+             ep.ip != Ip() && DialAllowed(ep, now);
     });
     if (!candidate) break;  // peer-table diversity exhausted
     const bool counts_as_reconnect = initial_outbound_fill_done_;
@@ -210,6 +266,35 @@ void Node::MaintainOutbound() {
     initial_outbound_fill_done_ = true;
   }
   Sched().After(config_.maintenance_interval, [this]() { MaintainOutbound(); });
+}
+
+// ---------------------------------------------------------------------------
+// Outbound-reconnect backoff
+
+void Node::NoteOutboundFailure(const Endpoint& remote) {
+  m_dial_failures_->Inc();
+  DialBackoff& backoff = dial_backoff_[remote];
+  ++backoff.failures;
+  backoff.next_attempt = Sched().Now() + RetryDelay(backoff.failures);
+}
+
+bsim::SimTime Node::RetryDelay(int failures) {
+  if (!config_.reconnect_backoff) return config_.reconnect_delay;
+  // reconnect_delay · 2^(failures-1), capped; the shift itself is bounded so
+  // the cap comparison never sees a wrapped value.
+  const int shift = std::min(failures - 1, 20);
+  const bsim::SimTime delay =
+      std::min(config_.reconnect_delay << shift, config_.reconnect_backoff_cap);
+  // ±jitter desynchronizes redial herds after a common-mode outage.
+  const double factor =
+      1.0 + config_.reconnect_backoff_jitter * (2.0 * rng_.NextDouble() - 1.0);
+  return static_cast<bsim::SimTime>(static_cast<double>(delay) * factor);
+}
+
+bool Node::DialAllowed(const Endpoint& remote, bsim::SimTime now) const {
+  if (!config_.reconnect_backoff) return true;  // stock node: redial instantly
+  const auto it = dial_backoff_.find(remote);
+  return it == dial_backoff_.end() || now >= it->second.next_attempt;
 }
 
 std::size_t Node::InboundCount() const {
@@ -253,6 +338,20 @@ void Node::OnData(std::uint64_t peer_id, bsutil::ByteSpan data) {
   peer.rx_buffer.insert(peer.rx_buffer.end(), data.begin(), data.end());
   peer.bytes_received += data.size();
   m_rx_bytes_total_->Inc(data.size());
+
+  // Overload shedding: a peer whose backlog outruns the decoder loses its
+  // oldest bytes. DecodeMessage consumes at least a header's worth on every
+  // header-complete outcome, so the stream resynchronizes (the sheared
+  // frames surface as bad-magic/malformed drops) instead of wedging.
+  if (config_.max_rx_buffer_bytes > 0 &&
+      peer.rx_buffer.size() > config_.max_rx_buffer_bytes) {
+    const std::size_t excess = peer.rx_buffer.size() - config_.max_rx_buffer_bytes;
+    peer.rx_buffer.erase(peer.rx_buffer.begin(),
+                         peer.rx_buffer.begin() + static_cast<std::ptrdiff_t>(excess));
+    m_rx_shed_bytes_->Inc(excess);
+    trace_.Record(Sched().Now(), bsobs::EventType::kRxShed, peer_id,
+                  static_cast<std::int64_t>(excess));
+  }
 
   std::size_t offset = 0;
   while (true) {
@@ -503,10 +602,13 @@ void Node::HandleVersion(Peer& peer, const bsproto::VersionMsg& msg) {
     SendTo(peer, MakeVersionMsg(peer));
   }
   SendTo(peer, bsproto::VerackMsg{});
+  // A completed outbound handshake proves the endpoint healthy again.
+  if (!peer.inbound && peer.HandshakeComplete()) dial_backoff_.erase(peer.remote);
 }
 
 void Node::HandleVerack(Peer& peer) {
   peer.got_verack = true;
+  if (!peer.inbound && peer.HandshakeComplete()) dial_backoff_.erase(peer.remote);
   // Outbound peers open header sync once the session is up.
   if (!peer.inbound) {
     bsproto::GetHeadersMsg gh;

@@ -69,6 +69,31 @@ struct NodeConfig {
   /// Disconnect peers silent for this long (0 = disabled).
   bsim::SimTime inactivity_timeout = 0;
 
+  // ---- Robustness hardening (beyond-paper; every default preserves the
+  // paper-faithful 0.20.0 behaviour the Fig. 8 serial-Sybil timing depends
+  // on, so the benches keep measuring the stock node) ----
+  /// Per-peer reassembly-buffer cap; overflow sheds the oldest bytes (the
+  /// decoder resynchronizes on the next header boundary) so a flooding peer
+  /// can never OOM the node. 0 = unbounded. The default is generous: it
+  /// exceeds the largest legal wire frame several times over and only binds
+  /// under a pathological backlog.
+  std::size_t max_rx_buffer_bytes = 8 * 1024 * 1024;
+  /// Disconnect peers whose version handshake is still incomplete after this
+  /// long (0 = disabled). Distinct from inactivity_timeout, which only
+  /// watches handshake-complete peers.
+  bsim::SimTime handshake_timeout = 0;
+  /// Dead-peer detection: disconnect when an outstanding PING has gone
+  /// unanswered for this long (0 = disabled; needs ping_interval to be on).
+  bsim::SimTime ping_timeout = 0;
+  /// Outbound-reconnect exponential backoff: after each consecutive failure
+  /// to an endpoint the redial delay doubles from `reconnect_delay` up to
+  /// `reconnect_backoff_cap`, with ±`reconnect_backoff_jitter` randomization.
+  /// Off by default — the stock node redials on the next maintenance tick,
+  /// which is what makes serial-Sybil/Defamation churn cheap for attackers.
+  bool reconnect_backoff = false;
+  bsim::SimTime reconnect_backoff_cap = 60 * bsim::kSecond;
+  double reconnect_backoff_jitter = 0.25;
+
   bschain::ChainParams chain;
   std::uint64_t services = bsproto::kNodeNetwork | bsproto::kNodeWitness;
   std::int32_t protocol_version = bsproto::kProtocolVersion;
@@ -136,6 +161,13 @@ class Node : public bsim::Host {
 
   /// Begin listening and start the outbound-maintenance loop.
   void Start();
+
+  /// Simulated crash: stop listening and maintenance, destroy every peer and
+  /// connection silently (no FIN/RST — sudden silence on the wire), and
+  /// detach from the network so a replacement Node can attach on the same
+  /// IP. The object must stay alive until pending scheduler events drain;
+  /// the chaos harness keeps crashed nodes allocated until the run ends.
+  void Stop();
 
   const NodeConfig& Config() const { return config_; }
 
@@ -208,6 +240,12 @@ class Node : public bsim::Host {
   }
   std::uint64_t PeersBanned() const { return m_peers_banned_->Value(); }
   std::uint64_t IcmpPacketsReceived() const { return m_icmp_packets_->Value(); }
+  std::uint64_t RxBytesShed() const { return m_rx_shed_bytes_->Value(); }
+  std::uint64_t HandshakeTimeouts() const { return m_handshake_timeouts_->Value(); }
+  std::uint64_t DeadPeerDisconnects() const {
+    return m_dead_peer_disconnects_->Value();
+  }
+  std::uint64_t OutboundDialFailures() const { return m_dial_failures_->Value(); }
 
   void OnIcmp(const bsim::IcmpPacket& pkt) override;
   void OnIcmpBatch(const bsim::IcmpPacket& pkt, std::uint64_t count) override;
@@ -217,6 +255,16 @@ class Node : public bsim::Host {
   Peer& RegisterPeer(bsim::TcpConnection& conn, bool inbound);
   void RemovePeer(std::uint64_t id, bool was_outbound);
   void MaintainOutbound();
+
+  // ---- Outbound-reconnect backoff bookkeeping ----
+  /// Record a failed/lost outbound session toward `remote` and schedule its
+  /// earliest redial time.
+  void NoteOutboundFailure(const Endpoint& remote);
+  /// Delay before the next dial after `failures` consecutive failures.
+  bsim::SimTime RetryDelay(int failures);
+  /// False while an endpoint is inside its backoff window (only consulted
+  /// when reconnect_backoff is enabled; the stock node ignores it).
+  bool DialAllowed(const Endpoint& remote, bsim::SimTime now) const;
 
   void OnData(std::uint64_t peer_id, bsutil::ByteSpan data);
   void ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame);
@@ -266,6 +314,13 @@ class Node : public bsim::Host {
   /// Endpoints with an outbound connection open or being opened (prevents
   /// duplicate dials while a handshake is in flight).
   std::unordered_set<Endpoint, bsproto::EndpointHasher> outbound_targets_;
+  /// Consecutive-failure count and earliest-redial time per endpoint
+  /// (cleared when a handshake completes).
+  struct DialBackoff {
+    int failures = 0;
+    bsim::SimTime next_attempt = 0;
+  };
+  std::unordered_map<Endpoint, DialBackoff, bsproto::EndpointHasher> dial_backoff_;
   int pending_outbound_ = 0;
   std::uint64_t mining_extra_nonce_ = 0;
   bool initial_outbound_fill_done_ = false;
@@ -287,6 +342,10 @@ class Node : public bsim::Host {
   bsobs::Counter* m_peers_banned_ = nullptr;
   bsobs::Counter* m_reconnects_ = nullptr;
   bsobs::Counter* m_icmp_packets_ = nullptr;
+  bsobs::Counter* m_rx_shed_bytes_ = nullptr;
+  bsobs::Counter* m_handshake_timeouts_ = nullptr;
+  bsobs::Counter* m_dead_peer_disconnects_ = nullptr;
+  bsobs::Counter* m_dial_failures_ = nullptr;
   std::array<bsobs::Counter*, bsproto::kNumMsgTypes> m_msg_type_{};
   bsobs::Histogram* m_frame_process_seconds_ = nullptr;
   bsobs::Histogram* m_frame_bytes_ = nullptr;

@@ -16,6 +16,7 @@ const char* ToString(EventType type) {
     case EventType::kPeerDiscouraged: return "peer-discouraged";
     case EventType::kOutboundReconnect: return "outbound-reconnect";
     case EventType::kDetectionVerdict: return "detection-verdict";
+    case EventType::kRxShed: return "rx-shed";
   }
   return "?";
 }

@@ -23,6 +23,7 @@ enum class EventType : std::uint8_t {
   kPeerDiscouraged,    // a = discouraged IP
   kOutboundReconnect,  // a = target IP
   kDetectionVerdict,   // a = anomalous, b = bmdos<<1 | defamation
+  kRxShed,             // a = bytes shed from a peer's receive buffer
 };
 
 const char* ToString(EventType type);

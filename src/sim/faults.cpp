@@ -1,0 +1,110 @@
+#include "sim/faults.hpp"
+
+namespace bsim {
+
+namespace {
+inline void Bump(std::uint64_t& plain, bsobs::Counter* mirror) {
+  ++plain;
+  if (mirror != nullptr) mirror->Inc();
+}
+}  // namespace
+
+FaultPlan::FaultPlan(Scheduler& sched, std::uint64_t seed)
+    : sched_(sched), seed_(seed), rng_(seed) {}
+
+void FaultPlan::AttachMetrics(bsobs::MetricsRegistry& registry) {
+  m_dropped_loss_ = registry.GetCounter("bs_sim_fault_dropped_loss_total",
+                                        "Segments dropped by injected loss");
+  m_dropped_partition_ =
+      registry.GetCounter("bs_sim_fault_dropped_partition_total",
+                          "Segments blackholed by a cut link/host");
+  m_duplicated_ = registry.GetCounter("bs_sim_fault_duplicated_total",
+                                      "Segments delivered twice");
+  m_delayed_ = registry.GetCounter("bs_sim_fault_delayed_total",
+                                   "Segments delayed by reorder jitter");
+  m_corrupted_ = registry.GetCounter("bs_sim_fault_corrupted_total",
+                                     "Segments with the checksum bit dirtied");
+  m_link_flaps_ =
+      registry.GetCounter("bs_sim_fault_link_flaps_total", "Scheduled link/host cuts");
+  m_host_crashes_ =
+      registry.GetCounter("bs_sim_fault_crashes_total", "Scheduled host crashes");
+}
+
+void FaultPlan::ScheduleLinkFlap(std::uint32_t a, std::uint32_t b, SimTime at,
+                                 SimTime down_for) {
+  sched_.At(at, [this, a, b, down_for]() {
+    Bump(link_flaps_, m_link_flaps_);
+    CutLink(a, b);
+    sched_.After(down_for, [this, a, b]() { HealLink(a, b); });
+  });
+}
+
+void FaultPlan::ScheduleHostFlap(std::uint32_t ip, SimTime at, SimTime down_for) {
+  sched_.At(at, [this, ip, down_for]() {
+    Bump(link_flaps_, m_link_flaps_);
+    CutHost(ip);
+    sched_.After(down_for, [this, ip]() { HealHost(ip); });
+  });
+}
+
+void FaultPlan::ScheduleCrash(std::uint32_t ip, SimTime at, SimTime restart_after) {
+  sched_.At(at, [this, ip, restart_after]() {
+    Bump(host_crashes_, m_host_crashes_);
+    if (on_host_crash) on_host_crash(ip);
+    if (restart_after > 0) {
+      sched_.After(restart_after, [this, ip]() {
+        if (on_host_restart) on_host_restart(ip);
+      });
+    }
+  });
+}
+
+const FaultSpec& FaultPlan::ResolveSpec(std::uint32_t src_ip,
+                                        std::uint32_t dst_ip) const {
+  if (!link_specs_.empty()) {
+    const auto it = link_specs_.find(LinkKey(src_ip, dst_ip));
+    if (it != link_specs_.end()) return it->second;
+  }
+  if (!host_specs_.empty()) {
+    auto it = host_specs_.find(src_ip);
+    if (it != host_specs_.end()) return it->second;
+    it = host_specs_.find(dst_ip);
+    if (it != host_specs_.end()) return it->second;
+  }
+  return default_spec_;
+}
+
+FaultPlan::Fate FaultPlan::Judge(const TcpSegment& seg) {
+  Fate fate;
+  if (IsCut(seg.src.ip, seg.dst.ip)) {
+    Bump(dropped_partition_, m_dropped_partition_);
+    fate.drop = true;
+    return fate;
+  }
+  const FaultSpec& spec = ResolveSpec(seg.src.ip, seg.dst.ip);
+  if (spec.Quiet()) return fate;  // no randomness consumed
+
+  if (spec.loss > 0.0 && rng_.Chance(spec.loss)) {
+    Bump(dropped_loss_, m_dropped_loss_);
+    fate.drop = true;
+    return fate;
+  }
+  if (spec.corrupt > 0.0 && rng_.Chance(spec.corrupt)) {
+    Bump(corrupted_, m_corrupted_);
+    fate.corrupt = true;
+  }
+  if (spec.duplicate > 0.0 && rng_.Chance(spec.duplicate)) {
+    Bump(duplicated_, m_duplicated_);
+    fate.duplicate = true;
+  }
+  if (spec.reorder > 0.0 && spec.reorder_jitter_max > 0 &&
+      rng_.Chance(spec.reorder)) {
+    Bump(delayed_, m_delayed_);
+    fate.extra_delay =
+        1 + static_cast<SimTime>(
+                rng_.Below(static_cast<std::uint64_t>(spec.reorder_jitter_max)));
+  }
+  return fate;
+}
+
+}  // namespace bsim

@@ -1,0 +1,154 @@
+// Fault-injection plane for the simulated network.
+//
+// A FaultPlan is attached to a Network (Network::SetFaultPlan) and judges
+// every transmitted TCP segment: it can drop it (packet loss or a cut
+// link/host), deliver it twice, delay it by a bounded random jitter (which
+// reorders it past later segments), or dirty its transport checksum bit
+// (payload corruption — the receiving TCP then discards it, the same path a
+// real corrupted frame takes). Beyond per-segment faults the plan schedules
+// link flaps / partitions with a timed heal and peer crash/restart events,
+// all driven off the discrete-event scheduler, so an entire chaos run is
+// reproducible from the single seed the plan was constructed with.
+//
+// Fault rules resolve most-specific-first: a per-link spec (unordered IP
+// pair) beats a per-host spec (either endpoint), which beats the default
+// spec. Segments between hosts with no matching rule consume no randomness,
+// so attaching an empty plan leaves a run bit-identical.
+//
+// Attaching a plan also switches the TCP layer into reliable-delivery mode
+// (cumulative ACKs + go-back-N retransmission, see tcp.hpp): without
+// retransmission a single lost data segment would desynchronize the
+// in-order-only receiver forever, and no end-to-end scenario could survive
+// loss. ICMP floods are rate-model traffic and are not faulted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace bsim {
+
+/// Per-segment fault probabilities for one link/host/default rule.
+struct FaultSpec {
+  double loss = 0.0;       // P(segment silently dropped)
+  double duplicate = 0.0;  // P(segment delivered twice)
+  double reorder = 0.0;    // P(segment delayed by extra jitter)
+  double corrupt = 0.0;    // P(checksum bit dirtied in flight)
+  /// Upper bound on the reorder jitter; the delay is uniform in
+  /// [1ns, reorder_jitter_max].
+  SimTime reorder_jitter_max = 2 * kMillisecond;
+
+  bool Quiet() const {
+    return loss <= 0.0 && duplicate <= 0.0 && reorder <= 0.0 && corrupt <= 0.0;
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(Scheduler& sched, std::uint64_t seed);
+
+  std::uint64_t Seed() const { return seed_; }
+
+  // ---- Fault rules ----
+  void SetDefaultFaults(const FaultSpec& spec) { default_spec_ = spec; }
+  /// Faults for any segment with `ip` as either endpoint.
+  void SetHostFaults(std::uint32_t ip, const FaultSpec& spec) {
+    host_specs_[ip] = spec;
+  }
+  /// Faults for segments between `a` and `b` (either direction). Beats
+  /// per-host rules.
+  void SetLinkFaults(std::uint32_t a, std::uint32_t b, const FaultSpec& spec) {
+    link_specs_[LinkKey(a, b)] = spec;
+  }
+
+  // ---- Partitions and flaps ----
+  void CutLink(std::uint32_t a, std::uint32_t b) { cut_links_.insert(LinkKey(a, b)); }
+  void HealLink(std::uint32_t a, std::uint32_t b) { cut_links_.erase(LinkKey(a, b)); }
+  /// Partition `ip` from everyone (its access link goes dark).
+  void CutHost(std::uint32_t ip) { cut_hosts_.insert(ip); }
+  void HealHost(std::uint32_t ip) { cut_hosts_.erase(ip); }
+  /// True when segments between `a` and `b` are currently blackholed.
+  bool IsCut(std::uint32_t a, std::uint32_t b) const {
+    return cut_hosts_.contains(a) || cut_hosts_.contains(b) ||
+           cut_links_.contains(LinkKey(a, b));
+  }
+
+  /// Cut the a↔b link at `at`, heal it `down_for` later.
+  void ScheduleLinkFlap(std::uint32_t a, std::uint32_t b, SimTime at, SimTime down_for);
+  /// Partition `ip` at `at`, heal it `down_for` later.
+  void ScheduleHostFlap(std::uint32_t ip, SimTime at, SimTime down_for);
+
+  // ---- Crash / restart orchestration ----
+  /// The plan only schedules and counts crash events; the harness owns the
+  /// actual teardown (Node::Stop(), persist the banlist) and rebuild (a new
+  /// Node on the same IP loading the persisted banlist) through these hooks.
+  std::function<void(std::uint32_t ip)> on_host_crash;
+  std::function<void(std::uint32_t ip)> on_host_restart;
+  /// Fire on_host_crash(ip) at `at` and on_host_restart(ip) `restart_after`
+  /// later (restart_after == 0: no restart).
+  void ScheduleCrash(std::uint32_t ip, SimTime at, SimTime restart_after);
+
+  // ---- Per-segment judgment (called by Network::SendSegment) ----
+  struct Fate {
+    bool drop = false;
+    bool corrupt = false;
+    bool duplicate = false;
+    SimTime extra_delay = 0;
+  };
+  Fate Judge(const TcpSegment& seg);
+
+  /// Publish fault-plane counters into `registry` (bs_sim_fault_* series).
+  void AttachMetrics(bsobs::MetricsRegistry& registry);
+
+  // ---- Stats (mirrored into the registry when attached) ----
+  std::uint64_t SegmentsDroppedLoss() const { return dropped_loss_; }
+  std::uint64_t SegmentsDroppedPartition() const { return dropped_partition_; }
+  std::uint64_t SegmentsDuplicated() const { return duplicated_; }
+  std::uint64_t SegmentsDelayed() const { return delayed_; }
+  std::uint64_t SegmentsCorrupted() const { return corrupted_; }
+  std::uint64_t LinkFlaps() const { return link_flaps_; }
+  std::uint64_t HostCrashes() const { return host_crashes_; }
+
+ private:
+  static std::uint64_t LinkKey(std::uint32_t a, std::uint32_t b) {
+    const std::uint32_t lo = a < b ? a : b;
+    const std::uint32_t hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+  const FaultSpec& ResolveSpec(std::uint32_t src_ip, std::uint32_t dst_ip) const;
+
+  Scheduler& sched_;
+  std::uint64_t seed_;
+  bsutil::Rng rng_;
+
+  FaultSpec default_spec_;
+  std::unordered_map<std::uint32_t, FaultSpec> host_specs_;
+  std::unordered_map<std::uint64_t, FaultSpec> link_specs_;
+  std::unordered_set<std::uint32_t> cut_hosts_;
+  std::unordered_set<std::uint64_t> cut_links_;
+
+  std::uint64_t dropped_loss_ = 0;
+  std::uint64_t dropped_partition_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t link_flaps_ = 0;
+  std::uint64_t host_crashes_ = 0;
+
+  // Observability handles (null until AttachMetrics).
+  bsobs::Counter* m_dropped_loss_ = nullptr;
+  bsobs::Counter* m_dropped_partition_ = nullptr;
+  bsobs::Counter* m_duplicated_ = nullptr;
+  bsobs::Counter* m_delayed_ = nullptr;
+  bsobs::Counter* m_corrupted_ = nullptr;
+  bsobs::Counter* m_link_flaps_ = nullptr;
+  bsobs::Counter* m_host_crashes_ = nullptr;
+};
+
+}  // namespace bsim

@@ -1,11 +1,49 @@
 #include "sim/network.hpp"
 
+#include "sim/faults.hpp"
 #include "sim/tcp.hpp"
 
 namespace bsim {
 
 Network::Network(Scheduler& sched, NetworkConfig config)
     : sched_(sched), config_(config) {}
+
+void Network::AttachMetrics(bsobs::MetricsRegistry& registry) {
+  m_segments_sent_ =
+      registry.GetCounter("bs_sim_segments_sent_total", "TCP segments transmitted");
+  m_dropped_spoofed_ = registry.GetCounter("bs_sim_segments_dropped_spoofed_total",
+                                           "Spoofed-egress segments blocked");
+  m_dropped_checksum_ = registry.GetCounter(
+      "bs_sim_segments_dropped_checksum_total", "Segments dropped: bad TCP checksum");
+  m_dropped_out_of_order_ =
+      registry.GetCounter("bs_sim_segments_dropped_out_of_order_total",
+                          "Segments dropped: out of receive order");
+  m_retransmits_ = registry.GetCounter("bs_sim_segments_retransmitted_total",
+                                       "Segments retransmitted (reliable mode)");
+  m_rx_pending_shed_bytes_ =
+      registry.GetCounter("bs_sim_rx_pending_shed_bytes_total",
+                          "Receive-buffer bytes shed at the connection cap");
+}
+
+void Network::NoteChecksumDrop() {
+  ++dropped_checksum_;
+  if (m_dropped_checksum_ != nullptr) m_dropped_checksum_->Inc();
+}
+
+void Network::NoteOutOfOrderDrop() {
+  ++dropped_out_of_order_;
+  if (m_dropped_out_of_order_ != nullptr) m_dropped_out_of_order_->Inc();
+}
+
+void Network::NoteRetransmit() {
+  ++retransmits_;
+  if (m_retransmits_ != nullptr) m_retransmits_->Inc();
+}
+
+void Network::NoteRxPendingShed(std::size_t bytes) {
+  rx_pending_shed_bytes_ += bytes;
+  if (m_rx_pending_shed_bytes_ != nullptr) m_rx_pending_shed_bytes_->Inc(bytes);
+}
 
 void Network::Attach(Host* host) { hosts_[host->Ip()] = host; }
 
@@ -23,28 +61,45 @@ SimTime Network::ReserveEgress(std::uint32_t sender_ip, std::size_t frame_bytes)
   return free_at;
 }
 
-void Network::SendSegment(Host& from, TcpSegment seg) {
-  if (config_.block_spoofed_egress && seg.src.ip != from.Ip()) {
-    ++dropped_spoofed_;
-    return;
-  }
-  ++segments_sent_;
-  const std::size_t frame = seg.payload.size() + kTcpFrameOverhead;
-  const SimTime leaves_nic = ReserveEgress(from.Ip(), frame);
-  const SimTime arrival = leaves_nic + config_.latency;
-
-  for (const auto& sniffer : sniffers_) sniffer(seg, sched_.Now());
-
-  sched_.At(arrival, [this, seg = std::move(seg), frame]() {
-    bytes_to_[seg.dst.ip] += frame;
+void Network::ScheduleDelivery(TcpSegment seg, std::size_t frame_bytes,
+                               SimTime arrival) {
+  sched_.At(arrival, [this, seg = std::move(seg), frame_bytes]() {
+    bytes_to_[seg.dst.ip] += frame_bytes;
     const auto it = hosts_.find(seg.dst.ip);
     if (it != hosts_.end()) it->second->DeliverSegment(seg);
   });
 }
 
+void Network::SendSegment(Host& from, TcpSegment seg) {
+  if (config_.block_spoofed_egress && seg.src.ip != from.Ip()) {
+    ++dropped_spoofed_;
+    if (m_dropped_spoofed_ != nullptr) m_dropped_spoofed_->Inc();
+    return;
+  }
+  ++segments_sent_;
+  if (m_segments_sent_ != nullptr) m_segments_sent_->Inc();
+  const std::size_t frame = seg.payload.size() + kTcpFrameOverhead;
+  const SimTime leaves_nic = ReserveEgress(from.Ip(), frame);
+  SimTime arrival = leaves_nic + config_.latency;
+
+  // Sniffers tap the sender's side of the wire: they see the segment as
+  // transmitted, before any in-flight fault touches it.
+  for (const auto& sniffer : sniffers_) sniffer(seg, sched_.Now());
+
+  if (faults_ != nullptr) {
+    const FaultPlan::Fate fate = faults_->Judge(seg);
+    if (fate.drop) return;  // the bits left the NIC and died on the wire
+    if (fate.corrupt) seg.checksum_ok = false;
+    arrival += fate.extra_delay;
+    if (fate.duplicate) ScheduleDelivery(seg, frame, arrival);
+  }
+  ScheduleDelivery(std::move(seg), frame, arrival);
+}
+
 void Network::SendIcmp(Host& from, IcmpPacket pkt) {
   if (config_.block_spoofed_egress && pkt.src_ip != from.Ip()) {
     ++dropped_spoofed_;
+    if (m_dropped_spoofed_ != nullptr) m_dropped_spoofed_->Inc();
     return;
   }
   const std::size_t frame = pkt.size + kIcmpFrameOverhead;
@@ -61,6 +116,7 @@ void Network::SendIcmpBatch(Host& from, IcmpPacket pkt, std::uint64_t count) {
   if (count == 0) return;
   if (config_.block_spoofed_egress && pkt.src_ip != from.Ip()) {
     dropped_spoofed_ += count;
+    if (m_dropped_spoofed_ != nullptr) m_dropped_spoofed_->Inc(count);
     return;
   }
   const std::size_t frame = pkt.size + kIcmpFrameOverhead;

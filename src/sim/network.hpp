@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "proto/netaddr.hpp"
 #include "sim/scheduler.hpp"
 #include "util/bytes.hpp"
@@ -71,6 +72,7 @@ struct NetworkConfig {
 };
 
 class Host;
+class FaultPlan;
 
 class Network {
  public:
@@ -78,6 +80,15 @@ class Network {
 
   Scheduler& Sched() { return sched_; }
   const NetworkConfig& Config() const { return config_; }
+
+  /// Attach a fault-injection plan (see sim/faults.hpp); nullptr detaches.
+  /// Every transmitted segment is judged by the plan, and the TCP layer
+  /// switches into reliable-delivery mode (ACK + retransmit) so end-to-end
+  /// sessions survive the injected loss. With no plan attached the wire is
+  /// lossless and the legacy no-ACK TCP behaviour is bit-identical.
+  void SetFaultPlan(FaultPlan* plan) { faults_ = plan; }
+  FaultPlan* Faults() { return faults_; }
+  bool FaultsEnabled() const { return faults_ != nullptr; }
 
   /// Register a host; its IP must be unique on this segment.
   void Attach(Host* host);
@@ -109,20 +120,50 @@ class Network {
 
   std::uint64_t SegmentsSent() const { return segments_sent_; }
   std::uint64_t SegmentsDroppedSpoofed() const { return dropped_spoofed_; }
+  /// Network-wide aggregates of the per-connection TCP drop counters.
+  std::uint64_t SegmentsDroppedChecksum() const { return dropped_checksum_; }
+  std::uint64_t SegmentsDroppedOutOfOrder() const { return dropped_out_of_order_; }
+  std::uint64_t SegmentsRetransmitted() const { return retransmits_; }
+  std::uint64_t RxPendingShedBytes() const { return rx_pending_shed_bytes_; }
+
+  /// Publish the wire counters into `registry` (bs_sim_segments_* series),
+  /// so fault-plane and TCP drops appear in --json bench exports and
+  /// dump-metrics alongside the node counters.
+  void AttachMetrics(bsobs::MetricsRegistry& registry);
+
+  // Internal: aggregation sinks for TcpConnection drop/retransmit accounting.
+  void NoteChecksumDrop();
+  void NoteOutOfOrderDrop();
+  void NoteRetransmit();
+  void NoteRxPendingShed(std::size_t bytes);
 
  private:
   /// Reserve the sender's egress link for `frame_bytes`; returns when the
   /// last bit leaves the NIC.
   SimTime ReserveEgress(std::uint32_t sender_ip, std::size_t frame_bytes);
+  void ScheduleDelivery(TcpSegment seg, std::size_t frame_bytes, SimTime arrival);
 
   Scheduler& sched_;
   NetworkConfig config_;
+  FaultPlan* faults_ = nullptr;
   std::unordered_map<std::uint32_t, Host*> hosts_;
   std::unordered_map<std::uint32_t, SimTime> egress_free_at_;
   std::unordered_map<std::uint32_t, std::uint64_t> bytes_to_;
   std::vector<Sniffer> sniffers_;
   std::uint64_t segments_sent_ = 0;
   std::uint64_t dropped_spoofed_ = 0;
+  std::uint64_t dropped_checksum_ = 0;
+  std::uint64_t dropped_out_of_order_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t rx_pending_shed_bytes_ = 0;
+
+  // Observability handles (null until AttachMetrics).
+  bsobs::Counter* m_segments_sent_ = nullptr;
+  bsobs::Counter* m_dropped_spoofed_ = nullptr;
+  bsobs::Counter* m_dropped_checksum_ = nullptr;
+  bsobs::Counter* m_dropped_out_of_order_ = nullptr;
+  bsobs::Counter* m_retransmits_ = nullptr;
+  bsobs::Counter* m_rx_pending_shed_bytes_ = nullptr;
 };
 
 }  // namespace bsim

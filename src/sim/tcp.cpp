@@ -29,6 +29,8 @@ void TcpConnection::StartHandshake() {
   host_.Transmit(std::move(syn));
 }
 
+bool TcpConnection::Reliable() const { return host_.Net().FaultsEnabled(); }
+
 void TcpConnection::EmitSegment(std::uint8_t flags, bsutil::ByteSpan payload) {
   TcpSegment seg;
   seg.src = local_;
@@ -40,6 +42,10 @@ void TcpConnection::EmitSegment(std::uint8_t flags, bsutil::ByteSpan payload) {
   snd_next_ += static_cast<std::uint32_t>(payload.size());
   if (flags & kFlagFin) ++snd_next_;
   bytes_sent_ += payload.size();
+  if (Reliable() && !seg.payload.empty()) {
+    QueueForRetransmit(seg);
+    if (state_ == State::kClosed) return;  // queue overflow aborted us
+  }
   host_.Transmit(std::move(seg));
 }
 
@@ -49,7 +55,116 @@ void TcpConnection::Send(bsutil::ByteSpan data) {
   while (offset < data.size()) {
     const std::size_t chunk = std::min(kMss, data.size() - offset);
     EmitSegment(kFlagPsh | kFlagAck, data.subspan(offset, chunk));
+    if (state_ != State::kEstablished) return;  // aborted mid-stream
     offset += chunk;
+  }
+}
+
+void TcpConnection::SetDataSink(std::function<void(bsutil::ByteSpan)> sink) {
+  on_data = std::move(sink);
+  if (!on_data || rx_pending_.empty()) return;
+  bsutil::ByteVec drained;
+  drained.swap(rx_pending_);
+  on_data(drained);
+}
+
+void TcpConnection::DeliverData(bsutil::ByteSpan payload) {
+  if (on_data) {
+    on_data(payload);
+    return;
+  }
+  // No sink attached yet: buffer up to the cap, shedding oldest on overflow
+  // so a flooding peer cannot grow this connection's memory without bound.
+  rx_pending_.insert(rx_pending_.end(), payload.begin(), payload.end());
+  if (recv_buffer_cap_ > 0 && rx_pending_.size() > recv_buffer_cap_) {
+    const std::size_t excess = rx_pending_.size() - recv_buffer_cap_;
+    rx_pending_.erase(rx_pending_.begin(),
+                      rx_pending_.begin() + static_cast<std::ptrdiff_t>(excess));
+    rx_pending_shed_ += excess;
+    host_.Net().NoteRxPendingShed(excess);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reliable mode (active only while the network has a FaultPlan attached)
+
+void TcpConnection::SendBareAck() { EmitSegment(kFlagAck, {}); }
+
+void TcpConnection::HandleAck(std::uint32_t ack) {
+  bool advanced = false;
+  while (!retransmit_queue_.empty()) {
+    const TcpSegment& front = retransmit_queue_.front();
+    const std::uint32_t end =
+        front.seq + static_cast<std::uint32_t>(front.payload.size());
+    if (static_cast<std::int32_t>(ack - end) < 0) break;  // not fully acked
+    retransmit_queue_bytes_ -= front.payload.size();
+    retransmit_queue_.pop_front();
+    advanced = true;
+  }
+  if (advanced) {
+    retry_attempts_ = 0;
+    dup_acks_ = 0;
+    last_ack_seen_ = ack;
+    return;
+  }
+  if (ack == last_ack_seen_ && !retransmit_queue_.empty()) {
+    // Duplicate ACK: the receiver is dropping past a gap. Three in a row
+    // trigger fast retransmit of everything outstanding (go-back-N).
+    if (++dup_acks_ >= 3) {
+      dup_acks_ = 0;
+      RetransmitAll();
+    }
+    return;
+  }
+  last_ack_seen_ = ack;
+  dup_acks_ = 0;
+}
+
+void TcpConnection::QueueForRetransmit(const TcpSegment& seg) {
+  retransmit_queue_.push_back(seg);
+  retransmit_queue_bytes_ += seg.payload.size();
+  if (retransmit_queue_bytes_ > kMaxRetransmitQueueBytes) {
+    Reset();  // the peer is not draining; abort instead of growing unbounded
+    return;
+  }
+  ArmRetransmitTimer();
+}
+
+void TcpConnection::ArmRetransmitTimer() {
+  if (rto_armed_) return;
+  rto_armed_ = true;
+  // Key-based lookup: the connection may have been destroyed by the time the
+  // timer fires (same pattern as the SYN timeout in Host::ConnectFrom).
+  Host* host = &host_;
+  const Endpoint local = local_;
+  const Endpoint remote = remote_;
+  host_.Sched().After(kRetransmitTimeout, [host, local, remote]() {
+    if (TcpConnection* conn = host->FindConnection(local, remote)) {
+      conn->RetransmitTimerFired();
+    }
+  });
+}
+
+void TcpConnection::RetransmitTimerFired() {
+  rto_armed_ = false;
+  if (state_ != State::kEstablished || retransmit_queue_.empty()) return;
+  ++retry_attempts_;
+  if (retry_attempts_ > kMaxRetransmitAttempts) {
+    Reset();  // peer unreachable past the retry budget
+    return;
+  }
+  RetransmitAll();
+  ArmRetransmitTimer();
+}
+
+void TcpConnection::RetransmitAll() {
+  for (const TcpSegment& seg : retransmit_queue_) {
+    TcpSegment copy = seg;
+    copy.ack = rcv_next_;      // refresh the cumulative ACK
+    copy.checksum_ok = true;   // a retransmission is a fresh frame
+    ++retransmits_;
+    host_.Net().NoteRetransmit();
+    host_.Transmit(std::move(copy));
   }
 }
 
@@ -83,9 +198,11 @@ void TcpConnection::HandleSegment(const TcpSegment& seg) {
   if (state_ == State::kClosed) return;
 
   // Transport checksum gate: invalid segments vanish before any state or
-  // payload processing.
+  // payload processing. In reliable mode the retransmission timer recovers
+  // the data, exactly as with loss.
   if (!seg.checksum_ok) {
     ++dropped_checksum_;
+    host_.Net().NoteChecksumDrop();
     return;
   }
 
@@ -108,12 +225,18 @@ void TcpConnection::HandleSegment(const TcpSegment& seg) {
       if (seg.Has(kFlagAck) && seg.ack == snd_next_ && !seg.Has(kFlagSyn)) {
         state_ = State::kEstablished;
         if (on_connected) on_connected(true);
+        if (state_ != State::kEstablished) return;  // closed by the callback
         // Piggybacked data on the handshake-completing ACK falls through to
         // normal delivery below.
         if (!seg.payload.empty() && seg.seq == rcv_next_) {
           rcv_next_ += static_cast<std::uint32_t>(seg.payload.size());
           bytes_received_ += seg.payload.size();
-          if (on_data) on_data(seg.payload);
+          if (Reliable()) SendBareAck();
+          DeliverData(seg.payload);
+        } else if (Reliable() && !seg.payload.empty()) {
+          ++dropped_out_of_order_;
+          host_.Net().NoteOutOfOrderDrop();
+          SendBareAck();  // duplicate ACK: tell the sender where we are
         }
       }
       return;
@@ -123,19 +246,35 @@ void TcpConnection::HandleSegment(const TcpSegment& seg) {
         BecomeClosed();
         return;
       }
+      if (Reliable() && seg.Has(kFlagAck)) {
+        HandleAck(seg.ack);
+        if (state_ != State::kEstablished) return;  // aborted by the ACK path
+      }
       if (seg.payload.empty()) return;  // bare ACK
-      if (seg.seq != rcv_next_) {
+      const auto diff = static_cast<std::int32_t>(seg.seq - rcv_next_);
+      if (Reliable() && diff < 0) {
+        // Retransmitted copy of data we already delivered: re-ACK so the
+        // sender's queue drains, but do not deliver twice.
+        ++dropped_duplicate_;
+        SendBareAck();
+        return;
+      }
+      if (diff != 0) {
         // In-order-only receiver: anything off the expected sequence is
         // dropped. A spoofed injection that matches rcv_next_ is accepted
         // here exactly as if the real peer had sent it — and desynchronizes
         // the real peer's subsequent segments, which then land in this
-        // branch.
+        // branch. In reliable mode the duplicate ACK below makes the sender
+        // go back and fill the gap.
         ++dropped_out_of_order_;
+        host_.Net().NoteOutOfOrderDrop();
+        if (Reliable()) SendBareAck();
         return;
       }
       rcv_next_ += static_cast<std::uint32_t>(seg.payload.size());
       bytes_received_ += seg.payload.size();
-      if (on_data) on_data(seg.payload);
+      if (Reliable()) SendBareAck();
+      DeliverData(seg.payload);
       return;
     }
 
@@ -198,6 +337,14 @@ void Host::ReleaseConnection(TcpConnection* conn) {
   // Deferred so the connection can finish its current callback stack.
   const ConnKey key{conn->Local(), conn->Remote()};
   sched_.After(0, [this, key]() { connections_.erase(key); });
+}
+
+void Host::AbandonConnections() {
+  // A crashed host goes silent: no FIN/RST, no close callbacks — peers only
+  // find out through their own timeouts. Pending timer events resolve their
+  // connections by key and become no-ops.
+  connections_.clear();
+  listeners_.clear();
 }
 
 void Host::Transmit(TcpSegment seg) { net_.SendSegment(*this, std::move(seg)); }

@@ -2,14 +2,24 @@
 //
 // The connection model keeps real per-direction sequence/acknowledgement
 // state, a three-way handshake, checksum validation, and in-order-only
-// delivery. It is deliberately minimal everywhere else (no retransmission —
-// the simulated wire is lossless and ordered; no flow control) because the
-// attacks only require: 4-tuple demultiplexing, live seq/ack state that a
-// sniffer can learn, and the ability of a forged in-window segment to be
-// accepted as if it came from the real peer.
+// delivery. By default it is deliberately minimal everywhere else (no
+// retransmission — the simulated wire is lossless and ordered; no flow
+// control) because the attacks only require: 4-tuple demultiplexing, live
+// seq/ack state that a sniffer can learn, and the ability of a forged
+// in-window segment to be accepted as if it came from the real peer.
+//
+// When a FaultPlan is attached to the Network the wire stops being lossless,
+// so connections switch into *reliable mode*: receivers send cumulative ACKs
+// (and duplicate ACKs on out-of-order arrivals), senders keep unacked
+// payload segments in a bounded retransmission queue and recover gaps with
+// go-back-N (fast retransmit on 3 duplicate ACKs, timer otherwise). A peer
+// that stays unreachable past the retry budget aborts the connection. With
+// no plan attached none of this machinery runs and byte-for-byte legacy
+// behaviour is preserved — the paper-faithful benches stay bit-identical.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -27,6 +37,16 @@ constexpr std::size_t kMss = 1460;
 /// Outbound handshakes that see no SYN-ACK abort after this long.
 constexpr SimTime kSynTimeout = 5 * kSecond;
 
+/// Reliable mode: retransmission timer (well above the LAN RTT).
+constexpr SimTime kRetransmitTimeout = 20 * kMillisecond;
+/// Reliable mode: consecutive timer expiries before the connection aborts.
+constexpr int kMaxRetransmitAttempts = 8;
+/// Reliable mode: unacked-bytes bound; exceeding it aborts the connection
+/// (the peer is not draining — memory must not grow without bound).
+constexpr std::size_t kMaxRetransmitQueueBytes = 4 * 1024 * 1024;
+/// Default cap on payload bytes buffered while no data sink is attached.
+constexpr std::size_t kDefaultRecvBufferCap = 4 * 1024 * 1024;
+
 class TcpConnection {
  public:
   enum class State { kSynSent, kSynReceived, kEstablished, kClosed };
@@ -39,8 +59,12 @@ class TcpConnection {
   State GetState() const { return state_; }
   bool IsEstablished() const { return state_ == State::kEstablished; }
 
-  /// Application data sink; set before data can arrive.
+  /// Application data sink; set before data can arrive. Payload arriving
+  /// while this is unset is buffered (bounded, see SetReceiveBufferCap)
+  /// instead of silently lost; prefer SetDataSink, which drains the backlog.
   std::function<void(bsutil::ByteSpan)> on_data;
+  /// Set the data sink and synchronously deliver any buffered payload.
+  void SetDataSink(std::function<void(bsutil::ByteSpan)> sink);
   /// Invoked once when the connection reaches kEstablished.
   std::function<void(bool ok)> on_connected;
   /// Invoked when the connection closes (FIN or RST from either side).
@@ -66,6 +90,15 @@ class TcpConnection {
   std::uint64_t BytesReceived() const { return bytes_received_; }
   std::uint64_t SegmentsDroppedChecksum() const { return dropped_checksum_; }
   std::uint64_t SegmentsDroppedOutOfOrder() const { return dropped_out_of_order_; }
+  std::uint64_t SegmentsDroppedDuplicate() const { return dropped_duplicate_; }
+  std::uint64_t Retransmits() const { return retransmits_; }
+
+  /// Bound the no-sink receive buffer (0 = unbounded). Overflow sheds the
+  /// oldest bytes; sheds are counted here and in the network's metrics.
+  void SetReceiveBufferCap(std::size_t bytes) { recv_buffer_cap_ = bytes; }
+  std::size_t ReceiveBufferCap() const { return recv_buffer_cap_; }
+  std::uint64_t RxPendingShedBytes() const { return rx_pending_shed_; }
+  std::size_t RxPendingBytes() const { return rx_pending_.size(); }
 
  private:
   friend class Host;
@@ -73,6 +106,18 @@ class TcpConnection {
   void StartHandshake();  // client side: send SYN
   void EmitSegment(std::uint8_t flags, bsutil::ByteSpan payload);
   void BecomeClosed();
+
+  /// True when the network has a fault plan attached (lossy wire): ACKs and
+  /// retransmission are active.
+  bool Reliable() const;
+  /// Hand payload to on_data, or buffer it (bounded) until a sink appears.
+  void DeliverData(bsutil::ByteSpan payload);
+  void SendBareAck();
+  void HandleAck(std::uint32_t ack);
+  void QueueForRetransmit(const TcpSegment& seg);
+  void ArmRetransmitTimer();
+  void RetransmitTimerFired();
+  void RetransmitAll();
 
   Host& host_;
   Endpoint local_;
@@ -85,6 +130,22 @@ class TcpConnection {
   std::uint64_t bytes_received_ = 0;
   std::uint64_t dropped_checksum_ = 0;
   std::uint64_t dropped_out_of_order_ = 0;
+  std::uint64_t dropped_duplicate_ = 0;
+
+  // No-sink receive buffering (bounded; drop-oldest).
+  bsutil::ByteVec rx_pending_;
+  std::size_t recv_buffer_cap_ = kDefaultRecvBufferCap;
+  std::uint64_t rx_pending_shed_ = 0;
+
+  // Reliable-mode sender state: payload segments not yet cumulatively acked,
+  // oldest first.
+  std::deque<TcpSegment> retransmit_queue_;
+  std::size_t retransmit_queue_bytes_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint32_t last_ack_seen_ = 0;
+  int dup_acks_ = 0;
+  int retry_attempts_ = 0;
+  bool rto_armed_ = false;
 };
 
 /// A machine on the network with a TCP stack.
@@ -138,6 +199,10 @@ class Host {
   TcpConnection* FindConnection(const Endpoint& local, const Endpoint& remote);
   /// Remove a closed connection's state.
   void ReleaseConnection(TcpConnection* conn);
+  /// Destroy every connection and listener silently — no FIN/RST emitted,
+  /// no callbacks fired. Models a host crash (sudden silence on the wire).
+  /// Must not be called from inside one of this host's connection callbacks.
+  void AbandonConnections();
 
   std::size_t ConnectionCount() const { return connections_.size(); }
   /// Allocate the next ephemeral port (49152..65535, wrapping).

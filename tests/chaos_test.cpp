@@ -1,0 +1,472 @@
+// Deterministic chaos harness: the ban-score pipeline, the hardened node,
+// and the detection engine under randomized fault plans (packet loss,
+// duplication, reordering, corruption, link flaps, peer crash/restart), many
+// seeds. Every run is reproducible from its seed, and each run checks the
+// safety invariants the paper's mechanisms rely on:
+//
+//   * the process never crashes (a completing test IS the assertion; the
+//     TSan stage in scripts/check.sh re-runs a seed slice for UB/data races);
+//   * a peer's score never reaches the ban threshold without the policy
+//     banning it (score/ban coupling);
+//   * bans expire exactly once — every banned identifier is banned at most
+//     once per run and the ban table is empty after the expiry horizon;
+//   * honest peers are never misbehavior-scored, no matter how much loss,
+//     reordering, or corruption their links suffer (faults are not crimes);
+//   * the Fig. 10 detector still separates attack windows from normal
+//     windows at 5% packet loss.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "attack/attacker.hpp"
+#include "attack/bmdos.hpp"
+#include "attack/crafter.hpp"
+#include "attack/traffic.hpp"
+#include "core/node.hpp"
+#include "detect/engine.hpp"
+#include "detect/monitor.hpp"
+#include "sim/faults.hpp"
+
+namespace {
+
+using namespace bsnet;  // NOLINT
+using bsattack::AttackerNode;
+using bsattack::AttackSession;
+using bsattack::Crafter;
+using bsim::FaultPlan;
+using bsim::FaultSpec;
+
+constexpr std::uint32_t kVictimIp = 0x0a000001;
+constexpr std::uint32_t kAttackerIp = 0x0a000066;
+constexpr std::uint32_t kHonestBase = 0x0a000100;
+constexpr int kHonestPeers = 4;
+
+NodeConfig ChaosVictimConfig() {
+  NodeConfig config;
+  config.target_outbound = kHonestPeers;
+  // Short ban so expiry happens inside the run.
+  config.ban_duration = 30 * bsim::kSecond;
+  // All the hardening on, so chaos exercises it: keepalive + dead-peer
+  // detection, handshake watchdog, bounded receive buffers, dial backoff.
+  config.ping_interval = 2 * bsim::kSecond;
+  config.ping_timeout = 10 * bsim::kSecond;
+  config.handshake_timeout = 8 * bsim::kSecond;
+  config.reconnect_backoff = true;
+  config.reconnect_backoff_cap = 8 * bsim::kSecond;  // recovers within the run
+  config.trace_capacity = 4096;
+  return config;
+}
+
+// One self-contained chaos world: a hardened victim, a few honest peers, an
+// attacker, and a seeded FaultPlan. All drivers (honest traffic, attack
+// loop, flaps, crash/restart) run off the one scheduler, so the whole run is
+// a pure function of the seed.
+class ChaosWorld {
+ public:
+  ChaosWorld(std::uint64_t seed, const std::string& tag,
+             NodeConfig victim_config = ChaosVictimConfig())
+      : net(sched),
+        plan(sched, seed),
+        chaos_rng(seed * 7919 + 1),
+        victim_config_(victim_config) {
+    banlist_path_ =
+        ::testing::TempDir() + "/chaos_" + tag + "_" + std::to_string(seed) + ".dat";
+    net.SetFaultPlan(&plan);  // before any connection: reliable TCP from t=0
+    for (int i = 0; i < kHonestPeers; ++i) {
+      NodeConfig pc;
+      pc.target_outbound = 0;
+      pc.rng_seed = 1000 + i;
+      honest.push_back(std::make_unique<Node>(sched, net, kHonestBase + i, pc));
+      honest.back()->Start();
+    }
+    attacker = std::make_unique<AttackerNode>(sched, net, kAttackerIp,
+                                              victim_config_.chain.magic);
+    crafter = std::make_unique<Crafter>(victim_config_.chain);
+    SpawnVictim(/*load_banlist=*/false);
+  }
+
+  ~ChaosWorld() { std::remove(banlist_path_.c_str()); }
+
+  // ---- World surgery ----
+
+  void SpawnVictim(bool load_banlist) {
+    victim = std::make_unique<Node>(sched, net, kVictimIp, victim_config_);
+    if (load_banlist) victim->Bans().LoadFromFile(banlist_path_, sched.Now());
+    for (const auto& peer : honest) victim->AddKnownAddress({peer->Ip(), 8333});
+    AttachInvariantHooks();
+    victim->Start();
+  }
+
+  /// Crash the victim: persist its banlist, silence it, keep the carcass
+  /// allocated until the run ends (in-flight events may still reference it).
+  void CrashVictim() {
+    victim->Bans().SaveToFile(banlist_path_);
+    victim->Stop();
+    graveyard_.push_back(std::move(victim));
+  }
+
+  void CrashHonest(std::size_t index) {
+    honest[index]->Stop();
+    graveyard_.push_back(std::move(honest[index]));
+  }
+
+  void RestartHonest(std::size_t index) {
+    NodeConfig pc;
+    pc.target_outbound = 0;
+    pc.rng_seed = 1000 + static_cast<std::uint64_t>(index);
+    honest[index] = std::make_unique<Node>(sched, net, kHonestBase + index, pc);
+    honest[index]->Start();
+  }
+
+  // ---- Invariant bookkeeping ----
+
+  void AttachInvariantHooks() {
+    victim->on_misbehavior = [this](const Peer& peer, Misbehavior,
+                                    const MisbehaviorOutcome& outcome) {
+      if (!outcome.rule_applied) return;
+      scored_ips.insert(peer.remote.ip);
+      if (outcome.total_score >= victim->Config().ban_threshold &&
+          !outcome.should_ban) {
+        ++threshold_crossings_without_ban;
+      }
+    };
+    victim->on_peer_banned = [this](const Peer& peer) {
+      ++ban_events[peer.remote];
+      last_banned = peer.remote;
+    };
+  }
+
+  // ---- Drivers ----
+
+  /// Honest peers ping the victim twice a second — protocol-legal traffic
+  /// that must never earn a misbehavior point regardless of link faults.
+  void StartHonestTraffic() {
+    honest_running_ = true;
+    HonestTick();
+  }
+  void StopHonestTraffic() { honest_running_ = false; }
+
+  /// The attacker keeps one session to the victim and sends a
+  /// segwit-invalid TX (100 points, Table I) every 2 s: each delivery is an
+  /// instant threshold crossing, so the run produces a stream of
+  /// ban → expiry → re-ban cycles across Sybil identifiers.
+  void StartAttack() {
+    attack_running_ = true;
+    AttackTick();
+  }
+  void StopAttack() { attack_running_ = false; }
+
+  FaultSpec RandomSpec() {
+    FaultSpec spec;
+    spec.loss = 0.08 * chaos_rng.NextDouble();
+    spec.duplicate = 0.06 * chaos_rng.NextDouble();
+    spec.reorder = 0.10 * chaos_rng.NextDouble();
+    spec.corrupt = 0.05 * chaos_rng.NextDouble();
+    return spec;
+  }
+
+  std::uint32_t RandomHonestIp() {
+    return kHonestBase +
+           static_cast<std::uint32_t>(chaos_rng.Below(kHonestPeers));
+  }
+
+  /// Counter fingerprint for determinism comparison (paired with the
+  /// human-readable trace ring).
+  std::string Fingerprint() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "msgs=%llu bans=%llu shed=%llu segs=%llu loss=%llu dup=%llu "
+                  "reord=%llu corr=%llu part=%llu retx=%llu",
+                  static_cast<unsigned long long>(victim->TotalMessagesReceived()),
+                  static_cast<unsigned long long>(victim->PeersBanned()),
+                  static_cast<unsigned long long>(victim->RxBytesShed()),
+                  static_cast<unsigned long long>(net.SegmentsSent()),
+                  static_cast<unsigned long long>(plan.SegmentsDroppedLoss()),
+                  static_cast<unsigned long long>(plan.SegmentsDuplicated()),
+                  static_cast<unsigned long long>(plan.SegmentsDelayed()),
+                  static_cast<unsigned long long>(plan.SegmentsCorrupted()),
+                  static_cast<unsigned long long>(plan.SegmentsDroppedPartition()),
+                  static_cast<unsigned long long>(net.SegmentsRetransmitted()));
+    return std::string(buf) + "\n" + victim->Trace().Render(128);
+  }
+
+  const std::string& BanlistPath() const { return banlist_path_; }
+
+  bsim::Scheduler sched;
+  bsim::Network net;
+  FaultPlan plan;
+  bsutil::Rng chaos_rng;
+
+  std::vector<std::unique_ptr<Node>> honest;
+  std::unique_ptr<Node> victim;
+  std::unique_ptr<AttackerNode> attacker;
+  std::unique_ptr<Crafter> crafter;
+
+  // Invariant observations.
+  std::set<std::uint32_t> scored_ips;
+  int threshold_crossings_without_ban = 0;
+  std::map<Endpoint, int> ban_events;
+  Endpoint last_banned;
+  std::uint64_t attack_deliveries = 0;
+
+ private:
+  void HonestTick() {
+    if (!honest_running_) return;
+    for (const auto& peer : honest) {
+      if (peer != nullptr) {
+        peer->SendToRemoteIp(kVictimIp, bsproto::PingMsg{++honest_nonce_});
+      }
+    }
+    sched.After(500 * bsim::kMillisecond, [this]() { HonestTick(); });
+  }
+
+  void AttackTick() {
+    if (!attack_running_) return;
+    AttackSession* ready = nullptr;
+    bool any_live = false;
+    for (AttackSession* session : attacker->LiveSessions()) {
+      any_live = true;
+      if (session->SessionReady()) {
+        ready = session;
+        break;
+      }
+    }
+    if (ready != nullptr) {
+      attacker->Send(*ready, crafter->SegwitInvalidTx());
+      ++attack_deliveries;
+    } else if (!any_live) {
+      // Previous identifier banned (or handshake lost to faults): come back
+      // as a fresh Sybil identifier. Stuck half-open sessions clear
+      // themselves via the SYN timeout.
+      attacker->OpenSession({kVictimIp, 8333});
+    }
+    sched.After(2 * bsim::kSecond, [this]() { AttackTick(); });
+  }
+
+  NodeConfig victim_config_;
+  std::string banlist_path_;
+  std::vector<std::unique_ptr<Node>> graveyard_;
+  bool honest_running_ = false;
+  bool attack_running_ = false;
+  std::uint64_t honest_nonce_ = 0;
+};
+
+/// The full randomized scenario one seed runs through. Returns after the
+/// post-chaos heal + ban-expiry horizon.
+void RunChaosScenario(ChaosWorld& world) {
+  // Clean boot: all outbound slots fill before the weather turns.
+  world.sched.RunUntil(5 * bsim::kSecond);
+  ASSERT_EQ(world.victim->OutboundCount(), static_cast<std::size_t>(kHonestPeers));
+
+  // Randomized weather for 60 s: per-segment faults everywhere, two link
+  // flaps against the victim, one honest peer crash with restart.
+  world.plan.SetDefaultFaults(world.RandomSpec());
+  for (int flap = 0; flap < 2; ++flap) {
+    const bsim::SimTime at =
+        5 * bsim::kSecond +
+        static_cast<bsim::SimTime>(world.chaos_rng.NextDouble() * 40) * bsim::kSecond;
+    const bsim::SimTime down =
+        (1 + static_cast<bsim::SimTime>(world.chaos_rng.NextDouble() * 3)) *
+        bsim::kSecond;
+    world.plan.ScheduleLinkFlap(kVictimIp, world.RandomHonestIp(), at, down);
+  }
+  const std::size_t crash_index = world.chaos_rng.Below(kHonestPeers);
+  world.plan.on_host_crash = [&world, crash_index](std::uint32_t) {
+    world.CrashHonest(crash_index);
+  };
+  world.plan.on_host_restart = [&world, crash_index](std::uint32_t) {
+    world.RestartHonest(crash_index);
+  };
+  world.plan.ScheduleCrash(kHonestBase + static_cast<std::uint32_t>(crash_index),
+                           20 * bsim::kSecond, 8 * bsim::kSecond);
+
+  world.StartHonestTraffic();
+  world.StartAttack();
+  world.sched.RunUntil(65 * bsim::kSecond);
+
+  // Heal: attack off, weather off, run past the ban-expiry horizon.
+  world.StopAttack();
+  world.plan.SetDefaultFaults(FaultSpec{});
+  world.sched.RunUntil(65 * bsim::kSecond + world.victim->Config().ban_duration +
+                       15 * bsim::kSecond);
+}
+
+void AssertChaosInvariants(ChaosWorld& world) {
+  // Score/ban coupling: no peer ever sat at/above the threshold unbanned.
+  EXPECT_EQ(world.threshold_crossings_without_ban, 0);
+
+  // Honest peers under loss/corruption/reordering are never scored; the only
+  // identifier that ever earns points is the attacker's.
+  for (const std::uint32_t ip : world.scored_ips) {
+    EXPECT_EQ(ip, kAttackerIp) << "honest peer 0x" << std::hex << ip
+                               << " was misbehavior-scored under faults";
+  }
+
+  // The attack actually landed: deliveries happened and produced bans.
+  EXPECT_GT(world.attack_deliveries, 0u);
+  EXPECT_GE(world.victim->PeersBanned(), 1u);
+
+  // Bans expire exactly once: every banned identifier was banned a single
+  // time (fresh Sybil ports each cycle), and after the expiry horizon the
+  // maintenance sweep has emptied the table.
+  for (const auto& [endpoint, count] : world.ban_events) {
+    EXPECT_EQ(count, 1) << endpoint.ToString() << " banned more than once";
+  }
+  EXPECT_EQ(world.victim->Bans().Size(), 0u);
+
+  // The fault plan really fired its scheduled events.
+  EXPECT_EQ(world.plan.HostCrashes(), 1u);
+  EXPECT_EQ(world.plan.LinkFlaps(), 2u);
+
+  // After the heal the hardened node recovered its outbound slots (backoff
+  // cap is 8 s, heal phase is 45 s).
+  EXPECT_GE(world.victim->OutboundCount(), static_cast<std::size_t>(kHonestPeers - 1));
+}
+
+// ---------------------------------------------------------------------------
+// The seed sweep: ≥50 randomized chaos runs.
+
+class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweep, InvariantsHoldUnderRandomizedFaults) {
+  ChaosWorld world(GetParam(), "sweep");
+  RunChaosScenario(world);
+  AssertChaosInvariants(world);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep, ::testing::Range<std::uint64_t>(1, 51));
+
+// ---------------------------------------------------------------------------
+// Determinism: a chaos run is a pure function of its seed.
+
+TEST(ChaosDeterminism, SameSeedSameRunDifferentSeedDifferentRun) {
+  auto run = [](std::uint64_t seed) {
+    ChaosWorld world(seed, "det");
+    RunChaosScenario(world);
+    return world.Fingerprint();
+  };
+  const std::string first = run(7);
+  const std::string second = run(7);
+  EXPECT_EQ(first, second) << "same seed must reproduce the identical event trace";
+  EXPECT_NE(first, run(8));
+}
+
+// ---------------------------------------------------------------------------
+// Crash/restart: the victim dies mid-attack and is rebuilt from its
+// persisted banlist; the ban survives the reboot.
+
+TEST(ChaosCrashRestart, VictimRebuildsFromPersistedBanlist) {
+  NodeConfig config = ChaosVictimConfig();
+  config.ban_duration = 2 * bsim::kHour;  // survives the whole test
+  ChaosWorld world(21, "crash", config);
+
+  world.sched.RunUntil(5 * bsim::kSecond);
+  FaultSpec mild;
+  mild.loss = 0.03;
+  world.plan.SetDefaultFaults(mild);
+  world.StartHonestTraffic();
+  world.StartAttack();
+  world.sched.RunUntil(25 * bsim::kSecond);
+  ASSERT_GE(world.victim->Bans().Size(), 1u);
+  const Endpoint banned = world.last_banned;
+
+  world.plan.on_host_crash = [&world](std::uint32_t) { world.CrashVictim(); };
+  world.plan.on_host_restart = [&world](std::uint32_t) {
+    world.SpawnVictim(/*load_banlist=*/true);
+  };
+  world.plan.ScheduleCrash(kVictimIp, 26 * bsim::kSecond,
+                           /*restart_after=*/5 * bsim::kSecond);
+  world.StopAttack();
+  world.sched.RunUntil(50 * bsim::kSecond);
+
+  // The reborn victim loaded the banlist and still refuses the banned
+  // identifier...
+  EXPECT_EQ(world.plan.HostCrashes(), 1u);
+  ASSERT_GE(world.victim->Bans().Size(), 1u);
+  EXPECT_TRUE(world.victim->Bans().IsBanned(banned, world.sched.Now()));
+  AttackSession* replay = world.attacker->OpenSession({kVictimIp, 8333},
+                                                      /*auto_handshake=*/true,
+                                                      banned.port);
+  world.sched.RunUntil(world.sched.Now() + 5 * bsim::kSecond);
+  EXPECT_FALSE(replay->SessionReady());
+  EXPECT_TRUE(replay->closed);
+
+  // ...while honest peers (and fresh identifiers) reconnect fine.
+  EXPECT_GE(world.victim->OutboundCount(), static_cast<std::size_t>(kHonestPeers - 1));
+  AttackSession* fresh = world.attacker->OpenSession({kVictimIp, 8333});
+  world.sched.RunUntil(world.sched.Now() + 5 * bsim::kSecond);
+  EXPECT_TRUE(fresh->SessionReady());
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10 under weather: the detector's attack/normal separation survives 5%
+// packet loss on every honest link.
+
+TEST(ChaosDetection, Fig10SeparationSurvivesFivePercentLoss) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  FaultPlan plan(sched, 4242);
+  net.SetFaultPlan(&plan);
+
+  NodeConfig config;
+  config.target_outbound = 8;
+  Node target(sched, net, kVictimIp, config);
+  std::vector<std::unique_ptr<Node>> storage;
+  std::vector<Node*> peers;
+  for (int i = 0; i < 20; ++i) {
+    NodeConfig pc;
+    pc.target_outbound = 0;
+    auto peer = std::make_unique<Node>(sched, net, kHonestBase + i, pc);
+    peer->Start();
+    target.AddKnownAddress({peer->Ip(), 8333});
+    peers.push_back(peer.get());
+    storage.push_back(std::move(peer));
+  }
+  target.Start();
+  sched.RunUntil(10 * bsim::kSecond);
+  ASSERT_EQ(target.OutboundCount(), 8u);
+
+  // 5% loss on every link; the attacker's own host is exempt so the flood
+  // sessions establish (handshake SYNs are not retransmitted — an attacker
+  // would simply retry from a clean vantage anyway).
+  FaultSpec lossy;
+  lossy.loss = 0.05;
+  plan.SetDefaultFaults(lossy);
+  plan.SetHostFaults(kAttackerIp, FaultSpec{});
+
+  bsdetect::Monitor monitor(target);
+  bsattack::MainnetTrafficGenerator traffic(sched, peers, target,
+                                            bsattack::TrafficConfig{});
+  traffic.Start();
+  sched.RunUntil(sched.Now() + 28 * bsim::kMinute);
+  bsdetect::StatEngine engine;
+  ASSERT_TRUE(engine.Train(monitor.AllWindows(4)));
+
+  // Normal lossy traffic stays inside the envelope...
+  sched.RunUntil(sched.Now() + 6 * bsim::kMinute);
+  const auto normal = engine.Detect(monitor.Window(sched.Now(), 4));
+  EXPECT_FALSE(normal.anomalous) << "5% loss alone must not trip the detector";
+
+  // ...and the paper's PING flood still stands out.
+  AttackerNode attacker(sched, net, kAttackerIp, config.chain.magic);
+  Crafter crafter(config.chain);
+  bsattack::BmDosConfig bm;
+  bm.payload = bsattack::BmDosConfig::Payload::kPing;
+  bm.rate_msgs_per_sec = 250;
+  bsattack::BmDosAttack attack(attacker, {kVictimIp, 8333}, crafter, bm);
+  attack.Start();
+  sched.RunUntil(sched.Now() + 6 * bsim::kMinute);
+  attack.Stop();
+
+  const auto result = engine.Detect(monitor.Window(sched.Now(), 4));
+  EXPECT_TRUE(result.anomalous);
+  EXPECT_TRUE(result.bmdos_suspected);
+  EXPECT_GT(result.n, engine.GetProfile().tau_n_high);
+}
+
+}  // namespace

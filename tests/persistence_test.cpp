@@ -88,6 +88,70 @@ TEST(BanPersistence, LoadFromMissingFileFails) {
   EXPECT_FALSE(bans.LoadFromFile("/nonexistent/banlist.dat", 0));
 }
 
+namespace {
+void WriteFile(const std::string& path, const bsutil::ByteVec& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  std::fclose(f);
+}
+}  // namespace
+
+TEST(BanPersistence, CorruptFileLoadsAsEmptyState) {
+  // A node restarting over a corrupt banlist must come up clean (empty ban
+  // list), not with stale pre-load state and not crashed.
+  const std::string path = ::testing::TempDir() + "/banlist_corrupt.dat";
+  BanMan victim;
+  victim.Ban({1, 1}, 100);
+  auto data = victim.Serialize();
+  data[0] ^= 0xff;  // break the format magic
+  WriteFile(path, data);
+
+  BanMan restored;
+  restored.Ban({7, 7}, 5000);  // pre-load state must not survive a bad load
+  EXPECT_FALSE(restored.LoadFromFile(path, 0));
+  EXPECT_EQ(restored.Size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BanPersistence, TruncatedFileLoadsAsEmptyState) {
+  const std::string path = ::testing::TempDir() + "/banlist_truncated.dat";
+  BanMan bans;
+  for (std::uint16_t port = 1000; port < 1010; ++port) bans.Ban({0x0a000001, port}, 9999);
+  auto data = bans.Serialize();
+  data.resize(data.size() / 2);  // torn write mid-record
+  WriteFile(path, data);
+
+  BanMan restored;
+  restored.Ban({7, 7}, 5000);
+  EXPECT_FALSE(restored.LoadFromFile(path, 0));
+  EXPECT_EQ(restored.Size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BanPersistence, EmptyFileLoadsAsEmptyState) {
+  const std::string path = ::testing::TempDir() + "/banlist_empty.dat";
+  WriteFile(path, {});
+  BanMan restored;
+  restored.Ban({7, 7}, 5000);
+  EXPECT_FALSE(restored.LoadFromFile(path, 0));
+  EXPECT_EQ(restored.Size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BanPersistence, GarbageBytesLoadAsEmptyState) {
+  const std::string path = ::testing::TempDir() + "/banlist_garbage.dat";
+  bsutil::ByteVec garbage(733);
+  for (std::size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  WriteFile(path, garbage);
+  BanMan restored;
+  EXPECT_FALSE(restored.LoadFromFile(path, 0));
+  EXPECT_EQ(restored.Size(), 0u);
+  std::remove(path.c_str());
+}
+
 TEST(BanPersistence, SurvivesNodeRestartScenario) {
   // Ban an identifier on node A, persist, load into a fresh node's BanMan:
   // the identifier stays refused after the "restart".

@@ -12,9 +12,13 @@
 //   banscore-lab detect  [--train-minutes M] [--attack bmdos|defame]
 //                        [--window W]
 //   banscore-lab dump-metrics [--seconds S] [--payload ...] [--format prom|json]
+//   banscore-lab chaos   [--seeds N] [--seed-base B] [--seconds S]
+//                        (randomized fault sweep; exit 0 iff every seed's
+//                        safety invariants held)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,6 +31,7 @@
 #include "core/node.hpp"
 #include "detect/engine.hpp"
 #include "detect/monitor.hpp"
+#include "sim/faults.hpp"
 
 using namespace bsnet;  // NOLINT
 
@@ -318,6 +323,7 @@ int RunDumpMetrics(const Flags& flags) {
   bsim::Scheduler sched;
   sched.AttachMetrics(registry);
   bsim::Network net(sched);
+  net.AttachMetrics(registry);
   NodeConfig config;
   config.metrics = &registry;
   config.ban_policy = ParsePolicy(flags.Get("policy", "banscore"));
@@ -346,6 +352,212 @@ int RunDumpMetrics(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Chaos: the deterministic fault-injection sweep (the CLI face of
+// tests/chaos_test.cpp). One seed = one fully reproducible run: a hardened
+// victim with 4 honest peers and a Sybil attacker under randomized packet
+// loss / duplication / reordering / corruption, two link flaps, and one
+// honest-peer crash+restart, followed by a heal phase past the ban-expiry
+// horizon. The invariants checked per seed:
+//   score-ban:  no peer reaches the threshold without the policy banning it
+//   honest:     only the attacker's IP is ever misbehavior-scored
+//   expiry:     every ban expires (the table is empty after the horizon)
+//   recovery:   the victim refills its outbound slots after the weather ends
+
+struct ChaosOutcome {
+  std::uint64_t bans = 0;
+  std::uint64_t shed_bytes = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t deliveries = 0;
+  bool only_attacker_scored = true;
+  int threshold_without_ban = 0;
+  bool bans_expired = false;
+  bool recovered = false;
+
+  bool Ok() const {
+    return only_attacker_scored && threshold_without_ban == 0 && bans >= 1 &&
+           bans_expired && recovered;
+  }
+};
+
+ChaosOutcome RunOneChaosSeed(std::uint64_t seed, double chaos_seconds) {
+  constexpr std::uint32_t kVictimIp = 0x0a000001;
+  constexpr std::uint32_t kAttackerIp = 0x0a000066;
+  constexpr std::uint32_t kHonestBase = 0x0a000100;
+  constexpr int kHonest = 4;
+
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  bsim::FaultPlan plan(sched, seed);
+  net.SetFaultPlan(&plan);
+  bsutil::Rng rng(seed * 7919 + 1);
+
+  NodeConfig config;
+  config.target_outbound = kHonest;
+  config.ban_duration = 30 * bsim::kSecond;
+  config.ping_interval = 2 * bsim::kSecond;
+  config.ping_timeout = 10 * bsim::kSecond;
+  config.handshake_timeout = 8 * bsim::kSecond;
+  config.reconnect_backoff = true;
+  config.reconnect_backoff_cap = 8 * bsim::kSecond;
+
+  std::vector<std::unique_ptr<Node>> honest;
+  std::vector<std::unique_ptr<Node>> graveyard;
+  for (int i = 0; i < kHonest; ++i) {
+    NodeConfig pc;
+    pc.target_outbound = 0;
+    pc.rng_seed = 1000 + i;
+    honest.push_back(std::make_unique<Node>(sched, net, kHonestBase + i, pc));
+    honest.back()->Start();
+  }
+  auto victim = std::make_unique<Node>(sched, net, kVictimIp, config);
+  for (const auto& peer : honest) victim->AddKnownAddress({peer->Ip(), 8333});
+
+  ChaosOutcome out;
+  victim->on_misbehavior = [&](const Peer& peer, Misbehavior,
+                               const MisbehaviorOutcome& outcome) {
+    if (!outcome.rule_applied) return;
+    if (peer.remote.ip != kAttackerIp) out.only_attacker_scored = false;
+    if (outcome.total_score >= config.ban_threshold && !outcome.should_ban) {
+      ++out.threshold_without_ban;
+    }
+  };
+  victim->Start();
+
+  bsattack::AttackerNode attacker(sched, net, kAttackerIp, config.chain.magic);
+  bsattack::Crafter crafter(config.chain);
+
+  // Clean boot, then the weather turns.
+  sched.RunUntil(5 * bsim::kSecond);
+
+  bsim::FaultSpec spec;
+  spec.loss = 0.08 * rng.NextDouble();
+  spec.duplicate = 0.06 * rng.NextDouble();
+  spec.reorder = 0.10 * rng.NextDouble();
+  spec.corrupt = 0.05 * rng.NextDouble();
+  plan.SetDefaultFaults(spec);
+  for (int flap = 0; flap < 2; ++flap) {
+    const bsim::SimTime at =
+        5 * bsim::kSecond +
+        static_cast<bsim::SimTime>(rng.NextDouble() * (chaos_seconds - 5)) *
+            bsim::kSecond;
+    const bsim::SimTime down =
+        (1 + static_cast<bsim::SimTime>(rng.NextDouble() * 3)) * bsim::kSecond;
+    plan.ScheduleLinkFlap(kVictimIp, kHonestBase + rng.Below(kHonest), at, down);
+  }
+  const std::size_t crash_index = rng.Below(kHonest);
+  plan.on_host_crash = [&](std::uint32_t) {
+    honest[crash_index]->Stop();
+    graveyard.push_back(std::move(honest[crash_index]));
+  };
+  plan.on_host_restart = [&](std::uint32_t ip) {
+    NodeConfig pc;
+    pc.target_outbound = 0;
+    pc.rng_seed = 1000 + crash_index;
+    honest[crash_index] = std::make_unique<Node>(sched, net, ip, pc);
+    honest[crash_index]->Start();
+  };
+  plan.ScheduleCrash(kHonestBase + static_cast<std::uint32_t>(crash_index),
+                     20 * bsim::kSecond, 8 * bsim::kSecond);
+
+  // Honest pings twice a second; one segwit-invalid TX (instant threshold)
+  // from the attacker's current Sybil identifier every 2 s.
+  bool running = true;
+  std::uint64_t nonce = 0;
+  std::function<void()> honest_tick = [&]() {
+    if (!running) return;
+    for (const auto& peer : honest) {
+      if (peer != nullptr) peer->SendToRemoteIp(kVictimIp, bsproto::PingMsg{++nonce});
+    }
+    sched.After(500 * bsim::kMillisecond, honest_tick);
+  };
+  bool attacking = true;
+  std::function<void()> attack_tick = [&]() {
+    if (!attacking) return;
+    bsattack::AttackSession* ready = nullptr;
+    bool any_live = false;
+    for (bsattack::AttackSession* session : attacker.LiveSessions()) {
+      any_live = true;
+      if (session->SessionReady()) {
+        ready = session;
+        break;
+      }
+    }
+    if (ready != nullptr) {
+      attacker.Send(*ready, crafter.SegwitInvalidTx());
+      ++out.deliveries;
+    } else if (!any_live) {
+      attacker.OpenSession({kVictimIp, 8333});
+    }
+    sched.After(2 * bsim::kSecond, attack_tick);
+  };
+  honest_tick();
+  attack_tick();
+
+  const bsim::SimTime chaos_end =
+      5 * bsim::kSecond + bsim::FromSeconds(chaos_seconds);
+  sched.RunUntil(chaos_end);
+  attacking = false;
+  plan.SetDefaultFaults(bsim::FaultSpec{});
+  sched.RunUntil(chaos_end + config.ban_duration + 15 * bsim::kSecond);
+  running = false;
+
+  out.bans = victim->PeersBanned();
+  out.shed_bytes = victim->RxBytesShed();
+  out.dropped_loss = plan.SegmentsDroppedLoss();
+  out.duplicated = plan.SegmentsDuplicated();
+  out.delayed = plan.SegmentsDelayed();
+  out.corrupted = plan.SegmentsCorrupted();
+  out.dropped_partition = plan.SegmentsDroppedPartition();
+  out.bans_expired = victim->Bans().Size() == 0;
+  out.recovered = victim->OutboundCount() >= static_cast<std::size_t>(kHonest - 1);
+  return out;
+}
+
+int RunChaos(const Flags& flags) {
+  const int seeds = static_cast<int>(flags.GetNum("seeds", 20));
+  const std::uint64_t base = static_cast<std::uint64_t>(flags.GetNum("seed-base", 1));
+  const double seconds = flags.GetNum("seconds", 60);
+
+  std::printf("chaos sweep: %d seeds x %.0f s of randomized faults "
+              "(loss/dup/reorder/corrupt + 2 link flaps + 1 crash/restart)\n\n",
+              seeds, seconds);
+  std::printf("%6s | %6s %6s %6s %6s %6s | %4s %9s | %s\n", "seed", "loss", "dup",
+              "reord", "corr", "part", "bans", "shed B", "invariants");
+  int failures = 0;
+  for (int k = 0; k < seeds; ++k) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(k);
+    const ChaosOutcome out = RunOneChaosSeed(seed, seconds);
+    std::string verdict;
+    if (out.Ok()) {
+      verdict = "OK";
+    } else {
+      if (!out.only_attacker_scored) verdict += " HONEST-SCORED";
+      if (out.threshold_without_ban != 0) verdict += " THRESHOLD-NO-BAN";
+      if (out.bans < 1) verdict += " NO-BAN-LANDED";
+      if (!out.bans_expired) verdict += " BAN-STUCK";
+      if (!out.recovered) verdict += " NOT-RECOVERED";
+      ++failures;
+    }
+    std::printf("%6llu | %6llu %6llu %6llu %6llu %6llu | %4llu %9llu |%s%s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(out.dropped_loss),
+                static_cast<unsigned long long>(out.duplicated),
+                static_cast<unsigned long long>(out.delayed),
+                static_cast<unsigned long long>(out.corrupted),
+                static_cast<unsigned long long>(out.dropped_partition),
+                static_cast<unsigned long long>(out.bans),
+                static_cast<unsigned long long>(out.shed_bytes),
+                out.Ok() ? " " : "", verdict.c_str());
+  }
+  std::printf("\n%d/%d seeds held every invariant\n", seeds - failures, seeds);
+  return failures == 0 ? 0 : 1;
+}
+
 void Usage() {
   std::printf(
       "banscore-lab <scenario> [--flag value ...]\n"
@@ -357,7 +569,10 @@ void Usage() {
       "  defame  --mode pre|post --policy P\n"
       "  detect  --train-minutes M --window W --attack bmdos|defame\n"
       "  dump-metrics --seconds S --payload P --format prom|json\n"
-      "          (run a short instrumented flood, print the bsobs snapshot)\n");
+      "          (run a short instrumented flood, print the bsobs snapshot)\n"
+      "  chaos   --seeds N --seed-base B --seconds S\n"
+      "          (seeded fault-injection sweep over the hardened node;\n"
+      "           exit 0 iff every seed's safety invariants held)\n");
 }
 
 }  // namespace
@@ -375,6 +590,7 @@ int main(int argc, char** argv) {
   if (scenario == "defame") return RunDefame(flags);
   if (scenario == "detect") return RunDetect(flags);
   if (scenario == "dump-metrics") return RunDumpMetrics(flags);
+  if (scenario == "chaos") return RunChaos(flags);
   Usage();
   return 2;
 }
