@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Pre-merge gate: the tier-1 verify (configure + build + full ctest run),
 # an ASan/UBSan build of the test suite, a TSan build of the chaos/sim
-# tests, and a fixed-seed chaos smoke sweep through banscore-lab. Run from
-# anywhere; builds land in build/ (tier-1), build-asan/, and build-tsan/.
+# tests, a fixed-seed chaos smoke sweep, and a degradation smoke (honest
+# mining must hold >= 50% of baseline under a Sybil flood with the full
+# defense stack on). Run from anywhere; builds land in build/ (tier-1),
+# build-asan/, and build-tsan/.
 #
 #   scripts/check.sh            # all stages
 #   scripts/check.sh --no-asan  # tier-1 + chaos smoke only (skips ASan+TSan)
@@ -24,6 +26,9 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo "==> chaos smoke: 20 fixed seeds of randomized fault injection"
 ./build/tools/banscore-lab chaos --seeds 20 --seed-base 1 --seconds 60
+
+echo "==> degradation smoke: honest mining >= 50% of baseline under flood"
+./build/tools/banscore-lab overload --defenses all --min-ratio 0.5 --format json
 
 if [ "$run_asan" = 1 ]; then
   echo "==> sanitizers: ASan/UBSan build + ctest"

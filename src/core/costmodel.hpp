@@ -29,6 +29,13 @@ namespace bsnet {
 /// the victim even though they never reach validation.
 constexpr double kChecksumCyclesPerByte = 15.0;
 
+/// Cycles charged for a frame refused by the rate limiter or CPU-budget
+/// governor: header peek plus bucket bookkeeping only. The gap between this
+/// and the checksum+processing cost of an admitted frame is the entire value
+/// of shedding — a 60 kB bogus BLOCK costs ~9e5 cycles to checksum but only
+/// this much to refuse.
+constexpr double kRateLimitDropCycles = 2.0e4;
+
 /// Table II: mean clock cycles for the attacker to craft one message of this
 /// type (python-bitcoinlib attacker).
 double AttackerCraftCycles(bsproto::MsgType type);

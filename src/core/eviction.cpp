@@ -1,0 +1,135 @@
+#include "core/eviction.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace bsnet {
+namespace {
+
+using Candidates = std::vector<EvictionCandidate>;
+
+std::unordered_map<std::uint32_t, std::size_t> CountNetGroups(const Candidates& c) {
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  for (const EvictionCandidate& peer : c) ++counts[NetGroup(peer.ip)];
+  return counts;
+}
+
+/// Sort so the k most protect-worthy candidates (per `cmp`, which orders
+/// least-worthy first) sit at the end, then drop them from the pool.
+template <typename Cmp>
+void ProtectLastK(Candidates& pool, std::size_t k, Cmp cmp) {
+  std::sort(pool.begin(), pool.end(), cmp);
+  pool.erase(pool.end() - static_cast<std::ptrdiff_t>(std::min(k, pool.size())),
+             pool.end());
+}
+
+bsim::SimTime PingOrWorst(const EvictionCandidate& c) {
+  return c.min_ping_rtt < 0 ? std::numeric_limits<bsim::SimTime>::max()
+                            : c.min_ping_rtt;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> SelectInboundPeerToEvict(Candidates candidates) {
+  if (candidates.empty()) return std::nullopt;
+
+  // Tier 1: netgroup diversity. The rarest groups are the ones a one-subnet
+  // Sybil swarm cannot supply; protect their longest-lived member first.
+  // (Every comparator here breaks final ties on id so the choice is a pure
+  // function of the candidate set.)
+  {
+    const auto counts = CountNetGroups(candidates);
+    ProtectLastK(candidates, kProtectNetGroupPeers,
+                 [&counts](const EvictionCandidate& a, const EvictionCandidate& b) {
+                   const std::size_t ca = counts.at(NetGroup(a.ip));
+                   const std::size_t cb = counts.at(NetGroup(b.ip));
+                   if (ca != cb) return ca > cb;  // rarer group → more worthy
+                   if (a.connected_at != b.connected_at)
+                     return a.connected_at > b.connected_at;  // older → more worthy
+                   return a.id > b.id;
+                 });
+  }
+
+  // Tier 2: lowest measured ping — proximity is earned, not claimed.
+  ProtectLastK(candidates, kProtectLowPingPeers,
+               [](const EvictionCandidate& a, const EvictionCandidate& b) {
+                 const bsim::SimTime pa = PingOrWorst(a);
+                 const bsim::SimTime pb = PingOrWorst(b);
+                 if (pa != pb) return pa > pb;  // lower ping → more worthy
+                 return a.id > b.id;
+               });
+
+  // Tiers 3+4: recently useful peers (novel txs, then novel blocks). Only
+  // peers that actually provided one qualify — protecting a zero timestamp
+  // would hand the slots to flood peers that never relayed anything, and a
+  // depleted pool then lets netgroup-population ties fall on honest peers.
+  ProtectLastK(candidates,
+               std::min<std::size_t>(
+                   kProtectTxPeers,
+                   static_cast<std::size_t>(std::count_if(
+                       candidates.begin(), candidates.end(),
+                       [](const EvictionCandidate& c) { return c.last_tx_time > 0; }))),
+               [](const EvictionCandidate& a, const EvictionCandidate& b) {
+                 if (a.last_tx_time != b.last_tx_time)
+                   return a.last_tx_time < b.last_tx_time;
+                 return a.id > b.id;
+               });
+  ProtectLastK(candidates,
+               std::min<std::size_t>(
+                   kProtectBlockPeers,
+                   static_cast<std::size_t>(std::count_if(
+                       candidates.begin(), candidates.end(),
+                       [](const EvictionCandidate& c) { return c.last_block_time > 0; }))),
+               [](const EvictionCandidate& a, const EvictionCandidate& b) {
+                 if (a.last_block_time != b.last_block_time)
+                   return a.last_block_time < b.last_block_time;
+                 return a.id > b.id;
+               });
+
+  // Tier 5: half of whatever remains, by longest uptime.
+  ProtectLastK(candidates, candidates.size() / 2,
+               [](const EvictionCandidate& a, const EvictionCandidate& b) {
+                 if (a.connected_at != b.connected_at)
+                   return a.connected_at > b.connected_at;  // older → more worthy
+                 return a.id > b.id;
+               });
+
+  if (candidates.empty()) return std::nullopt;
+
+  // Evict from the most populous netgroup among the unprotected remainder —
+  // under a Sybil flood that is, by construction, the attacker's group.
+  // Tie between groups: the one with the youngest member (churning hardest).
+  const auto counts = CountNetGroups(candidates);
+  std::uint32_t target_group = 0;
+  std::size_t target_count = 0;
+  bsim::SimTime target_youngest = -1;
+  for (const EvictionCandidate& c : candidates) {
+    const std::uint32_t group = NetGroup(c.ip);
+    const std::size_t count = counts.at(group);
+    if (count > target_count ||
+        (count == target_count && c.connected_at > target_youngest) ||
+        (count == target_count && c.connected_at == target_youngest &&
+         group > target_group)) {
+      target_group = group;
+      target_count = count;
+      target_youngest = c.connected_at;
+    }
+  }
+
+  // Within the group: youngest first, then lowest good-score, then the
+  // latest-registered id.
+  const EvictionCandidate* victim = nullptr;
+  for (const EvictionCandidate& c : candidates) {
+    if (NetGroup(c.ip) != target_group) continue;
+    if (victim == nullptr || c.connected_at > victim->connected_at ||
+        (c.connected_at == victim->connected_at &&
+         (c.good_score < victim->good_score ||
+          (c.good_score == victim->good_score && c.id > victim->id)))) {
+      victim = &c;
+    }
+  }
+  return victim->id;
+}
+
+}  // namespace bsnet

@@ -1,0 +1,61 @@
+// Inbound-peer eviction, after Bitcoin Core's SelectNodeToEvict.
+//
+// The stock 0.20.0 node this repo models refuses new inbound connections
+// flatly once max_inbound is reached — which means a Sybil flood that fills
+// the slots first locks honest newcomers out forever (the bans the paper
+// studies never fire for BM-DoS traffic, so the slots never free up).
+// Core's answer is eviction: when full, protect the peers that are hardest
+// for an attacker to counterfeit, then disconnect the least valuable of the
+// rest to admit the newcomer.
+//
+// Protection tiers (applied in order, each removing its picks from the
+// eviction pool):
+//
+//   1. netgroup diversity — peers from the rarest /16 groups; a one-subnet
+//      Sybil swarm cannot occupy these slots,
+//   2. lowest minimum ping — latency is earned on the wire, not claimed,
+//   3. recent tx providers and 4. recent block providers — usefulness,
+//   5. half of the remainder by longest uptime.
+//
+// The evicted peer is the youngest member of the most populous netgroup,
+// tie-broken by lowest good-score from the MisbehaviorTracker (the paper's
+// §VIII good-score signal reused as an eviction shield) — so the flood
+// churns its own connections while diverse, useful, long-lived peers stay.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bsnet {
+
+/// /16 prefix grouping, the stand-in for Core's ASN/netgroup bucketing: one
+/// attacker machine (or rented subnet) lands every Sybil in one group.
+constexpr std::uint32_t NetGroup(std::uint32_t ip) { return ip >> 16; }
+
+// How many peers each protection tier shields from eviction.
+constexpr std::size_t kProtectNetGroupPeers = 4;
+constexpr std::size_t kProtectLowPingPeers = 8;
+constexpr std::size_t kProtectTxPeers = 4;
+constexpr std::size_t kProtectBlockPeers = 4;
+
+/// Snapshot of one inbound peer, as the eviction logic sees it.
+struct EvictionCandidate {
+  std::uint64_t id = 0;
+  std::uint32_t ip = 0;
+  bsim::SimTime connected_at = 0;
+  bsim::SimTime min_ping_rtt = -1;    // -1 == never measured
+  bsim::SimTime last_block_time = 0;  // 0 == never delivered a valid block
+  bsim::SimTime last_tx_time = 0;     // 0 == never delivered a valid tx
+  int good_score = 0;                 // MisbehaviorTracker::GoodScore
+};
+
+/// Pick the inbound peer to disconnect so a newcomer can be admitted, or
+/// nullopt when every candidate is protected (the newcomer is refused, as in
+/// Core). Pure and deterministic: same candidates, same answer.
+std::optional<std::uint64_t> SelectInboundPeerToEvict(
+    std::vector<EvictionCandidate> candidates);
+
+}  // namespace bsnet

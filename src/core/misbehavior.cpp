@@ -11,6 +11,44 @@ void MisbehaviorTracker::AttachMetrics(bsobs::MetricsRegistry& registry) {
       "bs_ban_threshold_crossings_total", "Scores that crossed the ban threshold");
   m_good_score_points_total_ = registry.GetCounter(
       "bs_ban_good_score_points_total", "Good-score credit granted");
+  m_scores_pruned_total_ = registry.GetCounter(
+      "bs_ban_scores_pruned_total", "Score entries pruned at the LRU cap");
+  m_entries_gauge_ =
+      registry.GetGauge("bs_ban_score_entries", "Peers currently tracked");
+  UpdateEntriesGauge();
+}
+
+PeerScore& MisbehaviorTracker::Touch(std::uint64_t peer_id) {
+  const auto it = scores_.find(peer_id);
+  if (it != scores_.end()) {
+    it->second.last_touch = ++touch_seq_;
+    return it->second;
+  }
+  if (max_entries_ > 0 && scores_.size() >= max_entries_) PruneLru();
+  PeerScore& score = scores_[peer_id];
+  score.last_touch = ++touch_seq_;
+  UpdateEntriesGauge();
+  return score;
+}
+
+void MisbehaviorTracker::PruneLru() {
+  auto oldest = scores_.begin();
+  for (auto it = scores_.begin(); it != scores_.end(); ++it) {
+    if (it->second.last_touch < oldest->second.last_touch) oldest = it;
+  }
+  scores_.erase(oldest);
+  if (m_scores_pruned_total_ != nullptr) m_scores_pruned_total_->Inc();
+}
+
+void MisbehaviorTracker::Forget(std::uint64_t peer_id) {
+  scores_.erase(peer_id);
+  UpdateEntriesGauge();
+}
+
+void MisbehaviorTracker::UpdateEntriesGauge() {
+  if (m_entries_gauge_ != nullptr) {
+    m_entries_gauge_->Set(static_cast<double>(scores_.size()));
+  }
 }
 
 const char* ToString(BanPolicy p) {
@@ -37,7 +75,7 @@ MisbehaviorOutcome MisbehaviorTracker::Misbehaving(std::uint64_t peer_id, bool i
   if (rule->scope == PeerScope::kInbound && !inbound) return outcome;
   if (rule->scope == PeerScope::kOutbound && inbound) return outcome;
 
-  PeerScore& score = scores_[peer_id];
+  PeerScore& score = Touch(peer_id);
   score.misbehavior += rule->score;
 
   outcome.rule_applied = true;
@@ -74,7 +112,7 @@ MisbehaviorOutcome MisbehaviorTracker::Misbehaving(std::uint64_t peer_id, bool i
 }
 
 void MisbehaviorTracker::AddGoodScore(std::uint64_t peer_id, int delta) {
-  scores_[peer_id].good_score += delta;
+  Touch(peer_id).good_score += delta;
   if (m_good_score_points_total_ != nullptr && delta > 0) {
     m_good_score_points_total_->Inc(static_cast<std::uint64_t>(delta));
   }

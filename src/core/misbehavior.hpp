@@ -29,6 +29,7 @@ const char* ToString(BanPolicy p);
 struct PeerScore {
   int misbehavior = 0;
   int good_score = 0;
+  std::uint64_t last_touch = 0;  // LRU sequence, for the entry cap
 };
 
 /// What Misbehaving() decided.
@@ -69,13 +70,32 @@ class MisbehaviorTracker {
   int GoodScore(std::uint64_t peer_id) const;
 
   /// Drop a disconnected peer's state.
-  void Forget(std::uint64_t peer_id) { scores_.erase(peer_id); }
+  void Forget(std::uint64_t peer_id);
+
+  /// Cap on tracked peers (0 = unbounded). The node always calls Forget on
+  /// disconnect, so in steady state the map tracks live peers only — but a
+  /// Sybil reconnect storm races peer registration against teardown, and any
+  /// future caller that skips Forget would leak. The cap is the backstop:
+  /// when an insert would exceed it, the least-recently-touched entry is
+  /// pruned (counted in bs_ban_scores_pruned_total).
+  void SetMaxEntries(std::size_t cap) { max_entries_ = cap; }
+  std::size_t MaxEntries() const { return max_entries_; }
+  /// Peers currently tracked.
+  std::size_t Size() const { return scores_.size(); }
 
  private:
+  /// Find-or-insert `peer_id`, stamping its LRU sequence and pruning at the
+  /// entry cap.
+  PeerScore& Touch(std::uint64_t peer_id);
+  void PruneLru();
+  void UpdateEntriesGauge();
+
   CoreVersion version_;
   BanPolicy policy_;
   int threshold_;
   int good_score_exemption_;
+  std::size_t max_entries_ = 0;
+  std::uint64_t touch_seq_ = 0;
   std::unordered_map<std::uint64_t, PeerScore> scores_;
 
   // Observability handles (null until AttachMetrics).
@@ -83,6 +103,8 @@ class MisbehaviorTracker {
   bsobs::Counter* m_score_points_total_ = nullptr;
   bsobs::Counter* m_threshold_crossings_total_ = nullptr;
   bsobs::Counter* m_good_score_points_total_ = nullptr;
+  bsobs::Counter* m_scores_pruned_total_ = nullptr;
+  bsobs::Gauge* m_entries_gauge_ = nullptr;
 };
 
 }  // namespace bsnet

@@ -1,6 +1,7 @@
 #include "core/node.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "crypto/partial_merkle.hpp"
 #include "util/log.hpp"
@@ -20,6 +21,14 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
       tracker_(config_.core_version, config_.ban_policy, config_.ban_threshold,
                config_.good_score_exemption),
       trace_(config_.trace_capacity) {
+  tracker_.SetMaxEntries(config_.tracker_max_entries);
+  if (config_.governor_cycles_per_sec > 0) {
+    const double burst = config_.governor_burst_cycles > 0
+                             ? config_.governor_burst_cycles
+                             : config_.governor_cycles_per_sec;
+    governor_.emplace(config_.governor_cycles_per_sec, burst,
+                      config_.governor_low_priority_reserve, sched.Now());
+  }
   if (config_.metrics != nullptr) {
     metrics_ = config_.metrics;
   } else {
@@ -51,6 +60,18 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
                                             "Peers dropped: unanswered PING");
   m_dial_failures_ = reg.GetCounter("bs_node_outbound_dial_failures_total",
                                     "Outbound sessions that failed or were lost");
+  m_evictions_ = reg.GetCounter("bs_node_evictions_total",
+                                "Inbound peers evicted to admit a newcomer");
+  m_inbound_full_rejects_ = reg.GetCounter(
+      "bs_node_inbound_full_rejects_total",
+      "Inbound connections refused with every slot full and none evictable");
+  m_ratelimit_frames_ = reg.GetCounter("bs_node_ratelimit_frames_dropped_total",
+                                       "Frames shed by the rx rate limiter");
+  m_ratelimit_bytes_ = reg.GetCounter("bs_node_ratelimit_bytes_dropped_total",
+                                      "Frame bytes shed by the rx rate limiter");
+  m_governor_shed_frames_ =
+      reg.GetCounter("bs_node_governor_shed_frames_total",
+                     "Frames shed by the global CPU-budget governor");
   for (const MsgType type : bsproto::AllMsgTypes()) {
     m_msg_type_[static_cast<std::size_t>(type)] = reg.GetCounter(
         std::string("bs_node_messages_") + bsproto::CommandName(type) + "_total",
@@ -109,10 +130,84 @@ void Node::AcceptInbound(bsim::TcpConnection& conn) {
     return;
   }
   if (InboundCount() >= static_cast<std::size_t>(config_.max_inbound)) {
-    conn.Reset();
-    return;
+    // Stock 0.20.0 refuses flatly; with eviction on, the newcomer gets the
+    // slot of the least-protected existing peer (or is refused when every
+    // candidate is protected, as in Core). One identifier-light guard on
+    // top: a netgroup already holding a strict plurality of the inbound
+    // slots cannot claim more through eviction. Without it, an evicted
+    // Sybil reconnects within milliseconds, wins an eviction against its
+    // own groupmate, and the resulting churn loop turns the handshake
+    // processing itself into the flood.
+    if (!config_.enable_eviction ||
+        NewcomerGroupHoldsPlurality(NetGroup(conn.Remote().ip)) ||
+        !EvictInboundPeer()) {
+      m_inbound_full_rejects_->Inc();
+      conn.Reset();
+      return;
+    }
   }
   RegisterPeer(conn, /*inbound=*/true);
+}
+
+bool Node::NewcomerGroupHoldsPlurality(std::uint32_t group) const {
+  std::size_t own = 0, best_other = 0;
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  for (const auto& [id, peer] : peers_) {
+    if (!peer->inbound) continue;
+    ++counts[NetGroup(peer->remote.ip)];
+  }
+  for (const auto& [g, count] : counts) {
+    if (g == group) {
+      own = count;
+    } else {
+      best_other = std::max(best_other, count);
+    }
+  }
+  return own > 0 && own > best_other;
+}
+
+bool Node::EvictInboundPeer() {
+  std::vector<EvictionCandidate> candidates;
+  candidates.reserve(peers_.size());
+  for (const auto& [id, peer] : peers_) {
+    if (!peer->inbound) continue;
+    candidates.push_back({id, peer->remote.ip, peer->connected_at,
+                          peer->min_ping_rtt, peer->last_block_time,
+                          peer->last_tx_time, tracker_.GoodScore(id)});
+  }
+  const auto victim = SelectInboundPeerToEvict(std::move(candidates));
+  if (!victim) return false;
+  const auto it = peers_.find(*victim);
+  if (it == peers_.end()) return false;
+  m_evictions_->Inc();
+  trace_.Record(Sched().Now(), bsobs::EventType::kPeerEvicted, *victim,
+                static_cast<std::int64_t>(it->second->remote.ip),
+                static_cast<std::int64_t>(NetGroup(it->second->remote.ip)));
+  if (on_peer_evicted) on_peer_evicted(*it->second);
+  DisconnectPeer(*victim);
+  return true;
+}
+
+void Node::FlagPeer(std::uint64_t id, bool low_priority) {
+  const auto it = peers_.find(id);
+  if (it != peers_.end()) it->second->detect_flagged = low_priority;
+}
+
+PeerPriority Node::PriorityOf(const Peer& peer) const {
+  if (!config_.enable_priority) return PeerPriority::kNormal;
+  const std::uint64_t droppable = peer.frames_bad_checksum +
+                                  peer.frames_unknown_command +
+                                  peer.frames_malformed;
+  // Demotion outranks good-score promotion: one lucky valid block must not
+  // buy an exemption from flood shedding.
+  if (peer.detect_flagged ||
+      (config_.demote_bad_frames_threshold > 0 &&
+       droppable >=
+           static_cast<std::uint64_t>(config_.demote_bad_frames_threshold))) {
+    return PeerPriority::kLow;
+  }
+  if (tracker_.GoodScore(peer.id) > 0) return PeerPriority::kHigh;
+  return PeerPriority::kNormal;
 }
 
 bool Node::ConnectTo(const Endpoint& remote) {
@@ -153,6 +248,17 @@ Peer& Node::RegisterPeer(bsim::TcpConnection& conn, bool inbound) {
   peer->remote = conn.Remote();
   peer->inbound = inbound;
   peer->conn = &conn;
+  peer->connected_at = Sched().Now();
+  if (config_.enable_rate_limit) {
+    // Newcomers open with one second of fill, not a full burst: eviction
+    // churn must not mint fresh burst-sized credit for every Sybil rebirth.
+    peer->rx_bytes_bucket =
+        TokenBucket(config_.rx_bytes_burst, config_.rx_bytes_per_sec,
+                    peer->connected_at, config_.rx_bytes_per_sec);
+    peer->rx_cost_bucket =
+        TokenBucket(config_.rx_cycles_burst, config_.rx_cycles_per_sec,
+                    peer->connected_at, config_.rx_cycles_per_sec);
+  }
   Peer* raw = peer.get();
   peers_.emplace(id, std::move(peer));
   m_peers_gauge_->Set(static_cast<double>(peers_.size()));
@@ -215,6 +321,18 @@ void Node::MaintainOutbound() {
   if (!maintenance_running_) return;
   const bsim::SimTime now = Sched().Now();
   banman_.SweepExpired(now);
+
+  // Serial-Sybil outbound churn creates one backoff record per [IP:Port]
+  // identifier ever dialed; entries far past their redial window are dead
+  // weight (DialAllowed would pass them anyway), so sweep them once the map
+  // is big enough to matter. An endpoint quiet for ten full backoff caps
+  // restarting from failure #1 is the intended forgiveness.
+  if (dial_backoff_.size() > 64) {
+    const bsim::SimTime grace = 10 * config_.reconnect_backoff_cap;
+    std::erase_if(dial_backoff_, [&](const auto& entry) {
+      return now - entry.second.next_attempt > grace;
+    });
+  }
 
   // Keepalive and inactivity handling (all opt-in via config).
   if (config_.ping_interval > 0 || config_.inactivity_timeout > 0 ||
@@ -388,6 +506,12 @@ void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame) {
   bsobs::ScopedTimer frame_timer(m_frame_process_seconds_);
   if (frame.status != DecodeStatus::kNeedMoreData) {
     m_frame_bytes_->Observe(static_cast<double>(frame_bytes));
+    // Resource governance: the frame must fit the peer's token buckets and
+    // the global CPU budget *before* the payload is checksummed — shedding
+    // at the header peek is what keeps a flood off the CPU. The bytes stay
+    // visible to on_frame above (they did arrive on the wire, and the
+    // detect engine watches the wire).
+    if (!AdmitFrame(peer, frame, frame_bytes)) return;
   }
 
   switch (frame.status) {
@@ -442,6 +566,74 @@ void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame) {
   if (on_message) on_message(peer, type, frame.header.length);
 
   ProcessMessage(peer, frame.message);
+}
+
+bool Node::AdmitFrame(Peer& peer, const bsproto::DecodeResult& frame,
+                      std::size_t frame_bytes) {
+  if (!config_.enable_rate_limit && !governor_) return true;
+  const bsim::SimTime now = Sched().Now();
+
+  // What processing this frame would cost the shared CPU: checksum over the
+  // payload, the type handler when it would actually run, and the fixed
+  // stack overhead the CpuModel charges per admitted message.
+  double cost = static_cast<double>(frame.header.length) * kChecksumCyclesPerByte;
+  bool control_frame = false;
+  if (frame.status == bsproto::DecodeStatus::kOk) {
+    const bsproto::MsgType type = bsproto::MsgTypeOf(frame.message);
+    cost += VictimProcessCycles(type);
+    control_frame = type == bsproto::MsgType::kVersion ||
+                    type == bsproto::MsgType::kVerack ||
+                    type == bsproto::MsgType::kPing ||
+                    type == bsproto::MsgType::kPong;
+  }
+  if (cpu_) cost += cpu_->Config().per_message_overhead_cycles;
+
+  PeerPriority priority = PriorityOf(peer);
+  // A frame that already failed decode has nothing left to offer but its
+  // accounting; never let it compete with intact traffic for the reserve.
+  if (config_.enable_priority && frame.status != bsproto::DecodeStatus::kOk) {
+    priority = PeerPriority::kLow;
+  }
+  const double scale = priority == PeerPriority::kLow &&
+                               config_.low_priority_cost_scale > 0
+                           ? 1.0 / config_.low_priority_cost_scale
+                           : 1.0;
+  const double byte_cost = static_cast<double>(frame_bytes) * scale;
+  const double cycle_cost = cost * scale;
+
+  bool admitted = true;
+  bool governor_shed = false;
+  if (config_.enable_rate_limit &&
+      (peer.rx_bytes_bucket.Available(now) < byte_cost ||
+       peer.rx_cost_bucket.Available(now) < cycle_cost)) {
+    admitted = false;
+  }
+  // The governor is only drawn on for frames the per-peer buckets accept,
+  // so a bucket-refused flood cannot also drain the shared budget. Handshake
+  // and keepalive control frames skip it entirely — shedding a PONG under
+  // load would sever exactly the honest connections the governor protects,
+  // and a control-frame flood is still throttled by the per-peer buckets.
+  if (admitted && !control_frame && governor_ &&
+      !governor_->TryConsume(cycle_cost, priority, now)) {
+    admitted = false;
+    governor_shed = true;
+  }
+  if (admitted) {
+    if (config_.enable_rate_limit) {
+      peer.rx_bytes_bucket.TryConsume(byte_cost, now);
+      peer.rx_cost_bucket.TryConsume(cycle_cost, now);
+    }
+    return true;
+  }
+
+  m_ratelimit_frames_->Inc();
+  m_ratelimit_bytes_->Inc(frame_bytes);
+  if (governor_shed) m_governor_shed_frames_->Inc();
+  if (cpu_) cpu_->ConsumeCycles(kRateLimitDropCycles);
+  trace_.Record(now, bsobs::EventType::kRateLimited, peer.id,
+                static_cast<std::int64_t>(frame_bytes), governor_shed ? 1 : 0);
+  if (on_frame_shed) on_frame_shed(peer, frame_bytes, governor_shed);
+  return false;
 }
 
 bool Node::ApplyMisbehavior(Peer& peer, Misbehavior what) {
@@ -511,6 +703,9 @@ void Node::ProcessMessage(Peer& peer, const Message& msg) {
       if (peer.outstanding_ping_nonce != 0 &&
           pong.nonce == peer.outstanding_ping_nonce) {
         peer.last_pong_rtt = Sched().Now() - peer.last_ping_sent;
+        if (peer.min_ping_rtt < 0 || peer.last_pong_rtt < peer.min_ping_rtt) {
+          peer.min_ping_rtt = peer.last_pong_rtt;  // eviction protection tier 2
+        }
         peer.outstanding_ping_nonce = 0;
       }
       return;
@@ -787,6 +982,7 @@ void Node::HandleTx(Peer& peer, const bsproto::TxMsg& msg) {
   const bschain::TxResult result = mempool_.AcceptTransaction(msg.tx);
   switch (result) {
     case bschain::TxResult::kOk:
+      peer.last_tx_time = Sched().Now();  // eviction protection tier 3
       if (config_.relay) RelayTxInv(msg.tx.Txid(), peer.id);
       return;
     case bschain::TxResult::kSegwitInvalid:
@@ -804,6 +1000,7 @@ void Node::AcceptBlockFrom(Peer& peer, const bschain::Block& block) {
     case bschain::BlockResult::kOk:
       // Good-score credit: the peer delivered a valid block (§VIII).
       tracker_.AddGoodScore(peer.id);
+      peer.last_block_time = Sched().Now();  // eviction protection tier 4
       if (on_block_accepted) on_block_accepted(block);
       if (config_.relay) RelayBlockInv(block.Hash(), peer.id);
       return;

@@ -33,7 +33,9 @@
 #include "core/addrman.hpp"
 #include "core/banman.hpp"
 #include "core/costmodel.hpp"
+#include "core/eviction.hpp"
 #include "core/misbehavior.hpp"
+#include "core/ratelimit.hpp"
 #include "core/rules.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -94,6 +96,39 @@ struct NodeConfig {
   bsim::SimTime reconnect_backoff_cap = 60 * bsim::kSecond;
   double reconnect_backoff_jitter = 0.25;
 
+  // ---- Overload resilience (beyond-paper; defaults keep every paper bench
+  // on the stock 0.20.0 path — see README "Overload resilience") ----
+  /// Inbound eviction: when every inbound slot is taken, run the Core-style
+  /// eviction logic (core/eviction.hpp) and disconnect the loser to admit
+  /// the newcomer. Off = the stock flat refusal, which lets a Sybil flood
+  /// that fills the slots first lock honest newcomers out.
+  bool enable_eviction = false;
+  /// Per-peer token buckets over rx bytes/sec and costmodel-weighted cycles
+  /// per second. A frame that would overdraw either bucket is shed at the
+  /// header peek (kRateLimitDropCycles) instead of being checksummed.
+  bool enable_rate_limit = false;
+  double rx_bytes_per_sec = 2.0 * 1024 * 1024;
+  double rx_bytes_burst = 8.0 * 1024 * 1024;
+  double rx_cycles_per_sec = 5.0e7;
+  double rx_cycles_burst = 2.0e8;
+  /// Global CPU-budget governor over all peers' receive processing, in model
+  /// cycles/sec (0 = no governor). Low-priority peers cannot draw the bucket
+  /// below `governor_low_priority_reserve` of its burst capacity, so when
+  /// the budget is exhausted the lowest-priority work is shed first.
+  double governor_cycles_per_sec = 0.0;
+  double governor_burst_cycles = 0.0;  // 0 = one second of budget
+  double governor_low_priority_reserve = 0.2;
+  /// Priority-aware rx processing: peers flagged by the detect engine
+  /// (FlagPeer) or that keep sending droppable frames drain at low priority
+  /// — their bucket/governor costs scale by 1/low_priority_cost_scale and
+  /// the governor sheds them first. Peers with good-score credit (valid
+  /// blocks delivered, §VIII) drain at high priority.
+  bool enable_priority = false;
+  int demote_bad_frames_threshold = 50;
+  double low_priority_cost_scale = 0.25;
+  /// MisbehaviorTracker entry cap (0 = unbounded); see SetMaxEntries.
+  std::size_t tracker_max_entries = 65536;
+
   bschain::ChainParams chain;
   std::uint64_t services = bsproto::kNodeNetwork | bsproto::kNodeWitness;
   std::int32_t protocol_version = bsproto::kProtocolVersion;
@@ -147,6 +182,15 @@ struct Peer {
   bsim::SimTime last_ping_sent = 0;
   std::uint64_t outstanding_ping_nonce = 0;  // 0 == none outstanding
   bsim::SimTime last_pong_rtt = -1;          // -1 == never measured
+
+  // Overload-resilience bookkeeping (core/eviction.hpp, core/ratelimit.hpp).
+  bsim::SimTime connected_at = 0;
+  bsim::SimTime min_ping_rtt = -1;    // -1 == never measured
+  bsim::SimTime last_block_time = 0;  // last valid block delivered
+  bsim::SimTime last_tx_time = 0;     // last valid (novel) tx delivered
+  bool detect_flagged = false;        // demoted via Node::FlagPeer
+  TokenBucket rx_bytes_bucket;        // live when enable_rate_limit
+  TokenBucket rx_cost_bucket;
 
   bsutil::ByteVec rx_buffer;  // wire-stream reassembly
 
@@ -203,6 +247,14 @@ class Node : public bsim::Host {
   /// Detection response: drop every connection and rebuild outbound slots.
   void DropAndRebuildConnections();
 
+  // ---- Overload resilience ----
+  /// Detect-engine hook: pin a peer to low rx priority (true) or clear the
+  /// flag. No-op for unknown ids; the flag dies with the connection.
+  void FlagPeer(std::uint64_t id, bool low_priority);
+  /// The priority a peer's frames currently drain at (kNormal whenever
+  /// enable_priority is off).
+  PeerPriority PriorityOf(const Peer& peer) const;
+
   // ---- Sending ----
   void SendTo(Peer& peer, const bsproto::Message& msg);
   /// Send to the first handshake-complete peer whose remote IP is `ip`
@@ -221,6 +273,11 @@ class Node : public bsim::Host {
   std::function<void(std::size_t frame_bytes, bsproto::DecodeStatus)> on_frame;
   std::function<void(const Peer&, Misbehavior, const MisbehaviorOutcome&)> on_misbehavior;
   std::function<void(const Peer&)> on_peer_banned;
+  /// Fired just before an inbound peer is evicted to admit a newcomer.
+  std::function<void(const Peer&)> on_peer_evicted;
+  /// Fired when the rate limiter or CPU governor sheds a frame; `governor`
+  /// distinguishes a global-budget shed from a per-peer bucket refusal.
+  std::function<void(const Peer&, std::size_t frame_bytes, bool governor)> on_frame_shed;
   std::function<void(const Endpoint&)> on_outbound_reconnect;
   std::function<void(const bschain::Block&)> on_block_accepted;
 
@@ -246,6 +303,16 @@ class Node : public bsim::Host {
     return m_dead_peer_disconnects_->Value();
   }
   std::uint64_t OutboundDialFailures() const { return m_dial_failures_->Value(); }
+  std::uint64_t PeersEvicted() const { return m_evictions_->Value(); }
+  std::uint64_t InboundFullRejects() const {
+    return m_inbound_full_rejects_->Value();
+  }
+  std::uint64_t RateLimitedFrames() const {
+    return m_ratelimit_frames_->Value();
+  }
+  std::uint64_t GovernorShedFrames() const {
+    return m_governor_shed_frames_->Value();
+  }
 
   void OnIcmp(const bsim::IcmpPacket& pkt) override;
   void OnIcmpBatch(const bsim::IcmpPacket& pkt, std::uint64_t count) override;
@@ -255,6 +322,19 @@ class Node : public bsim::Host {
   Peer& RegisterPeer(bsim::TcpConnection& conn, bool inbound);
   void RemovePeer(std::uint64_t id, bool was_outbound);
   void MaintainOutbound();
+
+  /// Evict one inbound peer per the core/eviction.hpp protection rules to
+  /// free a slot. False when every candidate is protected.
+  bool EvictInboundPeer();
+  /// True when `group` already holds strictly more inbound slots than any
+  /// other netgroup — such a group is refused further eviction-backed
+  /// admissions (anti-churn guard).
+  bool NewcomerGroupHoldsPlurality(std::uint32_t group) const;
+  /// Rate-limit/governor gate for one complete frame. True = process it;
+  /// false = it was shed (metrics, trace, and the drop cost are recorded
+  /// here). Always true when neither limiter is configured.
+  bool AdmitFrame(Peer& peer, const bsproto::DecodeResult& frame,
+                  std::size_t frame_bytes);
 
   // ---- Outbound-reconnect backoff bookkeeping ----
   /// Record a failed/lost outbound session toward `remote` and schedule its
@@ -321,6 +401,7 @@ class Node : public bsim::Host {
     bsim::SimTime next_attempt = 0;
   };
   std::unordered_map<Endpoint, DialBackoff, bsproto::EndpointHasher> dial_backoff_;
+  std::optional<CpuBudgetGovernor> governor_;
   int pending_outbound_ = 0;
   std::uint64_t mining_extra_nonce_ = 0;
   bool initial_outbound_fill_done_ = false;
@@ -346,6 +427,11 @@ class Node : public bsim::Host {
   bsobs::Counter* m_handshake_timeouts_ = nullptr;
   bsobs::Counter* m_dead_peer_disconnects_ = nullptr;
   bsobs::Counter* m_dial_failures_ = nullptr;
+  bsobs::Counter* m_evictions_ = nullptr;
+  bsobs::Counter* m_inbound_full_rejects_ = nullptr;
+  bsobs::Counter* m_ratelimit_frames_ = nullptr;
+  bsobs::Counter* m_ratelimit_bytes_ = nullptr;
+  bsobs::Counter* m_governor_shed_frames_ = nullptr;
   std::array<bsobs::Counter*, bsproto::kNumMsgTypes> m_msg_type_{};
   bsobs::Histogram* m_frame_process_seconds_ = nullptr;
   bsobs::Histogram* m_frame_bytes_ = nullptr;

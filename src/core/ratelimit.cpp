@@ -1,0 +1,35 @@
+#include "core/ratelimit.hpp"
+
+#include <algorithm>
+
+namespace bsnet {
+
+const char* ToString(PeerPriority p) {
+  switch (p) {
+    case PeerPriority::kLow: return "low";
+    case PeerPriority::kNormal: return "normal";
+    case PeerPriority::kHigh: return "high";
+  }
+  return "?";
+}
+
+void TokenBucket::Refill(bsim::SimTime now) {
+  if (now <= last_refill_) return;
+  tokens_ = std::min(capacity_,
+                     tokens_ + fill_per_sec_ * bsim::ToSeconds(now - last_refill_));
+  last_refill_ = now;
+}
+
+double TokenBucket::Available(bsim::SimTime now) {
+  Refill(now);
+  return tokens_;
+}
+
+bool TokenBucket::TryConsume(double cost, bsim::SimTime now, double floor) {
+  Refill(now);
+  if (tokens_ - cost < floor) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+}  // namespace bsnet

@@ -1,0 +1,99 @@
+// Resource governance for the receive path: deterministic token buckets over
+// simulated time plus a global CPU-budget governor with priority-aware
+// shedding.
+//
+// The paper shows ban score cannot stop BM-DoS — bad-checksum frames are
+// dropped before misbehavior tracking runs, so the victim pays the full
+// checksum cost for every bogus frame while the attacker is never punished
+// (PAPER.md §Ineffectiveness). Rate limiting attacks the cost asymmetry
+// instead of the identifier: a peer that overdraws its budget has its frames
+// shed at the header peek, before the payload is ever hashed. No identity or
+// score is involved, so Sybil churn does not help the attacker.
+//
+// All arithmetic runs on bsim::SimTime, never the wall clock, so runs are
+// bit-reproducible under a fixed seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace bsnet {
+
+/// Processing priority of a peer's receive stream. The governor sheds kLow
+/// work first; per-peer bucket costs scale up for kLow peers. Assignment is
+/// behavioral (detect-engine flag, droppable-frame count, good score), not
+/// identifier-based — reconnecting under a fresh [IP:Port] resets nothing
+/// the attacker can exploit, because a fresh peer starts at kNormal with an
+/// empty history either way.
+enum class PeerPriority { kLow = 0, kNormal = 1, kHigh = 2 };
+
+const char* ToString(PeerPriority p);
+
+/// Token bucket with lazy refill on simulated time. Capacity bounds the
+/// burst; fill_per_sec is the sustained rate. Cost units are caller-defined
+/// (bytes for the byte bucket, model cycles for the cost bucket).
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  /// `initial` caps the opening balance (default: a full burst). Per-peer
+  /// buckets pass one second of fill instead, so a Sybil that reconnects
+  /// after eviction does not restart with burst-sized credit — headroom must
+  /// be earned by idling, which is the one thing a flood cannot do.
+  TokenBucket(double capacity, double fill_per_sec, bsim::SimTime now,
+              double initial = -1.0)
+      : capacity_(capacity),
+        fill_per_sec_(fill_per_sec),
+        tokens_(initial < 0.0 ? capacity : std::min(initial, capacity)),
+        last_refill_(now) {}
+
+  /// Tokens on hand after refilling to `now`.
+  double Available(bsim::SimTime now);
+
+  /// Withdraw `cost` tokens if the balance would stay at or above `floor`
+  /// (0 = may drain completely). Returns false — and withdraws nothing —
+  /// otherwise.
+  bool TryConsume(double cost, bsim::SimTime now, double floor = 0.0);
+
+  double Capacity() const { return capacity_; }
+
+ private:
+  void Refill(bsim::SimTime now);
+
+  double capacity_ = 0.0;
+  double fill_per_sec_ = 0.0;
+  double tokens_ = 0.0;
+  bsim::SimTime last_refill_ = 0;
+};
+
+/// Global CPU budget shared by every peer's receive processing, with floors
+/// tiered by priority: high-priority work may drain the bucket to zero,
+/// normal-priority work stops at one reserve, low-priority work at two. The
+/// gap between floors is the slice each tier can never take from the tier
+/// above it, so under overload a flood of demoted (or still-anonymous) peers
+/// pins the balance at its own floor while proven-useful peers keep flowing
+/// out of the headroom below — work is shed strictly lowest-priority first.
+class CpuBudgetGovernor {
+ public:
+  CpuBudgetGovernor(double cycles_per_sec, double burst_cycles,
+                    double low_priority_reserve, bsim::SimTime now)
+      : bucket_(burst_cycles, cycles_per_sec, now),
+        reserve_cycles_(low_priority_reserve * burst_cycles) {}
+
+  bool TryConsume(double cycles, PeerPriority priority, bsim::SimTime now) {
+    double floor = 0.0;
+    if (priority == PeerPriority::kNormal) floor = reserve_cycles_;
+    if (priority == PeerPriority::kLow) floor = 2.0 * reserve_cycles_;
+    return bucket_.TryConsume(cycles, now, floor);
+  }
+
+  double Available(bsim::SimTime now) { return bucket_.Available(now); }
+  double ReserveCycles() const { return reserve_cycles_; }
+
+ private:
+  TokenBucket bucket_;
+  double reserve_cycles_ = 0.0;
+};
+
+}  // namespace bsnet

@@ -17,6 +17,8 @@ const char* ToString(EventType type) {
     case EventType::kOutboundReconnect: return "outbound-reconnect";
     case EventType::kDetectionVerdict: return "detection-verdict";
     case EventType::kRxShed: return "rx-shed";
+    case EventType::kPeerEvicted: return "peer-evicted";
+    case EventType::kRateLimited: return "rate-limited";
   }
   return "?";
 }

@@ -24,6 +24,8 @@ enum class EventType : std::uint8_t {
   kOutboundReconnect,  // a = target IP
   kDetectionVerdict,   // a = anomalous, b = bmdos<<1 | defamation
   kRxShed,             // a = bytes shed from a peer's receive buffer
+  kPeerEvicted,        // a = evicted peer's IP, b = its /16 netgroup
+  kRateLimited,        // a = frame bytes shed, b = 1 when the governor shed it
 };
 
 const char* ToString(EventType type);

@@ -469,4 +469,124 @@ TEST(ChaosDetection, Fig10SeparationSurvivesFivePercentLoss) {
   EXPECT_GT(result.n, engine.GetProfile().tau_n_high);
 }
 
+// ---------------------------------------------------------------------------
+// Overload + weather: the full resource-governance stack (eviction, rate
+// limit, priority) under a one-netgroup Sybil flood with 5% packet loss on
+// every link. The Sybil /16 quickly holds a plurality of inbound slots, so
+// its surplus reconnects are flatly refused by the anti-churn guard; the
+// eviction machinery is exercised by honest arrivals instead — a late
+// joiner from a fresh /16 and an honest peer redialing after its access
+// link flaps — each of which must win a slot back by evicting a Sybil.
+// The invariants: no honest peer is ever the eviction victim, loss is
+// never punished as misbehavior, and once the weather clears every honest
+// peer is connected again.
+
+TEST(ChaosOverload, SybilFloodPlusLossNeverEvictsHonest) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  FaultPlan plan(sched, 777);
+  net.SetFaultPlan(&plan);
+
+  NodeConfig config;
+  config.max_inbound = 16;
+  config.target_outbound = 0;
+  config.ping_interval = 1 * bsim::kSecond;
+  config.ping_timeout = 6 * bsim::kSecond;
+  config.enable_eviction = true;
+  config.enable_rate_limit = true;
+  config.rx_cycles_per_sec = 8.0e7;
+  config.enable_priority = true;
+  config.governor_cycles_per_sec = 1.0e9;
+  Node victim(sched, net, kVictimIp, config);
+  victim.Start();
+
+  std::vector<std::uint32_t> evicted_honest;
+  victim.on_peer_evicted = [&evicted_honest](const Peer& peer) {
+    if ((peer.remote.ip >> 16) != 0xc0a8u) evicted_honest.push_back(peer.remote.ip);
+  };
+
+  // Six honest peers in six distinct /16 netgroups, each holding one
+  // outbound session into the victim and redialing whenever it drops.
+  std::vector<std::unique_ptr<Node>> honest;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    NodeConfig pc;
+    pc.target_outbound = 1;
+    pc.rng_seed = 500 + i;
+    pc.ping_interval = 1 * bsim::kSecond;
+    pc.ping_timeout = 6 * bsim::kSecond;
+    auto node = std::make_unique<Node>(sched, net, 0x0a100001 + (i << 16), pc);
+    node->AddKnownAddress({kVictimIp, 8333});
+    node->Start();
+    honest.push_back(std::move(node));
+  }
+  sched.RunUntil(2 * bsim::kSecond);
+  for (const auto& node : honest) ASSERT_EQ(node->OutboundCount(), 1u);
+
+  // A seventh honest peer from a fresh /16 arrives mid-flood (10s): the
+  // table is full of Sybils by then, so admission requires an eviction.
+  NodeConfig jc;
+  jc.target_outbound = 1;
+  jc.rng_seed = 599;
+  jc.ping_interval = 1 * bsim::kSecond;
+  jc.ping_timeout = 6 * bsim::kSecond;
+  auto joiner = std::make_unique<Node>(sched, net, 0x0a200001, jc);
+  joiner->AddKnownAddress({kVictimIp, 8333});
+  sched.After(10 * bsim::kSecond, [&joiner]() { joiner->Start(); });
+
+  FaultSpec lossy;
+  lossy.loss = 0.05;
+  plan.SetDefaultFaults(lossy);
+  // One honest access link goes dark for 8s mid-flood: the victim times the
+  // peer out, a Sybil snatches the freed slot, and the healed honest peer
+  // must evict its way back in.
+  plan.ScheduleLinkFlap(honest[0]->Ip(), kVictimIp, 12 * bsim::kSecond,
+                        8 * bsim::kSecond);
+
+  // The Sybil flood: two attacker hosts in ONE /16, 6 sessions each — 12
+  // Sybil conns against 10 free slots, 20 kB bogus-BLOCK frames, immediate
+  // reconnect whenever eviction claws a slot back.
+  Crafter crafter(config.chain);
+  const bsutil::ByteVec bogus = crafter.BogusBlockFrame(config.chain.magic, 20'000);
+  std::vector<std::unique_ptr<AttackerNode>> sybils;
+  std::vector<AttackSession*> sessions;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    sybils.push_back(std::make_unique<AttackerNode>(sched, net, 0xc0a80001 + i,
+                                                    config.chain.magic));
+    for (int s = 0; s < 6; ++s) sessions.push_back(sybils[i]->OpenSession({kVictimIp, 8333}));
+  }
+  bool flooding = true;
+  std::function<void()> flood_tick = [&]() {
+    if (!flooding) return;
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      AttackerNode& owner = *sybils[i / 6];
+      if (sessions[i] == nullptr || sessions[i]->closed) {
+        sessions[i] = owner.OpenSession({kVictimIp, 8333});
+      } else if (sessions[i]->tcp_established) {
+        owner.SendRawFrame(*sessions[i], bogus);
+      }
+    }
+    sched.After(10 * bsim::kMillisecond, flood_tick);
+  };
+  sched.After(0, flood_tick);
+  sched.RunUntil(32 * bsim::kSecond);
+
+  // The defenses were actually exercised under weather...
+  EXPECT_GT(victim.PeersEvicted(), 0u);
+  EXPECT_GT(victim.RateLimitedFrames(), 0u);
+  // ...and no honest peer was ever the victim of an eviction.
+  EXPECT_TRUE(evicted_honest.empty())
+      << evicted_honest.size() << " honest evictions, first ip=0x" << std::hex
+      << evicted_honest.front();
+
+  // Heal: flood off, weather off. Every honest peer ends connected.
+  flooding = false;
+  plan.SetDefaultFaults(FaultSpec{});
+  sched.RunUntil(sched.Now() + 20 * bsim::kSecond);
+  for (const auto& node : honest) {
+    EXPECT_EQ(node->OutboundCount(), 1u)
+        << "honest 0x" << std::hex << node->Ip() << " did not recover";
+  }
+  EXPECT_EQ(joiner->OutboundCount(), 1u) << "late joiner did not recover";
+}
+
 }  // namespace

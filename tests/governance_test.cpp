@@ -1,0 +1,461 @@
+// Resource-governance tests: token buckets and the tiered CPU governor,
+// Core-style inbound eviction (unit invariants plus a 50-seed Sybil-flood
+// sweep), the misbehavior tracker's LRU entry cap, per-peer state teardown
+// under connection churn, and the node-level rate-limit / priority wiring.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "attack/attacker.hpp"
+#include "attack/crafter.hpp"
+#include "core/eviction.hpp"
+#include "core/misbehavior.hpp"
+#include "core/node.hpp"
+#include "core/ratelimit.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace bsnet;  // NOLINT
+using bsattack::AttackerNode;
+using bsattack::AttackSession;
+using bsattack::Crafter;
+
+constexpr std::uint32_t kTargetIp = 0x0a000001;
+constexpr std::uint32_t kAttackerIp = 0x0b000002;
+
+// ---------------------------------------------------------------------------
+// TokenBucket
+
+TEST(TokenBucket, StartsFullAndConsumes) {
+  TokenBucket bucket(100.0, 10.0, 0);
+  EXPECT_DOUBLE_EQ(bucket.Available(0), 100.0);
+  EXPECT_TRUE(bucket.TryConsume(60.0, 0));
+  EXPECT_DOUBLE_EQ(bucket.Available(0), 40.0);
+  EXPECT_FALSE(bucket.TryConsume(50.0, 0));  // would overdraw
+  EXPECT_DOUBLE_EQ(bucket.Available(0), 40.0);  // refused consumes nothing
+}
+
+TEST(TokenBucket, RefillsOnSimTimeAndClampsAtCapacity) {
+  TokenBucket bucket(100.0, 10.0, 0);
+  ASSERT_TRUE(bucket.TryConsume(100.0, 0));
+  EXPECT_DOUBLE_EQ(bucket.Available(2 * bsim::kSecond), 20.0);
+  // 60 more seconds would refill 600; the burst cap holds at 100.
+  EXPECT_DOUBLE_EQ(bucket.Available(62 * bsim::kSecond), 100.0);
+}
+
+TEST(TokenBucket, FloorReservesTokens) {
+  TokenBucket bucket(100.0, 0.0, 0);
+  EXPECT_FALSE(bucket.TryConsume(90.0, 0, /*floor=*/20.0));
+  EXPECT_TRUE(bucket.TryConsume(80.0, 0, /*floor=*/20.0));
+  EXPECT_DOUBLE_EQ(bucket.Available(0), 20.0);
+}
+
+TEST(TokenBucket, InitialBalanceCapsOpeningCredit) {
+  TokenBucket bucket(100.0, 10.0, 0, /*initial=*/10.0);
+  EXPECT_DOUBLE_EQ(bucket.Available(0), 10.0);
+  // Headroom beyond the opening balance has to be earned by idling.
+  EXPECT_DOUBLE_EQ(bucket.Available(5 * bsim::kSecond), 60.0);
+}
+
+TEST(CpuBudgetGovernor, ShedsLowestPriorityFirst) {
+  // burst 100, reserve 0.2 → low floor 40, normal floor 20, high floor 0.
+  CpuBudgetGovernor governor(0.0, 100.0, 0.2, 0);
+  EXPECT_DOUBLE_EQ(governor.ReserveCycles(), 20.0);
+  EXPECT_TRUE(governor.TryConsume(55.0, PeerPriority::kLow, 0));    // 100→45
+  EXPECT_FALSE(governor.TryConsume(10.0, PeerPriority::kLow, 0));   // <40 floor
+  EXPECT_TRUE(governor.TryConsume(20.0, PeerPriority::kNormal, 0));  // 45→25
+  EXPECT_FALSE(governor.TryConsume(10.0, PeerPriority::kNormal, 0));  // <20 floor
+  EXPECT_TRUE(governor.TryConsume(25.0, PeerPriority::kHigh, 0));   // 25→0
+  EXPECT_FALSE(governor.TryConsume(1.0, PeerPriority::kHigh, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Eviction selection
+
+EvictionCandidate Candidate(std::uint64_t id, std::uint32_t ip,
+                            bsim::SimTime connected_at,
+                            bsim::SimTime ping = -1, bsim::SimTime tx = 0,
+                            bsim::SimTime block = 0, int good = 0) {
+  return EvictionCandidate{id, ip, connected_at, ping, block, tx, good};
+}
+
+TEST(Eviction, NetGroupIsSlash16) {
+  EXPECT_EQ(NetGroup(0xc0a80105), 0xc0a8u);
+  EXPECT_EQ(NetGroup(0x0a000001), 0x0a00u);
+}
+
+TEST(Eviction, EmptyPoolEvictsNobody) {
+  EXPECT_EQ(SelectInboundPeerToEvict({}), std::nullopt);
+}
+
+TEST(Eviction, SmallFullyProtectedPoolEvictsNobody) {
+  // 12 candidates are consumed whole by the netgroup (4) and ping (8)
+  // protection tiers, exactly like Core refusing to evict a full-but-worthy
+  // table.
+  std::vector<EvictionCandidate> candidates;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    candidates.push_back(Candidate(i, 0xc0a80001 + static_cast<std::uint32_t>(i),
+                                   static_cast<bsim::SimTime>(i)));
+  }
+  EXPECT_EQ(SelectInboundPeerToEvict(candidates), std::nullopt);
+}
+
+TEST(Eviction, TargetsYoungestOfMostPopulousNetGroup) {
+  std::vector<EvictionCandidate> candidates;
+  // 16 Sybils in 192.168/16, connected in id order (id 115 youngest).
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    candidates.push_back(Candidate(100 + i, 0xc0a80000 + static_cast<std::uint32_t>(i),
+                                   static_cast<bsim::SimTime>(10 + i) * bsim::kSecond));
+  }
+  // 8 honest singletons, older, with measured pings and recent usefulness.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    candidates.push_back(Candidate(
+        i, 0x0a100001 + (static_cast<std::uint32_t>(i) << 16), 0,
+        /*ping=*/400 + static_cast<bsim::SimTime>(i),
+        /*tx=*/bsim::kSecond, /*block=*/bsim::kSecond));
+  }
+  const auto victim = SelectInboundPeerToEvict(candidates);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 115u);  // youngest Sybil
+}
+
+TEST(Eviction, ZeroTimestampsEarnNoUsefulnessProtection) {
+  // Nobody ever relayed a tx or block: the tx/block tiers must protect no
+  // one, leaving the Sybil group exposed instead of sheltering 8 of them.
+  std::vector<EvictionCandidate> candidates;
+  for (std::uint64_t i = 0; i < 14; ++i) {
+    candidates.push_back(Candidate(100 + i, 0xc0a80000 + static_cast<std::uint32_t>(i),
+                                   static_cast<bsim::SimTime>(i)));
+  }
+  // One honest newcomer, youngest, nothing measured — the late joiner.
+  candidates.push_back(Candidate(7, 0x0a180001, bsim::kSecond));
+  const auto victim = SelectInboundPeerToEvict(candidates);
+  ASSERT_TRUE(victim.has_value());
+  ASSERT_NE(*victim, 7u);
+  EXPECT_EQ(NetGroup(candidates[static_cast<std::size_t>(*victim - 100)].ip), 0xc0a8u);
+}
+
+// The headline invariant: across 50 randomized peer tables, a one-netgroup
+// Sybil flood can never displace an honest peer — not even one with no
+// earned protection at all — because the victim is always drawn from the
+// most populous netgroup.
+TEST(Eviction, FiftySeedSybilFloodNeverEvictsHonest) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<EvictionCandidate> candidates;
+    // 14–20 Sybils, one /16, random young uptimes, some with measured ping.
+    const int sybils = 14 + static_cast<int>(rng() % 7);
+    for (int i = 0; i < sybils; ++i) {
+      candidates.push_back(Candidate(
+          1000 + static_cast<std::uint64_t>(i),
+          0xc0a80000 + static_cast<std::uint32_t>(rng() % 0xffff),
+          static_cast<bsim::SimTime>(10 * bsim::kSecond + static_cast<bsim::SimTime>(rng() % 1000) * bsim::kMillisecond),
+          /*ping=*/(rng() % 2 == 0) ? static_cast<bsim::SimTime>(600 + rng() % 200) : -1));
+    }
+    // 3–9 honest peers in distinct /16s with a random mix of protections;
+    // at least one is a bare newcomer (no ping, no tx, youngest of all).
+    const int honest = 3 + static_cast<int>(rng() % 7);
+    for (int i = 0; i < honest; ++i) {
+      const bool bare = i == 0;
+      candidates.push_back(Candidate(
+          static_cast<std::uint64_t>(i),
+          0x0a100001 + (static_cast<std::uint32_t>(i) << 16),
+          bare ? 60 * bsim::kSecond
+               : static_cast<bsim::SimTime>(rng() % (5 * bsim::kSecond)),
+          /*ping=*/(!bare && rng() % 2 == 0) ? static_cast<bsim::SimTime>(300 + rng() % 300) : -1,
+          /*tx=*/(!bare && rng() % 2 == 0) ? static_cast<bsim::SimTime>(bsim::kSecond) : 0,
+          /*block=*/(!bare && rng() % 3 == 0) ? static_cast<bsim::SimTime>(bsim::kSecond) : 0,
+          /*good=*/static_cast<int>(rng() % 3)));
+    }
+    const auto victim = SelectInboundPeerToEvict(candidates);
+    ASSERT_TRUE(victim.has_value()) << "seed " << seed;
+    EXPECT_GE(*victim, 1000u) << "seed " << seed << " evicted an honest peer";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MisbehaviorTracker entry cap
+
+TEST(MisbehaviorTrackerLru, CapPrunesLeastRecentlyTouched) {
+  bsobs::MetricsRegistry registry;
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  tracker.AttachMetrics(registry);
+  tracker.SetMaxEntries(4);
+  for (std::uint64_t id = 1; id <= 6; ++id) tracker.AddGoodScore(id, static_cast<int>(id));
+  EXPECT_EQ(tracker.Size(), 4u);
+  const auto* pruned = registry.FindCounter("bs_ban_scores_pruned_total");
+  ASSERT_NE(pruned, nullptr);
+  EXPECT_DOUBLE_EQ(pruned->Value(), 2.0);
+  // Peers 1 and 2 were the least recently touched; 3–6 survive intact.
+  EXPECT_EQ(tracker.GoodScore(1), 0);
+  EXPECT_EQ(tracker.GoodScore(2), 0);
+  for (std::uint64_t id = 3; id <= 6; ++id) {
+    EXPECT_EQ(tracker.GoodScore(id), static_cast<int>(id));
+  }
+  const auto* entries = registry.FindGauge("bs_ban_score_entries");
+  ASSERT_NE(entries, nullptr);
+  EXPECT_DOUBLE_EQ(entries->Value(), 4.0);
+}
+
+TEST(MisbehaviorTrackerLru, TouchRefreshesRecency) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  tracker.SetMaxEntries(2);
+  tracker.AddGoodScore(1, 10);
+  tracker.AddGoodScore(2, 20);
+  tracker.AddGoodScore(1, 1);  // refresh peer 1 → peer 2 is now the LRU
+  tracker.AddGoodScore(3, 30);
+  EXPECT_EQ(tracker.GoodScore(1), 11);
+  EXPECT_EQ(tracker.GoodScore(2), 0);
+  EXPECT_EQ(tracker.GoodScore(3), 30);
+}
+
+// ---------------------------------------------------------------------------
+// Node integration
+
+struct GovernanceFixture : ::testing::Test {
+  explicit GovernanceFixture(NodeConfig config = NodeConfig{})
+      : net(sched),
+        node(sched, net, kTargetIp, config),
+        attacker(sched, net, kAttackerIp, config.chain.magic),
+        crafter(config.chain) {
+    node.Start();
+  }
+
+  AttackSession* ReadySession() {
+    AttackSession* session = attacker.OpenSession({kTargetIp, 8333});
+    Settle();
+    EXPECT_TRUE(session->SessionReady());
+    return session;
+  }
+
+  void Settle() { sched.RunUntil(sched.Now() + bsim::kSecond); }
+
+  bsim::Scheduler sched;
+  bsim::Network net;
+  Node node;
+  AttackerNode attacker;
+  Crafter crafter;
+};
+
+// Per-peer state must die with the connection: after a reconnect storm the
+// registry gauges report exactly the live population, nothing retained.
+TEST_F(GovernanceFixture, ChurnLeavesNoResidualPerPeerState) {
+  for (int round = 0; round < 200; ++round) {
+    AttackSession* session = attacker.OpenSession({kTargetIp, 8333});
+    sched.RunUntil(sched.Now() + 10 * bsim::kMillisecond);
+    ASSERT_TRUE(session->SessionReady());
+    // Leave a score behind so teardown has real state to release.
+    attacker.Send(*session, bsproto::VersionMsg{});
+    sched.RunUntil(sched.Now() + 10 * bsim::kMillisecond);
+    attacker.CloseSession(*session);
+    sched.RunUntil(sched.Now() + 10 * bsim::kMillisecond);
+    if (round % 50 == 0) {
+      EXPECT_LE(node.Tracker().Size(), node.Peers().size() + 1);
+    }
+  }
+  Settle();
+  EXPECT_EQ(node.Peers().size(), 0u);
+  EXPECT_EQ(node.InboundCount(), 0u);
+  EXPECT_EQ(node.Tracker().Size(), 0u);
+  const auto* peers_gauge = node.Metrics().FindGauge("bs_node_peers");
+  ASSERT_NE(peers_gauge, nullptr);
+  EXPECT_DOUBLE_EQ(peers_gauge->Value(), 0.0);
+  const auto* entries = node.Metrics().FindGauge("bs_ban_score_entries");
+  ASSERT_NE(entries, nullptr);
+  EXPECT_DOUBLE_EQ(entries->Value(), 0.0);
+  // Teardown released everything; the LRU backstop never had to fire.
+  const auto* pruned = node.Metrics().FindCounter("bs_ban_scores_pruned_total");
+  ASSERT_NE(pruned, nullptr);
+  EXPECT_DOUBLE_EQ(pruned->Value(), 0.0);
+}
+
+struct RateLimitFixture : GovernanceFixture {
+  static NodeConfig Config() {
+    NodeConfig config;
+    config.enable_rate_limit = true;
+    config.rx_cycles_per_sec = 1.0e6;
+    config.rx_cycles_burst = 2.0e6;
+    config.ping_interval = 5 * bsim::kSecond;
+    return config;
+  }
+  RateLimitFixture() : GovernanceFixture(Config()) {}
+};
+
+TEST_F(RateLimitFixture, BucketShedsFloodBeyondBudget) {
+  AttackSession* session = ReadySession();
+  const auto frame = crafter.BogusBlockFrame(crafter.Params().magic, 60'000);
+  for (int i = 0; i < 20; ++i) attacker.SendRawFrame(*session, frame);
+  Settle();
+  // 60 kB of checksum work ≈ 9e5 cycles per frame: the 2e6 opening balance
+  // admits a couple, the rest are shed before the checksum runs.
+  EXPECT_GT(node.RateLimitedFrames(), 10u);
+  EXPECT_LT(node.FramesDroppedBadChecksum(), 5u);
+  EXPECT_EQ(node.GovernorShedFrames(), 0u);  // no governor configured
+}
+
+TEST_F(RateLimitFixture, ControlFramesSurviveTheFlood) {
+  AttackSession* session = ReadySession();
+  const auto frame = crafter.BogusBlockFrame(crafter.Params().magic, 60'000);
+  for (int i = 0; i < 50; ++i) attacker.SendRawFrame(*session, frame);
+  Settle();
+  ASSERT_GT(node.RateLimitedFrames(), 0u);
+  // The victim's keepalive PING still comes back as PONG and is processed:
+  // the connection itself must not starve (control frames bypass only the
+  // governor, and the per-peer bucket refills faster than 1 pong/s costs).
+  const Peer* peer = node.FindPeerByRemote(session->local);
+  ASSERT_NE(peer, nullptr);
+  sched.RunUntil(sched.Now() + 20 * bsim::kSecond);
+  EXPECT_GE(peer->min_ping_rtt, 0) << "pong never processed";
+}
+
+TEST_F(GovernanceFixture, NoSheddingWhenDisabled) {
+  AttackSession* session = ReadySession();
+  const auto frame = crafter.BogusBlockFrame(crafter.Params().magic, 60'000);
+  for (int i = 0; i < 20; ++i) attacker.SendRawFrame(*session, frame);
+  Settle();
+  EXPECT_EQ(node.RateLimitedFrames(), 0u);
+  EXPECT_EQ(node.FramesDroppedBadChecksum(), 20u);
+}
+
+struct PriorityFixture : GovernanceFixture {
+  static NodeConfig Config() {
+    NodeConfig config;
+    config.enable_priority = true;
+    return config;
+  }
+  PriorityFixture() : GovernanceFixture(Config()) {}
+};
+
+TEST_F(PriorityFixture, DroppableFramesDemote) {
+  AttackSession* session = ReadySession();
+  const Peer* peer = node.FindPeerByRemote(session->local);
+  ASSERT_NE(peer, nullptr);
+  EXPECT_EQ(node.PriorityOf(*peer), PeerPriority::kNormal);
+  const auto frame = crafter.BogusBlockFrame(crafter.Params().magic, 100);
+  for (int i = 0; i < 60; ++i) attacker.SendRawFrame(*session, frame);
+  Settle();
+  EXPECT_EQ(node.PriorityOf(*peer), PeerPriority::kLow);
+}
+
+TEST_F(PriorityFixture, ValidBlockPromotesAndDemotionOutranksIt) {
+  AttackSession* session = ReadySession();
+  const Peer* peer = node.FindPeerByRemote(session->local);
+  ASSERT_NE(peer, nullptr);
+  attacker.Send(*session, crafter.ValidBlock(node.Chain().TipHash()));
+  Settle();
+  EXPECT_EQ(node.PriorityOf(*peer), PeerPriority::kHigh);
+  // A detect-engine flag overrides the earned promotion.
+  node.FlagPeer(peer->id, true);
+  EXPECT_EQ(node.PriorityOf(*peer), PeerPriority::kLow);
+  node.FlagPeer(peer->id, false);
+  EXPECT_EQ(node.PriorityOf(*peer), PeerPriority::kHigh);
+}
+
+struct GovernorFixture : GovernanceFixture {
+  static NodeConfig Config() {
+    NodeConfig config;
+    config.governor_cycles_per_sec = 1.0e6;
+    config.governor_burst_cycles = 2.0e6;
+    return config;
+  }
+  GovernorFixture() : GovernanceFixture(Config()) {}
+};
+
+TEST_F(GovernorFixture, GlobalBudgetShedsAcrossPeers) {
+  AttackSession* session = ReadySession();
+  const auto frame = crafter.BogusBlockFrame(crafter.Params().magic, 60'000);
+  for (int i = 0; i < 20; ++i) attacker.SendRawFrame(*session, frame);
+  Settle();
+  EXPECT_GT(node.GovernorShedFrames(), 10u);
+  EXPECT_EQ(node.GovernorShedFrames(), node.RateLimitedFrames());
+}
+
+// ---------------------------------------------------------------------------
+// Eviction wired into the accept path
+
+TEST(EvictionIntegration, FullTableEvictsSybilForNewNetGroup) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.max_inbound = 16;
+  config.enable_eviction = true;
+  Node node(sched, net, kTargetIp, config);
+  node.Start();
+  AttackerNode sybil(sched, net, 0xc0a80001, config.chain.magic);
+  for (int i = 0; i < 16; ++i) {
+    sybil.OpenSession({kTargetIp, 8333});
+    sched.RunUntil(sched.Now() + 10 * bsim::kMillisecond);
+  }
+  ASSERT_EQ(node.InboundCount(), 16u);
+
+  AttackerNode newcomer(sched, net, kAttackerIp, config.chain.magic);
+  AttackSession* session = newcomer.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(sched.Now() + bsim::kSecond);
+  EXPECT_TRUE(session->SessionReady());
+  EXPECT_EQ(node.PeersEvicted(), 1u);
+  EXPECT_EQ(node.InboundCount(), 16u);
+  EXPECT_EQ(node.InboundFullRejects(), 0u);
+}
+
+TEST(EvictionIntegration, PluralityGroupCannotReclaimSlotsViaEviction) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.max_inbound = 16;
+  config.enable_eviction = true;
+  Node node(sched, net, kTargetIp, config);
+  node.Start();
+  // 16 Sybil conns from one /16 fill the table; their group holds an
+  // absolute plurality of inbound slots.
+  AttackerNode sybil(sched, net, 0xc0a80001, config.chain.magic);
+  for (int i = 0; i < 16; ++i) {
+    sybil.OpenSession({kTargetIp, 8333});
+    sched.RunUntil(sched.Now() + 10 * bsim::kMillisecond);
+  }
+  ASSERT_EQ(node.InboundCount(), 16u);
+
+  // A newcomer from a fresh netgroup wins a slot through eviction...
+  AttackerNode newcomer(sched, net, kAttackerIp, config.chain.magic);
+  AttackSession* session = newcomer.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(sched.Now() + bsim::kSecond);
+  ASSERT_TRUE(session->SessionReady());
+  ASSERT_EQ(node.PeersEvicted(), 1u);
+
+  // ...but the evicted Sybil's reconnects are flat-refused: its /16 still
+  // holds a plurality, so the anti-churn guard denies it the eviction path
+  // (otherwise evict→reconnect→evict turns handshakes into a CPU attack).
+  for (int i = 0; i < 4; ++i) {
+    AttackSession* retry = sybil.OpenSession({kTargetIp, 8333});
+    sched.RunUntil(sched.Now() + 200 * bsim::kMillisecond);
+    EXPECT_FALSE(retry->SessionReady());
+  }
+  EXPECT_EQ(node.PeersEvicted(), 1u);
+  EXPECT_EQ(node.InboundFullRejects(), 4u);
+  // The newcomer's slot survived every retry.
+  EXPECT_TRUE(session->SessionReady());
+}
+
+TEST(EvictionIntegration, StockNodeRefusesWhenFull) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  NodeConfig config;
+  config.max_inbound = 16;
+  Node node(sched, net, kTargetIp, config);
+  node.Start();
+  AttackerNode sybil(sched, net, 0xc0a80001, config.chain.magic);
+  for (int i = 0; i < 16; ++i) {
+    sybil.OpenSession({kTargetIp, 8333});
+    sched.RunUntil(sched.Now() + 10 * bsim::kMillisecond);
+  }
+  AttackerNode newcomer(sched, net, kAttackerIp, config.chain.magic);
+  AttackSession* session = newcomer.OpenSession({kTargetIp, 8333});
+  sched.RunUntil(sched.Now() + bsim::kSecond);
+  EXPECT_FALSE(session->SessionReady());
+  EXPECT_EQ(node.PeersEvicted(), 0u);
+  EXPECT_EQ(node.InboundFullRejects(), 1u);
+}
+
+}  // namespace

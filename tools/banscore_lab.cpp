@@ -15,6 +15,9 @@
 //   banscore-lab chaos   [--seeds N] [--seed-base B] [--seconds S]
 //                        (randomized fault sweep; exit 0 iff every seed's
 //                        safety invariants held)
+//   banscore-lab overload [--defenses none|...|all] [--procs N] [--windows W]
+//                        [--min-ratio R] [--format table|json]
+//                        (Sybil-flood A/B of honest mining rate)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -518,6 +521,170 @@ ChaosOutcome RunOneChaosSeed(std::uint64_t seed, double chaos_seconds) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Overload: the CLI face of bench_degradation — a quick A/B of honest mining
+// rate with and without a reconnecting one-netgroup Sybil flood, under a
+// chosen defense ablation. Exit 1 if the attacked/baseline mining ratio
+// falls below --min-ratio (the CI smoke gate).
+
+struct OverloadResult {
+  double mining_hps = 0.0;
+  std::size_t honest_connected = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t shed_frames = 0;
+  std::uint64_t rejects = 0;
+};
+
+OverloadResult RunOverloadOnce(bool attack, bool eviction, bool ratelimit,
+                               bool priority, int procs, int windows) {
+  constexpr std::uint32_t kVictim = 0x0a000001;
+  constexpr int kHonest = 6;
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  bsim::CpuModelConfig cpu_config;
+  // The paper's net_capacity_fraction (0.73) caps the flood's CPU damage;
+  // raise it so defenses-off vs defenses-on actually separates (DESIGN.md).
+  cpu_config.net_capacity_fraction = 0.98;
+  bsim::CpuModel cpu(cpu_config);
+
+  NodeConfig config;
+  config.max_inbound = 12;
+  config.target_outbound = 0;
+  config.ping_interval = 1 * bsim::kSecond;
+  config.enable_eviction = eviction;
+  config.enable_rate_limit = ratelimit;
+  if (ratelimit) config.rx_cycles_per_sec = 8.0e7;
+  config.enable_priority = priority;
+  if (priority) config.governor_cycles_per_sec = 1.0e9;
+  Node victim(sched, net, kVictim, config, &cpu);
+  victim.Start();
+
+  std::vector<std::unique_ptr<Node>> honest;
+  for (int i = 0; i < kHonest; ++i) {
+    NodeConfig hc;
+    hc.target_outbound = 1;
+    hc.rng_seed = 2000 + static_cast<std::uint64_t>(i);
+    auto node = std::make_unique<Node>(
+        sched, net, 0x0a100001 + (static_cast<std::uint32_t>(i) << 16), hc);
+    node->AddKnownAddress({kVictim, config.listen_port});
+    node->Start();
+    honest.push_back(std::move(node));
+  }
+  for (int i = 0; i < kHonest; ++i) {
+    Node* peer = honest[static_cast<std::size_t>(i)].get();
+    auto mine = std::make_shared<std::function<void()>>();
+    *mine = [peer, &sched, mine]() {
+      peer->MineAndRelay();
+      sched.After(3 * bsim::kSecond, [mine]() { (*mine)(); });
+    };
+    sched.After(bsim::kSecond + i * 400 * bsim::kMillisecond,
+                [mine]() { (*mine)(); });
+  }
+
+  bsattack::Crafter crafter(config.chain);
+  const bsutil::ByteVec bogus =
+      crafter.BogusBlockFrame(config.chain.magic, 60'000);
+  std::vector<std::unique_ptr<bsattack::AttackerNode>> sybils;
+  std::vector<bsattack::AttackSession*> sessions;
+  bool flooding = false;
+  std::function<void()> flood_tick = [&]() {
+    if (!flooding) return;
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      bsattack::AttackerNode& owner = *sybils[i / 2];
+      if (sessions[i] == nullptr || sessions[i]->closed) {
+        sessions[i] = owner.OpenSession({kVictim, config.listen_port});
+      } else if (sessions[i]->tcp_established) {
+        owner.SendRawFrame(*sessions[i], bogus);
+      }
+    }
+    sched.After(bsim::kMillisecond, flood_tick);
+  };
+  if (attack) {
+    for (int i = 0; i < procs; ++i) {
+      sybils.push_back(std::make_unique<bsattack::AttackerNode>(
+          sched, net, 0xc0a80001 + static_cast<std::uint32_t>(i),
+          config.chain.magic));
+      for (int s = 0; s < 2; ++s) {
+        sessions.push_back(sybils.back()->OpenSession({kVictim, config.listen_port}));
+      }
+    }
+    sched.After(bsim::kSecond, [&]() {
+      flooding = true;
+      flood_tick();
+    });
+  }
+
+  sched.RunUntil(6 * bsim::kSecond);
+  double hps_sum = 0.0;
+  for (int i = 0; i < windows; ++i) {
+    cpu.SetActiveConnections(static_cast<int>(victim.Peers().size()));
+    cpu.BeginWindow(sched.Now());
+    sched.RunUntil(sched.Now() + bsim::kSecond);
+    hps_sum += cpu.EndWindow(sched.Now()).mining_rate_hps;
+  }
+  flooding = false;
+
+  OverloadResult out;
+  out.mining_hps = hps_sum / windows;
+  for (const Peer* p : victim.Peers()) {
+    if ((p->remote.ip >> 16) != 0xc0a8u && p->HandshakeComplete()) {
+      ++out.honest_connected;
+    }
+  }
+  out.evictions = victim.PeersEvicted();
+  out.shed_frames = victim.RateLimitedFrames();
+  out.rejects = victim.InboundFullRejects();
+  return out;
+}
+
+int RunOverload(const Flags& flags) {
+  const std::string defenses = flags.Get("defenses", "all");
+  const bool eviction = defenses == "eviction" || defenses == "all";
+  const bool ratelimit = defenses == "ratelimit" || defenses == "all";
+  const bool priority = defenses == "priority" || defenses == "all";
+  const int procs = static_cast<int>(flags.GetNum("procs", 4));
+  const int windows = static_cast<int>(flags.GetNum("windows", 15));
+  const double min_ratio = flags.GetNum("min-ratio", 0.0);
+  const bool json = flags.Get("format", "table") == "json";
+
+  const OverloadResult base =
+      RunOverloadOnce(false, eviction, ratelimit, priority, procs, windows);
+  const OverloadResult hit =
+      RunOverloadOnce(true, eviction, ratelimit, priority, procs, windows);
+  const double ratio =
+      base.mining_hps > 0.0 ? hit.mining_hps / base.mining_hps : 0.0;
+
+  if (json) {
+    std::printf(
+        "{\"defenses\":\"%s\",\"procs\":%d,\"baseline_hps\":%.1f,"
+        "\"attacked_hps\":%.1f,\"mining_ratio\":%.4f,"
+        "\"honest_connected\":%zu,\"evictions\":%llu,\"shed_frames\":%llu,"
+        "\"inbound_rejects\":%llu,\"min_ratio\":%.3f,\"pass\":%s}\n",
+        defenses.c_str(), procs, base.mining_hps, hit.mining_hps, ratio,
+        hit.honest_connected, static_cast<unsigned long long>(hit.evictions),
+        static_cast<unsigned long long>(hit.shed_frames),
+        static_cast<unsigned long long>(hit.rejects), min_ratio,
+        ratio >= min_ratio ? "true" : "false");
+  } else {
+    std::printf("overload: defenses=%s, %d attacker procs x 2 Sybil conns, "
+                "60 kB bogus-BLOCK flood\n\n",
+                defenses.c_str(), procs);
+    std::printf("  baseline mining:  %12.1f h/s\n", base.mining_hps);
+    std::printf("  attacked mining:  %12.1f h/s  (%.2fx of baseline)\n",
+                hit.mining_hps, ratio);
+    std::printf("  honest connected: %zu/6\n", hit.honest_connected);
+    std::printf("  evictions=%llu shed-frames=%llu inbound-rejects=%llu\n",
+                static_cast<unsigned long long>(hit.evictions),
+                static_cast<unsigned long long>(hit.shed_frames),
+                static_cast<unsigned long long>(hit.rejects));
+    if (min_ratio > 0.0) {
+      std::printf("  min-ratio gate %.2f: %s\n", min_ratio,
+                  ratio >= min_ratio ? "PASS" : "FAIL");
+    }
+  }
+  return ratio >= min_ratio ? 0 : 1;
+}
+
 int RunChaos(const Flags& flags) {
   const int seeds = static_cast<int>(flags.GetNum("seeds", 20));
   const std::uint64_t base = static_cast<std::uint64_t>(flags.GetNum("seed-base", 1));
@@ -572,7 +739,11 @@ void Usage() {
       "          (run a short instrumented flood, print the bsobs snapshot)\n"
       "  chaos   --seeds N --seed-base B --seconds S\n"
       "          (seeded fault-injection sweep over the hardened node;\n"
-      "           exit 0 iff every seed's safety invariants held)\n");
+      "           exit 0 iff every seed's safety invariants held)\n"
+      "  overload --defenses none|eviction|ratelimit|priority|all --procs N\n"
+      "          --windows W --min-ratio R --format table|json\n"
+      "          (Sybil-flood A/B of honest mining rate; exit 1 if the\n"
+      "           attacked/baseline ratio drops below --min-ratio)\n");
 }
 
 }  // namespace
@@ -591,6 +762,7 @@ int main(int argc, char** argv) {
   if (scenario == "detect") return RunDetect(flags);
   if (scenario == "dump-metrics") return RunDumpMetrics(flags);
   if (scenario == "chaos") return RunChaos(flags);
+  if (scenario == "overload") return RunOverload(flags);
   Usage();
   return 2;
 }
