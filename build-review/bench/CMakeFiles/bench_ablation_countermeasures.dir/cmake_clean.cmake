@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_countermeasures.dir/bench_ablation_countermeasures.cpp.o"
+  "CMakeFiles/bench_ablation_countermeasures.dir/bench_ablation_countermeasures.cpp.o.d"
+  "bench_ablation_countermeasures"
+  "bench_ablation_countermeasures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_countermeasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_defamation.dir/bench_fig8_defamation.cpp.o"
+  "CMakeFiles/bench_fig8_defamation.dir/bench_fig8_defamation.cpp.o.d"
+  "bench_fig8_defamation"
+  "bench_fig8_defamation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_defamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

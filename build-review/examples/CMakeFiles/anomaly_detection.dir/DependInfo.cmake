@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/anomaly_detection.cpp" "examples/CMakeFiles/anomaly_detection.dir/anomaly_detection.cpp.o" "gcc" "examples/CMakeFiles/anomaly_detection.dir/anomaly_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/attack/CMakeFiles/bsattack.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/detect/CMakeFiles/bsdetect.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mlbase/CMakeFiles/bsml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/bsnet.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/bsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/proto/CMakeFiles/bsproto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chain/CMakeFiles/bschain.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/bscrypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bsutil.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bsobs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_dos_attack.dir/bm_dos_attack.cpp.o"
+  "CMakeFiles/bm_dos_attack.dir/bm_dos_attack.cpp.o.d"
+  "bm_dos_attack"
+  "bm_dos_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_dos_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

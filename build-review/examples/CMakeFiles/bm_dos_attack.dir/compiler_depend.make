@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bm_dos_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defamation_attack.dir/defamation_attack.cpp.o"
+  "CMakeFiles/defamation_attack.dir/defamation_attack.cpp.o.d"
+  "defamation_attack"
+  "defamation_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defamation_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

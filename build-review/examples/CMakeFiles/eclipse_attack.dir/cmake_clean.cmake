@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_attack.dir/eclipse_attack.cpp.o"
+  "CMakeFiles/eclipse_attack.dir/eclipse_attack.cpp.o.d"
+  "eclipse_attack"
+  "eclipse_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

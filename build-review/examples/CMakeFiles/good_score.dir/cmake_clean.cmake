@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_score.dir/good_score.cpp.o"
+  "CMakeFiles/good_score.dir/good_score.cpp.o.d"
+  "good_score"
+  "good_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

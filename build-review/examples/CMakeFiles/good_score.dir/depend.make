@@ -1,0 +1,2 @@
+# Empty dependencies file for good_score.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attacker.cpp" "src/attack/CMakeFiles/bsattack.dir/attacker.cpp.o" "gcc" "src/attack/CMakeFiles/bsattack.dir/attacker.cpp.o.d"
+  "/root/repo/src/attack/bmdos.cpp" "src/attack/CMakeFiles/bsattack.dir/bmdos.cpp.o" "gcc" "src/attack/CMakeFiles/bsattack.dir/bmdos.cpp.o.d"
+  "/root/repo/src/attack/crafter.cpp" "src/attack/CMakeFiles/bsattack.dir/crafter.cpp.o" "gcc" "src/attack/CMakeFiles/bsattack.dir/crafter.cpp.o.d"
+  "/root/repo/src/attack/defamation.cpp" "src/attack/CMakeFiles/bsattack.dir/defamation.cpp.o" "gcc" "src/attack/CMakeFiles/bsattack.dir/defamation.cpp.o.d"
+  "/root/repo/src/attack/eclipse.cpp" "src/attack/CMakeFiles/bsattack.dir/eclipse.cpp.o" "gcc" "src/attack/CMakeFiles/bsattack.dir/eclipse.cpp.o.d"
+  "/root/repo/src/attack/icmpflood.cpp" "src/attack/CMakeFiles/bsattack.dir/icmpflood.cpp.o" "gcc" "src/attack/CMakeFiles/bsattack.dir/icmpflood.cpp.o.d"
+  "/root/repo/src/attack/sybil.cpp" "src/attack/CMakeFiles/bsattack.dir/sybil.cpp.o" "gcc" "src/attack/CMakeFiles/bsattack.dir/sybil.cpp.o.d"
+  "/root/repo/src/attack/traffic.cpp" "src/attack/CMakeFiles/bsattack.dir/traffic.cpp.o" "gcc" "src/attack/CMakeFiles/bsattack.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/bsnet.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/bsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/proto/CMakeFiles/bsproto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chain/CMakeFiles/bschain.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bsutil.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/bscrypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bsobs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsattack.dir/attacker.cpp.o"
+  "CMakeFiles/bsattack.dir/attacker.cpp.o.d"
+  "CMakeFiles/bsattack.dir/bmdos.cpp.o"
+  "CMakeFiles/bsattack.dir/bmdos.cpp.o.d"
+  "CMakeFiles/bsattack.dir/crafter.cpp.o"
+  "CMakeFiles/bsattack.dir/crafter.cpp.o.d"
+  "CMakeFiles/bsattack.dir/defamation.cpp.o"
+  "CMakeFiles/bsattack.dir/defamation.cpp.o.d"
+  "CMakeFiles/bsattack.dir/eclipse.cpp.o"
+  "CMakeFiles/bsattack.dir/eclipse.cpp.o.d"
+  "CMakeFiles/bsattack.dir/icmpflood.cpp.o"
+  "CMakeFiles/bsattack.dir/icmpflood.cpp.o.d"
+  "CMakeFiles/bsattack.dir/sybil.cpp.o"
+  "CMakeFiles/bsattack.dir/sybil.cpp.o.d"
+  "CMakeFiles/bsattack.dir/traffic.cpp.o"
+  "CMakeFiles/bsattack.dir/traffic.cpp.o.d"
+  "libbsattack.a"
+  "libbsattack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsattack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/bschain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/bschain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/chainstate.cpp" "src/chain/CMakeFiles/bschain.dir/chainstate.cpp.o" "gcc" "src/chain/CMakeFiles/bschain.dir/chainstate.cpp.o.d"
+  "/root/repo/src/chain/mempool.cpp" "src/chain/CMakeFiles/bschain.dir/mempool.cpp.o" "gcc" "src/chain/CMakeFiles/bschain.dir/mempool.cpp.o.d"
+  "/root/repo/src/chain/miner.cpp" "src/chain/CMakeFiles/bschain.dir/miner.cpp.o" "gcc" "src/chain/CMakeFiles/bschain.dir/miner.cpp.o.d"
+  "/root/repo/src/chain/pow.cpp" "src/chain/CMakeFiles/bschain.dir/pow.cpp.o" "gcc" "src/chain/CMakeFiles/bschain.dir/pow.cpp.o.d"
+  "/root/repo/src/chain/transaction.cpp" "src/chain/CMakeFiles/bschain.dir/transaction.cpp.o" "gcc" "src/chain/CMakeFiles/bschain.dir/transaction.cpp.o.d"
+  "/root/repo/src/chain/validation.cpp" "src/chain/CMakeFiles/bschain.dir/validation.cpp.o" "gcc" "src/chain/CMakeFiles/bschain.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/crypto/CMakeFiles/bscrypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bsutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

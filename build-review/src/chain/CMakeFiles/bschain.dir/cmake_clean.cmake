@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bschain.dir/block.cpp.o"
+  "CMakeFiles/bschain.dir/block.cpp.o.d"
+  "CMakeFiles/bschain.dir/chainstate.cpp.o"
+  "CMakeFiles/bschain.dir/chainstate.cpp.o.d"
+  "CMakeFiles/bschain.dir/mempool.cpp.o"
+  "CMakeFiles/bschain.dir/mempool.cpp.o.d"
+  "CMakeFiles/bschain.dir/miner.cpp.o"
+  "CMakeFiles/bschain.dir/miner.cpp.o.d"
+  "CMakeFiles/bschain.dir/pow.cpp.o"
+  "CMakeFiles/bschain.dir/pow.cpp.o.d"
+  "CMakeFiles/bschain.dir/transaction.cpp.o"
+  "CMakeFiles/bschain.dir/transaction.cpp.o.d"
+  "CMakeFiles/bschain.dir/validation.cpp.o"
+  "CMakeFiles/bschain.dir/validation.cpp.o.d"
+  "libbschain.a"
+  "libbschain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bschain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/addrman.cpp" "src/core/CMakeFiles/bsnet.dir/addrman.cpp.o" "gcc" "src/core/CMakeFiles/bsnet.dir/addrman.cpp.o.d"
+  "/root/repo/src/core/banman.cpp" "src/core/CMakeFiles/bsnet.dir/banman.cpp.o" "gcc" "src/core/CMakeFiles/bsnet.dir/banman.cpp.o.d"
+  "/root/repo/src/core/costmodel.cpp" "src/core/CMakeFiles/bsnet.dir/costmodel.cpp.o" "gcc" "src/core/CMakeFiles/bsnet.dir/costmodel.cpp.o.d"
+  "/root/repo/src/core/eviction.cpp" "src/core/CMakeFiles/bsnet.dir/eviction.cpp.o" "gcc" "src/core/CMakeFiles/bsnet.dir/eviction.cpp.o.d"
+  "/root/repo/src/core/misbehavior.cpp" "src/core/CMakeFiles/bsnet.dir/misbehavior.cpp.o" "gcc" "src/core/CMakeFiles/bsnet.dir/misbehavior.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/bsnet.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/bsnet.dir/node.cpp.o.d"
+  "/root/repo/src/core/ratelimit.cpp" "src/core/CMakeFiles/bsnet.dir/ratelimit.cpp.o" "gcc" "src/core/CMakeFiles/bsnet.dir/ratelimit.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/core/CMakeFiles/bsnet.dir/rules.cpp.o" "gcc" "src/core/CMakeFiles/bsnet.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/bsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/proto/CMakeFiles/bsproto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chain/CMakeFiles/bschain.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/bscrypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bsobs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bsutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsnet.dir/addrman.cpp.o"
+  "CMakeFiles/bsnet.dir/addrman.cpp.o.d"
+  "CMakeFiles/bsnet.dir/banman.cpp.o"
+  "CMakeFiles/bsnet.dir/banman.cpp.o.d"
+  "CMakeFiles/bsnet.dir/costmodel.cpp.o"
+  "CMakeFiles/bsnet.dir/costmodel.cpp.o.d"
+  "CMakeFiles/bsnet.dir/eviction.cpp.o"
+  "CMakeFiles/bsnet.dir/eviction.cpp.o.d"
+  "CMakeFiles/bsnet.dir/misbehavior.cpp.o"
+  "CMakeFiles/bsnet.dir/misbehavior.cpp.o.d"
+  "CMakeFiles/bsnet.dir/node.cpp.o"
+  "CMakeFiles/bsnet.dir/node.cpp.o.d"
+  "CMakeFiles/bsnet.dir/ratelimit.cpp.o"
+  "CMakeFiles/bsnet.dir/ratelimit.cpp.o.d"
+  "CMakeFiles/bsnet.dir/rules.cpp.o"
+  "CMakeFiles/bsnet.dir/rules.cpp.o.d"
+  "libbsnet.a"
+  "libbsnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/hash256.cpp" "src/crypto/CMakeFiles/bscrypto.dir/hash256.cpp.o" "gcc" "src/crypto/CMakeFiles/bscrypto.dir/hash256.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/bscrypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/bscrypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/murmur3.cpp" "src/crypto/CMakeFiles/bscrypto.dir/murmur3.cpp.o" "gcc" "src/crypto/CMakeFiles/bscrypto.dir/murmur3.cpp.o.d"
+  "/root/repo/src/crypto/partial_merkle.cpp" "src/crypto/CMakeFiles/bscrypto.dir/partial_merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/bscrypto.dir/partial_merkle.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/bscrypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/bscrypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/bsutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bscrypto.dir/hash256.cpp.o"
+  "CMakeFiles/bscrypto.dir/hash256.cpp.o.d"
+  "CMakeFiles/bscrypto.dir/merkle.cpp.o"
+  "CMakeFiles/bscrypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/bscrypto.dir/murmur3.cpp.o"
+  "CMakeFiles/bscrypto.dir/murmur3.cpp.o.d"
+  "CMakeFiles/bscrypto.dir/partial_merkle.cpp.o"
+  "CMakeFiles/bscrypto.dir/partial_merkle.cpp.o.d"
+  "CMakeFiles/bscrypto.dir/sha256.cpp.o"
+  "CMakeFiles/bscrypto.dir/sha256.cpp.o.d"
+  "libbscrypto.a"
+  "libbscrypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bscrypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

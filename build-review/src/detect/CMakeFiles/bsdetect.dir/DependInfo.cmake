@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/engine.cpp" "src/detect/CMakeFiles/bsdetect.dir/engine.cpp.o" "gcc" "src/detect/CMakeFiles/bsdetect.dir/engine.cpp.o.d"
+  "/root/repo/src/detect/monitor.cpp" "src/detect/CMakeFiles/bsdetect.dir/monitor.cpp.o" "gcc" "src/detect/CMakeFiles/bsdetect.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/bsnet.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/bsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/proto/CMakeFiles/bsproto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bsutil.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chain/CMakeFiles/bschain.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/bscrypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bsobs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

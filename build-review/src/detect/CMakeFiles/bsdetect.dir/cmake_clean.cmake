@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsdetect.dir/engine.cpp.o"
+  "CMakeFiles/bsdetect.dir/engine.cpp.o.d"
+  "CMakeFiles/bsdetect.dir/monitor.cpp.o"
+  "CMakeFiles/bsdetect.dir/monitor.cpp.o.d"
+  "libbsdetect.a"
+  "libbsdetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsdetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mlbase/autoencoder.cpp" "src/mlbase/CMakeFiles/bsml.dir/autoencoder.cpp.o" "gcc" "src/mlbase/CMakeFiles/bsml.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/mlbase/boosting.cpp" "src/mlbase/CMakeFiles/bsml.dir/boosting.cpp.o" "gcc" "src/mlbase/CMakeFiles/bsml.dir/boosting.cpp.o.d"
+  "/root/repo/src/mlbase/dataset.cpp" "src/mlbase/CMakeFiles/bsml.dir/dataset.cpp.o" "gcc" "src/mlbase/CMakeFiles/bsml.dir/dataset.cpp.o.d"
+  "/root/repo/src/mlbase/dnn.cpp" "src/mlbase/CMakeFiles/bsml.dir/dnn.cpp.o" "gcc" "src/mlbase/CMakeFiles/bsml.dir/dnn.cpp.o.d"
+  "/root/repo/src/mlbase/forest.cpp" "src/mlbase/CMakeFiles/bsml.dir/forest.cpp.o" "gcc" "src/mlbase/CMakeFiles/bsml.dir/forest.cpp.o.d"
+  "/root/repo/src/mlbase/kernel_svm.cpp" "src/mlbase/CMakeFiles/bsml.dir/kernel_svm.cpp.o" "gcc" "src/mlbase/CMakeFiles/bsml.dir/kernel_svm.cpp.o.d"
+  "/root/repo/src/mlbase/logistic.cpp" "src/mlbase/CMakeFiles/bsml.dir/logistic.cpp.o" "gcc" "src/mlbase/CMakeFiles/bsml.dir/logistic.cpp.o.d"
+  "/root/repo/src/mlbase/ocsvm.cpp" "src/mlbase/CMakeFiles/bsml.dir/ocsvm.cpp.o" "gcc" "src/mlbase/CMakeFiles/bsml.dir/ocsvm.cpp.o.d"
+  "/root/repo/src/mlbase/svm.cpp" "src/mlbase/CMakeFiles/bsml.dir/svm.cpp.o" "gcc" "src/mlbase/CMakeFiles/bsml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/bsutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

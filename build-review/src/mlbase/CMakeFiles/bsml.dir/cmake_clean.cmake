@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsml.dir/autoencoder.cpp.o"
+  "CMakeFiles/bsml.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/bsml.dir/boosting.cpp.o"
+  "CMakeFiles/bsml.dir/boosting.cpp.o.d"
+  "CMakeFiles/bsml.dir/dataset.cpp.o"
+  "CMakeFiles/bsml.dir/dataset.cpp.o.d"
+  "CMakeFiles/bsml.dir/dnn.cpp.o"
+  "CMakeFiles/bsml.dir/dnn.cpp.o.d"
+  "CMakeFiles/bsml.dir/forest.cpp.o"
+  "CMakeFiles/bsml.dir/forest.cpp.o.d"
+  "CMakeFiles/bsml.dir/kernel_svm.cpp.o"
+  "CMakeFiles/bsml.dir/kernel_svm.cpp.o.d"
+  "CMakeFiles/bsml.dir/logistic.cpp.o"
+  "CMakeFiles/bsml.dir/logistic.cpp.o.d"
+  "CMakeFiles/bsml.dir/ocsvm.cpp.o"
+  "CMakeFiles/bsml.dir/ocsvm.cpp.o.d"
+  "CMakeFiles/bsml.dir/svm.cpp.o"
+  "CMakeFiles/bsml.dir/svm.cpp.o.d"
+  "libbsml.a"
+  "libbsml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

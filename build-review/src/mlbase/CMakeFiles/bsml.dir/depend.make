@@ -1,0 +1,2 @@
+# Empty dependencies file for bsml.
+# This may be replaced when dependencies are built.

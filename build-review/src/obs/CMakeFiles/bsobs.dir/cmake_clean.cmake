@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsobs.dir/metrics.cpp.o"
+  "CMakeFiles/bsobs.dir/metrics.cpp.o.d"
+  "CMakeFiles/bsobs.dir/trace.cpp.o"
+  "CMakeFiles/bsobs.dir/trace.cpp.o.d"
+  "libbsobs.a"
+  "libbsobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/bloom.cpp" "src/proto/CMakeFiles/bsproto.dir/bloom.cpp.o" "gcc" "src/proto/CMakeFiles/bsproto.dir/bloom.cpp.o.d"
+  "/root/repo/src/proto/codec.cpp" "src/proto/CMakeFiles/bsproto.dir/codec.cpp.o" "gcc" "src/proto/CMakeFiles/bsproto.dir/codec.cpp.o.d"
+  "/root/repo/src/proto/compact.cpp" "src/proto/CMakeFiles/bsproto.dir/compact.cpp.o" "gcc" "src/proto/CMakeFiles/bsproto.dir/compact.cpp.o.d"
+  "/root/repo/src/proto/constants.cpp" "src/proto/CMakeFiles/bsproto.dir/constants.cpp.o" "gcc" "src/proto/CMakeFiles/bsproto.dir/constants.cpp.o.d"
+  "/root/repo/src/proto/messages.cpp" "src/proto/CMakeFiles/bsproto.dir/messages.cpp.o" "gcc" "src/proto/CMakeFiles/bsproto.dir/messages.cpp.o.d"
+  "/root/repo/src/proto/netaddr.cpp" "src/proto/CMakeFiles/bsproto.dir/netaddr.cpp.o" "gcc" "src/proto/CMakeFiles/bsproto.dir/netaddr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/chain/CMakeFiles/bschain.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/bscrypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bsutil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

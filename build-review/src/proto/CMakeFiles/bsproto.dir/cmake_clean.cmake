@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsproto.dir/bloom.cpp.o"
+  "CMakeFiles/bsproto.dir/bloom.cpp.o.d"
+  "CMakeFiles/bsproto.dir/codec.cpp.o"
+  "CMakeFiles/bsproto.dir/codec.cpp.o.d"
+  "CMakeFiles/bsproto.dir/compact.cpp.o"
+  "CMakeFiles/bsproto.dir/compact.cpp.o.d"
+  "CMakeFiles/bsproto.dir/constants.cpp.o"
+  "CMakeFiles/bsproto.dir/constants.cpp.o.d"
+  "CMakeFiles/bsproto.dir/messages.cpp.o"
+  "CMakeFiles/bsproto.dir/messages.cpp.o.d"
+  "CMakeFiles/bsproto.dir/netaddr.cpp.o"
+  "CMakeFiles/bsproto.dir/netaddr.cpp.o.d"
+  "libbsproto.a"
+  "libbsproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cpp" "src/sim/CMakeFiles/bsim.dir/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/bsim.dir/cpu.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/bsim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/bsim.dir/faults.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/bsim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/bsim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/bsim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/bsim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/tcp.cpp" "src/sim/CMakeFiles/bsim.dir/tcp.cpp.o" "gcc" "src/sim/CMakeFiles/bsim.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/proto/CMakeFiles/bsproto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/bsobs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/bsutil.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/chain/CMakeFiles/bschain.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/bscrypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim.dir/cpu.cpp.o"
+  "CMakeFiles/bsim.dir/cpu.cpp.o.d"
+  "CMakeFiles/bsim.dir/faults.cpp.o"
+  "CMakeFiles/bsim.dir/faults.cpp.o.d"
+  "CMakeFiles/bsim.dir/network.cpp.o"
+  "CMakeFiles/bsim.dir/network.cpp.o.d"
+  "CMakeFiles/bsim.dir/scheduler.cpp.o"
+  "CMakeFiles/bsim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/bsim.dir/tcp.cpp.o"
+  "CMakeFiles/bsim.dir/tcp.cpp.o.d"
+  "libbsim.a"
+  "libbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsutil.dir/hex.cpp.o"
+  "CMakeFiles/bsutil.dir/hex.cpp.o.d"
+  "CMakeFiles/bsutil.dir/log.cpp.o"
+  "CMakeFiles/bsutil.dir/log.cpp.o.d"
+  "CMakeFiles/bsutil.dir/serialize.cpp.o"
+  "CMakeFiles/bsutil.dir/serialize.cpp.o.d"
+  "CMakeFiles/bsutil.dir/stats.cpp.o"
+  "CMakeFiles/bsutil.dir/stats.cpp.o.d"
+  "libbsutil.a"
+  "libbsutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_tests.dir/attack_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack_test.cpp.o.d"
+  "attack_tests"
+  "attack_tests.pdb"
+  "attack_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloom_tests.dir/bloom_test.cpp.o"
+  "CMakeFiles/bloom_tests.dir/bloom_test.cpp.o.d"
+  "bloom_tests"
+  "bloom_tests.pdb"
+  "bloom_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloom_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

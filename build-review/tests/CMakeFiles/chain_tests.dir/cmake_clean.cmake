@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_tests.dir/chain_test.cpp.o"
+  "CMakeFiles/chain_tests.dir/chain_test.cpp.o.d"
+  "chain_tests"
+  "chain_tests.pdb"
+  "chain_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_tests.dir/chaos_test.cpp.o"
+  "CMakeFiles/chaos_tests.dir/chaos_test.cpp.o.d"
+  "chaos_tests"
+  "chaos_tests.pdb"
+  "chaos_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

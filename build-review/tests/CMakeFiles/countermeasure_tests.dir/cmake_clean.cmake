@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/countermeasure_tests.dir/countermeasure_test.cpp.o"
+  "CMakeFiles/countermeasure_tests.dir/countermeasure_test.cpp.o.d"
+  "countermeasure_tests"
+  "countermeasure_tests.pdb"
+  "countermeasure_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/countermeasure_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

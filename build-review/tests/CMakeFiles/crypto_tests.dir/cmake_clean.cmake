@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_tests.dir/crypto_test.cpp.o"
+  "CMakeFiles/crypto_tests.dir/crypto_test.cpp.o.d"
+  "crypto_tests"
+  "crypto_tests.pdb"
+  "crypto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

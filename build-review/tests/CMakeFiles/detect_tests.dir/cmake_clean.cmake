@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_tests.dir/detect_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect_test.cpp.o.d"
+  "detect_tests"
+  "detect_tests.pdb"
+  "detect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_tests.dir/e2e_test.cpp.o"
+  "CMakeFiles/e2e_tests.dir/e2e_test.cpp.o.d"
+  "e2e_tests"
+  "e2e_tests.pdb"
+  "e2e_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governance_tests.dir/governance_test.cpp.o"
+  "CMakeFiles/governance_tests.dir/governance_test.cpp.o.d"
+  "governance_tests"
+  "governance_tests.pdb"
+  "governance_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governance_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlbase_tests.dir/mlbase_test.cpp.o"
+  "CMakeFiles/mlbase_tests.dir/mlbase_test.cpp.o.d"
+  "mlbase_tests"
+  "mlbase_tests.pdb"
+  "mlbase_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlbase_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_tests.dir/node_test.cpp.o"
+  "CMakeFiles/node_tests.dir/node_test.cpp.o.d"
+  "node_tests"
+  "node_tests.pdb"
+  "node_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

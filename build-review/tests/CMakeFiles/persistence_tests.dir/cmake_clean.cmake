@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_tests.dir/persistence_test.cpp.o"
+  "CMakeFiles/persistence_tests.dir/persistence_test.cpp.o.d"
+  "persistence_tests"
+  "persistence_tests.pdb"
+  "persistence_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

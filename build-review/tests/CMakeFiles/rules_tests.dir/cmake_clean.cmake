@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_tests.dir/rules_test.cpp.o"
+  "CMakeFiles/rules_tests.dir/rules_test.cpp.o.d"
+  "rules_tests"
+  "rules_tests.pdb"
+  "rules_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

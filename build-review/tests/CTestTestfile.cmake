@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/util_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/obs_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/crypto_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/proto_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/chain_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/rules_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/bloom_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/persistence_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/property_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/node_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/attack_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/detect_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/mlbase_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/countermeasure_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/e2e_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/chaos_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/governance_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banscore-lab.dir/banscore_lab.cpp.o"
+  "CMakeFiles/banscore-lab.dir/banscore_lab.cpp.o.d"
+  "banscore-lab"
+  "banscore-lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banscore-lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_rules "/root/repo/build-review/tools/banscore-lab" "rules" "--version" "0.21")
+set_tests_properties(cli_rules PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bmdos "/root/repo/build-review/tools/banscore-lab" "bmdos" "--payload" "ping" "--seconds" "3")
+set_tests_properties(cli_bmdos PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sybil "/root/repo/build-review/tools/banscore-lab" "sybil" "--identifiers" "3")
+set_tests_properties(cli_sybil PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_defame_pre "/root/repo/build-review/tools/banscore-lab" "defame" "--mode" "pre")
+set_tests_properties(cli_defame_pre PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_defame_post "/root/repo/build-review/tools/banscore-lab" "defame" "--mode" "post" "--policy" "goodscore")
+set_tests_properties(cli_defame_post PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_detect "/root/repo/build-review/tools/banscore-lab" "detect" "--train-minutes" "30" "--window" "5")
+set_tests_properties(cli_detect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dump_metrics "/root/repo/build-review/tools/banscore-lab" "dump-metrics" "--seconds" "2")
+set_tests_properties(cli_dump_metrics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_overload "/root/repo/build-review/tools/banscore-lab" "overload" "--defenses" "all" "--procs" "2" "--windows" "4" "--min-ratio" "0.5" "--format" "json")
+set_tests_properties(cli_overload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
