@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Pre-merge gate: the tier-1 verify (configure + build + full ctest run),
 # an ASan/UBSan build of the test suite, a TSan build of the chaos/sim
-# tests, a fixed-seed chaos smoke sweep, and a degradation smoke (honest
+# tests, a fixed-seed chaos smoke sweep, a degradation smoke (honest
 # mining must hold >= 50% of baseline under a Sybil flood with the full
-# defense stack on). Run from anywhere; builds land in build/ (tier-1),
-# build-asan/, and build-tsan/.
+# defense stack on), and two store-recovery gates: the fsck demo
+# round-trip against a real directory and the crash-at-every-syscall
+# recovery sweep re-run under ASan. Run from anywhere; builds land in
+# build/ (tier-1), build-asan/, and build-tsan/.
 #
 #   scripts/check.sh            # all stages
 #   scripts/check.sh --no-asan  # tier-1 + chaos smoke only (skips ASan+TSan)
@@ -30,6 +32,15 @@ echo "==> chaos smoke: 20 fixed seeds of randomized fault injection"
 echo "==> degradation smoke: honest mining >= 50% of baseline under flood"
 ./build/tools/banscore-lab overload --defenses all --min-ratio 0.5 --format json
 
+echo "==> store recovery smoke: fsck demo round-trip (torn tail -> repair -> verify)"
+rm -rf build/fsck-smoke
+if ./build/tools/banscore-lab fsck --dir build/fsck-smoke --demo torn --format json; then
+  echo "FAIL: torn store verified healthy without repair" >&2
+  exit 1
+fi
+./build/tools/banscore-lab fsck --dir build/fsck-smoke --repair yes --format json
+./build/tools/banscore-lab fsck --dir build/fsck-smoke --format json
+
 if [ "$run_asan" = 1 ]; then
   echo "==> sanitizers: ASan/UBSan build + ctest"
   cmake -B build-asan -S . \
@@ -38,6 +49,10 @@ if [ "$run_asan" = 1 ]; then
   cmake --build build-asan -j
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
     ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+  echo "==> store recovery sweep under ASan: crash at every syscall index"
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    ./build-asan/tests/store_tests --gtest_filter='StateStoreCrashSweep.*'
 fi
 
 if [ "$run_tsan" = 1 ]; then

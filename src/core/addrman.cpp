@@ -1,10 +1,20 @@
 #include "core/addrman.hpp"
 
+#include "util/serialize.hpp"
+
 namespace bsnet {
+
+namespace {
+// Format tag so stale/foreign files are rejected cleanly.
+constexpr std::uint32_t kAddrTableMagic = 0x41445231;  // "ADR1"
+}  // namespace
 
 void AddrMan::Add(const Endpoint& addr) {
   if (order_.size() >= kMaxSize) return;
-  if (set_.insert(addr).second) order_.push_back(addr);
+  if (set_.insert(addr).second) {
+    order_.push_back(addr);
+    if (on_add) on_add(addr);
+  }
 }
 
 void AddrMan::AddMany(const std::vector<Endpoint>& addrs) {
@@ -18,6 +28,42 @@ std::vector<Endpoint> AddrMan::Sample(std::size_t count) {
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) out.push_back(order_[rng_.Below(order_.size())]);
   return out;
+}
+
+bsutil::ByteVec AddrMan::Serialize() const {
+  bsutil::Writer w;
+  w.WriteU32(kAddrTableMagic);
+  w.WriteCompactSize(order_.size());
+  for (const Endpoint& ep : order_) {
+    w.WriteU32(ep.ip);
+    w.WriteU16(ep.port);
+  }
+  return w.TakeData();
+}
+
+bool AddrMan::Deserialize(bsutil::ByteSpan data) {
+  try {
+    bsutil::Reader r(data);
+    if (r.ReadU32() != kAddrTableMagic) return false;
+    const std::uint64_t count = r.ReadCompactSize();
+    if (count > kMaxSize) return false;  // allocation guard
+    std::vector<Endpoint> order;
+    std::unordered_set<Endpoint, bsproto::EndpointHasher> set;
+    order.reserve(count);
+    set.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Endpoint ep;
+      ep.ip = r.ReadU32();
+      ep.port = r.ReadU16();
+      if (set.insert(ep).second) order.push_back(ep);
+    }
+    if (!r.AtEnd()) return false;
+    set_ = std::move(set);
+    order_ = std::move(order);
+    return true;
+  } catch (const bsutil::DeserializeError&) {
+    return false;
+  }
 }
 
 }  // namespace bsnet

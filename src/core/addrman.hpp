@@ -4,11 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_set>
 #include <vector>
 
 #include "proto/netaddr.hpp"
+#include "util/bytes.hpp"
 #include "util/rng.hpp"
 
 namespace bsnet {
@@ -46,6 +48,24 @@ class AddrMan {
 
   /// Random sample of up to `count` addresses (GETADDR responses).
   std::vector<Endpoint> Sample(std::size_t count);
+
+  /// Durable-store hook: fired when Add actually inserts a new address.
+  /// Restore/Deserialize paths never fire it.
+  std::function<void(const Endpoint& addr)> on_add;
+
+  /// Replay path (WAL kAddrAdd): insert without firing on_add.
+  void RestoreAdd(const Endpoint& addr) {
+    if (order_.size() >= kMaxSize) return;
+    if (set_.insert(addr).second) order_.push_back(addr);
+  }
+
+  // ---- Persistence (the peers.dat analogue) ----
+  /// Serialize all addresses in insertion order (Select/Sample determinism
+  /// depends on `order_`, so the order itself is part of the state).
+  bsutil::ByteVec Serialize() const;
+  /// Replace current contents with a serialized address table. Returns false
+  /// on malformed input (contents are then unchanged).
+  bool Deserialize(bsutil::ByteSpan data);
 
   static constexpr std::size_t kMaxSize = 16'384;
 

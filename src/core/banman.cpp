@@ -18,6 +18,9 @@ void BanMan::AttachMetrics(bsobs::MetricsRegistry& registry) {
   m_unbans_total_ = registry.GetCounter("bs_ban_unbans_total", "Bans lifted early");
   m_discouragements_total_ =
       registry.GetCounter("bs_ban_discouragements_total", "IPs discouraged (0.21+)");
+  m_expired_on_load_total_ = registry.GetCounter(
+      "bs_banlist_expired_on_load_total",
+      "Persisted bans dropped at load time because they had already expired");
   m_active_bans_ = registry.GetGauge("bs_ban_active", "Currently banned identifiers");
   m_discouraged_ips_gauge_ =
       registry.GetGauge("bs_ban_discouraged_ips", "Currently discouraged IPs");
@@ -34,6 +37,17 @@ void BanMan::Ban(const Endpoint& who, bsim::SimTime until) {
   auto [it, inserted] = bans_.emplace(who, until);
   if (!inserted) it->second = std::max(it->second, until);
   if (inserted && m_bans_total_ != nullptr) m_bans_total_->Inc();
+  if (on_ban_change) on_ban_change(who, it->second);
+  UpdateGauges();
+}
+
+void BanMan::RestoreBan(const Endpoint& who, bsim::SimTime until, bsim::SimTime now) {
+  if (until <= now) {
+    if (m_expired_on_load_total_ != nullptr) m_expired_on_load_total_->Inc();
+    return;
+  }
+  auto [it, inserted] = bans_.emplace(who, until);
+  if (!inserted) it->second = std::max(it->second, until);
   UpdateGauges();
 }
 
@@ -87,15 +101,23 @@ bool BanMan::Deserialize(bsutil::ByteSpan data, bsim::SimTime now) {
     if (count > 10'000'000) return false;  // allocation guard
     std::unordered_map<Endpoint, bsim::SimTime, bsproto::EndpointHasher> loaded;
     loaded.reserve(count);
+    std::uint64_t expired = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
       Endpoint ep;
       ep.ip = r.ReadU32();
       ep.port = r.ReadU16();
       const bsim::SimTime until = r.ReadI64();
-      if (until > now) loaded.emplace(ep, until);
+      if (until > now) {
+        loaded.emplace(ep, until);
+      } else {
+        ++expired;
+      }
     }
     if (!r.AtEnd()) return false;
     bans_ = std::move(loaded);
+    if (expired > 0 && m_expired_on_load_total_ != nullptr) {
+      m_expired_on_load_total_->Inc(expired);
+    }
     UpdateGauges();
     return true;
   } catch (const bsutil::DeserializeError&) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,7 +30,25 @@ class BanMan {
   void Ban(const Endpoint& who, bsim::SimTime until);
   /// Lift a ban early.
   void Unban(const Endpoint& who) {
-    if (bans_.erase(who) > 0 && m_unbans_total_ != nullptr) m_unbans_total_->Inc();
+    if (bans_.erase(who) > 0) {
+      if (m_unbans_total_ != nullptr) m_unbans_total_->Inc();
+      if (on_ban_change) on_ban_change(who, 0);
+    }
+    UpdateGauges();
+  }
+
+  /// Durable-store hook: fired on every Ban (with the effective expiry) and
+  /// Unban (with until == 0). Restore/Deserialize paths never fire it, so
+  /// replay cannot re-journal itself.
+  std::function<void(const Endpoint& who, bsim::SimTime until)> on_ban_change;
+
+  /// Replay path (WAL kBanUpsert): apply a persisted ban without firing
+  /// on_ban_change or counting a fresh ban; entries already expired at `now`
+  /// are dropped and counted in bs_banlist_expired_on_load_total.
+  void RestoreBan(const Endpoint& who, bsim::SimTime until, bsim::SimTime now);
+  /// Replay path (WAL kBanRemove): silent erase.
+  void RestoreUnban(const Endpoint& who) {
+    bans_.erase(who);
     UpdateGauges();
   }
 
@@ -85,6 +104,7 @@ class BanMan {
   // Observability handles (null until AttachMetrics).
   bsobs::Counter* m_bans_total_ = nullptr;
   bsobs::Counter* m_unbans_total_ = nullptr;
+  bsobs::Counter* m_expired_on_load_total_ = nullptr;
   bsobs::Counter* m_discouragements_total_ = nullptr;
   bsobs::Gauge* m_active_bans_ = nullptr;
   bsobs::Gauge* m_discouraged_ips_gauge_ = nullptr;

@@ -1,0 +1,157 @@
+#include "core/durable.hpp"
+
+#include <utility>
+
+#include "util/log.hpp"
+#include "util/serialize.hpp"
+
+namespace bsnet {
+
+DurableNodeState::DurableNodeState(bsstore::StoreFs& fs, std::string dir,
+                                   BanMan& bans, MisbehaviorTracker& tracker,
+                                   AddrMan& addrs)
+    : store_(fs, std::move(dir)), bans_(bans), tracker_(tracker), addrs_(addrs) {
+  store_.SetSnapshotSource(
+      [this](const bsstore::StateStore::SnapshotSink& sink) { EmitSnapshot(sink); });
+}
+
+DurableNodeState::~DurableNodeState() {
+  // Detach the hooks: the components usually outlive this bridge only in
+  // tests, but a dangling capture of `this` must never be reachable.
+  bans_.on_ban_change = nullptr;
+  tracker_.on_change = nullptr;
+  tracker_.on_forget = nullptr;
+  addrs_.on_add = nullptr;
+}
+
+void DurableNodeState::AttachMetrics(bsobs::MetricsRegistry& registry) {
+  store_.AttachMetrics(registry);
+}
+
+bool DurableNodeState::Open(bsim::SimTime now) {
+  const bool ok = store_.Open([this, now](std::uint8_t type, bsutil::ByteSpan payload) {
+    ReplayRecord(type, payload, now);
+  });
+  if (!ok) {
+    bsutil::Log(bsutil::LogLevel::kError, "durable",
+                "state store failed to open, running volatile: ", store_.Dir());
+    return false;
+  }
+  WireHooks();
+  return true;
+}
+
+void DurableNodeState::ReplayRecord(std::uint8_t type, bsutil::ByteSpan payload,
+                                    bsim::SimTime now) {
+  try {
+    switch (type) {
+      case kBanSnapshot:
+        bans_.Deserialize(payload, now);
+        return;
+      case kScoreSnapshot:
+        tracker_.Deserialize(payload);
+        return;
+      case kAddrSnapshot:
+        addrs_.Deserialize(payload);
+        return;
+      case kDetectBaseline:
+        baseline_.assign(payload.begin(), payload.end());
+        return;
+      case kBanUpsert: {
+        bsutil::Reader r(payload);
+        Endpoint ep;
+        ep.ip = r.ReadU32();
+        ep.port = r.ReadU16();
+        const bsim::SimTime until = r.ReadI64();
+        bans_.RestoreBan(ep, until, now);
+        return;
+      }
+      case kBanRemove: {
+        bsutil::Reader r(payload);
+        Endpoint ep;
+        ep.ip = r.ReadU32();
+        ep.port = r.ReadU16();
+        bans_.RestoreUnban(ep);
+        return;
+      }
+      case kScoreUpsert: {
+        bsutil::Reader r(payload);
+        const std::uint64_t id = r.ReadU64();
+        const int mis = static_cast<int>(r.ReadI64());
+        const int good = static_cast<int>(r.ReadI64());
+        tracker_.RestoreScore(id, mis, good);
+        return;
+      }
+      case kScoreForget: {
+        bsutil::Reader r(payload);
+        tracker_.RestoreForget(r.ReadU64());
+        return;
+      }
+      case kAddrAdd: {
+        bsutil::Reader r(payload);
+        Endpoint ep;
+        ep.ip = r.ReadU32();
+        ep.port = r.ReadU16();
+        addrs_.RestoreAdd(ep);
+        return;
+      }
+      default:
+        // Forward compatibility: a newer writer may journal record types we
+        // do not know; skipping them is safe (CRC already vouched for them).
+        return;
+    }
+  } catch (const bsutil::DeserializeError&) {
+    // A CRC-clean frame whose payload does not parse means a writer bug, not
+    // media corruption. Skip the record rather than poisoning recovery.
+    bsutil::Log(bsutil::LogLevel::kError, "durable",
+                "skipping unparseable record type ", static_cast<int>(type));
+  }
+}
+
+void DurableNodeState::EmitSnapshot(
+    const bsstore::StateStore::SnapshotSink& sink) const {
+  sink(kBanSnapshot, bans_.Serialize());
+  sink(kScoreSnapshot, tracker_.Serialize());
+  sink(kAddrSnapshot, addrs_.Serialize());
+  if (!baseline_.empty()) sink(kDetectBaseline, baseline_);
+}
+
+void DurableNodeState::WireHooks() {
+  bans_.on_ban_change = [this](const Endpoint& who, bsim::SimTime until) {
+    bsutil::Writer w;
+    w.WriteU32(who.ip);
+    w.WriteU16(who.port);
+    if (until == 0) {
+      store_.AppendCommit(kBanRemove, w.Data());
+    } else {
+      w.WriteI64(until);
+      store_.AppendCommit(kBanUpsert, w.Data());
+    }
+  };
+  tracker_.on_change = [this](std::uint64_t id, int mis, int good) {
+    bsutil::Writer w;
+    w.WriteU64(id);
+    w.WriteI64(mis);
+    w.WriteI64(good);
+    store_.AppendCommit(kScoreUpsert, w.Data());
+  };
+  tracker_.on_forget = [this](std::uint64_t id) {
+    bsutil::Writer w;
+    w.WriteU64(id);
+    store_.AppendCommit(kScoreForget, w.Data());
+  };
+  addrs_.on_add = [this](const Endpoint& addr) {
+    bsutil::Writer w;
+    w.WriteU32(addr.ip);
+    w.WriteU16(addr.port);
+    store_.AppendCommit(kAddrAdd, w.Data());
+  };
+}
+
+bool DurableNodeState::SetDetectBaseline(bsutil::ByteSpan payload) {
+  baseline_.assign(payload.begin(), payload.end());
+  if (!store_.IsOpen()) return false;
+  return store_.AppendCommit(kDetectBaseline, baseline_);
+}
+
+}  // namespace bsnet

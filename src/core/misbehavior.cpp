@@ -1,6 +1,13 @@
 #include "core/misbehavior.hpp"
 
+#include "util/serialize.hpp"
+
 namespace bsnet {
+
+namespace {
+// Format tag so stale/foreign files are rejected cleanly.
+constexpr std::uint32_t kScoreTableMagic = 0x53435231;  // "SCR1"
+}  // namespace
 
 void MisbehaviorTracker::AttachMetrics(bsobs::MetricsRegistry& registry) {
   m_score_events_total_ = registry.GetCounter("bs_ban_score_events_total",
@@ -36,12 +43,23 @@ void MisbehaviorTracker::PruneLru() {
   for (auto it = scores_.begin(); it != scores_.end(); ++it) {
     if (it->second.last_touch < oldest->second.last_touch) oldest = it;
   }
+  const std::uint64_t pruned_id = oldest->first;
   scores_.erase(oldest);
   if (m_scores_pruned_total_ != nullptr) m_scores_pruned_total_->Inc();
+  if (on_forget) on_forget(pruned_id);
 }
 
 void MisbehaviorTracker::Forget(std::uint64_t peer_id) {
-  scores_.erase(peer_id);
+  if (scores_.erase(peer_id) > 0 && on_forget) on_forget(peer_id);
+  UpdateEntriesGauge();
+}
+
+void MisbehaviorTracker::RestoreScore(std::uint64_t peer_id, int misbehavior,
+                                      int good_score) {
+  PeerScore& score = scores_[peer_id];
+  score.misbehavior = misbehavior;
+  score.good_score = good_score;
+  score.last_touch = ++touch_seq_;
   UpdateEntriesGauge();
 }
 
@@ -77,6 +95,7 @@ MisbehaviorOutcome MisbehaviorTracker::Misbehaving(std::uint64_t peer_id, bool i
 
   PeerScore& score = Touch(peer_id);
   score.misbehavior += rule->score;
+  if (on_change) on_change(peer_id, score.misbehavior, score.good_score);
 
   outcome.rule_applied = true;
   outcome.score_delta = rule->score;
@@ -112,10 +131,12 @@ MisbehaviorOutcome MisbehaviorTracker::Misbehaving(std::uint64_t peer_id, bool i
 }
 
 void MisbehaviorTracker::AddGoodScore(std::uint64_t peer_id, int delta) {
-  Touch(peer_id).good_score += delta;
+  PeerScore& score = Touch(peer_id);
+  score.good_score += delta;
   if (m_good_score_points_total_ != nullptr && delta > 0) {
     m_good_score_points_total_->Inc(static_cast<std::uint64_t>(delta));
   }
+  if (on_change) on_change(peer_id, score.misbehavior, score.good_score);
 }
 
 int MisbehaviorTracker::Score(std::uint64_t peer_id) const {
@@ -126,6 +147,44 @@ int MisbehaviorTracker::Score(std::uint64_t peer_id) const {
 int MisbehaviorTracker::GoodScore(std::uint64_t peer_id) const {
   const auto it = scores_.find(peer_id);
   return it == scores_.end() ? 0 : it->second.good_score;
+}
+
+bsutil::ByteVec MisbehaviorTracker::Serialize() const {
+  bsutil::Writer w;
+  w.WriteU32(kScoreTableMagic);
+  w.WriteCompactSize(scores_.size());
+  for (const auto& [id, score] : scores_) {
+    w.WriteU64(id);
+    w.WriteI64(score.misbehavior);
+    w.WriteI64(score.good_score);
+  }
+  return w.TakeData();
+}
+
+bool MisbehaviorTracker::Deserialize(bsutil::ByteSpan data) {
+  try {
+    bsutil::Reader r(data);
+    if (r.ReadU32() != kScoreTableMagic) return false;
+    const std::uint64_t count = r.ReadCompactSize();
+    if (count > 10'000'000) return false;  // allocation guard
+    std::unordered_map<std::uint64_t, PeerScore> loaded;
+    loaded.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t id = r.ReadU64();
+      PeerScore score;
+      score.misbehavior = static_cast<int>(r.ReadI64());
+      score.good_score = static_cast<int>(r.ReadI64());
+      score.last_touch = i;  // recency order restarts; ties broken by file order
+      loaded.emplace(id, score);
+    }
+    if (!r.AtEnd()) return false;
+    scores_ = std::move(loaded);
+    touch_seq_ = count;
+    UpdateEntriesGauge();
+    return true;
+  } catch (const bsutil::DeserializeError&) {
+    return false;
+  }
 }
 
 }  // namespace bsnet

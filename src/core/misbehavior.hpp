@@ -18,6 +18,7 @@
 
 #include "core/rules.hpp"
 #include "obs/metrics.hpp"
+#include "util/bytes.hpp"
 
 namespace bsnet {
 
@@ -71,6 +72,32 @@ class MisbehaviorTracker {
 
   /// Drop a disconnected peer's state.
   void Forget(std::uint64_t peer_id);
+
+  /// Durable-store hook: fired whenever a peer's score pair changes
+  /// (Misbehaving / AddGoodScore). Restore paths never fire it.
+  std::function<void(std::uint64_t peer_id, int misbehavior, int good_score)>
+      on_change;
+  /// Durable-store hook: fired when a peer's state is dropped (Forget or an
+  /// LRU prune). Restore paths never fire it.
+  std::function<void(std::uint64_t peer_id)> on_forget;
+
+  /// Replay path (WAL kScoreUpsert): apply persisted scores without firing
+  /// hooks or counting fresh score events.
+  void RestoreScore(std::uint64_t peer_id, int misbehavior, int good_score);
+  /// Replay path (WAL kScoreForget): silent erase.
+  void RestoreForget(std::uint64_t peer_id) {
+    scores_.erase(peer_id);
+    UpdateEntriesGauge();
+  }
+
+  // ---- Persistence ----
+  /// Serialize all tracked peers (id, misbehavior, good_score). LRU stamps
+  /// are transient and not persisted; a restored tracker starts a fresh
+  /// recency order.
+  bsutil::ByteVec Serialize() const;
+  /// Replace current contents with a serialized score table. Returns false
+  /// on malformed input (contents are then unchanged).
+  bool Deserialize(bsutil::ByteSpan data);
 
   /// Cap on tracked peers (0 = unbounded). The node always calls Forget on
   /// disconnect, so in steady state the map tracks live peers only — but a

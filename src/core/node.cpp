@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/durable.hpp"
 #include "crypto/partial_merkle.hpp"
+#include "store/fs.hpp"
 #include "util/log.hpp"
 
 namespace bsnet {
@@ -85,6 +87,20 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
   m_peers_gauge_ = reg.GetGauge("bs_node_peers", "Connected peers");
   banman_.AttachMetrics(reg);
   tracker_.AttachMetrics(reg);
+
+  if (config_.enable_durable_store) {
+    bsstore::StoreFs& store_fs = config_.store_fs != nullptr
+                                     ? *config_.store_fs
+                                     : bsstore::RealFs::Instance();
+    const std::string dir = config_.store_dir.empty()
+                                ? "bsnode-store-" + std::to_string(ip)
+                                : config_.store_dir;
+    durable_ = std::make_unique<DurableNodeState>(store_fs, dir, banman_, tracker_,
+                                                  addrman_);
+    durable_->SetCompactThreshold(config_.store_compact_threshold);
+    durable_->AttachMetrics(reg);
+    if (!durable_->Open(sched.Now())) durable_.reset();  // run volatile
+  }
 }
 
 Node::~Node() = default;

@@ -47,7 +47,13 @@
 #include "sim/tcp.hpp"
 #include "util/rng.hpp"
 
+namespace bsstore {
+class StoreFs;
+}
+
 namespace bsnet {
+
+class DurableNodeState;
 
 struct NodeConfig {
   CoreVersion core_version = CoreVersion::kV0_20;
@@ -128,6 +134,21 @@ struct NodeConfig {
   double low_priority_cost_scale = 0.25;
   /// MisbehaviorTracker entry cap (0 = unbounded); see SetMaxEntries.
   std::size_t tracker_max_entries = 65536;
+
+  // ---- Crash-consistent state store (beyond-paper; off by default so the
+  // legacy volatile paths — and the fig6/fig8 benches over them — stay
+  // bit-identical) ----
+  /// Persist BanMan / MisbehaviorTracker / AddrMan / the detect baseline in
+  /// a WAL + atomic-snapshot store (src/store) and replay it at startup.
+  bool enable_durable_store = false;
+  /// Store directory. Empty = "bsnode-store-<ip>" under the working
+  /// directory (tests always set it explicitly).
+  std::string store_dir;
+  /// Filesystem backend; null = the real POSIX filesystem. Tests inject a
+  /// bsim::SimFs here to exercise crash points. Not owned.
+  bsstore::StoreFs* store_fs = nullptr;
+  /// Journal transactions between snapshots (StateStore::SetCompactThreshold).
+  std::size_t store_compact_threshold = 256;
 
   bschain::ChainParams chain;
   std::uint64_t services = bsproto::kNodeNetwork | bsproto::kNodeWitness;
@@ -221,6 +242,9 @@ class Node : public bsim::Host {
   BanMan& Bans() { return banman_; }
   MisbehaviorTracker& Tracker() { return tracker_; }
   AddrMan& Addrs() { return addrman_; }
+  /// The durable-store bridge, or null when enable_durable_store is off (or
+  /// the store failed to open and the node fell back to volatile state).
+  DurableNodeState* Durable() { return durable_.get(); }
 
   // ---- Observability ----
   /// The metrics registry backing this node's counters (owned unless
@@ -387,6 +411,7 @@ class Node : public bsim::Host {
   BanMan banman_;
   MisbehaviorTracker tracker_;
   AddrMan addrman_;
+  std::unique_ptr<DurableNodeState> durable_;  // null unless enable_durable_store
 
   std::uint64_t next_peer_id_ = 1;
   std::unordered_map<std::uint64_t, std::unique_ptr<Peer>> peers_;

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "util/serialize.hpp"
+
 namespace bsdetect {
+
+namespace {
+// Format tag so stale/foreign baseline payloads are rejected cleanly.
+constexpr std::uint32_t kProfileMagic = 0x50524631;  // "PRF1"
+}  // namespace
 
 void StatEngine::AttachMetrics(bsobs::MetricsRegistry& registry) {
   m_detections_total_ =
@@ -105,6 +112,55 @@ bool StatEngine::Train(const std::vector<FeatureWindow>& windows) {
   profile_.tau_lambda = std::max(-1.0, tau_lambda - 0.5 * (1.0 - tau_lambda));
   if (m_trainings_total_ != nullptr) m_trainings_total_->Inc();
   return true;
+}
+
+bsutil::ByteVec StatEngine::SerializeProfile() const {
+  if (!trained_) return {};
+  bsutil::Writer w;
+  w.WriteU32(kProfileMagic);
+  w.WriteDouble(profile_.tau_c_low);
+  w.WriteDouble(profile_.tau_c_high);
+  w.WriteDouble(profile_.tau_n_low);
+  w.WriteDouble(profile_.tau_n_high);
+  w.WriteDouble(profile_.tau_b_low);
+  w.WriteDouble(profile_.tau_b_high);
+  w.WriteDouble(profile_.tau_lambda);
+  w.WriteDouble(profile_.range_margin);
+  w.WriteCompactSize(profile_.reference.size());
+  for (const auto& [cmd, share] : profile_.reference) {
+    w.WriteVarString(cmd);
+    w.WriteDouble(share);
+  }
+  return w.TakeData();
+}
+
+bool StatEngine::LoadProfile(bsutil::ByteSpan data) {
+  try {
+    bsutil::Reader r(data);
+    if (r.ReadU32() != kProfileMagic) return false;
+    Profile p;
+    p.tau_c_low = r.ReadDouble();
+    p.tau_c_high = r.ReadDouble();
+    p.tau_n_low = r.ReadDouble();
+    p.tau_n_high = r.ReadDouble();
+    p.tau_b_low = r.ReadDouble();
+    p.tau_b_high = r.ReadDouble();
+    p.tau_lambda = r.ReadDouble();
+    p.range_margin = r.ReadDouble();
+    const std::uint64_t count = r.ReadCompactSize();
+    if (count > 1'000'000) return false;  // allocation guard
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string cmd = r.ReadVarString();
+      const double share = r.ReadDouble();
+      p.reference.emplace(std::move(cmd), share);
+    }
+    if (!r.AtEnd()) return false;
+    profile_ = std::move(p);
+    trained_ = true;
+    return true;
+  } catch (const bsutil::DeserializeError&) {
+    return false;
+  }
 }
 
 double StatEngine::Correlation(const FeatureWindow& window) const {

@@ -20,6 +20,7 @@
 #include "detect/features.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/bytes.hpp"
 #include "util/stats.hpp"
 
 namespace bsdetect {
@@ -55,6 +56,14 @@ class StatEngine {
 
   bool Trained() const { return trained_; }
   const Profile& GetProfile() const { return profile_; }
+
+  // ---- Persistence (the durable-store baseline payload) ----
+  /// Serialize the trained profile (empty vector when untrained). A 35-hour
+  /// Mainnet training run is state worth surviving a crash.
+  bsutil::ByteVec SerializeProfile() const;
+  /// Restore a previously serialized profile; the engine becomes trained.
+  /// Returns false on malformed input (state is then unchanged).
+  bool LoadProfile(bsutil::ByteSpan data);
 
   /// Test one window against the profile.
   DetectionResult Detect(const FeatureWindow& window) const;

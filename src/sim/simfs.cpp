@@ -1,0 +1,221 @@
+#include "sim/simfs.hpp"
+
+#include <algorithm>
+
+namespace bsim {
+
+SimFs::OpFault SimFs::NextOp() {
+  const std::int64_t op = static_cast<std::int64_t>(op_count_++);
+  if (op == faults_.crash_at_op) return OpFault::kCrash;
+  if (op == faults_.enospc_at_op) return OpFault::kEnospc;
+  if (op == faults_.short_write_at_op) return OpFault::kShortWrite;
+  if (op == faults_.flip_bit_at_op) return OpFault::kFlipBit;
+  return OpFault::kNone;
+}
+
+void SimFs::CrashNow() {
+  crashed_ = true;
+  for (auto& [path, file] : files_) {
+    if (file.data.size() > file.synced_len) {
+      // A seed-deterministic prefix of the dirty tail survives; sometimes a
+      // bit inside the surviving part lands flipped (the dying kernel wrote
+      // the sector half-way).
+      const std::size_t tail = file.data.size() - file.synced_len;
+      const std::size_t keep = static_cast<std::size_t>(rng_.Below(tail + 1));
+      file.data.resize(file.synced_len + keep);
+      if (keep > 0 && rng_.Chance(0.25)) {
+        const std::size_t at =
+            file.synced_len + static_cast<std::size_t>(rng_.Below(keep));
+        file.data[at] ^= static_cast<std::uint8_t>(1u << rng_.Below(8));
+      }
+    }
+  }
+  for (auto& [fd, handle] : handles_) handle.valid = false;
+}
+
+void SimFs::Reboot() {
+  crashed_ = false;
+  handles_.clear();
+}
+
+std::size_t SimFs::FileSize(const std::string& path) const {
+  const auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.data.size();
+}
+
+std::size_t SimFs::SyncedSize(const std::string& path) const {
+  const auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.synced_len;
+}
+
+bool SimFs::FlipBit(const std::string& path, std::size_t byte_index, int bit) {
+  const auto it = files_.find(path);
+  if (it == files_.end() || byte_index >= it->second.data.size()) return false;
+  it->second.data[byte_index] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+  return true;
+}
+
+bool SimFs::TruncateFile(const std::string& path, std::size_t len) {
+  const auto it = files_.find(path);
+  if (it == files_.end() || len > it->second.data.size()) return false;
+  it->second.data.resize(len);
+  it->second.synced_len = std::min(it->second.synced_len, len);
+  return true;
+}
+
+bool SimFs::Exists(const std::string& path) {
+  return files_.contains(path) || dirs_.contains(path);
+}
+
+bool SimFs::ReadFile(const std::string& path, bsutil::ByteVec& out) {
+  if (crashed_) return false;
+  const auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  out = it->second.data;
+  return true;
+}
+
+std::vector<std::string> SimFs::ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  if (crashed_) return names;
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  for (const auto& [path, file] : files_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string name = path.substr(prefix.size());
+    if (name.find('/') == std::string::npos) names.push_back(name);
+  }
+  return names;  // std::map iteration order is already sorted
+}
+
+bool SimFs::MkDir(const std::string& dir) {
+  if (crashed_) return false;
+  switch (NextOp()) {
+    case OpFault::kCrash:
+      CrashNow();
+      return false;
+    case OpFault::kEnospc:
+      return false;
+    default:
+      break;
+  }
+  dirs_.insert(dir);
+  return true;
+}
+
+int SimFs::OpenWrite(const std::string& path, bool truncate) {
+  if (crashed_) return -1;
+  switch (NextOp()) {
+    case OpFault::kCrash:
+      CrashNow();
+      return -1;
+    case OpFault::kEnospc:
+      return -1;
+    default:
+      break;
+  }
+  SimFile& file = files_[path];
+  if (truncate) {
+    // O_TRUNC: metadata-journaled, durable when the call returns.
+    file.data.clear();
+    file.synced_len = 0;
+  }
+  const int fd = next_fd_++;
+  handles_[fd] = {path, true};
+  return fd;
+}
+
+bool SimFs::Write(int fd, bsutil::ByteSpan data) {
+  if (crashed_) return false;
+  const auto it = handles_.find(fd);
+  if (it == handles_.end() || !it->second.valid) return false;
+  SimFile& file = files_[it->second.path];
+  switch (NextOp()) {
+    case OpFault::kCrash: {
+      const std::size_t torn = static_cast<std::size_t>(rng_.Below(data.size() + 1));
+      file.data.insert(file.data.end(), data.begin(), data.begin() + torn);
+      CrashNow();
+      return false;
+    }
+    case OpFault::kEnospc:
+      return false;
+    case OpFault::kShortWrite: {
+      const std::size_t part =
+          data.empty() ? 0 : static_cast<std::size_t>(rng_.Below(data.size()));
+      file.data.insert(file.data.end(), data.begin(), data.begin() + part);
+      return false;
+    }
+    case OpFault::kFlipBit: {
+      const std::size_t start = file.data.size();
+      file.data.insert(file.data.end(), data.begin(), data.end());
+      if (!data.empty()) {
+        const std::size_t at =
+            start + static_cast<std::size_t>(rng_.Below(data.size()));
+        file.data[at] ^= static_cast<std::uint8_t>(1u << rng_.Below(8));
+      }
+      return true;
+    }
+    case OpFault::kNone:
+      file.data.insert(file.data.end(), data.begin(), data.end());
+      return true;
+  }
+  return false;
+}
+
+bool SimFs::Fsync(int fd) {
+  if (crashed_) return false;
+  const auto it = handles_.find(fd);
+  if (it == handles_.end() || !it->second.valid) return false;
+  switch (NextOp()) {
+    case OpFault::kCrash:
+      // The barrier never completed: nothing new became durable.
+      CrashNow();
+      return false;
+    case OpFault::kEnospc:
+      return false;
+    default:
+      break;
+  }
+  SimFile& file = files_[it->second.path];
+  file.synced_len = file.data.size();
+  return true;
+}
+
+void SimFs::Close(int fd) { handles_.erase(fd); }
+
+bool SimFs::Rename(const std::string& from, const std::string& to) {
+  if (crashed_) return false;
+  const auto it = files_.find(from);
+  if (it == files_.end()) return false;
+  switch (NextOp()) {
+    case OpFault::kCrash:
+      CrashNow();
+      return false;
+    case OpFault::kEnospc:
+      return false;
+    default:
+      break;
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(from);
+  return true;
+}
+
+bool SimFs::Remove(const std::string& path) {
+  if (crashed_) return false;
+  if (!files_.contains(path)) return false;
+  switch (NextOp()) {
+    case OpFault::kCrash:
+      CrashNow();
+      return false;
+    case OpFault::kEnospc:
+      return false;
+    default:
+      break;
+  }
+  files_.erase(path);
+  return true;
+}
+
+}  // namespace bsim

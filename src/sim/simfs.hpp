@@ -1,0 +1,117 @@
+// SimFs — a deterministic in-memory filesystem implementing the store's
+// syscall surface (bsstore::StoreFs) with injectable faults, so every crash
+// point of a journal/snapshot cycle is testable without real disks.
+//
+// The model mirrors what a kernel gives a real process:
+//   * Written data is immediately visible to readers (the page cache) but
+//     only durable up to each file's last Fsync watermark.
+//   * Rename/Remove/MkDir are atomic metadata operations, applied durably
+//     when they return (directory-entry journaling; the store's rename-based
+//     snapshot protocol depends on exactly this).
+//   * A *crash* stops the machine at a chosen mutating-syscall index: the
+//     in-flight write is torn to a seed-deterministic prefix, every file's
+//     unsynced tail is cut to a seed-deterministic prefix (possibly with a
+//     bit flipped — dirty pages half-written by the dying kernel), and all
+//     subsequent operations fail until Reboot().
+//
+// Fault knobs are keyed on the monotonically increasing mutating-op counter,
+// so a test runs a scenario once fault-free to learn its op count, then
+// replays it once per op index ("kill the store at every syscall") — the
+// crash-point recovery sweep of tests/store_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "store/fs.hpp"
+#include "util/rng.hpp"
+
+namespace bsim {
+
+/// Faults keyed on the mutating-op counter (-1 = never fire).
+struct SimFsFaults {
+  /// Machine dies executing this op (torn in-flight write, unsynced tails
+  /// cut); every later op fails until Reboot().
+  std::int64_t crash_at_op = -1;
+  /// This op fails cleanly with nothing applied (ENOSPC / EIO); the fs
+  /// keeps running.
+  std::int64_t enospc_at_op = -1;
+  /// This write applies only a seed-chosen prefix and reports failure.
+  std::int64_t short_write_at_op = -1;
+  /// This write applies fully and reports success, but one seed-chosen bit
+  /// lands flipped (silent media corruption).
+  std::int64_t flip_bit_at_op = -1;
+  /// Drives torn lengths / bit positions; vary it to sweep different tears
+  /// at the same crash point.
+  std::uint64_t seed = 1;
+};
+
+class SimFs : public bsstore::StoreFs {
+ public:
+  explicit SimFs(std::uint64_t seed = 1) : rng_(seed) {}
+
+  void SetFaults(const SimFsFaults& faults) {
+    faults_ = faults;
+    rng_.Seed(faults.seed);
+  }
+
+  /// Mutating syscalls executed so far (monotonic across reboots).
+  std::uint64_t OpCount() const { return op_count_; }
+  bool Crashed() const { return crashed_; }
+  /// Bring the machine back up over the post-crash disk image: handles are
+  /// gone, the crashed flag clears, pending faults stay armed as configured.
+  void Reboot();
+
+  // ---- Introspection for tests ----
+  bool HasFile(const std::string& path) const { return files_.contains(path); }
+  std::size_t FileSize(const std::string& path) const;
+  std::size_t SyncedSize(const std::string& path) const;
+  std::size_t FileCount() const { return files_.size(); }
+  /// Corrupt one bit of a file in place (bit-rot injection for fsck tests).
+  bool FlipBit(const std::string& path, std::size_t byte_index, int bit);
+  /// Chop a file to `len` bytes in place (offline truncation injection).
+  bool TruncateFile(const std::string& path, std::size_t len);
+
+  // ---- bsstore::StoreFs ----
+  bool Exists(const std::string& path) override;
+  bool ReadFile(const std::string& path, bsutil::ByteVec& out) override;
+  std::vector<std::string> ListDir(const std::string& dir) override;
+  bool MkDir(const std::string& dir) override;
+  int OpenWrite(const std::string& path, bool truncate) override;
+  bool Write(int fd, bsutil::ByteSpan data) override;
+  bool Fsync(int fd) override;
+  void Close(int fd) override;
+  bool Rename(const std::string& from, const std::string& to) override;
+  bool Remove(const std::string& path) override;
+
+ private:
+  struct SimFile {
+    bsutil::ByteVec data;       // page-cache view (what readers see now)
+    std::size_t synced_len = 0; // durable watermark (survives a crash intact)
+  };
+  struct Handle {
+    std::string path;
+    bool valid = false;
+  };
+
+  /// Advance the op counter and classify the fault, if any, for this op.
+  enum class OpFault { kNone, kCrash, kEnospc, kShortWrite, kFlipBit };
+  OpFault NextOp();
+  /// Stop the machine: cut every unsynced tail to a torn prefix (possibly
+  /// flipping a bit inside it) and invalidate all handles.
+  void CrashNow();
+
+  bsutil::Rng rng_;
+  SimFsFaults faults_;
+  std::uint64_t op_count_ = 0;
+  bool crashed_ = false;
+  int next_fd_ = 1;
+  std::map<std::string, SimFile> files_;
+  std::set<std::string> dirs_;
+  std::map<int, Handle> handles_;
+};
+
+}  // namespace bsim

@@ -1,0 +1,132 @@
+#include "store/format.hpp"
+
+#include <array>
+
+#include "util/serialize.hpp"
+
+namespace bsstore {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& CrcTable() {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+std::uint32_t Crc32Update(std::uint32_t state, bsutil::ByteSpan data) {
+  const auto& table = CrcTable();
+  for (const std::uint8_t byte : data) {
+    state = table[(state ^ byte) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t Crc32Final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t Crc32(bsutil::ByteSpan data) {
+  return Crc32Final(Crc32Update(Crc32Init(), data));
+}
+
+void AppendHeader(bsutil::ByteVec& out, const FileHeader& header) {
+  bsutil::Writer w;
+  w.WriteU32(kStoreMagic);
+  w.WriteU16(kFormatVersion);
+  w.WriteU8(static_cast<std::uint8_t>(header.kind));
+  w.WriteU8(0);  // reserved
+  w.WriteU64(header.seq);
+  const bsutil::ByteVec& bytes = w.Data();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+bool ParseHeader(bsutil::ByteSpan data, FileHeader& out) {
+  if (data.size() < kHeaderSize) return false;
+  try {
+    bsutil::Reader r(data.first(kHeaderSize));
+    if (r.ReadU32() != kStoreMagic) return false;
+    if (r.ReadU16() != kFormatVersion) return false;
+    const std::uint8_t kind = r.ReadU8();
+    if (kind != static_cast<std::uint8_t>(FileKind::kSnapshot) &&
+        kind != static_cast<std::uint8_t>(FileKind::kJournal)) {
+      return false;
+    }
+    r.ReadU8();  // reserved
+    out.kind = static_cast<FileKind>(kind);
+    out.seq = r.ReadU64();
+    return true;
+  } catch (const bsutil::DeserializeError&) {
+    return false;
+  }
+}
+
+void AppendFrame(bsutil::ByteVec& out, std::uint8_t type, bsutil::ByteSpan payload) {
+  bsutil::Writer w;
+  w.WriteU32(static_cast<std::uint32_t>(payload.size()));
+  w.WriteU8(type);
+  std::uint32_t crc = Crc32Update(Crc32Init(), bsutil::ByteSpan(&type, 1));
+  crc = Crc32Final(Crc32Update(crc, payload));
+  w.WriteU32(crc);
+  const bsutil::ByteVec& head = w.Data();
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+ScanResult ScanFrames(bsutil::ByteSpan data) {
+  constexpr std::size_t kFrameHead = 4 + 1 + 4;  // len + type + crc
+  ScanResult result;
+  std::size_t pos = 0;
+  while (true) {
+    if (data.size() - pos < kFrameHead) break;
+    bsutil::Reader r(data.subspan(pos, kFrameHead));
+    const std::uint32_t len = r.ReadU32();
+    const std::uint8_t type = r.ReadU8();
+    const std::uint32_t crc = r.ReadU32();
+    if (len > kMaxRecordPayload) break;
+    if (data.size() - pos - kFrameHead < len) break;
+    const bsutil::ByteSpan payload = data.subspan(pos + kFrameHead, len);
+    std::uint32_t want = Crc32Update(Crc32Init(), bsutil::ByteSpan(&type, 1));
+    want = Crc32Final(Crc32Update(want, payload));
+    if (want != crc) break;
+    Record rec;
+    rec.type = type;
+    rec.payload.assign(payload.begin(), payload.end());
+    result.records.push_back(std::move(rec));
+    pos += kFrameHead + len;
+    if (type == kCommitRecord) {
+      result.committed_frame_count = result.records.size();
+      result.committed_bytes = pos;
+    }
+  }
+  result.valid_bytes = pos;
+  result.clean = pos == data.size();
+  // Records under the last commit marker, markers excluded.
+  for (std::size_t i = 0; i < result.committed_frame_count; ++i) {
+    if (result.records[i].type != kCommitRecord) ++result.committed_records;
+  }
+  return result;
+}
+
+const char* ToString(FileKind kind) {
+  switch (kind) {
+    case FileKind::kSnapshot: return "snapshot";
+    case FileKind::kJournal: return "journal";
+  }
+  return "?";
+}
+
+}  // namespace bsstore

@@ -1,0 +1,99 @@
+// bsstore on-disk format: CRC32-framed, length-prefixed records behind a
+// versioned file header. Both store file kinds (snapshot and journal) share
+// the same frame grammar so one scanner serves replay, fsck, and tests:
+//
+//   file   := header frame*
+//   header := magic:u32 "BST1" | format_version:u16 | kind:u8 | reserved:u8
+//             | seq:u64                                   (16 bytes)
+//   frame  := len:u32 | type:u8 | crc:u32 | payload:u8[len]
+//
+// The CRC (IEEE 802.3, reflected) covers the type byte plus the payload, so
+// any single-bit flip anywhere in a frame is detected: a flip in the payload
+// or type fails the CRC directly, and a flip in `len` or `crc` misaligns or
+// mismatches the check. Scanning stops at the first frame that fails any
+// check — a torn tail can only ever *truncate* the record sequence, never
+// mis-decode it into different records (the property test sweeps every
+// single-bit flip to hold this).
+//
+// Frame type 0 (`kCommitRecord`) is the journal's transaction boundary: the
+// writer appends staged records plus one commit marker in a single write and
+// fsyncs; replay delivers records only up to the last intact marker, so a
+// crash mid-append atomically drops the whole uncommitted batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace bsstore {
+
+constexpr std::uint32_t kStoreMagic = 0x42535431;  // "BST1"
+constexpr std::uint16_t kFormatVersion = 1;
+constexpr std::size_t kHeaderSize = 16;
+/// Allocation guard: no legal record payload approaches this.
+constexpr std::size_t kMaxRecordPayload = 16 * 1024 * 1024;
+
+/// Frame type reserved for the transaction-boundary marker (empty payload).
+constexpr std::uint8_t kCommitRecord = 0;
+
+enum class FileKind : std::uint8_t { kSnapshot = 1, kJournal = 2 };
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), the banlist/ckpt
+/// framing checksum. Detects all single-bit and burst-< 32-bit errors.
+std::uint32_t Crc32(bsutil::ByteSpan data);
+/// Incremental form: feed `Crc32Update(Crc32Init(), ...)` chunks, finish
+/// with Crc32Final.
+std::uint32_t Crc32Init();
+std::uint32_t Crc32Update(std::uint32_t state, bsutil::ByteSpan data);
+std::uint32_t Crc32Final(std::uint32_t state);
+
+struct FileHeader {
+  FileKind kind = FileKind::kJournal;
+  std::uint64_t seq = 0;
+};
+
+/// One decoded record.
+struct Record {
+  std::uint8_t type = 0;
+  bsutil::ByteVec payload;
+
+  bool operator==(const Record& other) const = default;
+};
+
+/// Serialize the 16-byte header into `out`.
+void AppendHeader(bsutil::ByteVec& out, const FileHeader& header);
+/// Parse a header; false on short input, bad magic, or unknown version.
+bool ParseHeader(bsutil::ByteSpan data, FileHeader& out);
+
+/// Append one CRC-framed record to `out`.
+void AppendFrame(bsutil::ByteVec& out, std::uint8_t type, bsutil::ByteSpan payload);
+
+/// Result of scanning the frame region (everything after the header).
+struct ScanResult {
+  /// Structurally valid frames in order, commit markers included.
+  std::vector<Record> records;
+  /// Byte offset (within the scanned region) of the first bad frame; equals
+  /// the region size when every byte parsed cleanly.
+  std::size_t valid_bytes = 0;
+  /// True when the region ends exactly on a frame boundary with every CRC
+  /// intact (no torn/corrupt tail).
+  bool clean = false;
+  /// Number of records in `records` covered by a commit marker (i.e. the
+  /// durable prefix a journal replay may deliver). Commit markers themselves
+  /// are not counted.
+  std::size_t committed_records = 0;
+  /// Index into `records` one past the last commit marker (replay boundary).
+  std::size_t committed_frame_count = 0;
+  /// Byte offset (within the scanned region) one past the last commit
+  /// marker — the physical durable prefix a repair may truncate to.
+  std::size_t committed_bytes = 0;
+};
+
+/// Scan `data` (the post-header region of a store file) for frames,
+/// truncating at the first length/CRC violation.
+ScanResult ScanFrames(bsutil::ByteSpan data);
+
+const char* ToString(FileKind kind);
+
+}  // namespace bsstore

@@ -1,0 +1,111 @@
+#include "store/fs.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+namespace bsstore {
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+bool RealFs::Exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool RealFs::ReadFile(const std::string& path, bsutil::ByteVec& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  std::uint8_t buf[16384];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.insert(out.end(), buf, buf + got);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+std::vector<std::string> RealFs::ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st {};
+    if (::stat(JoinPath(dir, name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool RealFs::MkDir(const std::string& dir) {
+  if (dir.empty()) return false;
+  // Create each missing component (mkdir -p).
+  std::string path;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t next = dir.find('/', pos);
+    path = next == std::string::npos ? dir : dir.substr(0, next);
+    if (!path.empty() && ::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return false;
+    }
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  struct stat st {};
+  return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+int RealFs::OpenWrite(const std::string& path, bool truncate) {
+  const int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  return ::open(path.c_str(), flags, 0644);
+}
+
+bool RealFs::Write(int fd, bsutil::ByteSpan data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n <= 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool RealFs::Fsync(int fd) { return ::fsync(fd) == 0; }
+
+void RealFs::Close(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+bool RealFs::Rename(const std::string& from, const std::string& to) {
+  return ::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool RealFs::Remove(const std::string& path) {
+  return ::unlink(path.c_str()) == 0;
+}
+
+RealFs& RealFs::Instance() {
+  static RealFs fs;
+  return fs;
+}
+
+}  // namespace bsstore

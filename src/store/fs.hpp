@@ -1,0 +1,76 @@
+// StoreFs — the syscall surface the durable store is written against.
+//
+// Every mutating operation the store performs (create/truncate, append,
+// fsync, rename, remove) goes through this interface, so a fault-injecting
+// implementation (sim/simfs.hpp) can count syscalls and kill the "machine"
+// at any chosen index: the crash-point recovery sweep in tests/store_test.cpp
+// is a loop over exactly these operations. RealFs maps them 1:1 onto POSIX
+// (open/write/fsync/rename/unlink) for the CLI fsck and on-disk stores.
+//
+// Semantics the store relies on (both implementations honour them):
+//   * Write is an append to the open handle; a failure may leave a partial
+//     prefix applied (short write).
+//   * Fsync makes everything written to the handle so far durable.
+//   * Rename atomically replaces the destination (never torn).
+//   * ReadFile sees all written data, synced or not (the page cache view).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace bsstore {
+
+class StoreFs {
+ public:
+  virtual ~StoreFs() = default;
+
+  // ---- Read side ----
+  virtual bool Exists(const std::string& path) = 0;
+  /// Read an entire file; false when absent/unreadable.
+  virtual bool ReadFile(const std::string& path, bsutil::ByteVec& out) = 0;
+  /// Names (not paths) of regular files directly inside `dir`, sorted.
+  virtual std::vector<std::string> ListDir(const std::string& dir) = 0;
+
+  // ---- Mutating side (fault-countable syscalls) ----
+  /// Create `dir` (and parents) if absent; true when it exists afterwards.
+  virtual bool MkDir(const std::string& dir) = 0;
+  /// Open `path` for appending; `truncate` recreates it empty. Returns a
+  /// handle >= 0, or -1 on failure.
+  virtual int OpenWrite(const std::string& path, bool truncate) = 0;
+  /// Append `data` to the handle. False on failure (a prefix may have been
+  /// applied — the short-write case).
+  virtual bool Write(int fd, bsutil::ByteSpan data) = 0;
+  /// Flush the handle's written data to durable storage.
+  virtual bool Fsync(int fd) = 0;
+  virtual void Close(int fd) = 0;
+  /// Atomic replace.
+  virtual bool Rename(const std::string& from, const std::string& to) = 0;
+  virtual bool Remove(const std::string& path) = 0;
+};
+
+/// POSIX-backed StoreFs for real directories (CLI fsck, on-disk stores).
+class RealFs : public StoreFs {
+ public:
+  bool Exists(const std::string& path) override;
+  bool ReadFile(const std::string& path, bsutil::ByteVec& out) override;
+  std::vector<std::string> ListDir(const std::string& dir) override;
+  bool MkDir(const std::string& dir) override;
+  int OpenWrite(const std::string& path, bool truncate) override;
+  bool Write(int fd, bsutil::ByteSpan data) override;
+  bool Fsync(int fd) override;
+  void Close(int fd) override;
+  bool Rename(const std::string& from, const std::string& to) override;
+  bool Remove(const std::string& path) override;
+
+  /// Process-wide shared instance (the default when NodeConfig supplies no
+  /// StoreFs).
+  static RealFs& Instance();
+};
+
+/// `dir` + "/" + `name` without doubling separators.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace bsstore

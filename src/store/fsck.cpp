@@ -1,0 +1,223 @@
+#include "store/fsck.hpp"
+
+#include <algorithm>
+
+#include "store/store.hpp"
+
+namespace bsstore {
+
+namespace {
+
+struct ScannedFile {
+  FsckFileReport report;
+  ScanResult scan;
+  bsutil::ByteVec data;
+};
+
+ScannedFile ScanStoreFile(StoreFs& fs, const std::string& dir,
+                          const std::string& name, FileKind kind,
+                          std::uint64_t seq) {
+  ScannedFile out;
+  out.report.name = name;
+  out.report.kind = kind;
+  out.report.seq = seq;
+  FileHeader header;
+  if (!fs.ReadFile(JoinPath(dir, name), out.data) ||
+      !ParseHeader(out.data, header) || header.kind != kind || header.seq != seq) {
+    out.report.garbage_bytes = out.data.size();
+    return out;
+  }
+  out.report.header_ok = true;
+  out.scan = ScanFrames(bsutil::ByteSpan(out.data).subspan(kHeaderSize));
+  out.report.clean = out.scan.clean;
+  for (const Record& rec : out.scan.records) {
+    if (rec.type != kCommitRecord) ++out.report.records;
+  }
+  out.report.committed = out.scan.committed_records;
+  out.report.dropped_frames = out.scan.records.size() - out.scan.committed_frame_count +
+                              (out.scan.clean ? 0 : 1);
+  out.report.garbage_bytes =
+      out.data.size() - kHeaderSize - out.scan.committed_bytes;
+  return out;
+}
+
+}  // namespace
+
+FsckReport RunFsck(StoreFs& fs, const std::string& dir, bool repair,
+                   bsobs::MetricsRegistry* registry) {
+  FsckReport report;
+  std::vector<std::string> tmp_files;
+  struct GenFile {
+    std::string name;
+    FileKind kind;
+    std::uint64_t seq;
+  };
+  std::vector<GenFile> gen_files;
+
+  for (const std::string& name : fs.ListDir(dir)) {
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      tmp_files.push_back(name);
+      continue;
+    }
+    FileKind kind;
+    std::uint64_t seq = 0;
+    if (StateStore::ParseStoreName(name, kind, seq)) {
+      gen_files.push_back({name, kind, seq});
+    }
+  }
+  report.store_found = !gen_files.empty() || !tmp_files.empty();
+
+  // Active generation: highest seq whose snapshot is fully intact.
+  std::vector<std::uint64_t> snap_seqs;
+  for (const GenFile& f : gen_files) {
+    if (f.kind == FileKind::kSnapshot) snap_seqs.push_back(f.seq);
+  }
+  std::sort(snap_seqs.rbegin(), snap_seqs.rend());
+
+  std::uint64_t active_seq = 0;
+  bool active_found = false;
+  for (const std::uint64_t seq : snap_seqs) {
+    const ScannedFile snap =
+        ScanStoreFile(fs, dir, StateStore::SnapshotName(seq), FileKind::kSnapshot, seq);
+    if (snap.report.header_ok && snap.report.clean && !snap.scan.records.empty() &&
+        snap.scan.committed_frame_count == snap.scan.records.size()) {
+      active_seq = seq;
+      active_found = true;
+      break;
+    }
+    ++report.corrupt_snapshots;
+  }
+  report.active_seq = active_seq;
+
+  bool journal_clean = true;
+  for (const GenFile& f : gen_files) {
+    ScannedFile scanned = ScanStoreFile(fs, dir, f.name, f.kind, f.seq);
+    FsckFileReport& fr = scanned.report;
+    if (!active_found || f.seq != active_seq) {
+      fr.stale = true;
+      ++report.stale_files;
+      if (repair && active_found && f.seq < active_seq) {
+        fr.repaired = fs.Remove(JoinPath(dir, f.name));
+      }
+      report.files.push_back(fr);
+      continue;
+    }
+    if (f.kind == FileKind::kSnapshot) {
+      report.active_records += fr.committed;
+    } else {
+      // The active journal: only its committed prefix is durable state.
+      report.active_records += fr.committed;
+      report.truncated_frames += fr.dropped_frames;
+      report.truncated_bytes += fr.garbage_bytes;
+      if (!fr.header_ok || fr.dropped_frames > 0) {
+        journal_clean = false;
+        if (repair) {
+          // Truncate to the last commit boundary via temp + rename; an
+          // unparseable journal restarts empty (the snapshot is intact).
+          bsutil::ByteVec contents;
+          AppendHeader(contents, {FileKind::kJournal, f.seq});
+          if (fr.header_ok) {
+            const bsutil::ByteSpan region =
+                bsutil::ByteSpan(scanned.data).subspan(kHeaderSize);
+            const bsutil::ByteSpan good = region.first(scanned.scan.committed_bytes);
+            contents.insert(contents.end(), good.begin(), good.end());
+          }
+          const std::string path = JoinPath(dir, f.name);
+          const std::string tmp = path + ".tmp";
+          const int fd = fs.OpenWrite(tmp, /*truncate=*/true);
+          bool ok = fd >= 0 && fs.Write(fd, contents) && fs.Fsync(fd);
+          fs.Close(fd);
+          ok = ok && fs.Rename(tmp, path);
+          if (!ok) fs.Remove(tmp);
+          fr.repaired = ok;
+        }
+      }
+    }
+    report.files.push_back(fr);
+  }
+
+  // The active generation legitimately lacks a journal right after a
+  // compaction crash; that is healthy (snapshot-only state), not damage.
+
+  for (const std::string& name : tmp_files) {
+    FsckFileReport fr;
+    fr.name = name;
+    fr.orphan_tmp = true;
+    ++report.orphan_tmp_files;
+    if (repair) fr.repaired = fs.Remove(JoinPath(dir, name));
+    report.files.push_back(fr);
+  }
+
+  report.healthy = active_found && journal_clean && report.orphan_tmp_files == 0 &&
+                   report.stale_files == 0;
+  if (repair && active_found) {
+    bool all_fixed = true;
+    for (const FsckFileReport& fr : report.files) {
+      const bool needed_fix = fr.orphan_tmp || (fr.stale && fr.seq < active_seq) ||
+                              (!fr.stale && fr.kind == FileKind::kJournal &&
+                               (!fr.header_ok || fr.dropped_frames > 0));
+      if (needed_fix && !fr.repaired) all_fixed = false;
+    }
+    report.repaired = all_fixed;
+  }
+
+  if (registry != nullptr) {
+    registry
+        ->GetCounter("bs_store_fsck_truncated_frames_total",
+                     "Frames fsck found past the durable boundary")
+        ->Inc(report.truncated_frames);
+    registry
+        ->GetCounter("bs_store_fsck_truncated_bytes_total",
+                     "Journal bytes fsck found past the durable boundary")
+        ->Inc(report.truncated_bytes);
+    registry
+        ->GetCounter("bs_store_fsck_corrupt_snapshots_total",
+                     "Corrupt snapshot generations fsck skipped")
+        ->Inc(report.corrupt_snapshots);
+    registry
+        ->GetCounter("bs_store_fsck_runs_total", "fsck invocations")
+        ->Inc();
+  }
+  return report;
+}
+
+std::string FsckReport::ToJson() const {
+  std::string out = "{";
+  auto add = [&out](const std::string& key, const std::string& value, bool quote) {
+    if (out.size() > 1) out += ",";
+    out += "\"" + key + "\":";
+    out += quote ? "\"" + value + "\"" : value;
+  };
+  add("store_found", store_found ? "true" : "false", false);
+  add("healthy", healthy ? "true" : "false", false);
+  add("repaired", repaired ? "true" : "false", false);
+  add("active_seq", std::to_string(active_seq), false);
+  add("active_records", std::to_string(active_records), false);
+  add("truncated_frames", std::to_string(truncated_frames), false);
+  add("truncated_bytes", std::to_string(truncated_bytes), false);
+  add("corrupt_snapshots", std::to_string(corrupt_snapshots), false);
+  add("orphan_tmp_files", std::to_string(orphan_tmp_files), false);
+  add("stale_files", std::to_string(stale_files), false);
+  std::string files_json = "[";
+  for (const FsckFileReport& fr : files) {
+    if (files_json.size() > 1) files_json += ",";
+    files_json += "{\"name\":\"" + fr.name + "\",\"kind\":\"" +
+                  (fr.orphan_tmp ? "tmp" : ToString(fr.kind)) +
+                  "\",\"seq\":" + std::to_string(fr.seq) +
+                  ",\"header_ok\":" + (fr.header_ok ? "true" : "false") +
+                  ",\"clean\":" + (fr.clean ? "true" : "false") +
+                  ",\"records\":" + std::to_string(fr.records) +
+                  ",\"committed\":" + std::to_string(fr.committed) +
+                  ",\"dropped_frames\":" + std::to_string(fr.dropped_frames) +
+                  ",\"garbage_bytes\":" + std::to_string(fr.garbage_bytes) +
+                  ",\"stale\":" + (fr.stale ? "true" : "false") +
+                  ",\"orphan_tmp\":" + (fr.orphan_tmp ? "true" : "false") +
+                  ",\"repaired\":" + (fr.repaired ? "true" : "false") + "}";
+  }
+  files_json += "]";
+  add("files", files_json, false);
+  out += "}";
+  return out;
+}
+
+}  // namespace bsstore

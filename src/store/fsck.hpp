@@ -1,0 +1,62 @@
+// Store fsck — offline validation and repair of a StateStore directory.
+//
+// Walks every file in the directory, validates headers and CRC frames,
+// determines the active generation (highest seq with a fully intact
+// snapshot), and classifies everything else: torn journal tails, complete
+// but uncommitted transactions, corrupt snapshots, orphan temp files, stale
+// generations. With `repair` set it makes the directory clean again without
+// ever touching durable data: the journal is truncated to its last commit
+// boundary (temp + rename), and orphan/stale files are deleted.
+//
+// `banscore-lab fsck` is the CLI face; the recovery-smoke stage of
+// scripts/check.sh gates on its exit code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "store/format.hpp"
+#include "store/fs.hpp"
+
+namespace bsstore {
+
+struct FsckFileReport {
+  std::string name;
+  FileKind kind = FileKind::kJournal;
+  std::uint64_t seq = 0;
+  bool header_ok = false;
+  bool clean = false;            // every byte parsed, all CRCs intact
+  std::size_t records = 0;       // structurally valid records (markers excluded)
+  std::size_t committed = 0;     // records under a commit marker
+  std::size_t dropped_frames = 0;  // uncommitted frames + torn tail
+  std::size_t garbage_bytes = 0;   // bytes past the last committed boundary
+  bool stale = false;            // belongs to a superseded generation
+  bool orphan_tmp = false;       // leftover *.tmp from an interrupted rename
+  bool repaired = false;         // action taken (truncated or deleted)
+};
+
+struct FsckReport {
+  bool store_found = false;     // directory exists and holds store files
+  bool healthy = false;         // active snapshot intact + journal clean
+  bool repaired = false;        // repair ran and left the store healthy
+  std::uint64_t active_seq = 0;
+  std::size_t active_records = 0;  // replayable records (snapshot + journal)
+  std::size_t truncated_frames = 0;
+  std::size_t truncated_bytes = 0;
+  std::size_t corrupt_snapshots = 0;
+  std::size_t orphan_tmp_files = 0;
+  std::size_t stale_files = 0;
+  std::vector<FsckFileReport> files;
+
+  std::string ToJson() const;
+};
+
+/// Validate (and with `repair`, fix) the store at `dir`. When `registry` is
+/// non-null the truncation/corruption tallies are mirrored into the
+/// bs_store_fsck_* counters.
+FsckReport RunFsck(StoreFs& fs, const std::string& dir, bool repair,
+                   bsobs::MetricsRegistry* registry = nullptr);
+
+}  // namespace bsstore

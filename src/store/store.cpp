@@ -1,0 +1,341 @@
+#include "store/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace bsstore {
+
+namespace {
+
+bsutil::ByteVec FramesOf(const std::vector<Record>& records, bool with_marker) {
+  bsutil::ByteVec buf;
+  for (const Record& rec : records) {
+    AppendFrame(buf, rec.type, rec.payload);
+  }
+  if (with_marker) AppendFrame(buf, kCommitRecord, {});
+  return buf;
+}
+
+}  // namespace
+
+StateStore::StateStore(StoreFs& fs, std::string dir) : fs_(fs), dir_(std::move(dir)) {}
+
+StateStore::~StateStore() { fs_.Close(wal_fd_); }
+
+std::string StateStore::SnapshotName(std::uint64_t seq) {
+  return "snap-" + std::to_string(seq) + ".dat";
+}
+
+std::string StateStore::JournalName(std::uint64_t seq) {
+  return "wal-" + std::to_string(seq) + ".log";
+}
+
+bool StateStore::ParseStoreName(const std::string& name, FileKind& kind,
+                                std::uint64_t& seq) {
+  std::string stem;
+  if (name.size() > 9 && name.rfind("snap-", 0) == 0 &&
+      name.compare(name.size() - 4, 4, ".dat") == 0) {
+    kind = FileKind::kSnapshot;
+    stem = name.substr(5, name.size() - 9);
+  } else if (name.size() > 8 && name.rfind("wal-", 0) == 0 &&
+             name.compare(name.size() - 4, 4, ".log") == 0) {
+    kind = FileKind::kJournal;
+    stem = name.substr(4, name.size() - 8);
+  } else {
+    return false;
+  }
+  if (stem.empty()) return false;
+  seq = 0;
+  for (const char c : stem) {
+    if (c < '0' || c > '9') return false;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+void StateStore::AttachMetrics(bsobs::MetricsRegistry& registry) {
+  m_replayed_records_ = registry.GetCounter("bs_store_replayed_records_total",
+                                            "Records replayed on store open");
+  m_truncated_frames_ = registry.GetCounter(
+      "bs_store_truncated_frames_total",
+      "Journal frames dropped on open (uncommitted or torn)");
+  m_truncated_bytes_ = registry.GetCounter("bs_store_truncated_bytes_total",
+                                           "Journal bytes cut off on open");
+  m_commits_ =
+      registry.GetCounter("bs_store_commits_total", "Journal transactions committed");
+  m_snapshots_ =
+      registry.GetCounter("bs_store_snapshots_total", "Snapshots written (compactions)");
+  m_journal_failures_ = registry.GetCounter("bs_store_journal_failures_total",
+                                            "Journal writes that failed");
+  m_corrupt_snapshots_ = registry.GetCounter(
+      "bs_store_corrupt_snapshots_total", "Snapshot generations skipped as corrupt");
+}
+
+bool StateStore::WriteFileDurably(const std::string& path, bsutil::ByteSpan contents) {
+  const int fd = fs_.OpenWrite(path, /*truncate=*/true);
+  if (fd < 0) return false;
+  const bool ok = fs_.Write(fd, contents) && fs_.Fsync(fd);
+  fs_.Close(fd);
+  if (!ok) fs_.Remove(path);
+  return ok;
+}
+
+bool StateStore::OpenJournalHandle(std::uint64_t seq, bool truncate) {
+  fs_.Close(wal_fd_);
+  wal_fd_ = fs_.OpenWrite(JoinPath(dir_, JournalName(seq)), truncate);
+  if (wal_fd_ < 0) return false;
+  if (truncate) {
+    bsutil::ByteVec header;
+    AppendHeader(header, {FileKind::kJournal, seq});
+    if (!fs_.Write(wal_fd_, header) || !fs_.Fsync(wal_fd_)) return false;
+  }
+  return true;
+}
+
+bool StateStore::WriteFresh(std::uint64_t seq) {
+  // Same temp + rename discipline as a compaction so a crash mid-initialize
+  // can never leave a half-written snapshot that parses.
+  bsutil::ByteVec snap;
+  AppendHeader(snap, {FileKind::kSnapshot, seq});
+  AppendFrame(snap, kCommitRecord, {});
+  const std::string tmp = JoinPath(dir_, SnapshotName(seq) + ".tmp");
+  if (!WriteFileDurably(tmp, snap)) return false;
+  if (!fs_.Rename(tmp, JoinPath(dir_, SnapshotName(seq)))) {
+    fs_.Remove(tmp);
+    return false;
+  }
+  return OpenJournalHandle(seq, /*truncate=*/true);
+}
+
+bool StateStore::TruncateJournal(bsutil::ByteSpan good_frames) {
+  bsutil::ByteVec contents;
+  AppendHeader(contents, {FileKind::kJournal, seq_});
+  contents.insert(contents.end(), good_frames.begin(), good_frames.end());
+  const std::string path = JoinPath(dir_, JournalName(seq_));
+  const std::string tmp = path + ".tmp";
+  if (!WriteFileDurably(tmp, contents)) return false;
+  if (!fs_.Rename(tmp, path)) {
+    fs_.Remove(tmp);
+    return false;
+  }
+  return OpenJournalHandle(seq_, /*truncate=*/false);
+}
+
+void StateStore::DeleteStaleGenerations() {
+  for (const std::string& name : fs_.ListDir(dir_)) {
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs_.Remove(JoinPath(dir_, name));
+      continue;
+    }
+    FileKind kind;
+    std::uint64_t seq = 0;
+    if (ParseStoreName(name, kind, seq) && seq < seq_) {
+      fs_.Remove(JoinPath(dir_, name));
+    }
+  }
+}
+
+bool StateStore::Open(const ReplayFn& replay) {
+  if (open_) return false;
+  if (!fs_.MkDir(dir_)) {
+    bsutil::Log(bsutil::LogLevel::kError, "store",
+                "cannot create store directory: ", dir_);
+    return false;
+  }
+
+  // Candidate generations, newest first.
+  std::vector<std::uint64_t> snap_seqs;
+  for (const std::string& name : fs_.ListDir(dir_)) {
+    FileKind kind;
+    std::uint64_t seq = 0;
+    if (ParseStoreName(name, kind, seq) && kind == FileKind::kSnapshot) {
+      snap_seqs.push_back(seq);
+    }
+  }
+  std::sort(snap_seqs.rbegin(), snap_seqs.rend());
+
+  std::vector<Record> snapshot_records;
+  bool found = false;
+  std::uint64_t max_seen = 0;
+  for (const std::uint64_t seq : snap_seqs) {
+    max_seen = std::max(max_seen, seq);
+    bsutil::ByteVec data;
+    FileHeader header;
+    if (fs_.ReadFile(JoinPath(dir_, SnapshotName(seq)), data) &&
+        ParseHeader(data, header) && header.kind == FileKind::kSnapshot &&
+        header.seq == seq) {
+      const bsutil::ByteSpan region =
+          bsutil::ByteSpan(data).subspan(kHeaderSize);
+      ScanResult scan = ScanFrames(region);
+      // A snapshot was written and renamed atomically, so anything short of
+      // a fully clean file terminated by its commit marker is corruption.
+      if (scan.clean && !scan.records.empty() &&
+          scan.committed_frame_count == scan.records.size()) {
+        snapshot_records = std::move(scan.records);
+        seq_ = seq;
+        found = true;
+        break;
+      }
+    }
+    ++open_stats_.corrupt_snapshots;
+    if (m_corrupt_snapshots_ != nullptr) m_corrupt_snapshots_->Inc();
+    bsutil::Log(bsutil::LogLevel::kError, "store",
+                "corrupt snapshot generation skipped: ", SnapshotName(seq));
+  }
+
+  if (!found) {
+    open_stats_.fresh_store = true;
+    seq_ = max_seen + 1;
+    if (!WriteFresh(seq_)) return false;
+    open_ = true;
+    DeleteStaleGenerations();
+    return true;
+  }
+
+  // Replay the snapshot.
+  for (const Record& rec : snapshot_records) {
+    if (rec.type == kCommitRecord) continue;
+    ++open_stats_.snapshot_records;
+    ++open_stats_.replayed_records;
+    if (m_replayed_records_ != nullptr) m_replayed_records_->Inc();
+    replay(rec.type, rec.payload);
+  }
+
+  // Replay the journal's committed prefix.
+  const std::string wal_path = JoinPath(dir_, JournalName(seq_));
+  bsutil::ByteVec wal_data;
+  bool wal_ok = false;
+  if (fs_.ReadFile(wal_path, wal_data)) {
+    FileHeader header;
+    if (ParseHeader(wal_data, header) && header.kind == FileKind::kJournal &&
+        header.seq == seq_) {
+      const bsutil::ByteSpan region =
+          bsutil::ByteSpan(wal_data).subspan(kHeaderSize);
+      const ScanResult scan = ScanFrames(region);
+      for (std::size_t i = 0; i < scan.committed_frame_count; ++i) {
+        const Record& rec = scan.records[i];
+        if (rec.type == kCommitRecord) {
+          ++journal_txns_;
+          continue;
+        }
+        ++open_stats_.replayed_records;
+        if (m_replayed_records_ != nullptr) m_replayed_records_->Inc();
+        replay(rec.type, rec.payload);
+      }
+      const std::size_t dropped_frames =
+          scan.records.size() - scan.committed_frame_count + (scan.clean ? 0 : 1);
+      if (dropped_frames > 0) {
+        open_stats_.journal_was_dirty = true;
+        open_stats_.truncated_frames += dropped_frames;
+        open_stats_.truncated_bytes += region.size() - scan.committed_bytes;
+        if (m_truncated_frames_ != nullptr) m_truncated_frames_->Inc(dropped_frames);
+        if (m_truncated_bytes_ != nullptr) {
+          m_truncated_bytes_->Inc(region.size() - scan.committed_bytes);
+        }
+        wal_ok = TruncateJournal(region.first(scan.committed_bytes));
+      } else {
+        wal_ok = OpenJournalHandle(seq_, /*truncate=*/false);
+      }
+    } else {
+      // Unparseable journal header: the whole file is untrustworthy, but the
+      // snapshot is intact — restart the journal empty.
+      open_stats_.journal_was_dirty = true;
+      open_stats_.truncated_bytes += wal_data.size();
+      if (m_truncated_frames_ != nullptr) m_truncated_frames_->Inc();
+      if (m_truncated_bytes_ != nullptr) m_truncated_bytes_->Inc(wal_data.size());
+      ++open_stats_.truncated_frames;
+      wal_ok = OpenJournalHandle(seq_, /*truncate=*/true);
+    }
+  } else {
+    // No journal (crash between snapshot rename and journal creation): the
+    // snapshot alone is the state.
+    wal_ok = OpenJournalHandle(seq_, /*truncate=*/true);
+  }
+
+  open_ = true;
+  if (!wal_ok) {
+    // Appending is currently impossible; fall back to compaction, which
+    // starts a fresh generation (and thus a fresh journal).
+    wal_failed_ = true;
+    if (snapshot_source_ && CompactNow()) wal_failed_ = false;
+  }
+  DeleteStaleGenerations();
+  return true;
+}
+
+void StateStore::Append(std::uint8_t type, bsutil::ByteSpan payload) {
+  Record rec;
+  rec.type = type;
+  rec.payload.assign(payload.begin(), payload.end());
+  staged_.push_back(std::move(rec));
+}
+
+bool StateStore::Commit() {
+  if (!open_) return false;
+  if (staged_.empty()) return true;
+  if (!wal_failed_) {
+    const bsutil::ByteVec buf = FramesOf(staged_, /*with_marker=*/true);
+    if (fs_.Write(wal_fd_, buf) && fs_.Fsync(wal_fd_)) {
+      staged_.clear();
+      ++journal_txns_;
+      if (m_commits_ != nullptr) m_commits_->Inc();
+      if (journal_txns_ >= compact_threshold_ && snapshot_source_) {
+        CompactNow();  // best-effort; the journal stays authoritative
+      }
+      return true;
+    }
+    wal_failed_ = true;
+    if (m_journal_failures_ != nullptr) m_journal_failures_->Inc();
+    bsutil::Log(bsutil::LogLevel::kError, "store",
+                "journal write failed, attempting snapshot fallback: ", dir_);
+  }
+  // Journal is unusable (ENOSPC, torn handle, ...): a full snapshot captures
+  // the staged mutations too, since the caller mutates its state before
+  // committing.
+  if (snapshot_source_ && CompactNow()) {
+    staged_.clear();
+    return true;
+  }
+  return false;
+}
+
+bool StateStore::AppendCommit(std::uint8_t type, bsutil::ByteSpan payload) {
+  Append(type, payload);
+  return Commit();
+}
+
+bool StateStore::CompactNow() {
+  if (!open_ || !snapshot_source_) return false;
+  const std::uint64_t next_seq = seq_ + 1;
+
+  bsutil::ByteVec snap;
+  AppendHeader(snap, {FileKind::kSnapshot, next_seq});
+  snapshot_source_([&snap](std::uint8_t type, bsutil::ByteSpan payload) {
+    AppendFrame(snap, type, payload);
+  });
+  AppendFrame(snap, kCommitRecord, {});
+
+  const std::string final_path = JoinPath(dir_, SnapshotName(next_seq));
+  const std::string tmp = final_path + ".tmp";
+  if (!WriteFileDurably(tmp, snap)) return false;
+  if (!fs_.Rename(tmp, final_path)) {
+    fs_.Remove(tmp);
+    return false;
+  }
+
+  // The new generation is durable from here on; everything further is
+  // housekeeping that a crash may skip.
+  const std::uint64_t old_seq = seq_;
+  seq_ = next_seq;
+  journal_txns_ = 0;
+  staged_.clear();
+  wal_failed_ = !OpenJournalHandle(next_seq, /*truncate=*/true);
+  fs_.Remove(JoinPath(dir_, JournalName(old_seq)));
+  fs_.Remove(JoinPath(dir_, SnapshotName(old_seq)));
+  if (m_snapshots_ != nullptr) m_snapshots_->Inc();
+  return true;
+}
+
+}  // namespace bsstore

@@ -1,0 +1,138 @@
+// StateStore — crash-consistent durable state: a write-ahead journal plus
+// periodic atomic snapshots over a StoreFs.
+//
+// On disk a store directory holds one active *generation* `<seq>`:
+//
+//   snap-<seq>.dat   full state at the moment the generation began
+//                    (written to snap-<seq>.tmp, fsynced, renamed — atomic)
+//   wal-<seq>.log    every committed mutation since that snapshot
+//                    (append frames + commit marker, then fsync)
+//
+// Protocol:
+//   * Append() stages records; Commit() writes the staged frames plus a
+//     commit marker in one append and fsyncs. A transaction is durable iff
+//     its marker is intact on disk — a crash mid-append atomically drops
+//     the whole batch on replay.
+//   * When the journal exceeds the compaction threshold (or a journal write
+//     fails, e.g. ENOSPC), the store writes a fresh snapshot from the
+//     caller-provided snapshot source and starts generation seq+1; stale
+//     generations are deleted only after the new one is fully durable.
+//   * Open() picks the highest-seq valid snapshot (falling back past a
+//     corrupt one), replays it, then replays the journal's committed prefix,
+//     truncating at the first bad frame. A dirty journal tail is physically
+//     truncated (rewrite + rename) so the next append lands on a clean
+//     boundary.
+//
+// Recovery invariant (held by the crash-point sweep in tests/store_test.cpp):
+// after a crash at ANY syscall index, reopening recovers a state that (a) is
+// a prefix of the committed transaction sequence, and (b) contains at least
+// every transaction whose Commit() had been acknowledged before the crash.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "store/format.hpp"
+#include "store/fs.hpp"
+
+namespace bsstore {
+
+/// What Open() found and did (also mirrored into bs_store_* counters when
+/// metrics are attached).
+struct StoreStats {
+  std::uint64_t replayed_records = 0;    // snapshot + journal records delivered
+  std::uint64_t snapshot_records = 0;    // of which came from the snapshot
+  std::uint64_t truncated_frames = 0;    // complete-but-uncommitted frames dropped
+  std::uint64_t truncated_bytes = 0;     // journal bytes cut off (torn tail)
+  std::uint64_t corrupt_snapshots = 0;   // generations skipped for a bad snapshot
+  bool journal_was_dirty = false;        // tail truncation happened on open
+  bool fresh_store = false;              // directory had no prior generation
+};
+
+class StateStore {
+ public:
+  /// `fs` must outlive the store. `dir` is created on Open when absent.
+  StateStore(StoreFs& fs, std::string dir);
+  ~StateStore();
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  using ReplayFn = std::function<void(std::uint8_t type, bsutil::ByteSpan payload)>;
+  using SnapshotSink = std::function<void(std::uint8_t type, bsutil::ByteSpan payload)>;
+  /// Streams the caller's full current state into the sink; used for every
+  /// compaction. Must be set before Open() so recovery can compact.
+  void SetSnapshotSource(std::function<void(const SnapshotSink&)> source) {
+    snapshot_source_ = std::move(source);
+  }
+  /// Journal transactions (not records) after which Commit() compacts.
+  void SetCompactThreshold(std::size_t txns) { compact_threshold_ = txns; }
+
+  /// Load the newest durable generation, delivering every record (snapshot
+  /// first, then the journal's committed prefix) to `replay`. Returns false
+  /// when the directory cannot be created or a fresh generation cannot be
+  /// written; the store is unusable then.
+  bool Open(const ReplayFn& replay);
+  bool IsOpen() const { return open_; }
+
+  /// Stage one record for the next Commit().
+  void Append(std::uint8_t type, bsutil::ByteSpan payload);
+  /// Durably commit the staged records as one atomic transaction. True once
+  /// the fsync (or a fallback compaction after a journal failure) succeeded.
+  bool Commit();
+  /// Append + Commit in one call.
+  bool AppendCommit(std::uint8_t type, bsutil::ByteSpan payload);
+  /// Write a fresh snapshot now and start a new generation.
+  bool CompactNow();
+
+  const StoreStats& OpenStats() const { return open_stats_; }
+  std::uint64_t ActiveSeq() const { return seq_; }
+  /// Committed journal transactions in the active generation.
+  std::size_t JournalTxns() const { return journal_txns_; }
+  const std::string& Dir() const { return dir_; }
+
+  /// Publish bs_store_* counters into `registry`. Attach before Open() to
+  /// capture replay/truncation counts.
+  void AttachMetrics(bsobs::MetricsRegistry& registry);
+
+  // ---- Path helpers (shared with fsck) ----
+  static std::string SnapshotName(std::uint64_t seq);
+  static std::string JournalName(std::uint64_t seq);
+  /// Parse "snap-<seq>.dat" / "wal-<seq>.log"; false for other names.
+  static bool ParseStoreName(const std::string& name, FileKind& kind,
+                             std::uint64_t& seq);
+
+ private:
+  bool WriteFresh(std::uint64_t seq);
+  bool OpenJournalHandle(std::uint64_t seq, bool truncate);
+  /// Rewrite the active journal to exactly `keep` bytes of frame data (tail
+  /// truncation made physical) via tmp + rename.
+  bool TruncateJournal(bsutil::ByteSpan good_frames);
+  void DeleteStaleGenerations();
+  bool WriteFileDurably(const std::string& path, bsutil::ByteSpan contents);
+
+  StoreFs& fs_;
+  std::string dir_;
+  std::uint64_t seq_ = 0;
+  int wal_fd_ = -1;
+  bool open_ = false;
+  bool wal_failed_ = false;
+  std::size_t journal_txns_ = 0;
+  std::size_t compact_threshold_ = 256;
+  std::vector<Record> staged_;
+  std::function<void(const SnapshotSink&)> snapshot_source_;
+  StoreStats open_stats_;
+
+  // Observability handles (null until AttachMetrics).
+  bsobs::Counter* m_replayed_records_ = nullptr;
+  bsobs::Counter* m_truncated_frames_ = nullptr;
+  bsobs::Counter* m_truncated_bytes_ = nullptr;
+  bsobs::Counter* m_commits_ = nullptr;
+  bsobs::Counter* m_snapshots_ = nullptr;
+  bsobs::Counter* m_journal_failures_ = nullptr;
+  bsobs::Counter* m_corrupt_snapshots_ = nullptr;
+};
+
+}  // namespace bsstore

@@ -7,6 +7,7 @@
 // failure (and, at the node layer, to a misbehavior event where applicable).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -34,6 +35,8 @@ class Writer {
   void WriteI32(std::int32_t v) { WriteU32(static_cast<std::uint32_t>(v)); }
   void WriteI64(std::int64_t v) { WriteU64(static_cast<std::uint64_t>(v)); }
   void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern, little-endian (exact round-trip, NaN included).
+  void WriteDouble(double v) { WriteU64(std::bit_cast<std::uint64_t>(v)); }
   void WriteBytes(ByteSpan data);
   /// Bitcoin CompactSize: 1, 3, 5, or 9 bytes depending on magnitude.
   void WriteCompactSize(std::uint64_t v);
@@ -62,6 +65,7 @@ class Reader {
   std::int32_t ReadI32() { return static_cast<std::int32_t>(ReadU32()); }
   std::int64_t ReadI64() { return static_cast<std::int64_t>(ReadU64()); }
   bool ReadBool() { return ReadU8() != 0; }
+  double ReadDouble() { return std::bit_cast<double>(ReadU64()); }
   ByteVec ReadBytes(std::size_t n);
   /// Reads a CompactSize and enforces canonical (minimal) encoding, as
   /// Bitcoin Core does for lengths.

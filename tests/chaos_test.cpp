@@ -31,6 +31,8 @@
 #include "detect/engine.hpp"
 #include "detect/monitor.hpp"
 #include "sim/faults.hpp"
+#include "sim/simfs.hpp"
+#include "store/fsck.hpp"
 
 namespace {
 
@@ -401,6 +403,63 @@ TEST(ChaosCrashRestart, VictimRebuildsFromPersistedBanlist) {
   AttackSession* fresh = world.attacker->OpenSession({kVictimIp, 8333});
   world.sched.RunUntil(world.sched.Now() + 5 * bsim::kSecond);
   EXPECT_TRUE(fresh->SessionReady());
+}
+
+// Same crash/restart chaos, but over the durable store instead of the
+// banlist file: the reborn victim replays bans, scores, and addresses from
+// its WAL with no explicit save/load step, and the store verifies healthy
+// after the whole run.
+
+TEST(ChaosCrashRestart, DurableStoreVictimRebuildsWithoutBanlistFile) {
+  bsim::SimFs fs(33);
+  NodeConfig config = ChaosVictimConfig();
+  config.ban_duration = 2 * bsim::kHour;  // survives the whole test
+  config.enable_durable_store = true;
+  config.store_dir = "victim-store";
+  config.store_fs = &fs;
+  ChaosWorld world(33, "durable", config);
+  ASSERT_NE(world.victim->Durable(), nullptr);
+
+  world.sched.RunUntil(5 * bsim::kSecond);
+  FaultSpec mild;
+  mild.loss = 0.03;
+  world.plan.SetDefaultFaults(mild);
+  world.StartHonestTraffic();
+  world.StartAttack();
+  world.sched.RunUntil(25 * bsim::kSecond);
+  ASSERT_GE(world.victim->Bans().Size(), 1u);
+  const Endpoint banned = world.last_banned;
+  const std::size_t bans_before = world.victim->Bans().Size();
+
+  // No SaveToFile / LoadFromFile: the respawned node's constructor replays
+  // the durable store.
+  world.plan.on_host_crash = [&world](std::uint32_t) { world.CrashVictim(); };
+  world.plan.on_host_restart = [&world](std::uint32_t) {
+    world.SpawnVictim(/*load_banlist=*/false);
+  };
+  world.plan.ScheduleCrash(kVictimIp, 26 * bsim::kSecond,
+                           /*restart_after=*/5 * bsim::kSecond);
+  world.StopAttack();
+  world.sched.RunUntil(50 * bsim::kSecond);
+
+  EXPECT_EQ(world.plan.HostCrashes(), 1u);
+  ASSERT_NE(world.victim->Durable(), nullptr);
+  EXPECT_GE(world.victim->Bans().Size(), bans_before);
+  EXPECT_TRUE(world.victim->Bans().IsBanned(banned, world.sched.Now()));
+  AttackSession* replay = world.attacker->OpenSession({kVictimIp, 8333},
+                                                      /*auto_handshake=*/true,
+                                                      banned.port);
+  world.sched.RunUntil(world.sched.Now() + 5 * bsim::kSecond);
+  EXPECT_FALSE(replay->SessionReady());
+  EXPECT_TRUE(replay->closed);
+
+  // Honest peers reconnect, and the on-disk store checks out clean.
+  EXPECT_GE(world.victim->OutboundCount(), static_cast<std::size_t>(kHonestPeers - 1));
+  const bsstore::FsckReport report =
+      bsstore::RunFsck(fs, "victim-store", /*repair=*/false);
+  EXPECT_TRUE(report.store_found);
+  EXPECT_TRUE(report.healthy);
+  EXPECT_GT(report.active_records, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -180,6 +180,74 @@ TEST(BanPersistence, SurvivesNodeRestartScenario) {
 }
 
 // ---------------------------------------------------------------------------
+// Score-table persistence (the durable-store kScoreSnapshot payload)
+
+TEST(ScorePersistence, SerializeRoundTripKeepsBothScoreKinds) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kGoodScore, 100);
+  tracker.RestoreScore(1, 40, 0);
+  tracker.RestoreScore(2, 0, 7);
+  tracker.RestoreScore(3, 99, 3);
+  const auto data = tracker.Serialize();
+
+  MisbehaviorTracker restored(CoreVersion::kV0_20, BanPolicy::kGoodScore, 100);
+  ASSERT_TRUE(restored.Deserialize(data));
+  EXPECT_EQ(restored.Score(1), 40);
+  EXPECT_EQ(restored.GoodScore(2), 7);
+  EXPECT_EQ(restored.Score(3), 99);
+  EXPECT_EQ(restored.GoodScore(3), 3);
+  EXPECT_EQ(restored.Score(4), 0);  // absent peers stay absent
+}
+
+TEST(ScorePersistence, RejectsForeignMagicAndTruncation) {
+  MisbehaviorTracker tracker(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  tracker.RestoreScore(1, 10, 0);
+  auto data = tracker.Serialize();
+  auto bad = data;
+  bad[0] ^= 0xff;
+  MisbehaviorTracker restored(CoreVersion::kV0_20, BanPolicy::kBanScore, 100);
+  restored.RestoreScore(9, 5, 0);
+  EXPECT_FALSE(restored.Deserialize(bad));
+  EXPECT_EQ(restored.Score(9), 5);  // contents untouched on failure
+  data.pop_back();
+  EXPECT_FALSE(restored.Deserialize(data));
+  EXPECT_EQ(restored.Score(9), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Address-table persistence (the peers.dat analogue)
+
+TEST(AddrPersistence, SerializeRoundTripPreservesInsertionOrder) {
+  AddrMan addrs;
+  addrs.Add({0x0a000001, 8333});
+  addrs.Add({0x0a000002, 18333});
+  addrs.Add({0x0a000003, 8333});
+  const auto data = addrs.Serialize();
+
+  AddrMan restored;
+  ASSERT_TRUE(restored.Deserialize(data));
+  EXPECT_EQ(restored.Size(), 3u);
+  EXPECT_TRUE(restored.Contains({0x0a000002, 18333}));
+  // Select/Sample determinism depends on the stored order, so a second
+  // serialization must be byte-identical.
+  EXPECT_EQ(restored.Serialize(), data);
+}
+
+TEST(AddrPersistence, RejectsForeignMagicAndTruncation) {
+  AddrMan addrs;
+  addrs.Add({1, 1});
+  auto data = addrs.Serialize();
+  auto bad = data;
+  bad[0] ^= 0xff;
+  AddrMan restored;
+  restored.Add({9, 9});
+  EXPECT_FALSE(restored.Deserialize(bad));
+  EXPECT_TRUE(restored.Contains({9, 9}));  // contents untouched on failure
+  data.pop_back();
+  EXPECT_FALSE(restored.Deserialize(data));
+  EXPECT_TRUE(restored.Contains({9, 9}));
+}
+
+// ---------------------------------------------------------------------------
 // Keepalive / inactivity
 
 TEST(Keepalive, NodesExchangePingsAndMeasureRtt) {

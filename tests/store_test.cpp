@@ -1,0 +1,810 @@
+// Tests for the crash-consistent state store (src/store) and its fault
+// layer (sim/simfs): frame format, CRC properties, journal/snapshot
+// lifecycle, fsck, the DurableNodeState bridge — and the crash-point sweep,
+// which kills the store at EVERY mutating syscall index and asserts the
+// recovery invariant:
+//
+//   after a crash at any syscall, reopening recovers a state that (a) is a
+//   prefix of the committed transaction sequence and (b) contains at least
+//   every transaction whose Commit() was acknowledged before the crash.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/addrman.hpp"
+#include "core/banman.hpp"
+#include "core/durable.hpp"
+#include "core/misbehavior.hpp"
+#include "core/node.hpp"
+#include "detect/engine.hpp"
+#include "obs/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simfs.hpp"
+#include "store/format.hpp"
+#include "store/fsck.hpp"
+#include "store/store.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using bsstore::FileHeader;
+using bsstore::FileKind;
+using bsstore::Record;
+using bsstore::ScanResult;
+using bsstore::StateStore;
+
+bsutil::ByteVec U64Payload(std::uint64_t v) {
+  bsutil::Writer w;
+  w.WriteU64(v);
+  return w.TakeData();
+}
+
+std::uint64_t PayloadU64(bsutil::ByteSpan payload) {
+  bsutil::Reader r(payload);
+  return r.ReadU64();
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+
+TEST(StoreFormat, Crc32KnownVector) {
+  const std::string check = "123456789";
+  const bsutil::ByteVec data(check.begin(), check.end());
+  EXPECT_EQ(bsstore::Crc32(data), 0xCBF43926u);
+}
+
+TEST(StoreFormat, Crc32IncrementalMatchesOneShot) {
+  bsutil::ByteVec data;
+  for (int i = 0; i < 300; ++i) data.push_back(static_cast<std::uint8_t>(i * 7));
+  std::uint32_t state = bsstore::Crc32Init();
+  state = bsstore::Crc32Update(state, bsutil::ByteSpan(data).first(100));
+  state = bsstore::Crc32Update(state, bsutil::ByteSpan(data).subspan(100));
+  EXPECT_EQ(bsstore::Crc32Final(state), bsstore::Crc32(data));
+}
+
+TEST(StoreFormat, Crc32EmptyInput) {
+  EXPECT_EQ(bsstore::Crc32({}), bsstore::Crc32Final(bsstore::Crc32Init()));
+}
+
+// ---------------------------------------------------------------------------
+// Header + frames
+
+TEST(StoreFormat, HeaderRoundTrip) {
+  bsutil::ByteVec buf;
+  bsstore::AppendHeader(buf, {FileKind::kJournal, 42});
+  ASSERT_EQ(buf.size(), bsstore::kHeaderSize);
+  FileHeader header;
+  ASSERT_TRUE(bsstore::ParseHeader(buf, header));
+  EXPECT_EQ(header.kind, FileKind::kJournal);
+  EXPECT_EQ(header.seq, 42u);
+}
+
+TEST(StoreFormat, HeaderRejectsBadMagicVersionAndShortInput) {
+  bsutil::ByteVec buf;
+  bsstore::AppendHeader(buf, {FileKind::kSnapshot, 7});
+  FileHeader header;
+  bsutil::ByteVec bad = buf;
+  bad[0] ^= 0xff;  // magic
+  EXPECT_FALSE(bsstore::ParseHeader(bad, header));
+  bad = buf;
+  bad[4] = 0xee;  // version
+  EXPECT_FALSE(bsstore::ParseHeader(bad, header));
+  EXPECT_FALSE(
+      bsstore::ParseHeader(bsutil::ByteSpan(buf).first(bsstore::kHeaderSize - 1),
+                           header));
+}
+
+TEST(StoreFormat, FrameRoundTripAndCommitBoundary) {
+  bsutil::ByteVec buf;
+  bsstore::AppendFrame(buf, 1, U64Payload(10));
+  bsstore::AppendFrame(buf, 2, U64Payload(20));
+  bsstore::AppendFrame(buf, bsstore::kCommitRecord, {});
+  bsstore::AppendFrame(buf, 3, U64Payload(30));  // uncommitted
+
+  const ScanResult scan = bsstore::ScanFrames(buf);
+  EXPECT_TRUE(scan.clean);
+  ASSERT_EQ(scan.records.size(), 4u);
+  EXPECT_EQ(scan.records[0].type, 1);
+  EXPECT_EQ(PayloadU64(scan.records[1].payload), 20u);
+  EXPECT_EQ(scan.committed_records, 2u);
+  EXPECT_EQ(scan.committed_frame_count, 3u);  // 2 records + the marker
+  EXPECT_EQ(scan.valid_bytes, buf.size());
+  EXPECT_LT(scan.committed_bytes, buf.size());
+}
+
+TEST(StoreFormat, ScanStopsAtTornTail) {
+  bsutil::ByteVec buf;
+  bsstore::AppendFrame(buf, 1, U64Payload(10));
+  bsstore::AppendFrame(buf, bsstore::kCommitRecord, {});
+  const std::size_t good = buf.size();
+  bsstore::AppendFrame(buf, 2, U64Payload(20));
+  buf.resize(buf.size() - 3);  // torn mid-frame
+
+  const ScanResult scan = bsstore::ScanFrames(buf);
+  EXPECT_FALSE(scan.clean);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.valid_bytes, good);
+  EXPECT_EQ(scan.committed_bytes, good);
+  EXPECT_EQ(scan.committed_records, 1u);
+}
+
+TEST(StoreFormat, ScanRejectsAbsurdLength) {
+  bsutil::ByteVec buf;
+  bsutil::Writer w;
+  w.WriteU32(0x7fffffff);  // length far past kMaxRecordPayload
+  w.WriteU8(1);
+  w.WriteU32(0);
+  buf = w.TakeData();
+  const ScanResult scan = bsstore::ScanFrames(buf);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SimFs semantics
+
+TEST(SimFs, WriteVisibleButOnlySyncedSurvivesCrash) {
+  bsim::SimFs fs(1);
+  ASSERT_TRUE(fs.MkDir("d"));
+  const int fd = fs.OpenWrite("d/f", true);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(fs.Write(fd, U64Payload(1)));
+  ASSERT_TRUE(fs.Fsync(fd));
+  ASSERT_TRUE(fs.Write(fd, U64Payload(2)));  // dirty tail, never synced
+  EXPECT_EQ(fs.FileSize("d/f"), 16u);
+  EXPECT_EQ(fs.SyncedSize("d/f"), 8u);
+
+  bsim::SimFsFaults faults;
+  faults.crash_at_op = static_cast<std::int64_t>(fs.OpCount());
+  faults.seed = 3;
+  fs.SetFaults(faults);
+  fs.Remove("d/f");  // any mutating op at the armed index dies
+  EXPECT_TRUE(fs.Crashed());
+  fs.Reboot();
+  EXPECT_TRUE(fs.HasFile("d/f"));
+  EXPECT_GE(fs.FileSize("d/f"), 8u);   // synced prefix always survives
+  EXPECT_LE(fs.FileSize("d/f"), 16u);  // tail may partially survive
+  bsutil::ByteVec data;
+  ASSERT_TRUE(fs.ReadFile("d/f", data));
+  EXPECT_EQ(PayloadU64(bsutil::ByteSpan(data).first(8)), 1u);
+}
+
+TEST(SimFs, RenameIsAtomicAndDurable) {
+  bsim::SimFs fs(1);
+  const int fd = fs.OpenWrite("a", true);
+  ASSERT_TRUE(fs.Write(fd, U64Payload(7)));
+  ASSERT_TRUE(fs.Fsync(fd));
+  fs.Close(fd);
+  ASSERT_TRUE(fs.Rename("a", "b"));
+  EXPECT_FALSE(fs.HasFile("a"));
+  EXPECT_TRUE(fs.HasFile("b"));
+  EXPECT_EQ(fs.SyncedSize("b"), 8u);
+}
+
+TEST(SimFs, EnospcFailsCleanlyAndFsKeepsRunning) {
+  bsim::SimFs fs(1);
+  const int fd = fs.OpenWrite("f", true);
+  bsim::SimFsFaults faults;
+  faults.enospc_at_op = static_cast<std::int64_t>(fs.OpCount());
+  fs.SetFaults(faults);
+  EXPECT_FALSE(fs.Write(fd, U64Payload(1)));  // the armed op fails
+  EXPECT_FALSE(fs.Crashed());
+  EXPECT_TRUE(fs.Write(fd, U64Payload(2)));  // next op succeeds
+  EXPECT_EQ(fs.FileSize("f"), 8u);
+}
+
+TEST(SimFs, ShortWriteAppliesPrefixAndReportsFailure) {
+  bsim::SimFs fs(9);
+  const int fd = fs.OpenWrite("f", true);
+  bsim::SimFsFaults faults;
+  faults.short_write_at_op = static_cast<std::int64_t>(fs.OpCount());
+  faults.seed = 9;
+  fs.SetFaults(faults);
+  bsutil::ByteVec big(100, 0xab);
+  EXPECT_FALSE(fs.Write(fd, big));
+  EXPECT_LT(fs.FileSize("f"), 100u);
+}
+
+TEST(SimFs, FlipBitCorruptsSilently) {
+  bsim::SimFs fs(5);
+  const int fd = fs.OpenWrite("f", true);
+  bsim::SimFsFaults faults;
+  faults.flip_bit_at_op = static_cast<std::int64_t>(fs.OpCount());
+  faults.seed = 5;
+  fs.SetFaults(faults);
+  bsutil::ByteVec data(32, 0x00);
+  EXPECT_TRUE(fs.Write(fd, data));  // reports success
+  bsutil::ByteVec read_back;
+  ASSERT_TRUE(fs.ReadFile("f", read_back));
+  int diff = 0;
+  for (std::size_t i = 0; i < read_back.size(); ++i) {
+    if (read_back[i] != 0x00) ++diff;
+  }
+  EXPECT_EQ(diff, 1);
+}
+
+// ---------------------------------------------------------------------------
+// StateStore lifecycle
+
+TEST(StateStore, FreshOpenThenReopenReplaysCommitted) {
+  bsim::SimFs fs(1);
+  std::vector<std::uint64_t> replayed;
+  {
+    StateStore store(fs, "store");
+    store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+    ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) { FAIL(); }));
+    EXPECT_TRUE(store.OpenStats().fresh_store);
+    EXPECT_TRUE(store.AppendCommit(1, U64Payload(100)));
+    store.Append(1, U64Payload(200));
+    store.Append(1, U64Payload(300));
+    EXPECT_TRUE(store.Commit());  // multi-record transaction
+  }
+  StateStore reopened(fs, "store");
+  reopened.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+  ASSERT_TRUE(reopened.Open([&](std::uint8_t type, bsutil::ByteSpan payload) {
+    EXPECT_EQ(type, 1);
+    replayed.push_back(PayloadU64(payload));
+  }));
+  EXPECT_EQ(replayed, (std::vector<std::uint64_t>{100, 200, 300}));
+  EXPECT_EQ(reopened.OpenStats().replayed_records, 3u);
+  EXPECT_FALSE(reopened.OpenStats().journal_was_dirty);
+}
+
+TEST(StateStore, UncommittedBatchDroppedOnReplay) {
+  bsim::SimFs fs(1);
+  {
+    StateStore store(fs, "store");
+    store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+    ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) {}));
+    ASSERT_TRUE(store.AppendCommit(1, U64Payload(1)));
+    store.Append(1, U64Payload(2));  // staged, never committed
+  }
+  std::vector<std::uint64_t> replayed;
+  StateStore reopened(fs, "store");
+  reopened.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+  ASSERT_TRUE(reopened.Open([&](std::uint8_t, bsutil::ByteSpan payload) {
+    replayed.push_back(PayloadU64(payload));
+  }));
+  EXPECT_EQ(replayed, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(StateStore, TornJournalTailTruncatedPhysically) {
+  bsim::SimFs fs(1);
+  std::string wal_path;
+  {
+    StateStore store(fs, "store");
+    store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+    ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) {}));
+    ASSERT_TRUE(store.AppendCommit(1, U64Payload(1)));
+    ASSERT_TRUE(store.AppendCommit(1, U64Payload(2)));
+    wal_path = "store/" + StateStore::JournalName(store.ActiveSeq());
+  }
+  const std::size_t intact = fs.FileSize(wal_path);
+  // Torn tail: an extra half-frame past the last commit marker.
+  const int fd = fs.OpenWrite(wal_path, false);
+  bsutil::Writer w;
+  w.WriteU32(32);
+  w.WriteU8(1);
+  ASSERT_TRUE(fs.Write(fd, w.Data()));
+  fs.Close(fd);
+
+  std::vector<std::uint64_t> replayed;
+  StateStore reopened(fs, "store");
+  reopened.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+  bsobs::MetricsRegistry reg;
+  reopened.AttachMetrics(reg);
+  ASSERT_TRUE(reopened.Open([&](std::uint8_t, bsutil::ByteSpan payload) {
+    replayed.push_back(PayloadU64(payload));
+  }));
+  EXPECT_EQ(replayed, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_TRUE(reopened.OpenStats().journal_was_dirty);
+  EXPECT_EQ(fs.FileSize(wal_path), intact);  // tail physically gone
+  EXPECT_EQ(reg.GetCounter("bs_store_truncated_frames_total", "")->Value(), 1u);
+  EXPECT_GT(reg.GetCounter("bs_store_truncated_bytes_total", "")->Value(), 0u);
+  // And appending after the truncation lands on a clean boundary.
+  ASSERT_TRUE(reopened.AppendCommit(1, U64Payload(3)));
+}
+
+TEST(StateStore, CompactionStartsNewGenerationAndDropsOldFiles) {
+  bsim::SimFs fs(1);
+  std::vector<std::uint64_t> state;
+  StateStore store(fs, "store");
+  store.SetSnapshotSource([&](const StateStore::SnapshotSink& sink) {
+    for (const std::uint64_t v : state) sink(1, U64Payload(v));
+  });
+  store.SetCompactThreshold(3);
+  ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) {}));
+  const std::uint64_t first_seq = store.ActiveSeq();
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    state.push_back(i);
+    ASSERT_TRUE(store.AppendCommit(1, U64Payload(i)));
+  }
+  EXPECT_GT(store.ActiveSeq(), first_seq);  // threshold compaction fired
+  EXPECT_EQ(store.JournalTxns(), 0u);
+  EXPECT_FALSE(fs.HasFile("store/" + StateStore::SnapshotName(first_seq)));
+  EXPECT_FALSE(fs.HasFile("store/" + StateStore::JournalName(first_seq)));
+
+  std::vector<std::uint64_t> replayed;
+  state.push_back(99);
+  ASSERT_TRUE(store.AppendCommit(1, U64Payload(99)));
+  StateStore reopened(fs, "store");
+  reopened.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+  ASSERT_TRUE(reopened.Open([&](std::uint8_t, bsutil::ByteSpan payload) {
+    replayed.push_back(PayloadU64(payload));
+  }));
+  EXPECT_EQ(replayed, state);
+}
+
+TEST(StateStore, CorruptSnapshotFallsBackToOlderGeneration) {
+  bsim::SimFs fs(1);
+  std::vector<std::uint64_t> state;
+  std::uint64_t good_seq = 0;
+  {
+    StateStore store(fs, "store");
+    store.SetSnapshotSource([&](const StateStore::SnapshotSink& sink) {
+      for (const std::uint64_t v : state) sink(1, U64Payload(v));
+    });
+    ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) {}));
+    state.push_back(5);
+    ASSERT_TRUE(store.AppendCommit(1, U64Payload(5)));
+    ASSERT_TRUE(store.CompactNow());
+    good_seq = store.ActiveSeq();
+  }
+  // Forge a corrupt higher-generation snapshot (bad CRC inside).
+  bsutil::ByteVec forged;
+  bsstore::AppendHeader(forged, {FileKind::kSnapshot, good_seq + 1});
+  bsstore::AppendFrame(forged, 1, U64Payload(123));
+  bsstore::AppendFrame(forged, bsstore::kCommitRecord, {});
+  forged[forged.size() - 5] ^= 0x01;
+  const std::string bad_path = "store/" + StateStore::SnapshotName(good_seq + 1);
+  const int fd = fs.OpenWrite(bad_path, true);
+  ASSERT_TRUE(fs.Write(fd, forged));
+  ASSERT_TRUE(fs.Fsync(fd));
+  fs.Close(fd);
+
+  std::vector<std::uint64_t> replayed;
+  StateStore reopened(fs, "store");
+  reopened.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+  bsobs::MetricsRegistry reg;
+  reopened.AttachMetrics(reg);
+  ASSERT_TRUE(reopened.Open([&](std::uint8_t, bsutil::ByteSpan payload) {
+    replayed.push_back(PayloadU64(payload));
+  }));
+  EXPECT_EQ(replayed, (std::vector<std::uint64_t>{5}));
+  EXPECT_EQ(reopened.ActiveSeq(), good_seq);
+  EXPECT_EQ(reopened.OpenStats().corrupt_snapshots, 1u);
+  EXPECT_EQ(reg.GetCounter("bs_store_corrupt_snapshots_total", "")->Value(), 1u);
+}
+
+TEST(StateStore, EnospcJournalFailureFallsBackToSnapshot) {
+  bsim::SimFs fs(1);
+  std::vector<std::uint64_t> state;
+  StateStore store(fs, "store");
+  store.SetSnapshotSource([&](const StateStore::SnapshotSink& sink) {
+    for (const std::uint64_t v : state) sink(1, U64Payload(v));
+  });
+  bsobs::MetricsRegistry reg;
+  store.AttachMetrics(reg);
+  ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) {}));
+  state.push_back(1);
+  ASSERT_TRUE(store.AppendCommit(1, U64Payload(1)));
+  const std::uint64_t seq_before = store.ActiveSeq();
+
+  bsim::SimFsFaults faults;
+  faults.enospc_at_op = static_cast<std::int64_t>(fs.OpCount());
+  fs.SetFaults(faults);
+  state.push_back(2);
+  EXPECT_TRUE(store.AppendCommit(1, U64Payload(2)));  // journal fails, snapshot heals
+  EXPECT_GT(store.ActiveSeq(), seq_before);
+  EXPECT_EQ(reg.GetCounter("bs_store_journal_failures_total", "")->Value(), 1u);
+
+  std::vector<std::uint64_t> replayed;
+  StateStore reopened(fs, "store");
+  reopened.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+  ASSERT_TRUE(reopened.Open([&](std::uint8_t, bsutil::ByteSpan payload) {
+    replayed.push_back(PayloadU64(payload));
+  }));
+  EXPECT_EQ(replayed, (std::vector<std::uint64_t>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// The crash-point sweep.
+//
+// Workload: 12 single-record transactions (payload = txn index), compaction
+// threshold 4, so the sweep crosses several journal appends, two threshold
+// compactions, and the initial generation bootstrap. Run once fault-free to
+// learn the syscall count, then re-run the whole scenario once per syscall
+// index with a crash armed there, reboot, reopen, and check the invariant.
+
+struct SweepOutcome {
+  std::vector<std::uint64_t> acked;  // txn ids whose Commit returned true
+  bool crashed = false;
+};
+
+SweepOutcome RunSweepWorkload(bsim::SimFs& fs, int txns) {
+  SweepOutcome out;
+  std::vector<std::uint64_t> state;
+  StateStore store(fs, "store");
+  store.SetSnapshotSource([&](const StateStore::SnapshotSink& sink) {
+    for (const std::uint64_t v : state) sink(1, U64Payload(v));
+  });
+  store.SetCompactThreshold(4);
+  const bool opened = store.Open([&](std::uint8_t, bsutil::ByteSpan payload) {
+    state.push_back(PayloadU64(payload));
+  });
+  if (!opened) {
+    out.crashed = fs.Crashed();
+    return out;
+  }
+  for (int i = 0; i < txns; ++i) {
+    const auto id = static_cast<std::uint64_t>(i);
+    state.push_back(id);  // caller mutates first, as the node components do
+    if (store.AppendCommit(1, U64Payload(id))) {
+      out.acked.push_back(id);
+    } else if (fs.Crashed()) {
+      out.crashed = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+TEST(StateStoreCrashSweep, EveryCrashPointRecoversDurablePrefix) {
+  constexpr int kTxns = 12;
+  // Learn the fault-free syscall count.
+  bsim::SimFs probe(1);
+  const SweepOutcome clean = RunSweepWorkload(probe, kTxns);
+  ASSERT_FALSE(clean.crashed);
+  ASSERT_EQ(clean.acked.size(), static_cast<std::size_t>(kTxns));
+  const std::uint64_t total_ops = probe.OpCount();
+  ASSERT_GT(total_ops, 20u);
+
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    for (std::uint64_t op = 0; op < total_ops; ++op) {
+      bsim::SimFs fs(seed);
+      bsim::SimFsFaults faults;
+      faults.crash_at_op = static_cast<std::int64_t>(op);
+      faults.seed = seed;
+      fs.SetFaults(faults);
+
+      const SweepOutcome run = RunSweepWorkload(fs, kTxns);
+      ASSERT_TRUE(fs.Crashed()) << "op " << op << " never fired";
+      fs.Reboot();
+
+      std::vector<std::uint64_t> recovered;
+      StateStore store(fs, "store");
+      store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+      ASSERT_TRUE(store.Open([&](std::uint8_t type, bsutil::ByteSpan payload) {
+        EXPECT_EQ(type, 1);
+        recovered.push_back(PayloadU64(payload));
+      })) << "reopen failed after crash at op " << op << " seed " << seed;
+
+      // (a) Prefix of the committed transaction sequence: exactly 0..m-1.
+      for (std::size_t i = 0; i < recovered.size(); ++i) {
+        ASSERT_EQ(recovered[i], i)
+            << "non-prefix recovery after crash at op " << op << " seed " << seed;
+      }
+      ASSERT_LE(recovered.size(), static_cast<std::size_t>(kTxns));
+      // (b) Every acknowledged commit survived.
+      ASSERT_GE(recovered.size(), run.acked.size())
+          << "acked txn lost after crash at op " << op << " seed " << seed;
+    }
+  }
+}
+
+// A crash during recovery itself must not lose durable state either: crash
+// the reopen at every syscall index, reboot again, and require full recovery.
+TEST(StateStoreCrashSweep, CrashDuringRecoveryStaysRecoverable) {
+  constexpr int kTxns = 6;
+  bsim::SimFs fs(11);
+  const SweepOutcome clean = RunSweepWorkload(fs, kTxns);
+  ASSERT_EQ(clean.acked.size(), static_cast<std::size_t>(kTxns));
+  // Leave a torn tail on the active journal so reopen has repair work to do.
+  std::string target;
+  for (std::uint64_t seq = 1; seq <= 16; ++seq) {
+    const std::string candidate = "store/" + StateStore::JournalName(seq);
+    if (fs.HasFile(candidate)) target = candidate;
+  }
+  ASSERT_FALSE(target.empty());
+  const int fd = fs.OpenWrite(target, false);
+  bsutil::Writer half;
+  half.WriteU32(48);
+  half.WriteU8(1);
+  ASSERT_TRUE(fs.Write(fd, half.Data()));
+  ASSERT_TRUE(fs.Fsync(fd));
+  fs.Close(fd);
+
+  const std::uint64_t base_op = fs.OpCount();
+  // Probe: how many mutating ops does a clean recovery take?
+  bsim::SimFs probe_copy = fs;
+  {
+    StateStore store(probe_copy, "store");
+    store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+    ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) {}));
+  }
+  const std::uint64_t recovery_ops = probe_copy.OpCount() - base_op;
+  ASSERT_GT(recovery_ops, 0u);
+
+  for (std::uint64_t op = 0; op < recovery_ops; ++op) {
+    bsim::SimFs crashed = fs;
+    bsim::SimFsFaults faults;
+    faults.crash_at_op = static_cast<std::int64_t>(base_op + op);
+    faults.seed = 17 + op;
+    crashed.SetFaults(faults);
+    {
+      StateStore store(crashed, "store");
+      store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+      store.Open([](std::uint8_t, bsutil::ByteSpan) {});  // may fail mid-crash
+    }
+    crashed.Reboot();
+    std::vector<std::uint64_t> recovered;
+    StateStore store(crashed, "store");
+    store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+    ASSERT_TRUE(store.Open([&](std::uint8_t, bsutil::ByteSpan payload) {
+      recovered.push_back(PayloadU64(payload));
+    })) << "second recovery failed after crash at recovery op " << op;
+    std::vector<std::uint64_t> expect;
+    for (int i = 0; i < kTxns; ++i) expect.push_back(static_cast<std::uint64_t>(i));
+    EXPECT_EQ(recovered, expect) << "state lost crashing recovery at op " << op;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fsck
+
+TEST(Fsck, CleanStoreIsHealthy) {
+  bsim::SimFs fs(1);
+  {
+    StateStore store(fs, "store");
+    store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+    ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) {}));
+    ASSERT_TRUE(store.AppendCommit(1, U64Payload(1)));
+  }
+  const bsstore::FsckReport report = bsstore::RunFsck(fs, "store", false);
+  EXPECT_TRUE(report.store_found);
+  EXPECT_TRUE(report.healthy);
+  EXPECT_EQ(report.active_records, 1u);
+  EXPECT_EQ(report.truncated_frames, 0u);
+}
+
+TEST(Fsck, MissingStoreReportsNotFound) {
+  bsim::SimFs fs(1);
+  const bsstore::FsckReport report = bsstore::RunFsck(fs, "nowhere", false);
+  EXPECT_FALSE(report.store_found);
+  EXPECT_FALSE(report.healthy);
+}
+
+TEST(Fsck, TornTailDetectedAndRepaired) {
+  bsim::SimFs fs(1);
+  std::string wal;
+  {
+    StateStore store(fs, "store");
+    store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+    ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) {}));
+    ASSERT_TRUE(store.AppendCommit(1, U64Payload(1)));
+    wal = "store/" + StateStore::JournalName(store.ActiveSeq());
+  }
+  const std::size_t intact = fs.FileSize(wal);
+  const int fd = fs.OpenWrite(wal, false);
+  bsutil::Writer half;
+  half.WriteU32(64);
+  half.WriteU8(9);
+  ASSERT_TRUE(fs.Write(fd, half.Data()));
+  fs.Close(fd);
+
+  bsobs::MetricsRegistry reg;
+  bsstore::FsckReport report = bsstore::RunFsck(fs, "store", false, &reg);
+  EXPECT_FALSE(report.healthy);
+  EXPECT_EQ(report.truncated_frames, 1u);
+  EXPECT_EQ(reg.GetCounter("bs_store_fsck_truncated_frames_total", "")->Value(), 1u);
+
+  report = bsstore::RunFsck(fs, "store", true);
+  EXPECT_TRUE(report.repaired);
+  EXPECT_EQ(fs.FileSize(wal), intact);
+  EXPECT_TRUE(bsstore::RunFsck(fs, "store", false).healthy);
+}
+
+TEST(Fsck, BitFlipInJournalDetected) {
+  bsim::SimFs fs(1);
+  std::string wal;
+  std::size_t header_end = 0;
+  {
+    StateStore store(fs, "store");
+    store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+    ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) {}));
+    ASSERT_TRUE(store.AppendCommit(1, U64Payload(0xfeed)));
+    wal = "store/" + StateStore::JournalName(store.ActiveSeq());
+    header_end = bsstore::kHeaderSize;
+  }
+  // Flip one payload bit inside the first frame.
+  ASSERT_TRUE(fs.FlipBit(wal, header_end + 9 + 2, 4));
+  const bsstore::FsckReport report = bsstore::RunFsck(fs, "store", false);
+  EXPECT_FALSE(report.healthy);
+  EXPECT_GE(report.truncated_frames, 1u);
+}
+
+TEST(Fsck, OrphanTmpAndStaleGenerationCleaned) {
+  bsim::SimFs fs(1);
+  {
+    StateStore store(fs, "store");
+    store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+    ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) {}));
+    ASSERT_TRUE(store.AppendCommit(1, U64Payload(1)));
+  }
+  // Orphan tmp (interrupted rename) + a stale older generation.
+  {
+    const int fd = fs.OpenWrite("store/snap-9.dat.tmp", true);
+    ASSERT_TRUE(fs.Write(fd, U64Payload(0)));
+    fs.Close(fd);
+  }
+  {
+    bsutil::ByteVec old_snap;
+    bsstore::AppendHeader(old_snap, {FileKind::kSnapshot, 0});
+    // seq 0 never occurs naturally (fresh stores start at 1), so it reads as
+    // a stale leftover.
+    bsstore::AppendFrame(old_snap, bsstore::kCommitRecord, {});
+    const int fd = fs.OpenWrite("store/snap-0.dat", true);
+    ASSERT_TRUE(fs.Write(fd, old_snap));
+    fs.Close(fd);
+  }
+  bsstore::FsckReport report = bsstore::RunFsck(fs, "store", false);
+  EXPECT_FALSE(report.healthy);
+  EXPECT_EQ(report.orphan_tmp_files, 1u);
+  EXPECT_EQ(report.stale_files, 1u);
+
+  report = bsstore::RunFsck(fs, "store", true);
+  EXPECT_TRUE(report.repaired);
+  EXPECT_FALSE(fs.HasFile("store/snap-9.dat.tmp"));
+  EXPECT_FALSE(fs.HasFile("store/snap-0.dat"));
+  EXPECT_TRUE(bsstore::RunFsck(fs, "store", false).healthy);
+}
+
+// ---------------------------------------------------------------------------
+// DurableNodeState
+
+TEST(DurableNodeState, ComponentsRoundTripThroughStore) {
+  bsim::SimFs fs(1);
+  bsobs::MetricsRegistry reg;
+  const bsproto::Endpoint alice{0x0a000002, 8333};
+  const bsproto::Endpoint bob{0x0a000003, 18333};
+  {
+    bsnet::BanMan bans;
+    bsnet::MisbehaviorTracker tracker(bsnet::CoreVersion::kV0_20,
+                                      bsnet::BanPolicy::kBanScore, 100);
+    bsnet::AddrMan addrs;
+    bsnet::DurableNodeState durable(fs, "node", bans, tracker, addrs);
+    ASSERT_TRUE(durable.Open(/*now=*/0));
+    bans.Ban(alice, 1000);
+    bans.Ban(bob, 2000);
+    bans.Unban(bob);
+    tracker.RestoreScore(7, 40, 2);  // silent: must NOT journal
+    tracker.AddGoodScore(9, 3);      // hooked: must journal
+    addrs.Add({0x0a000009, 8333});
+    durable.SetDetectBaseline(U64Payload(0xabcd));
+  }
+  bsnet::BanMan bans;
+  bans.AttachMetrics(reg);
+  bsnet::MisbehaviorTracker tracker(bsnet::CoreVersion::kV0_20,
+                                    bsnet::BanPolicy::kBanScore, 100);
+  bsnet::AddrMan addrs;
+  bsnet::DurableNodeState durable(fs, "node", bans, tracker, addrs);
+  ASSERT_TRUE(durable.Open(/*now=*/100));
+  EXPECT_TRUE(bans.IsBanned(alice, 100));
+  EXPECT_FALSE(bans.IsBanned(bob, 100));
+  EXPECT_EQ(tracker.Score(7), 0);  // silent restore was not journaled
+  EXPECT_EQ(tracker.GoodScore(9), 3);
+  EXPECT_TRUE(addrs.Contains({0x0a000009, 8333}));
+  EXPECT_EQ(PayloadU64(durable.DetectBaseline()), 0xabcdu);
+}
+
+TEST(DurableNodeState, ExpiredBansDroppedOnLoadAndCounted) {
+  bsim::SimFs fs(1);
+  const bsproto::Endpoint soon{0x0a000002, 8333};
+  const bsproto::Endpoint late{0x0a000003, 8333};
+  {
+    bsnet::BanMan bans;
+    bsnet::MisbehaviorTracker tracker(bsnet::CoreVersion::kV0_20,
+                                      bsnet::BanPolicy::kBanScore, 100);
+    bsnet::AddrMan addrs;
+    bsnet::DurableNodeState durable(fs, "node", bans, tracker, addrs);
+    ASSERT_TRUE(durable.Open(0));
+    bans.Ban(soon, 50);    // will be expired at reload time
+    bans.Ban(late, 5000);  // still active
+  }
+  bsobs::MetricsRegistry reg;
+  bsnet::BanMan bans;
+  bans.AttachMetrics(reg);
+  bsnet::MisbehaviorTracker tracker(bsnet::CoreVersion::kV0_20,
+                                    bsnet::BanPolicy::kBanScore, 100);
+  bsnet::AddrMan addrs;
+  bsnet::DurableNodeState durable(fs, "node", bans, tracker, addrs);
+  ASSERT_TRUE(durable.Open(/*now=*/100));
+  EXPECT_FALSE(bans.IsBanned(soon, 100));
+  EXPECT_TRUE(bans.IsBanned(late, 100));
+  EXPECT_EQ(reg.GetCounter("bs_banlist_expired_on_load_total", "")->Value(), 1u);
+}
+
+TEST(DurableNodeState, DetectBaselineSurvivesViaEngine) {
+  bsim::SimFs fs(1);
+  bsdetect::StatEngine engine;
+  std::vector<bsdetect::FeatureWindow> windows(3);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    windows[i].n = 250.0 + 10.0 * static_cast<double>(i);
+    windows[i].c = 1.0;
+    windows[i].b = 5000.0;
+    windows[i].counts = {{"ping", 100.0 + static_cast<double>(i)},
+                         {"inv", 50.0},
+                         {"tx", 25.0}};
+  }
+  ASSERT_TRUE(engine.Train(windows));
+  {
+    bsnet::BanMan bans;
+    bsnet::MisbehaviorTracker tracker(bsnet::CoreVersion::kV0_20,
+                                      bsnet::BanPolicy::kBanScore, 100);
+    bsnet::AddrMan addrs;
+    bsnet::DurableNodeState durable(fs, "node", bans, tracker, addrs);
+    ASSERT_TRUE(durable.Open(0));
+    ASSERT_TRUE(durable.SetDetectBaseline(engine.SerializeProfile()));
+  }
+  bsnet::BanMan bans;
+  bsnet::MisbehaviorTracker tracker(bsnet::CoreVersion::kV0_20,
+                                    bsnet::BanPolicy::kBanScore, 100);
+  bsnet::AddrMan addrs;
+  bsnet::DurableNodeState durable(fs, "node", bans, tracker, addrs);
+  ASSERT_TRUE(durable.Open(0));
+  bsdetect::StatEngine restored;
+  ASSERT_TRUE(restored.LoadProfile(durable.DetectBaseline()));
+  EXPECT_TRUE(restored.Trained());
+  const bsdetect::Profile& a = engine.GetProfile();
+  const bsdetect::Profile& b = restored.GetProfile();
+  EXPECT_EQ(a.tau_n_low, b.tau_n_low);
+  EXPECT_EQ(a.tau_n_high, b.tau_n_high);
+  EXPECT_EQ(a.tau_c_high, b.tau_c_high);
+  EXPECT_EQ(a.tau_b_high, b.tau_b_high);
+  EXPECT_EQ(a.tau_lambda, b.tau_lambda);
+  EXPECT_EQ(a.reference, b.reference);
+}
+
+// The node-level wiring: a node with enable_durable_store persists its bans
+// across a full restart, and the legacy path (flag off) touches no files.
+TEST(DurableNodeState, NodeLevelBanSurvivesRestart) {
+  bsim::SimFs fs(1);
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  const bsproto::Endpoint villain{0x0a0000ee, 8333};
+
+  bsnet::NodeConfig config;
+  config.enable_durable_store = true;
+  config.store_dir = "node-store";
+  config.store_fs = &fs;
+  {
+    bsnet::Node node(sched, net, 0x0a000001, config);
+    ASSERT_NE(node.Durable(), nullptr);
+    node.Bans().Ban(villain, sched.Now() + 24 * bsim::kHour);
+    node.Tracker().AddGoodScore(1, 2);
+    node.Stop();  // simulated crash: no flush
+  }
+  {
+    bsnet::Node reborn(sched, net, 0x0a000001, config);
+    EXPECT_TRUE(reborn.Bans().IsBanned(villain, sched.Now()));
+    EXPECT_EQ(reborn.Tracker().GoodScore(1), 2);
+    reborn.Stop();
+  }
+
+  bsim::SimFs untouched(1);
+  bsnet::NodeConfig legacy;
+  legacy.store_fs = &untouched;  // flag off: must never be used
+  {
+    bsnet::Node node(sched, net, 0x0a000002, legacy);
+    EXPECT_EQ(node.Durable(), nullptr);
+    node.Bans().Ban(villain, sched.Now() + bsim::kHour);
+    node.Stop();
+  }
+  EXPECT_EQ(untouched.OpCount(), 0u);
+  EXPECT_EQ(untouched.FileCount(), 0u);
+}
+
+}  // namespace

@@ -18,6 +18,10 @@
 //   banscore-lab overload [--defenses none|...|all] [--procs N] [--windows W]
 //                        [--min-ratio R] [--format table|json]
 //                        (Sybil-flood A/B of honest mining rate)
+//   banscore-lab fsck    --dir D [--repair yes] [--format table|json]
+//                        [--demo clean|torn]
+//                        (validate/repair a StateStore directory; exit 0 iff
+//                         the store is healthy after any requested repair)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +39,9 @@
 #include "detect/engine.hpp"
 #include "detect/monitor.hpp"
 #include "sim/faults.hpp"
+#include "store/fsck.hpp"
+#include "store/store.hpp"
+#include "util/serialize.hpp"
 
 using namespace bsnet;  // NOLINT
 
@@ -725,6 +732,104 @@ int RunChaos(const Flags& flags) {
   return failures == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// fsck: offline validation/repair of a StateStore directory (src/store/fsck).
+// --demo builds a small store in --dir first: "clean" leaves it intact,
+// "torn" appends a torn half-frame to the journal so the repair path runs.
+// The cli_fsck_roundtrip ctest and the check.sh store-recovery stage gate on
+// the exit code: 0 iff the store is healthy after any requested repair.
+
+void PrintFsckTable(const bsstore::FsckReport& report) {
+  std::printf("fsck: store_found=%s healthy=%s repaired=%s active_seq=%llu\n",
+              report.store_found ? "yes" : "no", report.healthy ? "yes" : "NO",
+              report.repaired ? "yes" : "no",
+              static_cast<unsigned long long>(report.active_seq));
+  std::printf("  active records: %zu  truncated frames: %zu (%zu B)  "
+              "corrupt snapshots: %zu  orphan tmp: %zu  stale: %zu\n",
+              report.active_records, report.truncated_frames,
+              report.truncated_bytes, report.corrupt_snapshots,
+              report.orphan_tmp_files, report.stale_files);
+  for (const bsstore::FsckFileReport& f : report.files) {
+    std::printf("  %-20s %-8s seq=%-4llu header=%s clean=%s records=%zu "
+                "committed=%zu dropped=%zu garbage=%zuB%s%s%s\n",
+                f.name.c_str(),
+                f.orphan_tmp ? "tmp"
+                             : (f.kind == bsstore::FileKind::kSnapshot ? "snapshot"
+                                                                      : "journal"),
+                static_cast<unsigned long long>(f.seq), f.header_ok ? "ok" : "BAD",
+                f.clean ? "yes" : "NO", f.records, f.committed, f.dropped_frames,
+                f.garbage_bytes, f.stale ? " STALE" : "",
+                f.orphan_tmp ? " ORPHAN" : "", f.repaired ? " [repaired]" : "");
+  }
+}
+
+/// Build a small real store under `dir` (a few committed score records),
+/// then for "torn" append half a frame to the journal — the torn tail a
+/// crash mid-append leaves behind.
+bool BuildFsckDemo(bsstore::StoreFs& fs, const std::string& dir, bool torn) {
+  std::uint64_t seq = 0;
+  {
+    bsstore::StateStore store(fs, dir);
+    store.SetSnapshotSource([](const bsstore::StateStore::SnapshotSink&) {});
+    if (!store.Open([](std::uint8_t, bsutil::ByteSpan) {})) return false;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      bsutil::Writer w;
+      w.WriteU64(i);
+      w.WriteI64(static_cast<std::int64_t>(10 * i));
+      w.WriteI64(0);
+      if (!store.AppendCommit(7, w.Data())) return false;
+    }
+    seq = store.ActiveSeq();
+  }
+  if (!torn) return true;
+  const std::string wal =
+      bsstore::JoinPath(dir, bsstore::StateStore::JournalName(seq));
+  const int fd = fs.OpenWrite(wal, /*truncate=*/false);
+  if (fd < 0) return false;
+  // Length prefix promising 64 payload bytes, then only a few: a torn frame.
+  bsutil::Writer w;
+  w.WriteU32(64);
+  w.WriteU8(7);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU32(0x1234);
+  const bool ok = fs.Write(fd, w.Data());
+  fs.Close(fd);
+  return ok;
+}
+
+int RunStoreFsck(const Flags& flags) {
+  const std::string dir = flags.Get("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "fsck: --dir is required\n");
+    return 2;
+  }
+  const bool repair = flags.Get("repair", "no") == "yes";
+  const bool json = flags.Get("format", "table") == "json";
+  const std::string demo = flags.Get("demo", "");
+  bsstore::StoreFs& fs = bsstore::RealFs::Instance();
+
+  if (!demo.empty()) {
+    if (demo != "clean" && demo != "torn") {
+      std::fprintf(stderr, "fsck: --demo must be clean or torn\n");
+      return 2;
+    }
+    if (!BuildFsckDemo(fs, dir, demo == "torn")) {
+      std::fprintf(stderr, "fsck: demo store construction failed in %s\n",
+                   dir.c_str());
+      return 2;
+    }
+  }
+
+  const bsstore::FsckReport report = bsstore::RunFsck(fs, dir, repair);
+  if (json) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    PrintFsckTable(report);
+  }
+  if (!report.store_found) return 1;
+  return report.healthy || report.repaired ? 0 : 1;
+}
+
 void Usage() {
   std::printf(
       "banscore-lab <scenario> [--flag value ...]\n"
@@ -743,7 +848,10 @@ void Usage() {
       "  overload --defenses none|eviction|ratelimit|priority|all --procs N\n"
       "          --windows W --min-ratio R --format table|json\n"
       "          (Sybil-flood A/B of honest mining rate; exit 1 if the\n"
-      "           attacked/baseline ratio drops below --min-ratio)\n");
+      "           attacked/baseline ratio drops below --min-ratio)\n"
+      "  fsck    --dir D --repair yes --format table|json --demo clean|torn\n"
+      "          (validate/repair a crash-consistent state-store directory;\n"
+      "           exit 0 iff the store is healthy after any requested repair)\n");
 }
 
 }  // namespace
@@ -763,6 +871,7 @@ int main(int argc, char** argv) {
   if (scenario == "dump-metrics") return RunDumpMetrics(flags);
   if (scenario == "chaos") return RunChaos(flags);
   if (scenario == "overload") return RunOverload(flags);
+  if (scenario == "fsck") return RunStoreFsck(flags);
   Usage();
   return 2;
 }

@@ -1,0 +1,34 @@
+# fsck round-trip driver (ctest cli_fsck_roundtrip).
+#
+#   1. Build a demo store with a torn journal tail; fsck without repair must
+#      report it unhealthy (exit != 0).
+#   2. fsck --repair must truncate the tail and leave a healthy store (exit 0,
+#      JSON reports repaired).
+#   3. A plain re-verify over the repaired directory must pass (exit 0).
+#
+# Invoked with -DLAB=<banscore-lab path> -DDIR=<scratch dir>.
+file(REMOVE_RECURSE "${DIR}")
+
+execute_process(COMMAND "${LAB}" fsck --dir "${DIR}" --demo torn --format json
+                RESULT_VARIABLE torn_rc OUTPUT_VARIABLE torn_out)
+if(torn_rc EQUAL 0)
+  message(FATAL_ERROR "torn store verified healthy without repair: ${torn_out}")
+endif()
+
+execute_process(COMMAND "${LAB}" fsck --dir "${DIR}" --repair yes --format json
+                RESULT_VARIABLE repair_rc OUTPUT_VARIABLE repair_out)
+if(NOT repair_rc EQUAL 0)
+  message(FATAL_ERROR "fsck --repair failed (rc=${repair_rc}): ${repair_out}")
+endif()
+if(NOT repair_out MATCHES "\"repaired\": *true")
+  message(FATAL_ERROR "repair did not report repaired=true: ${repair_out}")
+endif()
+
+execute_process(COMMAND "${LAB}" fsck --dir "${DIR}" --format json
+                RESULT_VARIABLE verify_rc OUTPUT_VARIABLE verify_out)
+if(NOT verify_rc EQUAL 0)
+  message(FATAL_ERROR "repaired store failed re-verify: ${verify_out}")
+endif()
+if(NOT verify_out MATCHES "\"healthy\": *true")
+  message(FATAL_ERROR "re-verify did not report healthy=true: ${verify_out}")
+endif()
