@@ -3,7 +3,9 @@
 # an ASan/UBSan build of the test suite, a TSan build of the chaos/sim
 # tests, a fixed-seed chaos smoke sweep, a degradation smoke (honest
 # mining must hold >= 50% of baseline under a Sybil flood with the full
-# defense stack on), and two store-recovery gates: the fsck demo
+# defense stack on), an eclipse A/B smoke (the stock victim must stay
+# eclipsed, the hardened one must heal), and two store-recovery gates: the
+# fsck demo
 # round-trip against a real directory and the crash-at-every-syscall
 # recovery sweep re-run under ASan. Run from anywhere; builds land in
 # build/ (tier-1), build-asan/, and build-tsan/.
@@ -32,6 +34,13 @@ echo "==> chaos smoke: 20 fixed seeds of randomized fault injection"
 echo "==> degradation smoke: honest mining >= 50% of baseline under flood"
 ./build/tools/banscore-lab overload --defenses all --min-ratio 0.5 --format json
 
+echo "==> eclipse smoke: stock victim stays eclipsed, hardened victim heals"
+if ./build/tools/banscore-lab eclipse --defenses none --format json; then
+  echo "FAIL: stock victim shed the eclipse without any defenses" >&2
+  exit 1
+fi
+./build/tools/banscore-lab eclipse --defenses all --format json
+
 echo "==> store recovery smoke: fsck demo round-trip (torn tail -> repair -> verify)"
 rm -rf build/fsck-smoke
 if ./build/tools/banscore-lab fsck --dir build/fsck-smoke --demo torn --format json; then
@@ -53,6 +62,10 @@ if [ "$run_asan" = 1 ]; then
   echo "==> store recovery sweep under ASan: crash at every syscall index"
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
     ./build-asan/tests/store_tests --gtest_filter='StateStoreCrashSweep.*'
+
+  echo "==> addrman property tests under ASan"
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+    ./build-asan/tests/addrman_tests
 fi
 
 if [ "$run_tsan" = 1 ]; then

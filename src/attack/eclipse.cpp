@@ -65,10 +65,26 @@ void EclipseAttack::PoisonAddrTable() {
     attacker_.Send(*usable, msg);
     addr_entries_sent_ += msg.addresses.size();
   }
+  if (config_.repoison_interval > 0) {
+    attacker_.Sched().After(config_.repoison_interval, [this]() { PoisonAddrTable(); });
+  }
 }
 
 void EclipseAttack::DefamationTick() {
   if (!running_) return;
+  if (config_.reoccupy_inbound) {
+    // Replace Sybil sessions the victim dropped (eviction, bans): the
+    // sustained attacker keeps pressure on the inbound side instead of
+    // conceding slots to honest dial-ins.
+    const bsproto::Endpoint target{victim_.Ip(), victim_.Config().listen_port};
+    int live = 0;
+    for (const AttackSession* session : inbound_sessions_) {
+      live += session->closed ? 0 : 1;
+    }
+    for (; live < config_.inbound_sessions; ++live) {
+      inbound_sessions_.push_back(attacker_.OpenSession(target));
+    }
+  }
   // Pick one honest outbound peer of the victim and defame it (Algorithm 1:
   // the attacker learns the 4-tuple by sniffing; we read it off the victim's
   // connection state the same way).

@@ -34,6 +34,14 @@ struct EclipseConfig {
   std::size_t addrs_per_message = 500;  // stays under the 1000-entry rule
   bool defame_outbound = true;  // evict honest outbound peers
   bsim::SimTime defame_interval = 5 * bsim::kSecond;
+  /// Re-send the poisoning gossip every interval (0 = the legacy one-shot
+  /// burst). A sustained attacker keeps the table saturated against
+  /// terrible-address expiry and honest gossip.
+  bsim::SimTime repoison_interval = 0;
+  /// Re-open dropped Sybil inbound sessions each defame tick (off = the
+  /// legacy fire-and-forget occupation), so eviction-based defenses are
+  /// fought instead of conceded.
+  bool reoccupy_inbound = false;
 };
 
 class EclipseAttack {

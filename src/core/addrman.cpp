@@ -1,24 +1,262 @@
 #include "core/addrman.hpp"
 
+#include <algorithm>
+
 #include "util/serialize.hpp"
 
 namespace bsnet {
 
 namespace {
-// Format tag so stale/foreign files are rejected cleanly.
-constexpr std::uint32_t kAddrTableMagic = 0x41445231;  // "ADR1"
+// Format tags so stale/foreign files are rejected cleanly. ADR1 is the flat
+// table (ip/port pairs only); ADR2 adds the tried flag and dial bookkeeping.
+constexpr std::uint32_t kAddrTableMagic = 0x41445231;    // "ADR1"
+constexpr std::uint32_t kAddrTableMagicV2 = 0x41445232;  // "ADR2"
+
+// Domain tags keep the four placement hashes (new/tried bucket, new/tried
+// slot) on independent streams of the same seed.
+constexpr std::uint64_t kDomainNewBucket = 0x6e657762;    // "newb"
+constexpr std::uint64_t kDomainTriedBucket = 0x74726462;  // "trdb"
+constexpr std::uint64_t kDomainNewSlot = 0x6e657773;      // "news"
+constexpr std::uint64_t kDomainTriedSlot = 0x74726473;    // "trds"
+
+std::uint64_t SplitMix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t Mix(std::uint64_t seed, std::uint64_t domain, std::uint64_t a,
+                  std::uint64_t b) {
+  return SplitMix(SplitMix(SplitMix(seed ^ domain) ^ a) ^ b);
+}
+
+std::uint64_t EndpointKey(const Endpoint& ep) {
+  return (static_cast<std::uint64_t>(ep.ip) << 16) | ep.port;
+}
 }  // namespace
 
-void AddrMan::Add(const Endpoint& addr) {
-  if (order_.size() >= kMaxSize) return;
-  if (set_.insert(addr).second) {
-    order_.push_back(addr);
-    if (on_add) on_add(addr);
+void AddrMan::EnableBucketing() {
+  if (bucketed_) return;
+  bucketed_ = true;
+  new_slots_.assign(kNewBuckets * kBucketSize, std::nullopt);
+  tried_slots_.assign(kTriedBuckets * kBucketSize, std::nullopt);
+  // Re-place any flat entries as `new` addresses. Entries that lose their
+  // slot collision are dropped outright (no hooks: the caller flips this
+  // switch before wiring persistence).
+  const std::vector<Endpoint> existing = std::move(order_);
+  order_.clear();
+  set_.clear();
+  for (const Endpoint& ep : existing) AddBucketed(ep, /*now=*/0, /*fire_hooks=*/false);
+  UpdateGauges();
+}
+
+void AddrMan::Add(const Endpoint& addr, bsim::SimTime now) {
+  if (set_.contains(addr)) return;
+  if (bucketed_) {
+    AddBucketed(addr, now, /*fire_hooks=*/true);
+    UpdateGauges();
+    return;
+  }
+  if (order_.size() >= kMaxSize) {
+    // A full table must not silently starve new addresses — an attacker who
+    // fills it first would otherwise own the candidate pool forever. Evict a
+    // random incumbent instead (fallback stream: the main rng_ sequence is
+    // part of the fig8 determinism contract).
+    const std::size_t victim = fallback_rng_.Below(order_.size());
+    const Endpoint evicted = order_[victim];
+    set_.erase(evicted);
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(victim));
+    if (c_evicted_ != nullptr) c_evicted_->Inc();
+    if (on_remove) on_remove(evicted);
+  }
+  set_.insert(addr);
+  order_.push_back(addr);
+  UpdateGauges();
+  if (on_add) on_add(addr);
+}
+
+void AddrMan::AddMany(const std::vector<Endpoint>& addrs, bsim::SimTime now) {
+  for (const Endpoint& a : addrs) Add(a, now);
+}
+
+bool AddrMan::AddBucketed(const Endpoint& ep, bsim::SimTime now, bool fire_hooks) {
+  AddrInfo info;
+  info.last_attempt = 0;
+  if (!PlaceNew(ep, info, now, fire_hooks)) {
+    if (fire_hooks && c_collision_drops_ != nullptr) c_collision_drops_->Inc();
+    return false;
+  }
+  meta_.emplace(ep, info);
+  set_.insert(ep);
+  order_.push_back(ep);
+  if (fire_hooks && on_add) on_add(ep);
+  return true;
+}
+
+bool AddrMan::PlaceNew(const Endpoint& ep, AddrInfo& info, bsim::SimTime now,
+                       bool fire_hooks) {
+  const std::size_t bucket = NewBucketFor(ep);
+  const std::size_t slot = NewSlotFor(bucket, ep);
+  auto& cell = new_slots_[bucket * kBucketSize + slot];
+  if (cell.has_value() && *cell != ep) {
+    const auto inc_it = meta_.find(*cell);
+    if (inc_it == meta_.end() || !IsTerrible(inc_it->second, now)) {
+      return false;  // incumbent stays; the newcomer is dropped
+    }
+    RemoveEntry(*cell, fire_hooks);  // terrible incumbent is expired
+    if (fire_hooks && c_terrible_expired_ != nullptr) c_terrible_expired_->Inc();
+  }
+  cell = ep;
+  info.tried = false;
+  info.bucket = static_cast<int>(bucket);
+  info.slot = static_cast<int>(slot);
+  ++new_count_;
+  return true;
+}
+
+void AddrMan::Attempt(const Endpoint& addr, bsim::SimTime now) {
+  if (!bucketed_) return;
+  const auto it = meta_.find(addr);
+  if (it == meta_.end()) return;
+  AddrInfo& info = it->second;
+  ++info.attempts;
+  info.last_attempt = now;
+  // Only `new` entries are expired on failure; a tried address earned its
+  // slot with a real handshake and keeps it until a collision demotes it.
+  if (!info.tried && IsTerrible(info, now)) {
+    RemoveEntry(addr, /*fire_hooks=*/true);
+    if (c_terrible_expired_ != nullptr) c_terrible_expired_->Inc();
+    UpdateGauges();
   }
 }
 
-void AddrMan::AddMany(const std::vector<Endpoint>& addrs) {
-  for (const Endpoint& a : addrs) Add(a);
+bool AddrMan::Good(const Endpoint& addr, bsim::SimTime now) {
+  if (!bucketed_) return false;
+  const auto it = meta_.find(addr);
+  if (it == meta_.end()) return false;
+  AddrInfo& info = it->second;
+  info.attempts = 0;
+  info.last_success = now;
+  if (info.tried) return false;
+  const bool promoted = PromoteTried(addr, now, /*fire_hooks=*/true);
+  if (promoted) {
+    UpdateGauges();
+    if (on_good) on_good(addr, now);
+  }
+  return promoted;
+}
+
+bool AddrMan::PromoteTried(const Endpoint& ep, bsim::SimTime now, bool fire_hooks) {
+  const auto it = meta_.find(ep);
+  if (it == meta_.end() || it->second.tried) return false;
+  AddrInfo& info = it->second;
+  const std::size_t bucket = TriedBucketFor(ep);
+  const std::size_t slot = TriedSlotFor(bucket, ep);
+  auto& cell = tried_slots_[bucket * kBucketSize + slot];
+  if (cell.has_value() && *cell != ep) {
+    // Collision: the incumbent is demoted back to its new-table position
+    // (Core's test-before-evict, collapsed to immediate demotion — the
+    // newcomer just proved itself with a live handshake).
+    const Endpoint incumbent = *cell;
+    cell.reset();
+    --tried_count_;
+    const auto inc_it = meta_.find(incumbent);
+    if (inc_it != meta_.end()) {
+      AddrInfo& inc = inc_it->second;
+      inc.tried = false;
+      inc.bucket = -1;  // off-table until re-placed (RemoveEntry must not
+      inc.slot = -1;    // touch the vacated tried slot's bookkeeping)
+      if (!PlaceNew(incumbent, inc, now, fire_hooks)) {
+        // No room back in new: the incumbent falls out of the table.
+        RemoveEntry(incumbent, fire_hooks);
+      }
+    }
+  }
+  // Vacate the promoted entry's new slot.
+  new_slots_[static_cast<std::size_t>(info.bucket) * kBucketSize +
+             static_cast<std::size_t>(info.slot)]
+      .reset();
+  --new_count_;
+  tried_slots_[bucket * kBucketSize + slot] = ep;
+  info.tried = true;
+  info.bucket = static_cast<int>(bucket);
+  info.slot = static_cast<int>(slot);
+  ++tried_count_;
+  return true;
+}
+
+void AddrMan::RemoveEntry(const Endpoint& ep, bool fire_hooks) {
+  const auto it = meta_.find(ep);
+  if (it == meta_.end()) return;
+  const AddrInfo& info = it->second;
+  if (info.bucket >= 0 && info.slot >= 0) {
+    auto& table = info.tried ? tried_slots_ : new_slots_;
+    auto& cell = table[static_cast<std::size_t>(info.bucket) * kBucketSize +
+                       static_cast<std::size_t>(info.slot)];
+    if (cell.has_value() && *cell == ep) cell.reset();
+    if (info.tried) {
+      --tried_count_;
+    } else {
+      --new_count_;
+    }
+  }
+  meta_.erase(it);
+  set_.erase(ep);
+  EraseFromOrder(ep);
+  if (fire_hooks && on_remove) on_remove(ep);
+}
+
+void AddrMan::EraseFromOrder(const Endpoint& ep) {
+  const auto pos = std::find(order_.begin(), order_.end(), ep);
+  if (pos != order_.end()) order_.erase(pos);
+}
+
+bool AddrMan::IsTerrible(const AddrInfo& info, bsim::SimTime now) const {
+  if (info.attempts < kMaxRetries) return false;
+  if (info.last_success == 0) return true;  // never worked, keeps failing
+  return now - info.last_success > kRetryHorizon;
+}
+
+std::size_t AddrMan::NewBucketFor(const Endpoint& ep) const {
+  const std::uint64_t group = NetGroup(ep.ip);
+  // The address hashes into one of the group's kGroupNewBuckets allotted
+  // positions; which kNewBuckets slots those are is itself a seeded hash of
+  // the group. One /16 can therefore never reach more than 8 of 256 buckets.
+  const std::uint64_t pick =
+      Mix(seed_, kDomainNewBucket, group, EndpointKey(ep)) % kGroupNewBuckets;
+  return Mix(seed_, kDomainNewBucket, group, pick) % kNewBuckets;
+}
+
+std::size_t AddrMan::TriedBucketFor(const Endpoint& ep) const {
+  const std::uint64_t group = NetGroup(ep.ip);
+  const std::uint64_t pick =
+      Mix(seed_, kDomainTriedBucket, group, EndpointKey(ep)) % kGroupTriedBuckets;
+  return Mix(seed_, kDomainTriedBucket, group, pick) % kTriedBuckets;
+}
+
+std::size_t AddrMan::NewSlotFor(std::size_t bucket, const Endpoint& ep) const {
+  return Mix(seed_, kDomainNewSlot, bucket, EndpointKey(ep)) % kBucketSize;
+}
+
+std::size_t AddrMan::TriedSlotFor(std::size_t bucket, const Endpoint& ep) const {
+  return Mix(seed_, kDomainTriedSlot, bucket, EndpointKey(ep)) % kBucketSize;
+}
+
+const Endpoint* AddrMan::DrawBucketCandidate() {
+  // 50/50 tried/new when both are populated, so a poisoned new table cannot
+  // crowd proven peers out of candidate draws.
+  const bool want_tried = tried_count_ > 0 && (new_count_ == 0 || rng_.Below(2) == 0);
+  const auto& table = want_tried ? tried_slots_ : new_slots_;
+  if ((want_tried ? tried_count_ : new_count_) == 0) return nullptr;
+  const auto& cell = table[rng_.Below(table.size())];
+  return cell.has_value() ? &*cell : nullptr;
+}
+
+const Endpoint* AddrMan::DrawNewCandidate() {
+  if (new_count_ == 0) return nullptr;
+  const auto& cell = new_slots_[rng_.Below(new_slots_.size())];
+  return cell.has_value() ? &*cell : nullptr;
 }
 
 std::vector<Endpoint> AddrMan::Sample(std::size_t count) {
@@ -30,13 +268,94 @@ std::vector<Endpoint> AddrMan::Sample(std::size_t count) {
   return out;
 }
 
+void AddrMan::RestoreAdd(const Endpoint& addr) {
+  if (set_.contains(addr)) return;
+  if (bucketed_) {
+    AddBucketed(addr, /*now=*/0, /*fire_hooks=*/false);
+    UpdateGauges();
+    return;
+  }
+  if (order_.size() >= kMaxSize) return;
+  set_.insert(addr);
+  order_.push_back(addr);
+  UpdateGauges();
+}
+
+void AddrMan::RestoreRemove(const Endpoint& addr) {
+  if (bucketed_) {
+    RemoveEntry(addr, /*fire_hooks=*/false);
+    UpdateGauges();
+    return;
+  }
+  if (set_.erase(addr) == 0) return;
+  EraseFromOrder(addr);
+  UpdateGauges();
+}
+
+void AddrMan::RestoreGood(const Endpoint& addr, bsim::SimTime now) {
+  if (!bucketed_) return;
+  const auto it = meta_.find(addr);
+  if (it == meta_.end()) return;
+  it->second.attempts = 0;
+  it->second.last_success = now;
+  if (!it->second.tried) PromoteTried(addr, now, /*fire_hooks=*/false);
+  UpdateGauges();
+}
+
+void AddrMan::AttachMetrics(bsobs::MetricsRegistry& registry) {
+  g_tried_ = registry.GetGauge("bs_addrman_tried_size",
+                               "Addresses in the tried table (0 when flat)");
+  g_new_ = registry.GetGauge("bs_addrman_new_size",
+                             "Addresses in the new table (all entries when flat)");
+  c_evicted_ = registry.GetCounter("bs_addrman_evicted_total",
+                                   "Entries evicted from a full flat table");
+  c_terrible_expired_ = registry.GetCounter(
+      "bs_addrman_terrible_expired_total",
+      "Terrible (never-working) addresses expired from the new table");
+  c_collision_drops_ = registry.GetCounter(
+      "bs_addrman_collision_drops_total",
+      "Addresses dropped on a new-table slot collision");
+  UpdateGauges();
+}
+
+void AddrMan::UpdateGauges() {
+  if (g_new_ != nullptr) g_new_->Set(static_cast<double>(NewCount()));
+  if (g_tried_ != nullptr) g_tried_->Set(static_cast<double>(tried_count_));
+}
+
+std::optional<AddrMan::EntryDebug> AddrMan::DebugEntry(const Endpoint& addr) const {
+  const auto it = meta_.find(addr);
+  if (it == meta_.end()) {
+    if (!bucketed_ && set_.contains(addr)) return EntryDebug{};
+    return std::nullopt;
+  }
+  const AddrInfo& info = it->second;
+  return EntryDebug{info.tried,        info.bucket,       info.slot,
+                    info.attempts,     info.last_attempt, info.last_success};
+}
+
 bsutil::ByteVec AddrMan::Serialize() const {
   bsutil::Writer w;
-  w.WriteU32(kAddrTableMagic);
+  if (!bucketed_) {
+    // Legacy flat format, byte-for-byte (part of the PR 4 store contract).
+    w.WriteU32(kAddrTableMagic);
+    w.WriteCompactSize(order_.size());
+    for (const Endpoint& ep : order_) {
+      w.WriteU32(ep.ip);
+      w.WriteU16(ep.port);
+    }
+    return w.TakeData();
+  }
+  w.WriteU32(kAddrTableMagicV2);
   w.WriteCompactSize(order_.size());
   for (const Endpoint& ep : order_) {
+    const AddrInfo& info = meta_.at(ep);
     w.WriteU32(ep.ip);
     w.WriteU16(ep.port);
+    w.WriteU8(info.tried ? 1 : 0);
+    w.WriteU32(static_cast<std::uint32_t>(info.attempts));
+    w.WriteI64(info.last_attempt);
+    w.WriteI64(info.last_success);
   }
   return w.TakeData();
 }
@@ -44,22 +363,64 @@ bsutil::ByteVec AddrMan::Serialize() const {
 bool AddrMan::Deserialize(bsutil::ByteSpan data) {
   try {
     bsutil::Reader r(data);
-    if (r.ReadU32() != kAddrTableMagic) return false;
+    const std::uint32_t magic = r.ReadU32();
+    if (magic != kAddrTableMagic && magic != kAddrTableMagicV2) return false;
+    const bool v2 = magic == kAddrTableMagicV2;
     const std::uint64_t count = r.ReadCompactSize();
     if (count > kMaxSize) return false;  // allocation guard
-    std::vector<Endpoint> order;
-    std::unordered_set<Endpoint, bsproto::EndpointHasher> set;
-    order.reserve(count);
-    set.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
+    struct Loaded {
       Endpoint ep;
-      ep.ip = r.ReadU32();
-      ep.port = r.ReadU16();
-      if (set.insert(ep).second) order.push_back(ep);
+      AddrInfo info;
+    };
+    std::vector<Loaded> loaded;
+    std::unordered_set<Endpoint, bsproto::EndpointHasher> seen;
+    loaded.reserve(count);
+    seen.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Loaded l;
+      l.ep.ip = r.ReadU32();
+      l.ep.port = r.ReadU16();
+      if (v2) {
+        l.info.tried = r.ReadU8() != 0;
+        l.info.attempts = static_cast<int>(r.ReadU32());
+        l.info.last_attempt = static_cast<bsim::SimTime>(r.ReadU64());
+        l.info.last_success = static_cast<bsim::SimTime>(r.ReadU64());
+      }
+      if (seen.insert(l.ep).second) loaded.push_back(l);
     }
     if (!r.AtEnd()) return false;
-    set_ = std::move(set);
-    order_ = std::move(order);
+
+    if (!bucketed_) {
+      // Flat mode keeps only the addresses (insertion order preserved);
+      // bucket metadata from a V2 file is irrelevant without the overlay.
+      std::vector<Endpoint> order;
+      order.reserve(loaded.size());
+      for (const Loaded& l : loaded) order.push_back(l.ep);
+      set_ = std::move(seen);
+      order_ = std::move(order);
+      UpdateGauges();
+      return true;
+    }
+
+    // Bucketed rebuild: placement is a pure function of (seed, address), so
+    // re-adding in insertion order reproduces the exact pre-serialize layout
+    // — entries that co-existed before cannot newly collide.
+    set_.clear();
+    order_.clear();
+    meta_.clear();
+    new_slots_.assign(kNewBuckets * kBucketSize, std::nullopt);
+    tried_slots_.assign(kTriedBuckets * kBucketSize, std::nullopt);
+    new_count_ = 0;
+    tried_count_ = 0;
+    for (const Loaded& l : loaded) {
+      if (!AddBucketed(l.ep, /*now=*/0, /*fire_hooks=*/false)) continue;
+      AddrInfo& info = meta_.at(l.ep);
+      info.attempts = l.info.attempts;
+      info.last_attempt = l.info.last_attempt;
+      info.last_success = l.info.last_success;
+      if (l.info.tried) PromoteTried(l.ep, l.info.last_success, /*fire_hooks=*/false);
+    }
+    UpdateGauges();
     return true;
   } catch (const bsutil::DeserializeError&) {
     return false;

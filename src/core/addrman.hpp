@@ -1,15 +1,35 @@
-// Peer address table (simplified addrman). The node draws outbound
-// connection candidates from here; Defamation shrinks the usable pool, which
-// is the "peer-table diversity" impact §VI-D measures.
+// Peer address table. The node draws outbound connection candidates from
+// here; Defamation shrinks the usable pool, which is the "peer-table
+// diversity" impact §VI-D measures.
+//
+// Two modes share one API:
+//
+//   * flat (default) — the paper-faithful uniform-random table. Selection
+//     and sampling consume the same RNG sequence as the original seed code,
+//     so the fig6/fig8 benches stay bit-identical.
+//   * bucketed (EnableBucketing, wired to NodeConfig::enable_addrman_bucketing)
+//     — a Core-style tried/new table. Placement is a seeded hash of the
+//     address and its /16 netgroup (eviction.hpp's NetGroup), and each group
+//     can only ever reach kGroupNewBuckets new buckets and kGroupTriedBuckets
+//     tried buckets, so an attacker gossiping thousands of one-subnet
+//     addresses is confined to a few percent of the table instead of
+//     drowning it — the structural defense against Eclipse-style address
+//     poisoning. Good() promotes an address into tried on a completed
+//     handshake; Attempt() failures accumulate until a never-successful
+//     address turns "terrible" and is expired.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/eviction.hpp"  // NetGroup: the /16 grouping shared with eviction
+#include "obs/metrics.hpp"
 #include "proto/netaddr.hpp"
+#include "sim/time.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
@@ -19,29 +39,88 @@ using bsproto::Endpoint;
 
 class AddrMan {
  public:
-  explicit AddrMan(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit AddrMan(std::uint64_t seed = 1)
+      : seed_(seed), rng_(seed), fallback_rng_(seed ^ 0x5eedfa11bac5ULL) {}
 
-  /// Add a candidate address; duplicates are ignored. Capped at `kMaxSize`.
-  void Add(const Endpoint& addr);
-  void AddMany(const std::vector<Endpoint>& addrs);
+  /// Switch to the Core-style tried/new bucketed table. Call before any
+  /// address is added (the node wires this at construction); existing flat
+  /// entries are re-placed as `new` entries.
+  void EnableBucketing();
+  bool BucketingEnabled() const { return bucketed_; }
+
+  /// Add a candidate address; duplicates are ignored. A full flat table
+  /// evicts a random incumbent (seeded RNG) so new addresses are never
+  /// silently starved; a bucketed table resolves the hash-slot collision
+  /// instead (the newcomer loses unless the incumbent is terrible).
+  void Add(const Endpoint& addr, bsim::SimTime now = 0);
+  void AddMany(const std::vector<Endpoint>& addrs, bsim::SimTime now = 0);
 
   bool Contains(const Endpoint& addr) const { return set_.contains(addr); }
   std::size_t Size() const { return order_.size(); }
 
-  /// Uniformly random candidate not in `exclude` and not rejected by
-  /// `is_usable` (the node passes a ban-and-connected filter). Returns
-  /// nullopt when the table has no usable entry — the diversity-exhaustion
-  /// outcome of a full-IP Defamation.
+  // ---- Bucketed lifecycle (no-ops in flat mode) ----
+  /// Record a dial attempt toward `addr`. A never-successful address that
+  /// keeps failing turns terrible and is expired from the new table.
+  void Attempt(const Endpoint& addr, bsim::SimTime now);
+  /// Completed handshake: promote `addr` from new to tried (netgroup-keyed
+  /// bucket; a collision demotes the incumbent back to new). Returns true
+  /// when the address was actually promoted by this call.
+  bool Good(const Endpoint& addr, bsim::SimTime now);
+  bool IsTried(const Endpoint& addr) const {
+    const auto it = meta_.find(addr);
+    return it != meta_.end() && it->second.tried;
+  }
+  std::size_t TriedCount() const { return tried_count_; }
+  std::size_t NewCount() const { return bucketed_ ? new_count_ : order_.size(); }
+
+  /// Uniformly random candidate not rejected by `is_usable` (the node passes
+  /// a ban-and-connected filter). Returns nullopt when the table has no
+  /// usable entry — the diversity-exhaustion outcome of a full-IP
+  /// Defamation. Bucketed mode draws a random bucket first, so a netgroup's
+  /// share of candidates is capped by its bucket quota no matter how many
+  /// addresses it stuffed into the table.
   template <typename Pred>
   std::optional<Endpoint> Select(Pred is_usable) {
     if (order_.empty()) return std::nullopt;
-    // Bounded random probing, then a linear fallback scan for determinism.
-    for (int attempt = 0; attempt < 16; ++attempt) {
-      const Endpoint& cand = order_[rng_.Below(order_.size())];
+    if (!bucketed_) {
+      // Bounded random probing (unchanged RNG sequence vs the flat seed
+      // code), then the deterministic fallback scan below.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const Endpoint& cand = order_[rng_.Below(order_.size())];
+        if (is_usable(cand)) return cand;
+      }
+    } else {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const Endpoint* cand = DrawBucketCandidate();
+        if (cand != nullptr && is_usable(*cand)) return *cand;
+      }
+    }
+    // Fallback scan from a seeded random offset: starting at order_[0] would
+    // bias reconnect-after-ban toward the oldest (attacker-seeded) entries.
+    // The offset draws from a separate RNG stream so the probe sequence
+    // above stays bit-identical to the original code.
+    const std::size_t start = fallback_rng_.Below(order_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      const Endpoint& cand = order_[(start + i) % order_.size()];
       if (is_usable(cand)) return cand;
     }
-    for (const Endpoint& cand : order_) {
-      if (is_usable(cand)) return cand;
+    return std::nullopt;
+  }
+
+  /// Candidate drawn from the `new` table only — what a feeler connection
+  /// probes (flat mode degrades to Select: there is no table split).
+  template <typename Pred>
+  std::optional<Endpoint> SelectNew(Pred is_usable) {
+    if (!bucketed_) return Select(is_usable);
+    if (new_count_ == 0) return std::nullopt;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const Endpoint* cand = DrawNewCandidate();
+      if (cand != nullptr && is_usable(*cand)) return *cand;
+    }
+    const std::size_t start = fallback_rng_.Below(order_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      const Endpoint& cand = order_[(start + i) % order_.size()];
+      if (!IsTried(cand) && is_usable(cand)) return cand;
     }
     return std::nullopt;
   }
@@ -49,30 +128,114 @@ class AddrMan {
   /// Random sample of up to `count` addresses (GETADDR responses).
   std::vector<Endpoint> Sample(std::size_t count);
 
-  /// Durable-store hook: fired when Add actually inserts a new address.
-  /// Restore/Deserialize paths never fire it.
+  // ---- Durable-store hooks ----
+  /// Fired when Add actually inserts a new address. Restore/Deserialize
+  /// paths never fire hooks.
   std::function<void(const Endpoint& addr)> on_add;
+  /// Fired when an address leaves the table (full-table eviction, terrible
+  /// expiry, bucket-collision fallout).
+  std::function<void(const Endpoint& addr)> on_remove;
+  /// Fired when Good() promotes an address into the tried table; `at` is the
+  /// promotion time (journaled so replay can rebuild last_success).
+  std::function<void(const Endpoint& addr, bsim::SimTime at)> on_good;
 
-  /// Replay path (WAL kAddrAdd): insert without firing on_add.
-  void RestoreAdd(const Endpoint& addr) {
-    if (order_.size() >= kMaxSize) return;
-    if (set_.insert(addr).second) order_.push_back(addr);
-  }
+  // ---- Replay paths (WAL records; never fire hooks) ----
+  void RestoreAdd(const Endpoint& addr);
+  void RestoreRemove(const Endpoint& addr);
+  void RestoreGood(const Endpoint& addr, bsim::SimTime now);
+
+  /// Publish table-size gauges and eviction counters (bs_addrman_* series).
+  void AttachMetrics(bsobs::MetricsRegistry& registry);
 
   // ---- Persistence (the peers.dat analogue) ----
   /// Serialize all addresses in insertion order (Select/Sample determinism
-  /// depends on `order_`, so the order itself is part of the state).
+  /// depends on `order_`, so the order itself is part of the state). Flat
+  /// tables emit the legacy ADR1 format byte-for-byte; bucketed tables emit
+  /// ADR2, which carries the tried flag and attempt bookkeeping.
   bsutil::ByteVec Serialize() const;
-  /// Replace current contents with a serialized address table. Returns false
-  /// on malformed input (contents are then unchanged).
+  /// Replace current contents with a serialized address table (either
+  /// format). Returns false on malformed input (contents then unchanged).
   bool Deserialize(bsutil::ByteSpan data);
 
+  // ---- Introspection (tests, debug dumps) ----
+  struct EntryDebug {
+    bool tried = false;
+    int bucket = -1;
+    int slot = -1;
+    int attempts = 0;
+    bsim::SimTime last_attempt = 0;
+    bsim::SimTime last_success = 0;
+  };
+  std::optional<EntryDebug> DebugEntry(const Endpoint& addr) const;
+
   static constexpr std::size_t kMaxSize = 16'384;
+  // Bucket geometry: capacities 16384 new / 4096 tried, matching kMaxSize.
+  static constexpr std::size_t kNewBuckets = 256;
+  static constexpr std::size_t kTriedBuckets = 64;
+  static constexpr std::size_t kBucketSize = 64;
+  /// Per-/16 bucket quotas: the poisoning confinement guarantee.
+  static constexpr std::size_t kGroupNewBuckets = 8;
+  static constexpr std::size_t kGroupTriedBuckets = 4;
+  /// An address that failed this many dials without ever succeeding (or
+  /// whose last success is past the horizon) is terrible and expired.
+  static constexpr int kMaxRetries = 3;
+  static constexpr bsim::SimTime kRetryHorizon = 10 * bsim::kMinute;
 
  private:
+  struct AddrInfo {
+    bool tried = false;
+    int bucket = -1;
+    int slot = -1;
+    int attempts = 0;
+    bsim::SimTime last_attempt = 0;
+    bsim::SimTime last_success = 0;
+  };
+
+  bool IsTerrible(const AddrInfo& info, bsim::SimTime now) const;
+  std::size_t NewBucketFor(const Endpoint& ep) const;
+  std::size_t TriedBucketFor(const Endpoint& ep) const;
+  std::size_t NewSlotFor(std::size_t bucket, const Endpoint& ep) const;
+  std::size_t TriedSlotFor(std::size_t bucket, const Endpoint& ep) const;
+  const Endpoint* DrawBucketCandidate();
+  const Endpoint* DrawNewCandidate();
+
+  /// Insert `ep` into its new-table slot. On collision the incumbent is
+  /// expired if terrible, otherwise the newcomer loses. Returns true when
+  /// `ep` holds a slot afterwards.
+  bool PlaceNew(const Endpoint& ep, AddrInfo& info, bsim::SimTime now,
+                bool fire_hooks);
+  /// Promote an already-known entry into tried (collision demotes the
+  /// incumbent back to new). Returns true on promotion.
+  bool PromoteTried(const Endpoint& ep, bsim::SimTime now, bool fire_hooks);
+  bool AddBucketed(const Endpoint& ep, bsim::SimTime now, bool fire_hooks);
+  /// Remove an entry from every structure. `fire_hooks` controls on_remove.
+  void RemoveEntry(const Endpoint& ep, bool fire_hooks);
+  void EraseFromOrder(const Endpoint& ep);
+  void UpdateGauges();
+
+  std::uint64_t seed_;
   bsutil::Rng rng_;
+  /// Separate stream for fallback offsets and full-table evictions, so the
+  /// historical rng_ draw sequence (and with it fig8) is undisturbed.
+  bsutil::Rng fallback_rng_;
+  bool bucketed_ = false;
+
   std::unordered_set<Endpoint, bsproto::EndpointHasher> set_;
   std::vector<Endpoint> order_;
+
+  // Bucketed-mode overlay (empty in flat mode).
+  std::unordered_map<Endpoint, AddrInfo, bsproto::EndpointHasher> meta_;
+  std::vector<std::optional<Endpoint>> new_slots_;
+  std::vector<std::optional<Endpoint>> tried_slots_;
+  std::size_t new_count_ = 0;
+  std::size_t tried_count_ = 0;
+
+  // Observability handles (null until AttachMetrics).
+  bsobs::Gauge* g_tried_ = nullptr;
+  bsobs::Gauge* g_new_ = nullptr;
+  bsobs::Counter* c_evicted_ = nullptr;
+  bsobs::Counter* c_terrible_expired_ = nullptr;
+  bsobs::Counter* c_collision_drops_ = nullptr;
 };
 
 }  // namespace bsnet

@@ -22,6 +22,8 @@ DurableNodeState::~DurableNodeState() {
   tracker_.on_change = nullptr;
   tracker_.on_forget = nullptr;
   addrs_.on_add = nullptr;
+  addrs_.on_remove = nullptr;
+  addrs_.on_good = nullptr;
 }
 
 void DurableNodeState::AttachMetrics(bsobs::MetricsRegistry& registry) {
@@ -95,6 +97,38 @@ void DurableNodeState::ReplayRecord(std::uint8_t type, bsutil::ByteSpan payload,
         addrs_.RestoreAdd(ep);
         return;
       }
+      case kAddrRemove: {
+        bsutil::Reader r(payload);
+        Endpoint ep;
+        ep.ip = r.ReadU32();
+        ep.port = r.ReadU16();
+        addrs_.RestoreRemove(ep);
+        return;
+      }
+      case kAddrGood: {
+        bsutil::Reader r(payload);
+        Endpoint ep;
+        ep.ip = r.ReadU32();
+        ep.port = r.ReadU16();
+        const bsim::SimTime at = r.ReadI64();
+        addrs_.RestoreGood(ep, at);
+        return;
+      }
+      case kAnchors: {
+        bsutil::Reader r(payload);
+        const std::uint64_t count = r.ReadCompactSize();
+        if (count > 64) return;  // allocation guard: anchors are a handful
+        std::vector<Endpoint> anchors;
+        anchors.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          Endpoint ep;
+          ep.ip = r.ReadU32();
+          ep.port = r.ReadU16();
+          anchors.push_back(ep);
+        }
+        anchors_ = std::move(anchors);
+        return;
+      }
       default:
         // Forward compatibility: a newer writer may journal record types we
         // do not know; skipping them is safe (CRC already vouched for them).
@@ -114,6 +148,15 @@ void DurableNodeState::EmitSnapshot(
   sink(kScoreSnapshot, tracker_.Serialize());
   sink(kAddrSnapshot, addrs_.Serialize());
   if (!baseline_.empty()) sink(kDetectBaseline, baseline_);
+  if (!anchors_.empty()) {
+    bsutil::Writer w;
+    w.WriteCompactSize(anchors_.size());
+    for (const Endpoint& ep : anchors_) {
+      w.WriteU32(ep.ip);
+      w.WriteU16(ep.port);
+    }
+    sink(kAnchors, w.Data());
+  }
 }
 
 void DurableNodeState::WireHooks() {
@@ -146,6 +189,31 @@ void DurableNodeState::WireHooks() {
     w.WriteU16(addr.port);
     store_.AppendCommit(kAddrAdd, w.Data());
   };
+  addrs_.on_remove = [this](const Endpoint& addr) {
+    bsutil::Writer w;
+    w.WriteU32(addr.ip);
+    w.WriteU16(addr.port);
+    store_.AppendCommit(kAddrRemove, w.Data());
+  };
+  addrs_.on_good = [this](const Endpoint& addr, bsim::SimTime at) {
+    bsutil::Writer w;
+    w.WriteU32(addr.ip);
+    w.WriteU16(addr.port);
+    w.WriteI64(at);
+    store_.AppendCommit(kAddrGood, w.Data());
+  };
+}
+
+bool DurableNodeState::SetAnchors(const std::vector<Endpoint>& anchors) {
+  anchors_ = anchors;
+  if (!store_.IsOpen()) return false;
+  bsutil::Writer w;
+  w.WriteCompactSize(anchors_.size());
+  for (const Endpoint& ep : anchors_) {
+    w.WriteU32(ep.ip);
+    w.WriteU16(ep.port);
+  }
+  return store_.AppendCommit(kAnchors, w.Data());
 }
 
 bool DurableNodeState::SetDetectBaseline(bsutil::ByteSpan payload) {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/addrman.hpp"
 #include "core/banman.hpp"
@@ -41,6 +42,9 @@ class DurableNodeState {
   static constexpr std::uint8_t kScoreUpsert = 7;    // id u64 | mis i64 | good i64
   static constexpr std::uint8_t kScoreForget = 8;    // id u64
   static constexpr std::uint8_t kAddrAdd = 9;        // ip u32 | port u16
+  static constexpr std::uint8_t kAddrRemove = 10;    // ip u32 | port u16
+  static constexpr std::uint8_t kAddrGood = 11;      // ip u32 | port u16 | at i64
+  static constexpr std::uint8_t kAnchors = 12;       // count | (ip u32 | port u16)*
 
   /// `fs` and the components must outlive this object.
   DurableNodeState(bsstore::StoreFs& fs, std::string dir, BanMan& bans,
@@ -65,6 +69,12 @@ class DurableNodeState {
   /// The replayed/last-set baseline payload (empty when none).
   const bsutil::ByteVec& DetectBaseline() const { return baseline_; }
 
+  /// Persist the node's anchor peers — the last-known-good outbound
+  /// endpoints re-dialed first after a restart. Overwrites the previous set.
+  bool SetAnchors(const std::vector<Endpoint>& anchors);
+  /// The replayed/last-set anchor list (empty when none).
+  const std::vector<Endpoint>& Anchors() const { return anchors_; }
+
   /// Force a snapshot + new generation now (e.g. on clean shutdown).
   bool Flush() { return store_.IsOpen() && store_.CompactNow(); }
 
@@ -82,6 +92,7 @@ class DurableNodeState {
   MisbehaviorTracker& tracker_;
   AddrMan& addrs_;
   bsutil::ByteVec baseline_;
+  std::vector<Endpoint> anchors_;
 };
 
 }  // namespace bsnet

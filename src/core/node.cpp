@@ -74,6 +74,14 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
   m_governor_shed_frames_ =
       reg.GetCounter("bs_node_governor_shed_frames_total",
                      "Frames shed by the global CPU-budget governor");
+  m_feeler_attempts_ =
+      reg.GetCounter("bs_feeler_attempts_total", "Feeler probe connections opened");
+  m_feeler_promotions_ = reg.GetCounter(
+      "bs_feeler_promotions_total", "Feeler probes that promoted an address to tried");
+  m_anchor_redials_ = reg.GetCounter("bs_anchor_redial_total",
+                                     "Anchor endpoints re-dialed after a restart");
+  m_stale_tip_events_ = reg.GetCounter("bs_stale_tip_events_total",
+                                       "Stale-tip windows that opened an extra outbound");
   for (const MsgType type : bsproto::AllMsgTypes()) {
     m_msg_type_[static_cast<std::size_t>(type)] = reg.GetCounter(
         std::string("bs_node_messages_") + bsproto::CommandName(type) + "_total",
@@ -87,6 +95,8 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
   m_peers_gauge_ = reg.GetGauge("bs_node_peers", "Connected peers");
   banman_.AttachMetrics(reg);
   tracker_.AttachMetrics(reg);
+  if (config_.enable_addrman_bucketing) addrman_.EnableBucketing();
+  addrman_.AttachMetrics(reg);
 
   if (config_.enable_durable_store) {
     bsstore::StoreFs& store_fs = config_.store_fs != nullptr
@@ -100,6 +110,13 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
     durable_->SetCompactThreshold(config_.store_compact_threshold);
     durable_->AttachMetrics(reg);
     if (!durable_->Open(sched.Now())) durable_.reset();  // run volatile
+  }
+  if (durable_ != nullptr && config_.enable_anchors) {
+    // Last run's anchors: re-dialed before any Select draw, so the node's
+    // first outbound slots go to peers that were serving it valid blocks —
+    // not to whatever a poisoned address table coughs up.
+    anchor_targets_ = durable_->Anchors();
+    anchors_ = durable_->Anchors();
   }
 }
 
@@ -127,8 +144,11 @@ void Node::Stop() {
   peers_.clear();
   pending_compact_.clear();
   outbound_targets_.clear();
+  feeler_targets_.clear();
   dial_backoff_.clear();
   pending_outbound_ = 0;
+  pending_feeler_ = 0;
+  stale_tip_extra_active_ = false;
   m_peers_gauge_->Set(0.0);
   AbandonConnections();
   Net().Detach(this);
@@ -226,30 +246,39 @@ PeerPriority Node::PriorityOf(const Peer& peer) const {
   return PeerPriority::kNormal;
 }
 
-bool Node::ConnectTo(const Endpoint& remote) {
+bool Node::ConnectTo(const Endpoint& remote, bool feeler) {
   if (banman_.IsBanned(remote, Sched().Now())) return false;
   if (banman_.IsDiscouraged(remote.ip)) return false;
   if (outbound_targets_.contains(remote)) return false;
   if (remote.ip == Ip()) return false;
 
   outbound_targets_.insert(remote);
+  if (feeler) feeler_targets_.insert(remote);
   ++pending_outbound_;
+  if (feeler) ++pending_feeler_;
+  // Core semantics: the attempt is recorded at dial time and cleared by
+  // Good() when the handshake completes (no-op in flat mode).
+  addrman_.Attempt(remote, Sched().Now());
   bsim::TcpConnection* conn = Connect(remote, nullptr);
   if (conn == nullptr) {
     --pending_outbound_;
+    if (feeler) --pending_feeler_;
     outbound_targets_.erase(remote);
+    feeler_targets_.erase(remote);
     return false;
   }
   // Handshake completion is event-driven; the SYN cannot be answered before
   // we return, so wiring the callback after Connect() is race-free.
-  conn->on_connected = [this, conn, remote](bool ok) {
+  conn->on_connected = [this, conn, remote, feeler](bool ok) {
     --pending_outbound_;
+    if (feeler) --pending_feeler_;
     if (!ok) {
       outbound_targets_.erase(remote);
+      feeler_targets_.erase(remote);
       NoteOutboundFailure(remote);
       return;
     }
-    Peer& peer = RegisterPeer(*conn, /*inbound=*/false);
+    Peer& peer = RegisterPeer(*conn, /*inbound=*/false, feeler);
     // Outbound side opens the version handshake.
     peer.sent_version = true;
     SendTo(peer, MakeVersionMsg(peer));
@@ -257,12 +286,13 @@ bool Node::ConnectTo(const Endpoint& remote) {
   return true;
 }
 
-Peer& Node::RegisterPeer(bsim::TcpConnection& conn, bool inbound) {
+Peer& Node::RegisterPeer(bsim::TcpConnection& conn, bool inbound, bool feeler) {
   auto peer = std::make_unique<Peer>();
   const std::uint64_t id = next_peer_id_++;
   peer->id = id;
   peer->remote = conn.Remote();
   peer->inbound = inbound;
+  peer->feeler = feeler;
   peer->conn = &conn;
   peer->connected_at = Sched().Now();
   if (config_.enable_rate_limit) {
@@ -302,7 +332,12 @@ void Node::RemovePeer(std::uint64_t id, bool was_outbound) {
   if (it == peers_.end()) return;
   if (was_outbound) {
     outbound_targets_.erase(it->second->remote);
-    NoteOutboundFailure(it->second->remote);
+    if (it->second->feeler) {
+      // A feeler closing is the probe's normal end, not a failed slot.
+      feeler_targets_.erase(it->second->remote);
+    } else {
+      NoteOutboundFailure(it->second->remote);
+    }
   }
   pending_compact_.erase(id);
   tracker_.Forget(id);
@@ -380,11 +415,40 @@ void Node::MaintainOutbound() {
     for (std::uint64_t id : to_disconnect) DisconnectPeer(id);
   }
 
-  while (OutboundCount() + static_cast<std::size_t>(pending_outbound_) <
-         static_cast<std::size_t>(config_.target_outbound)) {
+  MaintainStaleTip(now);
+  MaintainFeeler(now);
+
+  // Feeler probes ride pending_outbound_ for dial bookkeeping but must not
+  // count against the outbound slot budget.
+  const auto live_outbound = [this] {
+    return OutboundCount() +
+           static_cast<std::size_t>(pending_outbound_ - pending_feeler_);
+  };
+  const std::size_t target = static_cast<std::size_t>(config_.target_outbound) +
+                             (stale_tip_extra_active_ ? 1 : 0);
+
+  // Anchors first: restored last-known-good endpoints claim slots before any
+  // address-table draw can hand them to a poisoned entry.
+  while (!anchor_targets_.empty() && live_outbound() < target) {
+    const Endpoint anchor = anchor_targets_.front();
+    anchor_targets_.erase(anchor_targets_.begin());
+    if (banman_.IsBanned(anchor, now) || outbound_targets_.contains(anchor) ||
+        anchor.ip == Ip()) {
+      continue;
+    }
+    if (ConnectTo(anchor)) {
+      m_anchor_redials_->Inc();
+      trace_.Record(now, bsobs::EventType::kAnchorRedial, 0,
+                    static_cast<std::int64_t>(anchor.ip), anchor.port);
+    }
+  }
+
+  while (live_outbound() < target) {
     const auto candidate = addrman_.Select([this, now](const Endpoint& ep) {
       return !banman_.IsBanned(ep, Sched().Now()) && !outbound_targets_.contains(ep) &&
-             ep.ip != Ip() && DialAllowed(ep, now);
+             ep.ip != Ip() && DialAllowed(ep, now) &&
+             (!config_.enable_outbound_diversity ||
+              !OutboundGroupTaken(NetGroup(ep.ip)));
     });
     if (!candidate) break;  // peer-table diversity exhausted
     const bool counts_as_reconnect = initial_outbound_fill_done_;
@@ -400,6 +464,102 @@ void Node::MaintainOutbound() {
     initial_outbound_fill_done_ = true;
   }
   Sched().After(config_.maintenance_interval, [this]() { MaintainOutbound(); });
+}
+
+void Node::MaintainStaleTip(bsim::SimTime now) {
+  if (!config_.enable_stale_tip_recovery) return;
+  const int tip = chain_.TipHeight();
+  if (last_tip_advance_ == 0) {
+    // First tick: arm the window without treating startup as a stall.
+    tip_height_seen_ = tip;
+    last_tip_advance_ = now > 0 ? now : 1;
+    return;
+  }
+  if (tip > tip_height_seen_) {
+    tip_height_seen_ = tip;
+    last_tip_advance_ = now;
+    if (stale_tip_extra_active_) {
+      // The extra diversity-constrained outbound got the chain moving again;
+      // keep it and retire the worst of the old set instead.
+      stale_tip_extra_active_ = false;
+      EvictWorstOutboundPeer();
+    }
+    return;
+  }
+  if (!stale_tip_extra_active_ && now - last_tip_advance_ >= config_.stale_tip_timeout) {
+    stale_tip_extra_active_ = true;
+    m_stale_tip_events_->Inc();
+    trace_.Record(now, bsobs::EventType::kStaleTip, 0, tip);
+  }
+}
+
+void Node::MaintainFeeler(bsim::SimTime now) {
+  if (!config_.enable_feelers) return;
+  if (now - last_feeler_time_ < config_.feeler_interval) return;
+  const auto candidate = addrman_.SelectNew([this](const Endpoint& ep) {
+    return !banman_.IsBanned(ep, Sched().Now()) && !outbound_targets_.contains(ep) &&
+           ep.ip != Ip();
+  });
+  if (!candidate) return;
+  last_feeler_time_ = now;
+  const Endpoint remote = *candidate;
+  if (!ConnectTo(remote, /*feeler=*/true)) return;
+  m_feeler_attempts_->Inc();
+  trace_.Record(now, bsobs::EventType::kFeelerProbe, 0,
+                static_cast<std::int64_t>(remote.ip), remote.port);
+  // Reap a probe that neither completed (OnOutboundHandshakeComplete closes
+  // it) nor died on its own.
+  Sched().After(config_.feeler_timeout, [this, remote]() {
+    Peer* peer = FindPeerByRemote(remote);
+    if (peer != nullptr && peer->feeler) DisconnectPeer(peer->id);
+  });
+}
+
+bool Node::OnOutboundHandshakeComplete(Peer& peer) {
+  dial_backoff_.erase(peer.remote);
+  const bool promoted = addrman_.Good(peer.remote, Sched().Now());
+  if (!peer.feeler) return false;
+  if (promoted) m_feeler_promotions_->Inc();
+  DisconnectPeer(peer.id);  // probe answered; the session has no other job
+  return true;
+}
+
+bool Node::OutboundGroupTaken(std::uint32_t group) const {
+  for (const auto& [id, peer] : peers_) {
+    if (peer->inbound || peer->feeler) continue;
+    if (NetGroup(peer->remote.ip) == group) return true;
+  }
+  // In-flight dials hold their group too, or two same-group dials could race
+  // past the constraint in one tick.
+  for (const Endpoint& ep : outbound_targets_) {
+    if (!feeler_targets_.contains(ep) && NetGroup(ep.ip) == group) return true;
+  }
+  return false;
+}
+
+void Node::UpdateAnchors(const Endpoint& remote) {
+  if (!config_.enable_anchors) return;
+  if (!anchors_.empty() && anchors_.front() == remote) return;  // already newest
+  const auto pos = std::find(anchors_.begin(), anchors_.end(), remote);
+  if (pos != anchors_.end()) anchors_.erase(pos);
+  anchors_.insert(anchors_.begin(), remote);
+  if (anchors_.size() > static_cast<std::size_t>(std::max(config_.anchor_count, 0))) {
+    anchors_.resize(static_cast<std::size_t>(std::max(config_.anchor_count, 0)));
+  }
+  if (durable_ != nullptr) durable_->SetAnchors(anchors_);
+}
+
+void Node::EvictWorstOutboundPeer() {
+  if (OutboundCount() <= static_cast<std::size_t>(config_.target_outbound)) return;
+  const Peer* worst = nullptr;
+  for (const auto& [id, peer] : peers_) {
+    if (peer->inbound || peer->feeler || !peer->HandshakeComplete()) continue;
+    if (peer->last_block_time != 0) continue;  // it has delivered; keep it
+    if (worst == nullptr || peer->connected_at < worst->connected_at) {
+      worst = peer.get();
+    }
+  }
+  if (worst != nullptr) DisconnectPeer(worst->id);
 }
 
 // ---------------------------------------------------------------------------
@@ -439,7 +599,9 @@ std::size_t Node::InboundCount() const {
 
 std::size_t Node::OutboundCount() const {
   std::size_t n = 0;
-  for (const auto& [id, peer] : peers_) n += peer->inbound ? 0 : 1;
+  for (const auto& [id, peer] : peers_) {
+    n += (!peer->inbound && !peer->feeler) ? 1 : 0;
+  }
   return n;
 }
 
@@ -813,13 +975,18 @@ void Node::HandleVersion(Peer& peer, const bsproto::VersionMsg& msg) {
     SendTo(peer, MakeVersionMsg(peer));
   }
   SendTo(peer, bsproto::VerackMsg{});
-  // A completed outbound handshake proves the endpoint healthy again.
-  if (!peer.inbound && peer.HandshakeComplete()) dial_backoff_.erase(peer.remote);
+  // A completed outbound handshake proves the endpoint healthy again (and,
+  // for a feeler, ends the probe — the peer is destroyed).
+  if (!peer.inbound && peer.HandshakeComplete() && OnOutboundHandshakeComplete(peer)) {
+    return;
+  }
 }
 
 void Node::HandleVerack(Peer& peer) {
   peer.got_verack = true;
-  if (!peer.inbound && peer.HandshakeComplete()) dial_backoff_.erase(peer.remote);
+  if (!peer.inbound && peer.HandshakeComplete() && OnOutboundHandshakeComplete(peer)) {
+    return;  // feeler probe finished; the session is gone
+  }
   // Outbound peers open header sync once the session is up.
   if (!peer.inbound) {
     bsproto::GetHeadersMsg gh;
@@ -836,7 +1003,7 @@ void Node::HandleAddr(Peer& peer, const bsproto::AddrMsg& msg) {
     ApplyMisbehavior(peer, Misbehavior::kAddrOversize);
     return;
   }
-  for (const auto& rec : msg.addresses) addrman_.Add(rec.addr.endpoint);
+  for (const auto& rec : msg.addresses) addrman_.Add(rec.addr.endpoint, Sched().Now());
 }
 
 void Node::HandleInv(Peer& peer, const bsproto::InvMsg& msg) {
@@ -1017,6 +1184,7 @@ void Node::AcceptBlockFrom(Peer& peer, const bschain::Block& block) {
       // Good-score credit: the peer delivered a valid block (§VIII).
       tracker_.AddGoodScore(peer.id);
       peer.last_block_time = Sched().Now();  // eviction protection tier 4
+      if (!peer.inbound && !peer.feeler) UpdateAnchors(peer.remote);
       if (on_block_accepted) on_block_accepted(block);
       if (config_.relay) RelayBlockInv(block.Hash(), peer.id);
       return;

@@ -150,6 +150,35 @@ struct NodeConfig {
   /// Journal transactions between snapshots (StateStore::SetCompactThreshold).
   std::size_t store_compact_threshold = 256;
 
+  // ---- Eclipse resilience (beyond-paper; every switch defaults off so the
+  // stock node — and the fig6/fig8 benches over it — stays bit-identical.
+  // See README "Eclipse resilience") ----
+  /// Core-style tried/new bucketed AddrMan (AddrMan::EnableBucketing):
+  /// netgroup-quota placement caps how much of the candidate table one /16
+  /// can ever own, Good()/Attempt() track which addresses actually work.
+  bool enable_addrman_bucketing = false;
+  /// Remember the last `anchor_count` outbound peers that delivered a valid
+  /// block and re-dial them first after a restart (persisted through the
+  /// durable store, so this wants enable_durable_store for crash survival).
+  bool enable_anchors = false;
+  int anchor_count = 2;
+  /// Periodic short-lived probe connections to `new`-table addresses: a
+  /// completed handshake promotes the address to tried, then the connection
+  /// closes. Feelers verify the table faster than organic dial churn, which
+  /// is what lets a poisoned table wash out.
+  bool enable_feelers = false;
+  bsim::SimTime feeler_interval = 15 * bsim::kSecond;
+  bsim::SimTime feeler_timeout = 5 * bsim::kSecond;
+  /// At most one outbound slot per /16 netgroup, so even a fully poisoned
+  /// address table cannot converge every outbound onto attacker infrastructure.
+  bool enable_outbound_diversity = false;
+  /// No tip advance for `stale_tip_timeout` → open one extra
+  /// diversity-constrained outbound; when the tip moves again, drop the
+  /// worst existing outbound (oldest peer that never delivered a block) if
+  /// the extra slot is what helped.
+  bool enable_stale_tip_recovery = false;
+  bsim::SimTime stale_tip_timeout = 60 * bsim::kSecond;
+
   bschain::ChainParams chain;
   std::uint64_t services = bsproto::kNodeNetwork | bsproto::kNodeWitness;
   std::int32_t protocol_version = bsproto::kProtocolVersion;
@@ -175,6 +204,9 @@ struct Peer {
   std::uint64_t id = 0;
   Endpoint remote;
   bool inbound = false;
+  /// Short-lived probe session (does not fill an outbound slot): the
+  /// handshake is the whole point, the connection closes right after.
+  bool feeler = false;
   bsim::TcpConnection* conn = nullptr;
 
   // Handshake state machine.
@@ -259,9 +291,11 @@ class Node : public bsim::Host {
   /// Seed the address table (the config-file peers of the paper's testbed).
   void AddKnownAddress(const Endpoint& addr) { addrman_.Add(addr); }
   /// Open an outbound connection now (returns false if banned/at capacity).
-  bool ConnectTo(const Endpoint& remote);
+  /// `feeler` marks a short-lived probe session.
+  bool ConnectTo(const Endpoint& remote, bool feeler = false);
 
   std::size_t InboundCount() const;
+  /// Full outbound slots (feeler probes excluded).
   std::size_t OutboundCount() const;
   std::vector<const Peer*> Peers() const;
   Peer* FindPeerByRemote(const Endpoint& remote);
@@ -337,15 +371,42 @@ class Node : public bsim::Host {
   std::uint64_t GovernorShedFrames() const {
     return m_governor_shed_frames_->Value();
   }
+  std::uint64_t FeelerAttempts() const { return m_feeler_attempts_->Value(); }
+  std::uint64_t FeelerPromotions() const { return m_feeler_promotions_->Value(); }
+  std::uint64_t AnchorRedials() const { return m_anchor_redials_->Value(); }
+  std::uint64_t StaleTipEvents() const { return m_stale_tip_events_->Value(); }
+  /// Current anchor set, most recently useful first (empty unless
+  /// enable_anchors).
+  const std::vector<Endpoint>& Anchors() const { return anchors_; }
 
   void OnIcmp(const bsim::IcmpPacket& pkt) override;
   void OnIcmpBatch(const bsim::IcmpPacket& pkt, std::uint64_t count) override;
 
  private:
   void AcceptInbound(bsim::TcpConnection& conn);
-  Peer& RegisterPeer(bsim::TcpConnection& conn, bool inbound);
+  Peer& RegisterPeer(bsim::TcpConnection& conn, bool inbound, bool feeler = false);
   void RemovePeer(std::uint64_t id, bool was_outbound);
   void MaintainOutbound();
+
+  // ---- Eclipse-resilience maintenance (all gated on their config switches) ----
+  /// Track tip progress; flag a stale tip (extra outbound wanted) and, when
+  /// the tip advances with the extra slot active, trim the worst peer.
+  void MaintainStaleTip(bsim::SimTime now);
+  /// Launch one feeler probe per feeler_interval against a `new`-table entry.
+  void MaintainFeeler(bsim::SimTime now);
+  /// Outbound handshake just completed: clear backoff, mark the address
+  /// Good(). For a feeler the probe is finished — count the promotion and
+  /// close the session. Returns true when `peer` was destroyed.
+  bool OnOutboundHandshakeComplete(Peer& peer);
+  /// True when an outbound slot (live or dialing, feelers excluded) already
+  /// belongs to `group` — the netgroup-uniqueness constraint.
+  bool OutboundGroupTaken(std::uint32_t group) const;
+  /// Peer `remote` proved useful (delivered a valid block): move it to the
+  /// front of the anchor list and persist the list.
+  void UpdateAnchors(const Endpoint& remote);
+  /// Drop the oldest handshake-complete outbound peer that never delivered a
+  /// block (only while outbound is above target — the stale-tip trim).
+  void EvictWorstOutboundPeer();
 
   /// Evict one inbound peer per the core/eviction.hpp protection rules to
   /// free a slot. False when every candidate is protected.
@@ -428,9 +489,23 @@ class Node : public bsim::Host {
   std::unordered_map<Endpoint, DialBackoff, bsproto::EndpointHasher> dial_backoff_;
   std::optional<CpuBudgetGovernor> governor_;
   int pending_outbound_ = 0;
+  int pending_feeler_ = 0;  // subset of pending_outbound_ that are probes
   std::uint64_t mining_extra_nonce_ = 0;
   bool initial_outbound_fill_done_ = false;
   bool maintenance_running_ = false;
+
+  // ---- Eclipse-resilience state ----
+  /// Anchors restored from the durable store, drained front-first by the
+  /// next maintenance ticks (re-dialed before any Select draw).
+  std::vector<Endpoint> anchor_targets_;
+  /// Live anchor list, most recently useful first (mirrors the durable set).
+  std::vector<Endpoint> anchors_;
+  /// Feeler sessions among outbound_targets_ (excluded from slot accounting).
+  std::unordered_set<Endpoint, bsproto::EndpointHasher> feeler_targets_;
+  bsim::SimTime last_feeler_time_ = 0;
+  int tip_height_seen_ = 0;
+  bsim::SimTime last_tip_advance_ = 0;
+  bool stale_tip_extra_active_ = false;
 
   std::map<bsproto::MsgType, std::uint64_t> message_counts_;
 
@@ -457,6 +532,10 @@ class Node : public bsim::Host {
   bsobs::Counter* m_ratelimit_frames_ = nullptr;
   bsobs::Counter* m_ratelimit_bytes_ = nullptr;
   bsobs::Counter* m_governor_shed_frames_ = nullptr;
+  bsobs::Counter* m_feeler_attempts_ = nullptr;
+  bsobs::Counter* m_feeler_promotions_ = nullptr;
+  bsobs::Counter* m_anchor_redials_ = nullptr;
+  bsobs::Counter* m_stale_tip_events_ = nullptr;
   std::array<bsobs::Counter*, bsproto::kNumMsgTypes> m_msg_type_{};
   bsobs::Histogram* m_frame_process_seconds_ = nullptr;
   bsobs::Histogram* m_frame_bytes_ = nullptr;

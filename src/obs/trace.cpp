@@ -19,6 +19,9 @@ const char* ToString(EventType type) {
     case EventType::kRxShed: return "rx-shed";
     case EventType::kPeerEvicted: return "peer-evicted";
     case EventType::kRateLimited: return "rate-limited";
+    case EventType::kFeelerProbe: return "feeler-probe";
+    case EventType::kAnchorRedial: return "anchor-redial";
+    case EventType::kStaleTip: return "stale-tip";
   }
   return "?";
 }

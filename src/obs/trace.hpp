@@ -26,6 +26,9 @@ enum class EventType : std::uint8_t {
   kRxShed,             // a = bytes shed from a peer's receive buffer
   kPeerEvicted,        // a = evicted peer's IP, b = its /16 netgroup
   kRateLimited,        // a = frame bytes shed, b = 1 when the governor shed it
+  kFeelerProbe,        // a = probed IP, b = 1 when the probe promoted to tried
+  kAnchorRedial,       // a = anchor IP
+  kStaleTip,           // a = stalled tip height
 };
 
 const char* ToString(EventType type);

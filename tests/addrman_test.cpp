@@ -1,0 +1,285 @@
+// Property tests for the bucketed AddrMan: deterministic seeded placement,
+// the per-/16 bucket-quota confinement that blunts Eclipse-style ADDR
+// poisoning, tried/new lifecycle, terrible-address expiry, flat-table
+// eviction at capacity, the fallback-scan offset, and durability of the
+// tried/new split through DurableNodeState.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/addrman.hpp"
+#include "core/banman.hpp"
+#include "core/durable.hpp"
+#include "core/misbehavior.hpp"
+#include "sim/simfs.hpp"
+
+namespace {
+
+using bsnet::AddrMan;
+using bsproto::Endpoint;
+
+Endpoint Ep(std::uint32_t ip, std::uint16_t port = 8333) { return {ip, port}; }
+
+// Addresses spread over many /16s.
+std::vector<Endpoint> DiverseAddrs(int count) {
+  std::vector<Endpoint> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(Ep(0x0a000001 + (static_cast<std::uint32_t>(i) << 16)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Placement determinism
+
+TEST(AddrMan, PlacementIsDeterministicPerSeed) {
+  AddrMan a(42);
+  AddrMan b(42);
+  a.EnableBucketing();
+  b.EnableBucketing();
+  const auto addrs = DiverseAddrs(200);
+  for (const Endpoint& ep : addrs) {
+    a.Add(ep);
+    b.Add(ep);
+  }
+  std::size_t placed = 0;
+  for (const Endpoint& ep : addrs) {
+    const auto da = a.DebugEntry(ep);
+    const auto db = b.DebugEntry(ep);
+    // Same seed → same slot collisions → the same survivors, identically
+    // placed (a collision loser is dropped in both instances alike).
+    ASSERT_EQ(da.has_value(), db.has_value());
+    if (!da.has_value()) continue;
+    ++placed;
+    EXPECT_EQ(da->bucket, db->bucket);
+    EXPECT_EQ(da->slot, db->slot);
+    EXPECT_EQ(da->tried, db->tried);
+  }
+  EXPECT_GT(placed, 150u);
+}
+
+TEST(AddrMan, PlacementDiffersAcrossSeeds) {
+  AddrMan a(1);
+  AddrMan b(2);
+  a.EnableBucketing();
+  b.EnableBucketing();
+  const auto addrs = DiverseAddrs(200);
+  int differing = 0;
+  for (const Endpoint& ep : addrs) {
+    a.Add(ep);
+    b.Add(ep);
+    const auto da = a.DebugEntry(ep);
+    const auto db = b.DebugEntry(ep);
+    if (da.has_value() && db.has_value() &&
+        (da->bucket != db->bucket || da->slot != db->slot)) {
+      ++differing;
+    }
+  }
+  // A different seed must re-key the placement hash: with 256 buckets the
+  // chance of 200 collisions agreeing is nil.
+  EXPECT_GT(differing, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Netgroup confinement: the poisoning defense
+
+TEST(AddrMan, SingleNetgroupConfinedToNewBucketQuota) {
+  AddrMan man(7);
+  man.EnableBucketing();
+  // 2000 distinct addresses, all in 10.0.0.0/16 — a poisoning flood.
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    man.Add(Ep(0x0a000001 + i));
+  }
+  std::set<int> buckets;
+  std::size_t placed = 0;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const auto entry = man.DebugEntry(Ep(0x0a000001 + i));
+    if (!entry.has_value()) continue;  // lost its slot collision
+    ++placed;
+    EXPECT_FALSE(entry->tried);
+    buckets.insert(entry->bucket);
+  }
+  EXPECT_GT(placed, 0u);
+  EXPECT_LE(buckets.size(), AddrMan::kGroupNewBuckets);
+  // The flood can hold at most quota * bucket-size slots of the whole table.
+  EXPECT_LE(man.NewCount(), AddrMan::kGroupNewBuckets * AddrMan::kBucketSize);
+}
+
+TEST(AddrMan, SingleNetgroupConfinedToTriedBucketQuota) {
+  AddrMan man(7);
+  man.EnableBucketing();
+  for (std::uint32_t i = 0; i < 600; ++i) {
+    const Endpoint ep = Ep(0x0a000001 + i);
+    man.Add(ep);
+    man.Good(ep, /*now=*/bsim::kSecond);
+  }
+  std::set<int> tried_buckets;
+  for (std::uint32_t i = 0; i < 600; ++i) {
+    const auto entry = man.DebugEntry(Ep(0x0a000001 + i));
+    if (!entry.has_value() || !entry->tried) continue;
+    tried_buckets.insert(entry->bucket);
+  }
+  EXPECT_GT(man.TriedCount(), 0u);
+  EXPECT_LE(tried_buckets.size(), AddrMan::kGroupTriedBuckets);
+  EXPECT_LE(man.TriedCount(), AddrMan::kGroupTriedBuckets * AddrMan::kBucketSize);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle: Good promotion, Attempt-driven terrible expiry
+
+TEST(AddrMan, GoodPromotesOnceAndIsTried) {
+  AddrMan man(3);
+  man.EnableBucketing();
+  const Endpoint ep = Ep(0x0a000001);
+  man.Add(ep);
+  EXPECT_FALSE(man.IsTried(ep));
+  EXPECT_TRUE(man.Good(ep, bsim::kSecond));
+  EXPECT_TRUE(man.IsTried(ep));
+  EXPECT_EQ(man.TriedCount(), 1u);
+  EXPECT_EQ(man.NewCount(), 0u);
+  // Re-promotion is a no-op (returns false, counts stable).
+  EXPECT_FALSE(man.Good(ep, 2 * bsim::kSecond));
+  EXPECT_EQ(man.TriedCount(), 1u);
+}
+
+TEST(AddrMan, NeverSuccessfulAddressExpiresAfterMaxRetries) {
+  AddrMan man(3);
+  man.EnableBucketing();
+  const Endpoint ep = Ep(0x0a000001);
+  man.Add(ep);
+  for (int i = 0; i < AddrMan::kMaxRetries; ++i) {
+    EXPECT_TRUE(man.Contains(ep)) << "expired after only " << i << " attempts";
+    man.Attempt(ep, (i + 1) * bsim::kSecond);
+  }
+  EXPECT_FALSE(man.Contains(ep));  // terrible: never succeeded, kept failing
+  EXPECT_EQ(man.NewCount(), 0u);
+}
+
+TEST(AddrMan, TriedAddressSurvivesFailedAttempts) {
+  AddrMan man(3);
+  man.EnableBucketing();
+  const Endpoint ep = Ep(0x0a000001);
+  man.Add(ep);
+  man.Good(ep, bsim::kSecond);
+  for (int i = 0; i < 2 * AddrMan::kMaxRetries; ++i) {
+    man.Attempt(ep, (i + 2) * bsim::kSecond);
+  }
+  EXPECT_TRUE(man.Contains(ep));  // earned its slot with a real handshake
+  EXPECT_TRUE(man.IsTried(ep));
+}
+
+// ---------------------------------------------------------------------------
+// Flat-table capacity eviction (legacy mode)
+
+TEST(AddrMan, FlatTableEvictsAtMaxSize) {
+  AddrMan man(5);
+  for (std::uint32_t i = 0; i < AddrMan::kMaxSize; ++i) {
+    man.Add(Ep(0x01000001 + i));
+  }
+  ASSERT_EQ(man.Size(), AddrMan::kMaxSize);
+  const Endpoint newcomer = Ep(0xdeadbeef);
+  man.Add(newcomer);
+  EXPECT_EQ(man.Size(), AddrMan::kMaxSize);  // capacity held
+  EXPECT_TRUE(man.Contains(newcomer));       // newcomer admitted, not starved
+}
+
+// ---------------------------------------------------------------------------
+// Select fallback scan: random offset, not a head-of-table bias
+
+TEST(AddrMan, SelectFallbackFindsTheOnlyUsableEntry) {
+  AddrMan man(11);
+  const auto addrs = DiverseAddrs(1000);
+  for (const Endpoint& ep : addrs) man.Add(ep);
+  const Endpoint needle = addrs[703];
+  for (int i = 0; i < 10; ++i) {
+    const auto got = man.Select([&](const Endpoint& ep) { return ep == needle; });
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, needle);
+  }
+}
+
+TEST(AddrMan, SelectFallbackOffsetVariesAcrossSeeds) {
+  // Two usable entries at opposite ends of insertion order: a head-biased
+  // scan would always return the first. The seeded random offset must make
+  // both reachable across seeds.
+  const auto addrs = DiverseAddrs(1000);
+  const Endpoint first = addrs[0];
+  const Endpoint late = addrs[500];
+  std::set<std::uint32_t> returned;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    AddrMan man(seed);
+    for (const Endpoint& ep : addrs) man.Add(ep);
+    const auto got = man.Select(
+        [&](const Endpoint& ep) { return ep == first || ep == late; });
+    ASSERT_TRUE(got.has_value());
+    returned.insert(got->ip);
+  }
+  EXPECT_TRUE(returned.contains(first.ip));
+  EXPECT_TRUE(returned.contains(late.ip));
+}
+
+// ---------------------------------------------------------------------------
+// Durability: the tried/new split survives a crash-reload cycle
+
+TEST(AddrMan, TriedNewSplitRoundTripsThroughDurableStore) {
+  bsim::SimFs fs(9);
+  const Endpoint tried_ep = Ep(0x0a000001);
+  const Endpoint new_ep = Ep(0x0b000001);
+  const Endpoint expired_ep = Ep(0x0c000001);
+  {
+    bsnet::BanMan bans;
+    bsnet::MisbehaviorTracker tracker(bsnet::CoreVersion::kV0_20,
+                                      bsnet::BanPolicy::kBanScore, 100);
+    AddrMan addrs(4);
+    addrs.EnableBucketing();
+    bsnet::DurableNodeState durable(fs, "addr-node", bans, tracker, addrs);
+    ASSERT_TRUE(durable.Open(/*now=*/0));
+    addrs.Add(tried_ep);
+    addrs.Add(new_ep);
+    addrs.Add(expired_ep);
+    addrs.Good(tried_ep, bsim::kSecond);
+    for (int i = 0; i < AddrMan::kMaxRetries; ++i) {
+      addrs.Attempt(expired_ep, (i + 2) * bsim::kSecond);
+    }
+    ASSERT_FALSE(addrs.Contains(expired_ep));
+    ASSERT_TRUE(durable.SetAnchors({tried_ep}));
+    // No Flush: the reload below replays the WAL, simulating a crash.
+  }
+  bsnet::BanMan bans;
+  bsnet::MisbehaviorTracker tracker(bsnet::CoreVersion::kV0_20,
+                                    bsnet::BanPolicy::kBanScore, 100);
+  AddrMan addrs(4);
+  addrs.EnableBucketing();
+  bsnet::DurableNodeState durable(fs, "addr-node", bans, tracker, addrs);
+  ASSERT_TRUE(durable.Open(/*now=*/bsim::kMinute));
+  EXPECT_TRUE(addrs.Contains(tried_ep));
+  EXPECT_TRUE(addrs.IsTried(tried_ep));
+  EXPECT_TRUE(addrs.Contains(new_ep));
+  EXPECT_FALSE(addrs.IsTried(new_ep));
+  EXPECT_FALSE(addrs.Contains(expired_ep));  // expiry journaled as remove
+  ASSERT_EQ(durable.Anchors().size(), 1u);
+  EXPECT_EQ(durable.Anchors()[0], tried_ep);
+}
+
+TEST(AddrMan, SerializeRoundTripPreservesBucketedState) {
+  AddrMan man(6);
+  man.EnableBucketing();
+  const auto addrs = DiverseAddrs(50);
+  for (const Endpoint& ep : addrs) man.Add(ep);
+  for (int i = 0; i < 10; ++i) man.Good(addrs[static_cast<std::size_t>(i)], bsim::kSecond);
+
+  AddrMan clone(6);
+  clone.EnableBucketing();
+  ASSERT_TRUE(clone.Deserialize(man.Serialize()));
+  EXPECT_EQ(clone.Size(), man.Size());
+  EXPECT_EQ(clone.TriedCount(), man.TriedCount());
+  EXPECT_EQ(clone.NewCount(), man.NewCount());
+  for (const Endpoint& ep : addrs) {
+    EXPECT_EQ(clone.Contains(ep), man.Contains(ep));
+    EXPECT_EQ(clone.IsTried(ep), man.IsTried(ep));
+  }
+}
+
+}  // namespace

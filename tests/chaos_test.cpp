@@ -26,6 +26,7 @@
 #include "attack/attacker.hpp"
 #include "attack/bmdos.hpp"
 #include "attack/crafter.hpp"
+#include "attack/eclipse.hpp"
 #include "attack/traffic.hpp"
 #include "core/node.hpp"
 #include "detect/engine.hpp"
@@ -647,5 +648,190 @@ TEST(ChaosOverload, SybilFloodPlusLossNeverEvictsHonest) {
   }
   EXPECT_EQ(joiner->OutboundCount(), 1u) << "late joiner did not recover";
 }
+
+// ---------------------------------------------------------------------------
+// Eclipse + weather + crash: a hardened victim (bucketed addrman, anchors,
+// feelers, outbound diversity, stale-tip recovery, eviction, durable store)
+// under a sustained eclipse attack with 5% packet loss on every link, crashed
+// and rebuilt from its WAL mid-attack. Across 50 seeds: the reborn victim
+// must re-dial at least one durable anchor, shed the eclipse once the
+// attacker gives up (final control fraction < 0.5), and leave a healthy
+// store behind.
+
+class ChaosEclipseHeal : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosEclipseHeal, VictimRecoversControlAcrossCrashAndLoss) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::uint32_t kEclVictim = 0x0a000001;
+  constexpr std::uint32_t kEclAttacker = 0xc0a80001;
+  constexpr int kEclHonest = 12;
+  constexpr int kEclInfra = 4;
+
+  bsim::SimFs fs(seed);
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  FaultPlan plan(sched, seed);
+  net.SetFaultPlan(&plan);
+  // Clean boot, then weather (the sweep's convention): the mesh links and
+  // the first blocks must land before loss starts, because a ring link that
+  // misses a block at mine time has no catch-up sync to recover through.
+  FaultSpec lossy;
+  lossy.loss = 0.05;
+  sched.After(4 * bsim::kSecond,
+              [&plan, lossy]() { plan.SetDefaultFaults(lossy); });
+
+  NodeConfig config;
+  config.max_inbound = 16;
+  config.target_outbound = 6;
+  config.ban_duration = 60 * bsim::kSecond;
+  config.enable_eviction = true;
+  config.inactivity_timeout = 15 * bsim::kSecond;
+  config.enable_addrman_bucketing = true;
+  config.enable_anchors = true;
+  config.enable_feelers = true;
+  config.feeler_interval = 5 * bsim::kSecond;
+  config.feeler_timeout = 3 * bsim::kSecond;
+  config.enable_outbound_diversity = true;
+  config.enable_stale_tip_recovery = true;
+  config.stale_tip_timeout = 10 * bsim::kSecond;
+  config.enable_durable_store = true;
+  config.store_dir = "eclipse-chaos-store";
+  config.store_fs = &fs;
+  config.rng_seed = seed;
+
+  Crafter crafter(config.chain);
+  std::vector<std::unique_ptr<Node>> honest;
+  for (int i = 0; i < kEclHonest; ++i) {
+    NodeConfig pc;
+    pc.chain = config.chain;
+    pc.target_outbound = 3;
+    pc.rng_seed = 1000 + static_cast<std::uint64_t>(i);
+    auto node = std::make_unique<Node>(
+        sched, net, 0x0a000001 + (static_cast<std::uint32_t>(16 + i) << 16), pc);
+    node->AddKnownAddress(
+        {0x0a000001 + (static_cast<std::uint32_t>(16 + (i + 1) % kEclHonest) << 16),
+         pc.listen_port});
+    node->AddKnownAddress(
+        {0x0a000001 + (static_cast<std::uint32_t>(16 + (i + 2) % kEclHonest) << 16),
+         pc.listen_port});
+    honest.push_back(std::move(node));
+  }
+  for (int i = 0; i < kEclHonest; ++i) {
+    const int idx = i;
+    sched.After(idx * 50 * bsim::kMillisecond,
+                [&honest, idx]() { honest[static_cast<std::size_t>(idx)]->Start(); });
+    sched.After(20 * bsim::kSecond + idx * 1500 * bsim::kMillisecond,
+                [&honest, idx]() {
+                  honest[static_cast<std::size_t>(idx)]->AddKnownAddress(
+                      {kEclVictim, 8333});
+                });
+    auto send_tx = std::make_shared<std::function<void()>>();
+    *send_tx = [&honest, &sched, &crafter, idx, send_tx]() {
+      honest[static_cast<std::size_t>(idx)]->SendToRemoteIp(kEclVictim,
+                                                            crafter.ValidTx());
+      sched.After(2 * bsim::kSecond, [send_tx]() { (*send_tx)(); });
+    };
+    sched.After(20 * bsim::kSecond + idx * 1500 * bsim::kMillisecond +
+                    200 * bsim::kMillisecond,
+                [send_tx]() { (*send_tx)(); });
+  }
+  auto mine = std::make_shared<std::function<void()>>();
+  *mine = [&honest, &sched, mine]() {
+    honest[0]->MineAndRelay();
+    sched.After(3 * bsim::kSecond, [mine]() { (*mine)(); });
+  };
+  sched.After(2 * bsim::kSecond, [mine]() { (*mine)(); });
+
+  std::vector<std::unique_ptr<Node>> infra;
+  std::vector<Node*> infra_ptrs;
+  std::set<std::uint32_t> attacker_ips = {kEclAttacker};
+  for (int i = 0; i < kEclInfra; ++i) {
+    NodeConfig ic;
+    ic.chain = config.chain;
+    ic.target_outbound = 0;
+    ic.rng_seed = 2000 + static_cast<std::uint64_t>(i);
+    auto node = std::make_unique<Node>(sched, net,
+                                       0xc0a80002 + static_cast<std::uint32_t>(i), ic);
+    node->Start();
+    infra_ptrs.push_back(node.get());
+    attacker_ips.insert(node->Ip());
+    infra.push_back(std::move(node));
+  }
+
+  std::vector<std::unique_ptr<Node>> graveyard;
+  auto victim = std::make_unique<Node>(sched, net, kEclVictim, config);
+  ASSERT_NE(victim->Durable(), nullptr);
+  for (int i = 0; i < kEclHonest; ++i) {
+    victim->AddKnownAddress(
+        {0x0a000001 + (static_cast<std::uint32_t>(16 + i) << 16), 8333});
+  }
+  victim->Start();
+
+  AttackerNode attacker(sched, net, kEclAttacker, config.chain.magic);
+  bsattack::EclipseConfig ec;
+  ec.inbound_sessions = 16;
+  ec.addr_gossip_rounds = 4;
+  ec.addrs_per_message = 400;
+  ec.defame_interval = 2500 * bsim::kMillisecond;
+  ec.repoison_interval = 2 * bsim::kSecond;
+  ec.reoccupy_inbound = true;
+  auto attack = std::make_unique<bsattack::EclipseAttack>(attacker, *victim,
+                                                          infra_ptrs, ec);
+  sched.After(5 * bsim::kSecond, [&attack]() { attack->Start(); });
+
+  // Crash mid-attack, rebuild from the WAL two (sim) seconds later. The
+  // reborn node gets NO address re-seeding: everything it knows — addresses,
+  // bans, anchors — must come out of the durable store replay.
+  std::unique_ptr<bsattack::EclipseAttack> attack2;
+  sched.After(9 * bsim::kSecond, [&]() {
+    attack->Stop();
+    victim->Stop();
+    graveyard.push_back(std::move(victim));
+  });
+  sched.After(11 * bsim::kSecond, [&]() {
+    victim = std::make_unique<Node>(sched, net, kEclVictim, config);
+    victim->Start();
+  });
+  sched.After(11500 * bsim::kMillisecond, [&]() {
+    attack2 = std::make_unique<bsattack::EclipseAttack>(attacker, *victim,
+                                                        infra_ptrs, ec);
+    attack2->Start();
+  });
+  sched.After(45 * bsim::kSecond, [&]() {
+    if (attack2 != nullptr) attack2->Stop();
+  });
+
+  auto control_fraction = [&]() {
+    std::size_t total = 0;
+    std::size_t controlled = 0;
+    for (const Peer* peer : victim->Peers()) {
+      if (!peer->HandshakeComplete()) continue;
+      ++total;
+      controlled += attacker_ips.contains(peer->remote.ip) ? 1 : 0;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(controlled) / static_cast<double>(total);
+  };
+
+  sched.RunUntil(65 * bsim::kSecond);
+  double tail = 0.0;
+  for (int s = 0; s < 5; ++s) {
+    sched.RunUntil((66 + s) * bsim::kSecond);
+    tail += control_fraction();
+  }
+  if (attack2 != nullptr) attack2->Stop();
+
+  // The reborn victim re-dialed a durable anchor, shed the eclipse, and the
+  // store it ran on verifies healthy.
+  EXPECT_GE(victim->AnchorRedials(), 1u) << "seed " << seed;
+  EXPECT_LT(tail / 5.0, 0.5) << "seed " << seed << " stayed eclipsed";
+  const bsstore::FsckReport report =
+      bsstore::RunFsck(fs, "eclipse-chaos-store", /*repair=*/false);
+  EXPECT_TRUE(report.store_found);
+  EXPECT_TRUE(report.healthy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosEclipseHeal,
+                         ::testing::Range<std::uint64_t>(1, 51));
 
 }  // namespace

@@ -22,17 +22,24 @@
 //                        [--demo clean|torn]
 //                        (validate/repair a StateStore directory; exit 0 iff
 //                         the store is healthy after any requested repair)
+//   banscore-lab eclipse [--defenses none|all] [--seconds S]
+//                        [--heal-fraction F] [--format table|json]
+//                        (sustained eclipse attack; exit 0 iff the victim's
+//                         final control fraction stays below --heal-fraction)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "attack/bmdos.hpp"
 #include "attack/defamation.hpp"
+#include "attack/eclipse.hpp"
 #include "attack/sybil.hpp"
 #include "attack/traffic.hpp"
 #include "core/node.hpp"
@@ -692,6 +699,231 @@ int RunOverload(const Flags& flags) {
   return ratio >= min_ratio ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// eclipse: sustained Sybil-occupation + ADDR-poisoning + Defamation eclipse
+// against a stock vs. hardened victim (the bench_eclipse_resilience world in
+// CLI form). Exit 0 iff the victim's final control fraction is below
+// --heal-fraction — so `--defenses none` is expected to FAIL the gate and
+// `--defenses all` to pass it (check.sh uses exactly that pair).
+
+struct EclipseOutcome {
+  double peak = 0.0;
+  double final_fraction = 0.0;
+  double heal_seconds = -1.0;  // from attack start; -1 = never healed
+  std::size_t honest_inbound = 0;
+  int attacker_outbound = 0;
+  std::uint64_t feeler_promotions = 0;
+  std::uint64_t stale_tip_events = 0;
+  std::uint64_t evictions = 0;
+  std::size_t tried = 0;
+};
+
+EclipseOutcome RunEclipseOnce(bool hardened, double seconds, double heal_fraction) {
+  constexpr std::uint32_t kVictim = 0x0a000001;
+  constexpr int kHonest = 12;
+  constexpr int kInfra = 8;
+  const bsim::SimTime run_end = static_cast<bsim::SimTime>(seconds) * bsim::kSecond;
+  const bsim::SimTime attack_start = 5 * bsim::kSecond;
+  const bsim::SimTime attack_stop = run_end - 30 * bsim::kSecond;
+  const bsim::SimTime dial_in = run_end - 40 * bsim::kSecond;
+
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+
+  NodeConfig config;
+  config.max_inbound = 16;
+  config.target_outbound = 6;
+  config.ban_duration = 60 * bsim::kSecond;
+  if (hardened) {
+    config.enable_eviction = true;
+    config.inactivity_timeout = 30 * bsim::kSecond;
+    config.enable_addrman_bucketing = true;
+    config.enable_anchors = true;
+    config.enable_feelers = true;
+    config.feeler_interval = 5 * bsim::kSecond;
+    config.feeler_timeout = 3 * bsim::kSecond;
+    config.enable_outbound_diversity = true;
+    config.enable_stale_tip_recovery = true;
+    config.stale_tip_timeout = 10 * bsim::kSecond;
+  }
+
+  // Honest world: ring mesh in distinct /16s, one miner, victim's address
+  // learned mid-run (the dial-ins the eviction defense admits).
+  bsattack::Crafter crafter(config.chain);
+  std::vector<std::unique_ptr<Node>> honest;
+  for (int i = 0; i < kHonest; ++i) {
+    NodeConfig hc;
+    hc.chain = config.chain;
+    hc.target_outbound = 3;
+    hc.rng_seed = 1000 + static_cast<std::uint64_t>(i);
+    auto node = std::make_unique<Node>(
+        sched, net, 0x0a000001 + (static_cast<std::uint32_t>(16 + i) << 16), hc);
+    node->AddKnownAddress(
+        {0x0a000001 + (static_cast<std::uint32_t>(16 + (i + 1) % kHonest) << 16),
+         hc.listen_port});
+    node->AddKnownAddress(
+        {0x0a000001 + (static_cast<std::uint32_t>(16 + (i + 2) % kHonest) << 16),
+         hc.listen_port});
+    honest.push_back(std::move(node));
+  }
+  for (int i = 0; i < kHonest; ++i) {
+    const int idx = i;
+    sched.After(idx * 50 * bsim::kMillisecond,
+                [&honest, idx]() { honest[static_cast<std::size_t>(idx)]->Start(); });
+    sched.After(dial_in + idx * 1500 * bsim::kMillisecond, [&honest, idx]() {
+      honest[static_cast<std::size_t>(idx)]->AddKnownAddress({kVictim, 8333});
+    });
+    auto send_tx = std::make_shared<std::function<void()>>();
+    *send_tx = [&honest, &sched, &crafter, idx, send_tx]() {
+      honest[static_cast<std::size_t>(idx)]->SendToRemoteIp(kVictim,
+                                                           crafter.ValidTx());
+      sched.After(2 * bsim::kSecond, [send_tx]() { (*send_tx)(); });
+    };
+    sched.After(dial_in + idx * 1500 * bsim::kMillisecond + 200 * bsim::kMillisecond,
+                [send_tx]() { (*send_tx)(); });
+  }
+  auto mine = std::make_shared<std::function<void()>>();
+  *mine = [&honest, &sched, mine]() {
+    honest[0]->MineAndRelay();
+    sched.After(3 * bsim::kSecond, [mine]() { (*mine)(); });
+  };
+  sched.After(2 * bsim::kSecond, [mine]() { (*mine)(); });
+
+  std::vector<std::unique_ptr<Node>> infra;
+  std::vector<Node*> infra_ptrs;
+  std::set<std::uint32_t> attacker_ips = {0xc0a80001};
+  for (int i = 0; i < kInfra; ++i) {
+    NodeConfig ic;
+    ic.chain = config.chain;
+    ic.target_outbound = 0;
+    ic.rng_seed = 2000 + static_cast<std::uint64_t>(i);
+    auto node = std::make_unique<Node>(sched, net,
+                                       0xc0a80002 + static_cast<std::uint32_t>(i), ic);
+    node->Start();
+    infra_ptrs.push_back(node.get());
+    attacker_ips.insert(node->Ip());
+    infra.push_back(std::move(node));
+  }
+
+  Node victim(sched, net, kVictim, config);
+  for (int i = 0; i < kHonest; ++i) {
+    victim.AddKnownAddress(
+        {0x0a000001 + (static_cast<std::uint32_t>(16 + i) << 16), 8333});
+  }
+  victim.Start();
+
+  bsattack::AttackerNode attacker(sched, net, 0xc0a80001, config.chain.magic);
+  bsattack::EclipseConfig ec;
+  ec.inbound_sessions = 16;
+  ec.addr_gossip_rounds = 4;
+  ec.addrs_per_message = 400;
+  ec.defame_interval = 2500 * bsim::kMillisecond;
+  ec.repoison_interval = 2 * bsim::kSecond;
+  ec.reoccupy_inbound = true;
+  bsattack::EclipseAttack attack(attacker, victim, infra_ptrs, ec);
+  sched.After(attack_start, [&attack]() { attack.Start(); });
+  sched.After(attack_stop, [&attack]() { attack.Stop(); });
+
+  std::vector<double> series;
+  for (bsim::SimTime t = bsim::kSecond; t <= run_end; t += bsim::kSecond) {
+    sched.RunUntil(t);
+    std::size_t total = 0;
+    std::size_t controlled = 0;
+    for (const Peer* peer : victim.Peers()) {
+      if (!peer->HandshakeComplete()) continue;
+      ++total;
+      controlled += attacker_ips.contains(peer->remote.ip) ? 1 : 0;
+    }
+    series.push_back(total == 0 ? 0.0
+                                : static_cast<double>(controlled) /
+                                      static_cast<double>(total));
+  }
+  attack.Stop();
+
+  EclipseOutcome out;
+  for (const double f : series) out.peak = std::max(out.peak, f);
+  double tail = 0.0;
+  for (std::size_t i = series.size() - 5; i < series.size(); ++i) tail += series[i];
+  out.final_fraction = tail / 5.0;
+  const double attack_start_s = bsim::ToSeconds(attack_start);
+  int last_bad = -1;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i + 1);
+    if (t >= attack_start_s && series[i] >= heal_fraction) {
+      last_bad = static_cast<int>(i);
+    }
+  }
+  if (last_bad == -1) {
+    out.heal_seconds = 0.0;
+  } else if (last_bad + 1 != static_cast<int>(series.size())) {
+    out.heal_seconds = static_cast<double>(last_bad + 2) - attack_start_s;
+  }
+  for (const Peer* peer : victim.Peers()) {
+    if (!peer->HandshakeComplete()) continue;
+    if (peer->inbound && !attacker_ips.contains(peer->remote.ip)) {
+      ++out.honest_inbound;
+    }
+    if (!peer->inbound && attacker_ips.contains(peer->remote.ip)) {
+      ++out.attacker_outbound;
+    }
+  }
+  out.feeler_promotions = victim.FeelerPromotions();
+  out.stale_tip_events = victim.StaleTipEvents();
+  out.evictions = victim.PeersEvicted();
+  out.tried = victim.Addrs().TriedCount();
+  return out;
+}
+
+int RunEclipse(const Flags& flags) {
+  const std::string defenses = flags.Get("defenses", "all");
+  const bool hardened = defenses != "none";
+  const double seconds = flags.GetNum("seconds", 90);
+  const double heal_fraction = flags.GetNum("heal-fraction", 0.5);
+  const bool json = flags.Get("format", "table") == "json";
+  if (seconds < 60) {
+    std::fprintf(stderr, "eclipse: --seconds must be >= 60\n");
+    return 2;
+  }
+
+  const EclipseOutcome out = RunEclipseOnce(hardened, seconds, heal_fraction);
+  const bool healed = out.final_fraction < heal_fraction;
+  if (json) {
+    std::printf(
+        "{\"defenses\":\"%s\",\"seconds\":%.0f,\"peak_fraction\":%.4f,"
+        "\"final_fraction\":%.4f,\"heal_seconds\":%.1f,"
+        "\"honest_inbound\":%zu,\"attacker_outbound\":%d,"
+        "\"feeler_promotions\":%llu,\"stale_tip_events\":%llu,"
+        "\"evictions\":%llu,\"tried\":%zu,\"heal_fraction\":%.3f,"
+        "\"healed\":%s}\n",
+        hardened ? "all" : "none", seconds, out.peak, out.final_fraction,
+        out.heal_seconds, out.honest_inbound, out.attacker_outbound,
+        static_cast<unsigned long long>(out.feeler_promotions),
+        static_cast<unsigned long long>(out.stale_tip_events),
+        static_cast<unsigned long long>(out.evictions), out.tried, heal_fraction,
+        healed ? "true" : "false");
+  } else {
+    std::printf("eclipse: defenses=%s, %.0f s run, sustained Sybil occupation +\n"
+                "ADDR poisoning + Defamation of honest outbound peers\n\n",
+                hardened ? "all" : "none", seconds);
+    std::printf("  control fraction: peak %.2f, final %.2f\n", out.peak,
+                out.final_fraction);
+    std::printf("  time-to-heal:     %s\n",
+                out.heal_seconds < 0
+                    ? "never"
+                    : (std::to_string(static_cast<int>(out.heal_seconds)) + " s")
+                          .c_str());
+    std::printf("  honest inbound=%zu attacker outbound=%d evictions=%llu\n",
+                out.honest_inbound, out.attacker_outbound,
+                static_cast<unsigned long long>(out.evictions));
+    std::printf("  feeler promotions=%llu stale-tip events=%llu tried=%zu\n",
+                static_cast<unsigned long long>(out.feeler_promotions),
+                static_cast<unsigned long long>(out.stale_tip_events), out.tried);
+    std::printf("  heal gate (final < %.2f): %s\n", heal_fraction,
+                healed ? "PASS" : "FAIL");
+  }
+  return healed ? 0 : 1;
+}
+
 int RunChaos(const Flags& flags) {
   const int seeds = static_cast<int>(flags.GetNum("seeds", 20));
   const std::uint64_t base = static_cast<std::uint64_t>(flags.GetNum("seed-base", 1));
@@ -851,7 +1083,11 @@ void Usage() {
       "           attacked/baseline ratio drops below --min-ratio)\n"
       "  fsck    --dir D --repair yes --format table|json --demo clean|torn\n"
       "          (validate/repair a crash-consistent state-store directory;\n"
-      "           exit 0 iff the store is healthy after any requested repair)\n");
+      "           exit 0 iff the store is healthy after any requested repair)\n"
+      "  eclipse --defenses none|all --seconds S --heal-fraction F\n"
+      "          --format table|json\n"
+      "          (sustained eclipse vs stock or hardened victim; exit 0 iff\n"
+      "           the final attacker control fraction is below --heal-fraction)\n");
 }
 
 }  // namespace
@@ -872,6 +1108,7 @@ int main(int argc, char** argv) {
   if (scenario == "chaos") return RunChaos(flags);
   if (scenario == "overload") return RunOverload(flags);
   if (scenario == "fsck") return RunStoreFsck(flags);
+  if (scenario == "eclipse") return RunEclipse(flags);
   Usage();
   return 2;
 }
