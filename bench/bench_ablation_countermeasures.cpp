@@ -314,6 +314,7 @@ int main(int argc, char** argv) {
   const std::string json_path = bsbench::TakeJsonFlag(argc, argv);
   bsbench::PrintTitle("bench_ablation_countermeasures — design-choice ablations");
   bsbench::JsonReport report("bench_ablation_countermeasures");
+  report.SetSeed(42);  // NodeConfig default; every node derives from it
   PolicyAblation(report);
   VersionAblation(report);
   ThresholdSweep(report);

@@ -332,6 +332,7 @@ int main(int argc, char** argv) {
       bsnet::kBmDosPipelineCapMsgsPerSec, kWindows);
 
   bsbench::JsonReport report("bench_degradation");
+  report.SetSeed(42);  // NodeConfig default; every node derives from it
 
   // Escalation series for the bracketing configs.
   const std::vector<int> intensities = {0, 2, 4, 8};

@@ -344,6 +344,7 @@ int main(int argc, char** argv) {
       static_cast<int>(kAttackStop / bsim::kSecond));
 
   bsbench::JsonReport report("bench_eclipse_resilience");
+  report.SetSeed(42);  // NodeConfig default; every node derives from it
 
   bsbench::PrintSection("control fraction by phase");
   std::printf("%-17s | %5s | %6s | %8s | %7s | %7s | %7s | %6s | %9s\n", "phase",

@@ -218,6 +218,7 @@ int main(int argc, char** argv) {
                   : "MISMATCH");
 
   bsbench::JsonReport report("bench_fig10_detection");
+  report.SetSeed(42);  // NodeConfig default; every node derives from it
   report.Add("tau_lambda", profile.tau_lambda);
   report.Add("tau_c_high", profile.tau_c_high);
   report.Add("ping_share_under_bmdos", ping_share);

@@ -246,6 +246,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
 
   bsbench::JsonReport report("bench_fig11_latency");
+  report.SetSeed(271);  // the synthetic-workload seed above
   for (const auto& row : rows) {
     report.Add(std::string("train_sec_") + row.name, row.train_sec);
     report.Add(std::string("test_sec_") + row.name, row.test_sec);

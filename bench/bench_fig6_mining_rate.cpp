@@ -133,6 +133,7 @@ int main(int argc, char** argv) {
               (hps(0) > hps(4)) ? "yes" : "NO");
 
   bsbench::JsonReport report("bench_fig6_mining_rate");
+  report.SetSeed(42);  // NodeConfig default; every node derives from it
   for (const auto& p : points) {
     report.Add("hps_" + p.label, p.measured.mean);
     report.Add("hps_ci95_" + p.label, p.measured.ci95_half_width);

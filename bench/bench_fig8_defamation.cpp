@@ -181,6 +181,7 @@ int main(int argc, char** argv) {
   std::printf("-> the whole IP is unable to connect to the target for 24 h\n");
 
   bsbench::JsonReport report("bench_fig8_defamation");
+  report.SetSeed(42);  // NodeConfig default; every node derives from it
   report.Add("no_delay_identifiers_banned", no_delay.identifiers_banned);
   report.Add("no_delay_mean_time_to_ban_sec", no_delay.mean_time_to_ban_sec);
   report.Add("one_ms_identifiers_banned", one_ms.identifiers_banned);

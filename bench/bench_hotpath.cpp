@@ -1,0 +1,281 @@
+// Hot-path perf-trajectory bench: one deterministic mixed workload (honest
+// ping/block traffic + a BM-DoS-style flood + a serial-Sybil misbehavior
+// loop against a single victim), measured twice —
+//
+//   baseline run:      tracing and profiling OFF (the paper-bench default),
+//   instrumented run:  SpanTracer + HotpathProfiler + scheduler dispatch
+//                      probe ON,
+//
+// so BENCH_hotpath.json carries events/sec, ns/message, the per-stage
+// ns/message profile (codec decode, tracker update, detect tick, AddrMan
+// select, event dispatch), the instrumentation overhead ratio, and the full
+// metrics snapshot. The deterministic counters (events dispatched, messages
+// received, spans recorded) are the tight regression gate `banscore-lab
+// bench-diff` enforces in scripts/check.sh; the timing fields are gated
+// loosely (machines differ, counts must not).
+//
+// Flags: --json <path>  machine-readable report
+//        --sim-seconds N  simulated duration per run (default 15)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "attack/crafter.hpp"
+#include "attack/sybil.hpp"
+#include "bench_util.hpp"
+#include "core/node.hpp"
+#include "detect/engine.hpp"
+#include "obs/profiler.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using bsattack::AttackerNode;
+using bsattack::Crafter;
+using bsattack::SerialSybilAttack;
+using bsattack::SerialSybilConfig;
+using bsnet::Node;
+using bsnet::NodeConfig;
+
+constexpr std::uint32_t kVictimIp = 0x0a000001;
+constexpr std::uint32_t kAttackerIp = 0x0a0000fe;
+constexpr std::uint64_t kSeed = 42;  // NodeConfig default; the whole run derives
+constexpr int kHonestPeers = 4;
+
+struct RunStats {
+  double wall_sec = 0.0;
+  double sim_sec = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t bans = 0;
+  std::uint64_t spans = 0;
+  std::uint64_t span_orphans = 0;
+};
+
+/// One full deterministic workload. `tracer`/`profiler` null = baseline mode.
+/// `registry` null = private per-node registries (baseline); set = shared
+/// scrape registry for the report.
+RunStats RunWorkload(double sim_seconds, bsobs::SpanTracer* tracer,
+                     bsobs::HotpathProfiler* profiler,
+                     bsobs::MetricsRegistry* registry) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  if (registry != nullptr) {
+    sched.AttachMetrics(*registry);
+    net.AttachMetrics(*registry);
+  }
+  sched.SetProfiler(profiler);
+
+  NodeConfig vc;
+  vc.rng_seed = kSeed;
+  vc.span_tracer = tracer;
+  vc.profiler = profiler;
+  vc.ping_interval = 2 * bsim::kSecond;
+  if (registry != nullptr) vc.metrics = registry;
+  Node victim(sched, net, kVictimIp, vc);
+  victim.Start();
+
+  std::uint64_t frames = 0;
+  victim.on_frame = [&frames](std::size_t, bsproto::DecodeStatus) { ++frames; };
+
+  // Honest mesh: peers dial the victim, keepalive-ping it, and the first one
+  // mines a block every sim-second (INV -> GETDATA -> BLOCK relay traffic
+  // whose spans cross nodes).
+  std::vector<std::unique_ptr<Node>> honest;
+  for (int i = 0; i < kHonestPeers; ++i) {
+    NodeConfig hc;
+    hc.rng_seed = kSeed + 1 + static_cast<std::uint64_t>(i);
+    hc.span_tracer = tracer;
+    hc.profiler = profiler;
+    hc.target_outbound = 1;
+    hc.ping_interval = 500 * bsim::kMillisecond;
+    auto node = std::make_unique<Node>(sched, net, 0x0a000010 + i, hc);
+    node->AddKnownAddress({kVictimIp, 8333});
+    node->Start();
+    honest.push_back(std::move(node));
+  }
+  std::function<void()> mine_tick = [&]() {
+    honest[0]->MineAndRelay();
+    sched.After(bsim::kSecond, mine_tick);
+  };
+  sched.After(bsim::kSecond, mine_tick);
+
+  // BM-DoS-style flood: 500 pings/s (typed, no rule) + 100 bogus
+  // wrong-checksum BLOCK frames/s (dropped pre-tracker) from one session.
+  AttackerNode attacker(sched, net, kAttackerIp, vc.chain.magic);
+  attacker.SetSpanTracer(tracer);
+  Crafter crafter(vc.chain);
+  const bsutil::ByteVec bogus = crafter.BogusBlockFrame(vc.chain.magic, 400);
+  bsattack::AttackSession* flood =
+      attacker.OpenSession({kVictimIp, 8333}, /*auto_handshake=*/true);
+  // Self-rescheduling flood at 500 frames/s once the handshake completes
+  // (function-object and counter live at RunWorkload scope so the scheduled
+  // copies' reference captures stay valid through RunUntil).
+  std::uint64_t flood_n = 0;
+  std::function<void()> flood_tick = [&]() {
+    if (flood->closed) return;
+    attacker.Send(*flood, bsproto::PingMsg{flood_n});
+    if (flood_n % 5 == 0) attacker.SendRawFrame(*flood, bogus);
+    ++flood_n;
+    sched.After(2 * bsim::kMillisecond, flood_tick);
+  };
+  flood->on_ready = [&flood_tick](bsattack::AttackSession&) { flood_tick(); };
+
+  // Serial-Sybil misbehavior loop: duplicate VERSIONs (+1 each) until each
+  // identifier is banned — exercises the tracker and ban paths continuously.
+  SerialSybilConfig sc;
+  sc.extra_message_delay = bsim::kMillisecond;
+  sc.max_identifiers = 1000000;  // run for the whole window
+  SerialSybilAttack sybil(attacker, {kVictimIp, 8333}, sc);
+  sybil.Start();
+
+  RunStats stats;
+  stats.wall_sec = bsbench::TimeSeconds(
+      [&]() { sched.RunUntil(bsim::FromSeconds(sim_seconds)); });
+  sybil.Stop();
+  if (registry != nullptr) sched.SyncMetrics();
+
+  stats.sim_sec = bsim::ToSeconds(sched.Now());
+  stats.events = sched.ExecutedEvents();
+  stats.messages = victim.TotalMessagesReceived();
+  stats.frames = frames;
+  stats.bans = victim.PeersBanned();
+  if (tracer != nullptr) {
+    stats.spans = tracer->Log().Recorded();
+    for (const auto& rec : tracer->Log().Snapshot()) {
+      if ((rec.flags & bsobs::kFlagOrphan) != 0) ++stats.span_orphans;
+    }
+  }
+  return stats;
+}
+
+/// Detect-tick microbench: the engine is trained on synthetic windows and
+/// then Detect() runs under the kDetectTick probe — deterministic input, so
+/// the op count gates tightly while the ns/op gates loosely.
+void RunDetectTicks(bsobs::HotpathProfiler* profiler, int iterations) {
+  bsdetect::StatEngine engine;
+  engine.SetProfiler(profiler);
+  std::vector<bsdetect::FeatureWindow> train;
+  for (int i = 0; i < 4; ++i) {
+    bsdetect::FeatureWindow w;
+    w.window_minutes = 1.0;
+    w.n = 600.0 + 10.0 * i;
+    w.c = 0.1;
+    w.b = 90000.0 + 500.0 * i;
+    w.counts = {{"ping", 300.0 + i}, {"pong", 300.0}, {"inv", 25.0}, {"tx", 10.0}};
+    train.push_back(std::move(w));
+  }
+  engine.Train(train);
+  bsdetect::FeatureWindow probe = train[0];
+  probe.n = 9000.0;  // a BM-DoS-grade rate violation
+  for (int i = 0; i < iterations; ++i) {
+    probe.counts["ping"] = 300.0 + (i % 7);
+    (void)engine.Detect(probe);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  double sim_seconds = 15.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--sim-seconds" && i + 1 < argc) {
+      sim_seconds = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  bsbench::PrintTitle("hot-path perf trajectory (seed " + std::to_string(kSeed) +
+                      ", " + std::to_string(sim_seconds) + " sim-seconds)");
+
+  // Baseline: instrumentation off, as every paper bench runs.
+  const RunStats base = RunWorkload(sim_seconds, nullptr, nullptr, nullptr);
+
+  // Instrumented: spans + profiler + scheduler metrics on.
+  bsobs::MetricsRegistry registry;
+  bsobs::SpanTracer tracer(1 << 16);
+  bsobs::HotpathProfiler profiler;
+  const RunStats inst = RunWorkload(sim_seconds, &tracer, &profiler, &registry);
+  RunDetectTicks(&profiler, 10000);
+
+  const auto per_msg_ns = [](const RunStats& s) {
+    return s.messages == 0 ? 0.0 : s.wall_sec * 1e9 / static_cast<double>(s.messages);
+  };
+  const auto events_per_sec = [](const RunStats& s) {
+    return s.wall_sec == 0.0 ? 0.0 : static_cast<double>(s.events) / s.wall_sec;
+  };
+  const double overhead =
+      per_msg_ns(base) == 0.0 ? 0.0 : per_msg_ns(inst) / per_msg_ns(base);
+
+  bsbench::PrintSection("workload (baseline = tracing/profiling off)");
+  std::printf("%-26s %14s %14s\n", "", "baseline", "instrumented");
+  std::printf("%-26s %14llu %14llu\n", "events executed",
+              static_cast<unsigned long long>(base.events),
+              static_cast<unsigned long long>(inst.events));
+  std::printf("%-26s %14llu %14llu\n", "victim messages",
+              static_cast<unsigned long long>(base.messages),
+              static_cast<unsigned long long>(inst.messages));
+  std::printf("%-26s %14llu %14llu\n", "victim frames",
+              static_cast<unsigned long long>(base.frames),
+              static_cast<unsigned long long>(inst.frames));
+  std::printf("%-26s %14llu %14llu\n", "peers banned",
+              static_cast<unsigned long long>(base.bans),
+              static_cast<unsigned long long>(inst.bans));
+  std::printf("%-26s %14.0f %14.0f\n", "events/sec", events_per_sec(base),
+              events_per_sec(inst));
+  std::printf("%-26s %14.1f %14.1f\n", "ns/message", per_msg_ns(base),
+              per_msg_ns(inst));
+  std::printf("%-26s %14s %14.3f\n", "instrumentation overhead", "1.000x",
+              overhead);
+  std::printf("%-26s %14s %14llu\n", "spans recorded", "-",
+              static_cast<unsigned long long>(inst.spans));
+  std::printf("%-26s %14s %14llu\n", "span orphans", "-",
+              static_cast<unsigned long long>(inst.span_orphans));
+
+  bsbench::PrintSection("per-stage hot-path profile (instrumented run)");
+  std::fputs(profiler.RenderTable().c_str(), stdout);
+
+  if (base.events != inst.events || base.messages != inst.messages) {
+    // The instrumentation must never change simulation behaviour; a count
+    // divergence here is a correctness bug, not a perf regression.
+    std::fprintf(stderr,
+                 "FATAL: instrumented run diverged from baseline "
+                 "(events %llu vs %llu, messages %llu vs %llu)\n",
+                 static_cast<unsigned long long>(base.events),
+                 static_cast<unsigned long long>(inst.events),
+                 static_cast<unsigned long long>(base.messages),
+                 static_cast<unsigned long long>(inst.messages));
+    return 1;
+  }
+
+  bsbench::JsonReport report("bench_hotpath");
+  report.SetSeed(kSeed);
+  report.Add("sim_seconds", inst.sim_sec);
+  // Deterministic (tight gate): identical for a given seed + code version.
+  report.Add("events_executed", inst.events);
+  report.Add("messages_received", inst.messages);
+  report.Add("frames_seen", inst.frames);
+  report.Add("peers_banned", inst.bans);
+  report.Add("spans_recorded", inst.spans);
+  report.Add("span_orphans", inst.span_orphans);
+  // Timing (loose gate): machine-dependent.
+  report.Add("wall_seconds", inst.wall_sec);
+  report.Add("events_per_sec", events_per_sec(inst));
+  report.Add("ns_per_message", per_msg_ns(inst));
+  report.Add("baseline_ns_per_message", per_msg_ns(base));
+  report.Add("instrumentation_overhead_ratio", overhead);
+  report.AddRaw("stages", profiler.RenderJson());
+  report.AttachRegistry(registry);
+  if (!report.WriteTo(json_path)) return 1;
+  return 0;
+}

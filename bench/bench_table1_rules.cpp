@@ -253,6 +253,7 @@ int main(int argc, char** argv) {
   bsbench::PrintTitle(
       "bench_table1_rules — Table I: the ban-score rules of Bitcoin Core");
   bsbench::JsonReport report("bench_table1_rules");
+  report.SetSeed(42);  // NodeConfig default; every node derives from it
   PrintStaticTable();
   PrintLiveVerification(report);
   PrintCoverage(report);

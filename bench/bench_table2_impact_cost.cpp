@@ -452,6 +452,7 @@ int main(int argc, char** argv) {
   const std::string json_path = bsbench::TakeJsonFlag(argc, argv);
   bsbench::PrintTitle("bench_table2_impact_cost — Table II: impact-cost ratio");
   bsbench::JsonReport report("bench_table2_impact_cost");
+  report.SetSeed(42);  // NodeConfig default; every node derives from it
   bsobs::MetricsRegistry registry;
   RunTable(report);
   RunNodePipeline(registry, report);

@@ -136,6 +136,7 @@ int main(int argc, char** argv) {
                                                                               : "NO");
 
   bsbench::JsonReport report("bench_table3_flood_compare");
+  report.SetSeed(42);  // NodeConfig default; every node derives from it
   report.Add("ping_1e3_mining_hps", ping_1e3.mining_rate_hps);
   report.Add("icmp_1e3_mining_hps", icmp_1e3.mining_rate_hps);
   report.Add("ping_1e3_bandwidth_kbits", ping_1e3.bandwidth_kbits);

@@ -104,12 +104,30 @@ inline std::string TakeJsonFlag(int& argc, char** argv) {
   return path;
 }
 
+/// BENCH_*.json schema identity. Every report self-describes with
+/// `"schema":"bsbench-report"` and a version, and carries the RNG seed the
+/// run used; `banscore-lab bench-diff` refuses to compare reports whose
+/// schema/version/bench/seed identities disagree, instead of silently
+/// diffing apples against oranges. Bump the version whenever the meaning of
+/// an existing field changes (adding fields is backward compatible).
+inline constexpr const char* kReportSchema = "bsbench-report";
+inline constexpr int kReportSchemaVersion = 1;
+
 /// Accumulates bench results as JSON fields and writes one object per file:
-///   {"bench":"<name>","results":{...},"metrics":{...}}
+///   {"bench":"<name>","schema":"bsbench-report","schema_version":1,
+///    "seed":<n>,"results":{...},"metrics":{...}}
 /// `metrics` is the bsobs registry snapshot (counters/gauges/histograms).
 class JsonReport {
  public:
   explicit JsonReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  /// Record the RNG seed that parameterized the run (emitted as a top-level
+  /// field so bench-diff can refuse cross-seed comparisons of deterministic
+  /// counters).
+  void SetSeed(std::uint64_t seed) {
+    seed_ = seed;
+    has_seed_ = true;
+  }
 
   void Add(const std::string& key, double value) {
     char buf[64];
@@ -141,6 +159,9 @@ class JsonReport {
   /// Render the full report object.
   std::string Render() const {
     std::string out = "{\"bench\":\"" + bsutil::JsonEscape(bench_name_) + "\"";
+    out += ",\"schema\":\"" + std::string(kReportSchema) + "\"";
+    out += ",\"schema_version\":" + std::to_string(kReportSchemaVersion);
+    if (has_seed_) out += ",\"seed\":" + std::to_string(seed_);
     out += ",\"results\":{";
     for (std::size_t i = 0; i < fields_.size(); ++i) {
       if (i > 0) out += ",";
@@ -175,6 +196,8 @@ class JsonReport {
 
  private:
   std::string bench_name_;
+  std::uint64_t seed_ = 0;
+  bool has_seed_ = false;
   std::vector<std::pair<std::string, std::string>> fields_;
   const bsobs::MetricsRegistry* registry_ = nullptr;
 };

@@ -41,6 +41,15 @@ if ./build/tools/banscore-lab eclipse --defenses none --format json; then
 fi
 ./build/tools/banscore-lab eclipse --defenses all --format json
 
+echo "==> perf trajectory: bench_hotpath vs committed baseline"
+./build/bench/bench_hotpath --json build/BENCH_hotpath.json > /dev/null
+# Deterministic counters must match the committed baseline exactly (same
+# seed, same code => same events); timing fields only gate catastrophic
+# (>20x) swings since CI machines differ.
+./build/tools/banscore-lab bench-diff \
+  --old bench/baselines/BENCH_hotpath.json --new build/BENCH_hotpath.json \
+  --tolerance 0.0 --timing-tolerance 20.0
+
 echo "==> store recovery smoke: fsck demo round-trip (torn tail -> repair -> verify)"
 rm -rf build/fsck-smoke
 if ./build/tools/banscore-lab fsck --dir build/fsck-smoke --demo torn --format json; then
@@ -69,9 +78,10 @@ if [ "$run_asan" = 1 ]; then
 fi
 
 if [ "$run_tsan" = 1 ]; then
-  # The simulator is single-threaded, but the bsobs metrics/trace planes are
-  # shared with scrape threads in obs_test; TSan covers those and the chaos
-  # harness (which stresses the trace ring hardest).
+  # The simulator is single-threaded, but the bsobs metrics/trace/span/
+  # profiler planes are shared with scrape threads in obs_test and
+  # span_test; TSan covers those and the chaos harness (which stresses the
+  # trace ring hardest).
   echo "==> sanitizers: TSan build + chaos/sim/obs ctest slice"
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -79,7 +89,7 @@ if [ "$run_tsan" = 1 ]; then
   cmake --build build-tsan -j
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'Chaos|Fault|EventTrace|Metrics'
+    -R 'Chaos|Fault|EventTrace|Metrics|Span|Profiler'
 fi
 
 echo "==> all checks passed"

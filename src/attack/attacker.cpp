@@ -96,6 +96,29 @@ void AttackerNode::Send(AttackSession& session, const bsproto::Message& msg) {
 
 void AttackerNode::SendRawFrame(AttackSession& session, bsutil::ByteSpan frame) {
   if (session.closed || session.conn == nullptr || !session.conn->IsEstablished()) return;
+  if (tracer_ != nullptr) {
+    // bytes_sent is exactly the app-stream offset of this frame: every byte
+    // on the session goes through here. Raw frames may be deliberately
+    // bogus, so label with a header-only peek (no checksum).
+    const bsobs::TraceContext ctx = tracer_->Begin();
+    tracer_->NoteFrameSent(
+        bsobs::SpanStreamKey{
+            bsobs::PackEndpoint(session.local.ip, session.local.port),
+            bsobs::PackEndpoint(session.target.ip, session.target.port)},
+        session.bytes_sent, static_cast<std::uint32_t>(frame.size()), ctx);
+    bsproto::FramePeek peek;
+    const bool peeked = bsproto::PeekFrame(magic_, frame, peek);
+    bsobs::SpanRecord rec;
+    rec.time = Sched().Now();
+    rec.trace_id = ctx.trace_id;
+    rec.span_id = ctx.span_id;
+    rec.kind = bsobs::SpanKind::kSend;
+    rec.msg_type = peeked ? static_cast<std::int16_t>(peek.msg_type) : -1;
+    rec.node_ip = Ip();
+    rec.peer_id = session.id;
+    rec.a = static_cast<std::int64_t>(frame.size());
+    tracer_->Log().Record(rec);
+  }
   session.conn->Send(frame);
   ++session.messages_sent;
   session.bytes_sent += frame.size();

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "proto/codec.hpp"
 #include "proto/messages.hpp"
 #include "sim/tcp.hpp"
@@ -68,6 +69,12 @@ class AttackerNode : public bsim::Host {
 
   void CloseSession(AttackSession& session);
 
+  /// Causal tracing: every frame this attacker sends roots a new trace whose
+  /// send span is registered against the session stream, so a victim sharing
+  /// the tracer can attribute the misbehavior/ban the frame causes back to
+  /// this attacker. Null (default) disables. Not owned.
+  void SetSpanTracer(bsobs::SpanTracer* tracer) { tracer_ = tracer; }
+
   std::uint32_t Magic() const { return magic_; }
   std::uint64_t TotalMessagesSent() const { return total_sent_; }
   std::uint64_t SessionsOpened() const { return sessions_opened_; }
@@ -80,6 +87,7 @@ class AttackerNode : public bsim::Host {
   void HandleSessionData(AttackSession& session, bsutil::ByteSpan data);
 
   std::uint32_t magic_;
+  bsobs::SpanTracer* tracer_ = nullptr;
   std::uint64_t next_session_id_ = 1;
   std::vector<std::unique_ptr<AttackSession>> sessions_;
   std::uint64_t total_sent_ = 0;

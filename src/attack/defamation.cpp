@@ -50,6 +50,30 @@ void SpoofedTcpClient::Start(std::function<void()> on_established) {
 
 void SpoofedTcpClient::SendData(bsutil::ByteSpan data) {
   if (!established_) return;
+  if (tracer_ != nullptr) {
+    // The whole spoofed app stream originates here, so exact offsets are
+    // known: register this frame where the victim's decoder will find it.
+    const bsobs::TraceContext ctx = tracer_->Begin();
+    tracer_->NoteFrameSent(
+        bsobs::SpanStreamKey{
+            bsobs::PackEndpoint(spoofed_src_.ip, spoofed_src_.port),
+            bsobs::PackEndpoint(target_.ip, target_.port)},
+        app_offset_, static_cast<std::uint32_t>(data.size()), ctx);
+    bsobs::SpanRecord rec;
+    rec.time = attacker_.Sched().Now();
+    rec.trace_id = ctx.trace_id;
+    rec.span_id = ctx.span_id;
+    rec.kind = bsobs::SpanKind::kInject;
+    rec.node_ip = attacker_.Ip();  // the *real* attacker, not the spoofed id
+    rec.a = static_cast<std::int64_t>(data.size());
+    rec.b = static_cast<std::int64_t>(spoofed_src_.ip);
+    bsproto::FramePeek peek;
+    if (bsproto::PeekFrame(attacker_.Magic(), data, peek)) {
+      rec.msg_type = static_cast<std::int16_t>(peek.msg_type);
+    }
+    tracer_->Log().Record(rec);
+  }
+  app_offset_ += data.size();
   std::size_t offset = 0;
   while (offset < data.size()) {
     const std::size_t chunk = std::min(bsim::kMss, data.size() - offset);
@@ -71,6 +95,7 @@ PreConnectionDefamation::PreConnectionDefamation(AttackerNode& attacker, Endpoin
 
 void PreConnectionDefamation::Run(std::function<void()> on_done) {
   client_ = std::make_unique<SpoofedTcpClient>(attacker_, innocent_, target_);
+  client_->SetSpanTracer(tracer_);
   client_->Start([this, on_done = std::move(on_done)]() {
     // Pace the frames one pipeline interval apart so the target's handshake
     // replies (sent to the spoofed host and dropped there) cannot interleave
@@ -140,6 +165,29 @@ void PostConnectionDefamation::TryInject() {
   // and expected seqnum/acknum, and inject it toward i.
   std::uint32_t seq = next_seq_from_innocent_;
   for (const auto& frame : frames_) {
+    if (tracer_ != nullptr) {
+      // The attacker cannot know where in j's app stream this splices in —
+      // register it as a foreign frame (matched by length at the victim).
+      const bsobs::TraceContext ctx = tracer_->Begin();
+      tracer_->NoteForeignFrame(
+          bsobs::SpanStreamKey{
+              bsobs::PackEndpoint(innocent_.ip, innocent_.port),
+              bsobs::PackEndpoint(target_.ip, target_.port)},
+          static_cast<std::uint32_t>(frame.size()), ctx);
+      bsobs::SpanRecord rec;
+      rec.time = attacker_.Sched().Now();
+      rec.trace_id = ctx.trace_id;
+      rec.span_id = ctx.span_id;
+      rec.kind = bsobs::SpanKind::kInject;
+      rec.node_ip = attacker_.Ip();
+      rec.a = static_cast<std::int64_t>(frame.size());
+      rec.b = static_cast<std::int64_t>(innocent_.ip);
+      bsproto::FramePeek peek;
+      if (bsproto::PeekFrame(attacker_.Magic(), frame, peek)) {
+        rec.msg_type = static_cast<std::int16_t>(peek.msg_type);
+      }
+      tracer_->Log().Record(rec);
+    }
     std::size_t offset = 0;
     while (offset < frame.size()) {
       const std::size_t chunk = std::min(bsim::kMss, frame.size() - offset);

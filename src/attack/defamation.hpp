@@ -37,6 +37,12 @@ class SpoofedTcpClient {
   /// correct sequence numbers).
   void SendData(bsutil::ByteSpan data);
 
+  /// Causal tracing: record each SendData as an inject span registered at
+  /// its exact app-stream offset (the spoofed session's stream starts at 0,
+  /// and every byte of it comes from this client), so a tracer-sharing
+  /// victim attributes the resulting ban to the real attacker.
+  void SetSpanTracer(bsobs::SpanTracer* tracer) { tracer_ = tracer; }
+
   bool Established() const { return established_; }
   std::uint64_t SegmentsInjected() const { return segments_injected_; }
 
@@ -46,6 +52,8 @@ class SpoofedTcpClient {
   AttackerNode& attacker_;
   Endpoint spoofed_src_;
   Endpoint target_;
+  bsobs::SpanTracer* tracer_ = nullptr;
+  std::uint64_t app_offset_ = 0;  // app-stream bytes sent so far
   std::uint32_t snd_next_;
   std::uint32_t rcv_next_ = 0;
   bool syn_sent_ = false;
@@ -67,6 +75,9 @@ class PreConnectionDefamation {
   void Run(std::function<void()> on_done = nullptr);
   bool HandshakeSucceeded() const { return client_ && client_->Established(); }
 
+  /// Propagated to the SpoofedTcpClient created by Run().
+  void SetSpanTracer(bsobs::SpanTracer* tracer) { tracer_ = tracer; }
+
   /// Convenience: the default frame sequence that earns an instant ban —
   /// VERSION, VERACK, then a SegWit-consensus-invalid TX (score 100).
   static std::vector<bsutil::ByteVec> InstantBanFrames(std::uint32_t magic);
@@ -75,6 +86,7 @@ class PreConnectionDefamation {
   AttackerNode& attacker_;
   Endpoint target_;
   Endpoint innocent_;
+  bsobs::SpanTracer* tracer_ = nullptr;
   std::vector<bsutil::ByteVec> frames_;
   std::unique_ptr<SpoofedTcpClient> client_;
 };
@@ -88,6 +100,11 @@ class PostConnectionDefamation {
   /// inject `frames` into the connection as j.
   void Arm(std::vector<bsutil::ByteVec> frames);
 
+  /// Causal tracing: injected frames register as *foreign* frames on the
+  /// j→i stream (their app-stream offset is unknowable to the attacker);
+  /// the victim matches them by length. Must be set before Arm().
+  void SetSpanTracer(bsobs::SpanTracer* tracer) { tracer_ = tracer; }
+
   bool SequenceKnown() const { return seq_known_; }
   bool Injected() const { return injected_; }
   std::uint64_t SegmentsObserved() const { return segments_observed_; }
@@ -98,6 +115,7 @@ class PostConnectionDefamation {
   AttackerNode& attacker_;
   Endpoint target_;
   Endpoint innocent_;
+  bsobs::SpanTracer* tracer_ = nullptr;
   std::vector<bsutil::ByteVec> frames_;
   bool armed_ = false;
   bool seq_known_ = false;

@@ -22,7 +22,9 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
       chain_(config_.chain),
       tracker_(config_.core_version, config_.ban_policy, config_.ban_threshold,
                config_.good_score_exemption),
-      trace_(config_.trace_capacity) {
+      trace_(config_.trace_capacity),
+      tracer_(config_.span_tracer),
+      profiler_(config_.profiler) {
   tracker_.SetMaxEntries(config_.tracker_max_entries);
   if (config_.governor_cycles_per_sec > 0) {
     const double burst = config_.governor_burst_cycles > 0
@@ -444,12 +446,14 @@ void Node::MaintainOutbound() {
   }
 
   while (live_outbound() < target) {
+    bsobs::ScopedProbe select_probe(profiler_, bsobs::HotStage::kAddrmanSelect);
     const auto candidate = addrman_.Select([this, now](const Endpoint& ep) {
       return !banman_.IsBanned(ep, Sched().Now()) && !outbound_targets_.contains(ep) &&
              ep.ip != Ip() && DialAllowed(ep, now) &&
              (!config_.enable_outbound_diversity ||
               !OutboundGroupTaken(NetGroup(ep.ip)));
     });
+    select_probe.Stop();
     if (!candidate) break;  // peer-table diversity exhausted
     const bool counts_as_reconnect = initial_outbound_fill_done_;
     if (!ConnectTo(*candidate)) break;
@@ -496,10 +500,12 @@ void Node::MaintainStaleTip(bsim::SimTime now) {
 void Node::MaintainFeeler(bsim::SimTime now) {
   if (!config_.enable_feelers) return;
   if (now - last_feeler_time_ < config_.feeler_interval) return;
+  bsobs::ScopedProbe select_probe(profiler_, bsobs::HotStage::kAddrmanSelect);
   const auto candidate = addrman_.SelectNew([this](const Endpoint& ep) {
     return !banman_.IsBanned(ep, Sched().Now()) && !outbound_targets_.contains(ep) &&
            ep.ip != Ip();
   });
+  select_probe.Stop();
   if (!candidate) return;
   last_feeler_time_ = now;
   const Endpoint remote = *candidate;
@@ -644,6 +650,7 @@ void Node::OnData(std::uint64_t peer_id, bsutil::ByteSpan data) {
     const std::size_t excess = peer.rx_buffer.size() - config_.max_rx_buffer_bytes;
     peer.rx_buffer.erase(peer.rx_buffer.begin(),
                          peer.rx_buffer.begin() + static_cast<std::ptrdiff_t>(excess));
+    peer.rx_stream_base += excess;  // the decoder's stream position skips them
     m_rx_shed_bytes_->Inc(excess);
     trace_.Record(Sched().Now(), bsobs::EventType::kRxShed, peer_id,
                   static_cast<std::int64_t>(excess));
@@ -658,20 +665,26 @@ void Node::OnData(std::uint64_t peer_id, bsutil::ByteSpan data) {
 
     const bsutil::ByteSpan rest(live.rx_buffer.data() + offset,
                                 live.rx_buffer.size() - offset);
+    bsobs::ScopedProbe decode_probe(profiler_, bsobs::HotStage::kCodecDecode);
     const bsproto::DecodeResult frame =
         bsproto::DecodeMessage(config_.chain.magic, rest);
+    decode_probe.Stop();
     if (frame.consumed == 0) break;  // incomplete frame
+    const std::uint64_t frame_start = live.rx_stream_base + offset;
     offset += frame.consumed;
-    ProcessFrame(live, frame);
+    ProcessFrame(live, frame, frame_start);
   }
 
   auto it3 = peers_.find(peer_id);
   if (it3 == peers_.end()) return;
-  bsutil::ByteVec& buf = it3->second->rx_buffer;
-  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(offset));
+  Peer& drained = *it3->second;
+  drained.rx_buffer.erase(drained.rx_buffer.begin(),
+                          drained.rx_buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+  drained.rx_stream_base += offset;
 }
 
-void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame) {
+void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame,
+                        std::uint64_t stream_offset) {
   using bsproto::DecodeStatus;
 
   // Checksum verification cost is paid for every complete frame, valid or
@@ -682,6 +695,45 @@ void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame) {
   const std::size_t frame_bytes = bsproto::kHeaderSize + frame.header.length;
   if (on_frame) on_frame(frame_bytes, frame.status);
   bsobs::ScopedTimer frame_timer(m_frame_process_seconds_);
+
+  // Causal tracing: claim the context the sender registered for this stream
+  // position and open the frame's own span. rx_ctx_ stays valid for the rest
+  // of this frame — sends and misbehavior the handler triggers become its
+  // children — and resets on every exit path.
+  struct RxCtxReset {
+    bsobs::TraceContext& ctx;
+    ~RxCtxReset() { ctx = {}; }
+  } rx_ctx_reset{rx_ctx_};
+  bsobs::SpanClaim claim;
+  if (tracer_ != nullptr && frame.status != DecodeStatus::kNeedMoreData &&
+      peer.conn != nullptr) {
+    const Endpoint remote = peer.conn->Remote();
+    const Endpoint local = peer.conn->Local();
+    claim = tracer_->ClaimFrame(
+        bsobs::SpanStreamKey{bsobs::PackEndpoint(remote.ip, remote.port),
+                             bsobs::PackEndpoint(local.ip, local.port)},
+        stream_offset, static_cast<std::uint32_t>(frame_bytes));
+    rx_ctx_ = claim.ctx.Valid() ? tracer_->Child(claim.ctx) : tracer_->Begin();
+    bsobs::SpanRecord rec;
+    rec.time = Sched().Now();
+    rec.trace_id = rx_ctx_.trace_id;
+    rec.span_id = rx_ctx_.span_id;
+    rec.parent_span = claim.ctx.span_id;  // 0 when orphan
+    rec.kind = frame.status == DecodeStatus::kOk ? bsobs::SpanKind::kReceive
+                                                 : bsobs::SpanKind::kDrop;
+    rec.flags = static_cast<std::uint8_t>(
+        (claim.ctx.Valid() ? 0 : bsobs::kFlagOrphan) |
+        (claim.resync ? bsobs::kFlagResync : 0));
+    rec.msg_type = frame.status == DecodeStatus::kOk
+                       ? static_cast<std::int16_t>(bsproto::MsgTypeOf(frame.message))
+                       : -1;
+    rec.node_ip = Ip();
+    rec.peer_id = peer.id;
+    rec.a = static_cast<std::int64_t>(frame.status);
+    rec.b = static_cast<std::int64_t>(frame_bytes);
+    tracer_->Log().Record(rec);
+  }
+
   if (frame.status != DecodeStatus::kNeedMoreData) {
     m_frame_bytes_->Observe(static_cast<double>(frame_bytes));
     // Resource governance: the frame must fit the peer's token buckets and
@@ -689,7 +741,11 @@ void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame) {
     // at the header peek is what keeps a flood off the CPU. The bytes stay
     // visible to on_frame above (they did arrive on the wire, and the
     // detect engine watches the wire).
-    if (!AdmitFrame(peer, frame, frame_bytes)) return;
+    if (!AdmitFrame(peer, frame, frame_bytes)) {
+      RecordSpan(bsobs::SpanKind::kShed, peer, -1, 0,
+                 static_cast<std::int64_t>(frame_bytes), 0);
+      return;
+    }
   }
 
   switch (frame.status) {
@@ -815,7 +871,26 @@ bool Node::AdmitFrame(Peer& peer, const bsproto::DecodeResult& frame,
 }
 
 bool Node::ApplyMisbehavior(Peer& peer, Misbehavior what) {
+  bsobs::ScopedProbe tracker_probe(profiler_, bsobs::HotStage::kTrackerUpdate);
   const MisbehaviorOutcome outcome = tracker_.Misbehaving(peer.id, peer.inbound, what);
+  tracker_probe.Stop();
+  // The misbehavior point, and the ban it may trip, extend the causal chain
+  // of the frame being processed: ban ← misbehavior ← receive ← send/inject.
+  bsobs::TraceContext mis_ctx{};
+  if (tracer_ != nullptr && outcome.rule_applied) {
+    mis_ctx = rx_ctx_.Valid() ? tracer_->Child(rx_ctx_) : tracer_->Begin();
+    bsobs::SpanRecord rec;
+    rec.time = Sched().Now();
+    rec.trace_id = mis_ctx.trace_id;
+    rec.span_id = mis_ctx.span_id;
+    rec.parent_span = rx_ctx_.span_id;
+    rec.kind = bsobs::SpanKind::kMisbehavior;
+    rec.node_ip = Ip();
+    rec.peer_id = peer.id;
+    rec.a = outcome.score_delta;
+    rec.b = outcome.total_score;
+    tracer_->Log().Record(rec);
+  }
   if (outcome.rule_applied) {
     trace_.Record(Sched().Now(), bsobs::EventType::kMisbehavior, peer.id,
                   outcome.score_delta, outcome.total_score);
@@ -832,6 +907,23 @@ bool Node::ApplyMisbehavior(Peer& peer, Misbehavior what) {
     banman_.Ban(peer.remote, Sched().Now() + config_.ban_duration);
     trace_.Record(Sched().Now(), bsobs::EventType::kPeerBanned, peer.id,
                   static_cast<std::int64_t>(peer.remote.ip), outcome.total_score);
+  }
+  if (tracer_ != nullptr) {
+    const bsobs::TraceContext parent = mis_ctx.Valid() ? mis_ctx : rx_ctx_;
+    const bsobs::TraceContext ban_ctx =
+        parent.Valid() ? tracer_->Child(parent) : tracer_->Begin();
+    bsobs::SpanRecord rec;
+    rec.time = Sched().Now();
+    rec.trace_id = ban_ctx.trace_id;
+    rec.span_id = ban_ctx.span_id;
+    rec.parent_span = parent.span_id;
+    rec.kind = bsobs::SpanKind::kBan;
+    rec.flags = config_.use_discouragement ? bsobs::kFlagDiscouraged : 0;
+    rec.node_ip = Ip();
+    rec.peer_id = peer.id;
+    rec.a = static_cast<std::int64_t>(peer.remote.ip);
+    rec.b = outcome.total_score;
+    tracer_->Log().Record(rec);
   }
   if (on_peer_banned) on_peer_banned(peer);
   DisconnectPeer(peer.id);  // destroys `peer`
@@ -1320,7 +1412,55 @@ void Node::HandleMempool(Peer& peer) {
 
 void Node::SendTo(Peer& peer, const Message& msg) {
   if (peer.conn == nullptr || !peer.conn->IsEstablished()) return;
-  peer.conn->Send(bsproto::EncodeMessage(config_.chain.magic, msg));
+  const bsutil::ByteVec bytes = bsproto::EncodeMessage(config_.chain.magic, msg);
+  if (tracer_ != nullptr) {
+    // Register the frame's stream position so the receiver can claim this
+    // context when its decoder reaches the same offset. A send triggered by
+    // an in-flight frame (PONG, INV relay, GETDATA, ...) continues that
+    // frame's trace; anything else roots a new one.
+    const bsobs::TraceContext ctx =
+        rx_ctx_.Valid() ? tracer_->Child(rx_ctx_) : tracer_->Begin();
+    const Endpoint local = peer.conn->Local();
+    const Endpoint remote = peer.conn->Remote();
+    tracer_->NoteFrameSent(
+        bsobs::SpanStreamKey{bsobs::PackEndpoint(local.ip, local.port),
+                             bsobs::PackEndpoint(remote.ip, remote.port)},
+        peer.tx_stream_offset, static_cast<std::uint32_t>(bytes.size()), ctx);
+    bsobs::SpanRecord rec;
+    rec.time = Sched().Now();
+    rec.trace_id = ctx.trace_id;
+    rec.span_id = ctx.span_id;
+    rec.parent_span = rx_ctx_.span_id;  // 0 when this send roots the trace
+    rec.kind = bsobs::SpanKind::kSend;
+    rec.msg_type = static_cast<std::int16_t>(bsproto::MsgTypeOf(msg));
+    rec.node_ip = Ip();
+    rec.peer_id = peer.id;
+    rec.a = static_cast<std::int64_t>(bytes.size());
+    tracer_->Log().Record(rec);
+  }
+  peer.tx_stream_offset += bytes.size();
+  peer.conn->Send(bytes);
+}
+
+void Node::RecordSpan(bsobs::SpanKind kind, const Peer& peer,
+                      std::int16_t msg_type, std::uint8_t flags, std::int64_t a,
+                      std::int64_t b) {
+  if (tracer_ == nullptr) return;
+  const bsobs::TraceContext ctx =
+      rx_ctx_.Valid() ? tracer_->Child(rx_ctx_) : tracer_->Begin();
+  bsobs::SpanRecord rec;
+  rec.time = Sched().Now();
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id;
+  rec.parent_span = rx_ctx_.span_id;
+  rec.kind = kind;
+  rec.flags = flags;
+  rec.msg_type = msg_type;
+  rec.node_ip = Ip();
+  rec.peer_id = peer.id;
+  rec.a = a;
+  rec.b = b;
+  tracer_->Log().Record(rec);
 }
 
 bool Node::SendToRemoteIp(std::uint32_t ip, const Message& msg) {

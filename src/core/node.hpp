@@ -38,6 +38,8 @@
 #include "core/ratelimit.hpp"
 #include "core/rules.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "proto/bloom.hpp"
 #include "proto/codec.hpp"
@@ -197,6 +199,15 @@ struct NodeConfig {
   bsobs::MetricsRegistry* metrics = nullptr;
   /// Event-trace ring capacity (0 disables tracing).
   std::size_t trace_capacity = 1024;
+  /// Causal span tracer (obs/span.hpp), usually one shared by every node in
+  /// the simulation so cross-node chains land in one log. Null (the default)
+  /// disables tracing entirely: the hot paths pay one pointer test and
+  /// allocate nothing. Not owned.
+  bsobs::SpanTracer* span_tracer = nullptr;
+  /// Hot-path profiler (obs/profiler.hpp) timing codec decode, tracker
+  /// updates, and AddrMan select. Null (the default) disables profiling at
+  /// the same one-pointer-test cost. Not owned.
+  bsobs::HotpathProfiler* profiler = nullptr;
 };
 
 /// Connection-level peer state.
@@ -246,6 +257,13 @@ struct Peer {
   TokenBucket rx_cost_bucket;
 
   bsutil::ByteVec rx_buffer;  // wire-stream reassembly
+
+  // Application-stream positions for causal span matching (obs/span.hpp):
+  // total bytes this node has written to the connection, and the stream
+  // offset of rx_buffer[0]. Maintained unconditionally (two integer adds);
+  // only consulted when a SpanTracer is attached.
+  std::uint64_t tx_stream_offset = 0;
+  std::uint64_t rx_stream_base = 0;
 
   bool HandshakeComplete() const { return got_version && got_verack; }
 };
@@ -432,8 +450,17 @@ class Node : public bsim::Host {
   bool DialAllowed(const Endpoint& remote, bsim::SimTime now) const;
 
   void OnData(std::uint64_t peer_id, bsutil::ByteSpan data);
-  void ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame);
+  /// `stream_offset` is the app-stream position of the frame's first byte
+  /// (rx_stream_base + in-buffer offset), used to claim the sender's span
+  /// registration when tracing is on.
+  void ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame,
+                    std::uint64_t stream_offset);
   void ProcessMessage(Peer& peer, const bsproto::Message& msg);
+
+  /// Span helpers (all no-ops when tracer_ is null).
+  /// Record `rec` with ids/time filled in; children of rx_ctx_ when valid.
+  void RecordSpan(bsobs::SpanKind kind, const Peer& peer, std::int16_t msg_type,
+                  std::uint8_t flags, std::int64_t a, std::int64_t b);
 
   /// Apply a misbehavior; bans and disconnects on threshold per policy.
   /// Returns true when the peer was banned (and destroyed).
@@ -513,6 +540,12 @@ class Node : public bsim::Host {
   std::unique_ptr<bsobs::MetricsRegistry> owned_metrics_;  // null when injected
   bsobs::MetricsRegistry* metrics_ = nullptr;              // never null after ctor
   bsobs::EventTrace trace_;
+  bsobs::SpanTracer* tracer_ = nullptr;      // null = tracing off
+  bsobs::HotpathProfiler* profiler_ = nullptr;  // null = profiling off
+  /// The receive span currently being processed (valid only inside
+  /// ProcessFrame); sends and misbehavior triggered by a frame's handler
+  /// become its children, which is what stitches the causal chain together.
+  bsobs::TraceContext rx_ctx_{};
 
   // Pre-resolved handles: the hot path is a single relaxed atomic op.
   bsobs::Counter* m_messages_total_ = nullptr;

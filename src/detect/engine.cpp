@@ -170,6 +170,7 @@ double StatEngine::Correlation(const FeatureWindow& window) const {
 }
 
 DetectionResult StatEngine::Detect(const FeatureWindow& window) const {
+  bsobs::ScopedProbe probe(profiler_, bsobs::HotStage::kDetectTick);
   bsobs::ScopedTimer timer(m_detect_seconds_);
   if (m_detections_total_ != nullptr) m_detections_total_->Inc();
   DetectionResult result;

@@ -19,6 +19,7 @@
 
 #include "detect/features.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/bytes.hpp"
 #include "util/stats.hpp"
@@ -82,10 +83,14 @@ class StatEngine {
   /// Record kDetectionVerdict events into `trace`; `clock` supplies the sim
   /// time stamped on each event (the engine itself is clock-agnostic).
   void AttachTrace(bsobs::EventTrace& trace, std::function<bsim::SimTime()> clock);
+  /// Hot-path profiler: each Detect() is timed under HotStage::kDetectTick.
+  /// Null (the default) disables. Not owned.
+  void SetProfiler(bsobs::HotpathProfiler* profiler) { profiler_ = profiler; }
 
  private:
   bool trained_ = false;
   Profile profile_;
+  bsobs::HotpathProfiler* profiler_ = nullptr;
 
   // Observability (null / empty until attached).
   bsobs::Counter* m_detections_total_ = nullptr;

@@ -1,0 +1,190 @@
+// bsobs — causal message tracing: a lightweight trace context (trace_id +
+// span_id) stamped onto every simulated frame at send time and matched back
+// to the frame when the receiving node decodes it, so the full cross-node
+// lineage of an incident — attacker INV → victim misbehavior point → ban —
+// is reconstructible from one bounded SpanLog after the run.
+//
+// Design rules:
+//   * Zero wire impact. The trace context never touches the byte stream; the
+//     wire stays bit-identical whether tracing is on or off. Frames are
+//     matched out-of-band by their position in the TCP application stream
+//     (the sender registers [offset, offset+len) per frame, the receiver
+//     claims the entry covering the offset its decoder reached). Reliable
+//     TCP delivers an exact in-order byte stream even under loss/dup/reorder
+//     fault plans, so the match survives network weather.
+//   * Spoofed injection is visible, not fatal. A frame injected into a
+//     stream by a third party (the Defamation vector) has no registered
+//     sender entry at that offset: the attacker registers it as a *foreign*
+//     frame, the receiver matches it by length (kFlagResync), and honest
+//     traffic that mismatches everything surfaces as an orphan span
+//     (kFlagOrphan) — exactly the forensic signal a defamation
+//     investigation needs.
+//   * Bounded memory. The SpanLog is a wraparound ring; pending per-stream
+//     frame registrations are capped per connection with drop-oldest.
+//   * Off by default. A node with no SpanTracer attached takes one null
+//     pointer branch per send/receive and allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bsobs {
+
+/// The causal identity a frame carries (out of band). trace_id groups one
+/// causal chain; span_id names one hop. trace_id 0 = "no context".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool Valid() const { return trace_id != 0; }
+};
+
+enum class SpanKind : std::uint8_t {
+  kSend = 0,     // a node put a frame on its own stream     a = frame bytes
+  kInject,       // an attacker spoofed a frame into a
+                 // stream that is not its own               a = frame bytes
+  kReceive,      // a decoded (kOk) frame reached a handler  a = msg type, b = bytes
+  kDrop,         // a frame was dropped before its handler   a = decode status, b = bytes
+  kShed,         // rate-limit/governor shed an intact frame a = frame bytes
+  kMisbehavior,  // a misbehavior point landed               a = score delta, b = total
+  kBan,          // the threshold banned/discouraged a peer  a = peer ip, b = total score
+  kDetect,       // a detection verdict fired                a = anomalous, b = flags
+};
+
+const char* ToString(SpanKind kind);
+
+/// Span record flags.
+constexpr std::uint8_t kFlagOrphan = 1;       // no matching send entry found
+constexpr std::uint8_t kFlagResync = 2;       // matched by length, not offset
+constexpr std::uint8_t kFlagDiscouraged = 4;  // kBan used discouragement
+
+/// One fixed-size span record. `parent_span` is 0 at a trace root. `node_ip`
+/// is the node that recorded the span (spans from every node in the sim land
+/// in one log, which is what makes cross-node chains walkable).
+struct SpanRecord {
+  bsim::SimTime time = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  SpanKind kind = SpanKind::kSend;
+  std::uint8_t flags = 0;
+  std::int16_t msg_type = -1;  // bsproto::MsgType when known, -1 otherwise
+  std::uint32_t node_ip = 0;
+  std::uint64_t peer_id = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+/// Bounded wraparound ring of SpanRecords (same memory discipline as
+/// EventTrace: a flooded sim keeps the newest window at fixed cost).
+/// Thread-safe.
+class SpanLog {
+ public:
+  explicit SpanLog(std::size_t capacity = 16384);
+
+  void Record(const SpanRecord& rec);
+
+  std::size_t Capacity() const { return capacity_; }
+  std::size_t Size() const;
+  std::uint64_t Recorded() const;
+  std::uint64_t Dropped() const;
+
+  /// Retained records, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+/// One TCP application stream, as named by its *sender*: (src, dst) with
+/// each endpoint packed as (ip << 16) | port. bsobs deliberately does not
+/// depend on bsproto; callers pack their endpoints.
+struct SpanStreamKey {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+
+  bool operator==(const SpanStreamKey&) const = default;
+};
+
+inline std::uint64_t PackEndpoint(std::uint32_t ip, std::uint16_t port) {
+  return (static_cast<std::uint64_t>(ip) << 16) | port;
+}
+
+struct SpanStreamKeyHasher {
+  std::size_t operator()(const SpanStreamKey& k) const {
+    return std::hash<std::uint64_t>{}(k.src * 1000003 ^ k.dst);
+  }
+};
+
+/// What ClaimFrame matched.
+struct SpanClaim {
+  TraceContext ctx;        // invalid when no entry matched (orphan frame)
+  bool resync = false;     // matched by length after an offset skew
+  std::uint64_t lost = 0;  // entries wholly before the claim, dropped as lost
+};
+
+/// The sim-wide tracer: allocates trace/span ids, owns the SpanLog, and
+/// keeps the per-stream registry of in-flight frame→context mappings.
+/// One tracer serves every node in a simulation. Thread-safe.
+class SpanTracer {
+ public:
+  explicit SpanTracer(std::size_t log_capacity = 16384);
+
+  /// Start a new causal chain (fresh trace_id, root span_id).
+  TraceContext Begin();
+  /// A new span in the same trace (the caller records `parent.span_id` as
+  /// the new record's parent_span).
+  TraceContext Child(const TraceContext& parent);
+
+  /// Sender side: the frame occupying [offset, offset+len) of `stream`
+  /// carries `ctx`.
+  void NoteFrameSent(const SpanStreamKey& stream, std::uint64_t offset,
+                     std::uint32_t len, const TraceContext& ctx);
+  /// Injector side: a spoofed frame of `len` bytes was pushed into `stream`
+  /// at an app-stream offset the injector cannot know. Matched by length.
+  void NoteForeignFrame(const SpanStreamKey& stream, std::uint32_t len,
+                        const TraceContext& ctx);
+  /// Receiver side: the decoder produced a frame of `len` bytes starting at
+  /// app-stream `offset`. Consumes the matched entry.
+  SpanClaim ClaimFrame(const SpanStreamKey& stream, std::uint64_t offset,
+                       std::uint32_t len);
+
+  SpanLog& Log() { return log_; }
+  const SpanLog& Log() const { return log_; }
+
+  /// Pending (sent, unclaimed) frame registrations across all streams.
+  std::size_t PendingFrames() const;
+  /// Registrations evicted by the per-stream cap or dropped as lost.
+  std::uint64_t PendingDropped() const;
+
+ private:
+  struct PendingFrame {
+    std::uint64_t start = 0;  // kForeignOffset for injected frames
+    std::uint32_t len = 0;
+    TraceContext ctx;
+  };
+  static constexpr std::uint64_t kForeignOffset = ~0ull;
+  static constexpr std::size_t kMaxPendingPerStream = 4096;
+
+  mutable std::mutex mu_;
+  SpanLog log_;
+  std::uint64_t next_trace_ = 1;
+  std::uint64_t next_span_ = 1;
+  std::unordered_map<SpanStreamKey, std::deque<PendingFrame>, SpanStreamKeyHasher>
+      pending_;
+  std::size_t pending_count_ = 0;
+  std::uint64_t pending_dropped_ = 0;
+};
+
+}  // namespace bsobs

@@ -126,4 +126,20 @@ DecodeResult DecodeMessage(std::uint32_t magic, bsutil::ByteSpan stream) {
   return result;
 }
 
+bool PeekFrame(std::uint32_t magic, bsutil::ByteSpan stream, FramePeek& out) {
+  if (stream.size() < kHeaderSize) return false;
+  MessageHeader header;
+  try {
+    header = MessageHeader::Deserialize(stream.subspan(0, kHeaderSize));
+  } catch (const bsutil::DeserializeError&) {
+    return false;
+  }
+  if (header.magic != magic) return false;
+  out.command = header.command;
+  const auto type = MsgTypeFromCommand(header.command);
+  out.msg_type = type ? static_cast<int>(*type) : -1;
+  out.frame_size = kHeaderSize + header.length;
+  return true;
+}
+
 }  // namespace bsproto

@@ -70,4 +70,17 @@ struct DecodeResult {
 /// any header-complete outcome so the stream can resynchronize.
 DecodeResult DecodeMessage(std::uint32_t magic, bsutil::ByteSpan stream);
 
+/// Header-only view of the frame at the front of `stream` — command string,
+/// the resolved MsgType when the command is known, and the full frame size
+/// (header + declared payload). No checksum verification and no payload
+/// parsing, so it is cheap enough for tracing instrumentation to label raw
+/// frames (including deliberately bogus ones) at send time. Returns false
+/// when the stream is shorter than a header or the magic mismatches.
+struct FramePeek {
+  std::string command;
+  int msg_type = -1;  // static_cast<int>(MsgType) when known, -1 otherwise
+  std::size_t frame_size = 0;
+};
+bool PeekFrame(std::uint32_t magic, bsutil::ByteSpan stream, FramePeek& out);
+
 }  // namespace bsproto

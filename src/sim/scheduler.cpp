@@ -5,18 +5,39 @@ namespace bsim {
 void Scheduler::AttachMetrics(bsobs::MetricsRegistry& registry) {
   m_events_total_ =
       registry.GetCounter("bs_sim_events_executed_total", "Scheduler events run");
+  m_events_dispatched_ = registry.GetCounter(
+      "bs_sim_events_dispatched_total",
+      "Scheduler callbacks dispatched (events/sec numerator: divide the delta "
+      "by bs_sim_wall_seconds)");
   m_sim_time_seconds_ =
       registry.GetGauge("bs_sim_time_seconds", "Current simulation clock");
   m_wall_seconds_ =
       registry.GetGauge("bs_sim_wall_seconds", "Wall clock since metrics attach");
   m_pending_events_ =
       registry.GetGauge("bs_sim_pending_events", "Events waiting in the queue");
+  m_queue_depth_ =
+      registry.GetGauge("bs_sim_queue_depth", "Event queue depth at last sample");
+  m_queue_depth_peak_ = registry.GetGauge(
+      "bs_sim_queue_depth_peak", "High-water mark of the event queue depth");
   wall_start_ = std::chrono::steady_clock::now();
+  SyncMetrics();
+}
+
+void Scheduler::SyncMetrics() {
+  if (m_events_total_ == nullptr) return;
+  m_sim_time_seconds_->Set(ToSeconds(now_));
+  m_pending_events_->Set(static_cast<double>(queue_.size()));
+  m_queue_depth_->Set(static_cast<double>(queue_.size()));
+  m_queue_depth_peak_->Set(static_cast<double>(peak_pending_));
+  m_wall_seconds_->Set(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_)
+          .count());
 }
 
 void Scheduler::At(SimTime t, Callback fn) {
   if (t < now_) t = now_;
   queue_.push(Event{t, next_seq_++, std::move(fn)});
+  if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
 }
 
 bool Scheduler::Step() {
@@ -29,8 +50,11 @@ bool Scheduler::Step() {
   ++executed_;
   if (m_events_total_ != nullptr) {
     m_events_total_->Inc();
+    m_events_dispatched_->Inc();
     m_sim_time_seconds_->Set(ToSeconds(now_));
     m_pending_events_->Set(static_cast<double>(queue_.size()));
+    m_queue_depth_->Set(static_cast<double>(queue_.size()));
+    m_queue_depth_peak_->Set(static_cast<double>(peak_pending_));
     // The wall clock read is the expensive part; sample it every 1024 events.
     if ((executed_ & 1023) == 0) {
       m_wall_seconds_->Set(
@@ -38,7 +62,12 @@ bool Scheduler::Step() {
               .count());
     }
   }
-  ev.fn();
+  if (profiler_ != nullptr) {
+    bsobs::ScopedProbe probe(profiler_, bsobs::HotStage::kDispatch);
+    ev.fn();
+  } else {
+    ev.fn();
+  }
   return true;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "sim/time.hpp"
 
 namespace bsim {
@@ -24,6 +25,16 @@ class Scheduler {
   /// queue depth, the sim clock, and wall-clock seconds since attach (the
   /// sim-vs-wall gauge pair gives the simulation speedup factor).
   void AttachMetrics(bsobs::MetricsRegistry& registry);
+
+  /// Refresh the sampled gauges (wall clock, queue depth/peak) so a metrics
+  /// snapshot taken between events is exact rather than up to 1024 events
+  /// stale.
+  void SyncMetrics();
+
+  /// Attach a hot-path profiler; every dispatched callback is then timed
+  /// under HotStage::kDispatch. nullptr detaches (the default: Step() pays
+  /// one pointer test).
+  void SetProfiler(bsobs::HotpathProfiler* profiler) { profiler_ = profiler; }
 
   /// Schedule `fn` at absolute time `t` (clamped to now when in the past).
   void At(SimTime t, Callback fn);
@@ -40,6 +51,7 @@ class Scheduler {
 
   std::size_t PendingEvents() const { return queue_.size(); }
   std::uint64_t ExecutedEvents() const { return executed_; }
+  std::size_t PeakPendingEvents() const { return peak_pending_; }
 
  private:
   struct Event {
@@ -57,14 +69,19 @@ class Scheduler {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t peak_pending_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 
   // Observability handles (null until AttachMetrics; Step() stays one branch
   // when unattached).
   bsobs::Counter* m_events_total_ = nullptr;
+  bsobs::Counter* m_events_dispatched_ = nullptr;
   bsobs::Gauge* m_sim_time_seconds_ = nullptr;
   bsobs::Gauge* m_wall_seconds_ = nullptr;
   bsobs::Gauge* m_pending_events_ = nullptr;
+  bsobs::Gauge* m_queue_depth_ = nullptr;
+  bsobs::Gauge* m_queue_depth_peak_ = nullptr;
+  bsobs::HotpathProfiler* profiler_ = nullptr;
   std::chrono::steady_clock::time_point wall_start_;
 };
 

@@ -13,6 +13,7 @@
 #include "core/node.hpp"
 #include "detect/monitor.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "sim/scheduler.hpp"
@@ -240,6 +241,103 @@ TEST(ObsMonitorExport, UnwritablePathReturnsFalse) {
   const std::string ok_path = ::testing::TempDir() + "/bsobs_export.csv";
   EXPECT_TRUE(monitor.ExportCsv(ok_path));
   std::remove(ok_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// HotpathProfiler: per-stage stats, log2 histogram quantiles, disabled mode
+
+TEST(ProfilerStats, CountsTotalsAndExtremes) {
+  bsobs::HotpathProfiler prof;
+  prof.Record(bsobs::HotStage::kCodecDecode, 100);
+  prof.Record(bsobs::HotStage::kCodecDecode, 300);
+  prof.Record(bsobs::HotStage::kCodecDecode, 200);
+  const auto s = prof.Stats(bsobs::HotStage::kCodecDecode);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.total_ns, 600u);
+  EXPECT_EQ(s.min_ns, 100u);
+  EXPECT_EQ(s.max_ns, 300u);
+  EXPECT_DOUBLE_EQ(s.ns_per_op, 200.0);
+  // Other stages stay untouched.
+  EXPECT_EQ(prof.Stats(bsobs::HotStage::kDispatch).count, 0u);
+}
+
+TEST(ProfilerStats, QuantilesLandInTheRecordedRange) {
+  bsobs::HotpathProfiler prof;
+  // 100 samples spread over [1000, 2000) ns — every quantile must stay
+  // inside the covering log2 buckets' bounds.
+  for (int i = 0; i < 100; ++i) {
+    prof.Record(bsobs::HotStage::kTrackerUpdate,
+                1000 + static_cast<std::uint64_t>(i) * 10);
+  }
+  const auto s = prof.Stats(bsobs::HotStage::kTrackerUpdate);
+  EXPECT_GE(s.p50_ns, 512.0);
+  EXPECT_LE(s.p50_ns, 2048.0);
+  EXPECT_GE(s.p90_ns, s.p50_ns);
+  EXPECT_GE(s.p99_ns, s.p90_ns);
+  EXPECT_LE(s.p99_ns, 2048.0);
+}
+
+TEST(ProfilerStats, ResetClearsEverything) {
+  bsobs::HotpathProfiler prof;
+  prof.Record(bsobs::HotStage::kDetectTick, 50);
+  prof.Reset();
+  const auto s = prof.Stats(bsobs::HotStage::kDetectTick);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.total_ns, 0u);
+}
+
+TEST(ProfilerScopedProbe, NullProfilerIsANoop) {
+  // The disabled configuration: probe against a null profiler must not
+  // crash, not allocate, and report zero elapsed work recorded anywhere.
+  for (int i = 0; i < 1000; ++i) {
+    bsobs::ScopedProbe probe(nullptr, bsobs::HotStage::kDispatch);
+    probe.Stop();
+  }
+  SUCCEED();
+}
+
+TEST(ProfilerScopedProbe, RecordsOnDestructionAndStopIsIdempotent) {
+  bsobs::HotpathProfiler prof;
+  {
+    bsobs::ScopedProbe probe(&prof, bsobs::HotStage::kAddrmanSelect);
+    probe.Stop();
+    probe.Stop();  // second stop must not double-record
+  }
+  {
+    bsobs::ScopedProbe probe(&prof, bsobs::HotStage::kAddrmanSelect);
+  }  // records via the destructor
+  EXPECT_EQ(prof.Stats(bsobs::HotStage::kAddrmanSelect).count, 2u);
+}
+
+TEST(ProfilerRender, JsonCoversRecordedStagesOnly) {
+  bsobs::HotpathProfiler prof;
+  prof.Record(bsobs::HotStage::kCodecDecode, 123);
+  const std::string json = prof.RenderJson();
+  EXPECT_NE(json.find("\"codec_decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  // Stages with no samples are omitted from the report.
+  EXPECT_EQ(json.find("\"dispatch\""), std::string::npos);
+}
+
+// Named "Profiler" so the check.sh TSan stage includes it.
+TEST(ProfilerConcurrency, ParallelRecordsAreExact) {
+  bsobs::HotpathProfiler prof;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&prof]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        prof.Record(bsobs::HotStage::kDispatch,
+                    static_cast<std::uint64_t>(i % 4096) + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = prof.Stats(bsobs::HotStage::kDispatch);
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(s.min_ns, 1u);
+  EXPECT_EQ(s.max_ns, 4096u);
 }
 
 }  // namespace

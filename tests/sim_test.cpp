@@ -2,6 +2,8 @@
 // TCP handshake/data/injection semantics, sniffing, spoofing, bandwidth.
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "sim/cpu.hpp"
 #include "sim/faults.hpp"
 #include "sim/network.hpp"
@@ -644,6 +646,43 @@ TEST_F(TcpFixture, IcmpDelivery) {
   sched.RunAll();
   EXPECT_EQ(sink.packets, 101);  // batch fans out to OnIcmp by default
   EXPECT_GT(net.BytesDeliveredTo(sink.Ip()), 100 * 64ull);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler observability: dispatch counter, queue-depth gauges, profiler
+
+TEST(SchedulerMetrics, DispatchCounterAndQueueGauges) {
+  bsobs::MetricsRegistry registry;
+  bsim::Scheduler sched;
+  sched.AttachMetrics(registry);
+  for (int i = 0; i < 5; ++i) {
+    sched.After((i + 1) * bsim::kMillisecond, []() {});
+  }
+  // Depth-peak tracks the un-dispatched backlog.
+  EXPECT_EQ(sched.PeakPendingEvents(), 5u);
+  sched.RunAll();
+  sched.SyncMetrics();
+  EXPECT_EQ(registry.GetCounter("bs_sim_events_dispatched_total")->Value(), 5u);
+  EXPECT_EQ(registry.GetGauge("bs_sim_queue_depth")->Value(), 0);
+  EXPECT_EQ(registry.GetGauge("bs_sim_queue_depth_peak")->Value(), 5);
+}
+
+TEST(SchedulerMetrics, ProfilerTimesDispatchStage) {
+  bsim::Scheduler sched;
+  bsobs::HotpathProfiler prof;
+  sched.SetProfiler(&prof);
+  int fired = 0;
+  for (int i = 0; i < 7; ++i) {
+    sched.After(bsim::kMillisecond, [&fired]() { ++fired; });
+  }
+  sched.RunAll();
+  EXPECT_EQ(fired, 7);
+  EXPECT_EQ(prof.Stats(bsobs::HotStage::kDispatch).count, 7u);
+  // Detaching stops sampling without touching collected data.
+  sched.SetProfiler(nullptr);
+  sched.After(bsim::kMillisecond, []() {});
+  sched.RunAll();
+  EXPECT_EQ(prof.Stats(bsobs::HotStage::kDispatch).count, 7u);
 }
 
 }  // namespace

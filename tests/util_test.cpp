@@ -1,7 +1,13 @@
 // Unit tests for bsutil: hex, serialization, RNG, statistics.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "util/hex.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 #include "util/stats.hpp"
@@ -288,4 +294,62 @@ TEST(Stats, AlignedIdenticalDistributionsCorrelateToOne) {
   EXPECT_NEAR(bsutil::PearsonCorrelation(va, vb), 1.0, 1e-12);
 }
 
-}  // namespace
+
+// ---------------------------------------------------------------------------
+// JSON reader (tooling: bench-diff, forensic CLI)
+
+TEST(Json, ParsesScalarsAndStructure) {
+  const auto doc = bsutil::ParseJson(
+      R"({"name":"x","n":42,"neg":-1.5e2,"yes":true,"no":false,"nil":null,)"
+      R"("arr":[1,2,3],"obj":{"inner":7}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->IsObject());
+  EXPECT_EQ(doc->Find("name")->str, "x");
+  EXPECT_DOUBLE_EQ(doc->Find("n")->number, 42.0);
+  EXPECT_DOUBLE_EQ(doc->Find("neg")->number, -150.0);
+  EXPECT_TRUE(doc->Find("yes")->boolean);
+  EXPECT_FALSE(doc->Find("no")->boolean);
+  EXPECT_EQ(doc->Find("nil")->kind, bsutil::JsonValue::Kind::kNull);
+  ASSERT_TRUE(doc->Find("arr")->IsArray());
+  EXPECT_EQ(doc->Find("arr")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc->Find("obj")->Find("inner")->number, 7.0);
+  EXPECT_EQ(doc->Find("absent"), nullptr);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  const auto doc = bsutil::ParseJson(R"({"s":"a\"b\\c\n\u0041"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("s")->str, "a\"b\\c\nA");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(bsutil::ParseJson("").has_value());
+  EXPECT_FALSE(bsutil::ParseJson("{").has_value());
+  EXPECT_FALSE(bsutil::ParseJson("{\"a\":}").has_value());
+  EXPECT_FALSE(bsutil::ParseJson("[1,2,]").has_value());
+  EXPECT_FALSE(bsutil::ParseJson("{} trailing").has_value());
+  EXPECT_FALSE(bsutil::ParseJson("nul").has_value());
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_FALSE(bsutil::ParseJson(deep).has_value());
+}
+
+TEST(Json, FlattenNumbersUsesDottedPaths) {
+  const auto doc = bsutil::ParseJson(
+      R"({"a":1,"b":{"c":2,"d":[3,4]},"skip":"str","flag":true})");
+  ASSERT_TRUE(doc.has_value());
+  std::vector<std::pair<std::string, double>> flat;
+  bsutil::FlattenJsonNumbers(*doc, "", flat);
+  const std::map<std::string, double> m(flat.begin(), flat.end());
+  EXPECT_DOUBLE_EQ(m.at("a"), 1.0);
+  EXPECT_DOUBLE_EQ(m.at("b.c"), 2.0);
+  EXPECT_DOUBLE_EQ(m.at("b.d.0"), 3.0);
+  EXPECT_DOUBLE_EQ(m.at("b.d.1"), 4.0);
+  EXPECT_DOUBLE_EQ(m.at("flag"), 1.0);  // booleans flatten as 0/1
+  EXPECT_EQ(m.count("skip"), 0u);       // strings are not numbers
+}
+
+}  // namespace\n

@@ -27,15 +27,20 @@
 //                        (sustained eclipse attack; exit 0 iff the victim's
 //                         final control fraction stays below --heal-fraction)
 #include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "bench_util.hpp"
 
 #include "attack/bmdos.hpp"
 #include "attack/defamation.hpp"
@@ -45,9 +50,11 @@
 #include "core/node.hpp"
 #include "detect/engine.hpp"
 #include "detect/monitor.hpp"
+#include "obs/span.hpp"
 #include "sim/faults.hpp"
 #include "store/fsck.hpp"
 #include "store/store.hpp"
+#include "util/json.hpp"
 #include "util/serialize.hpp"
 
 using namespace bsnet;  // NOLINT
@@ -1062,6 +1069,374 @@ int RunStoreFsck(const Flags& flags) {
   return report.healthy || report.repaired ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// timeline: forensic reconstruction of a ban's causal chain. Runs a seeded
+// attack scenario with one shared SpanTracer across every node, then prints
+// the merged span + event timeline and walks the last kBan span's parent
+// chain back to its root. Exit 0 iff the chain is complete: it reaches a
+// root kSend/kInject span and crosses at least two distinct nodes (the
+// acceptance test for cross-node causality).
+
+std::string IpToString(std::uint32_t ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+std::uint32_t ParseIp(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4) return 0;
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+std::string SpanLine(const bsobs::SpanRecord& rec) {
+  char buf[256];
+  std::string detail;
+  switch (rec.kind) {
+    case bsobs::SpanKind::kSend:
+    case bsobs::SpanKind::kInject:
+      detail = (rec.msg_type >= 0
+                    ? std::string(bsproto::CommandName(
+                          static_cast<bsproto::MsgType>(rec.msg_type)))
+                    : std::string("?")) +
+               " " + std::to_string(rec.a) + " B";
+      if (rec.kind == bsobs::SpanKind::kInject) {
+        detail += " spoofing " + IpToString(static_cast<std::uint32_t>(rec.b));
+      }
+      break;
+    case bsobs::SpanKind::kReceive:
+      detail = (rec.msg_type >= 0
+                    ? std::string(bsproto::CommandName(
+                          static_cast<bsproto::MsgType>(rec.msg_type)))
+                    : std::string("?")) +
+               " " + std::to_string(rec.b) + " B";
+      break;
+    case bsobs::SpanKind::kDrop:
+      detail = "decode status " + std::to_string(rec.a) + ", " +
+               std::to_string(rec.b) + " B";
+      break;
+    case bsobs::SpanKind::kShed:
+      detail = std::to_string(rec.a) + " B shed";
+      break;
+    case bsobs::SpanKind::kMisbehavior:
+      detail = "+" + std::to_string(rec.a) + " -> score " + std::to_string(rec.b);
+      break;
+    case bsobs::SpanKind::kBan:
+      detail = "banned " + IpToString(static_cast<std::uint32_t>(rec.a)) +
+               " at score " + std::to_string(rec.b);
+      break;
+    case bsobs::SpanKind::kDetect:
+      detail = "anomalous=" + std::to_string(rec.a);
+      break;
+  }
+  std::string flags;
+  if ((rec.flags & bsobs::kFlagOrphan) != 0) flags += " ORPHAN";
+  if ((rec.flags & bsobs::kFlagResync) != 0) flags += " RESYNC";
+  if ((rec.flags & bsobs::kFlagDiscouraged) != 0) flags += " DISCOURAGED";
+  std::snprintf(buf, sizeof(buf),
+                "%12.6f  %-15s %-12s trace=%llu span=%llu parent=%llu  %s%s",
+                bsim::ToSeconds(rec.time), IpToString(rec.node_ip).c_str(),
+                bsobs::ToString(rec.kind),
+                static_cast<unsigned long long>(rec.trace_id),
+                static_cast<unsigned long long>(rec.span_id),
+                static_cast<unsigned long long>(rec.parent_span), detail.c_str(),
+                flags.c_str());
+  return buf;
+}
+
+int RunTimeline(const Flags& flags) {
+  const std::string scenario = flags.Get("scenario", "defame-post");
+  const std::uint32_t peer_filter = ParseIp(flags.Get("peer", ""));
+  constexpr std::uint32_t kTargetIp = 0x0a000001;
+  constexpr std::uint32_t kInnocentIp = 0x0a000002;
+  constexpr std::uint32_t kAttackerIp = 0x0a000066;
+
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  bsobs::SpanTracer tracer;
+
+  NodeConfig tc;
+  tc.span_tracer = &tracer;
+  tc.target_outbound = scenario == "defame-post" ? 1 : 0;
+  Node target(sched, net, kTargetIp, tc);
+  NodeConfig ic;
+  ic.span_tracer = &tracer;
+  ic.target_outbound = 0;
+  Node innocent(sched, net, kInnocentIp, ic);
+  innocent.Start();
+  if (scenario == "defame-post") target.AddKnownAddress({kInnocentIp, 8333});
+  target.Start();
+  sched.RunUntil(5 * bsim::kSecond);
+
+  bsattack::AttackerNode attacker(sched, net, kAttackerIp, tc.chain.magic);
+  attacker.SetSpanTracer(&tracer);
+  bsattack::Crafter crafter(tc.chain);
+
+  if (scenario == "defame-pre") {
+    bsattack::PreConnectionDefamation pre(
+        attacker, {kTargetIp, 8333}, {kInnocentIp, 55555},
+        bsattack::PreConnectionDefamation::InstantBanFrames(tc.chain.magic));
+    pre.SetSpanTracer(&tracer);
+    pre.Run();
+    sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+  } else if (scenario == "defame-post") {
+    innocent.MineAndRelay();
+    sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+    const Peer* outbound = nullptr;
+    for (const Peer* p : target.Peers()) {
+      if (!p->inbound) outbound = p;
+    }
+    if (outbound == nullptr) {
+      std::fprintf(stderr, "timeline: setup failed, no outbound session\n");
+      return 2;
+    }
+    bsattack::PostConnectionDefamation post(attacker, outbound->conn->Local(),
+                                            outbound->remote);
+    post.SetSpanTracer(&tracer);
+    post.Arm({bsproto::EncodeMessage(tc.chain.magic, crafter.SegwitInvalidTx())});
+    innocent.SendToRemoteIp(kTargetIp, bsproto::PingMsg{1});
+    sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
+  } else if (scenario == "sybil") {
+    bsattack::SerialSybilConfig sc;
+    sc.max_identifiers = 2;
+    bsattack::SerialSybilAttack attack(attacker, {kTargetIp, 8333}, sc);
+    attack.Start();
+    sched.RunUntil(sched.Now() + 20 * bsim::kSecond);
+  } else {
+    std::fprintf(stderr, "timeline: unknown --scenario '%s'\n", scenario.c_str());
+    return 2;
+  }
+
+  // ---- merged annotated timeline: spans (all nodes) + the target's events.
+  const std::vector<bsobs::SpanRecord> spans = tracer.Log().Snapshot();
+  struct Line {
+    bsim::SimTime time;
+    int order;  // events sort after spans at the same instant
+    std::string text;
+  };
+  std::vector<Line> lines;
+  for (const bsobs::SpanRecord& rec : spans) {
+    if (peer_filter != 0 && rec.node_ip != peer_filter &&
+        static_cast<std::uint32_t>(rec.a) != peer_filter &&
+        static_cast<std::uint32_t>(rec.b) != peer_filter) {
+      continue;
+    }
+    lines.push_back({rec.time, 0, SpanLine(rec)});
+  }
+  for (const bsobs::TraceEvent& ev : target.Trace().Snapshot()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%12.6f  %-15s event:%-21s peer=%llu a=%lld b=%lld",
+                  bsim::ToSeconds(ev.time), IpToString(kTargetIp).c_str(),
+                  bsobs::ToString(ev.type),
+                  static_cast<unsigned long long>(ev.peer_id),
+                  static_cast<long long>(ev.a), static_cast<long long>(ev.b));
+    lines.push_back({ev.time, 1, buf});
+  }
+  std::stable_sort(lines.begin(), lines.end(), [](const Line& x, const Line& y) {
+    return x.time != y.time ? x.time < y.time : x.order < y.order;
+  });
+  std::printf("timeline: scenario=%s, %zu spans (%llu recorded, %llu evicted)\n\n",
+              scenario.c_str(), spans.size(),
+              static_cast<unsigned long long>(tracer.Log().Recorded()),
+              static_cast<unsigned long long>(tracer.Log().Dropped()));
+  std::printf("%12s  %-15s %s\n", "time (s)", "node", "record");
+  for (const Line& line : lines) std::printf("%s\n", line.text.c_str());
+
+  // ---- causal chain of the last ban: walk parent_span links to the root.
+  std::map<std::uint64_t, const bsobs::SpanRecord*> by_span;
+  const bsobs::SpanRecord* ban = nullptr;
+  for (const bsobs::SpanRecord& rec : spans) {
+    by_span[rec.span_id] = &rec;
+    if (rec.kind == bsobs::SpanKind::kBan) ban = &rec;
+  }
+  if (ban == nullptr) {
+    std::printf("\nno kBan span recorded — nothing to reconstruct\n");
+    return 1;
+  }
+  std::vector<const bsobs::SpanRecord*> chain;
+  std::set<std::uint64_t> nodes;
+  for (const bsobs::SpanRecord* rec = ban; rec != nullptr;) {
+    chain.push_back(rec);
+    nodes.insert(rec->node_ip);
+    if (rec->parent_span == 0) break;
+    const auto it = by_span.find(rec->parent_span);
+    rec = it == by_span.end() ? nullptr : it->second;
+  }
+  std::printf("\ncausal chain of the final ban (leaf -> root):\n");
+  for (const bsobs::SpanRecord* rec : chain) std::printf("  %s\n", SpanLine(*rec).c_str());
+  const bsobs::SpanRecord* root = chain.back();
+  const bool rooted = root->parent_span == 0 &&
+                      (root->kind == bsobs::SpanKind::kSend ||
+                       root->kind == bsobs::SpanKind::kInject);
+  const bool cross_node = nodes.size() >= 2;
+  std::printf("\nchain: %zu spans across %zu nodes, root=%s -> %s\n", chain.size(),
+              nodes.size(), rooted ? bsobs::ToString(root->kind) : "MISSING",
+              rooted && cross_node ? "COMPLETE" : "INCOMPLETE");
+  return rooted && cross_node ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// bench-diff: compare two BENCH_*.json reports field by field. Deterministic
+// counters gate at --tolerance (default 0: exact); timing fields (ns/sec/
+// rate-valued, matched by name) gate at --timing-tolerance. Exit 2 when the
+// reports are not comparable (parse failure, schema/bench/seed mismatch),
+// 1 when any field leaves its tolerance, 0 on pass.
+
+/// Split a dotted/underscored field path into lowercase tokens, so "ns" in
+/// "p50_ns" matches but the "ns_" inside "spans_recorded" does not.
+std::vector<std::string> FieldTokens(const std::string& key) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (const char c : key) {
+    if (c == '.' || c == '_') {
+      if (!cur.empty()) tokens.push_back(cur);
+      cur.clear();
+    } else {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+  return tokens;
+}
+
+bool IsTimingField(const std::string& key) {
+  for (const std::string& tok : FieldTokens(key)) {
+    for (const char* t : {"ns", "sec", "secs", "seconds", "hps", "wall", "ratio",
+                          "time", "latency", "overhead"}) {
+      if (tok == t) return true;
+    }
+  }
+  return false;
+}
+
+/// Distribution extremes (min_ns/max_ns) are single-sample outliers — one
+/// cold cache miss moves max_ns by orders of magnitude — so they are shown
+/// but never gated.
+bool IsInfoOnlyField(const std::string& key) {
+  if (!IsTimingField(key)) return false;
+  for (const std::string& tok : FieldTokens(key)) {
+    if (tok == "min" || tok == "max") return true;
+  }
+  return false;
+}
+
+std::optional<bsutil::JsonValue> LoadReport(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench-diff: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  auto parsed = bsutil::ParseJson(text);
+  if (!parsed) std::fprintf(stderr, "bench-diff: %s is not valid JSON\n", path.c_str());
+  return parsed;
+}
+
+/// Identity fields that must agree before any numeric comparison happens.
+bool SameIdentity(const bsutil::JsonValue& a, const bsutil::JsonValue& b,
+                  std::string& why) {
+  const auto str_of = [](const bsutil::JsonValue& v, const char* key) {
+    const bsutil::JsonValue* f = v.Find(key);
+    return f != nullptr && f->IsString() ? f->str : std::string();
+  };
+  const auto num_of = [](const bsutil::JsonValue& v, const char* key) {
+    const bsutil::JsonValue* f = v.Find(key);
+    return f != nullptr && f->IsNumber() ? f->number : -1.0;
+  };
+  if (str_of(a, "schema") != bsbench::kReportSchema ||
+      str_of(b, "schema") != bsbench::kReportSchema) {
+    why = "missing or foreign \"schema\" field (want \"" +
+          std::string(bsbench::kReportSchema) + "\")";
+    return false;
+  }
+  if (num_of(a, "schema_version") != num_of(b, "schema_version")) {
+    why = "schema_version mismatch";
+    return false;
+  }
+  if (str_of(a, "bench") != str_of(b, "bench")) {
+    why = "bench name mismatch (" + str_of(a, "bench") + " vs " + str_of(b, "bench") + ")";
+    return false;
+  }
+  if (num_of(a, "seed") != num_of(b, "seed")) {
+    why = "seed mismatch — deterministic counters are not comparable";
+    return false;
+  }
+  return true;
+}
+
+int RunBenchDiff(const Flags& flags) {
+  const std::string old_path = flags.Get("old", "");
+  const std::string new_path = flags.Get("new", "");
+  if (old_path.empty() || new_path.empty()) {
+    std::fprintf(stderr, "bench-diff: --old and --new are required\n");
+    return 2;
+  }
+  const double tol = flags.GetNum("tolerance", 0.0);
+  const double timing_tol = flags.GetNum("timing-tolerance", 0.5);
+
+  const auto old_doc = LoadReport(old_path);
+  const auto new_doc = LoadReport(new_path);
+  if (!old_doc || !new_doc) return 2;
+  std::string why;
+  if (!SameIdentity(*old_doc, *new_doc, why)) {
+    std::fprintf(stderr, "bench-diff: reports are not comparable: %s\n", why.c_str());
+    return 2;
+  }
+
+  const bsutil::JsonValue* old_results = old_doc->Find("results");
+  const bsutil::JsonValue* new_results = new_doc->Find("results");
+  if (old_results == nullptr || new_results == nullptr) {
+    std::fprintf(stderr, "bench-diff: a report has no \"results\" object\n");
+    return 2;
+  }
+  std::vector<std::pair<std::string, double>> old_flat;
+  std::vector<std::pair<std::string, double>> new_flat;
+  bsutil::FlattenJsonNumbers(*old_results, "", old_flat);
+  bsutil::FlattenJsonNumbers(*new_results, "", new_flat);
+  std::map<std::string, double> new_map(new_flat.begin(), new_flat.end());
+
+  std::printf("bench-diff: %s\n            %s\n", old_path.c_str(), new_path.c_str());
+  std::printf("tolerance %.4g (deterministic), %.4g (timing)\n\n", tol, timing_tol);
+  std::printf("%-44s %14s %14s %9s %7s  %s\n", "field", "old", "new", "delta",
+              "gate", "verdict");
+  int violations = 0;
+  for (const auto& [key, old_value] : old_flat) {
+    const auto it = new_map.find(key);
+    if (it == new_map.end()) {
+      std::printf("%-44s %14.6g %14s %9s %7s  MISSING\n", key.c_str(), old_value,
+                  "-", "-", "-");
+      ++violations;
+      continue;
+    }
+    const bool timing = IsTimingField(key);
+    const bool info = IsInfoOnlyField(key);
+    const double limit = timing ? timing_tol : tol;
+    const double base = std::max(std::abs(old_value), 1e-12);
+    const double rel = std::abs(it->second - old_value) / base;
+    const bool ok = info || rel <= limit;
+    if (!ok) ++violations;
+    std::printf("%-44s %14.6g %14.6g %8.2f%% %7s  %s\n", key.c_str(), old_value,
+                it->second, 100.0 * rel,
+                info ? "info" : (timing ? "loose" : "tight"),
+                ok ? "ok" : "VIOLATION");
+    new_map.erase(it);
+  }
+  for (const auto& [key, value] : new_map) {
+    std::printf("%-44s %14s %14.6g %9s %7s  new field\n", key.c_str(), "-", value,
+                "-", "-");
+  }
+  std::printf("\n%s: %d violation%s\n", violations == 0 ? "PASS" : "FAIL", violations,
+              violations == 1 ? "" : "s");
+  return violations == 0 ? 0 : 1;
+}
+
 void Usage() {
   std::printf(
       "banscore-lab <scenario> [--flag value ...]\n"
@@ -1087,7 +1462,16 @@ void Usage() {
       "  eclipse --defenses none|all --seconds S --heal-fraction F\n"
       "          --format table|json\n"
       "          (sustained eclipse vs stock or hardened victim; exit 0 iff\n"
-      "           the final attacker control fraction is below --heal-fraction)\n");
+      "           the final attacker control fraction is below --heal-fraction)\n"
+      "  timeline --scenario defame-post|defame-pre|sybil --peer a.b.c.d\n"
+      "          (seeded run under a shared span tracer; prints the merged\n"
+      "           span+event timeline and walks the final ban's causal chain;\n"
+      "           exit 0 iff the chain is complete and crosses nodes)\n"
+      "  bench-diff --old A.json --new B.json --tolerance T\n"
+      "          --timing-tolerance TT\n"
+      "          (compare two BENCH_*.json reports; deterministic counters\n"
+      "           gate tight, timing fields loose; exit 2 = not comparable,\n"
+      "           1 = out of tolerance, 0 = pass)\n");
 }
 
 }  // namespace
@@ -1109,6 +1493,8 @@ int main(int argc, char** argv) {
   if (scenario == "overload") return RunOverload(flags);
   if (scenario == "fsck") return RunStoreFsck(flags);
   if (scenario == "eclipse") return RunEclipse(flags);
+  if (scenario == "timeline") return RunTimeline(flags);
+  if (scenario == "bench-diff") return RunBenchDiff(flags);
   Usage();
   return 2;
 }

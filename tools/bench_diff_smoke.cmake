@@ -1,0 +1,37 @@
+# bench-diff round-trip driver (ctest cli_bench_diff).
+#
+#   1. Run bench_hotpath twice with the same seed; bench-diff between the two
+#      reports must pass (deterministic counters identical, timings within
+#      the loose gate).
+#   2. A report against a file with a foreign schema must be refused (exit 2).
+#
+# Invoked with -DLAB=<banscore-lab> -DBENCH=<bench_hotpath> -DDIR=<scratch>.
+file(REMOVE_RECURSE "${DIR}")
+file(MAKE_DIRECTORY "${DIR}")
+
+execute_process(COMMAND "${BENCH}" --sim-seconds 3 --json "${DIR}/a.json"
+                RESULT_VARIABLE a_rc OUTPUT_QUIET)
+if(NOT a_rc EQUAL 0)
+  message(FATAL_ERROR "bench_hotpath run A failed (rc=${a_rc})")
+endif()
+execute_process(COMMAND "${BENCH}" --sim-seconds 3 --json "${DIR}/b.json"
+                RESULT_VARIABLE b_rc OUTPUT_QUIET)
+if(NOT b_rc EQUAL 0)
+  message(FATAL_ERROR "bench_hotpath run B failed (rc=${b_rc})")
+endif()
+
+execute_process(COMMAND "${LAB}" bench-diff --old "${DIR}/a.json"
+                --new "${DIR}/b.json" --tolerance 0.0 --timing-tolerance 20.0
+                RESULT_VARIABLE diff_rc OUTPUT_VARIABLE diff_out)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "same-seed bench-diff failed (rc=${diff_rc}): ${diff_out}")
+endif()
+
+file(WRITE "${DIR}/foreign.json" "{\"bench\":\"bench_hotpath\"}\n")
+execute_process(COMMAND "${LAB}" bench-diff --old "${DIR}/a.json"
+                --new "${DIR}/foreign.json"
+                RESULT_VARIABLE foreign_rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT foreign_rc EQUAL 2)
+  message(FATAL_ERROR
+          "schema-less report was not refused with exit 2 (rc=${foreign_rc})")
+endif()
