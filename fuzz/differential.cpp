@@ -1,0 +1,127 @@
+#include "fuzz/differential.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "core/misbehavior.hpp"
+#include "core/rules.hpp"
+#include "util/rng.hpp"
+
+namespace bsfuzz {
+
+namespace {
+
+constexpr std::array<bsnet::CoreVersion, 3> kVersions = {
+    bsnet::CoreVersion::kV0_20, bsnet::CoreVersion::kV0_21,
+    bsnet::CoreVersion::kV0_22};
+
+const char* PairName(std::size_t a, std::size_t b) {
+  // Index pairs over kVersions, lexicographic.
+  if (a == 0 && b == 1) return "0.20/0.21";
+  if (a == 0 && b == 2) return "0.20/0.22";
+  return "0.21/0.22";
+}
+
+struct TrackerTrio {
+  TrackerTrio()
+      : t{{bsnet::MisbehaviorTracker(kVersions[0], bsnet::BanPolicy::kBanScore, 100),
+           bsnet::MisbehaviorTracker(kVersions[1], bsnet::BanPolicy::kBanScore, 100),
+           bsnet::MisbehaviorTracker(kVersions[2], bsnet::BanPolicy::kBanScore, 100)}} {}
+  std::array<bsnet::MisbehaviorTracker, 3> t;
+
+  /// Drive one event through all three trackers; record any divergent cell.
+  void Drive(std::uint64_t peer, bool inbound, bsnet::Misbehavior what,
+             std::set<std::string>& observed) {
+    std::array<bsnet::MisbehaviorOutcome, 3> out;
+    for (std::size_t i = 0; i < 3; ++i) {
+      out[i] = t[i].Misbehaving(peer, inbound, what);
+    }
+    for (std::size_t a = 0; a < 3; ++a) {
+      for (std::size_t b = a + 1; b < 3; ++b) {
+        // A cell diverges when the versions disagree about whether the rule
+        // exists or what it scores. Accumulated totals are deliberately NOT
+        // compared directly — a single deprecated rule makes totals differ
+        // forever after, which would smear one Table I cell across every
+        // subsequent event.
+        if (out[a].rule_applied != out[b].rule_applied ||
+            out[a].score_delta != out[b].score_delta) {
+          observed.insert(std::string(bsnet::ToString(what)) + "@" +
+                          PairName(a, b));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<std::string>& PredictedDivergenceCells() {
+  // Table I of the paper, transcribed by hand. Four rules change across
+  // 0.20 → 0.22:
+  //   filteradd-version-gate   100 / — / —   (dropped after 0.20)
+  //   version-duplicate          1 / 1 / —   (dropped in 0.22)
+  //   message-before-version     1 / 1 / —   (dropped in 0.22)
+  //   message-before-verack      1 / — / —   (dropped after 0.20)
+  // Every other row carries identical scores in all three columns.
+  static const std::vector<std::string> kCells = [] {
+    std::vector<std::string> cells = {
+        "filteradd-version-gate@0.20/0.21",
+        "filteradd-version-gate@0.20/0.22",
+        "version-duplicate@0.20/0.22",
+        "version-duplicate@0.21/0.22",
+        "message-before-version@0.20/0.22",
+        "message-before-version@0.21/0.22",
+        "message-before-verack@0.20/0.21",
+        "message-before-verack@0.20/0.22",
+    };
+    std::sort(cells.begin(), cells.end());
+    return cells;
+  }();
+  return kCells;
+}
+
+DiffResult RunDifferential(std::uint64_t seed, std::size_t iters) {
+  DiffResult result;
+  std::set<std::string> observed;
+  const auto& all = bsnet::AllMisbehaviors();
+
+  // Pass 1: exhaustive single-event sweep on fresh trackers, so every
+  // predicted cell is guaranteed to be exercised at least once.
+  for (const bsnet::Misbehavior what : all) {
+    for (const bool inbound : {true, false}) {
+      TrackerTrio trio;
+      trio.Drive(/*peer=*/1, inbound, what, observed);
+      ++result.events;
+    }
+  }
+
+  // Pass 2: randomized stateful streams — accumulation, repeats, forgets.
+  bsutil::Rng rng(seed);
+  for (std::size_t i = 0; i < iters; ++i) {
+    TrackerTrio trio;
+    const std::size_t events = 4 + rng.Below(28);
+    for (std::size_t e = 0; e < events; ++e) {
+      const std::uint64_t peer = rng.Below(4);
+      if (rng.Chance(0.05)) {
+        for (auto& tracker : trio.t) tracker.Forget(peer);
+        continue;
+      }
+      trio.Drive(peer, rng.Chance(0.7), all[rng.Below(all.size())], observed);
+      ++result.events;
+    }
+  }
+
+  result.observed.assign(observed.begin(), observed.end());
+  result.predicted = PredictedDivergenceCells();
+  std::set_difference(result.observed.begin(), result.observed.end(),
+                      result.predicted.begin(), result.predicted.end(),
+                      std::back_inserter(result.unpredicted));
+  std::set_difference(result.predicted.begin(), result.predicted.end(),
+                      result.observed.begin(), result.observed.end(),
+                      std::back_inserter(result.missing));
+  result.ok = result.unpredicted.empty() && result.missing.empty();
+  return result;
+}
+
+}  // namespace bsfuzz

@@ -1,0 +1,42 @@
+// Differential rule-set oracle.
+//
+// Runs the same misbehavior event stream through three MisbehaviorTrackers
+// (Core 0.20 / 0.21 / 0.22) and records every (misbehavior, version-pair)
+// cell where their outcomes diverge. The paper's Table I predicts the exact
+// divergence set — the four rule deprecations across 0.20→0.22 — and that
+// prediction is HARDCODED here rather than derived from rules.cpp, so a
+// regression in any one reimplementation cannot silently re-derive itself
+// into the expected set.
+//
+// Two passes:
+//   1. exhaustive — every misbehavior kind × {inbound, outbound} once, so
+//      every predicted cell is provably triggered (missing-cell detection);
+//   2. randomized — `iters` seeded event streams with per-peer accumulation
+//      and forgets, so divergence is also checked under stateful sequences
+//      (threshold crossings, repeats), not just single events.
+//
+// ok == true  iff  observed divergence set == predicted divergence set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsfuzz {
+
+struct DiffResult {
+  bool ok = false;
+  std::size_t events = 0;                  // total events driven
+  std::vector<std::string> observed;       // sorted "what@pair" cells
+  std::vector<std::string> predicted;      // sorted, from Table I
+  std::vector<std::string> unpredicted;    // observed but not in Table I (bugs)
+  std::vector<std::string> missing;        // predicted but never observed
+};
+
+/// The Table I prediction: cells "what@vA/vB" where the named misbehavior
+/// must produce different outcomes under Core vA vs vB.
+const std::vector<std::string>& PredictedDivergenceCells();
+
+DiffResult RunDifferential(std::uint64_t seed, std::size_t iters);
+
+}  // namespace bsfuzz

@@ -1,0 +1,215 @@
+#include "fuzz/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "fuzz/generators.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/mutators.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace bsfuzz {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The harnesses feed deliberately corrupted inputs to recovery paths that
+/// log (correctly) at error level; thousands of iterations would bury real
+/// output. Silence the logger for the duration of a campaign.
+class ScopedLogSilence {
+ public:
+  ScopedLogSilence() : saved_(bsutil::GetLogLevel()) {
+    bsutil::SetLogLevel(bsutil::LogLevel::kOff);
+  }
+  ~ScopedLogSilence() { bsutil::SetLogLevel(saved_); }
+  ScopedLogSilence(const ScopedLogSilence&) = delete;
+  ScopedLogSilence& operator=(const ScopedLogSilence&) = delete;
+
+ private:
+  bsutil::LogLevel saved_;
+};
+
+/// splitmix-style mix so (seed, iter) pairs land on independent streams.
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t iter) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (iter + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string JoinTrace(const std::vector<std::string>& trace) {
+  std::string out;
+  for (const std::string& step : trace) {
+    if (!out.empty()) out += "; ";
+    out += step;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+void RecordFailure(CampaignResult& result, const CampaignConfig& config,
+                   std::size_t iter, const std::string& source,
+                   const HarnessResult& hr, bsutil::ByteVec input,
+                   std::vector<std::string> trace) {
+  FuzzFailure failure;
+  failure.harness = config.harness;
+  failure.seed = config.seed;
+  failure.iter = iter;
+  failure.source = source;
+  failure.oracle = hr.oracle;
+  failure.detail = hr.detail;
+  failure.trace = std::move(trace);
+
+  // Shrink while pinning the oracle: a smaller input that fails a
+  // *different* way is a different bug and must not hijack this repro.
+  const std::string oracle = hr.oracle;
+  failure.input = Minimize(
+      std::move(input), [&config, &oracle](bsutil::ByteSpan candidate) {
+        const HarnessResult r = RunHarness(config.harness, candidate);
+        return !r.ok && r.oracle == oracle;
+      });
+  if (!config.artifacts_dir.empty()) {
+    failure.artifact_path = WriteReproFile(config.artifacts_dir, failure);
+  }
+  result.failures.push_back(std::move(failure));
+}
+
+}  // namespace
+
+bool ReadReproFile(const std::string& path, bsutil::ByteVec& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out.clear();
+  std::string line;
+  int hi = -1;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    for (const char c : line) {
+      int v;
+      if (c >= '0' && c <= '9') v = c - '0';
+      else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+      else continue;
+      if (hi < 0) {
+        hi = v;
+      } else {
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | v));
+        hi = -1;
+      }
+    }
+  }
+  return true;
+}
+
+std::string WriteReproFile(const std::string& dir, const FuzzFailure& failure) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string name = failure.harness + "-seed" +
+                           std::to_string(failure.seed) + "-iter" +
+                           std::to_string(failure.iter) + ".repro";
+  const std::string path = (fs::path(dir) / name).string();
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "# banscore-lab fuzz repro (minimized)\n";
+  out << "# harness: " << failure.harness << "\n";
+  out << "# seed: " << failure.seed << "  iter: " << failure.iter
+      << "  source: " << failure.source << "\n";
+  out << "# oracle: " << failure.oracle << "\n";
+  out << "# detail: " << failure.detail << "\n";
+  out << "# mutation trace: " << JoinTrace(failure.trace) << "\n";
+  out << "# replay: banscore-lab fuzz --harness " << failure.harness
+      << " --replay " << name << "\n";
+  char buf[4];
+  for (std::size_t i = 0; i < failure.input.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%02x", failure.input[i]);
+    out << buf;
+    out << ((i % 32 == 31) ? "\n" : "");
+  }
+  out << "\n";
+  return path;
+}
+
+CampaignResult RunCampaign(const CampaignConfig& config) {
+  CampaignResult result;
+  const ScopedLogSilence silence;
+
+  // Stage 0: regression corpus replay.
+  if (!config.corpus_dir.empty()) {
+    const fs::path dir = fs::path(config.corpus_dir) / config.harness;
+    std::error_code ec;
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file()) files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& file : files) {
+      bsutil::ByteVec input;
+      if (!ReadReproFile(file, input)) continue;
+      ++result.corpus_inputs;
+      const HarnessResult hr = RunHarness(config.harness, input);
+      if (!hr.ok) {
+        RecordFailure(result, config, /*iter=*/SIZE_MAX,
+                      fs::path(file).filename().string(), hr, std::move(input),
+                      {});
+      }
+    }
+  }
+
+  // Stage 1: seeded generate-mutate-check loop.
+  for (std::size_t iter = 0; iter < config.iters; ++iter) {
+    bsutil::Rng rng(MixSeed(config.seed, iter));
+    bsutil::ByteVec input = BaseInputFor(config.harness, rng);
+    std::vector<std::string> trace;
+    // ~1 in 10 inputs stays pristine so the all-valid path is continuously
+    // exercised too; the rest get a 1-4 deep mutation stack.
+    if (!rng.Chance(0.1)) {
+      Mutate(input, rng, 1 + rng.Below(4), trace);
+    }
+    ++result.iterations;
+    const HarnessResult hr = RunHarness(config.harness, input);
+    if (!hr.ok) {
+      RecordFailure(result, config, iter, "generated", hr, std::move(input),
+                    std::move(trace));
+    }
+  }
+  return result;
+}
+
+std::size_t ReseedCorpus(const std::string& harness, const std::string& dir,
+                         std::uint64_t seed, std::size_t count) {
+  std::error_code ec;
+  const fs::path out_dir = fs::path(dir) / harness;
+  fs::create_directories(out_dir, ec);
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    bsutil::Rng rng(MixSeed(seed, i));
+    bsutil::ByteVec input = BaseInputFor(harness, rng);
+    std::vector<std::string> trace;
+    // Half the corpus is pristine generator output, half lightly mutated —
+    // the mutated ones pin decoder-rejection paths into the regression set.
+    if (i % 2 == 1) Mutate(input, rng, 1 + rng.Below(2), trace);
+    char name[64];
+    std::snprintf(name, sizeof name, "seed-%03zu.repro", i);
+    std::ofstream out(out_dir / name);
+    if (!out) continue;
+    out << "# banscore-lab fuzz corpus (committed regression input)\n";
+    out << "# harness: " << harness << "  reseed-seed: " << seed
+        << "  index: " << i << "\n";
+    out << "# mutation trace: " << JoinTrace(trace) << "\n";
+    char buf[4];
+    for (std::size_t b = 0; b < input.size(); ++b) {
+      std::snprintf(buf, sizeof buf, "%02x", input[b]);
+      out << buf;
+      out << ((b % 32 == 31) ? "\n" : "");
+    }
+    out << "\n";
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace bsfuzz

@@ -1,0 +1,61 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+
+namespace bsfuzz {
+
+namespace {
+
+/// One sweep of chunk removal at the given chunk size; returns true when
+/// anything was removed.
+bool RemoveChunks(bsutil::ByteVec& input, std::size_t chunk,
+                  const StillFailsFn& still_fails) {
+  bool progress = false;
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const std::size_t len = std::min(chunk, input.size() - pos);
+    bsutil::ByteVec candidate;
+    candidate.reserve(input.size() - len);
+    candidate.insert(candidate.end(), input.begin(),
+                     input.begin() + static_cast<std::ptrdiff_t>(pos));
+    candidate.insert(candidate.end(),
+                     input.begin() + static_cast<std::ptrdiff_t>(pos + len),
+                     input.end());
+    if (still_fails(candidate)) {
+      input = std::move(candidate);
+      progress = true;  // retry same offset: the next chunk slid into place
+    } else {
+      pos += len;
+    }
+  }
+  return progress;
+}
+
+/// Zero out bytes that do not matter, making the repro visually scannable.
+void ZeroBytes(bsutil::ByteVec& input, const StillFailsFn& still_fails) {
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (input[i] == 0) continue;
+    const std::uint8_t saved = input[i];
+    input[i] = 0;
+    if (!still_fails(input)) input[i] = saved;
+  }
+}
+
+}  // namespace
+
+bsutil::ByteVec Minimize(bsutil::ByteVec input, const StillFailsFn& still_fails) {
+  if (!still_fails(input)) return input;  // not reproducible: keep as-is
+  bool progress = true;
+  while (progress && !input.empty()) {
+    progress = false;
+    for (std::size_t chunk = std::max<std::size_t>(input.size() / 2, 1);;
+         chunk /= 2) {
+      if (RemoveChunks(input, chunk, still_fails)) progress = true;
+      if (chunk <= 1) break;
+    }
+  }
+  ZeroBytes(input, still_fails);
+  return input;
+}
+
+}  // namespace bsfuzz

@@ -1,0 +1,19 @@
+// Greedy input minimizer. Given a failing input and a predicate that says
+// "this still fails the same way", repeatedly tries removing chunks
+// (halving sizes), trimming the tail, and zeroing bytes, keeping every
+// change that preserves the failure. Deterministic and bounded: each pass
+// is linear in the input, and passes stop when a whole sweep makes no
+// progress.
+#pragma once
+
+#include <functional>
+
+#include "util/bytes.hpp"
+
+namespace bsfuzz {
+
+using StillFailsFn = std::function<bool(bsutil::ByteSpan)>;
+
+bsutil::ByteVec Minimize(bsutil::ByteVec input, const StillFailsFn& still_fails);
+
+}  // namespace bsfuzz

@@ -1,0 +1,165 @@
+#include "fuzz/mutators.hpp"
+
+#include <algorithm>
+
+#include "proto/codec.hpp"
+#include "util/serialize.hpp"
+
+namespace bsfuzz {
+
+namespace {
+
+std::string Hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+
+void PutU32(bsutil::ByteVec& data, std::size_t off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    data[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+/// Flip one random bit.
+std::string BitFlip(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  if (d.empty()) return "bitflip:noop";
+  const std::size_t off = rng.Below(d.size());
+  const unsigned bit = static_cast<unsigned>(rng.Below(8));
+  d[off] ^= static_cast<std::uint8_t>(1u << bit);
+  return "bitflip@" + std::to_string(off) + "." + std::to_string(bit);
+}
+
+/// Overwrite one byte with an interesting value.
+std::string ByteSet(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  if (d.empty()) return "byteset:noop";
+  static constexpr std::uint8_t kInteresting[] = {0x00, 0x01, 0x7f, 0x80,
+                                                  0xfd, 0xfe, 0xff};
+  const std::size_t off = rng.Below(d.size());
+  d[off] = kInteresting[rng.Below(std::size(kInteresting))];
+  return "byteset@" + std::to_string(off) + "=" + std::to_string(d[off]);
+}
+
+/// Cut the input at a random point (torn frame / short read).
+std::string Truncate(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  if (d.empty()) return "truncate:noop";
+  const std::size_t keep = rng.Below(d.size());
+  d.resize(keep);
+  return "truncate(" + std::to_string(keep) + ")";
+}
+
+/// Append random garbage (trailing bytes past a valid tail).
+std::string Extend(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  const std::size_t n = 1 + rng.Below(24);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.push_back(static_cast<std::uint8_t>(rng.Next()));
+  }
+  return "extend(" + std::to_string(n) + ")";
+}
+
+/// Overwrite a 4-byte aligned-ish region with a lying length field. Targets
+/// the protocol header length offset (16) with elevated probability so
+/// encode-side length lies are probed constantly.
+std::string LengthLie(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  if (d.size() < 4) return "lenlie:noop";
+  static constexpr std::uint32_t kLies[] = {
+      0,          1,          0x7fffffffu, 0x80000000u,
+      0xffffffffu, 4'000'000u, 4'000'001u,  16u * 1024 * 1024 + 1};
+  std::size_t off = rng.Below(d.size() - 3);
+  if (d.size() >= 20 && rng.Chance(0.5)) off = 16;  // wire-header length field
+  const std::uint32_t lie = kLies[rng.Below(std::size(kLies))];
+  PutU32(d, off, lie);
+  return "lenlie@" + std::to_string(off) + "=" + Hex32(lie);
+}
+
+/// Splice a CompactSize edge case into a random offset: non-canonical
+/// encodings, max values, and off-by-one boundaries.
+std::string VarintEdge(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  static const std::vector<bsutil::ByteVec> kCases = {
+      {0xfd, 0xfc, 0x00},                    // non-canonical (252 as 3 bytes)
+      {0xfd, 0xfd, 0x00},                    // canonical minimum for 0xfd form
+      {0xfd, 0xff, 0xff},                    // 65535
+      {0xfe, 0xff, 0xff, 0xff, 0xff},        // 2^32-1
+      {0xfe, 0x00, 0x00, 0x00, 0x00},        // non-canonical zero
+      {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},  // 2^64-1
+      {0xff, 0x00, 0x00, 0x00, 0x80, 0x00, 0x00, 0x00, 0x00},  // 2^31
+  };
+  const bsutil::ByteVec& edge = kCases[rng.Below(kCases.size())];
+  const std::size_t off = d.empty() ? 0 : rng.Below(d.size());
+  d.insert(d.begin() + static_cast<std::ptrdiff_t>(off), edge.begin(), edge.end());
+  return "varint@" + std::to_string(off) + "(" + std::to_string(edge.size()) +
+         "B)";
+}
+
+/// Swap two random chunks (frame reordering / interleaving).
+std::string Splice(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  if (d.size() < 8) return "splice:noop";
+  const std::size_t len = 1 + rng.Below(std::min<std::size_t>(d.size() / 2, 64));
+  const std::size_t a = rng.Below(d.size() - len + 1);
+  const std::size_t b = rng.Below(d.size() - len + 1);
+  std::swap_ranges(d.begin() + static_cast<std::ptrdiff_t>(a),
+                   d.begin() + static_cast<std::ptrdiff_t>(a + len),
+                   d.begin() + static_cast<std::ptrdiff_t>(b));
+  return "splice(" + std::to_string(a) + "<->" + std::to_string(b) + "," +
+         std::to_string(len) + ")";
+}
+
+/// Duplicate a random chunk in place (replayed frame / repeated field).
+std::string Duplicate(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  if (d.empty()) return "dup:noop";
+  const std::size_t len = 1 + rng.Below(std::min<std::size_t>(d.size(), 48));
+  const std::size_t off = rng.Below(d.size() - len + 1);
+  bsutil::ByteVec chunk(d.begin() + static_cast<std::ptrdiff_t>(off),
+                        d.begin() + static_cast<std::ptrdiff_t>(off + len));
+  d.insert(d.begin() + static_cast<std::ptrdiff_t>(off + len), chunk.begin(),
+           chunk.end());
+  return "dup@" + std::to_string(off) + "(" + std::to_string(len) + ")";
+}
+
+/// Remove a random interior chunk (lost frame / skipped field).
+std::string Excise(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  if (d.size() < 2) return "excise:noop";
+  const std::size_t len = 1 + rng.Below(std::min<std::size_t>(d.size() - 1, 48));
+  const std::size_t off = rng.Below(d.size() - len + 1);
+  d.erase(d.begin() + static_cast<std::ptrdiff_t>(off),
+          d.begin() + static_cast<std::ptrdiff_t>(off + len));
+  return "excise@" + std::to_string(off) + "(" + std::to_string(len) + ")";
+}
+
+/// Prepend or insert a frame carrying a foreign network magic: the decoder
+/// must reject it by the header alone without trusting its length field.
+std::string ForeignFrame(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  const std::uint32_t foreign_magic = kFuzzMagic ^ 0x00010000u;
+  bsutil::Writer w;
+  w.WriteU32(foreign_magic);
+  const char cmd[12] = {'p', 'i', 'n', 'g'};
+  w.WriteBytes(bsutil::ByteSpan(reinterpret_cast<const std::uint8_t*>(cmd), 12));
+  w.WriteU32(static_cast<std::uint32_t>(rng.Next()));  // lying length
+  w.WriteU32(static_cast<std::uint32_t>(rng.Next()));  // bogus checksum
+  const bsutil::ByteVec& frame = w.Data();
+  const std::size_t off = d.empty() ? 0 : rng.Below(d.size());
+  d.insert(d.begin() + static_cast<std::ptrdiff_t>(off), frame.begin(),
+           frame.end());
+  return "foreign@" + std::to_string(off);
+}
+
+using MutatorFn = std::string (*)(bsutil::ByteVec&, bsutil::Rng&);
+constexpr MutatorFn kMutators[] = {BitFlip,   ByteSet,  Truncate, Extend,
+                                   LengthLie, VarintEdge, Splice, Duplicate,
+                                   Excise,    ForeignFrame};
+
+}  // namespace
+
+std::string MutateOnce(bsutil::ByteVec& input, bsutil::Rng& rng) {
+  return kMutators[rng.Below(std::size(kMutators))](input, rng);
+}
+
+void Mutate(bsutil::ByteVec& input, bsutil::Rng& rng, std::size_t count,
+            std::vector<std::string>& trace) {
+  for (std::size_t i = 0; i < count; ++i) {
+    trace.push_back(MutateOnce(input, rng));
+  }
+}
+
+}  // namespace bsfuzz

@@ -1,0 +1,22 @@
+// Structure-aware mutators. Each mutation appends a human-readable step to
+// the trace (e.g. "lenlie@16=0x80000000") so a failing input's full
+// provenance — seed, base generator, mutation stack — lands verbatim in the
+// minimized repro artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.hpp"
+#include "util/rng.hpp"
+
+namespace bsfuzz {
+
+/// Apply one randomly chosen mutation in place; returns the trace step.
+std::string MutateOnce(bsutil::ByteVec& input, bsutil::Rng& rng);
+
+/// Apply `count` mutations, appending each step to `trace`.
+void Mutate(bsutil::ByteVec& input, bsutil::Rng& rng, std::size_t count,
+            std::vector<std::string>& trace);
+
+}  // namespace bsfuzz

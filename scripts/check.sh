@@ -41,6 +41,15 @@ if ./build/tools/banscore-lab eclipse --defenses none --format json; then
 fi
 ./build/tools/banscore-lab eclipse --defenses all --format json
 
+echo "==> fuzz smoke: 8 seeds x 1500 iters per harness + differential oracle"
+# Deterministic structure-aware campaigns over the four wire-facing
+# harnesses (codec, tracker, store, addrman), replaying the committed
+# regression corpus first; the differential driver must match Table I
+# exactly. Minimized repros for any failure land in build/fuzz-artifacts/.
+./build/tools/banscore-lab fuzz --seeds 8 --iters 1500 \
+  --corpus fuzz/corpus --artifacts build/fuzz-artifacts \
+  --format json > build/fuzz-smoke.json
+
 echo "==> perf trajectory: bench_hotpath vs committed baseline"
 ./build/bench/bench_hotpath --json build/BENCH_hotpath.json > /dev/null
 # Deterministic counters must match the committed baseline exactly (same

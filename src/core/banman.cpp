@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "util/log.hpp"
 #include "util/serialize.hpp"
@@ -85,7 +86,15 @@ bsutil::ByteVec BanMan::Serialize() const {
   bsutil::Writer w;
   w.WriteU32(kBanListMagic);
   w.WriteCompactSize(bans_.size());
-  for (const auto& [ep, until] : bans_) {
+  // Canonical order: sorted by (ip, port) so equal ban sets serialize
+  // byte-identically regardless of insertion/rehash history.
+  std::vector<std::pair<Endpoint, bsim::SimTime>> entries(bans_.begin(),
+                                                          bans_.end());
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return a.first.ip != b.first.ip ? a.first.ip < b.first.ip
+                                    : a.first.port < b.first.port;
+  });
+  for (const auto& [ep, until] : entries) {
     w.WriteU32(ep.ip);
     w.WriteU16(ep.port);
     w.WriteI64(until);

@@ -1,5 +1,9 @@
 #include "core/misbehavior.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "util/serialize.hpp"
 
 namespace bsnet {
@@ -153,10 +157,18 @@ bsutil::ByteVec MisbehaviorTracker::Serialize() const {
   bsutil::Writer w;
   w.WriteU32(kScoreTableMagic);
   w.WriteCompactSize(scores_.size());
-  for (const auto& [id, score] : scores_) {
-    w.WriteU64(id);
-    w.WriteI64(score.misbehavior);
-    w.WriteI64(score.good_score);
+  // Canonical order: sorted by peer id. The serialized form must be a pure
+  // function of the tracked state, not of unordered_map iteration history,
+  // so snapshots of equal state compare byte-identical.
+  std::vector<const std::pair<const std::uint64_t, PeerScore>*> entries;
+  entries.reserve(scores_.size());
+  for (const auto& entry : scores_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : entries) {
+    w.WriteU64(entry->first);
+    w.WriteI64(entry->second.misbehavior);
+    w.WriteI64(entry->second.good_score);
   }
   return w.TakeData();
 }

@@ -50,6 +50,9 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
                                      "Frames ignored: unknown command");
   m_frames_malformed_ = reg.GetCounter("bs_node_frames_malformed_total",
                                        "Frames dropped: malformed/oversize/bad magic");
+  m_codec_oversize_ = reg.GetCounter(
+      "bs_codec_oversize_reject_total",
+      "Frames rejected: declared length above kMaxFramePayload");
   m_peers_banned_ =
       reg.GetCounter("bs_node_peers_banned_total", "Peers banned or discouraged");
   m_reconnects_ = reg.GetCounter("bs_node_outbound_reconnects_total",
@@ -777,6 +780,7 @@ void Node::ProcessFrame(Peer& peer, const bsproto::DecodeResult& frame,
     case DecodeStatus::kBadMagic:
       ++peer.frames_malformed;
       m_frames_malformed_->Inc();
+      if (frame.status == DecodeStatus::kOversize) m_codec_oversize_->Inc();
       trace_.Record(Sched().Now(), bsobs::EventType::kFrameDropped, peer.id,
                     static_cast<std::int64_t>(frame.status),
                     static_cast<std::int64_t>(frame_bytes));

@@ -553,6 +553,7 @@ class Node : public bsim::Host {
   bsobs::Counter* m_frames_bad_checksum_ = nullptr;
   bsobs::Counter* m_frames_unknown_ = nullptr;
   bsobs::Counter* m_frames_malformed_ = nullptr;
+  bsobs::Counter* m_codec_oversize_ = nullptr;
   bsobs::Counter* m_peers_banned_ = nullptr;
   bsobs::Counter* m_reconnects_ = nullptr;
   bsobs::Counter* m_icmp_packets_ = nullptr;

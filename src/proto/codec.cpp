@@ -1,9 +1,23 @@
 #include "proto/codec.hpp"
 
+#include <atomic>
+
 #include "crypto/sha256.hpp"
 #include "util/serialize.hpp"
 
 namespace bsproto {
+
+namespace {
+// Decode is a free function with no instance to hang a metrics handle on, so
+// oversize rejections land in a process-wide relaxed counter; the node
+// mirrors it into bs_codec_oversize_reject_total (and tests/fuzz harnesses
+// read it directly).
+std::atomic<std::uint64_t> g_oversize_rejects{0};
+}  // namespace
+
+std::uint64_t CodecOversizeRejects() {
+  return g_oversize_rejects.load(std::memory_order_relaxed);
+}
 
 std::array<std::uint8_t, 4> PayloadChecksum(bsutil::ByteSpan payload) {
   const auto digest = bscrypto::Sha256::HashD(payload);
@@ -93,7 +107,10 @@ DecodeResult DecodeMessage(std::uint32_t magic, bsutil::ByteSpan stream) {
     result.consumed = kHeaderSize;  // cannot trust length from a foreign frame
     return result;
   }
-  if (result.header.length > kMaxProtocolMessageLength) {
+  if (result.header.length > kMaxFramePayload) {
+    // Length-field lie: never size a buffer (or wait for payload bytes) off a
+    // declared length beyond the frame bound.
+    g_oversize_rejects.fetch_add(1, std::memory_order_relaxed);
     result.status = DecodeStatus::kOversize;
     result.consumed = kHeaderSize;
     return result;

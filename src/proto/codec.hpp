@@ -51,11 +51,17 @@ enum class DecodeStatus {
   kOk,
   kNeedMoreData,     // incomplete header or payload
   kBadMagic,         // wrong network
-  kOversize,         // declared length exceeds kMaxProtocolMessageLength
+  kOversize,         // declared length exceeds kMaxFramePayload
   kBadChecksum,      // dropped before any payload processing
   kUnknownCommand,   // parsed but not one of the 26 types (ignored, no ban)
   kMalformed,        // payload failed deserialization
 };
+
+/// Process-wide count of frames rejected for a declared length above
+/// kMaxFramePayload. The node mirrors this into the
+/// bs_codec_oversize_reject_total metric; tests and fuzz harnesses assert on
+/// it directly.
+std::uint64_t CodecOversizeRejects();
 
 const char* ToString(DecodeStatus s);
 

@@ -27,6 +27,15 @@ constexpr std::uint64_t kNodeWitness = 1 << 3;
 /// Hard cap on any message payload (Bitcoin's MAX_PROTOCOL_MESSAGE_LENGTH).
 constexpr std::size_t kMaxProtocolMessageLength = 4'000'000;
 
+/// Decode-side allocation bound. Every pre-allocation on the receive path
+/// (frame assembly, var-bytes fields) is clamped by this constant rather than
+/// by a length field an attacker controls; a declared length above it is
+/// rejected as DecodeStatus::kOversize before any buffer is sized from it.
+/// Kept as a separate name from kMaxProtocolMessageLength so the framing
+/// bound can diverge from the consensus constant if the transport ever grows
+/// its own envelope.
+constexpr std::size_t kMaxFramePayload = kMaxProtocolMessageLength;
+
 /// Oversize bounds with ban-score rules attached (Table I).
 constexpr std::size_t kMaxAddrToSend = 1'000;        // ADDR
 constexpr std::size_t kMaxInvEntries = 50'000;       // INV / GETDATA

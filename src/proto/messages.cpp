@@ -351,7 +351,7 @@ Message DeserializePayload(MsgType type, ByteSpan payload) {
       FilterLoadMsg m;
       // Permissive bound: the punishable limit is 36000, but the payload must
       // parse for the node to punish it.
-      m.filter = r.ReadVarBytes(kMaxProtocolMessageLength);
+      m.filter = r.ReadVarBytes(kMaxFramePayload);
       m.n_hash_funcs = r.ReadU32();
       m.n_tweak = r.ReadU32();
       m.n_flags = r.ReadU8();
@@ -360,7 +360,7 @@ Message DeserializePayload(MsgType type, ByteSpan payload) {
     }
     case MsgType::kFilterAdd: {
       FilterAddMsg m;
-      m.data = r.ReadVarBytes(kMaxProtocolMessageLength);
+      m.data = r.ReadVarBytes(kMaxFramePayload);
       out = m;
       break;
     }
@@ -374,7 +374,7 @@ Message DeserializePayload(MsgType type, ByteSpan payload) {
       const std::uint64_t n = ReadCount(r, 32);
       m.hashes.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) m.hashes.push_back(bscrypto::Hash256::Deserialize(r));
-      m.flags = r.ReadVarBytes(kMaxProtocolMessageLength);
+      m.flags = r.ReadVarBytes(kMaxFramePayload);
       out = m;
       break;
     }

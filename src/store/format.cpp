@@ -86,8 +86,36 @@ void AppendFrame(bsutil::ByteVec& out, std::uint8_t type, bsutil::ByteSpan paylo
   out.insert(out.end(), payload.begin(), payload.end());
 }
 
+namespace {
+
+constexpr std::size_t kFrameHead = 4 + 1 + 4;  // len + type + crc
+
+/// Parse one frame at `pos`; returns the frame's total size (head + payload)
+/// when structurally valid (length bound, complete, CRC intact), 0 otherwise.
+/// `crc_budget` caps CRC work so a resync sweep over a corrupt region cannot
+/// degenerate into quadratic checksumming; it is decremented by payload size.
+std::size_t FrameSizeAt(bsutil::ByteSpan data, std::size_t pos,
+                        std::uint8_t& type_out, std::size_t& crc_budget) {
+  if (data.size() - pos < kFrameHead) return 0;
+  bsutil::Reader r(data.subspan(pos, kFrameHead));
+  const std::uint32_t len = r.ReadU32();
+  const std::uint8_t type = r.ReadU8();
+  const std::uint32_t crc = r.ReadU32();
+  if (len > kMaxRecordPayload) return 0;
+  if (data.size() - pos - kFrameHead < len) return 0;
+  if (len > crc_budget) return 0;
+  crc_budget -= len;
+  const bsutil::ByteSpan payload = data.subspan(pos + kFrameHead, len);
+  std::uint32_t want = Crc32Update(Crc32Init(), bsutil::ByteSpan(&type, 1));
+  want = Crc32Final(Crc32Update(want, payload));
+  if (want != crc) return 0;
+  type_out = type;
+  return kFrameHead + len;
+}
+
+}  // namespace
+
 ScanResult ScanFrames(bsutil::ByteSpan data) {
-  constexpr std::size_t kFrameHead = 4 + 1 + 4;  // len + type + crc
   ScanResult result;
   std::size_t pos = 0;
   while (true) {
@@ -114,9 +142,41 @@ ScanResult ScanFrames(bsutil::ByteSpan data) {
   }
   result.valid_bytes = pos;
   result.clean = pos == data.size();
+  result.trailing_bytes = data.size() - result.committed_bytes;
   // Records under the last commit marker, markers excluded.
   for (std::size_t i = 0; i < result.committed_frame_count; ++i) {
     if (result.records[i].type != kCommitRecord) ++result.committed_records;
+  }
+
+  // Tail forensics: a torn append ends the region at the first bad frame, so
+  // nothing past it should ever parse. Slide byte-by-byte from the damage
+  // looking for a later valid frame chain; hits mean mid-stream corruption
+  // destroyed data the log had already absorbed. Work is bounded (slide
+  // window + CRC budget) because this only informs reporting — truncation to
+  // the committed prefix happens regardless.
+  if (!result.clean) {
+    constexpr std::size_t kResyncSlideWindow = 256 * 1024;
+    std::size_t crc_budget = 4 * 1024 * 1024;
+    const std::size_t slide_end =
+        std::min(data.size(), pos + 1 + kResyncSlideWindow);
+    for (std::size_t probe = pos + 1; probe < slide_end; ++probe) {
+      std::uint8_t type = 0;
+      const std::size_t first = FrameSizeAt(data, probe, type, crc_budget);
+      if (first == 0) {
+        if (crc_budget == 0) break;
+        continue;
+      }
+      result.resync_offset = probe;
+      std::size_t chain = probe;
+      std::size_t size = first;
+      while (size != 0) {
+        ++result.resynced_frames;
+        if (type == kCommitRecord) ++result.resynced_commits;
+        chain += size;
+        size = FrameSizeAt(data, chain, type, crc_budget);
+      }
+      break;
+    }
   }
   return result;
 }

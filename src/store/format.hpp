@@ -88,6 +88,22 @@ struct ScanResult {
   /// Byte offset (within the scanned region) one past the last commit
   /// marker — the physical durable prefix a repair may truncate to.
   std::size_t committed_bytes = 0;
+  /// Bytes past the last commit boundary (uncommitted frames, torn tail,
+  /// and raw trailing garbage together) — exactly what a repair truncates.
+  std::size_t trailing_bytes = 0;
+  /// Tail forensics, filled only when the region is not clean: the scanner
+  /// resynchronizes past the first bad frame by sliding forward until a
+  /// structurally valid frame chain parses again. Any frame found there
+  /// means the region holds mid-stream corruption rather than a plain torn
+  /// append — and a commit marker among them means *committed* data sits
+  /// beyond the damage. Recovery still truncates (replaying across a hole
+  /// is unsound), but it must report the loss instead of passing it off as
+  /// an ordinary dirty tail.
+  std::size_t resynced_frames = 0;
+  /// Commit markers among the resynchronized frames (lost transactions).
+  std::size_t resynced_commits = 0;
+  /// Region-relative offset where the scanner resynchronized (0 if never).
+  std::size_t resync_offset = 0;
 };
 
 /// Scan `data` (the post-header region of a store file) for frames,

@@ -38,6 +38,8 @@ ScannedFile ScanStoreFile(StoreFs& fs, const std::string& dir,
                               (out.scan.clean ? 0 : 1);
   out.report.garbage_bytes =
       out.data.size() - kHeaderSize - out.scan.committed_bytes;
+  out.report.resynced_frames = out.scan.resynced_frames;
+  out.report.resynced_commits = out.scan.resynced_commits;
   return out;
 }
 
@@ -109,6 +111,8 @@ FsckReport RunFsck(StoreFs& fs, const std::string& dir, bool repair,
       report.active_records += fr.committed;
       report.truncated_frames += fr.dropped_frames;
       report.truncated_bytes += fr.garbage_bytes;
+      report.resynced_frames += fr.resynced_frames;
+      report.lost_commits += fr.resynced_commits;
       if (!fr.header_ok || fr.dropped_frames > 0) {
         journal_clean = false;
         if (repair) {
@@ -171,6 +175,10 @@ FsckReport RunFsck(StoreFs& fs, const std::string& dir, bool repair,
                      "Journal bytes fsck found past the durable boundary")
         ->Inc(report.truncated_bytes);
     registry
+        ->GetCounter("bs_store_fsck_lost_commits_total",
+                     "Committed transactions stranded past mid-journal damage")
+        ->Inc(report.lost_commits);
+    registry
         ->GetCounter("bs_store_fsck_corrupt_snapshots_total",
                      "Corrupt snapshot generations fsck skipped")
         ->Inc(report.corrupt_snapshots);
@@ -195,6 +203,8 @@ std::string FsckReport::ToJson() const {
   add("active_records", std::to_string(active_records), false);
   add("truncated_frames", std::to_string(truncated_frames), false);
   add("truncated_bytes", std::to_string(truncated_bytes), false);
+  add("resynced_frames", std::to_string(resynced_frames), false);
+  add("lost_commits", std::to_string(lost_commits), false);
   add("corrupt_snapshots", std::to_string(corrupt_snapshots), false);
   add("orphan_tmp_files", std::to_string(orphan_tmp_files), false);
   add("stale_files", std::to_string(stale_files), false);
@@ -210,6 +220,8 @@ std::string FsckReport::ToJson() const {
                   ",\"committed\":" + std::to_string(fr.committed) +
                   ",\"dropped_frames\":" + std::to_string(fr.dropped_frames) +
                   ",\"garbage_bytes\":" + std::to_string(fr.garbage_bytes) +
+                  ",\"resynced_frames\":" + std::to_string(fr.resynced_frames) +
+                  ",\"resynced_commits\":" + std::to_string(fr.resynced_commits) +
                   ",\"stale\":" + (fr.stale ? "true" : "false") +
                   ",\"orphan_tmp\":" + (fr.orphan_tmp ? "true" : "false") +
                   ",\"repaired\":" + (fr.repaired ? "true" : "false") + "}";

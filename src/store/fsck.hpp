@@ -32,6 +32,8 @@ struct FsckFileReport {
   std::size_t committed = 0;     // records under a commit marker
   std::size_t dropped_frames = 0;  // uncommitted frames + torn tail
   std::size_t garbage_bytes = 0;   // bytes past the last committed boundary
+  std::size_t resynced_frames = 0;  // intact frames found past the damage
+  std::size_t resynced_commits = 0;  // commit markers among them (lost txns)
   bool stale = false;            // belongs to a superseded generation
   bool orphan_tmp = false;       // leftover *.tmp from an interrupted rename
   bool repaired = false;         // action taken (truncated or deleted)
@@ -44,7 +46,9 @@ struct FsckReport {
   std::uint64_t active_seq = 0;
   std::size_t active_records = 0;  // replayable records (snapshot + journal)
   std::size_t truncated_frames = 0;
-  std::size_t truncated_bytes = 0;
+  std::size_t truncated_bytes = 0;  // journal bytes past the durable boundary
+  std::size_t resynced_frames = 0;  // active-journal frames stranded past damage
+  std::size_t lost_commits = 0;     // stranded commit markers (real data loss)
   std::size_t corrupt_snapshots = 0;
   std::size_t orphan_tmp_files = 0;
   std::size_t stale_files = 0;

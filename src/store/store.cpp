@@ -230,6 +230,17 @@ bool StateStore::Open(const ReplayFn& replay) {
         open_stats_.journal_was_dirty = true;
         open_stats_.truncated_frames += dropped_frames;
         open_stats_.truncated_bytes += region.size() - scan.committed_bytes;
+        open_stats_.resynced_frames += scan.resynced_frames;
+        open_stats_.lost_commits += scan.resynced_commits;
+        if (scan.resynced_commits > 0) {
+          // Intact committed transactions exist past the damage. Truncation
+          // is still the only sound recovery (replay may not skip a hole),
+          // but this is data loss, not a routine torn append — say so.
+          bsutil::Log(bsutil::LogLevel::kError, "store",
+                      "mid-journal corruption: ", scan.resynced_commits,
+                      " committed transaction(s) stranded past the damage in ",
+                      JournalName(seq_), " were dropped");
+        }
         if (m_truncated_frames_ != nullptr) m_truncated_frames_->Inc(dropped_frames);
         if (m_truncated_bytes_ != nullptr) {
           m_truncated_bytes_->Inc(region.size() - scan.committed_bytes);

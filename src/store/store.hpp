@@ -48,6 +48,8 @@ struct StoreStats {
   std::uint64_t truncated_frames = 0;    // complete-but-uncommitted frames dropped
   std::uint64_t truncated_bytes = 0;     // journal bytes cut off (torn tail)
   std::uint64_t corrupt_snapshots = 0;   // generations skipped for a bad snapshot
+  std::uint64_t resynced_frames = 0;     // intact frames found past the damage
+  std::uint64_t lost_commits = 0;        // commit markers among them (lost txns)
   bool journal_was_dirty = false;        // tail truncation happened on open
   bool fresh_store = false;              // directory had no prior generation
 };

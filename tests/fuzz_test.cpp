@@ -1,0 +1,264 @@
+// Tests for the in-repo fuzz fabric itself: generator validity, mutator and
+// engine determinism, minimizer behavior, repro-file round-trips, the short
+// smoke campaigns that gate every ctest run, and the Table I differential
+// rule-set oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hpp"
+#include "fuzz/engine.hpp"
+#include "fuzz/generators.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/mutators.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using bsutil::ByteVec;
+
+std::string TempDir(const std::string& leaf) {
+  const auto dir = std::filesystem::temp_directory_path() / leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// --- generators -----------------------------------------------------------
+
+TEST(FuzzGenerators, BaseInputsAreValidUnderTheirHarness) {
+  // The whole structure-aware premise: unmutated generator output must pass
+  // its harness, otherwise every campaign would drown in false positives.
+  for (const std::string& harness : bsfuzz::AllHarnesses()) {
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+      bsutil::Rng rng(seed * 977);
+      const ByteVec input = bsfuzz::BaseInputFor(harness, rng);
+      ASSERT_FALSE(input.empty()) << harness << " seed " << seed;
+      const bsfuzz::HarnessResult r = bsfuzz::RunHarness(harness, input);
+      EXPECT_TRUE(r.ok) << harness << " seed " << seed << ": " << r.oracle
+                        << " — " << r.detail;
+    }
+  }
+}
+
+TEST(FuzzGenerators, Deterministic) {
+  for (const std::string& harness : bsfuzz::AllHarnesses()) {
+    bsutil::Rng a(42), b(42);
+    EXPECT_EQ(bsfuzz::BaseInputFor(harness, a), bsfuzz::BaseInputFor(harness, b))
+        << harness;
+  }
+}
+
+TEST(FuzzGenerators, UnknownHarnessThrows) {
+  bsutil::Rng rng(1);
+  EXPECT_THROW(bsfuzz::BaseInputFor("nope", rng), std::invalid_argument);
+  EXPECT_THROW(bsfuzz::RunHarness("nope", ByteVec{}), std::invalid_argument);
+}
+
+// --- mutators -------------------------------------------------------------
+
+TEST(FuzzMutators, DeterministicAndTraced) {
+  bsutil::Rng gen(7);
+  const ByteVec base = bsfuzz::CodecBase(gen);
+
+  ByteVec a = base, b = base;
+  std::vector<std::string> trace_a, trace_b;
+  bsutil::Rng ra(99), rb(99);
+  bsfuzz::Mutate(a, ra, 4, trace_a);
+  bsfuzz::Mutate(b, rb, 4, trace_b);
+
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(trace_a.size(), 4u);
+  for (const std::string& step : trace_a) EXPECT_FALSE(step.empty());
+}
+
+TEST(FuzzMutators, EventuallyChangesInput) {
+  bsutil::Rng gen(11);
+  const ByteVec base = bsfuzz::CodecBase(gen);
+  bsutil::Rng rng(13);
+  ByteVec mutated = base;
+  std::vector<std::string> trace;
+  // A single mutation may be a no-op (e.g. flipping then restoring layout);
+  // a stack of eight across several tries must not be.
+  bool changed = false;
+  for (int attempt = 0; attempt < 8 && !changed; ++attempt) {
+    mutated = base;
+    bsfuzz::Mutate(mutated, rng, 8, trace);
+    changed = mutated != base;
+  }
+  EXPECT_TRUE(changed);
+}
+
+// --- minimizer ------------------------------------------------------------
+
+TEST(FuzzMinimize, ShrinksToThePinnedCause) {
+  // Failure predicate: input contains the byte 0x42 anywhere.
+  ByteVec input(100, 0xaa);
+  input[57] = 0x42;
+  const auto still_fails = [](bsutil::ByteSpan candidate) {
+    return std::find(candidate.begin(), candidate.end(), 0x42) !=
+           candidate.end();
+  };
+  const ByteVec minimized = bsfuzz::Minimize(input, still_fails);
+  ASSERT_FALSE(minimized.empty());
+  EXPECT_TRUE(still_fails(minimized));
+  // Greedy chunk removal must strip all the irrelevant padding.
+  EXPECT_LE(minimized.size(), 2u);
+}
+
+TEST(FuzzMinimize, NeverReturnsAPassingInput) {
+  ByteVec input = {1, 2, 3, 4};
+  std::size_t calls = 0;
+  const auto still_fails = [&calls](bsutil::ByteSpan candidate) {
+    ++calls;
+    return candidate.size() >= 3;  // fails while at least 3 bytes remain
+  };
+  const ByteVec minimized = bsfuzz::Minimize(input, still_fails);
+  EXPECT_GE(minimized.size(), 3u);
+  EXPECT_GT(calls, 0u);
+}
+
+// --- repro files ----------------------------------------------------------
+
+TEST(FuzzEngine, ReproFileRoundTrip) {
+  const std::string dir = TempDir("bsfuzz-repro-test");
+  bsfuzz::FuzzFailure failure;
+  failure.harness = "codec";
+  failure.seed = 12345;
+  failure.iter = 67;
+  failure.oracle = "roundtrip-idempotence";
+  failure.detail = "unit-test artifact";
+  failure.trace = {"bitflip@3", "lenlie@16=0x80000000"};
+  for (int i = 0; i < 300; ++i) {
+    failure.input.push_back(static_cast<std::uint8_t>(i * 7));
+  }
+
+  const std::string path = bsfuzz::WriteReproFile(dir, failure);
+  ASSERT_FALSE(path.empty());
+
+  ByteVec reread;
+  ASSERT_TRUE(bsfuzz::ReadReproFile(path, reread));
+  EXPECT_EQ(reread, failure.input);
+}
+
+TEST(FuzzEngine, ReadReproFileRejectsMissing) {
+  ByteVec out;
+  EXPECT_FALSE(bsfuzz::ReadReproFile("/nonexistent/file.repro", out));
+}
+
+// --- engine ---------------------------------------------------------------
+
+TEST(FuzzEngine, CampaignIsDeterministic) {
+  bsfuzz::CampaignConfig config;
+  config.harness = "codec";
+  config.seed = 5;
+  config.iters = 100;
+  const bsfuzz::CampaignResult a = bsfuzz::RunCampaign(config);
+  const bsfuzz::CampaignResult b = bsfuzz::RunCampaign(config);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+TEST(FuzzEngine, SmokeCampaignsAreClean) {
+  // The in-tests smoke gate: every harness must survive a short seeded
+  // campaign with zero oracle violations. Deeper runs live in check.sh.
+  for (const std::string& harness : bsfuzz::AllHarnesses()) {
+    for (std::uint64_t seed : {1ull, 2ull}) {
+      bsfuzz::CampaignConfig config;
+      config.harness = harness;
+      config.seed = seed;
+      config.iters = 150;
+      const bsfuzz::CampaignResult r = bsfuzz::RunCampaign(config);
+      EXPECT_EQ(r.iterations, 150u);
+      for (const auto& f : r.failures) {
+        ADD_FAILURE() << harness << " seed " << seed << " iter " << f.iter
+                      << ": " << f.oracle << " — " << f.detail;
+      }
+    }
+  }
+}
+
+TEST(FuzzEngine, CommittedCorpusReplaysClean) {
+#ifdef BS_FUZZ_CORPUS_DIR
+  std::size_t total = 0;
+  for (const std::string& harness : bsfuzz::AllHarnesses()) {
+    bsfuzz::CampaignConfig config;
+    config.harness = harness;
+    config.seed = 1;
+    config.iters = 0;  // corpus replay only
+    config.corpus_dir = BS_FUZZ_CORPUS_DIR;
+    const bsfuzz::CampaignResult r = bsfuzz::RunCampaign(config);
+    total += r.corpus_inputs;
+    for (const auto& f : r.failures) {
+      ADD_FAILURE() << harness << " corpus " << f.source << ": " << f.oracle
+                    << " — " << f.detail;
+    }
+  }
+  // The committed corpus must actually exist; an empty replay would make
+  // this test vacuous.
+  EXPECT_GT(total, 0u);
+#else
+  GTEST_SKIP() << "BS_FUZZ_CORPUS_DIR not defined";
+#endif
+}
+
+TEST(FuzzEngine, ReseedCorpusWritesReplayableInputs) {
+  const std::string dir = TempDir("bsfuzz-reseed-test");
+  for (const std::string& harness : bsfuzz::AllHarnesses()) {
+    const std::size_t n = bsfuzz::ReseedCorpus(harness, dir, 1, 4);
+    EXPECT_EQ(n, 4u) << harness;
+    bsfuzz::CampaignConfig config;
+    config.harness = harness;
+    config.seed = 1;
+    config.iters = 0;
+    config.corpus_dir = dir;
+    const bsfuzz::CampaignResult r = bsfuzz::RunCampaign(config);
+    EXPECT_EQ(r.corpus_inputs, 4u) << harness;
+    EXPECT_TRUE(r.failures.empty()) << harness;
+  }
+}
+
+// --- differential oracle --------------------------------------------------
+
+TEST(FuzzDifferential, PredictionIsTheTableIMatrix) {
+  const auto& cells = bsfuzz::PredictedDivergenceCells();
+  ASSERT_EQ(cells.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(cells.begin(), cells.end()));
+  // Spot-check the two rules dropped after 0.20 and the two dropped in 0.22.
+  EXPECT_NE(std::find(cells.begin(), cells.end(),
+                      "filteradd-version-gate@0.20/0.22"),
+            cells.end());
+  EXPECT_NE(std::find(cells.begin(), cells.end(),
+                      "version-duplicate@0.21/0.22"),
+            cells.end());
+}
+
+TEST(FuzzDifferential, ObservedDivergenceEqualsTableI) {
+  const bsfuzz::DiffResult r = bsfuzz::RunDifferential(/*seed=*/1,
+                                                       /*iters=*/120);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.observed, r.predicted);
+  for (const std::string& cell : r.unpredicted) {
+    ADD_FAILURE() << "unpredicted divergence: " << cell;
+  }
+  for (const std::string& cell : r.missing) {
+    ADD_FAILURE() << "missing divergence: " << cell;
+  }
+  EXPECT_GT(r.events, 100u);
+}
+
+TEST(FuzzDifferential, DeterministicAcrossRuns) {
+  const bsfuzz::DiffResult a = bsfuzz::RunDifferential(9, 40);
+  const bsfuzz::DiffResult b = bsfuzz::RunDifferential(9, 40);
+  EXPECT_EQ(a.observed, b.observed);
+  EXPECT_EQ(a.events, b.events);
+}
+
+}  // namespace

@@ -332,6 +332,43 @@ TEST(Codec, OversizeLengthRejected) {
   EXPECT_EQ(result.status, DecodeStatus::kOversize);
 }
 
+TEST(Codec, DeclaredLength2G31RejectedWithoutAllocation) {
+  // Regression: a frame declaring length 2^31 (and every value above
+  // kMaxFramePayload) must be refused at the header gate — before any
+  // payload buffering — and must bump the oversize-reject counter. A
+  // decoder that allocated first would turn one 24-byte header into a 2 GiB
+  // allocation.
+  const std::uint64_t before = CodecOversizeRejects();
+  for (const std::uint32_t length :
+       {static_cast<std::uint32_t>(1) << 31, std::uint32_t{0x7fffffff},
+        std::uint32_t{0xffffffff},
+        static_cast<std::uint32_t>(kMaxFramePayload) + 1}) {
+    MessageHeader header;
+    header.magic = kMagic;
+    header.command = "tx";
+    header.length = length;
+    const ByteVec frame = header.Serialize();
+    const DecodeResult result = DecodeMessage(kMagic, frame);
+    EXPECT_EQ(result.status, DecodeStatus::kOversize) << "length=" << length;
+    EXPECT_EQ(result.consumed, frame.size()) << "length=" << length;
+  }
+  EXPECT_EQ(CodecOversizeRejects(), before + 4);
+}
+
+TEST(Codec, MaxFramePayloadBoundMatchesProtocolLimit) {
+  // kMaxFramePayload is the decode-side allocation bound; it must never
+  // drift above the protocol's own message-size limit.
+  EXPECT_EQ(kMaxFramePayload, kMaxProtocolMessageLength);
+  MessageHeader header;
+  header.magic = kMagic;
+  header.command = "tx";
+  header.length = static_cast<std::uint32_t>(kMaxFramePayload);
+  const ByteVec frame = header.Serialize();
+  // Exactly at the bound: not oversize (the payload simply isn't there yet).
+  const DecodeResult result = DecodeMessage(kMagic, frame);
+  EXPECT_EQ(result.status, DecodeStatus::kNeedMoreData);
+}
+
 TEST(Codec, PartialHeaderNeedsMoreData) {
   const ByteVec frame = EncodeMessage(kMagic, PingMsg{1});
   const DecodeResult result =

@@ -3,6 +3,7 @@
 // policies. The rule matrix is checked row-by-row against the paper's table.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <set>
 #include <string>
 #include <vector>
@@ -104,6 +105,54 @@ TEST(Rules, MessageTypeCoverageIsTwelveOfTwentySix) {
   // Table I names: BLOCK TX GETBLOCKTXN HEADERS ADDR INV GETDATA CMPCTBLOCK
   // FILTERLOAD FILTERADD VERSION VERACK == 12.
   EXPECT_EQ(types.size(), 12u);
+}
+
+TEST(Rules, BehavioralDivergenceMatrixAcrossVersions) {
+  // Differential snapshot: drive EVERY misbehavior through live trackers of
+  // all three versions, in both scopes, and record each (misbehavior,
+  // version-pair) cell where the outcomes differ. The expected set below is
+  // spelled out cell by cell — exactly the four Table I deprecations —
+  // so rescoring, adding, or dropping a rule in any one version's snapshot
+  // fails here until the matrix is deliberately re-derived. This checks the
+  // *behavior* of MisbehaviorTracker, complementing the GetRule row checks
+  // above and the randomized differential oracle in fuzz/differential.cpp.
+  const std::array<CoreVersion, 3> versions = {
+      CoreVersion::kV0_20, CoreVersion::kV0_21, CoreVersion::kV0_22};
+  const auto cell = [](Misbehavior m, CoreVersion a, CoreVersion b) {
+    return std::string(ToString(m)) + "@" + ToString(a) + "/" + ToString(b);
+  };
+  const std::set<std::string> expected = {
+      cell(Misbehavior::kFilterAddVersionGate, versions[0], versions[1]),
+      cell(Misbehavior::kFilterAddVersionGate, versions[0], versions[2]),
+      cell(Misbehavior::kVersionDuplicate, versions[0], versions[2]),
+      cell(Misbehavior::kVersionDuplicate, versions[1], versions[2]),
+      cell(Misbehavior::kMessageBeforeVersion, versions[0], versions[2]),
+      cell(Misbehavior::kMessageBeforeVersion, versions[1], versions[2]),
+      cell(Misbehavior::kMessageBeforeVerack, versions[0], versions[1]),
+      cell(Misbehavior::kMessageBeforeVerack, versions[0], versions[2]),
+  };
+
+  std::set<std::string> observed;
+  for (const Misbehavior what : AllMisbehaviors()) {
+    for (const bool inbound : {true, false}) {
+      std::array<MisbehaviorOutcome, 3> out;
+      for (std::size_t i = 0; i < versions.size(); ++i) {
+        MisbehaviorTracker tracker(versions[i], BanPolicy::kBanScore, 100);
+        out[i] = tracker.Misbehaving(/*peer=*/1, inbound, what);
+      }
+      for (std::size_t a = 0; a < versions.size(); ++a) {
+        for (std::size_t b = a + 1; b < versions.size(); ++b) {
+          if (out[a].rule_applied != out[b].rule_applied ||
+              out[a].score_delta != out[b].score_delta ||
+              out[a].total_score != out[b].total_score ||
+              out[a].should_ban != out[b].should_ban) {
+            observed.insert(cell(what, versions[a], versions[b]));
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(observed, expected);
 }
 
 // ---------------------------------------------------------------------------

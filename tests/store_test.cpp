@@ -143,6 +143,47 @@ TEST(StoreFormat, ScanRejectsAbsurdLength) {
   EXPECT_EQ(scan.valid_bytes, 0u);
 }
 
+TEST(StoreFormat, TrailingBytesCountEverythingPastLastCommit) {
+  bsutil::ByteVec buf;
+  bsstore::AppendFrame(buf, 1, U64Payload(10));
+  bsstore::AppendFrame(buf, bsstore::kCommitRecord, {});
+  const std::size_t committed = buf.size();
+  bsstore::AppendFrame(buf, 2, U64Payload(20));  // valid but uncommitted
+  buf.push_back(0xff);                           // then torn garbage
+  buf.push_back(0xff);
+
+  const ScanResult scan = bsstore::ScanFrames(buf);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_EQ(scan.committed_bytes, committed);
+  EXPECT_EQ(scan.trailing_bytes, buf.size() - committed);
+  // The garbage hides no parseable committed data, so resync finds nothing.
+  EXPECT_EQ(scan.resynced_commits, 0u);
+}
+
+TEST(StoreFormat, ResyncReportsCommitsStrandedPastDamage) {
+  // Mid-journal damage with an intact committed transaction AFTER it: the
+  // scan must still fail closed at the damage, but the resync pass has to
+  // report the stranded commit so recovery can say what was destroyed
+  // instead of silently truncating it away.
+  bsutil::ByteVec buf;
+  bsstore::AppendFrame(buf, 1, U64Payload(10));
+  bsstore::AppendFrame(buf, bsstore::kCommitRecord, {});
+  const std::size_t committed = buf.size();
+  for (int i = 0; i < 7; ++i) buf.push_back(0xff);  // unparseable damage
+  const std::size_t resync_at = buf.size();
+  bsstore::AppendFrame(buf, 2, U64Payload(20));
+  bsstore::AppendFrame(buf, bsstore::kCommitRecord, {});
+
+  const ScanResult scan = bsstore::ScanFrames(buf);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_EQ(scan.committed_bytes, committed);  // fail-closed: prefix only
+  EXPECT_EQ(scan.committed_records, 1u);
+  EXPECT_EQ(scan.trailing_bytes, buf.size() - committed);
+  EXPECT_EQ(scan.resync_offset, resync_at);
+  EXPECT_EQ(scan.resynced_frames, 2u);   // record + its commit marker
+  EXPECT_EQ(scan.resynced_commits, 1u);  // one committed txn stranded
+}
+
 // ---------------------------------------------------------------------------
 // SimFs semantics
 
@@ -624,6 +665,45 @@ TEST(Fsck, BitFlipInJournalDetected) {
   const bsstore::FsckReport report = bsstore::RunFsck(fs, "store", false);
   EXPECT_FALSE(report.healthy);
   EXPECT_GE(report.truncated_frames, 1u);
+}
+
+TEST(Fsck, MidJournalCorruptionReportsLostCommits) {
+  bsim::SimFs fs(1);
+  std::string wal;
+  {
+    StateStore store(fs, "store");
+    store.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+    ASSERT_TRUE(store.Open([](std::uint8_t, bsutil::ByteSpan) {}));
+    ASSERT_TRUE(store.AppendCommit(1, U64Payload(1)));
+    ASSERT_TRUE(store.AppendCommit(1, U64Payload(2)));
+    wal = "store/" + StateStore::JournalName(store.ActiveSeq());
+  }
+  // Corrupt the FIRST transaction's commit marker (CRC byte). The second
+  // transaction is intact but now stranded past the damage.
+  const std::size_t commit1 = bsstore::kHeaderSize + (9 + 8);
+  ASSERT_TRUE(fs.FlipBit(wal, commit1 + 5, 0));
+
+  const bsstore::FsckReport report = bsstore::RunFsck(fs, "store", false);
+  EXPECT_FALSE(report.healthy);
+  EXPECT_EQ(report.lost_commits, 1u);
+  EXPECT_EQ(report.resynced_frames, 2u);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"lost_commits\":1"), std::string::npos) << json;
+
+  // Recovery itself stays fail-closed (prefix truncation), but the open
+  // stats must surface the stranded commit too.
+  StateStore reopened(fs, "store");
+  reopened.SetSnapshotSource([](const StateStore::SnapshotSink&) {});
+  std::vector<std::uint64_t> replayed;
+  ASSERT_TRUE(reopened.Open([&](std::uint8_t, bsutil::ByteSpan payload) {
+    replayed.push_back(PayloadU64(payload));
+  }));
+  EXPECT_TRUE(replayed.empty());  // nothing before the damage was committed
+  EXPECT_TRUE(reopened.OpenStats().journal_was_dirty);
+  EXPECT_EQ(reopened.OpenStats().lost_commits, 1u);
+  EXPECT_EQ(reopened.OpenStats().resynced_frames, 2u);
+  // And the repaired journal accepts new commits on a clean boundary.
+  ASSERT_TRUE(reopened.AppendCommit(1, U64Payload(3)));
 }
 
 TEST(Fsck, OrphanTmpAndStaleGenerationCleaned) {

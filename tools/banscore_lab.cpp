@@ -52,6 +52,9 @@
 #include "detect/monitor.hpp"
 #include "obs/span.hpp"
 #include "sim/faults.hpp"
+#include "fuzz/differential.hpp"
+#include "fuzz/engine.hpp"
+#include "fuzz/harness.hpp"
 #include "store/fsck.hpp"
 #include "store/store.hpp"
 #include "util/json.hpp"
@@ -1437,6 +1440,173 @@ int RunBenchDiff(const Flags& flags) {
   return violations == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// fuzz — deterministic structure-aware fuzz campaigns over the four wire-
+// facing harnesses, plus the Table I differential rule-set oracle. Exit 0
+// iff every campaign is failure-free AND the observed 0.20/0.21/0.22
+// divergence set equals the paper's predicted matrix exactly.
+
+int RunFuzz(const Flags& flags) {
+  const std::string harness = flags.Get("harness", "all");
+  const std::string format = flags.Get("format", "table");
+  const std::string corpus = flags.Get("corpus", "fuzz/corpus");
+  const std::string artifacts = flags.Get("artifacts", "build/fuzz-artifacts");
+  const auto seeds = static_cast<std::size_t>(flags.GetNum("seeds", 8));
+  const auto seed_base = static_cast<std::uint64_t>(flags.GetNum("seed-base", 1));
+  const auto iters = static_cast<std::size_t>(flags.GetNum("iters", 1500));
+  const auto diff_iters = static_cast<std::size_t>(flags.GetNum("diff-iters", 200));
+  const std::string replay = flags.Get("replay", "");
+  const std::string reseed = flags.Get("reseed", "");
+
+  if (harness != "all" && harness != "diff") {
+    const auto& known = bsfuzz::AllHarnesses();
+    if (std::find(known.begin(), known.end(), harness) == known.end()) {
+      std::fprintf(stderr, "unknown --harness: %s\n", harness.c_str());
+      return 2;
+    }
+  }
+
+  if (!reseed.empty()) {
+    const auto count = static_cast<std::size_t>(flags.GetNum("count", 6));
+    std::size_t total = 0;
+    for (const std::string& h : bsfuzz::AllHarnesses()) {
+      const std::size_t n = bsfuzz::ReseedCorpus(h, reseed, seed_base, count);
+      std::printf("reseeded %s: %zu inputs\n", h.c_str(), n);
+      total += n;
+    }
+    return total == 4 * count ? 0 : 1;
+  }
+
+  if (!replay.empty()) {
+    if (harness == "all" || harness == "diff") {
+      std::fprintf(stderr, "--replay needs a concrete --harness\n");
+      return 2;
+    }
+    bsutil::ByteVec input;
+    if (!bsfuzz::ReadReproFile(replay, input)) {
+      std::fprintf(stderr, "cannot read repro file: %s\n", replay.c_str());
+      return 2;
+    }
+    const bsfuzz::HarnessResult r = bsfuzz::RunHarness(harness, input);
+    std::printf("%s: %s%s%s\n", harness.c_str(), r.ok ? "OK" : "FAIL",
+                r.ok ? "" : " oracle=", r.ok ? "" : r.oracle.c_str());
+    if (!r.ok) std::printf("  detail: %s\n", r.detail.c_str());
+    return r.ok ? 0 : 1;
+  }
+
+  std::vector<std::string> harnesses;
+  bool run_diff = false;
+  if (harness == "all") {
+    harnesses = bsfuzz::AllHarnesses();
+    run_diff = true;
+  } else if (harness == "diff") {
+    run_diff = true;
+  } else {
+    harnesses = {harness};
+  }
+
+  struct CampaignRow {
+    std::string harness;
+    std::size_t iterations = 0;
+    std::size_t corpus_inputs = 0;
+    std::vector<bsfuzz::FuzzFailure> failures;
+  };
+  std::vector<CampaignRow> rows;
+  std::size_t total_failures = 0;
+  for (const std::string& h : harnesses) {
+    CampaignRow row;
+    row.harness = h;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      bsfuzz::CampaignConfig config;
+      config.harness = h;
+      config.seed = seed_base + s;
+      config.iters = iters;
+      config.corpus_dir = s == 0 ? corpus : "";  // replay corpus once
+      config.artifacts_dir = artifacts;
+      bsfuzz::CampaignResult r = bsfuzz::RunCampaign(config);
+      row.iterations += r.iterations;
+      row.corpus_inputs += r.corpus_inputs;
+      for (auto& f : r.failures) row.failures.push_back(std::move(f));
+    }
+    total_failures += row.failures.size();
+    rows.push_back(std::move(row));
+  }
+
+  bsfuzz::DiffResult diff;
+  if (run_diff) {
+    diff = bsfuzz::RunDifferential(seed_base, diff_iters * seeds);
+  }
+  const bool ok = total_failures == 0 && (!run_diff || diff.ok);
+
+  if (format == "json") {
+    std::string out = "{\"campaigns\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const CampaignRow& row = rows[i];
+      if (i > 0) out += ",";
+      out += "{\"harness\":\"" + row.harness + "\",\"iterations\":" +
+             std::to_string(row.iterations) + ",\"corpus_inputs\":" +
+             std::to_string(row.corpus_inputs) + ",\"failures\":[";
+      for (std::size_t f = 0; f < row.failures.size(); ++f) {
+        const auto& fail = row.failures[f];
+        if (f > 0) out += ",";
+        out += "{\"seed\":" + std::to_string(fail.seed) + ",\"oracle\":\"" +
+               fail.oracle + "\",\"source\":\"" + fail.source +
+               "\",\"artifact\":\"" + fail.artifact_path + "\"}";
+      }
+      out += "]}";
+    }
+    out += "]";
+    if (run_diff) {
+      auto cell_list = [](const std::vector<std::string>& cells) {
+        std::string s = "[";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          if (i > 0) s += ",";
+          s += "\"" + cells[i] + "\"";
+        }
+        return s + "]";
+      };
+      out += ",\"differential\":{\"ok\":" + std::string(diff.ok ? "true" : "false") +
+             ",\"events\":" + std::to_string(diff.events) +
+             ",\"observed\":" + cell_list(diff.observed) +
+             ",\"unpredicted\":" + cell_list(diff.unpredicted) +
+             ",\"missing\":" + cell_list(diff.missing) + "}";
+    }
+    out += ",\"ok\":" + std::string(ok ? "true" : "false") + "}";
+    std::printf("%s\n", out.c_str());
+  } else {
+    std::printf("%-10s %12s %8s %9s\n", "harness", "iterations", "corpus",
+                "failures");
+    for (const CampaignRow& row : rows) {
+      std::printf("%-10s %12zu %8zu %9zu\n", row.harness.c_str(), row.iterations,
+                  row.corpus_inputs, row.failures.size());
+      for (const auto& fail : row.failures) {
+        std::printf("  FAIL seed=%llu source=%s oracle=%s\n",
+                    static_cast<unsigned long long>(fail.seed),
+                    fail.source.c_str(), fail.oracle.c_str());
+        std::printf("    detail: %s\n", fail.detail.c_str());
+        if (!fail.artifact_path.empty()) {
+          std::printf("    repro: %s\n", fail.artifact_path.c_str());
+        }
+      }
+    }
+    if (run_diff) {
+      std::printf("differential: %s (%zu events, %zu/%zu predicted cells hit",
+                  diff.ok ? "PASS" : "FAIL", diff.events,
+                  diff.predicted.size() - diff.missing.size(),
+                  diff.predicted.size());
+      std::printf(", %zu unpredicted)\n", diff.unpredicted.size());
+      for (const std::string& cell : diff.unpredicted) {
+        std::printf("  UNPREDICTED divergence: %s\n", cell.c_str());
+      }
+      for (const std::string& cell : diff.missing) {
+        std::printf("  MISSING divergence: %s\n", cell.c_str());
+      }
+    }
+    std::printf("%s\n", ok ? "PASS" : "FAIL");
+  }
+  return ok ? 0 : 1;
+}
+
 void Usage() {
   std::printf(
       "banscore-lab <scenario> [--flag value ...]\n"
@@ -1467,6 +1637,15 @@ void Usage() {
       "          (seeded run under a shared span tracer; prints the merged\n"
       "           span+event timeline and walks the final ban's causal chain;\n"
       "           exit 0 iff the chain is complete and crosses nodes)\n"
+      "  fuzz --harness codec|tracker|store|addrman|diff|all --seeds N\n"
+      "          --seed-base B --iters I --corpus DIR --artifacts DIR\n"
+      "          --format table|json\n"
+      "          (deterministic structure-aware fuzz campaigns over the four\n"
+      "           wire-facing harnesses plus the Table I differential oracle;\n"
+      "           failures are minimized into DIR/<h>-seed<S>-iter<I>.repro;\n"
+      "           --replay FILE re-runs one repro; --reseed DIR --count K\n"
+      "           regenerates the committed corpus; exit 0 iff no oracle\n"
+      "           fired and observed divergence == Table I exactly)\n"
       "  bench-diff --old A.json --new B.json --tolerance T\n"
       "          --timing-tolerance TT\n"
       "          (compare two BENCH_*.json reports; deterministic counters\n"
@@ -1495,6 +1674,7 @@ int main(int argc, char** argv) {
   if (scenario == "eclipse") return RunEclipse(flags);
   if (scenario == "timeline") return RunTimeline(flags);
   if (scenario == "bench-diff") return RunBenchDiff(flags);
+  if (scenario == "fuzz") return RunFuzz(flags);
   Usage();
   return 2;
 }
