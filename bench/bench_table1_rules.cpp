@@ -240,10 +240,10 @@ void PrintCoverage(bsbench::JsonReport& report) {
     }
   }
   std::printf("message types with ban-score rules in 0.20.0: %zu of %zu\n",
-              with_rules.size(), bsproto::kNumMsgTypes);
+              with_rules.size(), bsproto::kNumPaperMsgTypes);
   std::printf("(paper: \"only 12 out of 26 message types possess ban-score rules\")\n");
   report.Add("types_with_rules", static_cast<std::uint64_t>(with_rules.size()));
-  report.Add("types_total", static_cast<std::uint64_t>(bsproto::kNumMsgTypes));
+  report.Add("types_total", static_cast<std::uint64_t>(bsproto::kNumPaperMsgTypes));
 }
 
 }  // namespace

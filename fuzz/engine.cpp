@@ -185,20 +185,14 @@ std::size_t ReseedCorpus(const std::string& harness, const std::string& dir,
   const fs::path out_dir = fs::path(dir) / harness;
   fs::create_directories(out_dir, ec);
   std::size_t written = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    bsutil::Rng rng(MixSeed(seed, i));
-    bsutil::ByteVec input = BaseInputFor(harness, rng);
-    std::vector<std::string> trace;
-    // Half the corpus is pristine generator output, half lightly mutated —
-    // the mutated ones pin decoder-rejection paths into the regression set.
-    if (i % 2 == 1) Mutate(input, rng, 1 + rng.Below(2), trace);
-    char name[64];
-    std::snprintf(name, sizeof name, "seed-%03zu.repro", i);
+  const auto write_entry = [&](const char* name, const bsutil::ByteVec& input,
+                               const std::vector<std::string>& trace,
+                               std::size_t index) {
     std::ofstream out(out_dir / name);
-    if (!out) continue;
+    if (!out) return;
     out << "# banscore-lab fuzz corpus (committed regression input)\n";
     out << "# harness: " << harness << "  reseed-seed: " << seed
-        << "  index: " << i << "\n";
+        << "  index: " << index << "\n";
     out << "# mutation trace: " << JoinTrace(trace) << "\n";
     char buf[4];
     for (std::size_t b = 0; b < input.size(); ++b) {
@@ -208,6 +202,28 @@ std::size_t ReseedCorpus(const std::string& harness, const std::string& dir,
     }
     out << "\n";
     ++written;
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    bsutil::Rng rng(MixSeed(seed, i));
+    bsutil::ByteVec input = BaseInputFor(harness, rng);
+    std::vector<std::string> trace;
+    // Half the corpus is pristine generator output, half lightly mutated —
+    // the mutated ones pin decoder-rejection paths into the regression set.
+    if (i % 2 == 1) Mutate(input, rng, 1 + rng.Below(2), trace);
+    char name[64];
+    std::snprintf(name, sizeof name, "seed-%03zu.repro", i);
+    write_entry(name, input, trace, i);
+  }
+  // The codec corpus always carries one divergent tip-probe entry — the
+  // uniform mutator draw can miss it for any given seed range, and the
+  // partition monitor's divergence path must stay pinned in the regression
+  // set.
+  if (harness == "codec") {
+    bsutil::Rng rng(MixSeed(seed, count));
+    bsutil::ByteVec input;
+    std::vector<std::string> trace = {MutateTipVector(input, rng),
+                                      MutateTipVector(input, rng)};
+    write_entry("tipprobe.repro", input, trace, count);
   }
   return written;
 }

@@ -189,6 +189,20 @@ Message ExemplarMessage(MsgType type, bsutil::Rng& rng) {
       }
       return m;
     }
+    case MsgType::kTipProbe: {
+      bsproto::TipProbeMsg m;
+      m.nonce = rng.Next();
+      m.tips.resize(1 + rng.Below(4));
+      std::int32_t height = static_cast<std::int32_t>(rng.Below(1'000'000));
+      for (auto& tip : m.tips) {
+        // Divergent vectors on purpose: heights may jump backwards as well
+        // as forwards, which is what the partition monitor must digest.
+        height += static_cast<std::int32_t>(rng.Below(16)) - 4;
+        tip.height = height;
+        tip.hash = RandomHash(rng);
+      }
+      return m;
+    }
   }
   return bsproto::PingMsg{};
 }

@@ -1,8 +1,10 @@
 #include "fuzz/mutators.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "proto/codec.hpp"
+#include "proto/messages.hpp"
 #include "util/serialize.hpp"
 
 namespace bsfuzz {
@@ -144,15 +146,71 @@ std::string ForeignFrame(bsutil::ByteVec& d, bsutil::Rng& rng) {
   return "foreign@" + std::to_string(off);
 }
 
+/// Insert a well-framed TIPPROBE whose tip vector lies: heights pinned to the
+/// int32 extremes, runs that jump backwards mid-vector, duplicate entries
+/// under one nonce, or (half the time) a vector-count varint rewritten after
+/// encoding to promise far more entries than the payload carries. The codec
+/// must bound the decode and the partition monitor's divergence math must
+/// digest whatever survives it.
+std::string TipVector(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  bsproto::TipProbeMsg m;
+  m.nonce = rng.Next();
+  static constexpr std::int32_t kEdges[] = {0, 1, -1, 0x7fffffff, -0x7fffffff,
+                                            1'000'000};
+  const std::size_t n = 1 + rng.Below(6);
+  std::int32_t height = kEdges[rng.Below(std::size(kEdges))];
+  m.tips.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.tips[i].height = height;
+    std::array<std::uint8_t, 32> hash_bytes;
+    for (auto& b : hash_bytes) b = static_cast<std::uint8_t>(rng.Next());
+    m.tips[i].hash = bscrypto::Hash256(hash_bytes);
+    // Walk the vector divergently: sometimes re-pin to an extreme, sometimes
+    // step backwards past genesis. Step in 64-bit and wrap through uint32 —
+    // the extremes above sit one step from int32 overflow.
+    if (rng.Chance(0.3)) {
+      height = kEdges[rng.Below(std::size(kEdges))];
+    } else {
+      const std::int64_t step = static_cast<std::int64_t>(rng.Below(64)) - 32;
+      height = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(static_cast<std::int64_t>(height) + step));
+    }
+  }
+  bsutil::ByteVec frame = bsproto::EncodeMessage(kFuzzMagic, m);
+  std::string note = "tipvec(" + std::to_string(n) + ")";
+  if (frame.size() > 24 + 9 && rng.Chance(0.5)) {
+    // The vector count sits right after the 8-byte nonce in the payload
+    // (offset 24 = wire header). Promise up to 2^64-1 tips, then re-seal the
+    // checksum so the lie reaches the decoder's count bound instead of dying
+    // at the checksum gate.
+    frame[32] = 0xff;
+    for (std::size_t i = 33; i < std::min<std::size_t>(frame.size(), 41); ++i) {
+      frame[i] = static_cast<std::uint8_t>(rng.Next());
+    }
+    const auto ck = bsproto::PayloadChecksum(
+        bsutil::ByteSpan(frame.data() + 24, frame.size() - 24));
+    std::copy(ck.begin(), ck.end(), frame.begin() + 20);
+    note += "+countlie";
+  }
+  const std::size_t off = d.empty() ? 0 : rng.Below(d.size());
+  d.insert(d.begin() + static_cast<std::ptrdiff_t>(off), frame.begin(),
+           frame.end());
+  return note + "@" + std::to_string(off);
+}
+
 using MutatorFn = std::string (*)(bsutil::ByteVec&, bsutil::Rng&);
 constexpr MutatorFn kMutators[] = {BitFlip,   ByteSet,  Truncate, Extend,
                                    LengthLie, VarintEdge, Splice, Duplicate,
-                                   Excise,    ForeignFrame};
+                                   Excise,    ForeignFrame, TipVector};
 
 }  // namespace
 
 std::string MutateOnce(bsutil::ByteVec& input, bsutil::Rng& rng) {
   return kMutators[rng.Below(std::size(kMutators))](input, rng);
+}
+
+std::string MutateTipVector(bsutil::ByteVec& input, bsutil::Rng& rng) {
+  return TipVector(input, rng);
 }
 
 void Mutate(bsutil::ByteVec& input, bsutil::Rng& rng, std::size_t count,

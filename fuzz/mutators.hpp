@@ -19,4 +19,10 @@ std::string MutateOnce(bsutil::ByteVec& input, bsutil::Rng& rng);
 void Mutate(bsutil::ByteVec& input, bsutil::Rng& rng, std::size_t count,
             std::vector<std::string>& trace);
 
+/// The divergent tip-vector mutation by name: inserts a well-framed TIPPROBE
+/// whose tip vector lies (int32-extreme heights, backwards runs, re-sealed
+/// vector-count lies). Exposed so the committed codec corpus always carries
+/// one such entry regardless of which mutators the reseed RNG draws.
+std::string MutateTipVector(bsutil::ByteVec& input, bsutil::Rng& rng);
+
 }  // namespace bsfuzz

@@ -4,8 +4,10 @@
 # tests, a fixed-seed chaos smoke sweep, a degradation smoke (honest
 # mining must hold >= 50% of baseline under a Sybil flood with the full
 # defense stack on), an eclipse A/B smoke (the stock victim must stay
-# eclipsed, the hardened one must heal), and two store-recovery gates: the
-# fsck demo
+# eclipsed, the hardened one must heal), a partition A/B smoke (the stock
+# victim must stay behind an asymmetric routing cut, the hardened one must
+# reconverge) gated against its committed bench baseline, and two
+# store-recovery gates: the fsck demo
 # round-trip against a real directory and the crash-at-every-syscall
 # recovery sweep re-run under ASan. Run from anywhere; builds land in
 # build/ (tier-1), build-asan/, and build-tsan/.
@@ -40,6 +42,19 @@ if ./build/tools/banscore-lab eclipse --defenses none --format json; then
   exit 1
 fi
 ./build/tools/banscore-lab eclipse --defenses all --format json
+
+echo "==> partition smoke: stock victim stays behind the cut, hardened reconverges"
+if ./build/tools/banscore-lab partition --defenses none --format json; then
+  echo "FAIL: stock victim reconverged across the routing cut without defenses" >&2
+  exit 1
+fi
+./build/tools/banscore-lab partition --defenses all --format json
+
+echo "==> partition bench vs committed baseline"
+./build/bench/bench_partition --json build/BENCH_partition.json > /dev/null
+./build/tools/banscore-lab bench-diff \
+  --old bench/baselines/BENCH_partition.json --new build/BENCH_partition.json \
+  --tolerance 0.0 --timing-tolerance 20.0
 
 echo "==> fuzz smoke: 8 seeds x 1500 iters per harness + differential oracle"
 # Deterministic structure-aware campaigns over the four wire-facing

@@ -43,6 +43,7 @@ CostRow RowFor(bsproto::MsgType type) {
     case T::kFilterClear: return {15.0, 20.0};
     case T::kMerkleBlock: return {800.0, 400.0};
     case T::kReject: return {30.0, 15.0};
+    case T::kTipProbe: return {25.0, 30.0};
   }
   return {20.0, 20.0};
 }

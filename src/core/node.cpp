@@ -22,6 +22,15 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
       chain_(config_.chain),
       tracker_(config_.core_version, config_.ban_policy, config_.ban_threshold,
                config_.good_score_exemption),
+      partition_([this] {
+        PartitionParams p;
+        p.expected_block_interval = config_.partition_expected_block_interval;
+        p.divergence_blocks = config_.partition_divergence_blocks;
+        p.suspicion_high = config_.partition_suspicion_high;
+        p.suspicion_low = config_.partition_suspicion_low;
+        p.ladder_step = config_.partition_ladder_step;
+        return p;
+      }()),
       trace_(config_.trace_capacity),
       tracer_(config_.span_tracer),
       profiler_(config_.profiler) {
@@ -87,6 +96,24 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
                                      "Anchor endpoints re-dialed after a restart");
   m_stale_tip_events_ = reg.GetCounter("bs_stale_tip_events_total",
                                        "Stale-tip windows that opened an extra outbound");
+  m_partition_probes_sent_ =
+      reg.GetCounter("bs_partition_probes_sent_total", "Gossip tip-probes sent");
+  m_partition_probe_replies_ = reg.GetCounter(
+      "bs_partition_probe_replies_total", "Replies received to our tip-probes");
+  m_partition_suspect_windows_ =
+      reg.GetCounter("bs_partition_suspect_windows_total",
+                     "High-suspicion windows the partition monitor entered");
+  m_partition_recoveries_ =
+      reg.GetCounter("bs_partition_recoveries_total",
+                     "High-suspicion windows that de-escalated back to calm");
+  m_partition_recovery_actions_ =
+      reg.GetCounter("bs_partition_recovery_actions_total",
+                     "Partition recovery-ladder stage actions executed");
+  m_partition_deferred_penalties_ = reg.GetCounter(
+      "bs_partition_deferred_penalties_total",
+      "Misbehavior penalties deferred by partition-aware damping");
+  m_partition_suspicion_ = reg.GetGauge(
+      "bs_partition_suspicion", "Fused partition-suspicion score (0..1)");
   for (const MsgType type : bsproto::AllMsgTypes()) {
     m_msg_type_[static_cast<std::size_t>(type)] = reg.GetCounter(
         std::string("bs_node_messages_") + bsproto::CommandName(type) + "_total",
@@ -154,6 +181,12 @@ void Node::Stop() {
   pending_outbound_ = 0;
   pending_feeler_ = 0;
   stale_tip_extra_active_ = false;
+  partition_.Reset();
+  partition_probe_nonces_.clear();
+  partition_stage_done_ = PartitionMonitor::Stage::kNone;
+  last_partition_probe_ = 0;
+  last_partition_rotate_ = 0;
+  partition_extra_active_ = false;
   m_peers_gauge_->Set(0.0);
   AbandonConnections();
   Net().Detach(this);
@@ -346,6 +379,7 @@ void Node::RemovePeer(std::uint64_t id, bool was_outbound) {
   }
   pending_compact_.erase(id);
   tracker_.Forget(id);
+  partition_.ForgetPeer(id);
   const std::int64_t remote_ip = static_cast<std::int64_t>(it->second->remote.ip);
   peers_.erase(it);
   m_peers_gauge_->Set(static_cast<double>(peers_.size()));
@@ -422,6 +456,7 @@ void Node::MaintainOutbound() {
 
   MaintainStaleTip(now);
   MaintainFeeler(now);
+  MaintainPartition(now);
 
   // Feeler probes ride pending_outbound_ for dial bookkeeping but must not
   // count against the outbound slot budget.
@@ -430,7 +465,8 @@ void Node::MaintainOutbound() {
            static_cast<std::size_t>(pending_outbound_ - pending_feeler_);
   };
   const std::size_t target = static_cast<std::size_t>(config_.target_outbound) +
-                             (stale_tip_extra_active_ ? 1 : 0);
+                             (stale_tip_extra_active_ ? 1 : 0) +
+                             (partition_extra_active_ ? 1 : 0);
 
   // Anchors first: restored last-known-good endpoints claim slots before any
   // address-table draw can hand them to a poisoned entry.
@@ -524,6 +560,185 @@ void Node::MaintainFeeler(bsim::SimTime now) {
   });
 }
 
+void Node::MaintainPartition(bsim::SimTime now) {
+  if (!config_.enable_partition_resilience) return;
+
+  // Diversity census over the live outbound set (the monitor keeps the
+  // watermark; a routing cut shears whole netgroups off at once).
+  std::unordered_set<std::uint32_t> groups;
+  for (const auto& [id, peer] : peers_) {
+    if (peer->inbound || peer->feeler || !peer->HandshakeComplete()) continue;
+    groups.insert(NetGroup(peer->remote.ip));
+  }
+  partition_.NoteNetgroupDiversity(groups.size());
+
+  const int tip = chain_.TipHeight();
+  const bool was_high = partition_.SuspicionHigh();
+  const PartitionMonitor::Stage prev_stage = partition_.CurrentStage();
+  bool recovered = false;
+  const double suspicion = partition_.Update(now, tip, &recovered);
+  m_partition_suspicion_->Set(suspicion);
+
+  if (!was_high && partition_.SuspicionHigh()) {
+    m_partition_suspect_windows_->Inc();
+    trace_.Record(now, bsobs::EventType::kPartitionSuspected, 0,
+                  static_cast<std::int64_t>(suspicion * 1000.0),
+                  static_cast<std::int64_t>(partition_.CurrentStage()));
+  }
+  if (recovered) {
+    m_partition_recoveries_->Inc();
+    trace_.Record(now, bsobs::EventType::kPartitionRecovered, 0, 0,
+                  static_cast<std::int64_t>(prev_stage));
+    partition_stage_done_ = PartitionMonitor::Stage::kNone;
+    if (partition_extra_active_) {
+      // The emergency slot did its job; trim back to target, dropping the
+      // worst of the old set (the peer that never delivered a block).
+      partition_extra_active_ = false;
+      EvictWorstOutboundPeer();
+    }
+  }
+
+  if (partition_.SuspicionHigh()) {
+    // Execute each newly reached ladder stage exactly once per window, in
+    // escalation order; the rotation stage re-arms every ladder_step so a
+    // long partition keeps cycling its most-divergent peer.
+    const PartitionMonitor::Stage stage = partition_.CurrentStage();
+    for (int s = static_cast<int>(partition_stage_done_) + 1;
+         s <= static_cast<int>(stage); ++s) {
+      RunPartitionStage(static_cast<PartitionMonitor::Stage>(s), now);
+      partition_stage_done_ = static_cast<PartitionMonitor::Stage>(s);
+    }
+    if (stage == PartitionMonitor::Stage::kRotate &&
+        now - last_partition_rotate_ >= config_.partition_ladder_step) {
+      RunPartitionStage(stage, now);
+    }
+  }
+
+  if (now - last_partition_probe_ >= config_.partition_probe_interval) {
+    SendTipProbes(now);
+  }
+}
+
+bsproto::TipProbeMsg Node::MakeTipProbe(std::uint64_t nonce) const {
+  bsproto::TipProbeMsg msg;
+  msg.nonce = nonce;
+  msg.tips.push_back(
+      {static_cast<std::int32_t>(chain_.TipHeight()), chain_.TipHash()});
+  return msg;
+}
+
+void Node::SendTipProbes(bsim::SimTime now) {
+  std::vector<Peer*> candidates;
+  for (auto& [id, peer] : peers_) {
+    if (!peer->HandshakeComplete() || peer->feeler) continue;
+    candidates.push_back(peer.get());
+  }
+  if (candidates.empty()) return;
+  last_partition_probe_ = now;
+  // peers_ is an unordered_map: sort by id before the RNG draw so a probe
+  // round samples the same peers on every run of the same seed.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peer* a, const Peer* b) { return a->id < b->id; });
+  const int fanout = std::max(config_.partition_probe_fanout, 1);
+  for (int i = 0; i < fanout && !candidates.empty(); ++i) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng_.Below(candidates.size()));
+    Peer* peer = candidates[pick];
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+    // Bounded outstanding-nonce set: replies to long-forgotten probes are
+    // simply treated as requests and answered, which is harmless.
+    if (partition_probe_nonces_.size() > 256) partition_probe_nonces_.clear();
+    const std::uint64_t nonce = rng_.Next() | 1;
+    partition_probe_nonces_.insert(nonce);
+    m_partition_probes_sent_->Inc();
+    SendTo(*peer, MakeTipProbe(nonce));
+  }
+}
+
+void Node::RunPartitionStage(PartitionMonitor::Stage stage, bsim::SimTime now) {
+  if (stage == PartitionMonitor::Stage::kNone) return;
+  m_partition_recovery_actions_->Inc();
+  trace_.Record(now, bsobs::EventType::kPartitionSuspected, 0,
+                static_cast<std::int64_t>(partition_.Suspicion() * 1000.0),
+                static_cast<std::int64_t>(stage));
+  switch (stage) {
+    case PartitionMonitor::Stage::kNone:
+      return;
+    case PartitionMonitor::Stage::kFeelerBurst:
+      for (int i = 0; i < config_.partition_feeler_burst; ++i) {
+        if (!LaunchTargetedFeeler(now)) break;
+      }
+      return;
+    case PartitionMonitor::Stage::kAnchorRedial:
+      // Queue every idle anchor for the next MaintainOutbound drain — the
+      // last peers known to serve valid blocks are the best bets to still
+      // sit on the healthy side of the cut.
+      for (const Endpoint& anchor : anchors_) {
+        if (outbound_targets_.contains(anchor)) continue;
+        if (std::find(anchor_targets_.begin(), anchor_targets_.end(), anchor) !=
+            anchor_targets_.end()) {
+          continue;
+        }
+        anchor_targets_.push_back(anchor);
+      }
+      return;
+    case PartitionMonitor::Stage::kEmergencySlot:
+      partition_extra_active_ = true;  // MaintainOutbound raises the target
+      return;
+    case PartitionMonitor::Stage::kRotate: {
+      last_partition_rotate_ = now;
+      // Rotate out the outbound peer whose probed tip trails ours the most:
+      // it is the one most certainly stuck on our side of the cut, and its
+      // slot is worth a fresh draw.
+      const auto victim = partition_.MostDivergentPeer(chain_.TipHeight());
+      if (!victim) return;
+      const auto it = peers_.find(*victim);
+      if (it == peers_.end() || it->second->inbound || it->second->feeler) return;
+      DisconnectPeer(*victim);
+      return;
+    }
+  }
+}
+
+bool Node::LaunchTargetedFeeler(bsim::SimTime now) {
+  bsobs::ScopedProbe select_probe(profiler_, bsobs::HotStage::kAddrmanSelect);
+  const auto candidate = addrman_.SelectNew([this](const Endpoint& ep) {
+    return !banman_.IsBanned(ep, Sched().Now()) &&
+           !outbound_targets_.contains(ep) && ep.ip != Ip() &&
+           !OutboundGroupTaken(NetGroup(ep.ip));
+  });
+  select_probe.Stop();
+  if (!candidate) return false;
+  const Endpoint remote = *candidate;
+  if (!ConnectTo(remote, /*feeler=*/true)) return false;
+  m_feeler_attempts_->Inc();
+  trace_.Record(now, bsobs::EventType::kFeelerProbe, 0,
+                static_cast<std::int64_t>(remote.ip), remote.port);
+  Sched().After(config_.feeler_timeout, [this, remote]() {
+    Peer* peer = FindPeerByRemote(remote);
+    if (peer != nullptr && peer->feeler) DisconnectPeer(peer->id);
+  });
+  return true;
+}
+
+void Node::HandleTipProbe(Peer& peer, const bsproto::TipProbeMsg& msg) {
+  const bool is_reply = partition_probe_nonces_.erase(msg.nonce) > 0;
+  if (config_.enable_partition_resilience && !msg.tips.empty()) {
+    std::int32_t best = msg.tips.front().height;
+    for (const auto& tip : msg.tips) best = std::max(best, tip.height);
+    partition_.OnProbeObservation(Sched().Now(), peer.id, best);
+    trace_.Record(Sched().Now(), bsobs::EventType::kPartitionProbe, peer.id,
+                  best, chain_.TipHeight());
+    if (is_reply) m_partition_probe_replies_->Inc();
+  }
+  if (is_reply) return;
+  // A request: answer with our own tip vector, echoing the nonce so the
+  // prober can match the reply. Answering is stateless and costs one cheap
+  // frame, so a node with the monitor switched off is still a useful probe
+  // target for hardened neighbors.
+  SendTo(peer, MakeTipProbe(msg.nonce));
+}
+
 bool Node::OnOutboundHandshakeComplete(Peer& peer) {
   dial_backoff_.erase(peer.remote);
   const bool promoted = addrman_.Good(peer.remote, Sched().Now());
@@ -566,6 +781,20 @@ void Node::EvictWorstOutboundPeer() {
     if (peer->last_block_time != 0) continue;  // it has delivered; keep it
     if (worst == nullptr || peer->connected_at < worst->connected_at) {
       worst = peer.get();
+    }
+  }
+  if (worst == nullptr) {
+    // Every outbound peer has delivered at least one block. Without a
+    // fallback the emergency slot would never be reclaimed here and each
+    // stale-tip/partition episode would ratchet the outbound count up by
+    // one for good; retire the least-recently-useful peer instead.
+    for (const auto& [id, peer] : peers_) {
+      if (peer->inbound || peer->feeler || !peer->HandshakeComplete()) continue;
+      if (worst == nullptr || peer->last_block_time < worst->last_block_time ||
+          (peer->last_block_time == worst->last_block_time &&
+           peer->connected_at < worst->connected_at)) {
+        worst = peer.get();
+      }
     }
   }
   if (worst != nullptr) DisconnectPeer(worst->id);
@@ -875,6 +1104,36 @@ bool Node::AdmitFrame(Peer& peer, const bsproto::DecodeResult& frame,
 }
 
 bool Node::ApplyMisbehavior(Peer& peer, Misbehavior what) {
+  // Partition-aware damping: while partition suspicion is high, behind/ahead
+  // symptoms — a block whose parent we lack, a disordered header burst — from
+  // a peer holding good-score credit are exactly what an honest peer across a
+  // routing cut relays. Defer the penalty instead of marching a reconverging
+  // peer toward a ban; true attackers without delivered-block credit keep
+  // scoring normally.
+  const bool partition_symptom = what == Misbehavior::kBlockPrevMissing ||
+                                 what == Misbehavior::kHeadersNonConnecting ||
+                                 what == Misbehavior::kHeadersNonContinuous;
+  if (config_.enable_partition_resilience && config_.partition_damping &&
+      partition_.SuspicionHigh() && partition_symptom) {
+    // Divergence sync: the symptom itself says the sender knows chain we do
+    // not. Ask it for headers (rate-limited per peer) so its follow-up blocks
+    // connect instead of re-offending — a reconverged neighbor then pulls us
+    // across the cut rather than marching toward our ban threshold.
+    const bsim::SimTime now = Sched().Now();
+    if (peer.last_divergence_sync == 0 ||
+        now - peer.last_divergence_sync >= config_.partition_probe_interval) {
+      peer.last_divergence_sync = now;
+      bsproto::GetHeadersMsg gh;
+      gh.locator = chain_.GetLocator();
+      SendTo(peer, gh);
+    }
+    if (tracker_.GoodScore(peer.id) > 0) {
+      m_partition_deferred_penalties_->Inc();
+      trace_.Record(now, bsobs::EventType::kPenaltyDeferred, peer.id,
+                    static_cast<std::int64_t>(what), tracker_.GoodScore(peer.id));
+      return false;
+    }
+  }
   bsobs::ScopedProbe tracker_probe(profiler_, bsobs::HotStage::kTrackerUpdate);
   const MisbehaviorOutcome outcome = tracker_.Misbehaving(peer.id, peer.inbound, what);
   tracker_probe.Stop();
@@ -1032,6 +1291,9 @@ void Node::ProcessMessage(Peer& peer, const Message& msg) {
       return;
     case MsgType::kMempool:
       HandleMempool(peer);
+      return;
+    case MsgType::kTipProbe:
+      HandleTipProbe(peer, std::get<bsproto::TipProbeMsg>(msg));
       return;
     // No ban-score rules and no state to update: accepted silently. These
     // (with PING/PONG above) are the "messages never getting banned" of

@@ -35,6 +35,7 @@
 #include "core/costmodel.hpp"
 #include "core/eviction.hpp"
 #include "core/misbehavior.hpp"
+#include "core/partition.hpp"
 #include "core/ratelimit.hpp"
 #include "core/rules.hpp"
 #include "obs/metrics.hpp"
@@ -181,6 +182,34 @@ struct NodeConfig {
   bool enable_stale_tip_recovery = false;
   bsim::SimTime stale_tip_timeout = 60 * bsim::kSecond;
 
+  // ---- Partition resilience (beyond-paper; off by default so the stock
+  // node — and the fig6/fig8 benches over it — stays bit-identical. See
+  // README "Partition resilience") ----
+  /// Master switch: run the PartitionMonitor (core/partition.hpp), exchange
+  /// gossip tip-probes, and walk the graduated recovery ladder when the
+  /// fused partition-suspicion score stays high.
+  bool enable_partition_resilience = false;
+  /// Send a tip-probe round (kTipProbe to `partition_probe_fanout` randomly
+  /// sampled handshake-complete peers) this often.
+  bsim::SimTime partition_probe_interval = 5 * bsim::kSecond;
+  int partition_probe_fanout = 2;
+  /// PartitionMonitor tuning (copied into PartitionParams at construction).
+  bsim::SimTime partition_expected_block_interval = 3 * bsim::kSecond;
+  int partition_divergence_blocks = 2;
+  double partition_suspicion_high = 0.5;
+  double partition_suspicion_low = 0.2;
+  bsim::SimTime partition_ladder_step = 5 * bsim::kSecond;
+  /// Feeler probes launched toward unrepresented netgroups when the ladder
+  /// reaches its first stage.
+  int partition_feeler_burst = 2;
+  /// Partition-aware misbehavior damping: while suspicion is high, stale-
+  /// block / disordered-header penalties against peers holding good-score
+  /// credit are deferred instead of scored — an honest peer on the far side
+  /// of a routing cut relays exactly that traffic, and banning it would turn
+  /// a transient partition into a permanent eclipse. Only consulted when
+  /// enable_partition_resilience is on.
+  bool partition_damping = true;
+
   bschain::ChainParams chain;
   std::uint64_t services = bsproto::kNodeNetwork | bsproto::kNodeWitness;
   std::int32_t protocol_version = bsproto::kProtocolVersion;
@@ -252,6 +281,9 @@ struct Peer {
   bsim::SimTime min_ping_rtt = -1;    // -1 == never measured
   bsim::SimTime last_block_time = 0;  // last valid block delivered
   bsim::SimTime last_tx_time = 0;     // last valid (novel) tx delivered
+  /// Last time the partition-damping path asked this peer for headers
+  /// (divergence sync); rate-limits the getheaders per peer. 0 == never.
+  bsim::SimTime last_divergence_sync = 0;
   bool detect_flagged = false;        // demoted via Node::FlagPeer
   TokenBucket rx_bytes_bucket;        // live when enable_rate_limit
   TokenBucket rx_cost_bucket;
@@ -393,6 +425,26 @@ class Node : public bsim::Host {
   std::uint64_t FeelerPromotions() const { return m_feeler_promotions_->Value(); }
   std::uint64_t AnchorRedials() const { return m_anchor_redials_->Value(); }
   std::uint64_t StaleTipEvents() const { return m_stale_tip_events_->Value(); }
+  std::uint64_t TipProbesSent() const { return m_partition_probes_sent_->Value(); }
+  std::uint64_t TipProbeReplies() const {
+    return m_partition_probe_replies_->Value();
+  }
+  std::uint64_t PartitionSuspectWindows() const {
+    return m_partition_suspect_windows_->Value();
+  }
+  std::uint64_t PartitionRecoveries() const {
+    return m_partition_recoveries_->Value();
+  }
+  std::uint64_t PartitionRecoveryActions() const {
+    return m_partition_recovery_actions_->Value();
+  }
+  std::uint64_t DeferredPenalties() const {
+    return m_partition_deferred_penalties_->Value();
+  }
+  /// The partition monitor's fused suspicion score as of the last
+  /// maintenance tick (0 when partition resilience is off).
+  double PartitionSuspicion() const { return partition_.Suspicion(); }
+  const PartitionMonitor& Partition() const { return partition_; }
   /// Current anchor set, most recently useful first (empty unless
   /// enable_anchors).
   const std::vector<Endpoint>& Anchors() const { return anchors_; }
@@ -412,6 +464,23 @@ class Node : public bsim::Host {
   void MaintainStaleTip(bsim::SimTime now);
   /// Launch one feeler probe per feeler_interval against a `new`-table entry.
   void MaintainFeeler(bsim::SimTime now);
+
+  // ---- Partition-resilience maintenance (gated on
+  // enable_partition_resilience) ----
+  /// Per-tick driver: feed the PartitionMonitor (diversity census, tip
+  /// advances), send scheduled tip-probe rounds, and execute newly reached
+  /// recovery-ladder stages.
+  void MaintainPartition(bsim::SimTime now);
+  /// Send one tip-probe round to `partition_probe_fanout` sampled peers.
+  void SendTipProbes(bsim::SimTime now);
+  /// Our current tip as a probe payload (`nonce` echoed by the responder).
+  bsproto::TipProbeMsg MakeTipProbe(std::uint64_t nonce) const;
+  /// Execute the ladder stage the monitor just escalated to.
+  void RunPartitionStage(PartitionMonitor::Stage stage, bsim::SimTime now);
+  /// Open a short-lived probe toward an address in an unrepresented
+  /// netgroup (the feeler-burst stage). False when no candidate exists.
+  bool LaunchTargetedFeeler(bsim::SimTime now);
+  void HandleTipProbe(Peer& peer, const bsproto::TipProbeMsg& msg);
   /// Outbound handshake just completed: clear backoff, mark the address
   /// Good(). For a feeler the probe is finished — count the promotion and
   /// close the session. Returns true when `peer` was destroyed.
@@ -534,6 +603,18 @@ class Node : public bsim::Host {
   bsim::SimTime last_tip_advance_ = 0;
   bool stale_tip_extra_active_ = false;
 
+  // ---- Partition-resilience state ----
+  PartitionMonitor partition_;
+  bsim::SimTime last_partition_probe_ = 0;
+  /// Nonces of tip-probes we sent whose reply is still outstanding (a
+  /// received kTipProbe carrying one of these is a reply, not a request).
+  std::unordered_set<std::uint64_t> partition_probe_nonces_;
+  /// Highest ladder stage already executed in the current high-suspicion
+  /// window (stages run once; kRotate re-arms every ladder_step).
+  PartitionMonitor::Stage partition_stage_done_ = PartitionMonitor::Stage::kNone;
+  bsim::SimTime last_partition_rotate_ = 0;
+  bool partition_extra_active_ = false;
+
   std::map<bsproto::MsgType, std::uint64_t> message_counts_;
 
   // ---- Observability state ----
@@ -570,6 +651,13 @@ class Node : public bsim::Host {
   bsobs::Counter* m_feeler_promotions_ = nullptr;
   bsobs::Counter* m_anchor_redials_ = nullptr;
   bsobs::Counter* m_stale_tip_events_ = nullptr;
+  bsobs::Counter* m_partition_probes_sent_ = nullptr;
+  bsobs::Counter* m_partition_probe_replies_ = nullptr;
+  bsobs::Counter* m_partition_suspect_windows_ = nullptr;
+  bsobs::Counter* m_partition_recoveries_ = nullptr;
+  bsobs::Counter* m_partition_recovery_actions_ = nullptr;
+  bsobs::Counter* m_partition_deferred_penalties_ = nullptr;
+  bsobs::Gauge* m_partition_suspicion_ = nullptr;
   std::array<bsobs::Counter*, bsproto::kNumMsgTypes> m_msg_type_{};
   bsobs::Histogram* m_frame_process_seconds_ = nullptr;
   bsobs::Histogram* m_frame_bytes_ = nullptr;

@@ -22,6 +22,10 @@ const char* ToString(EventType type) {
     case EventType::kFeelerProbe: return "feeler-probe";
     case EventType::kAnchorRedial: return "anchor-redial";
     case EventType::kStaleTip: return "stale-tip";
+    case EventType::kPartitionProbe: return "partition-probe";
+    case EventType::kPartitionSuspected: return "partition-suspected";
+    case EventType::kPartitionRecovered: return "partition-recovered";
+    case EventType::kPenaltyDeferred: return "penalty-deferred";
   }
   return "?";
 }

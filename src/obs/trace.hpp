@@ -29,6 +29,10 @@ enum class EventType : std::uint8_t {
   kFeelerProbe,        // a = probed IP, b = 1 when the probe promoted to tried
   kAnchorRedial,       // a = anchor IP
   kStaleTip,           // a = stalled tip height
+  kPartitionProbe,     // a = remote tip height, b = our tip height
+  kPartitionSuspected, // a = suspicion ×1000, b = ladder stage
+  kPartitionRecovered, // a = high-window duration (ns), b = last stage reached
+  kPenaltyDeferred,    // a = misbehavior id, b = peer good score
 };
 
 const char* ToString(EventType type);

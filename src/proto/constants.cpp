@@ -14,7 +14,7 @@ const std::array<MsgType, kNumMsgTypes>& AllMsgTypes() {
       MsgType::kSendHeaders, MsgType::kFeeFilter, MsgType::kSendCmpct,
       MsgType::kCmpctBlock, MsgType::kGetBlockTxn, MsgType::kBlockTxn,
       MsgType::kFilterLoad, MsgType::kFilterAdd,  MsgType::kFilterClear,
-      MsgType::kMerkleBlock, MsgType::kReject,
+      MsgType::kMerkleBlock, MsgType::kReject,  MsgType::kTipProbe,
   };
   return kAll;
 }
@@ -47,6 +47,7 @@ const char* CommandName(MsgType type) {
     case MsgType::kFilterClear: return "filterclear";
     case MsgType::kMerkleBlock: return "merkleblock";
     case MsgType::kReject: return "reject";
+    case MsgType::kTipProbe: return "tipprobe";
   }
   return "?";
 }

@@ -75,9 +75,18 @@ enum class MsgType : std::uint8_t {
   kFilterClear,
   kMerkleBlock,
   kReject,
+  // Post-0.20 extension: the partition-resilience gossip tip-probe (a
+  // compact tip-height/hash vector, per arXiv:2007.02287). Appended after
+  // the paper's 26 types so every historical enum value, variant index, and
+  // serialized command stays untouched; nodes that predate it simply ignore
+  // the unknown "tipprobe" command, unpunished.
+  kTipProbe,
 };
 
-constexpr std::size_t kNumMsgTypes = 26;
+constexpr std::size_t kNumMsgTypes = 27;
+/// The size of the paper's original catalogue ("only 12 out of 26 message
+/// types possess corresponding ban-score rules") — excludes kTipProbe.
+constexpr std::size_t kNumPaperMsgTypes = 26;
 
 /// All message types, in enum order (for parameterized sweeps).
 const std::array<MsgType, kNumMsgTypes>& AllMsgTypes();

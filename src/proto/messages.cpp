@@ -163,6 +163,14 @@ struct PayloadSerializer {
     w.WriteVarString(m.reason);
     w.WriteBytes(m.data);
   }
+  void operator()(const TipProbeMsg& m) {
+    w.WriteU64(m.nonce);
+    w.WriteCompactSize(m.tips.size());
+    for (const auto& tip : m.tips) {
+      w.WriteI32(tip.height);
+      tip.hash.Serialize(w);
+    }
+  }
 };
 
 }  // namespace
@@ -384,6 +392,20 @@ Message DeserializePayload(MsgType type, ByteSpan payload) {
       m.code = r.ReadU8();
       m.reason = r.ReadVarString();
       m.data = r.ReadBytes(r.Remaining());
+      out = m;
+      break;
+    }
+    case MsgType::kTipProbe: {
+      TipProbeMsg m;
+      m.nonce = r.ReadU64();
+      const std::uint64_t n = ReadCount(r, 36);
+      m.tips.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        TipEntry tip;
+        tip.height = r.ReadI32();
+        tip.hash = bscrypto::Hash256::Deserialize(r);
+        m.tips.push_back(tip);
+      }
       out = m;
       break;
     }

@@ -218,6 +218,25 @@ struct RejectMsg {
   bool operator==(const RejectMsg&) const = default;
 };
 
+// ---- Partition-resilience gossip (post-0.20 extension) ------------------------
+
+/// One sampled peer's claimed chain tip, as relayed in a TIPPROBE exchange.
+struct TipEntry {
+  std::int32_t height = 0;
+  bscrypto::Hash256 hash;
+  bool operator==(const TipEntry&) const = default;
+};
+
+/// Lightweight gossip tip-probe (arXiv:2007.02287): the sender's own tip
+/// first, then a bounded vector of tips it recently heard from other sampled
+/// peers. Cross-peer disagreement in the collected vectors is the partition
+/// detector's third signal. Nonce pairs a probe with its response.
+struct TipProbeMsg {
+  std::uint64_t nonce = 0;
+  std::vector<TipEntry> tips;
+  bool operator==(const TipProbeMsg&) const = default;
+};
+
 /// Any protocol message. The variant order matches MsgType's enum order so
 /// `Message::index() == static_cast<size_t>(MsgTypeOf(msg))`.
 using Message =
@@ -226,7 +245,7 @@ using Message =
                  PongMsg, GetAddrMsg, MempoolMsg, SendHeadersMsg, FeeFilterMsg,
                  SendCmpctMsg, CmpctBlockMsg, GetBlockTxnMsg, BlockTxnMsg,
                  FilterLoadMsg, FilterAddMsg, FilterClearMsg, MerkleBlockMsg,
-                 RejectMsg>;
+                 RejectMsg, TipProbeMsg>;
 
 /// Message type tag of a variant value.
 MsgType MsgTypeOf(const Message& msg);

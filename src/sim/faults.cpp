@@ -24,6 +24,12 @@ void FaultPlan::AttachMetrics(bsobs::MetricsRegistry& registry) {
                                    "Segments delayed by reorder jitter");
   m_corrupted_ = registry.GetCounter("bs_sim_fault_corrupted_total",
                                      "Segments with the checksum bit dirtied");
+  m_delayed_routing_ =
+      registry.GetCounter("bs_sim_fault_delayed_routing_total",
+                          "Segments delayed by an injected routing detour");
+  m_routing_partitions_ =
+      registry.GetCounter("bs_sim_fault_routing_partitions_total",
+                          "Scheduled netgroup delay-partitions");
   m_link_flaps_ =
       registry.GetCounter("bs_sim_fault_link_flaps_total", "Scheduled link/host cuts");
   m_host_crashes_ =
@@ -44,6 +50,63 @@ void FaultPlan::ScheduleHostFlap(std::uint32_t ip, SimTime at, SimTime down_for)
     Bump(link_flaps_, m_link_flaps_);
     CutHost(ip);
     sched_.After(down_for, [this, ip]() { HealHost(ip); });
+  });
+}
+
+void FaultPlan::SetLinkDelay(std::uint32_t src, std::uint32_t dst, SimTime delay) {
+  if (delay <= 0) {
+    link_delays_.erase(DirKey(src, dst));
+  } else {
+    link_delays_[DirKey(src, dst)] = delay;
+  }
+}
+
+void FaultPlan::SetGroupDelay(std::uint32_t src_group, std::uint32_t dst_group,
+                              SimTime delay) {
+  if (delay <= 0) {
+    group_delays_.erase(DirKey(src_group, dst_group));
+  } else {
+    group_delays_[DirKey(src_group, dst_group)] = delay;
+  }
+}
+
+void FaultPlan::DelayPartitionGroups(const std::vector<std::uint32_t>& side_a,
+                                     const std::vector<std::uint32_t>& side_b,
+                                     SimTime ab, SimTime ba) {
+  for (const std::uint32_t ga : side_a) {
+    for (const std::uint32_t gb : side_b) {
+      SetGroupDelay(ga, gb, ab);
+      SetGroupDelay(gb, ga, ba);
+    }
+  }
+}
+
+void FaultPlan::HealDelayPartition(const std::vector<std::uint32_t>& side_a,
+                                   const std::vector<std::uint32_t>& side_b) {
+  for (const std::uint32_t ga : side_a) {
+    for (const std::uint32_t gb : side_b) {
+      HealGroupDelay(ga, gb);
+      HealGroupDelay(gb, ga);
+    }
+  }
+}
+
+void FaultPlan::ScheduleDelayPartition(std::vector<std::uint32_t> side_a,
+                                       std::vector<std::uint32_t> side_b,
+                                       SimTime ab, SimTime ba, SimTime at) {
+  sched_.At(at, [this, side_a = std::move(side_a), side_b = std::move(side_b),
+                 ab, ba]() {
+    Bump(routing_partitions_, m_routing_partitions_);
+    DelayPartitionGroups(side_a, side_b, ab, ba);
+  });
+}
+
+void FaultPlan::SchedulePartialHeal(std::vector<std::uint32_t> side_a,
+                                    std::vector<std::uint32_t> side_b_subset,
+                                    SimTime at) {
+  sched_.At(at, [this, side_a = std::move(side_a),
+                 side_b_subset = std::move(side_b_subset)]() {
+    HealDelayPartition(side_a, side_b_subset);
   });
 }
 
@@ -81,6 +144,20 @@ FaultPlan::Fate FaultPlan::Judge(const TcpSegment& seg) {
     fate.drop = true;
     return fate;
   }
+  // Routing detours first: deterministic, no RNG draw, so these rules can
+  // never perturb the loss/corrupt/duplicate/reorder sequence below. A
+  // per-link rule beats the group rule; they do not stack.
+  if (!link_delays_.empty() || !group_delays_.empty()) {
+    const auto link_it = link_delays_.find(DirKey(seg.src.ip, seg.dst.ip));
+    if (link_it != link_delays_.end()) {
+      fate.extra_delay = link_it->second;
+    } else {
+      const auto group_it = group_delays_.find(
+          DirKey(GroupOf(seg.src.ip), GroupOf(seg.dst.ip)));
+      if (group_it != group_delays_.end()) fate.extra_delay = group_it->second;
+    }
+    if (fate.extra_delay > 0) Bump(delayed_routing_, m_delayed_routing_);
+  }
   const FaultSpec& spec = ResolveSpec(seg.src.ip, seg.dst.ip);
   if (spec.Quiet()) return fate;  // no randomness consumed
 
@@ -100,7 +177,8 @@ FaultPlan::Fate FaultPlan::Judge(const TcpSegment& seg) {
   if (spec.reorder > 0.0 && spec.reorder_jitter_max > 0 &&
       rng_.Chance(spec.reorder)) {
     Bump(delayed_, m_delayed_);
-    fate.extra_delay =
+    // Jitter stacks on top of any routing detour already applied above.
+    fate.extra_delay +=
         1 + static_cast<SimTime>(
                 rng_.Below(static_cast<std::uint64_t>(spec.reorder_jitter_max)));
   }

@@ -26,6 +26,7 @@
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "sim/network.hpp"
@@ -84,6 +85,51 @@ class FaultPlan {
   /// Partition `ip` at `at`, heal it `down_for` later.
   void ScheduleHostFlap(std::uint32_t ip, SimTime at, SimTime down_for);
 
+  // ---- Routing detours (the Hijacking-Bitcoin-style adversary) ----
+  // A BGP-level attacker does not blackhole traffic; it *detours* it, adding
+  // propagation delay at /16 granularity, and can do so asymmetrically (the
+  // hijacked direction crawls while the reverse path is untouched). These
+  // rules inject a fixed deterministic extra delay per matching segment —
+  // no randomness is consumed, so configuring none leaves runs bit-identical
+  // and configuring some perturbs no other fault draw.
+
+  /// The /16 netgroup of an address, matching core eviction/addrman grouping.
+  static constexpr std::uint32_t GroupOf(std::uint32_t ip) { return ip >> 16; }
+
+  /// Fixed extra delay for segments src→dst (directional: set the reverse
+  /// key separately for a symmetric detour). A zero delay clears the rule.
+  void SetLinkDelay(std::uint32_t src, std::uint32_t dst, SimTime delay);
+  /// Fixed extra delay for segments from netgroup `src_group` to netgroup
+  /// `dst_group` (directional). A zero delay clears the rule. Per-link delay
+  /// rules beat group rules; they do not stack.
+  void SetGroupDelay(std::uint32_t src_group, std::uint32_t dst_group, SimTime delay);
+  void HealLinkDelay(std::uint32_t src, std::uint32_t dst) {
+    link_delays_.erase(DirKey(src, dst));
+  }
+  void HealGroupDelay(std::uint32_t src_group, std::uint32_t dst_group) {
+    group_delays_.erase(DirKey(src_group, dst_group));
+  }
+
+  /// Delay-partition the topology along /16 lines: every segment from a
+  /// group in `side_a` to a group in `side_b` is delayed by `ab`, and the
+  /// reverse direction by `ba` (asymmetric when ab != ba; ba == 0 leaves the
+  /// return path clean — the pure one-way hijack).
+  void DelayPartitionGroups(const std::vector<std::uint32_t>& side_a,
+                            const std::vector<std::uint32_t>& side_b,
+                            SimTime ab, SimTime ba);
+  /// Remove the cross-pair delay rules for the given sides (both directions).
+  void HealDelayPartition(const std::vector<std::uint32_t>& side_a,
+                          const std::vector<std::uint32_t>& side_b);
+  /// Apply DelayPartitionGroups at `at`; counted as a routing partition.
+  void ScheduleDelayPartition(std::vector<std::uint32_t> side_a,
+                              std::vector<std::uint32_t> side_b, SimTime ab,
+                              SimTime ba, SimTime at);
+  /// Partial heal at `at`: drop the delay rules between `side_a` and the
+  /// given subset of the far side only — the staged, group-by-group repair
+  /// a real routing incident resolves with.
+  void SchedulePartialHeal(std::vector<std::uint32_t> side_a,
+                           std::vector<std::uint32_t> side_b_subset, SimTime at);
+
   // ---- Crash / restart orchestration ----
   /// The plan only schedules and counts crash events; the harness owns the
   /// actual teardown (Node::Stop(), persist the banlist) and rebuild (a new
@@ -112,6 +158,8 @@ class FaultPlan {
   std::uint64_t SegmentsDuplicated() const { return duplicated_; }
   std::uint64_t SegmentsDelayed() const { return delayed_; }
   std::uint64_t SegmentsCorrupted() const { return corrupted_; }
+  std::uint64_t SegmentsDelayedRouting() const { return delayed_routing_; }
+  std::uint64_t RoutingPartitions() const { return routing_partitions_; }
   std::uint64_t LinkFlaps() const { return link_flaps_; }
   std::uint64_t HostCrashes() const { return host_crashes_; }
 
@@ -120,6 +168,12 @@ class FaultPlan {
     const std::uint32_t lo = a < b ? a : b;
     const std::uint32_t hi = a < b ? b : a;
     return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+  /// Directional key: src in the high word, dst in the low word — unlike
+  /// LinkKey this is NOT order-normalized, which is what lets a detour be
+  /// asymmetric.
+  static std::uint64_t DirKey(std::uint32_t src, std::uint32_t dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
   const FaultSpec& ResolveSpec(std::uint32_t src_ip, std::uint32_t dst_ip) const;
 
@@ -132,12 +186,17 @@ class FaultPlan {
   std::unordered_map<std::uint64_t, FaultSpec> link_specs_;
   std::unordered_set<std::uint32_t> cut_hosts_;
   std::unordered_set<std::uint64_t> cut_links_;
+  /// Directional deterministic detour delays (DirKey of IPs / of /16 groups).
+  std::unordered_map<std::uint64_t, SimTime> link_delays_;
+  std::unordered_map<std::uint64_t, SimTime> group_delays_;
 
   std::uint64_t dropped_loss_ = 0;
   std::uint64_t dropped_partition_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t delayed_ = 0;
   std::uint64_t corrupted_ = 0;
+  std::uint64_t delayed_routing_ = 0;
+  std::uint64_t routing_partitions_ = 0;
   std::uint64_t link_flaps_ = 0;
   std::uint64_t host_crashes_ = 0;
 
@@ -147,6 +206,8 @@ class FaultPlan {
   bsobs::Counter* m_duplicated_ = nullptr;
   bsobs::Counter* m_delayed_ = nullptr;
   bsobs::Counter* m_corrupted_ = nullptr;
+  bsobs::Counter* m_delayed_routing_ = nullptr;
+  bsobs::Counter* m_routing_partitions_ = nullptr;
   bsobs::Counter* m_link_flaps_ = nullptr;
   bsobs::Counter* m_host_crashes_ = nullptr;
 };

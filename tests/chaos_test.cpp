@@ -834,4 +834,184 @@ TEST_P(ChaosEclipseHeal, VictimRecoversControlAcrossCrashAndLoss) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosEclipseHeal,
                          ::testing::Range<std::uint64_t>(1, 51));
 
+// ---------------------------------------------------------------------------
+// Routing partition + loss + crash: a hardened victim (partition resilience,
+// anchors, stale-tip recovery, durable store) behind an asymmetric /16
+// routing detour — return traffic from the mining side crawls through a 45 s
+// detour while the forward path stays clean — with 5% packet loss on every
+// link and a crash/restart mid-partition rebuilt from the WAL. Across 50
+// seeds: the reborn victim must re-arm its partition monitor, reconverge to
+// within one block of the miner once its /16 heals, nobody in the all-honest
+// world may ban anyone (partition symptoms are not crimes), and the store it
+// ran on verifies healthy.
+
+class ChaosPartition : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosPartition, RebornVictimReconvergesWithoutHonestBans) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::uint32_t kPartVictim = 0x0a100001;   // 10.16.0.1
+  constexpr std::uint32_t kPartWitness = 0x0a280001;  // 10.40.0.1 — no side
+  constexpr std::uint32_t kPartMiner = 0x0a200001;    // 10.32.0.1
+  constexpr int kPartBuddies = 4;
+  constexpr int kPartRelays = 3;
+  const auto buddy_ip = [](int i) {
+    return 0x0a000001 + (static_cast<std::uint32_t>(17 + i) << 16);
+  };
+  const auto relay_ip = [](int i) {
+    return 0x0a000001 + (static_cast<std::uint32_t>(33 + i) << 16);
+  };
+
+  bsim::SimFs fs(seed);
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  FaultPlan plan(sched, seed);
+  net.SetFaultPlan(&plan);
+  // Clean boot, then weather (the sweep's convention).
+  FaultSpec lossy;
+  lossy.loss = 0.05;
+  sched.After(4 * bsim::kSecond,
+              [&plan, lossy]() { plan.SetDefaultFaults(lossy); });
+
+  NodeConfig config;
+  config.rng_seed = seed;
+  config.target_outbound = 4;
+  config.enable_partition_resilience = true;  // partition_damping defaults on
+  config.enable_anchors = true;
+  config.enable_stale_tip_recovery = true;
+  config.stale_tip_timeout = 15 * bsim::kSecond;
+  config.enable_durable_store = true;
+  config.store_dir = "partition-chaos-store";
+  config.store_fs = &fs;
+
+  std::vector<std::unique_ptr<Node>> world;
+  const auto add_node = [&](std::uint32_t ip, NodeConfig nc,
+                            std::vector<std::uint32_t> known,
+                            bsim::SimTime start_at) -> Node* {
+    auto node = std::make_unique<Node>(sched, net, ip, nc);
+    for (const std::uint32_t k : known) node->AddKnownAddress({k, 8333});
+    Node* raw = node.get();
+    sched.After(start_at, [raw]() { raw->Start(); });
+    world.push_back(std::move(node));
+    return raw;
+  };
+
+  NodeConfig miner_cfg;
+  miner_cfg.chain = config.chain;
+  miner_cfg.target_outbound = kPartRelays;
+  miner_cfg.rng_seed = seed + 2000;
+  Node* miner = add_node(kPartMiner, miner_cfg,
+                         {relay_ip(0), relay_ip(1), relay_ip(2)}, 0);
+  for (int i = 0; i < kPartRelays; ++i) {
+    NodeConfig rc;
+    rc.chain = config.chain;
+    rc.target_outbound = 2;
+    rc.rng_seed = seed + 2100 + static_cast<std::uint64_t>(i);
+    add_node(relay_ip(i), rc, {kPartMiner, relay_ip((i + 1) % kPartRelays)},
+             50 * bsim::kMillisecond * (i + 1));
+  }
+  std::vector<Node*> buddies;
+  for (int i = 0; i < kPartBuddies; ++i) {
+    NodeConfig bc;
+    bc.chain = config.chain;
+    bc.target_outbound = 2;
+    bc.rng_seed = seed + 1000 + static_cast<std::uint64_t>(i);
+    bc.enable_partition_resilience = true;
+    buddies.push_back(
+        add_node(buddy_ip(i), bc, {relay_ip(i % kPartRelays), kPartVictim},
+                 300 * bsim::kMillisecond + i * 50 * bsim::kMillisecond));
+  }
+  NodeConfig wc;
+  wc.chain = config.chain;
+  wc.target_outbound = 2;
+  wc.rng_seed = seed + 3000;
+  wc.relay = false;
+  wc.enable_partition_resilience = true;
+  add_node(kPartWitness, wc, {kPartVictim, kPartMiner}, 600 * bsim::kMillisecond);
+
+  std::vector<std::unique_ptr<Node>> graveyard;
+  std::unique_ptr<Node> victim;
+  sched.After(bsim::kSecond, [&]() {
+    victim = std::make_unique<Node>(sched, net, kPartVictim, config);
+    ASSERT_NE(victim->Durable(), nullptr);
+    for (int i = 0; i < kPartBuddies; ++i) {
+      victim->AddKnownAddress({buddy_ip(i), 8333});
+    }
+    victim->Start();
+  });
+  sched.After(5 * bsim::kSecond, [&]() {
+    victim->AddKnownAddress({kPartMiner, 8333});
+    for (int i = 0; i < kPartRelays; ++i) {
+      victim->AddKnownAddress({relay_ip(i), 8333});
+    }
+  });
+
+  auto mine = std::make_shared<std::function<void()>>();
+  *mine = [&sched, miner, mine]() {
+    miner->MineAndRelay();
+    sched.After(3 * bsim::kSecond, [mine]() { (*mine)(); });
+  };
+  sched.After(2 * bsim::kSecond, [mine]() { (*mine)(); });
+
+  // The asymmetric cut at t=10 s, the victim's own /16 healed at t=45 s.
+  std::vector<std::uint32_t> side_a = {FaultPlan::GroupOf(kPartVictim)};
+  for (int i = 0; i < kPartBuddies; ++i) {
+    side_a.push_back(FaultPlan::GroupOf(buddy_ip(i)));
+  }
+  std::vector<std::uint32_t> side_b = {FaultPlan::GroupOf(kPartMiner)};
+  for (int i = 0; i < kPartRelays; ++i) {
+    side_b.push_back(FaultPlan::GroupOf(relay_ip(i)));
+  }
+  plan.ScheduleDelayPartition(side_a, side_b, /*ab=*/0,
+                              /*ba=*/45 * bsim::kSecond, 10 * bsim::kSecond);
+  plan.SchedulePartialHeal({FaultPlan::GroupOf(kPartVictim)}, side_b,
+                           45 * bsim::kSecond);
+
+  // Crash mid-partition, rebirth from the WAL four seconds later. The reborn
+  // node gets NO address re-seeding: addresses, anchors, and scores must come
+  // out of the durable store replay.
+  plan.on_host_crash = [&](std::uint32_t ip) {
+    if (ip != kPartVictim || victim == nullptr) return;
+    victim->Stop();
+    graveyard.push_back(std::move(victim));
+  };
+  plan.on_host_restart = [&](std::uint32_t ip) {
+    if (ip != kPartVictim) return;
+    victim = std::make_unique<Node>(sched, net, kPartVictim, config);
+    victim->Start();
+  };
+  plan.ScheduleCrash(kPartVictim, 30 * bsim::kSecond, 4 * bsim::kSecond);
+
+  sched.RunUntil(90 * bsim::kSecond);
+
+  ASSERT_NE(victim, nullptr);
+  EXPECT_GE(plan.HostCrashes(), 1u) << "seed " << seed;
+  // The reborn victim re-armed its monitor and crossed the healed cut.
+  EXPECT_GE(victim->PartitionSuspectWindows(), 1u) << "seed " << seed;
+  EXPECT_LE(miner->Chain().TipHeight() - victim->Chain().TipHeight(), 1)
+      << "seed " << seed << " stayed partitioned (victim "
+      << victim->Chain().TipHeight() << " vs miner " << miner->Chain().TipHeight()
+      << ")";
+  // Faults are not crimes: nobody in this all-honest world bans anyone, and
+  // no tracker anywhere reaches the threshold.
+  std::size_t honest_bans = victim->Bans().Size();
+  int max_score = 0;
+  const auto census = [&](Node& node) {
+    honest_bans += node.Bans().Size();
+    for (const Peer* peer : node.Peers()) {
+      max_score = std::max(max_score, node.Tracker().Score(peer->id));
+    }
+  };
+  for (const auto& node : world) census(*node);
+  census(*victim);
+  EXPECT_EQ(honest_bans, 0u) << "seed " << seed;
+  EXPECT_LT(max_score, 100) << "seed " << seed;
+  const bsstore::FsckReport report =
+      bsstore::RunFsck(fs, "partition-chaos-store", /*repair=*/false);
+  EXPECT_TRUE(report.store_found) << "seed " << seed;
+  EXPECT_TRUE(report.healthy) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosPartition,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
 }  // namespace

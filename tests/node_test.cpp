@@ -3,6 +3,9 @@
 // gate, banning and reconnection-refusal, and outbound maintenance.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "attack/attacker.hpp"
 #include "attack/crafter.hpp"
 #include "core/node.hpp"
@@ -604,6 +607,118 @@ TEST_F(ReplyFixture, SendToRemoteIpFailsWithoutSession) {
   AttackSession* session = ReadySession();
   ASSERT_TRUE(session->SessionReady());
   EXPECT_TRUE(node.SendToRemoteIp(kAttackerIp, bsproto::PingMsg{1}));
+}
+
+// ---------------------------------------------------------------------------
+// Stale-tip emergency-slot accounting (regression). The extra outbound slot
+// opened during a stale-tip episode must be released once the tip advances,
+// even when EVERY outbound peer has delivered a block. The original eviction
+// only considered never-delivered peers, so in that state each episode leaked
+// one outbound slot permanently.
+
+TEST(StaleTipSlots, EmergencySlotReleasedAcrossRepeatedEpisodes) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+
+  NodeConfig victim_cfg;
+  victim_cfg.target_outbound = 2;
+  victim_cfg.enable_stale_tip_recovery = true;
+  victim_cfg.stale_tip_timeout = 4 * bsim::kSecond;
+
+  NodeConfig peer_cfg;
+  peer_cfg.target_outbound = 0;
+
+  Node victim(sched, net, 0x0a000001, victim_cfg);
+  // Distinct /16 groups so netgroup-diversity logic can never interfere.
+  const std::uint32_t peer_ips[] = {0x0b000001, 0x0c000001, 0x0d000001};
+  std::vector<std::unique_ptr<Node>> peer_nodes;
+  for (const std::uint32_t ip : peer_ips) {
+    peer_nodes.push_back(std::make_unique<Node>(sched, net, ip, peer_cfg));
+    victim.AddKnownAddress({ip, 8333});
+  }
+  victim.Start();
+  for (auto& p : peer_nodes) p->Start();
+
+  auto run = [&](bsim::SimTime d) { sched.RunUntil(sched.Now() + d); };
+  auto node_for_ip = [&](std::uint32_t ip) -> Node* {
+    for (auto& p : peer_nodes) {
+      if (p->Ip() == ip) return p.get();
+    }
+    return nullptr;
+  };
+  auto outbound_peers = [&]() {
+    std::vector<const Peer*> out;
+    for (const Peer* peer : victim.Peers()) {
+      if (peer->inbound || peer->feeler || !peer->HandshakeComplete()) continue;
+      out.push_back(peer);
+    }
+    return out;
+  };
+
+  run(3 * bsim::kSecond);
+  ASSERT_EQ(victim.OutboundCount(), 2u);
+
+  // Both connected peers earn delivery credit: each mines a block in turn.
+  // The victim relays accepted blocks onward, so the peers stay on one chain.
+  // Snapshot IPs before mining: advancing sim time inside the loop can run
+  // the victim's maintenance, which may evict and free the Peer objects the
+  // outbound_peers() snapshot points at.
+  std::vector<std::uint32_t> connected_ips;
+  for (const Peer* peer : outbound_peers()) {
+    connected_ips.push_back(peer->remote.ip);
+  }
+  for (const std::uint32_t ip : connected_ips) {
+    ASSERT_NE(node_for_ip(ip), nullptr);
+    node_for_ip(ip)->MineAndRelay();
+    run(2 * bsim::kSecond);
+  }
+  ASSERT_EQ(victim.Chain().TipHeight(), 2);
+  for (const Peer* peer : outbound_peers()) {
+    ASSERT_NE(peer->last_block_time, 0) << "setup: every peer must deliver";
+  }
+
+  for (int episode = 1; episode <= 2; ++episode) {
+    // Stall past the timeout: the emergency slot opens and the victim dials
+    // the one known address it is not already connected to.
+    run(victim_cfg.stale_tip_timeout + 6 * bsim::kSecond);
+    ASSERT_EQ(victim.StaleTipEvents(), static_cast<std::uint64_t>(episode));
+    ASSERT_EQ(victim.OutboundCount(), 3u) << "episode " << episode;
+
+    // The newcomer delivers too (a side block off its own shorter chain is
+    // enough for credit), so no outbound peer is left without credit. Same
+    // snapshot-the-IPs dance: run() inside the loop invalidates Peer*.
+    std::vector<std::uint32_t> uncredited_ips;
+    for (const Peer* peer : outbound_peers()) {
+      if (peer->last_block_time == 0) uncredited_ips.push_back(peer->remote.ip);
+    }
+    for (const std::uint32_t ip : uncredited_ips) {
+      ASSERT_NE(node_for_ip(ip), nullptr);
+      node_for_ip(ip)->MineAndRelay();
+      run(2 * bsim::kSecond);
+    }
+    for (const Peer* peer : outbound_peers()) {
+      ASSERT_NE(peer->last_block_time, 0) << "episode " << episode;
+    }
+
+    // A peer sitting on the victim's exact tip mines the recovery block.
+    Node* tip_peer = nullptr;
+    for (const Peer* peer : outbound_peers()) {
+      Node* p = node_for_ip(peer->remote.ip);
+      if (p != nullptr && p->Chain().TipHash() == victim.Chain().TipHash()) {
+        tip_peer = p;
+      }
+    }
+    ASSERT_NE(tip_peer, nullptr) << "episode " << episode;
+    const int before = victim.Chain().TipHeight();
+    tip_peer->MineAndRelay();
+    run(3 * bsim::kSecond);
+    ASSERT_GT(victim.Chain().TipHeight(), before);
+
+    // Regression: with every peer credited, the old eviction found no
+    // never-delivered candidate and the slot leaked (count stuck at 3, then
+    // 4, ...). The fallback retires the least-recently-useful peer instead.
+    EXPECT_EQ(victim.OutboundCount(), 2u) << "episode " << episode;
+  }
 }
 
 }  // namespace

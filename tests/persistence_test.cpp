@@ -92,7 +92,10 @@ namespace {
 void WriteFile(const std::string& path, const bsutil::ByteVec& data) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   ASSERT_NE(f, nullptr);
-  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  // fwrite with a null pointer is UB even for zero bytes (empty ByteVec).
+  if (!data.empty()) {
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  }
   std::fclose(f);
 }
 }  // namespace

@@ -229,6 +229,9 @@ std::vector<bsproto::Message> AllTypeExemplars() {
   bsproto::RejectMsg reject;
   reject.message = "tx";
   reject.reason = "test";
+  bsproto::TipProbeMsg tipprobe;
+  tipprobe.nonce = 0x7e57;
+  tipprobe.tips = {{1, tip}, {2, tx.Txid()}};
 
   return {
       version,
@@ -257,6 +260,7 @@ std::vector<bsproto::Message> AllTypeExemplars() {
       bsproto::FilterClearMsg{},
       merkle,
       reject,
+      tipprobe,
   };
 }
 

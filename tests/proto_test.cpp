@@ -186,6 +186,13 @@ Message SampleMessage(MsgType type) {
       m.data = ByteVec(32, 0x77);
       return m;
     }
+    case MsgType::kTipProbe: {
+      TipProbeMsg m;
+      m.nonce = 0xfeed1234;
+      m.tips.push_back({812345, TestHash(40)});
+      m.tips.push_back({812346, TestHash(41)});
+      return m;
+    }
   }
   return VerackMsg{};
 }
@@ -195,7 +202,9 @@ Message SampleMessage(MsgType type) {
 
 TEST(Constants, TwentySixMessageTypes) {
   EXPECT_EQ(AllMsgTypes().size(), kNumMsgTypes);
-  EXPECT_EQ(kNumMsgTypes, 26u);
+  // The paper's 26-type catalogue plus the partition-resilience TIPPROBE
+  // extension appended after it.
+  EXPECT_EQ(kNumMsgTypes, 27u);
 }
 
 TEST(Constants, CommandNamesRoundTrip) {

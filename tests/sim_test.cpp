@@ -562,6 +562,94 @@ TEST_F(FaultFixture, ScheduledLinkFlapCutsAndHeals) {
   EXPECT_EQ(plan.LinkFlaps(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Routing detours: asymmetric /16 delay-partitions (the Hijacking-Bitcoin
+// adversary). Hosts live in distinct /16s so the group rules actually bind.
+
+struct DetourFixture : ::testing::Test {
+  Scheduler sched;
+  Network net{sched};
+  FaultPlan plan{sched, /*seed=*/77};
+  Host west{sched, net, 0x0a100001};  // /16 group 0x0a10
+  Host east{sched, net, 0x0a200001};  // /16 group 0x0a20
+
+  void SetUp() override { net.SetFaultPlan(&plan); }
+
+  /// Time from Send() to the last byte arriving at the receiver.
+  SimTime TransferTime(Host& from, Host& to, std::size_t bytes) {
+    std::size_t received = 0;
+    SimTime last_arrival = 0;
+    to.Listen(9000, [&](TcpConnection& conn) {
+      conn.SetDataSink([&](bsutil::ByteSpan data) {
+        received += data.size();
+        last_arrival = sched.Now();
+      });
+    });
+    TcpConnection* client = from.Connect({to.Ip(), 9000}, nullptr);
+    sched.RunUntil(sched.Now() + 5 * kSecond);
+    EXPECT_NE(client, nullptr);
+    if (client == nullptr || !client->IsEstablished()) return 0;
+    const SimTime start = sched.Now();
+    client->Send(bsutil::ByteVec(bytes, 0x61));
+    sched.RunAll();
+    EXPECT_EQ(received, bytes);
+    return last_arrival - start;
+  }
+};
+
+TEST_F(DetourFixture, GroupDelayIsAsymmetric) {
+  // Hijack only the west→east direction: data crawls one way while the
+  // reverse path stays at baseline speed.
+  plan.SetGroupDelay(FaultPlan::GroupOf(west.Ip()), FaultPlan::GroupOf(east.Ip()),
+                     250 * kMillisecond);
+  const SimTime west_to_east = TransferTime(west, east, 1000);
+  EXPECT_GE(west_to_east, 250 * kMillisecond);
+  EXPECT_GT(plan.SegmentsDelayedRouting(), 0u);
+  const std::uint64_t delayed_before = plan.SegmentsDelayedRouting();
+  const SimTime east_to_west = TransferTime(east, west, 1000);
+  EXPECT_LT(east_to_west, 250 * kMillisecond);
+  // Only east→west ACKs traverse the hijacked direction, not the data.
+  EXPECT_LT(east_to_west, west_to_east);
+  EXPECT_GE(plan.SegmentsDelayedRouting(), delayed_before);
+}
+
+TEST_F(DetourFixture, LinkDelayBeatsGroupDelay) {
+  plan.SetGroupDelay(FaultPlan::GroupOf(west.Ip()), FaultPlan::GroupOf(east.Ip()),
+                     400 * kMillisecond);
+  plan.SetLinkDelay(west.Ip(), east.Ip(), 50 * kMillisecond);
+  const SimTime t = TransferTime(west, east, 500);
+  EXPECT_GE(t, 50 * kMillisecond);
+  EXPECT_LT(t, 400 * kMillisecond);
+}
+
+TEST_F(DetourFixture, DelayPartitionAppliesAndPartialHealClears) {
+  const std::uint32_t gw = FaultPlan::GroupOf(west.Ip());
+  const std::uint32_t ge = FaultPlan::GroupOf(east.Ip());
+  plan.ScheduleDelayPartition({gw}, {ge}, 300 * kMillisecond,
+                              100 * kMillisecond, 1 * kSecond);
+  sched.RunUntil(500 * kMillisecond);
+  EXPECT_EQ(plan.RoutingPartitions(), 0u);
+  sched.RunUntil(2 * kSecond);
+  EXPECT_EQ(plan.RoutingPartitions(), 1u);
+  const SimTime slow = TransferTime(west, east, 500);
+  EXPECT_GE(slow, 300 * kMillisecond);
+
+  plan.SchedulePartialHeal({gw}, {ge}, sched.Now() + kSecond);
+  sched.RunUntil(sched.Now() + 2 * kSecond);
+  const std::uint64_t delayed_before = plan.SegmentsDelayedRouting();
+  std::size_t received = 0;
+  west.Listen(9100, [&](TcpConnection& conn) {
+    conn.SetDataSink([&](bsutil::ByteSpan data) { received += data.size(); });
+  });
+  TcpConnection* client = east.Connect({west.Ip(), 9100}, nullptr);
+  sched.RunUntil(sched.Now() + kSecond);
+  ASSERT_NE(client, nullptr);
+  client->Send(bsutil::ByteVec(500, 0x62));
+  sched.RunAll();
+  EXPECT_EQ(received, 500u);
+  EXPECT_EQ(plan.SegmentsDelayedRouting(), delayed_before);
+}
+
 TEST_F(FaultFixture, ScheduledCrashFiresHooks) {
   std::vector<std::pair<std::string, std::uint32_t>> events;
   plan.on_host_crash = [&](std::uint32_t ip) { events.emplace_back("crash", ip); };

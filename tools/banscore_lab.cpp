@@ -26,6 +26,14 @@
 //                        [--heal-fraction F] [--format table|json]
 //                        (sustained eclipse attack; exit 0 iff the victim's
 //                         final control fraction stays below --heal-fraction)
+//   banscore-lab partition [--defenses none|all] [--seconds S]
+//                        [--format table|json]
+//                        (asymmetric routing detour vs a stock or hardened
+//                         victim; exit 0 iff the victim reconverges to
+//                         within 1 block of the miner by the end)
+//
+// Every scenario accepts --seed N (default 42, the NodeConfig default) and
+// echoes it in its output, so a sweep driver can re-run any single seed.
 #include <algorithm>
 #include <cctype>
 #include <cmath>
@@ -105,6 +113,14 @@ BanPolicy ParsePolicy(const std::string& s) {
   return BanPolicy::kBanScore;
 }
 
+/// --seed for every scenario. 42 is the NodeConfig default, so omitting the
+/// flag reproduces the historical (pre---seed) runs bit for bit; derived
+/// per-node seeds below are chosen as `seed + offset` with offsets that map
+/// 42 onto the literals the scenarios used before the flag existed.
+std::uint64_t SeedOf(const Flags& flags) {
+  return static_cast<std::uint64_t>(flags.GetNum("seed", 42));
+}
+
 // ---------------------------------------------------------------------------
 // Scenarios
 
@@ -122,10 +138,12 @@ int RunRules(const Flags& flags) {
 }
 
 int RunBmDos(const Flags& flags) {
+  const std::uint64_t seed = SeedOf(flags);
   bsim::Scheduler sched;
   bsim::Network net(sched);
   bsim::CpuModel cpu;
   NodeConfig config;
+  config.rng_seed = seed;
   config.ban_policy = ParsePolicy(flags.Get("policy", "banscore"));
   Node victim(sched, net, 0x0a000001, config, &cpu);
   victim.Start();
@@ -155,9 +173,9 @@ int RunBmDos(const Flags& flags) {
   const auto sample = cpu.EndWindow(sched.Now());
   attack.Stop();
 
-  std::printf("BM-DoS: payload=%s connections=%d rate=%.0f/s policy=%s\n",
+  std::printf("BM-DoS: payload=%s connections=%d rate=%.0f/s policy=%s seed=%llu\n",
               payload.c_str(), bm.sybil_connections, attack.EffectiveRate(),
-              ToString(config.ban_policy));
+              ToString(config.ban_policy), static_cast<unsigned long long>(seed));
   std::printf("  messages sent:        %llu\n",
               static_cast<unsigned long long>(attack.MessagesSent()));
   std::printf("  mining: %.3g -> %.3g h/s (%.0f%% drop), CPU busy %.1f%%\n", baseline,
@@ -171,9 +189,11 @@ int RunBmDos(const Flags& flags) {
 }
 
 int RunSybil(const Flags& flags) {
+  const std::uint64_t seed = SeedOf(flags);
   bsim::Scheduler sched;
   bsim::Network net(sched);
   NodeConfig config;
+  config.rng_seed = seed;
   config.core_version = ParseVersion(flags.Get("version", "0.20"));
   config.ban_threshold = static_cast<int>(flags.GetNum("threshold", 100));
   Node target(sched, net, 0x0a000001, config);
@@ -188,8 +208,9 @@ int RunSybil(const Flags& flags) {
   attack.Start();
   sched.RunUntil(bsim::FromSeconds(sc.max_identifiers * 3.0 + 10));
 
-  std::printf("serial Sybil (duplicate VERSION) vs Core %s, threshold %d\n",
-              ToString(config.core_version), config.ban_threshold);
+  std::printf("serial Sybil (duplicate VERSION) vs Core %s, threshold %d, seed %llu\n",
+              ToString(config.core_version), config.ban_threshold,
+              static_cast<unsigned long long>(seed));
   std::printf("  identifiers banned: %d/%d\n", attack.IdentifiersBanned(),
               sc.max_identifiers);
   if (attack.IdentifiersBanned() > 0) {
@@ -204,13 +225,16 @@ int RunSybil(const Flags& flags) {
 }
 
 int RunDefame(const Flags& flags) {
+  const std::uint64_t seed = SeedOf(flags);
   bsim::Scheduler sched;
   bsim::Network net(sched);
   NodeConfig target_config;
+  target_config.rng_seed = seed;
   target_config.ban_policy = ParsePolicy(flags.Get("policy", "banscore"));
   target_config.target_outbound = 1;
   Node target(sched, net, 0x0a000001, target_config);
   NodeConfig pc;
+  pc.rng_seed = seed;
   pc.target_outbound = 0;
   Node innocent(sched, net, 0x0a000002, pc);
   innocent.Start();
@@ -229,8 +253,9 @@ int RunDefame(const Flags& flags) {
         bsattack::PreConnectionDefamation::InstantBanFrames(target_config.chain.magic));
     pre.Run();
     sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
-    std::printf("pre-connection Defamation of %s under %s: banned=%s\n",
+    std::printf("pre-connection Defamation of %s under %s (seed %llu): banned=%s\n",
                 victim_id.ToString().c_str(), ToString(target_config.ban_policy),
+                static_cast<unsigned long long>(seed),
                 target.Bans().IsBanned(victim_id, sched.Now()) ? "YES" : "no");
     return 0;
   }
@@ -253,23 +278,28 @@ int RunDefame(const Flags& flags) {
                                    crafter.SegwitInvalidTx())});
   innocent.SendToRemoteIp(target.Ip(), bsproto::PingMsg{1});
   sched.RunUntil(sched.Now() + 5 * bsim::kSecond);
-  std::printf("post-connection Defamation of %s under %s: injected=%s banned=%s\n",
+  std::printf("post-connection Defamation of %s under %s (seed %llu): "
+              "injected=%s banned=%s\n",
               outbound->remote.ToString().c_str(), ToString(target_config.ban_policy),
+              static_cast<unsigned long long>(seed),
               post.Injected() ? "yes" : "no",
               target.Bans().IsBanned({innocent.Ip(), 8333}, sched.Now()) ? "YES" : "no");
   return 0;
 }
 
 int RunDetect(const Flags& flags) {
+  const std::uint64_t seed = SeedOf(flags);
   bsim::Scheduler sched;
   bsim::Network net(sched);
   NodeConfig config;
+  config.rng_seed = seed;
   config.target_outbound = 8;
   Node target(sched, net, 0x0a000001, config);
   std::vector<std::unique_ptr<Node>> storage;
   std::vector<Node*> peers;
   for (int i = 0; i < 20; ++i) {
     NodeConfig pc;
+    pc.rng_seed = seed;
     pc.target_outbound = 0;
     auto peer = std::make_unique<Node>(sched, net, 0x0a000100 + i, pc);
     peer->Start();
@@ -287,8 +317,8 @@ int RunDetect(const Flags& flags) {
 
   const int train_minutes = static_cast<int>(flags.GetNum("train-minutes", 60));
   const int window = static_cast<int>(flags.GetNum("window", 10));
-  std::printf("training on %d simulated minutes (window %d min)...\n", train_minutes,
-              window);
+  std::printf("training on %d simulated minutes (window %d min, seed %llu)...\n",
+              train_minutes, window, static_cast<unsigned long long>(seed));
   sched.RunUntil(sched.Now() + train_minutes * bsim::kMinute);
   bsdetect::StatEngine engine;
   if (!engine.Train(monitor.AllWindows(window))) {
@@ -346,12 +376,14 @@ int RunDetect(const Flags& flags) {
 int RunDumpMetrics(const Flags& flags) {
   // Drive a short instrumented BM-DoS run against a victim node sharing one
   // registry with the scheduler, then print the scrape-ready snapshot.
+  const std::uint64_t seed = SeedOf(flags);
   bsobs::MetricsRegistry registry;
   bsim::Scheduler sched;
   sched.AttachMetrics(registry);
   bsim::Network net(sched);
   net.AttachMetrics(registry);
   NodeConfig config;
+  config.rng_seed = seed;
   config.metrics = &registry;
   config.ban_policy = ParsePolicy(flags.Get("policy", "banscore"));
   Node victim(sched, net, 0x0a000001, config);
@@ -372,8 +404,12 @@ int RunDumpMetrics(const Flags& flags) {
 
   const std::string format = flags.Get("format", "prom");
   if (format == "json") {
+    // The snapshot itself must stay parseable, so the seed echo goes to
+    // stderr rather than into the JSON document.
+    std::fprintf(stderr, "# seed %llu\n", static_cast<unsigned long long>(seed));
     std::printf("%s\n", registry.RenderJson().c_str());
   } else {
+    std::printf("# seed %llu\n", static_cast<unsigned long long>(seed));
     std::printf("%s", registry.RenderPrometheus().c_str());
   }
   return 0;
@@ -560,7 +596,8 @@ struct OverloadResult {
 };
 
 OverloadResult RunOverloadOnce(bool attack, bool eviction, bool ratelimit,
-                               bool priority, int procs, int windows) {
+                               bool priority, int procs, int windows,
+                               std::uint64_t seed) {
   constexpr std::uint32_t kVictim = 0x0a000001;
   constexpr int kHonest = 6;
   bsim::Scheduler sched;
@@ -572,6 +609,7 @@ OverloadResult RunOverloadOnce(bool attack, bool eviction, bool ratelimit,
   bsim::CpuModel cpu(cpu_config);
 
   NodeConfig config;
+  config.rng_seed = seed;
   config.max_inbound = 12;
   config.target_outbound = 0;
   config.ping_interval = 1 * bsim::kSecond;
@@ -587,7 +625,7 @@ OverloadResult RunOverloadOnce(bool attack, bool eviction, bool ratelimit,
   for (int i = 0; i < kHonest; ++i) {
     NodeConfig hc;
     hc.target_outbound = 1;
-    hc.rng_seed = 2000 + static_cast<std::uint64_t>(i);
+    hc.rng_seed = seed + 1958 + static_cast<std::uint64_t>(i);
     auto node = std::make_unique<Node>(
         sched, net, 0x0a100001 + (static_cast<std::uint32_t>(i) << 16), hc);
     node->AddKnownAddress({kVictim, config.listen_port});
@@ -670,29 +708,31 @@ int RunOverload(const Flags& flags) {
   const int windows = static_cast<int>(flags.GetNum("windows", 15));
   const double min_ratio = flags.GetNum("min-ratio", 0.0);
   const bool json = flags.Get("format", "table") == "json";
+  const std::uint64_t seed = SeedOf(flags);
 
   const OverloadResult base =
-      RunOverloadOnce(false, eviction, ratelimit, priority, procs, windows);
+      RunOverloadOnce(false, eviction, ratelimit, priority, procs, windows, seed);
   const OverloadResult hit =
-      RunOverloadOnce(true, eviction, ratelimit, priority, procs, windows);
+      RunOverloadOnce(true, eviction, ratelimit, priority, procs, windows, seed);
   const double ratio =
       base.mining_hps > 0.0 ? hit.mining_hps / base.mining_hps : 0.0;
 
   if (json) {
     std::printf(
-        "{\"defenses\":\"%s\",\"procs\":%d,\"baseline_hps\":%.1f,"
+        "{\"defenses\":\"%s\",\"procs\":%d,\"seed\":%llu,\"baseline_hps\":%.1f,"
         "\"attacked_hps\":%.1f,\"mining_ratio\":%.4f,"
         "\"honest_connected\":%zu,\"evictions\":%llu,\"shed_frames\":%llu,"
         "\"inbound_rejects\":%llu,\"min_ratio\":%.3f,\"pass\":%s}\n",
-        defenses.c_str(), procs, base.mining_hps, hit.mining_hps, ratio,
+        defenses.c_str(), procs, static_cast<unsigned long long>(seed),
+        base.mining_hps, hit.mining_hps, ratio,
         hit.honest_connected, static_cast<unsigned long long>(hit.evictions),
         static_cast<unsigned long long>(hit.shed_frames),
         static_cast<unsigned long long>(hit.rejects), min_ratio,
         ratio >= min_ratio ? "true" : "false");
   } else {
     std::printf("overload: defenses=%s, %d attacker procs x 2 Sybil conns, "
-                "60 kB bogus-BLOCK flood\n\n",
-                defenses.c_str(), procs);
+                "60 kB bogus-BLOCK flood, seed %llu\n\n",
+                defenses.c_str(), procs, static_cast<unsigned long long>(seed));
     std::printf("  baseline mining:  %12.1f h/s\n", base.mining_hps);
     std::printf("  attacked mining:  %12.1f h/s  (%.2fx of baseline)\n",
                 hit.mining_hps, ratio);
@@ -728,7 +768,8 @@ struct EclipseOutcome {
   std::size_t tried = 0;
 };
 
-EclipseOutcome RunEclipseOnce(bool hardened, double seconds, double heal_fraction) {
+EclipseOutcome RunEclipseOnce(bool hardened, double seconds, double heal_fraction,
+                              std::uint64_t seed) {
   constexpr std::uint32_t kVictim = 0x0a000001;
   constexpr int kHonest = 12;
   constexpr int kInfra = 8;
@@ -741,6 +782,7 @@ EclipseOutcome RunEclipseOnce(bool hardened, double seconds, double heal_fractio
   bsim::Network net(sched);
 
   NodeConfig config;
+  config.rng_seed = seed;
   config.max_inbound = 16;
   config.target_outbound = 6;
   config.ban_duration = 60 * bsim::kSecond;
@@ -765,7 +807,7 @@ EclipseOutcome RunEclipseOnce(bool hardened, double seconds, double heal_fractio
     NodeConfig hc;
     hc.chain = config.chain;
     hc.target_outbound = 3;
-    hc.rng_seed = 1000 + static_cast<std::uint64_t>(i);
+    hc.rng_seed = seed + 958 + static_cast<std::uint64_t>(i);
     auto node = std::make_unique<Node>(
         sched, net, 0x0a000001 + (static_cast<std::uint32_t>(16 + i) << 16), hc);
     node->AddKnownAddress(
@@ -806,7 +848,7 @@ EclipseOutcome RunEclipseOnce(bool hardened, double seconds, double heal_fractio
     NodeConfig ic;
     ic.chain = config.chain;
     ic.target_outbound = 0;
-    ic.rng_seed = 2000 + static_cast<std::uint64_t>(i);
+    ic.rng_seed = seed + 1958 + static_cast<std::uint64_t>(i);
     auto node = std::make_unique<Node>(sched, net,
                                        0xc0a80002 + static_cast<std::uint32_t>(i), ic);
     node->Start();
@@ -890,31 +932,34 @@ int RunEclipse(const Flags& flags) {
   const double seconds = flags.GetNum("seconds", 90);
   const double heal_fraction = flags.GetNum("heal-fraction", 0.5);
   const bool json = flags.Get("format", "table") == "json";
+  const std::uint64_t seed = SeedOf(flags);
   if (seconds < 60) {
     std::fprintf(stderr, "eclipse: --seconds must be >= 60\n");
     return 2;
   }
 
-  const EclipseOutcome out = RunEclipseOnce(hardened, seconds, heal_fraction);
+  const EclipseOutcome out = RunEclipseOnce(hardened, seconds, heal_fraction, seed);
   const bool healed = out.final_fraction < heal_fraction;
   if (json) {
     std::printf(
-        "{\"defenses\":\"%s\",\"seconds\":%.0f,\"peak_fraction\":%.4f,"
+        "{\"defenses\":\"%s\",\"seconds\":%.0f,\"seed\":%llu,\"peak_fraction\":%.4f,"
         "\"final_fraction\":%.4f,\"heal_seconds\":%.1f,"
         "\"honest_inbound\":%zu,\"attacker_outbound\":%d,"
         "\"feeler_promotions\":%llu,\"stale_tip_events\":%llu,"
         "\"evictions\":%llu,\"tried\":%zu,\"heal_fraction\":%.3f,"
         "\"healed\":%s}\n",
-        hardened ? "all" : "none", seconds, out.peak, out.final_fraction,
+        hardened ? "all" : "none", seconds, static_cast<unsigned long long>(seed),
+        out.peak, out.final_fraction,
         out.heal_seconds, out.honest_inbound, out.attacker_outbound,
         static_cast<unsigned long long>(out.feeler_promotions),
         static_cast<unsigned long long>(out.stale_tip_events),
         static_cast<unsigned long long>(out.evictions), out.tried, heal_fraction,
         healed ? "true" : "false");
   } else {
-    std::printf("eclipse: defenses=%s, %.0f s run, sustained Sybil occupation +\n"
-                "ADDR poisoning + Defamation of honest outbound peers\n\n",
-                hardened ? "all" : "none", seconds);
+    std::printf("eclipse: defenses=%s, %.0f s run, seed %llu, sustained Sybil\n"
+                "occupation + ADDR poisoning + Defamation of honest outbound peers\n\n",
+                hardened ? "all" : "none", seconds,
+                static_cast<unsigned long long>(seed));
     std::printf("  control fraction: peak %.2f, final %.2f\n", out.peak,
                 out.final_fraction);
     std::printf("  time-to-heal:     %s\n",
@@ -932,6 +977,251 @@ int RunEclipse(const Flags& flags) {
                 healed ? "PASS" : "FAIL");
   }
   return healed ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// partition: the bench_partition world in CLI form — a Hijacking-Bitcoin
+// style asymmetric routing detour (return traffic from the mining side takes
+// a 45 s detour, forward traffic flows clean) against a stock or hardened
+// victim whose outbound slots are full of same-side peers. A listen-only
+// witness with healthy routes answers tip-probes with the true height; with
+// --defenses all the fused suspicion score arms, the recovery ladder dials
+// across the cut once the victim's /16 heals, and partition-aware damping
+// keeps the reconverged victim from being banned by its stale buddies.
+// Exit 0 iff the victim ends within 1 block of the miner — so
+// `--defenses none` is expected to FAIL the gate and `--defenses all` to
+// pass it (check.sh uses exactly that pair).
+
+struct PartitionOutcome {
+  int final_gap = 0;
+  double reconverge_seconds = -1.0;  // from the heal; -1 = never
+  std::uint64_t suspect_windows = 0;
+  std::uint64_t recovery_actions = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probe_replies = 0;
+  std::uint64_t deferred_penalties = 0;
+  std::size_t honest_bans = 0;  // every node in this world is honest
+  int max_honest_score = 0;
+  int victim_height = 0;
+  int miner_height = 0;
+};
+
+PartitionOutcome RunPartitionOnce(bool hardened, double seconds,
+                                  std::uint64_t seed) {
+  constexpr std::uint32_t kVictimIp = 0x0a100001;   // 10.16.0.1
+  constexpr std::uint32_t kWitnessIp = 0x0a280001;  // 10.40.0.1 — neither side
+  constexpr std::uint32_t kMinerIp = 0x0a200001;    // 10.32.0.1
+  constexpr int kBuddies = 4;
+  constexpr int kRelays = 3;
+  const auto buddy_ip = [](int i) {
+    return 0x0a000001 + (static_cast<std::uint32_t>(17 + i) << 16);
+  };
+  const auto relay_ip = [](int i) {
+    return 0x0a000001 + (static_cast<std::uint32_t>(33 + i) << 16);
+  };
+  const int run_seconds = static_cast<int>(seconds);
+  const bsim::SimTime partition_at = 10 * bsim::kSecond;
+  const bsim::SimTime heal_at = (run_seconds / 2) * bsim::kSecond;
+
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  bsim::FaultPlan plan(sched, seed);
+  net.SetFaultPlan(&plan);
+
+  NodeConfig config;
+  config.rng_seed = seed;
+  config.target_outbound = 4;
+  if (hardened) {
+    config.enable_partition_resilience = true;  // partition_damping defaults on
+    config.enable_anchors = true;
+    config.enable_stale_tip_recovery = true;
+    config.stale_tip_timeout = 15 * bsim::kSecond;
+  }
+
+  std::vector<std::unique_ptr<Node>> world;
+  const auto add_node = [&](std::uint32_t ip, NodeConfig nc,
+                            std::vector<std::uint32_t> known,
+                            bsim::SimTime start_at) -> Node* {
+    auto node = std::make_unique<Node>(sched, net, ip, nc);
+    for (const std::uint32_t k : known) node->AddKnownAddress({k, 8333});
+    Node* raw = node.get();
+    sched.After(start_at, [raw]() { raw->Start(); });
+    world.push_back(std::move(node));
+    return raw;
+  };
+
+  // Mining side: one miner + a small relay mesh, each in its own /16.
+  NodeConfig miner_cfg;
+  miner_cfg.chain = config.chain;
+  miner_cfg.target_outbound = kRelays;
+  miner_cfg.rng_seed = seed + 1958;
+  Node* miner = add_node(kMinerIp, miner_cfg,
+                         {relay_ip(0), relay_ip(1), relay_ip(2)}, 0);
+  for (int i = 0; i < kRelays; ++i) {
+    NodeConfig rc;
+    rc.chain = config.chain;
+    rc.target_outbound = 2;
+    rc.rng_seed = seed + 2058 + static_cast<std::uint64_t>(i);
+    add_node(relay_ip(i), rc, {kMinerIp, relay_ip((i + 1) % kRelays)},
+             50 * bsim::kMillisecond * (i + 1));
+  }
+
+  // Victim-side buddies: each bridges one detoured relay link into the
+  // victim's side of the cut; hardened runs switch their monitor on too.
+  std::vector<Node*> buddies;
+  for (int i = 0; i < kBuddies; ++i) {
+    NodeConfig bc;
+    bc.chain = config.chain;
+    bc.target_outbound = 2;
+    bc.rng_seed = seed + 958 + static_cast<std::uint64_t>(i);
+    bc.enable_partition_resilience = hardened;
+    buddies.push_back(add_node(buddy_ip(i), bc, {relay_ip(i % kRelays), kVictimIp},
+                               300 * bsim::kMillisecond + i * 50 * bsim::kMillisecond));
+  }
+
+  // A listen-only witness in an untouched /16: relay=false means the only
+  // thing it leaks is tip-probe answers — the gossip channel the monitor
+  // feeds on.
+  NodeConfig wc;
+  wc.chain = config.chain;
+  wc.target_outbound = 2;
+  wc.rng_seed = seed + 2958;
+  wc.relay = false;
+  wc.enable_partition_resilience = true;
+  add_node(kWitnessIp, wc, {kVictimIp, kMinerIp}, 600 * bsim::kMillisecond);
+
+  // The victim boots knowing only its own side; the wider net's addresses
+  // arrive after its slots are already full.
+  std::unique_ptr<Node> victim;
+  sched.After(bsim::kSecond, [&]() {
+    victim = std::make_unique<Node>(sched, net, kVictimIp, config);
+    for (int i = 0; i < kBuddies; ++i) {
+      victim->AddKnownAddress({buddy_ip(i), 8333});
+    }
+    victim->Start();
+  });
+  sched.After(5 * bsim::kSecond, [&]() {
+    victim->AddKnownAddress({kMinerIp, 8333});
+    for (int i = 0; i < kRelays; ++i) victim->AddKnownAddress({relay_ip(i), 8333});
+  });
+
+  auto mine = std::make_shared<std::function<void()>>();
+  *mine = [&sched, miner, mine]() {
+    miner->MineAndRelay();
+    sched.After(3 * bsim::kSecond, [mine]() { (*mine)(); });
+  };
+  sched.After(2 * bsim::kSecond, [mine]() { (*mine)(); });
+
+  // The one-way detour over every mining-side -> victim-side segment, then a
+  // partial heal of the victim's own /16 at half time.
+  std::vector<std::uint32_t> side_a = {bsim::FaultPlan::GroupOf(kVictimIp)};
+  for (int i = 0; i < kBuddies; ++i) {
+    side_a.push_back(bsim::FaultPlan::GroupOf(buddy_ip(i)));
+  }
+  std::vector<std::uint32_t> side_b = {bsim::FaultPlan::GroupOf(kMinerIp)};
+  for (int i = 0; i < kRelays; ++i) {
+    side_b.push_back(bsim::FaultPlan::GroupOf(relay_ip(i)));
+  }
+  plan.ScheduleDelayPartition(side_a, side_b, /*ab=*/0, /*ba=*/45 * bsim::kSecond,
+                              partition_at);
+  plan.SchedulePartialHeal({bsim::FaultPlan::GroupOf(kVictimIp)}, side_b, heal_at);
+
+  std::vector<int> gap_series;
+  for (int s = 1; s <= run_seconds; ++s) {
+    sched.RunUntil(s * bsim::kSecond);
+    const int victim_h = victim == nullptr ? 0 : victim->Chain().TipHeight();
+    gap_series.push_back(miner->Chain().TipHeight() - victim_h);
+  }
+
+  PartitionOutcome out;
+  out.final_gap = gap_series.back();
+  const int heal_s = static_cast<int>(heal_at / bsim::kSecond);
+  int last_bad = -1;
+  for (int i = heal_s; i < static_cast<int>(gap_series.size()); ++i) {
+    if (gap_series[static_cast<std::size_t>(i)] > 1) last_bad = i;
+  }
+  if (last_bad == -1) {
+    out.reconverge_seconds = 0.0;
+  } else if (last_bad + 1 != static_cast<int>(gap_series.size())) {
+    out.reconverge_seconds = static_cast<double>(last_bad + 2 - heal_s);
+  }
+
+  out.probes_sent = victim->TipProbesSent();
+  out.probe_replies = victim->TipProbeReplies();
+  out.suspect_windows = victim->PartitionSuspectWindows();
+  out.recovery_actions = victim->PartitionRecoveryActions();
+  out.deferred_penalties = victim->DeferredPenalties();
+  out.victim_height = victim->Chain().TipHeight();
+  out.miner_height = miner->Chain().TipHeight();
+  const auto census = [&](Node& node) {
+    out.honest_bans += node.Bans().Size();
+    for (const Peer* peer : node.Peers()) {
+      out.max_honest_score =
+          std::max(out.max_honest_score, node.Tracker().Score(peer->id));
+    }
+  };
+  for (const auto& node : world) census(*node);
+  census(*victim);
+  for (Node* buddy : buddies) out.deferred_penalties += buddy->DeferredPenalties();
+  return out;
+}
+
+int RunPartition(const Flags& flags) {
+  const std::string defenses = flags.Get("defenses", "all");
+  const bool hardened = defenses != "none";
+  const double seconds = flags.GetNum("seconds", 90);
+  const bool json = flags.Get("format", "table") == "json";
+  const std::uint64_t seed = SeedOf(flags);
+  if (seconds < 60) {
+    std::fprintf(stderr, "partition: --seconds must be >= 60\n");
+    return 2;
+  }
+
+  const PartitionOutcome out = RunPartitionOnce(hardened, seconds, seed);
+  const bool reconverged = out.final_gap <= 1;
+  if (json) {
+    std::printf(
+        "{\"defenses\":\"%s\",\"seconds\":%.0f,\"seed\":%llu,\"final_gap\":%d,"
+        "\"reconverge_seconds\":%.1f,\"suspect_windows\":%llu,"
+        "\"recovery_actions\":%llu,\"probes_sent\":%llu,\"probe_replies\":%llu,"
+        "\"deferred_penalties\":%llu,\"honest_bans\":%zu,"
+        "\"max_honest_score\":%d,\"victim_height\":%d,\"miner_height\":%d,"
+        "\"reconverged\":%s}\n",
+        hardened ? "all" : "none", seconds, static_cast<unsigned long long>(seed),
+        out.final_gap, out.reconverge_seconds,
+        static_cast<unsigned long long>(out.suspect_windows),
+        static_cast<unsigned long long>(out.recovery_actions),
+        static_cast<unsigned long long>(out.probes_sent),
+        static_cast<unsigned long long>(out.probe_replies),
+        static_cast<unsigned long long>(out.deferred_penalties), out.honest_bans,
+        out.max_honest_score, out.victim_height, out.miner_height,
+        reconverged ? "true" : "false");
+  } else {
+    std::printf("partition: defenses=%s, %.0f s run, seed %llu, one-way 45 s\n"
+                "routing detour from the mining side, victim /16 healed at "
+                "half time\n\n",
+                hardened ? "all" : "none", seconds,
+                static_cast<unsigned long long>(seed));
+    std::printf("  tip gap:    final %d (victim %d vs miner %d), reconverge %s\n",
+                out.final_gap, out.victim_height, out.miner_height,
+                out.reconverge_seconds < 0
+                    ? "never"
+                    : (std::to_string(static_cast<int>(out.reconverge_seconds)) +
+                       " s after the heal")
+                          .c_str());
+    std::printf("  detection:  suspect windows=%llu recovery actions=%llu\n",
+                static_cast<unsigned long long>(out.suspect_windows),
+                static_cast<unsigned long long>(out.recovery_actions));
+    std::printf("  tip probes: sent=%llu answered=%llu deferred penalties=%llu\n",
+                static_cast<unsigned long long>(out.probes_sent),
+                static_cast<unsigned long long>(out.probe_replies),
+                static_cast<unsigned long long>(out.deferred_penalties));
+    std::printf("  honest bans=%zu max honest score=%d\n", out.honest_bans,
+                out.max_honest_score);
+    std::printf("  reconverge gate (final gap <= 1): %s\n",
+                reconverged ? "PASS" : "FAIL");
+  }
+  return reconverged ? 0 : 1;
 }
 
 int RunChaos(const Flags& flags) {
@@ -1151,6 +1441,7 @@ std::string SpanLine(const bsobs::SpanRecord& rec) {
 int RunTimeline(const Flags& flags) {
   const std::string scenario = flags.Get("scenario", "defame-post");
   const std::uint32_t peer_filter = ParseIp(flags.Get("peer", ""));
+  const std::uint64_t seed = SeedOf(flags);
   constexpr std::uint32_t kTargetIp = 0x0a000001;
   constexpr std::uint32_t kInnocentIp = 0x0a000002;
   constexpr std::uint32_t kAttackerIp = 0x0a000066;
@@ -1160,10 +1451,12 @@ int RunTimeline(const Flags& flags) {
   bsobs::SpanTracer tracer;
 
   NodeConfig tc;
+  tc.rng_seed = seed;
   tc.span_tracer = &tracer;
   tc.target_outbound = scenario == "defame-post" ? 1 : 0;
   Node target(sched, net, kTargetIp, tc);
   NodeConfig ic;
+  ic.rng_seed = seed;
   ic.span_tracer = &tracer;
   ic.target_outbound = 0;
   Node innocent(sched, net, kInnocentIp, ic);
@@ -1240,8 +1533,9 @@ int RunTimeline(const Flags& flags) {
   std::stable_sort(lines.begin(), lines.end(), [](const Line& x, const Line& y) {
     return x.time != y.time ? x.time < y.time : x.order < y.order;
   });
-  std::printf("timeline: scenario=%s, %zu spans (%llu recorded, %llu evicted)\n\n",
-              scenario.c_str(), spans.size(),
+  std::printf("timeline: scenario=%s, seed=%llu, %zu spans "
+              "(%llu recorded, %llu evicted)\n\n",
+              scenario.c_str(), static_cast<unsigned long long>(seed), spans.size(),
               static_cast<unsigned long long>(tracer.Log().Recorded()),
               static_cast<unsigned long long>(tracer.Log().Dropped()));
   std::printf("%12s  %-15s %s\n", "time (s)", "node", "record");
@@ -1474,7 +1768,8 @@ int RunFuzz(const Flags& flags) {
       std::printf("reseeded %s: %zu inputs\n", h.c_str(), n);
       total += n;
     }
-    return total == 4 * count ? 0 : 1;
+    // +1: the codec corpus always gets the pinned divergent tip-probe entry.
+    return total == 4 * count + 1 ? 0 : 1;
   }
 
   if (!replay.empty()) {
@@ -1633,6 +1928,10 @@ void Usage() {
       "          --format table|json\n"
       "          (sustained eclipse vs stock or hardened victim; exit 0 iff\n"
       "           the final attacker control fraction is below --heal-fraction)\n"
+      "  partition --defenses none|all --seconds S --format table|json\n"
+      "          (asymmetric one-way routing detour vs stock or hardened\n"
+      "           victim, with a listen-only tip-probe witness; exit 0 iff\n"
+      "           the victim ends within 1 block of the miner)\n"
       "  timeline --scenario defame-post|defame-pre|sybil --peer a.b.c.d\n"
       "          (seeded run under a shared span tracer; prints the merged\n"
       "           span+event timeline and walks the final ban's causal chain;\n"
@@ -1650,7 +1949,8 @@ void Usage() {
       "          --timing-tolerance TT\n"
       "          (compare two BENCH_*.json reports; deterministic counters\n"
       "           gate tight, timing fields loose; exit 2 = not comparable,\n"
-      "           1 = out of tolerance, 0 = pass)\n");
+      "           1 = out of tolerance, 0 = pass)\n"
+      "every scenario also accepts --seed N (default 42) and echoes it\n");
 }
 
 }  // namespace
@@ -1672,6 +1972,7 @@ int main(int argc, char** argv) {
   if (scenario == "overload") return RunOverload(flags);
   if (scenario == "fsck") return RunStoreFsck(flags);
   if (scenario == "eclipse") return RunEclipse(flags);
+  if (scenario == "partition") return RunPartition(flags);
   if (scenario == "timeline") return RunTimeline(flags);
   if (scenario == "bench-diff") return RunBenchDiff(flags);
   if (scenario == "fuzz") return RunFuzz(flags);
