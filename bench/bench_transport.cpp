@@ -1,0 +1,157 @@
+// Transport-seam flood bench: the same frame flood pushed through both
+// Transport backends —
+//
+//   sim:   SimTransport over the discrete-event Network (the paper-bench
+//          substrate),
+//   real:  RealTransport over epoll + loopback kernel sockets,
+//
+// with a StreamDecoder on the receiving side reassembling the byte stream
+// back into frames. BENCH_transport.json carries the deterministic counters
+// (frames/bytes delivered — every frame MUST arrive; the bench aborts on
+// loss, so the tight bench-diff gate pins them) and the loose timing fields
+// (wall seconds, frames/sec, ns/frame) that vary by machine.
+//
+// Flags: --json <path>   machine-readable report
+//        --frames N      frames per flood (default 5000)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/event_loop.hpp"
+#include "core/real_transport.hpp"
+#include "core/sim_transport.hpp"
+#include "proto/codec.hpp"
+#include "proto/messages.hpp"
+#include "sim/network.hpp"
+
+namespace {
+
+using bsnet::Transport;
+using bsnet::TransportConn;
+
+constexpr std::uint64_t kSeed = 42;
+constexpr std::uint32_t kLoopback = 0x7f000001;
+constexpr std::uint16_t kSimPort = 8333;
+constexpr std::uint32_t kMagic = 0xd9b4bef9;  // mainnet wire magic
+
+struct FloodResult {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  double wall_sec = 0.0;
+};
+
+bsutil::ByteVec PingFrame() {
+  bsproto::PingMsg ping;
+  ping.nonce = kSeed;
+  return bsproto::EncodeMessage(kMagic, bsproto::Message{ping});
+}
+
+/// Pushes `frames` copies of one ping frame through an established conn and
+/// drives `pump` until the receiving StreamDecoder has reassembled them all.
+FloodResult Flood(TransportConn& sender, bsproto::StreamDecoder& decoder,
+                  int frames, const std::function<void()>& pump) {
+  const bsutil::ByteVec frame = PingFrame();
+  FloodResult result;
+  result.wall_sec = bsbench::TimeSeconds([&] {
+    for (int i = 0; i < frames; ++i) sender.Send(frame);
+    while (decoder.FramesDecoded() < static_cast<std::uint64_t>(frames)) {
+      pump();
+      bsproto::DecodeResult r;
+      while (decoder.Next(r)) {
+      }
+    }
+  });
+  result.frames = decoder.FramesDecoded();
+  result.bytes = result.frames * frame.size();
+  return result;
+}
+
+FloodResult SimFlood(int frames) {
+  bsim::Scheduler sched;
+  bsim::Network net(sched);
+  bsnet::SimTransport ta(sched, net, 0x0a000001);
+  bsnet::SimTransport tb(sched, net, 0x0a000002);
+
+  bsproto::StreamDecoder decoder(kMagic);
+  tb.Listen(kSimPort, [&](TransportConn& conn) {
+    conn.SetDataSink([&](bsutil::ByteSpan data) { decoder.Feed(data); });
+  });
+
+  TransportConn* conn = ta.Connect({0x0a000002, kSimPort});
+  if (conn == nullptr) return {};
+  bool established = false;
+  conn->on_connected = [&](bool ok) { established = ok; };
+  while (!established) sched.Step();
+  return Flood(*conn, decoder, frames, [&] { sched.Step(); });
+}
+
+FloodResult RealFlood(int frames) {
+  bsim::Scheduler sched;
+  bsnet::EventLoop loop(sched);
+  bsim::RealSocketApi& api = bsim::RealSocketApi::Instance();
+
+  bsnet::RealTransportConfig cfg;
+  cfg.bind_port = 0;  // kernel-assigned; floods never collide across runs
+  bsnet::RealTransport ta(loop, api, cfg);
+  bsnet::RealTransport tb(loop, api, cfg);
+
+  bsproto::StreamDecoder decoder(kMagic);
+  tb.Listen(0, [&](TransportConn& conn) {
+    conn.SetDataSink([&](bsutil::ByteSpan data) { decoder.Feed(data); });
+  });
+  if (tb.LastListenError() != 0) return {};
+
+  TransportConn* conn = ta.Connect({kLoopback, tb.BoundPort(0)});
+  if (conn == nullptr) return {};
+  bool established = false;
+  conn->on_connected = [&](bool ok) { established = ok; };
+  while (!established) loop.PumpOnce(10);
+  return Flood(*conn, decoder, frames, [&] { loop.PumpOnce(10); });
+}
+
+void Report(const char* label, const FloodResult& r, int frames,
+            bsbench::JsonReport& report) {
+  std::printf("%-5s %8llu frames  %10llu bytes  %8.4f s  %10.0f frames/s\n",
+              label, static_cast<unsigned long long>(r.frames),
+              static_cast<unsigned long long>(r.bytes), r.wall_sec,
+              r.wall_sec > 0 ? static_cast<double>(r.frames) / r.wall_sec : 0.0);
+  const std::string prefix = label;
+  report.Add(prefix + "_frames_delivered", r.frames);
+  report.Add(prefix + "_bytes_delivered", r.bytes);
+  report.Add(prefix + "_flood_wall_sec", r.wall_sec);
+  report.Add(prefix + "_frames_per_sec",
+             r.wall_sec > 0 ? static_cast<double>(r.frames) / r.wall_sec : 0.0);
+  report.Add(prefix + "_ns_per_frame",
+             r.frames > 0 ? r.wall_sec * 1e9 / static_cast<double>(r.frames)
+                          : 0.0);
+  if (r.frames != static_cast<std::uint64_t>(frames)) {
+    std::fprintf(stderr, "FAIL: %s flood delivered %llu of %d frames\n", label,
+                 static_cast<unsigned long long>(r.frames), frames);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bsbench::TakeJsonFlag(argc, argv);
+  int frames = 5000;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--frames") == 0) frames = std::atoi(argv[i + 1]);
+  }
+
+  bsbench::PrintTitle("transport flood: SimTransport vs RealTransport (" +
+                      std::to_string(frames) + " frames)");
+  bsbench::JsonReport report("transport");
+  report.SetSeed(kSeed);
+  report.Add("frames_requested", frames);
+  report.Add("frame_size_bytes", static_cast<std::uint64_t>(PingFrame().size()));
+
+  Report("sim", SimFlood(frames), frames, report);
+  Report("real", RealFlood(frames), frames, report);
+
+  if (!report.WriteTo(json_path)) return 1;
+  return 0;
+}

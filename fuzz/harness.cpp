@@ -29,6 +29,8 @@ std::string DescribeBytes(bsutil::ByteSpan a, bsutil::ByteSpan b) {
 HarnessResult CodecBody(bsutil::ByteSpan input) {
   bsutil::ByteSpan stream = input;
   std::size_t guard = 0;
+  // Reference outcome sequence for the streaming differential below.
+  std::vector<std::pair<bsproto::DecodeStatus, std::size_t>> reference;
   while (!stream.empty()) {
     if (++guard > input.size() + 16) {
       return HarnessResult::Fail("decoder-progress",
@@ -53,6 +55,7 @@ HarnessResult CodecBody(bsutil::ByteSpan input) {
           "header-complete status consumed < header size (" +
               std::to_string(r.consumed) + ")");
     }
+    reference.emplace_back(r.status, r.consumed);
     if (r.status == bsproto::DecodeStatus::kOk) {
       // Round-trip idempotence. A first re-encode may legally differ from
       // the wire bytes (optional fields like VERSION's relay flag get
@@ -85,6 +88,48 @@ HarnessResult CodecBody(bsutil::ByteSpan input) {
       }
     }
     stream = stream.subspan(r.consumed);
+  }
+
+  // Streaming differential: feed the same bytes through the incremental
+  // decoder in input-derived chunk sizes. Any chunking must reproduce the
+  // contiguous loop's outcome sequence exactly — same statuses, same consumed
+  // counts, nothing extra and nothing missing.
+  bsproto::StreamDecoder decoder(kFuzzMagic);
+  std::size_t fed = 0;
+  std::size_t seen = 0;
+  for (;;) {
+    bsproto::DecodeResult r;
+    while (decoder.Next(r)) {
+      if (seen >= reference.size()) {
+        return HarnessResult::Fail(
+            "stream-differential",
+            "incremental decoder produced an extra frame (" +
+                std::string(bsproto::ToString(r.status)) + ")");
+      }
+      if (r.status != reference[seen].first ||
+          r.consumed != reference[seen].second) {
+        return HarnessResult::Fail(
+            "stream-differential",
+            "frame " + std::to_string(seen) + ": incremental " +
+                bsproto::ToString(r.status) + "/" + std::to_string(r.consumed) +
+                " vs contiguous " + bsproto::ToString(reference[seen].first) +
+                "/" + std::to_string(reference[seen].second));
+      }
+      ++seen;
+    }
+    if (fed >= input.size()) break;
+    // Chunk size derived from the input itself so the splits are as
+    // adversarial as the corpus: 1..64 bytes, biased tiny.
+    const std::size_t chunk = std::min<std::size_t>(
+        input.size() - fed, 1 + (input[fed] & (input[fed] % 3 == 0 ? 0x3f : 0x03)));
+    decoder.Feed(input.subspan(fed, chunk));
+    fed += chunk;
+  }
+  if (seen != reference.size()) {
+    return HarnessResult::Fail(
+        "stream-differential",
+        "incremental decoder stopped at frame " + std::to_string(seen) +
+            " of " + std::to_string(reference.size()));
   }
   return {};
 }

@@ -198,10 +198,41 @@ std::string TipVector(bsutil::ByteVec& d, bsutil::Rng& rng) {
   return note + "@" + std::to_string(off);
 }
 
+/// Cut the stream at a wire-frame boundary and rotate the halves — the
+/// reordering a streaming transport produces when frames race across a
+/// reconnect. Boundaries come from PeekFrame walking the (possibly already
+/// mutated) input, so the cut lands exactly between frames; when no clean
+/// boundary survives earlier mutations, the cut falls mid-header instead,
+/// probing the incremental decoder's resynchronization path.
+std::string FrameBoundarySplice(bsutil::ByteVec& d, bsutil::Rng& rng) {
+  if (d.size() < bsproto::kHeaderSize) return "framesplice:noop";
+  std::vector<std::size_t> cuts;
+  std::size_t off = 0;
+  while (off + bsproto::kHeaderSize <= d.size()) {
+    bsproto::FramePeek peek;
+    const bsutil::ByteSpan rest(d.data() + off, d.size() - off);
+    if (!bsproto::PeekFrame(kFuzzMagic, rest, peek)) break;
+    if (peek.frame_size == 0 || peek.frame_size > rest.size()) break;
+    off += peek.frame_size;
+    if (off < d.size()) cuts.push_back(off);
+  }
+  std::string kind = "boundary";
+  std::size_t cut;
+  if (!cuts.empty()) {
+    cut = cuts[rng.Below(cuts.size())];
+  } else {
+    cut = 1 + rng.Below(std::min(d.size() - 1, bsproto::kHeaderSize - 1));
+    kind = "midheader";
+  }
+  std::rotate(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(cut), d.end());
+  return "framesplice:" + kind + "@" + std::to_string(cut);
+}
+
 using MutatorFn = std::string (*)(bsutil::ByteVec&, bsutil::Rng&);
 constexpr MutatorFn kMutators[] = {BitFlip,   ByteSet,  Truncate, Extend,
                                    LengthLie, VarintEdge, Splice, Duplicate,
-                                   Excise,    ForeignFrame, TipVector};
+                                   Excise,    ForeignFrame, TipVector,
+                                   FrameBoundarySplice};
 
 }  // namespace
 

@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Pre-merge gate: the tier-1 verify (configure + build + full ctest run),
+# Pre-merge gate: the tier-1 verify (configure + build + full ctest run,
+# quick label first so sub-second suites fail fast), the real-socket
+# testbed drill (3 daemons, kill -9, WAL replay), the transport bench
+# gated against its committed baseline,
 # an ASan/UBSan build of the test suite, a TSan build of the chaos/sim
 # tests, a fixed-seed chaos smoke sweep, a degradation smoke (honest
 # mining must hold >= 50% of baseline under a Sybil flood with the full
@@ -25,10 +28,15 @@ for arg in "$@"; do
   [ "$arg" = "--no-tsan" ] && run_tsan=0
 done
 
-echo "==> tier-1: configure + build + ctest"
+echo "==> tier-1: configure + build + ctest (fast tier first)"
 cmake -B build -S .
 cmake --build build -j
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+# Sub-second unit/property suites fail fast before the wall-clock tiers run.
+ctest --test-dir build --output-on-failure -j "$(nproc)" -L quick
+ctest --test-dir build --output-on-failure -j "$(nproc)" -LE quick
+
+echo "==> testbed smoke: 3 real daemons, kill -9 drill, WAL replay, fsck"
+(cd build/tools && ./banscore-lab testbed --nodes 3 --format json)
 
 echo "==> chaos smoke: 20 fixed seeds of randomized fault injection"
 ./build/tools/banscore-lab chaos --seeds 20 --seed-base 1 --seconds 60
@@ -74,6 +82,12 @@ echo "==> perf trajectory: bench_hotpath vs committed baseline"
   --old bench/baselines/BENCH_hotpath.json --new build/BENCH_hotpath.json \
   --tolerance 0.0 --timing-tolerance 20.0
 
+echo "==> transport bench vs committed baseline (sim vs real-socket flood)"
+./build/bench/bench_transport --json build/BENCH_transport.json > /dev/null
+./build/tools/banscore-lab bench-diff \
+  --old bench/baselines/BENCH_transport.json --new build/BENCH_transport.json \
+  --tolerance 0.0 --timing-tolerance 20.0
+
 echo "==> store recovery smoke: fsck demo round-trip (torn tail -> repair -> verify)"
 rm -rf build/fsck-smoke
 if ./build/tools/banscore-lab fsck --dir build/fsck-smoke --demo torn --format json; then
@@ -113,7 +127,7 @@ if [ "$run_tsan" = 1 ]; then
   cmake --build build-tsan -j
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -R 'Chaos|Fault|EventTrace|Metrics|Span|Profiler'
+    -R 'Chaos|Fault|EventTrace|Metrics|Span|Profiler|Transport'
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,81 @@
+#include "core/event_loop.hpp"
+
+#include <unistd.h>
+
+#include <array>
+
+namespace bsnet {
+
+EventLoop::EventLoop(bsim::Scheduler& sched)
+    : sched_(sched),
+      epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)),
+      start_(std::chrono::steady_clock::now()) {
+  // The scheduler may already hold time from a prior phase; anchor wall zero
+  // so WallNow() continues from its current clock rather than rewinding.
+  start_ -= std::chrono::nanoseconds(sched_.Now());
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bsim::SimTime EventLoop::WallNow() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+bool EventLoop::AddFd(int fd, std::uint32_t events, FdHandler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+  return true;
+}
+
+bool EventLoop::ModFd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::DelFd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+int EventLoop::PumpOnce(int max_wait_ms) {
+  // Run timers that are already due, then size the sleep so the next timer
+  // fires on schedule even if no fd event arrives.
+  sched_.RunUntil(WallNow());
+  int wait_ms = max_wait_ms;
+  const bsim::SimTime next = sched_.NextEventTime();
+  if (next >= 0) {
+    const bsim::SimTime delta = next - WallNow();
+    const int until_timer =
+        delta <= 0 ? 0 : static_cast<int>(delta / bsim::kMillisecond) + 1;
+    if (until_timer < wait_ms) wait_ms = until_timer;
+  }
+
+  std::array<epoll_event, 64> events{};
+  const int n =
+      ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                   wait_ms < 0 ? 0 : wait_ms);
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;  // removed by an earlier handler
+    const std::shared_ptr<FdHandler> handler = it->second;
+    (*handler)(events[static_cast<std::size_t>(i)].events);
+  }
+  sched_.RunUntil(WallNow());
+  return n < 0 ? 0 : n;
+}
+
+void EventLoop::Run(const std::function<bool()>& keep_running) {
+  while (keep_running()) PumpOnce(100);
+}
+
+}  // namespace bsnet

@@ -1,0 +1,64 @@
+#pragma once
+
+// EventLoop: drives a bsim::Scheduler as a real-time timer wheel alongside an
+// epoll descriptor set. The same Node code that runs under the discrete-event
+// simulator (timers via Scheduler::After) runs unmodified on real sockets:
+// the loop maps wall time onto SimTime (both are nanoseconds), executes due
+// scheduler events, and sleeps in epoll_wait exactly until the earlier of the
+// next timer or the next fd event. Single-threaded by construction — handler
+// callbacks run on the loop thread, like every sim callback runs on the
+// scheduler thread.
+
+#include <sys/epoll.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/scheduler.hpp"
+
+namespace bsnet {
+
+class EventLoop {
+ public:
+  /// `events` is the epoll event mask that fired (EPOLLIN | EPOLLOUT | ...).
+  using FdHandler = std::function<void(std::uint32_t events)>;
+
+  explicit EventLoop(bsim::Scheduler& sched);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (level-triggered). False on epoll failure.
+  bool AddFd(int fd, std::uint32_t events, FdHandler handler);
+  /// Changes the interest mask of a registered fd.
+  bool ModFd(int fd, std::uint32_t events);
+  /// Unregisters; safe to call from inside the fd's own handler.
+  void DelFd(int fd);
+
+  /// Wall-clock now mapped into the scheduler's SimTime domain.
+  bsim::SimTime WallNow() const;
+
+  /// One iteration: advance the scheduler to wall-now, wait for fd events up
+  /// to `max_wait_ms` (clamped down to the next timer deadline), dispatch
+  /// them. Returns the number of fd events dispatched.
+  int PumpOnce(int max_wait_ms = 100);
+
+  /// Pump until `keep_running()` turns false.
+  void Run(const std::function<bool()>& keep_running);
+
+  bsim::Scheduler& Sched() { return sched_; }
+
+ private:
+  bsim::Scheduler& sched_;
+  int epoll_fd_ = -1;
+  std::chrono::steady_clock::time_point start_;
+  // shared_ptr so a handler that DelFd()s itself (or a sibling) mid-dispatch
+  // cannot free the closure the loop is still executing.
+  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+};
+
+}  // namespace bsnet

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "core/durable.hpp"
+#include "core/sim_transport.hpp"
 #include "crypto/partial_merkle.hpp"
 #include "store/fs.hpp"
 #include "util/log.hpp"
@@ -15,10 +16,22 @@ using bsproto::MsgType;
 
 Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
            NodeConfig config, bsim::CpuModel* cpu)
-    : bsim::Host(sched, net, ip),
+    : Node(sched, std::make_unique<SimTransport>(sched, net, ip), nullptr,
+           std::move(config), cpu) {}
+
+Node::Node(bsim::Scheduler& sched, Transport& transport, NodeConfig config,
+           bsim::CpuModel* cpu)
+    : Node(sched, nullptr, &transport, std::move(config), cpu) {}
+
+Node::Node(bsim::Scheduler& sched, std::unique_ptr<Transport> owned,
+           Transport* external, NodeConfig config, bsim::CpuModel* cpu)
+    : sched_(sched),
+      owned_transport_(std::move(owned)),
+      transport_(external != nullptr ? external : owned_transport_.get()),
+      ip_(transport_->Ip()),
       config_(std::move(config)),
       cpu_(cpu),
-      rng_(config_.rng_seed ^ ip),
+      rng_(config_.rng_seed ^ ip_),
       chain_(config_.chain),
       tracker_(config_.core_version, config_.ban_policy, config_.ban_threshold,
                config_.good_score_exemption),
@@ -135,7 +148,7 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
                                      ? *config_.store_fs
                                      : bsstore::RealFs::Instance();
     const std::string dir = config_.store_dir.empty()
-                                ? "bsnode-store-" + std::to_string(ip)
+                                ? "bsnode-store-" + std::to_string(ip_)
                                 : config_.store_dir;
     durable_ = std::make_unique<DurableNodeState>(store_fs, dir, banman_, tracker_,
                                                   addrman_);
@@ -150,25 +163,34 @@ Node::Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip,
     anchor_targets_ = durable_->Anchors();
     anchors_ = durable_->Anchors();
   }
+  if (auto* sim = dynamic_cast<SimTransport*>(transport_)) {
+    // ICMP is out-of-band of any connection and only exists in the sim;
+    // wire the flood accounting exactly as the Host overrides used to.
+    sim->on_icmp = [this](const bsim::IcmpPacket& pkt) { OnIcmp(pkt); };
+    sim->on_icmp_batch = [this](const bsim::IcmpPacket& pkt, std::uint64_t n) {
+      OnIcmpBatch(pkt, n);
+    };
+  }
 }
 
 Node::~Node() = default;
 
 void Node::Start() {
-  Listen(config_.listen_port, [this](bsim::TcpConnection& conn) { AcceptInbound(conn); });
+  transport_->Listen(config_.listen_port,
+                     [this](TransportConn& conn) { AcceptInbound(conn); });
   maintenance_running_ = true;
   MaintainOutbound();
 }
 
 void Node::Stop() {
   maintenance_running_ = false;
-  StopListening(config_.listen_port);
-  // Detach connection callbacks before AbandonConnections destroys the
-  // TcpConnection objects peers_ points into; a crash emits nothing on the
-  // wire and fires no close events.
+  transport_->StopListening(config_.listen_port);
+  // Detach connection callbacks before Abandon destroys the connection
+  // objects peers_ points into; a crash emits nothing on the wire and fires
+  // no close events.
   for (auto& [id, peer] : peers_) {
     if (peer->conn != nullptr) {
-      peer->conn->on_data = nullptr;
+      peer->conn->SetDataSink(nullptr);
       peer->conn->on_closed = nullptr;
       peer->conn->on_connected = nullptr;
     }
@@ -188,14 +210,40 @@ void Node::Stop() {
   last_partition_rotate_ = 0;
   partition_extra_active_ = false;
   m_peers_gauge_->Set(0.0);
-  AbandonConnections();
-  Net().Detach(this);
+  transport_->Abandon();
+}
+
+void Node::Shutdown() {
+  maintenance_running_ = false;
+  transport_->StopListening(config_.listen_port);
+  // Close peers politely: detach callbacks first so the closes cannot
+  // re-enter RemovePeer while we iterate, then FIN each connection so the
+  // remote sees a clean goodbye instead of a dead-peer timeout.
+  for (auto& [id, peer] : peers_) {
+    if (peer->conn != nullptr) {
+      peer->conn->SetDataSink(nullptr);
+      peer->conn->on_closed = nullptr;
+      peer->conn->on_connected = nullptr;
+      peer->conn->Close();
+    }
+  }
+  peers_.clear();
+  pending_compact_.clear();
+  outbound_targets_.clear();
+  feeler_targets_.clear();
+  pending_outbound_ = 0;
+  pending_feeler_ = 0;
+  m_peers_gauge_->Set(0.0);
+  if (durable_ != nullptr) {
+    if (config_.enable_anchors) durable_->SetAnchors(anchors_);
+    durable_->Flush();
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Connection management
 
-void Node::AcceptInbound(bsim::TcpConnection& conn) {
+void Node::AcceptInbound(TransportConn& conn) {
   // The banning filter: a banned identifier cannot reconnect (Fig. 2).
   // Discouraged IPs (0.21+ mode) are refused wholesale.
   if (banman_.IsBanned(conn.Remote(), Sched().Now()) ||
@@ -288,7 +336,7 @@ bool Node::ConnectTo(const Endpoint& remote, bool feeler) {
   if (banman_.IsBanned(remote, Sched().Now())) return false;
   if (banman_.IsDiscouraged(remote.ip)) return false;
   if (outbound_targets_.contains(remote)) return false;
-  if (remote.ip == Ip()) return false;
+  if (transport_->IsSelf(remote)) return false;
 
   outbound_targets_.insert(remote);
   if (feeler) feeler_targets_.insert(remote);
@@ -297,7 +345,7 @@ bool Node::ConnectTo(const Endpoint& remote, bool feeler) {
   // Core semantics: the attempt is recorded at dial time and cleared by
   // Good() when the handshake completes (no-op in flat mode).
   addrman_.Attempt(remote, Sched().Now());
-  bsim::TcpConnection* conn = Connect(remote, nullptr);
+  TransportConn* conn = transport_->Connect(remote);
   if (conn == nullptr) {
     --pending_outbound_;
     if (feeler) --pending_feeler_;
@@ -324,7 +372,7 @@ bool Node::ConnectTo(const Endpoint& remote, bool feeler) {
   return true;
 }
 
-Peer& Node::RegisterPeer(bsim::TcpConnection& conn, bool inbound, bool feeler) {
+Peer& Node::RegisterPeer(TransportConn& conn, bool inbound, bool feeler) {
   auto peer = std::make_unique<Peer>();
   const std::uint64_t id = next_peer_id_++;
   peer->id = id;
@@ -390,10 +438,10 @@ void Node::RemovePeer(std::uint64_t id, bool was_outbound) {
 void Node::DisconnectPeer(std::uint64_t id) {
   const auto it = peers_.find(id);
   if (it == peers_.end()) return;
-  bsim::TcpConnection* conn = it->second->conn;
+  TransportConn* conn = it->second->conn;
   const bool was_outbound = !it->second->inbound;
   // Detach callbacks before resetting so the close event does not re-enter.
-  conn->on_data = nullptr;
+  conn->SetDataSink(nullptr);
   conn->on_closed = nullptr;
   RemovePeer(id, was_outbound);
   conn->Reset();
@@ -474,7 +522,7 @@ void Node::MaintainOutbound() {
     const Endpoint anchor = anchor_targets_.front();
     anchor_targets_.erase(anchor_targets_.begin());
     if (banman_.IsBanned(anchor, now) || outbound_targets_.contains(anchor) ||
-        anchor.ip == Ip()) {
+        transport_->IsSelf(anchor)) {
       continue;
     }
     if (ConnectTo(anchor)) {
@@ -488,7 +536,7 @@ void Node::MaintainOutbound() {
     bsobs::ScopedProbe select_probe(profiler_, bsobs::HotStage::kAddrmanSelect);
     const auto candidate = addrman_.Select([this, now](const Endpoint& ep) {
       return !banman_.IsBanned(ep, Sched().Now()) && !outbound_targets_.contains(ep) &&
-             ep.ip != Ip() && DialAllowed(ep, now) &&
+             !transport_->IsSelf(ep) && DialAllowed(ep, now) &&
              (!config_.enable_outbound_diversity ||
               !OutboundGroupTaken(NetGroup(ep.ip)));
     });
@@ -542,7 +590,7 @@ void Node::MaintainFeeler(bsim::SimTime now) {
   bsobs::ScopedProbe select_probe(profiler_, bsobs::HotStage::kAddrmanSelect);
   const auto candidate = addrman_.SelectNew([this](const Endpoint& ep) {
     return !banman_.IsBanned(ep, Sched().Now()) && !outbound_targets_.contains(ep) &&
-           ep.ip != Ip();
+           !transport_->IsSelf(ep);
   });
   select_probe.Stop();
   if (!candidate) return;
@@ -704,7 +752,7 @@ bool Node::LaunchTargetedFeeler(bsim::SimTime now) {
   bsobs::ScopedProbe select_probe(profiler_, bsobs::HotStage::kAddrmanSelect);
   const auto candidate = addrman_.SelectNew([this](const Endpoint& ep) {
     return !banman_.IsBanned(ep, Sched().Now()) &&
-           !outbound_targets_.contains(ep) && ep.ip != Ip() &&
+           !outbound_targets_.contains(ep) && !transport_->IsSelf(ep) &&
            !OutboundGroupTaken(NetGroup(ep.ip));
   });
   select_probe.Stop();
@@ -808,6 +856,26 @@ void Node::NoteOutboundFailure(const Endpoint& remote) {
   DialBackoff& backoff = dial_backoff_[remote];
   ++backoff.failures;
   backoff.next_attempt = Sched().Now() + RetryDelay(backoff.failures);
+  // Hard bound (the grace sweep in MaintainOutbound only clears long-expired
+  // entries): a churning dialer cycling fresh [IP:Port] identifiers would
+  // otherwise grow the map one record per identifier forever. Evict the
+  // entry closest to redial eligibility — it is the one whose loss costs the
+  // least backoff protection.
+  if (config_.dial_backoff_max_entries > 0 &&
+      dial_backoff_.size() > config_.dial_backoff_max_entries) {
+    auto victim = dial_backoff_.end();
+    for (auto it = dial_backoff_.begin(); it != dial_backoff_.end(); ++it) {
+      if (it->first == remote) continue;  // never evict the record just made
+      if (victim == dial_backoff_.end() ||
+          it->second.next_attempt < victim->second.next_attempt) {
+        victim = it;
+      }
+    }
+    if (victim != dial_backoff_.end()) {
+      dial_backoff_.erase(victim);
+      ++dial_backoff_pruned_;
+    }
+  }
 }
 
 bsim::SimTime Node::RetryDelay(int failures) {

@@ -38,6 +38,7 @@
 #include "core/partition.hpp"
 #include "core/ratelimit.hpp"
 #include "core/rules.hpp"
+#include "core/transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/span.hpp"
@@ -104,6 +105,11 @@ struct NodeConfig {
   bool reconnect_backoff = false;
   bsim::SimTime reconnect_backoff_cap = 60 * bsim::kSecond;
   double reconnect_backoff_jitter = 0.25;
+  /// Hard cap on tracked backoff endpoints (same LRU treatment as
+  /// MisbehaviorTracker::SetMaxEntries): when a churning dialer pushes the
+  /// map past this, the entry with the earliest redial time is evicted, so
+  /// per-address backoff state cannot grow without bound. 0 = unbounded.
+  std::size_t dial_backoff_max_entries = 65536;
 
   // ---- Overload resilience (beyond-paper; defaults keep every paper bench
   // on the stock 0.20.0 path — see README "Overload resilience") ----
@@ -247,7 +253,7 @@ struct Peer {
   /// Short-lived probe session (does not fill an outbound slot): the
   /// handshake is the whole point, the connection closes right after.
   bool feeler = false;
-  bsim::TcpConnection* conn = nullptr;
+  TransportConn* conn = nullptr;
 
   // Handshake state machine.
   bool got_version = false;
@@ -300,11 +306,20 @@ struct Peer {
   bool HandshakeComplete() const { return got_version && got_verack; }
 };
 
-class Node : public bsim::Host {
+class Node {
  public:
+  /// Simulator-backed node (the historical constructor): builds and owns a
+  /// SimTransport attached to `net` at `ip`.
   Node(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip, NodeConfig config,
        bsim::CpuModel* cpu = nullptr);
-  ~Node() override;
+  /// Node over a caller-owned transport (real sockets, a test double, or a
+  /// shared SimTransport). `transport` must outlive the node.
+  Node(bsim::Scheduler& sched, Transport& transport, NodeConfig config,
+       bsim::CpuModel* cpu = nullptr);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
 
   /// Begin listening and start the outbound-maintenance loop.
   void Start();
@@ -316,7 +331,15 @@ class Node : public bsim::Host {
   /// the chaos harness keeps crashed nodes allocated until the run ends.
   void Stop();
 
+  /// Graceful shutdown (the daemon's SIGTERM path): stop listening and
+  /// maintenance, close every peer politely, persist anchors, and flush the
+  /// durable store so the WAL replays cleanly on the next start.
+  void Shutdown();
+
   const NodeConfig& Config() const { return config_; }
+  std::uint32_t Ip() const { return ip_; }
+  bsim::Scheduler& Sched() const { return sched_; }
+  bsnet::Transport& NetTransport() { return *transport_; }
 
   // ---- Chain / pool / tracking state ----
   bschain::ChainState& Chain() { return chain_; }
@@ -449,12 +472,23 @@ class Node : public bsim::Host {
   /// enable_anchors).
   const std::vector<Endpoint>& Anchors() const { return anchors_; }
 
-  void OnIcmp(const bsim::IcmpPacket& pkt) override;
-  void OnIcmpBatch(const bsim::IcmpPacket& pkt, std::uint64_t count) override;
+  /// ICMP flood accounting; wired to SimTransport's out-of-band sinks (real
+  /// sockets never deliver ICMP to userspace, so RealTransport has none).
+  void OnIcmp(const bsim::IcmpPacket& pkt);
+  void OnIcmpBatch(const bsim::IcmpPacket& pkt, std::uint64_t count);
+
+  // ---- Reconnect-backoff introspection (regression tests) ----
+  std::size_t DialBackoffEntries() const { return dial_backoff_.size(); }
+  std::uint64_t DialBackoffPruned() const { return dial_backoff_pruned_; }
 
  private:
-  void AcceptInbound(bsim::TcpConnection& conn);
-  Peer& RegisterPeer(bsim::TcpConnection& conn, bool inbound, bool feeler = false);
+  /// Both public constructors delegate here; exactly one of `owned` /
+  /// `external` is set.
+  Node(bsim::Scheduler& sched, std::unique_ptr<Transport> owned,
+       Transport* external, NodeConfig config, bsim::CpuModel* cpu);
+
+  void AcceptInbound(TransportConn& conn);
+  Peer& RegisterPeer(TransportConn& conn, bool inbound, bool feeler = false);
   void RemovePeer(std::uint64_t id, bool was_outbound);
   void MaintainOutbound();
 
@@ -559,6 +593,10 @@ class Node : public bsim::Host {
   void RelayTxInv(const bscrypto::Hash256& txid, std::uint64_t except_peer);
   bsproto::VersionMsg MakeVersionMsg(const Peer& peer);
 
+  bsim::Scheduler& sched_;
+  std::unique_ptr<Transport> owned_transport_;  // null when injected
+  Transport* transport_ = nullptr;              // never null after ctor
+  std::uint32_t ip_ = 0;
   NodeConfig config_;
   bsim::CpuModel* cpu_;  // optional; shared with the experiment harness
   bsutil::Rng rng_;
@@ -583,6 +621,7 @@ class Node : public bsim::Host {
     bsim::SimTime next_attempt = 0;
   };
   std::unordered_map<Endpoint, DialBackoff, bsproto::EndpointHasher> dial_backoff_;
+  std::uint64_t dial_backoff_pruned_ = 0;
   std::optional<CpuBudgetGovernor> governor_;
   int pending_outbound_ = 0;
   int pending_feeler_ = 0;  // subset of pending_outbound_ that are probes

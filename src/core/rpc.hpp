@@ -1,0 +1,90 @@
+#pragma once
+
+// Line-oriented JSON RPC control plane for the bsnetd daemon. One request
+// object per line in, one response object per line out, over a loopback TCP
+// socket:
+//
+//   {"method":"getinfo"}
+//   {"method":"getpeerinfo"}
+//   {"method":"banlist"}
+//   {"method":"metrics"}
+//   {"method":"setban","ip":"127.0.0.1","port":9001,"seconds":3600}
+//   {"method":"setban","ip":"127.0.0.1","port":9001,"remove":true}
+//   {"method":"stop"}
+//
+// The server shares the daemon's single-threaded EventLoop and goes through
+// the same SocketApi seam as RealTransport, so fault-injection tests cover
+// the control plane too. RpcClient is the matching blocking helper used by
+// the testbed supervisor and tests (its own private socket, no EventLoop).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/event_loop.hpp"
+#include "core/node.hpp"
+#include "sim/faultsock.hpp"
+
+namespace bsnet {
+
+class RpcServer {
+ public:
+  /// Binds 127.0.0.1:`port` immediately. Check ListenError() after
+  /// construction; all other failures are per-client and non-fatal.
+  RpcServer(EventLoop& loop, bsim::SocketApi& api, Node& node,
+            std::uint16_t port);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  int ListenError() const { return listen_error_; }
+  /// The bound port (meaningful for port 0 requests).
+  std::uint16_t Port() const { return port_; }
+
+  /// True once a "stop" request has been received. The daemon polls this
+  /// from its run loop; on_stop (if set) fires as well.
+  bool StopRequested() const { return stop_requested_; }
+  std::function<void()> on_stop;
+
+  std::uint64_t RequestsServed() const { return requests_served_; }
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string in;
+    std::string out;
+  };
+
+  void HandleAccept();
+  void HandleClient(int fd, std::uint32_t events);
+  void FlushClient(Client& client);
+  void CloseClient(int fd);
+  std::string Dispatch(const std::string& line);
+
+  EventLoop& loop_;
+  bsim::SocketApi& api_;
+  Node& node_;
+  int listen_fd_ = -1;
+  int listen_error_ = 0;
+  std::uint16_t port_ = 0;
+  bool stop_requested_ = false;
+  std::uint64_t requests_served_ = 0;
+  std::unordered_map<int, Client> clients_;
+};
+
+/// Blocking one-shot RPC call: connect to 127.0.0.1:`port`, send `request`
+/// plus newline, read one response line. nullopt on connect failure or
+/// timeout. Runs on plain blocking sockets — safe from any process that is
+/// not the daemon's event loop thread.
+std::optional<std::string> RpcCall(std::uint16_t port, const std::string& request,
+                                   int timeout_ms = 2000);
+
+/// Dotted-quad formatting for "addr" fields ("10.0.0.1:8333").
+std::string FormatEndpoint(const bsproto::Endpoint& ep);
+/// Parses "a.b.c.d" into a host-order IPv4 address; nullopt on syntax error.
+std::optional<std::uint32_t> ParseIp(const std::string& text);
+
+}  // namespace bsnet

@@ -1,0 +1,32 @@
+#include "core/sim_transport.hpp"
+
+#include <utility>
+
+namespace bsnet {
+
+SimTransport::SimTransport(bsim::Scheduler& sched, bsim::Network& net,
+                           std::uint32_t ip)
+    : host_(*this, sched, net, ip) {}
+
+void SimTransport::Listen(std::uint16_t port, AcceptCallback on_accept) {
+  host_.Listen(port, [cb = std::move(on_accept)](bsim::TcpConnection& conn) {
+    cb(conn);
+  });
+}
+
+TransportConn* SimTransport::Connect(const bsproto::Endpoint& remote) {
+  // on_connected is wired by the caller on the returned connection; the sim
+  // handshake needs at least one scheduler hop, so the callback cannot fire
+  // before the caller had the chance.
+  return host_.Connect(remote, nullptr);
+}
+
+void SimTransport::Abandon() {
+  // Crash semantics, matching the pre-seam Node::Stop(): connections vanish
+  // without FIN/RST or callbacks, and the host leaves the network early so
+  // in-flight segments are dropped (Detach again in ~Host is a no-op).
+  host_.AbandonConnections();
+  host_.Net().Detach(&host_);
+}
+
+}  // namespace bsnet

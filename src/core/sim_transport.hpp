@@ -1,0 +1,65 @@
+#pragma once
+
+// SimTransport: the discrete-event simulator behind the Transport seam.
+//
+// Wraps a bsim::Host (attach/detach against the Network, TCP handshakes,
+// connection demux) and hands Node the resulting TcpConnection objects
+// through the TransportConn interface they already implement. Because no
+// adapter objects or extra scheduler events are introduced, a Node on
+// SimTransport is bit-identical to the pre-seam Node-as-Host design —
+// the fig6/fig8 paper benches and every chaos gate see the same event
+// sequence and the same RNG draws.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/transport.hpp"
+#include "sim/tcp.hpp"
+
+namespace bsnet {
+
+class SimTransport : public Transport {
+ public:
+  SimTransport(bsim::Scheduler& sched, bsim::Network& net, std::uint32_t ip);
+
+  std::uint32_t Ip() const override { return host_.Ip(); }
+  void Listen(std::uint16_t port, AcceptCallback on_accept) override;
+  void StopListening(std::uint16_t port) override { host_.StopListening(port); }
+  TransportConn* Connect(const bsproto::Endpoint& remote) override;
+  /// Self-dial in the sim is an IP-only test: every node owns one address
+  /// and dials from ephemeral ports (matches the pre-seam `ep.ip == Ip()`
+  /// guards exactly).
+  bool IsSelf(const bsproto::Endpoint& ep) const override { return ep.ip == host_.Ip(); }
+  void Abandon() override;
+
+  /// ICMP reaches the node out-of-band of any connection; Node wires these
+  /// to its flood accounting. Unset sinks drop the packets (plain Host
+  /// behaviour).
+  std::function<void(const bsim::IcmpPacket&)> on_icmp;
+  std::function<void(const bsim::IcmpPacket&, std::uint64_t)> on_icmp_batch;
+
+  /// Escape hatch for sim-only tooling (attack harnesses, tests) that needs
+  /// the raw host: sniffer filters, ConnectFrom, connection introspection.
+  bsim::Host& SimHost() { return host_; }
+
+ private:
+  class HostAdapter : public bsim::Host {
+   public:
+    HostAdapter(SimTransport& owner, bsim::Scheduler& sched, bsim::Network& net,
+                std::uint32_t ip)
+        : bsim::Host(sched, net, ip), owner_(owner) {}
+    void OnIcmp(const bsim::IcmpPacket& pkt) override {
+      if (owner_.on_icmp) owner_.on_icmp(pkt);
+    }
+    void OnIcmpBatch(const bsim::IcmpPacket& pkt, std::uint64_t count) override {
+      if (owner_.on_icmp_batch) owner_.on_icmp_batch(pkt, count);
+    }
+
+   private:
+    SimTransport& owner_;
+  };
+
+  HostAdapter host_;
+};
+
+}  // namespace bsnet

@@ -159,4 +159,67 @@ bool PeekFrame(std::uint32_t magic, bsutil::ByteSpan stream, FramePeek& out) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// StreamDecoder
+
+StreamDecoder::StreamDecoder(std::uint32_t magic, std::size_t max_buffer)
+    : magic_(magic), max_buffer_(max_buffer) {}
+
+void StreamDecoder::Feed(bsutil::ByteSpan data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  if (max_buffer_ > 0 && BufferedBytes() > max_buffer_) {
+    // Drop-oldest: the bytes that have waited longest are the ones a stalled
+    // frame is sitting on; shedding them lets the decoder resynchronize on
+    // whatever arrives next instead of wedging on a forever-partial frame.
+    const std::size_t excess = BufferedBytes() - max_buffer_;
+    offset_ += excess;
+    overflow_bytes_ += excess;
+  }
+  Compact();
+}
+
+bool StreamDecoder::Next(DecodeResult& out) {
+  const bsutil::ByteSpan remaining(buffer_.data() + offset_, BufferedBytes());
+  if (remaining.size() < kHeaderSize) return false;
+  DecodeResult result = DecodeMessage(magic_, remaining);
+  if (result.status == DecodeStatus::kNeedMoreData) return false;
+  offset_ += result.consumed;
+  ++frames_decoded_;
+  Compact();
+  out = std::move(result);
+  return true;
+}
+
+std::size_t StreamDecoder::BytesNeeded() const {
+  const std::size_t remaining = BufferedBytes();
+  if (remaining < kHeaderSize) return kHeaderSize - remaining;
+  MessageHeader header;
+  try {
+    header = MessageHeader::Deserialize(
+        bsutil::ByteSpan(buffer_.data() + offset_, kHeaderSize));
+  } catch (const bsutil::DeserializeError&) {
+    return 0;  // kMalformed decodes right now
+  }
+  // Bad magic and oversize frames resolve on the header alone — DecodeMessage
+  // never waits for a payload it refuses to trust.
+  if (header.magic != magic_) return 0;
+  if (header.length > kMaxFramePayload) return 0;
+  const std::size_t need = kHeaderSize + header.length;
+  return remaining >= need ? 0 : need - remaining;
+}
+
+void StreamDecoder::Compact() {
+  // Amortized O(1): only memmove once the dead prefix dominates the buffer.
+  if (offset_ == 0) return;
+  if (offset_ >= buffer_.size()) {
+    buffer_.clear();
+    offset_ = 0;
+    return;
+  }
+  if (offset_ < 4096 || offset_ < buffer_.size() / 2) return;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+  offset_ = 0;
+}
+
 }  // namespace bsproto

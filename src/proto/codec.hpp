@@ -89,4 +89,48 @@ struct FramePeek {
 };
 bool PeekFrame(std::uint32_t magic, bsutil::ByteSpan stream, FramePeek& out);
 
+/// Incremental frame decoder over arbitrarily split input. Feed() accepts any
+/// chunking of a byte stream — single bytes, whole frames, frame-and-a-half —
+/// and Next() yields exactly the sequence of DecodeResults that DecodeMessage
+/// would produce over the concatenated stream. Decoding itself is delegated to
+/// DecodeMessage, so every status, consumed count, and side effect (including
+/// the process-wide oversize counter) fires once per frame regardless of how
+/// the bytes arrived.
+class StreamDecoder {
+ public:
+  /// `max_buffer` bounds the bytes held across Feed() calls; 0 = unbounded.
+  /// Since DecodeMessage never waits for more than a header plus
+  /// kMaxFramePayload, any cap >= kHeaderSize + kMaxFramePayload never
+  /// truncates; smaller caps drop the oldest buffered bytes (overflow_bytes_
+  /// counts them) and are only for adversarial back-pressure tests.
+  explicit StreamDecoder(std::uint32_t magic, std::size_t max_buffer = 0);
+
+  /// Appends bytes to the reassembly buffer.
+  void Feed(bsutil::ByteSpan data);
+
+  /// Decodes the next frame if the buffer holds a header-complete outcome.
+  /// Returns false (and leaves `out` untouched) when more bytes are needed.
+  bool Next(DecodeResult& out);
+
+  /// Additional bytes that must arrive before the front frame can complete:
+  /// bytes-to-a-full-header when the header is partial, else
+  /// bytes-to-the-declared-frame-end. 0 when Next() would succeed right now
+  /// (including bad-magic / oversize frames, which decode without payload).
+  std::size_t BytesNeeded() const;
+
+  std::size_t BufferedBytes() const { return buffer_.size() - offset_; }
+  std::uint64_t FramesDecoded() const { return frames_decoded_; }
+  std::uint64_t OverflowBytes() const { return overflow_bytes_; }
+
+ private:
+  void Compact();
+
+  std::uint32_t magic_;
+  std::size_t max_buffer_;
+  bsutil::ByteVec buffer_;
+  std::size_t offset_ = 0;  // consumed prefix awaiting compaction
+  std::uint64_t frames_decoded_ = 0;
+  std::uint64_t overflow_bytes_ = 0;
+};
+
 }  // namespace bsproto

@@ -1,0 +1,252 @@
+#include "sim/faultsock.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bsim {
+
+namespace {
+
+sockaddr_in ToSockaddr(const SockAddr& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  sa.sin_addr.s_addr = htonl(addr.ip);
+  return sa;
+}
+
+SockAddr FromSockaddr(const sockaddr_in& sa) {
+  SockAddr addr;
+  addr.ip = ntohl(sa.sin_addr.s_addr);
+  addr.port = ntohs(sa.sin_port);
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RealSocketApi
+
+RealSocketApi& RealSocketApi::Instance() {
+  static RealSocketApi instance;
+  return instance;
+}
+
+int RealSocketApi::OpenStream() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -errno;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  return fd;
+}
+
+int RealSocketApi::Bind(int fd, const SockAddr& addr) {
+  const sockaddr_in sa = ToSockaddr(addr);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+    return -errno;
+  }
+  return 0;
+}
+
+int RealSocketApi::Listen(int fd, int backlog) {
+  if (::listen(fd, backlog) != 0) return -errno;
+  return 0;
+}
+
+int RealSocketApi::Accept(int fd, SockAddr& peer) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  const int nfd = ::accept4(fd, reinterpret_cast<sockaddr*>(&sa), &len,
+                            SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (nfd < 0) return -errno;
+  peer = FromSockaddr(sa);
+  return nfd;
+}
+
+int RealSocketApi::Connect(int fd, const SockAddr& addr) {
+  const sockaddr_in sa = ToSockaddr(addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0) {
+    return 0;
+  }
+  return -errno;
+}
+
+long RealSocketApi::Send(int fd, const void* buf, std::size_t len) {
+  const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+  if (n < 0) return -errno;
+  return n;
+}
+
+long RealSocketApi::Recv(int fd, void* buf, std::size_t len) {
+  const ssize_t n = ::recv(fd, buf, len, 0);
+  if (n < 0) return -errno;
+  return n;
+}
+
+int RealSocketApi::SockError(int fd) {
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return -errno;
+  return -err;
+}
+
+int RealSocketApi::LocalEndpoint(int fd, SockAddr& addr) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    return -errno;
+  }
+  addr = FromSockaddr(sa);
+  return 0;
+}
+
+int RealSocketApi::CloseFd(int fd) {
+  if (::close(fd) != 0) return -errno;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// FaultSocketApi
+
+bool FaultSocketApi::Roll(double rate) {
+  if (rate <= 0.0) return false;
+  return rng_.NextDouble() < rate;
+}
+
+void FaultSocketApi::PoisonFd(int fd, Poison mode) { poisoned_[fd] = mode; }
+
+int FaultSocketApi::OpenStream() {
+  ++ops_;
+  return base_.OpenStream();
+}
+
+int FaultSocketApi::Bind(int fd, const SockAddr& addr) {
+  ++ops_;
+  return base_.Bind(fd, addr);
+}
+
+int FaultSocketApi::Listen(int fd, int backlog) {
+  ++ops_;
+  return base_.Listen(fd, backlog);
+}
+
+int FaultSocketApi::Accept(int fd, SockAddr& peer) {
+  ++ops_;
+  if (Roll(faults_.accept_fail_rate)) {
+    ++injected_accept_;
+    // The kernel accepted and the peer RST before we got to it — the classic
+    // transient accept failure a robust loop must skip, not abort on.
+    SockAddr scratch;
+    const int real = base_.Accept(fd, scratch);
+    if (real >= 0) base_.CloseFd(real);
+    return -ECONNABORTED;
+  }
+  return base_.Accept(fd, peer);
+}
+
+int FaultSocketApi::Connect(int fd, const SockAddr& addr) {
+  ++ops_;
+  if (Roll(faults_.connect_fail_rate)) {
+    ++injected_connect_;
+    return -ECONNREFUSED;
+  }
+  return base_.Connect(fd, addr);
+}
+
+long FaultSocketApi::Send(int fd, const void* buf, std::size_t len) {
+  ++ops_;
+  const auto it = poisoned_.find(fd);
+  if (it != poisoned_.end()) {
+    switch (it->second) {
+      case Poison::kReset:
+        return -ECONNRESET;
+      case Poison::kPipe:
+        return -EPIPE;
+      case Poison::kBlackhole:
+        return static_cast<long>(len);  // swallowed; peer never sees it
+      case Poison::kNone:
+        break;
+    }
+  }
+  if (Roll(faults_.reset_rate)) {
+    ++injected_resets_;
+    poisoned_[fd] = Poison::kReset;
+    return -ECONNRESET;
+  }
+  if (Roll(faults_.epipe_rate)) {
+    ++injected_epipe_;
+    poisoned_[fd] = Poison::kPipe;
+    return -EPIPE;
+  }
+  if (Roll(faults_.blackhole_rate)) {
+    ++injected_blackhole_;
+    poisoned_[fd] = Poison::kBlackhole;
+    return static_cast<long>(len);
+  }
+  if (Roll(faults_.eagain_rate)) {
+    ++injected_eagain_;
+    return -EAGAIN;
+  }
+  if (len > 1 && Roll(faults_.short_io_rate)) {
+    ++injected_short_;
+    return base_.Send(fd, buf, len / 2);
+  }
+  return base_.Send(fd, buf, len);
+}
+
+long FaultSocketApi::Recv(int fd, void* buf, std::size_t len) {
+  ++ops_;
+  const auto it = poisoned_.find(fd);
+  if (it != poisoned_.end()) {
+    switch (it->second) {
+      case Poison::kReset:
+        return -ECONNRESET;
+      case Poison::kPipe:
+        // EPIPE is a send-side error; the read side of a broken pipe EOFs.
+        return 0;
+      case Poison::kBlackhole:
+        return -EAGAIN;  // silence forever
+      case Poison::kNone:
+        break;
+    }
+  }
+  if (Roll(faults_.reset_rate)) {
+    ++injected_resets_;
+    poisoned_[fd] = Poison::kReset;
+    return -ECONNRESET;
+  }
+  if (Roll(faults_.eagain_rate)) {
+    ++injected_eagain_;
+    return -EAGAIN;
+  }
+  if (len > 1 && Roll(faults_.short_io_rate)) {
+    ++injected_short_;
+    return base_.Recv(fd, buf, len / 2);
+  }
+  return base_.Recv(fd, buf, len);
+}
+
+int FaultSocketApi::SockError(int fd) {
+  ++ops_;
+  const auto it = poisoned_.find(fd);
+  if (it != poisoned_.end() && it->second == Poison::kReset) return -ECONNRESET;
+  return base_.SockError(fd);
+}
+
+int FaultSocketApi::LocalEndpoint(int fd, SockAddr& addr) {
+  ++ops_;
+  return base_.LocalEndpoint(fd, addr);
+}
+
+int FaultSocketApi::CloseFd(int fd) {
+  ++ops_;
+  poisoned_.erase(fd);
+  return base_.CloseFd(fd);
+}
+
+}  // namespace bsim

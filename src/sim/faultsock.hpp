@@ -1,0 +1,136 @@
+#pragma once
+
+// SocketApi: the syscall seam under RealTransport, mirroring simfs's design
+// for sockets. RealSocketApi forwards straight to the kernel; FaultSocketApi
+// wraps another api and injects seeded failures (EAGAIN, ECONNRESET, EPIPE,
+// short reads/writes, accept failures, blackholed fds) so the epoll backend's
+// every error path is deterministically testable without root, tc, or a
+// flaky network. All calls return >= 0 on success and -errno on failure —
+// never raw -1 — so callers switch on the value without consulting errno
+// (which fault injection could not set faithfully through layered wrappers).
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace bsim {
+
+/// One node endpoint at the syscall layer (host byte order).
+struct SockAddr {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+};
+
+class SocketApi {
+ public:
+  virtual ~SocketApi() = default;
+
+  /// socket(AF_INET, SOCK_STREAM | NONBLOCK | CLOEXEC): fd or -errno.
+  virtual int OpenStream() = 0;
+  virtual int Bind(int fd, const SockAddr& addr) = 0;
+  virtual int Listen(int fd, int backlog) = 0;
+  /// accept4(NONBLOCK): new fd or -errno. Fills `peer` on success.
+  virtual int Accept(int fd, SockAddr& peer) = 0;
+  /// Non-blocking connect: 0 connected, -EINPROGRESS started, else -errno.
+  virtual int Connect(int fd, const SockAddr& addr) = 0;
+  /// send(MSG_NOSIGNAL): bytes written (possibly short) or -errno.
+  virtual long Send(int fd, const void* buf, std::size_t len) = 0;
+  /// recv: bytes read, 0 on orderly EOF, or -errno.
+  virtual long Recv(int fd, void* buf, std::size_t len) = 0;
+  /// getsockopt(SO_ERROR) as -errno (0 = connect completed cleanly).
+  virtual int SockError(int fd) = 0;
+  /// getsockname: fills `addr` (the kernel-assigned port after Bind(0)).
+  virtual int LocalEndpoint(int fd, SockAddr& addr) = 0;
+  virtual int CloseFd(int fd) = 0;
+};
+
+/// Pass-through to the kernel.
+class RealSocketApi : public SocketApi {
+ public:
+  static RealSocketApi& Instance();
+
+  int OpenStream() override;
+  int Bind(int fd, const SockAddr& addr) override;
+  int Listen(int fd, int backlog) override;
+  int Accept(int fd, SockAddr& peer) override;
+  int Connect(int fd, const SockAddr& addr) override;
+  long Send(int fd, const void* buf, std::size_t len) override;
+  long Recv(int fd, void* buf, std::size_t len) override;
+  int SockError(int fd) override;
+  int LocalEndpoint(int fd, SockAddr& addr) override;
+  int CloseFd(int fd) override;
+};
+
+/// Per-operation fault probabilities (0..1), drawn from a seeded stream so a
+/// failing chaos seed replays exactly. Connection-fatal injections
+/// (ECONNRESET/EPIPE) also *poison* the fd: every later op on it fails the
+/// same way, modeling a peer that is truly gone. A blackholed fd instead
+/// swallows writes and never yields reads — the half-open case only the
+/// ping watchdog can detect.
+struct FaultSocketFaults {
+  double eagain_rate = 0.0;       // Send/Recv: spurious EAGAIN
+  double short_io_rate = 0.0;     // Send/Recv: truncate to ~half the bytes
+  double reset_rate = 0.0;        // Send/Recv: ECONNRESET + poison
+  double epipe_rate = 0.0;        // Send: EPIPE + poison
+  double accept_fail_rate = 0.0;  // Accept: ECONNABORTED
+  double connect_fail_rate = 0.0; // Connect: ECONNREFUSED
+  double blackhole_rate = 0.0;    // Send: silently swallow + blackhole fd
+  std::uint64_t seed = 1;
+};
+
+class FaultSocketApi : public SocketApi {
+ public:
+  explicit FaultSocketApi(SocketApi& base) : base_(base) {}
+
+  void SetFaults(const FaultSocketFaults& faults) {
+    faults_ = faults;
+    rng_.Seed(faults.seed);
+  }
+  const FaultSocketFaults& Faults() const { return faults_; }
+
+  enum class Poison { kNone, kReset, kPipe, kBlackhole };
+  /// Deterministic test hook: force a specific failure mode onto an fd.
+  void PoisonFd(int fd, Poison mode);
+
+  // Injection counters (what actually fired, for test assertions).
+  std::uint64_t InjectedEagain() const { return injected_eagain_; }
+  std::uint64_t InjectedShortIo() const { return injected_short_; }
+  std::uint64_t InjectedResets() const { return injected_resets_; }
+  std::uint64_t InjectedEpipe() const { return injected_epipe_; }
+  std::uint64_t InjectedAcceptFails() const { return injected_accept_; }
+  std::uint64_t InjectedConnectFails() const { return injected_connect_; }
+  std::uint64_t InjectedBlackholes() const { return injected_blackhole_; }
+  std::uint64_t OpCount() const { return ops_; }
+
+  int OpenStream() override;
+  int Bind(int fd, const SockAddr& addr) override;
+  int Listen(int fd, int backlog) override;
+  int Accept(int fd, SockAddr& peer) override;
+  int Connect(int fd, const SockAddr& addr) override;
+  long Send(int fd, const void* buf, std::size_t len) override;
+  long Recv(int fd, void* buf, std::size_t len) override;
+  int SockError(int fd) override;
+  int LocalEndpoint(int fd, SockAddr& addr) override;
+  int CloseFd(int fd) override;
+
+ private:
+  bool Roll(double rate);
+
+  SocketApi& base_;
+  FaultSocketFaults faults_;
+  bsutil::Rng rng_{1};
+  std::uint64_t ops_ = 0;
+  std::uint64_t injected_eagain_ = 0;
+  std::uint64_t injected_short_ = 0;
+  std::uint64_t injected_resets_ = 0;
+  std::uint64_t injected_epipe_ = 0;
+  std::uint64_t injected_accept_ = 0;
+  std::uint64_t injected_connect_ = 0;
+  std::uint64_t injected_blackhole_ = 0;
+  // Poison state per fd; fds are recycled by the kernel, so CloseFd clears.
+  std::unordered_map<int, Poison> poisoned_;
+};
+
+}  // namespace bsim

@@ -50,6 +50,10 @@ class Scheduler {
   void RunAll();
 
   std::size_t PendingEvents() const { return queue_.size(); }
+  /// Time of the earliest pending event, or -1 when the queue is empty.
+  /// Lets a real-time driver (core/event_loop) sleep exactly until the
+  /// next timer instead of polling.
+  SimTime NextEventTime() const { return queue_.empty() ? -1 : queue_.top().time; }
   std::uint64_t ExecutedEvents() const { return executed_; }
   std::size_t PeakPendingEvents() const { return peak_pending_; }
 

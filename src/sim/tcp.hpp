@@ -25,6 +25,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "core/transport.hpp"
 #include "sim/network.hpp"
 
 namespace bsim {
@@ -47,35 +48,35 @@ constexpr std::size_t kMaxRetransmitQueueBytes = 4 * 1024 * 1024;
 /// Default cap on payload bytes buffered while no data sink is attached.
 constexpr std::size_t kDefaultRecvBufferCap = 4 * 1024 * 1024;
 
-class TcpConnection {
+/// The simulated connection *is* a transport connection (see
+/// core/transport.hpp): Node holds it through the interface while the sim
+/// internals keep using the concrete type, with no adapter in between.
+class TcpConnection : public bsnet::TransportConn {
  public:
   enum class State { kSynSent, kSynReceived, kEstablished, kClosed };
 
   TcpConnection(Host& host, Endpoint local, Endpoint remote, bool inbound);
 
-  Endpoint Local() const { return local_; }
-  Endpoint Remote() const { return remote_; }
-  bool IsInbound() const { return inbound_; }
+  Endpoint Local() const override { return local_; }
+  Endpoint Remote() const override { return remote_; }
+  bool IsInbound() const override { return inbound_; }
   State GetState() const { return state_; }
-  bool IsEstablished() const { return state_ == State::kEstablished; }
+  bool IsEstablished() const override { return state_ == State::kEstablished; }
 
   /// Application data sink; set before data can arrive. Payload arriving
   /// while this is unset is buffered (bounded, see SetReceiveBufferCap)
   /// instead of silently lost; prefer SetDataSink, which drains the backlog.
+  /// (on_connected / on_closed are inherited from TransportConn.)
   std::function<void(bsutil::ByteSpan)> on_data;
   /// Set the data sink and synchronously deliver any buffered payload.
-  void SetDataSink(std::function<void(bsutil::ByteSpan)> sink);
-  /// Invoked once when the connection reaches kEstablished.
-  std::function<void(bool ok)> on_connected;
-  /// Invoked when the connection closes (FIN or RST from either side).
-  std::function<void()> on_closed;
+  void SetDataSink(std::function<void(bsutil::ByteSpan)> sink) override;
 
   /// Send application bytes; split into MSS-sized PSH|ACK segments.
-  void Send(bsutil::ByteSpan data);
+  void Send(bsutil::ByteSpan data) override;
   /// Graceful close (FIN).
-  void Close();
+  void Close() override;
   /// Abortive close (RST).
-  void Reset();
+  void Reset() override;
 
   /// TCP input processing for a segment already demultiplexed to this
   /// connection.
@@ -95,7 +96,7 @@ class TcpConnection {
 
   /// Bound the no-sink receive buffer (0 = unbounded). Overflow sheds the
   /// oldest bytes; sheds are counted here and in the network's metrics.
-  void SetReceiveBufferCap(std::size_t bytes) { recv_buffer_cap_ = bytes; }
+  void SetReceiveBufferCap(std::size_t bytes) override { recv_buffer_cap_ = bytes; }
   std::size_t ReceiveBufferCap() const { return recv_buffer_cap_; }
   std::uint64_t RxPendingShedBytes() const { return rx_pending_shed_; }
   std::size_t RxPendingBytes() const { return rx_pending_.size(); }

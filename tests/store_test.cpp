@@ -887,4 +887,93 @@ TEST(DurableNodeState, NodeLevelBanSurvivesRestart) {
   EXPECT_EQ(untouched.FileCount(), 0u);
 }
 
+// The shutdown path under crash. Node::Shutdown() ends with a durable
+// SetAnchors + Flush — a full compaction (snapshot write + rename + old-file
+// cleanup), which is exactly where a supervisor's SIGKILL lands on a real
+// daemon. Crash at every syscall index of that window and require: the store
+// reopens, every mutation journaled *before* Shutdown survives (bans and
+// scores journal at mutation time, so the flush must never be load-bearing
+// for them), and fsck can always bring the directory back to healthy without
+// losing a commit.
+TEST(DurableNodeState, ShutdownCrashAtEverySyscallIsReplayable) {
+  const bsproto::Endpoint villain{0x0a0000ee, 8333};
+  constexpr int kScoredPeers = 4;
+
+  bsnet::NodeConfig config;
+  config.enable_durable_store = true;
+  config.enable_anchors = true;
+  config.store_dir = "node-store";
+
+  // Journal a ban + good scores, then Shutdown. Returns the op index where
+  // the shutdown window began (everything before it is the fault-free
+  // prefix, identical across runs because SimFs is seeded).
+  const auto run_to_shutdown = [&](bsim::SimFs& fs) -> std::uint64_t {
+    bsim::Scheduler sched;
+    bsim::Network net(sched);
+    bsnet::NodeConfig cfg = config;
+    cfg.store_fs = &fs;
+    bsnet::Node node(sched, net, 0x0a000001, cfg);
+    EXPECT_NE(node.Durable(), nullptr);
+    node.Bans().Ban(villain, sched.Now() + 24 * bsim::kHour);
+    for (int id = 1; id <= kScoredPeers; ++id) {
+      node.Tracker().AddGoodScore(id, id * 3);
+    }
+    const std::uint64_t window_start = fs.OpCount();
+    node.Shutdown();  // SetAnchors + Flush; the crash lands in here
+    node.Stop();
+    return window_start;
+  };
+
+  const auto expect_state_intact = [&](bsim::SimFs& fs, std::uint64_t op) {
+    bsim::Scheduler sched;
+    bsim::Network net(sched);
+    bsnet::NodeConfig cfg = config;
+    cfg.store_fs = &fs;
+    bsnet::Node reborn(sched, net, 0x0a000001, cfg);
+    ASSERT_NE(reborn.Durable(), nullptr)
+        << "reopen ran volatile after crash at op " << op;
+    EXPECT_TRUE(reborn.Bans().IsBanned(villain, sched.Now()))
+        << "journaled ban lost after crash at op " << op;
+    for (int id = 1; id <= kScoredPeers; ++id) {
+      EXPECT_EQ(reborn.Tracker().GoodScore(id), id * 3)
+          << "good score lost after crash at op " << op;
+    }
+    reborn.Stop();
+  };
+
+  // Learn the fault-free op range of the shutdown window.
+  bsim::SimFs probe(1);
+  const std::uint64_t window_start = run_to_shutdown(probe);
+  const std::uint64_t total_ops = probe.OpCount();
+  ASSERT_GT(total_ops, window_start) << "shutdown window journaled nothing";
+
+  for (std::uint64_t op = window_start; op < total_ops; ++op) {
+    bsim::SimFs fs(1);
+    bsim::SimFsFaults faults;
+    faults.crash_at_op = static_cast<std::int64_t>(op);
+    faults.seed = op;
+    fs.SetFaults(faults);
+    run_to_shutdown(fs);
+    ASSERT_TRUE(fs.Crashed()) << "op " << op << " never fired";
+    fs.Reboot();
+
+    // (a) A reborn node replays every pre-shutdown mutation.
+    expect_state_intact(fs, op);
+
+    // (b) The reopen physically truncates any torn journal tail; what can
+    // remain is interrupted-compaction litter (orphan tmp, stale
+    // generation). Repair must make the directory fully healthy without
+    // stranding a single committed record...
+    const bsstore::FsckReport repaired =
+        bsstore::RunFsck(fs, config.store_dir, true);
+    EXPECT_TRUE(bsstore::RunFsck(fs, config.store_dir, false).healthy)
+        << "fsck could not heal the store after crash at op " << op;
+    EXPECT_EQ(repaired.lost_commits, 0u)
+        << "shutdown crash at op " << op << " stranded committed data";
+
+    // ...and the repaired store still replays the same state.
+    expect_state_intact(fs, op);
+  }
+}
+
 }  // namespace

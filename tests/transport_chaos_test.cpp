@@ -1,0 +1,199 @@
+// Transport chaos tier: two full Nodes over RealTransport with every syscall
+// routed through a seeded FaultSocketApi. 50 seeds of EAGAIN storms, short
+// writes, resets, accept failures, refused connects and blackholes — the
+// acceptance bar is the paper's: infrastructure noise must never look like
+// misbehavior (zero honest bans), no connection may wedge mid-connect past
+// the timeout, and the reconnect-backoff map must respect its cap.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/event_loop.hpp"
+#include "core/node.hpp"
+#include "core/real_transport.hpp"
+#include "sim/faultsock.hpp"
+
+namespace {
+
+using namespace bsnet;  // NOLINT
+
+constexpr std::uint32_t kLoopback = 0x7f000001;
+
+bool PumpUntil(EventLoop& loop, const std::function<bool()>& done,
+               int budget_ms) {
+  const bsim::SimTime deadline = loop.WallNow() + budget_ms * bsim::kMillisecond;
+  while (!done()) {
+    if (loop.WallNow() >= deadline) return false;
+    loop.PumpOnce(10);
+  }
+  return true;
+}
+
+bool AnyBan(Node& a, Node& b) {
+  return a.Bans().Size() > 0 || b.Bans().Size() > 0;
+}
+
+class TransportChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// One seed of the sweep: two nodes on a faulty substrate keep (re)connecting,
+// mining and relaying for a fixed wall budget. Liveness is best-effort under
+// 30% refused connects — the hard assertions are about what must NOT happen.
+TEST_P(TransportChaosSweep, FaultStormNeverManufacturesMisbehavior) {
+  const std::uint64_t seed = GetParam();
+
+  bsim::Scheduler sched;
+  EventLoop loop(sched);
+  bsim::FaultSocketApi api(bsim::RealSocketApi::Instance());
+  bsim::FaultSocketFaults faults;
+  faults.eagain_rate = 0.2;
+  faults.short_io_rate = 0.2;
+  faults.reset_rate = 0.05;
+  faults.accept_fail_rate = 0.3;
+  faults.connect_fail_rate = 0.3;
+  faults.blackhole_rate = 0.02;
+  faults.seed = seed;
+  api.SetFaults(faults);
+
+  RealTransportConfig rta;
+  rta.bind_port = 0;
+  rta.connect_timeout = 300 * bsim::kMillisecond;
+  RealTransportConfig rtb = rta;
+  RealTransport ta(loop, api, rta);
+  RealTransport tb(loop, api, rtb);
+
+  NodeConfig config;
+  config.listen_port = 0;
+  config.reconnect_backoff = true;
+  config.dial_backoff_max_entries = 64;
+  // The watchdog that turns a blackholed (half-open) peer into a teardown
+  // instead of an eternal zombie.
+  config.ping_interval = 200 * bsim::kMillisecond;
+  config.ping_timeout = 400 * bsim::kMillisecond;
+  Node a(sched, ta, config);
+  Node b(sched, tb, config);
+
+  // Transport faults must never read as *protocol* misbehavior. The one
+  // symptom a lossy link CAN legitimately produce is an orphan block — a
+  // swallowed relay followed by the next block is Table I's prev-missing
+  // rule firing on an honest peer (the phenomenon the partition-damping
+  // defense exists for). Everything else — checksum, malformed, handshake
+  // ordering — would mean the transport corrupted or reordered the stream.
+  std::vector<Misbehavior> unexpected;
+  const auto audit = [&unexpected](const Peer&, Misbehavior what,
+                                   const MisbehaviorOutcome&) {
+    if (what != Misbehavior::kBlockPrevMissing) unexpected.push_back(what);
+  };
+  a.on_misbehavior = audit;
+  b.on_misbehavior = audit;
+
+  a.Start();
+  b.Start();
+  ASSERT_EQ(ta.LastListenError(), 0);
+  ASSERT_EQ(tb.LastListenError(), 0);
+  const std::uint16_t port_a = ta.BoundPort(0);
+  const std::uint16_t port_b = tb.BoundPort(0);
+
+  // Both sides know each other; Node's own maintenance loop redials through
+  // its capped backoff whenever a fault kills the link.
+  a.AddKnownAddress({kLoopback, port_b});
+  b.AddKnownAddress({kLoopback, port_a});
+  b.ConnectTo({kLoopback, port_a});
+
+  const bsim::SimTime stop = loop.WallNow() + 1500 * bsim::kMillisecond;
+  int mined = 0;
+  while (loop.WallNow() < stop) {
+    loop.PumpOnce(10);
+    // Keep real frames flowing so faults land on live traffic, not silence.
+    if (mined < 5 && !b.Peers().empty()) {
+      b.MineAndRelay();
+      ++mined;
+    }
+    if (AnyBan(a, b)) break;  // already failed; audited below
+  }
+
+  // Quiesce: stop injecting, give every in-flight connect one full timeout
+  // (plus epoll slack) to either establish or fail — nothing may stay wedged
+  // in kConnecting, and the graveyard must drain.
+  api.SetFaults({});
+  PumpUntil(
+      loop, [&] { return ta.PendingConnects() == 0 && tb.PendingConnects() == 0; },
+      2000);
+  EXPECT_EQ(ta.PendingConnects(), 0u) << "seed " << seed;
+  EXPECT_EQ(tb.PendingConnects(), 0u) << "seed " << seed;
+
+  // The backoff map honored its bound no matter how much churn the seed made.
+  EXPECT_LE(a.DialBackoffEntries(), config.dial_backoff_max_entries);
+  EXPECT_LE(b.DialBackoffEntries(), config.dial_backoff_max_entries);
+
+  // Final misbehavior audit after the dust settles: no bans, and no penalty
+  // class other than the loss-induced orphan symptom ever fired.
+  EXPECT_FALSE(AnyBan(a, b))
+      << "seed " << seed << " turned transport faults into a ban";
+  EXPECT_TRUE(unexpected.empty())
+      << "seed " << seed << " charged a non-orphan penalty, first kind "
+      << static_cast<int>(unexpected.front());
+
+  a.Shutdown();
+  b.Shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, TransportChaosSweep,
+                         ::testing::Range<std::uint64_t>(1, 51),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Deterministic half-open case: a blackholed peer produces no socket error at
+// all — only the ping watchdog can notice, and it must, without any ban.
+TEST(TransportBlackhole, PingWatchdogReapsHalfOpenPeerWithoutBanning) {
+  bsim::Scheduler sched;
+  EventLoop loop(sched);
+  bsim::FaultSocketApi api(bsim::RealSocketApi::Instance());
+
+  RealTransportConfig rt;
+  rt.bind_port = 0;
+  RealTransport ta(loop, api, rt);
+  RealTransport tb(loop, api, rt);
+
+  NodeConfig config;
+  config.listen_port = 0;
+  config.ping_interval = 150 * bsim::kMillisecond;
+  config.ping_timeout = 300 * bsim::kMillisecond;
+  Node a(sched, ta, config);
+  Node b(sched, tb, config);
+  a.Start();
+  b.Start();
+  ASSERT_EQ(ta.LastListenError(), 0);
+  ASSERT_EQ(tb.LastListenError(), 0);
+
+  ASSERT_TRUE(b.ConnectTo({kLoopback, ta.BoundPort(0)}));
+  ASSERT_TRUE(PumpUntil(
+      loop,
+      [&] {
+        const auto pa = a.Peers();
+        const auto pb = b.Peers();
+        return pa.size() == 1 && pb.size() == 1 && pa[0]->got_verack &&
+               pb[0]->got_verack;
+      },
+      3000));
+
+  // Poison every plausible fd at the syscall layer: all writes vanish, all
+  // reads go silent. From each node's view the peer is now half-open — no
+  // EOF, no error, just nothing. Only Send/Recv/SockError honor poison, so
+  // listeners and redials keep working; re-established links stay mute too.
+  for (int fd = 3; fd < 200; ++fd) {
+    api.PoisonFd(fd, bsim::FaultSocketApi::Poison::kBlackhole);
+  }
+
+  // The watchdog must tear the zombie down within a few ping cycles...
+  ASSERT_TRUE(PumpUntil(loop, [&] { return b.Peers().empty(); }, 5000))
+      << "half-open peer never reaped";
+  // ...and silence is infrastructure, not misbehavior: nobody got banned.
+  EXPECT_EQ(a.Bans().Size(), 0u);
+  EXPECT_EQ(b.Bans().Size(), 0u);
+
+  a.Shutdown();
+  b.Shutdown();
+}
+
+}  // namespace

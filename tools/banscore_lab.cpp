@@ -34,9 +34,13 @@
 //
 // Every scenario accepts --seed N (default 42, the NodeConfig default) and
 // echoes it in its output, so a sweep driver can re-run any single seed.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,6 +62,7 @@
 #include "core/node.hpp"
 #include "detect/engine.hpp"
 #include "detect/monitor.hpp"
+#include "core/rpc.hpp"
 #include "obs/span.hpp"
 #include "sim/faults.hpp"
 #include "fuzz/differential.hpp"
@@ -1902,6 +1907,272 @@ int RunFuzz(const Flags& flags) {
   return ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// testbed: N-process loopback cluster with a kill -9 recovery drill
+//
+// Spawns N bsnetd daemons on loopback (ports derived from the pid so
+// parallel ctest runs never collide), waits for full-mesh handshakes, lets
+// the miner build a chain, kill -9s the last member mid-traffic, restarts it
+// on the same store directory, and requires:
+//   - the survivors notice the silent death (the dead peer's entry drains),
+//   - the restarted member replays its WAL and reconverges to within one
+//     block of the miner,
+//   - no honest peer is banned anywhere at any point,
+//   - every member exits 0 on RPC "stop" and every store passes fsck.
+
+struct TestbedMember {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  std::uint16_t rpc_port = 0;
+  std::string store_dir;
+};
+
+std::string SelfDir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+pid_t SpawnTestbedDaemon(const std::string& bsnetd, const TestbedMember& member,
+                         const std::string& peers, bool miner,
+                         std::uint64_t seed, long lifetime_sec) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child. --seconds is a safety net so an orphaned daemon cannot outlive a
+  // crashed supervisor.
+  std::vector<std::string> args = {
+      bsnetd,       "--port",      std::to_string(member.port),
+      "--rpc-port", std::to_string(member.rpc_port),
+      "--store-dir", member.store_dir,
+      "--seed",     std::to_string(seed),
+      "--seconds",  std::to_string(lifetime_sec),
+      "--quiet",    "",
+  };
+  args.pop_back();  // "--quiet" takes no value
+  if (!peers.empty()) {
+    args.push_back("--peers");
+    args.push_back(peers);
+  }
+  if (miner) {
+    args.push_back("--mine-interval-ms");
+    args.push_back("150");
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(bsnetd.c_str(), argv.data());
+  std::_Exit(127);
+}
+
+std::optional<bsutil::JsonValue> TestbedRpc(std::uint16_t rpc_port,
+                                            const std::string& request) {
+  const auto reply = RpcCall(rpc_port, request, 1000);
+  if (!reply) return std::nullopt;
+  return bsutil::ParseJson(*reply);
+}
+
+/// getinfo field, or -1 when the daemon is unreachable / mid-start.
+long TestbedInfo(std::uint16_t rpc_port, const std::string& field) {
+  const auto doc = TestbedRpc(rpc_port, "{\"method\":\"getinfo\"}");
+  if (!doc) return -1;
+  const bsutil::JsonValue* result = doc->Find("result");
+  if (result == nullptr) return -1;
+  const bsutil::JsonValue* value = result->Find(field);
+  return value != nullptr && value->IsNumber() ? static_cast<long>(value->number)
+                                               : -1;
+}
+
+bool TestbedPoll(const std::function<bool()>& done, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 100) {
+    if (done()) return true;
+    ::usleep(100 * 1000);
+  }
+  return done();
+}
+
+/// True when any member reports a non-empty ban list or a peer with a
+/// positive ban score — the invariant the whole drill must never violate.
+bool TestbedAnyHonestBan(const std::vector<TestbedMember>& members) {
+  for (const auto& m : members) {
+    if (m.pid < 0) continue;
+    const long bans = TestbedInfo(m.rpc_port, "bans");
+    if (bans > 0) return true;
+    const auto peers = TestbedRpc(m.rpc_port, "{\"method\":\"getpeerinfo\"}");
+    if (!peers) continue;
+    const bsutil::JsonValue* result = peers->Find("result");
+    if (result == nullptr || !result->IsArray()) continue;
+    for (const auto& peer : result->array) {
+      const bsutil::JsonValue* score = peer.Find("banscore");
+      if (score != nullptr && score->IsNumber() && score->number > 0) return true;
+    }
+  }
+  return false;
+}
+
+int RunTestbed(const Flags& flags) {
+  const int n = std::max(2, static_cast<int>(flags.GetNum("nodes", 3)));
+  const auto seed = static_cast<std::uint64_t>(flags.GetNum("seed", 42));
+  const long lifetime_sec = static_cast<long>(flags.GetNum("lifetime", 120));
+  const std::string bsnetd = SelfDir() + "/bsnetd";
+  if (::access(bsnetd.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "testbed: bsnetd not found at %s\n", bsnetd.c_str());
+    return 2;
+  }
+
+  // Pid-derived ports: 2N consecutive ports somewhere in 20000..59999.
+  const std::uint16_t base = static_cast<std::uint16_t>(
+      20000 + (static_cast<unsigned>(::getpid()) * 131) % 39000);
+  const std::string root =
+      "bsnetd-testbed-" + std::to_string(static_cast<long>(::getpid()));
+  std::vector<TestbedMember> members(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& m = members[static_cast<std::size_t>(i)];
+    m.port = static_cast<std::uint16_t>(base + i);
+    m.rpc_port = static_cast<std::uint16_t>(base + n + i);
+    m.store_dir = root + "/n" + std::to_string(i);
+  }
+  const auto peers_of = [&](int self) {
+    std::string list;
+    for (int i = 0; i < n; ++i) {
+      if (i == self) continue;
+      if (!list.empty()) list += ",";
+      list += "127.0.0.1:" + std::to_string(members[static_cast<std::size_t>(i)].port);
+    }
+    return list;
+  };
+
+  bool ok = true;
+  std::string failure;
+  const auto fail = [&](const std::string& why) {
+    ok = false;
+    if (failure.empty()) failure = why;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    auto& m = members[static_cast<std::size_t>(i)];
+    m.pid = SpawnTestbedDaemon(bsnetd, m, peers_of(i), /*miner=*/i == 0, seed + i,
+                               lifetime_sec);
+  }
+
+  // Phase 1: full connectivity — every member handshakes at least one peer.
+  if (!TestbedPoll(
+          [&] {
+            for (const auto& m : members) {
+              if (TestbedInfo(m.rpc_port, "established") < 1) return false;
+            }
+            return true;
+          },
+          15000)) {
+    fail("cluster never converged to established handshakes");
+  }
+
+  // Phase 2: traffic — the victim must have real chain state to lose.
+  const int victim = n - 1;
+  auto& v = members[static_cast<std::size_t>(victim)];
+  if (ok && !TestbedPoll(
+                [&] { return TestbedInfo(v.rpc_port, "height") >= 2; }, 15000)) {
+    fail("victim never synced past height 2");
+  }
+  if (ok && TestbedAnyHonestBan(members)) fail("honest ban before the kill");
+
+  // Phase 3: kill -9 mid-traffic. Survivors must drain the dead peer.
+  const std::uint16_t victim_port = v.port;
+  if (ok) {
+    ::kill(v.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(v.pid, &status, 0);
+    v.pid = -1;
+    const std::uint16_t miner_rpc = members[0].rpc_port;
+    if (!TestbedPoll(
+            [&] {
+              const auto peers =
+                  TestbedRpc(miner_rpc, "{\"method\":\"getpeerinfo\"}");
+              if (!peers) return false;
+              const bsutil::JsonValue* result = peers->Find("result");
+              if (result == nullptr || !result->IsArray()) return false;
+              for (const auto& peer : result->array) {
+                const bsutil::JsonValue* addr = peer.Find("addr");
+                if (addr != nullptr && addr->IsString() &&
+                    addr->str == "127.0.0.1:" + std::to_string(victim_port)) {
+                  return false;  // dead outbound entry still present
+                }
+              }
+              return true;
+            },
+            30000)) {
+      fail("survivors never dropped the killed member's connection");
+    }
+  }
+
+  // Phase 4: restart on the same store directory; the WAL must replay and
+  // the member must redial and reconverge to the miner's chain.
+  if (ok) {
+    v.pid = SpawnTestbedDaemon(bsnetd, v, peers_of(victim), /*miner=*/false,
+                               seed + victim, lifetime_sec);
+    if (!TestbedPoll(
+            [&] {
+              if (TestbedInfo(v.rpc_port, "established") < 1) return false;
+              const long miner_height = TestbedInfo(members[0].rpc_port, "height");
+              const long victim_height = TestbedInfo(v.rpc_port, "height");
+              return miner_height >= 0 && victim_height >= 0 &&
+                     miner_height - victim_height <= 1;
+            },
+            30000)) {
+      fail("restarted member never reconverged with the miner");
+    }
+  }
+  if (ok && TestbedAnyHonestBan(members)) fail("honest ban after recovery");
+
+  // Phase 5: graceful stop everywhere; every live member must exit 0.
+  for (auto& m : members) {
+    if (m.pid < 0) continue;
+    TestbedRpc(m.rpc_port, "{\"method\":\"stop\"}");
+  }
+  for (auto& m : members) {
+    if (m.pid < 0) continue;
+    int status = 0;
+    if (!TestbedPoll(
+            [&] { return ::waitpid(m.pid, &status, WNOHANG) == m.pid; }, 10000)) {
+      ::kill(m.pid, SIGKILL);
+      ::waitpid(m.pid, &status, 0);
+      fail("member on port " + std::to_string(m.port) +
+           " did not exit on RPC stop");
+    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      fail("member on port " + std::to_string(m.port) + " exited unclean");
+    }
+    m.pid = -1;
+  }
+
+  // Phase 6: every store directory must verify healthy — including the one
+  // that lived through kill -9.
+  for (const auto& m : members) {
+    const bsstore::FsckReport report =
+        bsstore::RunFsck(bsstore::RealFs::Instance(), m.store_dir, false);
+    if (!report.store_found || !report.healthy) {
+      fail("fsck unhealthy in " + m.store_dir);
+    }
+  }
+
+  if (flags.Get("format", "table") == "json") {
+    std::printf(
+        "{\"schema\":\"banscore-lab-testbed\",\"seed\":%llu,\"nodes\":%d,"
+        "\"pass\":%s,\"failure\":\"%s\"}\n",
+        static_cast<unsigned long long>(seed), n, ok ? "true" : "false",
+        failure.c_str());
+  } else {
+    std::printf("testbed: %d nodes, seed %llu\n", n,
+                static_cast<unsigned long long>(seed));
+    if (!ok) std::printf("  FAILED: %s\n", failure.c_str());
+    std::printf("%s\n", ok ? "PASS" : "FAIL");
+  }
+  return ok ? 0 : 1;
+}
+
 void Usage() {
   std::printf(
       "banscore-lab <scenario> [--flag value ...]\n"
@@ -1945,6 +2216,11 @@ void Usage() {
       "           --replay FILE re-runs one repro; --reseed DIR --count K\n"
       "           regenerates the committed corpus; exit 0 iff no oracle\n"
       "           fired and observed divergence == Table I exactly)\n"
+      "  testbed --nodes N --seed S --format table|json\n"
+      "          (spawn an N-process bsnetd loopback cluster, kill -9 a\n"
+      "           member mid-traffic, restart it on the same store dir;\n"
+      "           exit 0 iff the cluster reconverges with zero honest bans\n"
+      "           and every store passes fsck)\n"
       "  bench-diff --old A.json --new B.json --tolerance T\n"
       "          --timing-tolerance TT\n"
       "          (compare two BENCH_*.json reports; deterministic counters\n"
@@ -1976,6 +2252,7 @@ int main(int argc, char** argv) {
   if (scenario == "timeline") return RunTimeline(flags);
   if (scenario == "bench-diff") return RunBenchDiff(flags);
   if (scenario == "fuzz") return RunFuzz(flags);
+  if (scenario == "testbed") return RunTestbed(flags);
   Usage();
   return 2;
 }
